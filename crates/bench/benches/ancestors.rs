@@ -1,0 +1,74 @@
+//! Figs 5.6/5.7/5.8 micro-bench: single-stage ancestor generation vs
+//! column-grouped multi-stage generation (§4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirum_bench::core::candidates::{merge_agg, Agg};
+use sirum_bench::core::lattice::{ancestors, ancestors_restricted, column_groups};
+use sirum_bench::core::rule::Rule;
+use sirum_bench::dataflow::hash::FxHashMap;
+use sirum_bench::workloads;
+
+/// LCAs of a SUSY sample against itself — realistic rule shapes.
+fn lcas(d: usize) -> Vec<(Rule, Agg)> {
+    let table = workloads::susy_small().project(d);
+    let mut out: FxHashMap<Rule, Agg> = FxHashMap::default();
+    for i in (0..table.num_rows()).step_by(13) {
+        for j in (0..table.num_rows()).step_by(97) {
+            let lca = Rule::lca(table.row(i), table.row(j));
+            merge_agg(out.entry(lca).or_insert((0.0, 0.0, 0)), (1.0, 1.0, 1));
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn single_stage(input: &[(Rule, Agg)]) -> usize {
+    let mut out: FxHashMap<Rule, Agg> = FxHashMap::default();
+    let mut emitted = 0usize;
+    for (rule, agg) in input {
+        for anc in ancestors(rule) {
+            emitted += 1;
+            merge_agg(out.entry(anc).or_insert((0.0, 0.0, 0)), *agg);
+        }
+    }
+    emitted + out.len()
+}
+
+fn grouped(input: &[(Rule, Agg)], g: usize, d: usize) -> usize {
+    let groups = column_groups(d, g, 42);
+    let mut current: FxHashMap<Rule, Agg> = input.iter().cloned().collect();
+    let mut emitted = 0usize;
+    for group in &groups {
+        let mut next: FxHashMap<Rule, Agg> = FxHashMap::default();
+        for (rule, agg) in &current {
+            for anc in ancestors_restricted(rule, group) {
+                emitted += 1;
+                merge_agg(next.entry(anc).or_insert((0.0, 0.0, 0)), *agg);
+            }
+        }
+        current = next;
+    }
+    emitted + current.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ancestor_generation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for d in [10usize, 14, 18] {
+        let input = lcas(d);
+        group.bench_with_input(BenchmarkId::new("single_stage", d), &d, |b, _| {
+            b.iter(|| single_stage(&input));
+        });
+        group.bench_with_input(BenchmarkId::new("two_groups", d), &d, |b, &d| {
+            b.iter(|| grouped(&input, 2, d));
+        });
+        group.bench_with_input(BenchmarkId::new("three_groups", d), &d, |b, &d| {
+            b.iter(|| grouped(&input, 3, d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

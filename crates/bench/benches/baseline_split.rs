@@ -1,0 +1,33 @@
+//! Figs 3.1/3.2 micro-bench: baseline mining runs whose phase split
+//! (rule generation vs iterative scaling) the profiling chapter analyzes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirum_bench::core::{Miner, Variant};
+use sirum_bench::dataflow::{Engine, EngineConfig};
+use sirum_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_profile");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let susy = workloads::susy_small();
+    let datasets = vec![
+        ("income".to_string(), workloads::income_small()),
+        ("gdelt".to_string(), workloads::gdelt_small()),
+        ("susy10".to_string(), susy.project(10)),
+        ("susy18".to_string(), susy.clone()),
+    ];
+    for (name, table) in &datasets {
+        group.bench_with_input(BenchmarkId::new("baseline", name), table, |b, t| {
+            b.iter(|| {
+                let e = Engine::new(EngineConfig::in_memory().with_partitions(8));
+                Miner::new(e, Variant::Baseline.config(4, 32)).mine(t)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figs 5.11–5.13 micro-bench: full mining runs, Baseline vs Optimized.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirum_bench::core::{Miner, Variant};
+use sirum_bench::dataflow::{Engine, EngineConfig};
+use sirum_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, table) in [
+        ("income", workloads::income_small()),
+        ("gdelt", workloads::gdelt_small()),
+    ] {
+        for variant in [Variant::Baseline, Variant::Optimized] {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), name),
+                &variant,
+                |b, v| {
+                    b.iter(|| {
+                        let engine =
+                            Engine::new(EngineConfig::in_memory().with_partitions(8));
+                        Miner::new(engine, v.config(4, 32)).mine(&table)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

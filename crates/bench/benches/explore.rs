@@ -1,0 +1,49 @@
+//! Fig 5.15 micro-bench: data-cube exploration — the Sarawagi [29]
+//! λ-reset baseline vs SIRUM's carry-over scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sirum_bench::baselines::{sarawagi_explore, SarawagiConfig};
+use sirum_bench::core::explore::explore;
+use sirum_bench::core::SirumConfig;
+use sirum_bench::dataflow::{Engine, EngineConfig};
+use sirum_bench::table::generators;
+
+fn bench(c: &mut Criterion) {
+    let table = generators::gdelt_like(1_500, 2016);
+    let mut group = c.benchmark_group("cube_exploration");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("sarawagi_baseline", |b| {
+        b.iter(|| {
+            let e = Engine::new(EngineConfig::in_memory().with_partitions(8));
+            sarawagi_explore(
+                &e,
+                &table,
+                &SarawagiConfig {
+                    k: 3,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.bench_function("sirum_optimized", |b| {
+        b.iter(|| {
+            let e = Engine::new(EngineConfig::in_memory().with_partitions(8));
+            explore(
+                &e,
+                &table,
+                SirumConfig {
+                    k: 3,
+                    rct: true,
+                    column_groups: 2,
+                    ..SirumConfig::default()
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figs 5.9/5.10 micro-bench: cost of selecting 1, 2 or 3 mutually
+//! disjoint rules from a large scored candidate list (§4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirum_bench::core::multirule::{select_rules, MultiRuleConfig, ScoredCandidate};
+use sirum_bench::core::rule::{Rule, WILDCARD};
+
+fn candidates(n: usize) -> Vec<ScoredCandidate> {
+    (0..n)
+        .map(|i| {
+            let mut vals = vec![WILDCARD; 9];
+            vals[i % 9] = (i / 9) as u32;
+            if i % 3 == 0 {
+                vals[(i + 1) % 9] = (i / 27) as u32;
+            }
+            ScoredCandidate {
+                rule: Rule::from_values(vals),
+                gain: ((i * 2_654_435_761) % 1_000_003) as f64,
+                sum_m: 1.0,
+                count: 10,
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multirule_selection");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [10_000usize, 100_000] {
+        let base = candidates(n);
+        for l in [1usize, 2, 3] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("l{l}"), n),
+                &l,
+                |b, &l| {
+                    b.iter(|| {
+                        let mut cands = base.clone();
+                        let n = cands.len();
+                        select_rules(&mut cands, &MultiRuleConfig::l_rules(l), n)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

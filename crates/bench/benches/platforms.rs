@@ -1,0 +1,44 @@
+//! Figs 5.1/5.2 micro-bench: the same mining run on the three platform
+//! emulations (Spark-like in-memory, Hive-like disk MR, PostgreSQL-like
+//! single thread).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sirum_bench::core::{Miner, Variant};
+use sirum_bench::dataflow::{Engine, EngineConfig};
+use sirum_bench::workloads;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let table = workloads::income_small();
+    let mut group = c.benchmark_group("platforms");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("spark_in_memory", |b| {
+        b.iter(|| {
+            let e = Engine::new(EngineConfig::in_memory().with_partitions(8));
+            Miner::new(e, Variant::Baseline.config(3, 16)).mine(&table)
+        });
+    });
+    group.bench_function("hive_disk_mr", |b| {
+        b.iter(|| {
+            // Zero startup sleep so the bench isolates the disk round trips.
+            let e = Engine::new(
+                EngineConfig::disk_mr()
+                    .with_stage_startup(Duration::ZERO)
+                    .with_partitions(8),
+            );
+            Miner::new(e, Variant::Baseline.config(3, 16)).mine(&table)
+        });
+    });
+    group.bench_function("postgres_single_thread", |b| {
+        b.iter(|| {
+            let e = Engine::new(EngineConfig::single_thread().with_partitions(8));
+            Miner::new(e, Variant::Baseline.config(3, 16)).mine(&table)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig 5.5 micro-bench: naive pairwise LCA computation vs the inverted
+//! sample index (§4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirum_bench::core::candidates::SampleIndex;
+use sirum_bench::core::rule::Rule;
+use sirum_bench::workloads;
+
+fn bench(c: &mut Criterion) {
+    let table = workloads::gdelt_small();
+    let d = table.num_dims();
+    let mut group = c.benchmark_group("lca_pruning");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for s in [64usize, 128, 256] {
+        let sample: Vec<Box<[u32]>> = (0..s)
+            .map(|i| table.row(i * 7 % table.num_rows()).to_vec().into_boxed_slice())
+            .collect();
+        let index = SampleIndex::build(sample.clone(), d);
+        group.bench_with_input(BenchmarkId::new("naive", s), &s, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for row in table.rows() {
+                    for srow in &sample {
+                        let lca = Rule::lca(srow, row);
+                        acc += lca.num_constants();
+                    }
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("inverted_index", s), &s, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                let mut scratch = Vec::new();
+                for row in table.rows() {
+                    let lcas = index.lcas_into(row, &mut scratch);
+                    acc += lcas
+                        .iter()
+                        .filter(|&&v| v != sirum_bench::core::rule::WILDCARD)
+                        .count();
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

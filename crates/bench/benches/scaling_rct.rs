@@ -1,0 +1,73 @@
+//! Figs 5.3/5.4 micro-bench: naive iterative scaling (Algorithm 1) vs
+//! RCT-based scaling (Algorithm 3) on identical models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirum_bench::core::rct::{iterative_scaling_rct, Rct};
+use sirum_bench::core::rule::Rule;
+use sirum_bench::core::scaling::{
+    iterative_scaling, rule_measure_sums, ScalingConfig, TableBackend,
+};
+use sirum_bench::core::transform::MeasureTransform;
+use sirum_bench::workloads;
+
+/// Build a model of `k` single-constant rules over the first columns.
+fn model(table: &sirum_bench::table::Table, k: usize) -> (Vec<Rule>, Vec<f64>, Vec<f64>) {
+    let d = table.num_dims();
+    let mut rules = vec![Rule::all_wildcards(d)];
+    'outer: for col in 0..d {
+        for code in 0..table.dict(col).cardinality() as u32 {
+            if rules.len() > k {
+                break 'outer;
+            }
+            let mut vals = vec![sirum_bench::core::rule::WILDCARD; d];
+            vals[col] = code;
+            rules.push(Rule::from_values(vals));
+        }
+    }
+    let (_t, m_prime) = MeasureTransform::fit(table.measures());
+    let sums = rule_measure_sums(table, &m_prime, &rules);
+    (rules, sums.iter().map(|s| s.0).collect(), m_prime)
+}
+
+fn bench(c: &mut Criterion) {
+    let table = workloads::income_small();
+    let cfg = ScalingConfig::default();
+    let mut group = c.benchmark_group("iterative_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [4usize, 8, 16] {
+        let (rules, m_sums, m_prime) = model(&table, k);
+        group.bench_with_input(BenchmarkId::new("naive", k), &k, |b, _| {
+            b.iter(|| {
+                let mut lambdas = vec![1.0; rules.len()];
+                let mut backend = TableBackend::new(&table);
+                iterative_scaling(&mut backend, &rules, &m_sums, &mut lambdas, &cfg)
+            });
+        });
+        // RCT path: mask computation + RCT build + scaling (its full cost).
+        group.bench_with_input(BenchmarkId::new("rct", k), &k, |b, _| {
+            b.iter(|| {
+                let masks: Vec<u64> = table
+                    .rows()
+                    .map(|row| {
+                        let mut mask = 0u64;
+                        for (i, r) in rules.iter().enumerate() {
+                            if r.matches(row) {
+                                mask |= 1 << i;
+                            }
+                        }
+                        mask
+                    })
+                    .collect();
+                let mut rct = Rct::build(&masks, &m_prime, &vec![1.0; table.num_rows()]);
+                let mut lambdas = vec![1.0; rules.len()];
+                iterative_scaling_rct(&mut rct, rules.len(), &m_sums, &mut lambdas, &cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,745 @@
+//! Regenerate every figure of the thesis evaluation (Chapters 3–5).
+//!
+//! ```sh
+//! cargo run -p sirum-bench --release --bin figures            # everything
+//! cargo run -p sirum-bench --release --bin figures -- f5_3 f5_5
+//! ```
+//!
+//! Each experiment prints the series the corresponding figure plots and
+//! writes a TSV under `target/figures/`. Paper-vs-measured commentary lives
+//! in EXPERIMENTS.md.
+
+use sirum_bench::baselines::{sarawagi_explore, SarawagiConfig};
+use sirum_bench::core::explore::explore;
+use sirum_bench::core::{
+    mine_on_sample, CandidateStrategy, Miner, MiningResult, MultiRuleConfig, SirumConfig, Variant,
+};
+use sirum_bench::dataflow::cost::{makespan, ClusterSpec};
+use sirum_bench::dataflow::{Engine, EngineConfig, StageRecord};
+use sirum_bench::table::Table;
+use sirum_bench::{secs, speedup, timed, workloads, FigureReport};
+
+const PARTITIONS: usize = 32;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::in_memory().with_partitions(PARTITIONS))
+}
+
+fn run(table: &Table, config: SirumConfig) -> MiningResult {
+    Miner::new(engine(), config).mine(table)
+}
+
+fn run_on(e: Engine, table: &Table, config: SirumConfig) -> MiningResult {
+    Miner::new(e, config).mine(table)
+}
+
+/// Fig 3.1: Baseline SIRUM runtimes, rule generation vs iterative scaling,
+/// per dataset (k = 10, |s| = 64).
+fn f3_1() {
+    let mut rep = FigureReport::new(
+        "f3_1_baseline_runtimes",
+        &["dataset", "rule_gen_s", "iter_scaling_s", "total_s"],
+    );
+    let datasets: Vec<(&str, Table, usize)> = vec![
+        ("Income", workloads::income(), 64),
+        ("GDELT", workloads::gdelt(), 64),
+        ("SUSY", workloads::susy(), 16),
+        ("TLC", workloads::tlc(60_000), 64),
+    ];
+    for (name, t, s) in datasets {
+        let r = run(&t, Variant::Baseline.config(5, s));
+        rep.row(vec![
+            name.into(),
+            secs(r.timings.rule_generation()),
+            secs(r.timings.iterative_scaling),
+            secs(r.timings.total),
+        ]);
+    }
+    rep.finish();
+}
+
+/// Fig 3.2: rule-generation runtime by step as dimensions grow
+/// (k = 10, |s| = 64; SUSY projected onto 10/14/18 dims).
+fn f3_2() {
+    let mut rep = FigureReport::new(
+        "f3_2_rulegen_steps",
+        &[
+            "dataset",
+            "dims",
+            "pruning_s",
+            "ancestor_s",
+            "gain_s",
+            "pruning_%",
+            "ancestor_%",
+            "gain_%",
+        ],
+    );
+    let susy = workloads::susy();
+    let datasets: Vec<(String, Table, usize)> = vec![
+        ("Income".into(), workloads::income(), 64),
+        ("GDELT".into(), workloads::gdelt(), 64),
+        ("SUSY(10)".into(), susy.project(10), 16),
+        ("SUSY(14)".into(), susy.project(14), 16),
+        ("SUSY(18)".into(), susy.clone(), 16),
+    ];
+    for (name, t, s) in datasets {
+        let r = run(&t, Variant::Baseline.config(5, s));
+        let tm = &r.timings;
+        let total = tm.rule_generation().max(1e-9);
+        rep.row(vec![
+            name,
+            t.num_dims().to_string(),
+            secs(tm.candidate_pruning),
+            secs(tm.ancestor_generation),
+            secs(tm.gain_computation),
+            format!("{:.0}", 100.0 * tm.candidate_pruning / total),
+            format!("{:.0}", 100.0 * tm.ancestor_generation / total),
+            format!("{:.0}", 100.0 * tm.gain_computation / total),
+        ]);
+    }
+    rep.finish();
+}
+
+/// Fig 4.3: memory used by cached blocks over time under two budgets.
+fn f4_3() {
+    let mut rep = FigureReport::new(
+        "f4_3_memory_budgets",
+        &["budget_mb", "time_s", "peak_block_mb", "disk_read_mb", "disk_reads"],
+    );
+    let t = workloads::tlc(80_000);
+    let bytes = t.data_bytes();
+    // "5GB vs 3GB executors" scaled: generous (fits) vs starved (spills).
+    for (label, budget) in [("fits", bytes * 4), ("starved", bytes / 2)] {
+        let e = Engine::new(
+            EngineConfig::in_memory()
+                .with_partitions(PARTITIONS)
+                .with_memory_budget(budget),
+        );
+        let cfg = SirumConfig {
+            k: 5,
+            strategy: CandidateStrategy::SampleLca { sample_size: 16 },
+            ..SirumConfig::default()
+        };
+        let (_, elapsed) = timed(|| run_on(e.clone(), &t, cfg));
+        let trace = e.store().trace();
+        let peak = trace.iter().map(|s| s.resident_bytes).max().unwrap_or(0);
+        let c = e.metrics().counters();
+        rep.row(vec![
+            format!("{label}({})", budget / (1024 * 1024)),
+            secs(elapsed),
+            format!("{:.1}", peak as f64 / (1024.0 * 1024.0)),
+            format!("{:.1}", c.disk_bytes_read as f64 / (1024.0 * 1024.0)),
+            c.disk_reads.to_string(),
+        ]);
+        // Persist the raw trace for plotting.
+        let mut tsv = String::from("secs\tresident_bytes\n");
+        for s in &trace {
+            tsv.push_str(&format!("{:.4}\t{}\n", s.secs, s.resident_bytes));
+        }
+        std::fs::write(
+            sirum_bench::figures_dir().join(format!("f4_3_trace_{label}.tsv")),
+            tsv,
+        )
+        .unwrap();
+    }
+    rep.finish();
+}
+
+/// Fig 4.4: memory over time — full data vs SIRUM on sample data under the
+/// starved budget.
+fn f4_4() {
+    let mut rep = FigureReport::new(
+        "f4_4_sample_data_memory",
+        &["mode", "time_s", "rows", "disk_read_mb", "info_gain"],
+    );
+    let t = workloads::tlc(80_000);
+    let budget = t.data_bytes() / 2;
+    for (label, rate) in [("full", 1.0), ("sample60%", 0.6), ("sample10%", 0.1)] {
+        let e = Engine::new(
+            EngineConfig::in_memory()
+                .with_partitions(PARTITIONS)
+                .with_memory_budget(budget),
+        );
+        let cfg = SirumConfig {
+            k: 5,
+            strategy: CandidateStrategy::SampleLca { sample_size: 16 },
+            ..SirumConfig::default()
+        };
+        let (out, elapsed) = timed(|| mine_on_sample(&e, &t, rate, cfg));
+        let c = e.metrics().counters();
+        rep.row(vec![
+            label.into(),
+            secs(elapsed),
+            out.rows_used.to_string(),
+            format!("{:.1}", c.disk_bytes_read as f64 / (1024.0 * 1024.0)),
+            format!("{:.4}", out.eval.information_gain),
+        ]);
+    }
+    rep.finish();
+}
+
+/// Modeled cluster time for the stages of one run.
+fn modeled(stages: &[StageRecord], executors: usize) -> f64 {
+    makespan(stages, &ClusterSpec::paper_cluster().with_executors(executors))
+}
+
+/// Fig 5.1: Baseline SIRUM on Spark vs PostgreSQL (single node).
+fn f5_1() {
+    let mut rep = FigureReport::new(
+        "f5_1_spark_vs_postgres",
+        &["platform", "measured_s", "modeled_node_s", "modeled_slowdown"],
+    );
+    let t = workloads::income();
+    let cfg = || Variant::Baseline.config(10, 16);
+    // Spark mode: parallel operators; model with 1 node × 24 cores
+    // (the paper's Fig 5.1 uses a single compute node for both systems).
+    let spark_engine = engine();
+    let (_, spark_measured) = timed(|| run_on(spark_engine.clone(), &t, cfg()));
+    let spark_stages = spark_engine.metrics().stages();
+    // Zero per-stage overhead on both sides: this figure isolates
+    // intra-node parallelism, and our runs have hundreds of micro-stages
+    // that a flat startup charge would swamp.
+    let spark_modeled = makespan(
+        &spark_stages,
+        &ClusterSpec {
+            executors: 1,
+            cores_per_executor: 24,
+            stage_startup_secs: 0.0,
+            ..ClusterSpec::paper_cluster()
+        },
+    );
+    // PostgreSQL mode: single worker, no intra-query parallelism and no
+    // job-scheduling overhead.
+    let pg_engine = Engine::new(EngineConfig::single_thread().with_partitions(PARTITIONS));
+    let (_, pg_measured) = timed(|| run_on(pg_engine.clone(), &t, cfg()));
+    let pg_stages = pg_engine.metrics().stages();
+    let pg_modeled = makespan(
+        &pg_stages,
+        &ClusterSpec {
+            executors: 1,
+            cores_per_executor: 1,
+            stage_startup_secs: 0.0,
+            ..ClusterSpec::paper_cluster()
+        },
+    );
+    rep.row(vec![
+        "Spark".into(),
+        secs(spark_measured),
+        secs(spark_modeled),
+        "1.0x".into(),
+    ]);
+    rep.row(vec![
+        "PostgreSQL".into(),
+        secs(pg_measured),
+        secs(pg_modeled),
+        speedup(pg_modeled, spark_modeled),
+    ]);
+    rep.finish();
+}
+
+/// Fig 5.2: Baseline SIRUM on Spark vs Hive (disk-materialized MapReduce).
+fn f5_2() {
+    let mut rep = FigureReport::new(
+        "f5_2_spark_vs_hive",
+        &["platform", "measured_s", "stages", "disk_write_mb", "slowdown"],
+    );
+    let t = workloads::tlc(30_000);
+    let cfg = || Variant::Baseline.config(10, 16);
+    let spark_engine = engine();
+    let (_, spark_s) = timed(|| run_on(spark_engine.clone(), &t, cfg()));
+    let spark_stages = spark_engine.metrics().stage_count();
+    let hive_engine = Engine::new(EngineConfig::disk_mr().with_partitions(PARTITIONS));
+    let (_, hive_s) = timed(|| run_on(hive_engine.clone(), &t, cfg()));
+    let c = hive_engine.metrics().counters();
+    rep.row(vec![
+        "Spark".into(),
+        secs(spark_s),
+        spark_stages.to_string(),
+        "0.0".into(),
+        "1.0x".into(),
+    ]);
+    rep.row(vec![
+        "Hive".into(),
+        secs(hive_s),
+        hive_engine.metrics().stage_count().to_string(),
+        format!("{:.1}", c.disk_bytes_written as f64 / (1024.0 * 1024.0)),
+        speedup(hive_s, spark_s),
+    ]);
+    rep.finish();
+}
+
+/// Figs 5.3/5.4: iterative-scaling time, Baseline vs RCT, vs k.
+fn f5_3() {
+    let mut rep = FigureReport::new(
+        "f5_3_f5_4_rct",
+        &["dataset", "k", "baseline_s", "rct_s", "speedup"],
+    );
+    for (name, t, s) in [
+        ("GDELT", workloads::gdelt(), 64usize),
+        ("SUSY", workloads::susy(), 16),
+    ] {
+        for k in [5usize, 10] {
+            let base = run(&t, Variant::Baseline.config(k, s));
+            let rct = run(&t, Variant::Rct.config(k, s));
+            rep.row(vec![
+                name.into(),
+                k.to_string(),
+                secs(base.timings.iterative_scaling),
+                secs(rct.timings.iterative_scaling),
+                speedup(base.timings.iterative_scaling, rct.timings.iterative_scaling),
+            ]);
+        }
+    }
+    rep.finish();
+}
+
+/// Fig 5.5: rule-generation time, Baseline vs FastPruning, vs |s| (GDELT,
+/// k = 20).
+fn f5_5() {
+    let mut rep = FigureReport::new(
+        "f5_5_fast_pruning",
+        &["|s|", "baseline_s", "fastpruning_s", "speedup"],
+    );
+    let t = workloads::gdelt();
+    for s in [64usize, 128, 256] {
+        let base = run(&t, Variant::Baseline.config(5, s));
+        let fast = run(&t, Variant::FastPruning.config(5, s));
+        rep.row(vec![
+            s.to_string(),
+            secs(base.timings.rule_generation()),
+            secs(fast.timings.rule_generation()),
+            speedup(base.timings.rule_generation(), fast.timings.rule_generation()),
+        ]);
+    }
+    rep.finish();
+}
+
+/// Fig 5.6: rule-generation time, Baseline vs FastAncestor, vs |s| (SUSY,
+/// k = 20).
+fn f5_6() {
+    let mut rep = FigureReport::new(
+        "f5_6_fast_ancestor",
+        &["|s|", "baseline_s", "fastancestor_s", "speedup"],
+    );
+    let t = workloads::susy();
+    for s in [8usize, 16, 32] {
+        let base = run(&t, Variant::Baseline.config(5, s));
+        let fast = run(&t, Variant::FastAncestor.config(5, s));
+        rep.row(vec![
+            s.to_string(),
+            secs(base.timings.rule_generation()),
+            secs(fast.timings.rule_generation()),
+            speedup(base.timings.rule_generation(), fast.timings.rule_generation()),
+        ]);
+    }
+    rep.finish();
+}
+
+/// Figs 5.7/5.8: rule-generation time and #ancestors emitted vs number of
+/// dimensions (SUSY projections, k = 10, |s| = 64).
+fn f5_7() {
+    let mut rep = FigureReport::new(
+        "f5_7_f5_8_dims",
+        &[
+            "dims",
+            "baseline_s",
+            "fastancestor_s",
+            "baseline_ancestors",
+            "fastancestor_ancestors",
+        ],
+    );
+    let susy = workloads::susy();
+    for d in [10usize, 12, 14, 16, 18] {
+        let t = susy.project(d);
+        let base = run(&t, Variant::Baseline.config(5, 16));
+        let fast = run(&t, Variant::FastAncestor.config(5, 16));
+        rep.row(vec![
+            d.to_string(),
+            secs(base.timings.rule_generation()),
+            secs(fast.timings.rule_generation()),
+            base.ancestors_emitted.to_string(),
+            fast.ancestors_emitted.to_string(),
+        ]);
+    }
+    rep.finish();
+}
+
+/// Figs 5.9/5.10: multi-rule insertion (l = 2, 3 and their `*` variants).
+fn f5_9() {
+    let mut rep = FigureReport::new(
+        "f5_9_f5_10_multirule",
+        &["dataset", "k", "variant", "rule_gen_s", "rules_mined", "final_kl"],
+    );
+    for (name, t, s, ks) in [
+        ("GDELT", workloads::gdelt(), 64usize, vec![5usize, 10]),
+        ("SUSY", workloads::susy(), 16, vec![5]),
+    ] {
+        for k in ks {
+            let base = run(&t, Variant::Baseline.config(k, s));
+            let target = base.final_kl();
+            rep.row(vec![
+                name.into(),
+                k.to_string(),
+                "Baseline".into(),
+                secs(base.timings.rule_generation()),
+                (base.rules.len() - 1).to_string(),
+                format!("{:.5}", base.final_kl()),
+            ]);
+            for l in [2usize, 3] {
+                let cfg = SirumConfig {
+                    multirule: MultiRuleConfig::l_rules(l),
+                    ..Variant::Baseline.config(k, s)
+                };
+                let r = run(&t, cfg);
+                rep.row(vec![
+                    name.into(),
+                    k.to_string(),
+                    format!("{l}-rule"),
+                    secs(r.timings.rule_generation()),
+                    (r.rules.len() - 1).to_string(),
+                    format!("{:.5}", r.final_kl()),
+                ]);
+                // The `*` variant mines until it matches Baseline's KL.
+                let cfg_star = SirumConfig {
+                    multirule: MultiRuleConfig::l_rules(l),
+                    target_kl: Some(target),
+                    max_rules: Some((2 * k).min(60)),
+                    ..Variant::Baseline.config(k, s)
+                };
+                let r = run(&t, cfg_star);
+                rep.row(vec![
+                    name.into(),
+                    k.to_string(),
+                    format!("{l}-rule*"),
+                    secs(r.timings.rule_generation()),
+                    (r.rules.len() - 1).to_string(),
+                    format!("{:.5}", r.final_kl()),
+                ]);
+            }
+        }
+    }
+    rep.finish();
+}
+
+/// Fig 5.11: Naive vs Baseline vs Optimized (and Optimized*) on growing
+/// TLC samples (k = 20, |s| = 64).
+fn f5_11() {
+    let mut rep = FigureReport::new(
+        "f5_11_tlc_variants",
+        &["rows", "variant", "total_s", "rules", "final_kl"],
+    );
+    for rows in [10_000usize, 30_000, 60_000] {
+        let t = workloads::tlc(rows);
+        let base = run(&t, Variant::Baseline.config(10, 64));
+        let target = base.final_kl();
+        let naive = run(&t, Variant::Naive.config(10, 64));
+        let optimized = run(&t, Variant::Optimized.config(10, 64));
+        let opt_star = run(
+            &t,
+            SirumConfig {
+                target_kl: Some(target),
+                max_rules: Some(20),
+                ..Variant::Optimized.config(10, 64)
+            },
+        );
+        for (name, r) in [
+            ("Naive", &naive),
+            ("Baseline", &base),
+            ("Optimized", &optimized),
+            ("Optimized*", &opt_star),
+        ] {
+            rep.row(vec![
+                rows.to_string(),
+                name.into(),
+                secs(r.timings.total),
+                (r.rules.len() - 1).to_string(),
+                format!("{:.5}", r.final_kl()),
+            ]);
+        }
+    }
+    rep.finish();
+}
+
+/// Figs 5.12/5.13: Baseline vs Optimized (and Optimized*) vs k.
+fn f5_12() {
+    let mut rep = FigureReport::new(
+        "f5_12_f5_13_vs_k",
+        &["dataset", "k", "baseline_s", "optimized_s", "optimized*_s", "speedup"],
+    );
+    for (name, t, s, ks) in [
+        ("GDELT", workloads::gdelt(), 64usize, vec![5usize, 10, 20]),
+        ("SUSY", workloads::susy(), 16, vec![5]),
+    ] {
+        for k in ks {
+            let base = run(&t, Variant::Baseline.config(k, s));
+            let opt = run(&t, Variant::Optimized.config(k, s));
+            let opt_star = run(
+                &t,
+                SirumConfig {
+                    target_kl: Some(base.final_kl()),
+                    max_rules: Some((2 * k).min(60)),
+                    ..Variant::Optimized.config(k, s)
+                },
+            );
+            rep.row(vec![
+                name.into(),
+                k.to_string(),
+                secs(base.timings.total),
+                secs(opt.timings.total),
+                secs(opt_star.timings.total),
+                speedup(base.timings.total, opt.timings.total),
+            ]);
+        }
+    }
+    rep.finish();
+}
+
+/// Fig 5.14: performance improvement (%) of Optimized over Baseline vs |s|.
+fn f5_14() {
+    let mut rep = FigureReport::new(
+        "f5_14_improvement_vs_s",
+        &["dataset", "|s|", "baseline_s", "optimized_s", "improvement_%"],
+    );
+    for (name, t, sweep) in [
+        ("Income", workloads::income(), [64usize, 128, 256]),
+        ("SUSY", workloads::susy(), [8, 16, 32]),
+    ] {
+        for s in sweep {
+            let base = run(&t, Variant::Baseline.config(5, s));
+            let opt = run(&t, Variant::Optimized.config(5, s));
+            let imp = 100.0 * (base.timings.total - opt.timings.total) / base.timings.total;
+            rep.row(vec![
+                name.into(),
+                s.to_string(),
+                secs(base.timings.total),
+                secs(opt.timings.total),
+                format!("{imp:.0}"),
+            ]);
+        }
+    }
+    rep.finish();
+}
+
+/// Fig 5.15: data-cube exploration — Sarawagi [29] baseline vs SIRUM
+/// (k = 10, GDELT-like, exhaustive candidates).
+fn f5_15() {
+    let mut rep = FigureReport::new(
+        "f5_15_cube_exploration",
+        &["system", "rule_gen_s", "iter_scaling_s", "total_s", "scaling_iters"],
+    );
+    // FullCube enumerates 2^d ancestors per tuple; keep the table smaller.
+    let t = sirum_bench::table::generators::gdelt_like(3_000, workloads::SEED);
+    let e = engine();
+    let (sar, _) = timed(|| {
+        sarawagi_explore(
+            &e,
+            &t,
+            &SarawagiConfig {
+                k: 5,
+                ..Default::default()
+            },
+        )
+    });
+    let e2 = engine();
+    let (opt, _) = timed(|| {
+        explore(
+            &e2,
+            &t,
+            SirumConfig {
+                k: 5,
+                rct: true,
+                column_groups: 2,
+                multirule: MultiRuleConfig::l_rules(2),
+                ..SirumConfig::default()
+            },
+        )
+    });
+    let e3 = engine();
+    let (opt_star, _) = timed(|| {
+        explore(
+            &e3,
+            &t,
+            SirumConfig {
+                k: 5,
+                rct: true,
+                column_groups: 2,
+                multirule: MultiRuleConfig::l_rules(2),
+                target_kl: Some(sar.result.final_kl()),
+                max_rules: Some(15),
+                ..SirumConfig::default()
+            },
+        )
+    });
+    for (name, r) in [
+        ("Baseline[29]", &sar.result),
+        ("Optimized", &opt.result),
+        ("Optimized*", &opt_star.result),
+    ] {
+        rep.row(vec![
+            name.into(),
+            secs(r.timings.rule_generation()),
+            secs(r.timings.iterative_scaling),
+            secs(r.timings.total),
+            r.scaling_iterations.iter().sum::<usize>().to_string(),
+        ]);
+    }
+    rep.finish();
+}
+
+/// Fig 5.16: strong scaling — fixed data, 2→16 modeled executors.
+fn f5_16() {
+    let mut rep = FigureReport::new(
+        "f5_16_strong_scaling",
+        &["dataset", "executors", "modeled_s", "speedup_vs_2"],
+    );
+    for (name, rows) in [("TLC_small", 10_000usize), ("TLC_large", 60_000)] {
+        let t = workloads::tlc(rows);
+        let e = Engine::new(EngineConfig::in_memory().with_partitions(96));
+        let _ = run_on(e.clone(), &t, Variant::Optimized.config(10, 64));
+        let stages = e.metrics().stages();
+        let t2 = modeled(&stages, 2);
+        for execs in [2usize, 4, 8, 16] {
+            let m = modeled(&stages, execs);
+            rep.row(vec![
+                name.into(),
+                execs.to_string(),
+                secs(m),
+                speedup(t2, m),
+            ]);
+        }
+    }
+    rep.finish();
+}
+
+/// Fig 5.17: weak scaling — data grows with the modeled executor count.
+fn f5_17() {
+    let mut rep = FigureReport::new(
+        "f5_17_weak_scaling",
+        &["executors", "rows", "modeled_s", "ideal_s"],
+    );
+    let mut ideal = None;
+    for (execs, rows) in [(4usize, 20_000usize), (8, 40_000), (16, 80_000)] {
+        let t = workloads::tlc(rows);
+        let e = Engine::new(EngineConfig::in_memory().with_partitions(96));
+        let _ = run_on(e.clone(), &t, Variant::Optimized.config(10, 64));
+        let stages = e.metrics().stages();
+        // §5.7.2 observes stragglers breaking the flat line; model one
+        // slow node at 15%.
+        let m = makespan(
+            &stages,
+            &ClusterSpec::paper_cluster()
+                .with_executors(execs)
+                .with_straggler(1.15),
+        );
+        let ideal_s = *ideal.get_or_insert(m);
+        rep.row(vec![
+            execs.to_string(),
+            rows.to_string(),
+            secs(m),
+            secs(ideal_s),
+        ]);
+    }
+    rep.finish();
+}
+
+/// Figs 5.18/5.19: execution time and information gain vs sampling rate.
+fn f5_18() {
+    let mut rep = FigureReport::new(
+        "f5_18_f5_19_sampling",
+        &["dataset", "rate_%", "rows", "time_s", "info_gain"],
+    );
+    for (name, t) in [
+        ("TLC", workloads::tlc(80_000)),
+        ("SUSY", workloads::susy()),
+    ] {
+        for rate in [1.0f64, 0.1, 0.01, 0.001] {
+            let e = engine();
+            let cfg = SirumConfig {
+                k: 5,
+                strategy: CandidateStrategy::SampleLca { sample_size: 16 },
+                ..SirumConfig::default()
+            };
+            let (out, elapsed) = timed(|| mine_on_sample(&e, &t, rate, cfg));
+            rep.row(vec![
+                name.into(),
+                format!("{:.1}", rate * 100.0),
+                out.rows_used.to_string(),
+                secs(elapsed),
+                format!("{:.5}", out.eval.information_gain),
+            ]);
+        }
+    }
+    rep.finish();
+}
+
+/// Table 1.2: the flight-delay worked example.
+fn t1_2() {
+    let mut rep = FigureReport::new(
+        "t1_2_flight_rules",
+        &["rule_id", "rule", "avg_late", "count"],
+    );
+    let t = sirum_bench::table::generators::flights();
+    let r = run(
+        &t,
+        SirumConfig {
+            k: 3,
+            strategy: CandidateStrategy::SampleLca { sample_size: 14 },
+            ..SirumConfig::default()
+        },
+    );
+    for (i, rule) in r.rules.iter().enumerate() {
+        rep.row(vec![
+            (i + 1).to_string(),
+            rule.rule.display(&t),
+            format!("{:.1}", rule.avg_measure),
+            rule.count.to_string(),
+        ]);
+    }
+    rep.finish();
+}
+
+fn main() {
+    let all: Vec<(&str, fn())> = vec![
+        ("t1_2", t1_2 as fn()),
+        ("f3_1", f3_1),
+        ("f3_2", f3_2),
+        ("f4_3", f4_3),
+        ("f4_4", f4_4),
+        ("f5_1", f5_1),
+        ("f5_2", f5_2),
+        ("f5_3", f5_3),
+        ("f5_5", f5_5),
+        ("f5_6", f5_6),
+        ("f5_7", f5_7),
+        ("f5_9", f5_9),
+        ("f5_11", f5_11),
+        ("f5_12", f5_12),
+        ("f5_14", f5_14),
+        ("f5_15", f5_15),
+        ("f5_16", f5_16),
+        ("f5_17", f5_17),
+        ("f5_18", f5_18),
+    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&(&str, fn())> = if args.is_empty() {
+        all.iter().collect()
+    } else {
+        all.iter()
+            .filter(|(name, _)| args.iter().any(|a| a == name))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!(
+            "unknown experiment(s) {:?}; available: {:?}",
+            args,
+            all.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+        );
+        std::process::exit(1);
+    }
+    println!("SIRUM figure harness — {} experiment(s)", selected.len());
+    for (name, f) in selected {
+        let (_, elapsed) = timed(f);
+        println!("[{name}] done in {elapsed:.1}s");
+    }
+    println!("\nTSV output written to target/figures/");
+}

@@ -1,0 +1,380 @@
+//! Candidate rule generation: exhaustive cube enumeration (the MIR
+//! reference), sample-based candidate pruning via LCAs (§3.1.1), and the
+//! inverted-index fast pruning of §4.2.
+
+use crate::lattice::ancestors;
+use crate::rule::{Rule, WILDCARD};
+use sirum_dataflow::hash::FxHashMap;
+use sirum_table::Table;
+
+/// Aggregates carried per candidate rule through the data-cube pipeline:
+/// `(Σ t[m], Σ t[mhat], contributing pair count)`.
+pub type Agg = (f64, f64, u64);
+
+/// Merge two aggregates (the shuffle combiner).
+#[inline]
+pub fn merge_agg(a: &mut Agg, b: Agg) {
+    a.0 += b.0;
+    a.1 += b.1;
+    a.2 += b.2;
+}
+
+/// Exhaustive candidate aggregation: every tuple contributes `(m, mhat, 1)`
+/// to all `2^d` elements of its cube lattice. This enumerates exactly the
+/// rules with non-empty support — rules with empty support have zero gain
+/// (Eq 2.2) and can never be selected, so this is equivalent to exhaustive
+/// candidate exploration for selection purposes.
+///
+/// Used as the ground truth against which sample-based pruning is tested,
+/// and as the candidate strategy for data-cube exploration (§5.6.2, which
+/// does not use pruning).
+pub fn exhaustive_candidates(table: &Table, mhat: &[f64]) -> FxHashMap<Rule, Agg> {
+    assert_eq!(mhat.len(), table.num_rows());
+    let mut out: FxHashMap<Rule, Agg> = FxHashMap::default();
+    for (i, row) in table.rows().enumerate() {
+        let base = Rule::from_tuple(row);
+        for anc in ancestors(&base) {
+            let agg = out.entry(anc).or_insert((0.0, 0.0, 0));
+            agg.0 += table.measure(i);
+            agg.1 += mhat[i];
+            agg.2 += 1;
+        }
+    }
+    out
+}
+
+/// The set of LCAs of every (sample tuple, data tuple) pair, with their
+/// pair-level aggregates (the first stage of sample-based pruning).
+/// `measures` must be the transformed measure column.
+pub fn lca_aggregates(
+    table: &Table,
+    measures: &[f64],
+    mhat: &[f64],
+    sample: &[Box<[u32]>],
+) -> FxHashMap<Rule, Agg> {
+    let mut out: FxHashMap<Rule, Agg> = FxHashMap::default();
+    for (i, row) in table.rows().enumerate() {
+        for s in sample {
+            let lca = Rule::lca(s, row);
+            let agg = out.entry(lca).or_insert((0.0, 0.0, 0));
+            agg.0 += measures[i];
+            agg.1 += mhat[i];
+            agg.2 += 1;
+        }
+    }
+    out
+}
+
+/// Inverted index over the sample `s` (§4.2): for each dimension attribute,
+/// a map from value code to the sample rows carrying it. Lets a mapper
+/// compute all `|s|` LCAs of a tuple with index lookups instead of
+/// attribute-by-attribute comparison.
+pub struct SampleIndex {
+    rows: Vec<Box<[u32]>>,
+    cols: Vec<FxHashMap<u32, Vec<u32>>>,
+    /// Posting lists as bitsets over sample rows (`MASK_WORDS × 64` rows
+    /// max), for O(#constants) match counting.
+    mask_cols: Vec<FxHashMap<u32, SampleMask>>,
+    full_mask: SampleMask,
+    d: usize,
+}
+
+/// Fixed-width bitset over sample rows (up to 256 — well beyond the
+/// paper's largest |s|).
+type SampleMask = [u64; 4];
+
+/// Maximum sample size the index supports.
+pub const MAX_SAMPLE: usize = 256;
+
+#[inline]
+fn mask_set(mask: &mut SampleMask, i: usize) {
+    mask[i / 64] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn mask_and(a: &mut SampleMask, b: &SampleMask) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x &= y;
+    }
+}
+
+#[inline]
+fn mask_count(mask: &SampleMask) -> u64 {
+    mask.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+impl SampleIndex {
+    /// Build the index (one pass over the sample).
+    ///
+    /// # Panics
+    /// Panics if the sample exceeds [`MAX_SAMPLE`] rows.
+    pub fn build(rows: Vec<Box<[u32]>>, d: usize) -> SampleIndex {
+        assert!(rows.len() <= MAX_SAMPLE, "sample too large for the index");
+        let mut cols: Vec<FxHashMap<u32, Vec<u32>>> = (0..d).map(|_| FxHashMap::default()).collect();
+        let mut mask_cols: Vec<FxHashMap<u32, SampleMask>> =
+            (0..d).map(|_| FxHashMap::default()).collect();
+        let mut full_mask = [0u64; 4];
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), d);
+            mask_set(&mut full_mask, i);
+            for (col, &v) in row.iter().enumerate() {
+                cols[col].entry(v).or_default().push(i as u32);
+                mask_set(mask_cols[col].entry(v).or_insert([0u64; 4]), i);
+            }
+        }
+        SampleIndex {
+            rows,
+            cols,
+            mask_cols,
+            full_mask,
+            d,
+        }
+    }
+
+    /// Sample size `|s|`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The sample rows.
+    pub fn rows(&self) -> &[Box<[u32]>] {
+        &self.rows
+    }
+
+    /// Approximate serialized size (for broadcast accounting).
+    pub fn bytes_hint(&self) -> u64 {
+        (self.rows.len() * self.d * 8) as u64
+    }
+
+    /// Compute the `|s|` LCAs of `tuple` with one index probe per attribute:
+    /// initialize every LCA to all-wildcards, then overwrite position `col`
+    /// with the constant for exactly the sample rows whose value matches
+    /// (§4.2's optimization — fewer than `d` comparisons per LCA when
+    /// values usually differ).
+    ///
+    /// `scratch` is reused across calls to avoid reallocation; it is resized
+    /// to `|s|` rows of `d` values. Returns the scratch buffer content as
+    /// `&[u32]` chunks of length `d`, one per sample row (in sample order).
+    pub fn lcas_into<'a>(&self, tuple: &[u32], scratch: &'a mut Vec<u32>) -> &'a [u32] {
+        debug_assert_eq!(tuple.len(), self.d);
+        scratch.clear();
+        scratch.resize(self.rows.len() * self.d, WILDCARD);
+        for (col, &v) in tuple.iter().enumerate() {
+            if let Some(hits) = self.cols[col].get(&v) {
+                for &row in hits {
+                    scratch[row as usize * self.d + col] = v;
+                }
+            }
+        }
+        scratch
+    }
+
+    /// Number of sample tuples matching `rule` (the aggregate-adjustment
+    /// divisor of §3.1.1): an intersection of the per-constant posting
+    /// bitsets — O(#constants) instead of a scan of the sample.
+    pub fn match_count(&self, rule: &Rule) -> u64 {
+        let mut mask = self.full_mask;
+        for (col, &v) in rule.values().iter().enumerate() {
+            if v == WILDCARD {
+                continue;
+            }
+            match self.mask_cols[col].get(&v) {
+                Some(bits) => mask_and(&mut mask, bits),
+                None => return 0,
+            }
+        }
+        mask_count(&mask)
+    }
+}
+
+/// Adjust candidate aggregates for sample multiplicity (§3.1.1): a data
+/// tuple contributed once per matching sample tuple, so divide every
+/// aggregate by the candidate's sample match count. Returns candidates with
+/// exact `(Σ m, Σ mhat, |S_D(r)|)` over their true support sets.
+///
+/// # Panics
+/// Panics if a candidate matches no sample tuple — impossible for rules
+/// generated from LCAs (every ancestor of `lca(s, t)` covers `s`).
+pub fn adjust_for_sample<I: IntoIterator<Item = (Rule, Agg)>>(
+    candidates: I,
+    index: &SampleIndex,
+) -> Vec<(Rule, f64, f64, u64)> {
+    let mut out = Vec::new();
+    for (rule, (sum_m, sum_mhat, pairs)) in candidates {
+        let c = index.match_count(&rule);
+        assert!(c > 0, "candidate {rule:?} matches no sample tuple");
+        debug_assert_eq!(pairs % c, 0, "pair multiplicity must be uniform");
+        out.push((rule, sum_m / c as f64, sum_mhat / c as f64, pairs / c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::ancestors as all_ancestors;
+    use sirum_table::generators::flights;
+
+    fn sample_rows(table: &Table, idx: &[usize]) -> Vec<Box<[u32]>> {
+        idx.iter()
+            .map(|&i| table.row(i).to_vec().into_boxed_slice())
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_candidate_set() {
+        // §3.1.1: sampling t4=(Sun,Chicago,London) and t9=(Thu,SF,Frankfurt)
+        // yields 15 candidate rules vs 73 possible rules.
+        let t = flights();
+        let sample = sample_rows(&t, &[3, 8]);
+        let lcas = lca_aggregates(&t, t.measures(), &vec![1.0; 14], &sample);
+        let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
+        for (rule, agg) in &lcas {
+            for anc in all_ancestors(rule) {
+                merge_agg(cands.entry(anc).or_insert((0.0, 0.0, 0)), *agg);
+            }
+        }
+        assert_eq!(cands.len(), 15, "paper counts 15 candidates");
+        // The paper compares against "73 possible rules"; the exact count
+        // of distinct supported cube-lattice elements of Table 1.1 is 74
+        // (an off-by-one in the thesis text). Either way the pruning cuts
+        // the candidate space by ~5×.
+        let supported = exhaustive_candidates(&t, &vec![1.0; 14]).len();
+        assert_eq!(supported, 74);
+        // The 9 LCAs listed in the thesis text:
+        let named = [
+            "(*, *, *)",
+            "(*, *, London)",
+            "(*, *, Frankfurt)",
+            "(*, Chicago, *)",
+            "(*, SF, *)",
+            "(Sun, *, *)",
+            "(*, SF, Frankfurt)",
+            "(Sun, Chicago, London)",
+            "(Thu, SF, Frankfurt)",
+        ];
+        assert_eq!(lcas.len(), 9);
+        for n in named {
+            assert!(
+                lcas.keys().any(|r| r.display(&t) == n),
+                "missing LCA {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_adjustment_recovers_exact_sums() {
+        // After dividing by sample multiplicity, candidate aggregates equal
+        // the exact sums over their support sets.
+        let t = flights();
+        let sample = sample_rows(&t, &[3, 8, 0]);
+        let index = SampleIndex::build(sample.clone(), 3);
+        let mhat = vec![1.5; 14];
+        let lcas = lca_aggregates(&t, t.measures(), &mhat, &sample);
+        let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
+        for (rule, agg) in &lcas {
+            for anc in all_ancestors(rule) {
+                merge_agg(cands.entry(anc).or_insert((0.0, 0.0, 0)), *agg);
+            }
+        }
+        let adjusted = adjust_for_sample(cands, &index);
+        for (rule, sum_m, sum_mhat, count) in adjusted {
+            let mut exp = (0.0, 0.0, 0u64);
+            for (i, row) in t.rows().enumerate() {
+                if rule.matches(row) {
+                    exp.0 += t.measure(i);
+                    exp.1 += mhat[i];
+                    exp.2 += 1;
+                }
+            }
+            assert!((sum_m - exp.0).abs() < 1e-9, "{rule:?}");
+            assert!((sum_mhat - exp.1).abs() < 1e-9, "{rule:?}");
+            assert_eq!(count, exp.2, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn candidates_are_subset_of_exhaustive() {
+        let t = flights();
+        let mhat = vec![1.0; 14];
+        let exhaustive = exhaustive_candidates(&t, &mhat);
+        let sample = sample_rows(&t, &[0, 5]);
+        let index = SampleIndex::build(sample.clone(), 3);
+        let lcas = lca_aggregates(&t, t.measures(), &mhat, &sample);
+        let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
+        for (rule, agg) in &lcas {
+            for anc in all_ancestors(rule) {
+                merge_agg(cands.entry(anc).or_insert((0.0, 0.0, 0)), *agg);
+            }
+        }
+        let adjusted = adjust_for_sample(cands, &index);
+        for (rule, sum_m, _mh, count) in adjusted {
+            let (em, _emh, ec) = exhaustive[&rule];
+            assert!((sum_m - em).abs() < 1e-9);
+            assert_eq!(count, ec);
+        }
+    }
+
+    #[test]
+    fn exhaustive_includes_every_supported_rule() {
+        let t = flights();
+        let cands = exhaustive_candidates(&t, &vec![1.0; 14]);
+        // (*,*,London) supported by 4 tuples with Σm = 61.
+        let london = t.dict(2).code("London").unwrap();
+        let rule = Rule::from_values(vec![WILDCARD, WILDCARD, london]);
+        let (sum_m, _mh, count) = cands[&rule];
+        assert_eq!(count, 4);
+        assert!((sum_m - 61.0).abs() < 1e-9);
+        // The all-wildcards rule aggregates everything.
+        let (tot, _mh, n) = cands[&Rule::all_wildcards(3)];
+        assert_eq!(n, 14);
+        assert!((tot - 145.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_lcas_match_naive_lcas() {
+        let t = flights();
+        let sample = sample_rows(&t, &[3, 8, 11]);
+        let index = SampleIndex::build(sample.clone(), 3);
+        let mut scratch = Vec::new();
+        for row in t.rows() {
+            let fast = index.lcas_into(row, &mut scratch).to_vec();
+            for (j, s) in sample.iter().enumerate() {
+                let naive = Rule::lca(s, row);
+                let via_index = &fast[j * 3..(j + 1) * 3];
+                assert_eq!(naive.values(), via_index);
+            }
+        }
+    }
+
+    #[test]
+    fn index_match_count() {
+        let t = flights();
+        let sample = sample_rows(&t, &[0, 1, 2, 3]);
+        let index = SampleIndex::build(sample, 3);
+        assert_eq!(index.match_count(&Rule::all_wildcards(3)), 4);
+        let fri = t.dict(0).code("Fri").unwrap();
+        let rule = Rule::from_values(vec![fri, WILDCARD, WILDCARD]);
+        assert_eq!(index.match_count(&rule), 2); // t1, t2 are Friday flights
+    }
+
+    #[test]
+    #[should_panic(expected = "matches no sample tuple")]
+    fn adjustment_rejects_unsupported_candidates() {
+        let t = flights();
+        let index = SampleIndex::build(sample_rows(&t, &[0]), 3);
+        let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
+        // A rule disjoint from the single sample tuple.
+        let mon = t.dict(0).code("Mon").unwrap();
+        cands.insert(
+            Rule::from_values(vec![mon, WILDCARD, WILDCARD]),
+            (1.0, 1.0, 1),
+        );
+        let _ = adjust_for_sample(cands, &index);
+    }
+}

@@ -1,0 +1,190 @@
+//! Information gain (Eq 2.2) and Kullback–Leibler divergence (§2.3):
+//! the scoring functions of informative rule mining.
+
+/// Information gain of a candidate rule (Eq 2.2):
+/// `gain(r) = Σ_{t⊨r} t[m] · log(Σ_{t⊨r} t[m] / Σ_{t⊨r} t[mhat])`.
+///
+/// Rules whose support-set measure is underestimated get positive gain;
+/// rules already in `R` get (numerically) zero gain because their sums are
+/// constrained equal. Empty or zero-mass supports score zero.
+#[inline]
+pub fn rule_gain(sum_m: f64, sum_mhat: f64) -> f64 {
+    if sum_m <= 0.0 || sum_mhat <= 0.0 {
+        return 0.0;
+    }
+    sum_m * (sum_m / sum_mhat).ln()
+}
+
+/// Two-sided gain variant (extension; see DESIGN.md): also rewards rules
+/// whose support is *over*estimated, symmetrizing Eq 2.2 the way the
+/// binary-measure formulation of El Gebaly et al. does. Not used by the
+/// paper's selection loop, but useful for data-cleansing style queries that
+/// look for unusually *low* measure regions.
+#[inline]
+pub fn rule_gain_two_sided(sum_m: f64, sum_mhat: f64) -> f64 {
+    if sum_m <= 0.0 || sum_mhat <= 0.0 {
+        return rule_gain(sum_m, sum_mhat).abs();
+    }
+    (sum_m * (sum_m / sum_mhat).ln()).abs()
+}
+
+/// KL divergence between the (normalized) true measure distribution and the
+/// (normalized) estimated distribution: `Σ p log(p/q)` with
+/// `p = m/Σm`, `q = mhat/Σmhat`. Tuples with `m = 0` contribute zero.
+///
+/// # Panics
+/// Panics if some tuple has `m > 0` but `mhat ≤ 0` (the maximum-entropy
+/// estimates are products of positive multipliers, so this is a logic error).
+pub fn kl_divergence(m: &[f64], mhat: &[f64]) -> f64 {
+    assert_eq!(m.len(), mhat.len());
+    let sum_m: f64 = m.iter().sum();
+    let sum_mhat: f64 = mhat.iter().sum();
+    assert!(sum_m > 0.0, "true distribution has no mass");
+    assert!(sum_mhat > 0.0, "estimated distribution has no mass");
+    let mut s1 = 0.0;
+    for (&mi, &qi) in m.iter().zip(mhat) {
+        if mi > 0.0 {
+            assert!(qi > 0.0, "mhat must be positive wherever m is");
+            s1 += mi * (mi / qi).ln();
+        }
+    }
+    kl_from_parts(s1, sum_m, sum_mhat)
+}
+
+/// Assemble KL divergence from one-pass aggregates:
+/// `s1 = Σ_{m>0} m·ln(m/mhat)`, `sum_m = Σ m`, `sum_mhat = Σ mhat`.
+///
+/// Derivation: with `p = m/M`, `q = mhat/Q`,
+/// `Σ p·ln(p/q) = s1/M + ln(Q/M)`.
+#[inline]
+pub fn kl_from_parts(s1: f64, sum_m: f64, sum_mhat: f64) -> f64 {
+    let kl = s1 / sum_m + (sum_mhat / sum_m).ln();
+    // Numerical noise can push a converged KL slightly negative.
+    kl.max(0.0)
+}
+
+/// Binary-measure KL divergence in the style of El Gebaly et al. [16]
+/// (§2.4, §5.6.1): treats each tuple's measure as a Bernoulli outcome with
+/// estimated success probability `mhat` (clamped to `(ε, 1-ε)`), and sums
+/// the per-tuple Bernoulli divergences.
+pub fn binary_kl(m: &[f64], mhat: &[f64]) -> f64 {
+    const EPS: f64 = 1e-9;
+    assert_eq!(m.len(), mhat.len());
+    let mut total = 0.0;
+    for (&mi, &qi) in m.iter().zip(mhat) {
+        debug_assert!(mi == 0.0 || mi == 1.0, "binary measure expected");
+        let q = qi.clamp(EPS, 1.0 - EPS);
+        total += if mi >= 0.5 {
+            (1.0 / q).ln()
+        } else {
+            (1.0 / (1.0 - q)).ln()
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_positive_iff_underestimated() {
+        assert!(rule_gain(10.0, 5.0) > 0.0);
+        assert!(rule_gain(5.0, 10.0) < 0.0);
+        assert_eq!(rule_gain(5.0, 5.0), 0.0);
+        assert_eq!(rule_gain(0.0, 5.0), 0.0);
+        assert_eq!(rule_gain(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn gain_grows_with_support_mass() {
+        // Same ratio, more mass → more gain (big supports matter more).
+        assert!(rule_gain(20.0, 10.0) > rule_gain(10.0, 5.0));
+    }
+
+    #[test]
+    fn two_sided_gain_rewards_both_directions() {
+        assert!(rule_gain_two_sided(5.0, 10.0) > 0.0);
+        assert!(rule_gain_two_sided(10.0, 5.0) > 0.0);
+        assert_eq!(
+            rule_gain_two_sided(10.0, 5.0),
+            rule_gain(10.0, 5.0),
+            "underestimated case equals the one-sided gain"
+        );
+        assert_eq!(rule_gain_two_sided(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let m = [1.0, 2.0, 3.0];
+        assert_eq!(kl_divergence(&m, &m), 0.0);
+        // Scaled estimates normalize away.
+        let scaled = [2.0, 4.0, 6.0];
+        assert!(kl_divergence(&m, &scaled) < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_when_different() {
+        let m = [1.0, 2.0, 3.0];
+        let q = [2.0, 2.0, 2.0];
+        let kl = kl_divergence(&m, &q);
+        assert!(kl > 0.0);
+    }
+
+    #[test]
+    fn kl_matches_textbook_formula() {
+        // p = (0.5, 0.5), q = (0.9, 0.1): KL = .5 ln(.5/.9) + .5 ln(.5/.1)
+        let m = [0.5, 0.5];
+        let q = [0.9, 0.1];
+        let expected = 0.5 * (0.5f64 / 0.9).ln() + 0.5 * (0.5f64 / 0.1).ln();
+        assert!((kl_divergence(&m, &q) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_from_parts_matches_slice_version() {
+        let m = [1.0f64, 0.0, 3.0, 2.0];
+        let q = [0.5f64, 1.0, 2.0, 2.5];
+        let s1: f64 = m
+            .iter()
+            .zip(&q)
+            .filter(|(&mi, _)| mi > 0.0)
+            .map(|(&mi, &qi)| mi * (mi / qi).ln())
+            .sum();
+        let a = kl_divergence(&m, &q);
+        let b = kl_from_parts(s1, m.iter().sum(), q.iter().sum());
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_ignores_zero_mass_tuples() {
+        let m = [0.0, 1.0];
+        let q = [5.0, 1.0];
+        // Only the second tuple carries p-mass; p=(0,1), q=(5/6,1/6).
+        let expected = (1.0f64 / (1.0 / 6.0)).ln();
+        assert!((kl_divergence(&m, &q) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_kl_zero_for_perfect_estimates() {
+        let m = [1.0, 0.0, 1.0];
+        let close = [1.0 - 1e-9, 1e-9, 1.0 - 1e-9];
+        assert!(binary_kl(&m, &close) < 1e-6);
+        let uniform = [0.5, 0.5, 0.5];
+        assert!(binary_kl(&m, &uniform) > 1.0);
+    }
+
+    #[test]
+    fn binary_kl_clamps_out_of_range_estimates() {
+        // Maximum-entropy products can exceed 1; must not produce NaN/inf.
+        let m = [1.0, 0.0];
+        let q = [1.7, -0.2];
+        let kl = binary_kl(&m, &q);
+        assert!(kl.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive wherever")]
+    fn kl_rejects_impossible_estimates() {
+        let _ = kl_divergence(&[1.0, 1.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! # sirum-core
+//!
+//! SIRUM — **S**calable **I**nformative **RU**le **M**ining — reproduced
+//! from Guoyao Feng's 2016 thesis. Given a multidimensional dataset with
+//! categorical dimension attributes and a numeric measure attribute, SIRUM
+//! greedily mines a small list of rules (value patterns with wildcards)
+//! that provide the most information about the measure's distribution under
+//! a maximum-entropy model scored by KL divergence.
+//!
+//! The crate implements the full pipeline on the [`sirum_dataflow`] engine:
+//!
+//! * rule / cube-lattice algebra ([`rule`], [`lattice`]),
+//! * maximum-entropy estimation via iterative scaling ([`scaling`]) and its
+//!   Rule-Coverage-Table acceleration ([`rct`], §4.1),
+//! * information gain and KL scoring ([`gain`]),
+//! * sample-based candidate pruning with an inverted-index fast path
+//!   ([`candidates`], §3.1.1/§4.2),
+//! * multi-stage ancestor generation (§4.3) and multi-rule insertion
+//!   ([`multirule`], §4.4),
+//! * the mining driver and the Table 4.2 variants ([`miner`], [`variants`]),
+//! * data-cube exploration ([`explore`]) and SIRUM-on-sample-data
+//!   ([`sample_data`]), and offline rule-set evaluation ([`evaluate`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sirum_core::{Miner, SirumConfig, CandidateStrategy};
+//! use sirum_dataflow::Engine;
+//! use sirum_table::generators;
+//!
+//! let engine = Engine::in_memory();
+//! let flights = generators::flights();
+//! let config = SirumConfig {
+//!     k: 3,
+//!     strategy: CandidateStrategy::SampleLca { sample_size: 14 },
+//!     ..SirumConfig::default()
+//! };
+//! let result = Miner::new(engine, config).mine(&flights);
+//! assert_eq!(result.rules.len(), 4); // (*,*,*) + 3 mined rules
+//! assert!(result.final_kl() < result.kl_trace[0]);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::must_use_candidate)]
+
+pub mod candidates;
+pub mod evaluate;
+pub mod explore;
+pub mod gain;
+pub mod lattice;
+pub mod miner;
+pub mod multirule;
+pub mod rct;
+pub mod rule;
+pub mod sample_data;
+pub mod scaling;
+pub mod streaming;
+pub mod transform;
+pub mod variants;
+
+pub use evaluate::{evaluate_rules, RuleSetEvaluation};
+pub use explore::{explore, ExploreResult};
+pub use miner::{CandidateStrategy, MinedRule, Miner, MiningResult, PhaseTimings, SirumConfig};
+pub use multirule::MultiRuleConfig;
+pub use rule::{Rule, WILDCARD};
+pub use sample_data::{mine_on_sample, SampleDataResult};
+pub use streaming::{StreamingConfig, StreamingMiner};
+pub use scaling::ScalingConfig;
+pub use variants::Variant;

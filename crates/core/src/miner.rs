@@ -1,0 +1,697 @@
+//! The SIRUM miner: the greedy informative-rule loop (Algorithm 2) executed
+//! on the dataflow engine, with every optimization of Chapter 4 behind a
+//! configuration switch so each variant of Table 4.2 can be instantiated.
+
+use crate::candidates::{adjust_for_sample, merge_agg, Agg, SampleIndex};
+use crate::gain::{kl_from_parts, rule_gain};
+use crate::lattice::{ancestors_restricted, column_groups};
+use crate::multirule::{select_rules, MultiRuleConfig, ScoredCandidate};
+use crate::rct::{iterative_scaling_rct, mhat_for_mask, Rct, RctGroup, MAX_RULES};
+use crate::rule::Rule;
+use crate::scaling::{relative_diff, ScalingConfig};
+use crate::transform::MeasureTransform;
+use sirum_dataflow::{Dataset, Engine, EngineMode};
+use sirum_table::Table;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A tuple flowing through the engine: `(dimension codes, transformed
+/// measure m′, current estimate m̂, rule-coverage bit array)`.
+pub type Tup = (Box<[u32]>, f64, f64, u64);
+
+/// How candidate rules are generated each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateStrategy {
+    /// Sample-based candidate pruning (§3.1.1): candidates are the LCAs of
+    /// `s × D` and their ancestors.
+    SampleLca {
+        /// Sample size `|s|` (paper default 64).
+        sample_size: usize,
+    },
+    /// Exhaustive cube enumeration over the tuples' lattices — every
+    /// supported rule is a candidate. Used by the data-cube-exploration
+    /// comparator (§5.6.2), which predates sample pruning.
+    FullCube,
+}
+
+/// Full configuration of a SIRUM run (one row of Table 4.2 plus the
+/// evaluation knobs).
+#[derive(Debug, Clone)]
+pub struct SirumConfig {
+    /// Number of rules to mine *in addition to* the all-wildcards rule.
+    pub k: usize,
+    /// Candidate generation strategy.
+    pub strategy: CandidateStrategy,
+    /// Iterative-scaling tolerance and iteration cap.
+    pub scaling: ScalingConfig,
+    /// Use broadcast (map-side) joins for `s ⋈ D` (§3.2). When false the
+    /// data set is re-shuffled before the join, as Naive SIRUM does.
+    pub broadcast_join: bool,
+    /// Use the Rule Coverage Table for iterative scaling (§4.1).
+    pub rct: bool,
+    /// Use the inverted sample index for LCA computation (§4.2).
+    pub fast_pruning: bool,
+    /// Number of column groups for multi-stage ancestor generation (§4.3);
+    /// 1 = single-stage (emit all ancestors at once).
+    pub column_groups: usize,
+    /// Multi-rule insertion policy (§4.4).
+    pub multirule: MultiRuleConfig,
+    /// Reset all multipliers to 1 whenever rules are inserted, re-deriving
+    /// the model from scratch — the strategy of Sarawagi [29] (§5.6.2).
+    pub reset_lambdas_on_insert: bool,
+    /// Keep mining past `k` rules until the KL divergence drops to this
+    /// target (the `l-rule*` mode of §5.5), subject to [`Self::max_rules`].
+    pub target_kl: Option<f64>,
+    /// Hard cap on mined rules when `target_kl` is set (default `4·k`).
+    pub max_rules: Option<usize>,
+    /// Seed for sampling and column-group shuffling.
+    pub seed: u64,
+}
+
+impl Default for SirumConfig {
+    /// Optimized SIRUM defaults (all Chapter-4 optimizations on, one rule
+    /// per iteration).
+    fn default() -> Self {
+        SirumConfig {
+            k: 10,
+            strategy: CandidateStrategy::SampleLca { sample_size: 64 },
+            scaling: ScalingConfig::default(),
+            broadcast_join: true,
+            rct: true,
+            fast_pruning: true,
+            column_groups: 2,
+            multirule: MultiRuleConfig::default(),
+            reset_lambdas_on_insert: false,
+            target_kl: None,
+            max_rules: None,
+            seed: 42,
+        }
+    }
+}
+
+/// One mined rule with its reporting aggregates (a row of Table 1.2).
+#[derive(Debug, Clone)]
+pub struct MinedRule {
+    /// The rule.
+    pub rule: Rule,
+    /// `AVG(m)` over the rule's support set, in the *original* measure scale.
+    pub avg_measure: f64,
+    /// `COUNT(*)` — support-set size.
+    pub count: u64,
+    /// Information gain at selection time (0 for the seed rules).
+    pub gain: f64,
+}
+
+/// Wall-clock breakdown of a mining run by pipeline step (the quantities
+/// profiled in Figs 3.1 and 3.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Candidate pruning: computing `LCA(s, D)` (or the tuple-rule stage).
+    pub candidate_pruning: f64,
+    /// Ancestor generation along the cube lattice.
+    pub ancestor_generation: f64,
+    /// Gain computation, sample adjustment and selection.
+    pub gain_computation: f64,
+    /// Iterative scaling (including BA/RCT maintenance and write-out).
+    pub iterative_scaling: f64,
+    /// Whole run.
+    pub total: f64,
+}
+
+impl PhaseTimings {
+    /// Total rule-generation time (the paper's "Rule Generation" bar).
+    pub fn rule_generation(&self) -> f64 {
+        self.candidate_pruning + self.ancestor_generation + self.gain_computation
+    }
+}
+
+/// Everything a mining run produces.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// Mined rules in insertion order, beginning with `(*, …, *)` (and any
+    /// prior-knowledge rules that seeded the run).
+    pub rules: Vec<MinedRule>,
+    /// KL divergence after the seed rules and after every mining iteration.
+    pub kl_trace: Vec<f64>,
+    /// Wall-clock phase breakdown.
+    pub timings: PhaseTimings,
+    /// Iterative-scaling λ-update counts, one entry per scaling run.
+    pub scaling_iterations: Vec<usize>,
+    /// Total candidate-rule key-value pairs emitted by ancestor-generation
+    /// mappers (the quantity of Fig 5.8).
+    pub ancestors_emitted: u64,
+    /// Number of rule-generation iterations executed.
+    pub iterations: usize,
+    /// Measure-transform shift applied before mining.
+    pub transform_shift: f64,
+}
+
+impl MiningResult {
+    /// Final KL divergence of the rule set.
+    pub fn final_kl(&self) -> f64 {
+        *self.kl_trace.last().expect("at least the seed KL")
+    }
+
+    /// Information gain as defined in §5.1: KL with only the all-wildcards
+    /// rule minus KL with the full rule set.
+    pub fn information_gain(&self) -> f64 {
+        self.kl_trace[0] - self.final_kl()
+    }
+
+    /// Render the rule list like Table 1.2.
+    pub fn render(&self, table: &Table) -> String {
+        let mut out = String::new();
+        out.push_str("Rule ID | Rule | AVG(m) | count\n");
+        for (i, r) in self.rules.iter().enumerate() {
+            out.push_str(&format!(
+                "{} | {} | {:.4} | {}\n",
+                i + 1,
+                r.rule.display(table),
+                r.avg_measure,
+                r.count
+            ));
+        }
+        out
+    }
+}
+
+/// The SIRUM mining driver, bound to a dataflow engine.
+pub struct Miner {
+    engine: Engine,
+    config: SirumConfig,
+}
+
+impl Miner {
+    /// Create a miner.
+    pub fn new(engine: Engine, config: SirumConfig) -> Self {
+        Miner { engine, config }
+    }
+
+    /// The miner's configuration.
+    pub fn config(&self) -> &SirumConfig {
+        &self.config
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mine `k` informative rules from `table` (Algorithm 2).
+    pub fn mine(&self, table: &Table) -> MiningResult {
+        self.mine_with_prior(table, &[])
+    }
+
+    /// Mine with prior-knowledge rules already in the model (the data-cube
+    /// exploration setting of §5.6.2 / Table 1.3): the seed rule set is
+    /// `{(*,…,*)} ∪ prior`, and `k` additional rules are mined.
+    pub fn mine_with_prior(&self, table: &Table, prior: &[Rule]) -> MiningResult {
+        let run_start = Instant::now();
+        let cfg = &self.config;
+        let d = table.num_dims();
+        let n = table.num_rows();
+        assert!(n > 0, "empty dataset");
+        let rule_budget = 1 + prior.len() + cfg.max_rules.unwrap_or(4 * cfg.k).max(cfg.k);
+        assert!(
+            rule_budget <= MAX_RULES,
+            "rule budget {rule_budget} exceeds the {MAX_RULES}-rule bit-array limit"
+        );
+
+        let (transform, m_prime) = MeasureTransform::fit(table.measures());
+        let mut timings = PhaseTimings::default();
+        let mut scaling_iterations = Vec::new();
+        let mut ancestors_emitted = 0u64;
+
+        // Distribute D as (dims, m′, m̂=1, BA=0) tuples and cache it.
+        let tuples: Vec<Tup> = (0..n)
+            .map(|i| {
+                (
+                    table.row(i).to_vec().into_boxed_slice(),
+                    m_prime[i],
+                    1.0,
+                    0u64,
+                )
+            })
+            .collect();
+        let mut data = self.cache_swap(None, self.engine.parallelize_default(tuples));
+
+        // Seed rule set: all-wildcards first (required by §2.2), then priors.
+        let mut rules: Vec<Rule> = Vec::with_capacity(rule_budget);
+        rules.push(Rule::all_wildcards(d));
+        rules.extend(prior.iter().cloned());
+        let mut lambdas = vec![1.0f64; rules.len()];
+        let (mut m_sums, counts) = self.rule_sums(&data, &rules);
+        let mut mined: Vec<MinedRule> = rules
+            .iter()
+            .zip(m_sums.iter().zip(&counts))
+            .map(|(rule, (&sum, &count))| MinedRule {
+                rule: rule.clone(),
+                avg_measure: transform.invert_avg(sum / count.max(1) as f64),
+                count,
+                gain: 0.0,
+            })
+            .collect();
+
+        // Fit the seed model.
+        let new_range = 0..rules.len();
+        data = self.run_scaling(
+            data,
+            &rules,
+            &m_sums,
+            &mut lambdas,
+            new_range,
+            &mut timings,
+            &mut scaling_iterations,
+        );
+        let mut kl_trace = vec![self.compute_kl(&data)];
+
+        // Draw the candidate-pruning sample once (§3.1.1) and build its
+        // inverted index (§4.2); the index is also what adjusts aggregates.
+        let index = match cfg.strategy {
+            CandidateStrategy::SampleLca { sample_size } => {
+                let rows: Vec<Box<[u32]>> = data
+                    .take_sample(sample_size, cfg.seed)
+                    .into_iter()
+                    .map(|(dims, _, _, _)| dims)
+                    .collect();
+                let idx = SampleIndex::build(rows, d);
+                let hint = idx.bytes_hint();
+                Some(self.engine.broadcast_sized(idx, hint))
+            }
+            CandidateStrategy::FullCube => None,
+        };
+
+        // Greedy loop (Algorithm 2).
+        let mut iterations = 0usize;
+        loop {
+            let mined_so_far = rules.len() - 1 - prior.len();
+            let done_k = mined_so_far >= cfg.k;
+            let done = match cfg.target_kl {
+                None => done_k,
+                Some(target) => {
+                    let cap = cfg.max_rules.unwrap_or(4 * cfg.k).max(cfg.k);
+                    (done_k && kl_trace.last().copied().unwrap_or(f64::MAX) <= target)
+                        || mined_so_far >= cap
+                }
+            };
+            if done {
+                break;
+            }
+
+            let remaining = match cfg.target_kl {
+                None => cfg.k - mined_so_far,
+                Some(_) => cfg.max_rules.unwrap_or(4 * cfg.k).max(cfg.k) - mined_so_far,
+            };
+            let (mut candidates, candidate_total) = self.generate_candidates(
+                &data,
+                index.as_deref(),
+                &rules,
+                &mut timings,
+                &mut ancestors_emitted,
+            );
+            let select_cfg = MultiRuleConfig {
+                rules_per_iter: cfg.multirule.rules_per_iter.min(remaining).max(1),
+                ..cfg.multirule
+            };
+            let t_sel = Instant::now();
+            let picked = select_rules(&mut candidates, &select_cfg, candidate_total as usize);
+            timings.gain_computation += t_sel.elapsed().as_secs_f64();
+            if picked.is_empty() {
+                break; // estimates already explain D: no positive-gain rule
+            }
+
+            let first_new = rules.len();
+            for c in &picked {
+                rules.push(c.rule.clone());
+                lambdas.push(1.0);
+                m_sums.push(c.sum_m);
+                mined.push(MinedRule {
+                    rule: c.rule.clone(),
+                    avg_measure: transform.invert_avg(c.sum_m / c.count.max(1) as f64),
+                    count: c.count,
+                    gain: c.gain,
+                });
+            }
+            data = self.run_scaling(
+                data,
+                &rules,
+                &m_sums,
+                &mut lambdas,
+                first_new..rules.len(),
+                &mut timings,
+                &mut scaling_iterations,
+            );
+            kl_trace.push(self.compute_kl(&data));
+            iterations += 1;
+        }
+
+        data.free();
+        timings.total = run_start.elapsed().as_secs_f64();
+        MiningResult {
+            rules: mined,
+            kl_trace,
+            timings,
+            scaling_iterations,
+            ancestors_emitted,
+            iterations,
+            transform_shift: transform.shift(),
+        }
+    }
+
+    /// Cache a freshly produced dataset (except in DiskMr mode, whose stage
+    /// outputs are already disk-materialized) and free its predecessor.
+    fn cache_swap(&self, old: Option<Dataset<Tup>>, new: Dataset<Tup>) -> Dataset<Tup> {
+        let cached = if self.engine.mode() == EngineMode::DiskMr {
+            new
+        } else {
+            let c = new.cache();
+            c
+        };
+        if let Some(old) = old {
+            old.free();
+        }
+        cached
+    }
+
+    /// `Σ_{t⊨r} m′` and support counts for a rule list, one pass over `D`.
+    fn rule_sums(&self, data: &Dataset<Tup>, rules: &[Rule]) -> (Vec<f64>, Vec<u64>) {
+        let acc = data.aggregate(
+            "rule-m-sums",
+            || (vec![0.0f64; rules.len()], vec![0u64; rules.len()]),
+            |(sums, counts), (dims, m, _mh, _mask)| {
+                for (j, rule) in rules.iter().enumerate() {
+                    if rule.matches(dims) {
+                        sums[j] += *m;
+                        counts[j] += 1;
+                    }
+                }
+            },
+            |(s1, c1), (s2, c2)| {
+                for (a, b) in s1.iter_mut().zip(s2) {
+                    *a += b;
+                }
+                for (a, b) in c1.iter_mut().zip(c2) {
+                    *a += b;
+                }
+            },
+        );
+        acc
+    }
+
+    /// One KL evaluation pass (Eq in §2.3, assembled from aggregates).
+    fn compute_kl(&self, data: &Dataset<Tup>) -> f64 {
+        let (s1, sum_m, sum_mhat) = data.aggregate(
+            "kl",
+            || (0.0f64, 0.0f64, 0.0f64),
+            |(s1, sm, smh), (_dims, m, mh, _mask)| {
+                if *m > 0.0 {
+                    *s1 += m * (m / mh).ln();
+                }
+                *sm += m;
+                *smh += mh;
+            },
+            |a, b| {
+                a.0 += b.0;
+                a.1 += b.1;
+                a.2 += b.2;
+            },
+        );
+        kl_from_parts(s1, sum_m, sum_mhat)
+    }
+
+    /// Run iterative scaling after appending rules `new` to the model,
+    /// returning the dataset with updated estimates (and bit arrays when
+    /// the RCT path is active).
+    #[allow(clippy::too_many_arguments)]
+    fn run_scaling(
+        &self,
+        mut data: Dataset<Tup>,
+        rules: &[Rule],
+        m_sums: &[f64],
+        lambdas: &mut Vec<f64>,
+        new: std::ops::Range<usize>,
+        timings: &mut PhaseTimings,
+        scaling_iterations: &mut Vec<usize>,
+    ) -> Dataset<Tup> {
+        let start = Instant::now();
+        let cfg = &self.config;
+
+        if cfg.reset_lambdas_on_insert {
+            // Sarawagi [29]: re-derive the whole model from scratch.
+            lambdas.iter_mut().for_each(|l| *l = 1.0);
+            let reset = data.map("reset-mhat", |(dims, m, _mh, mask)| {
+                (dims.clone(), *m, 1.0, *mask)
+            });
+            data = self.cache_swap(Some(data), reset);
+        }
+
+        if cfg.rct {
+            // Pass 1: update bit arrays for the newly added rules.
+            let new_rules: Vec<(usize, Rule)> =
+                new.clone().map(|i| (i, rules[i].clone())).collect();
+            let updated = data.map("update-ba", move |(dims, m, mh, mask)| {
+                let mut mask = *mask;
+                for (i, rule) in &new_rules {
+                    if rule.matches(dims) {
+                        mask |= 1u64 << i;
+                    }
+                }
+                (dims.clone(), *m, *mh, mask)
+            });
+            data = self.cache_swap(Some(data), updated);
+
+            // Pass 2: group by BA to build the RCT (small, driver-resident).
+            let partials = data.aggregate(
+                "build-rct",
+                Vec::<RctGroup>::new,
+                |groups, (_dims, m, mh, mask)| {
+                    match groups.iter_mut().find(|g| g.mask == *mask) {
+                        Some(g) => {
+                            g.count += 1;
+                            g.sum_m += m;
+                            g.sum_mhat += mh;
+                        }
+                        None => groups.push(RctGroup {
+                            mask: *mask,
+                            count: 1,
+                            sum_m: *m,
+                            sum_mhat: *mh,
+                        }),
+                    }
+                },
+                |a, b| a.extend(b),
+            );
+            let mut rct = Rct::from_partials(partials);
+
+            // Scaling runs entirely on the RCT.
+            let outcome =
+                iterative_scaling_rct(&mut rct, rules.len(), m_sums, lambdas, &cfg.scaling);
+            scaling_iterations.push(outcome.iterations);
+
+            // Pass 3: write the converged estimates back to D.
+            let ls = lambdas.clone();
+            let written = data.map("write-mhat", move |(dims, m, _mh, mask)| {
+                (dims.clone(), *m, mhat_for_mask(*mask, &ls), *mask)
+            });
+            data = self.cache_swap(Some(data), written);
+        } else {
+            // Algorithm 1 against the distributed dataset: every loop pays
+            // one sums pass and (if not converged) one update pass over D.
+            let mut iterations = 0usize;
+            loop {
+                let mhat_sums = data.aggregate(
+                    "scaling-sums",
+                    || vec![0.0f64; rules.len()],
+                    |sums, (dims, _m, mh, _mask)| {
+                        for (j, rule) in rules.iter().enumerate() {
+                            if rule.matches(dims) {
+                                sums[j] += *mh;
+                            }
+                        }
+                    },
+                    |a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                    },
+                );
+                let mut next = usize::MAX;
+                let mut worst = 0.0f64;
+                for i in 0..rules.len() {
+                    let diff = relative_diff(m_sums[i], mhat_sums[i]);
+                    if diff > worst {
+                        worst = diff;
+                        next = i;
+                    }
+                }
+                if next == usize::MAX
+                    || worst <= cfg.scaling.epsilon
+                    || iterations >= cfg.scaling.max_iterations
+                {
+                    break;
+                }
+                iterations += 1;
+                let factor = m_sums[next] / mhat_sums[next];
+                lambdas[next] *= factor;
+                let rule = rules[next].clone();
+                let updated = data.map("scale-mhat", move |(dims, m, mh, mask)| {
+                    let mh = if rule.matches(dims) { mh * factor } else { *mh };
+                    (dims.clone(), *m, mh, *mask)
+                });
+                data = self.cache_swap(Some(data), updated);
+            }
+            scaling_iterations.push(iterations);
+        }
+
+        timings.iterative_scaling += start.elapsed().as_secs_f64();
+        data
+    }
+
+    /// Candidate generation for one iteration: LCA join (or tuple stage),
+    /// staged ancestor generation, sample adjustment, gain scoring.
+    fn generate_candidates(
+        &self,
+        data: &Dataset<Tup>,
+        index: Option<&SampleIndex>,
+        rules: &[Rule],
+        timings: &mut PhaseTimings,
+        ancestors_emitted: &mut u64,
+    ) -> (Vec<ScoredCandidate>, u64) {
+        let cfg = &self.config;
+        let d = rules[0].arity();
+        let partitions = self.engine.config().partitions;
+
+        // ---- Candidate pruning: LCA(s, D) (§3.1.1 / §4.2) ----------------
+        let t0 = Instant::now();
+        let base = if cfg.broadcast_join {
+            data.clone()
+        } else {
+            // Naive SIRUM re-shuffles D for the join instead of broadcasting
+            // the small side (§3.2).
+            data.repartition(data.num_partitions())
+        };
+        let pairs: Dataset<(Rule, Agg)> = match index {
+            Some(idx) => {
+                if cfg.fast_pruning {
+                    let s = idx.len();
+                    base.map_partitions("lca-fast", move |_, rows| {
+                        let mut out = Vec::with_capacity(rows.len() * s);
+                        let mut scratch = Vec::new();
+                        for (dims, m, mh, _mask) in rows {
+                            let lcas = idx.lcas_into(dims, &mut scratch);
+                            for chunk in lcas.chunks_exact(d) {
+                                out.push((Rule::from_tuple(chunk), (*m, *mh, 1u64)));
+                            }
+                        }
+                        out
+                    })
+                } else {
+                    let s = idx.len();
+                    base.map_partitions("lca-naive", move |_, rows| {
+                        let mut out = Vec::with_capacity(rows.len() * s);
+                        for (dims, m, mh, _mask) in rows {
+                            for srow in idx.rows() {
+                                out.push((Rule::lca(srow, dims), (*m, *mh, 1u64)));
+                            }
+                        }
+                        out
+                    })
+                }
+            }
+            None => base.map("tuple-rule", |(dims, m, mh, _mask)| {
+                (Rule::from_tuple(dims), (*m, *mh, 1u64))
+            }),
+        };
+        let mut cand = pairs.reduce_by_key("lca-agg", partitions, merge_agg);
+        pairs.free();
+        if !cfg.broadcast_join {
+            base.free();
+        }
+        timings.candidate_pruning += t0.elapsed().as_secs_f64();
+
+        // ---- Ancestor generation (§3.1.1 single-stage / §4.3 grouped) ----
+        let t1 = Instant::now();
+        let stages_before = self.engine.metrics().stage_count();
+        let groups = column_groups(d, cfg.column_groups.max(1), cfg.seed);
+        for (gi, group) in groups.iter().enumerate() {
+            let group = group.clone();
+            let label = format!("ancestors-g{gi}");
+            let expanded: Dataset<(Rule, Agg)> =
+                cand.flat_map(&label, move |(rule, agg): &(Rule, Agg)| {
+                    let agg = *agg;
+                    ancestors_restricted(rule, &group)
+                        .into_iter()
+                        .map(move |a| (a, agg))
+                });
+            let reduced = expanded.reduce_by_key(&format!("anc-agg-g{gi}"), partitions, merge_agg);
+            expanded.free();
+            cand.free();
+            cand = reduced;
+        }
+        // Count emitted ancestor pairs (Fig 5.8) from the stage records.
+        for stage in self
+            .engine
+            .metrics()
+            .stages()
+            .iter()
+            .skip(stages_before)
+            .filter(|s| s.label.starts_with("ancestors-g"))
+        {
+            *ancestors_emitted += stage.records_out();
+        }
+        timings.ancestor_generation += t1.elapsed().as_secs_f64();
+
+        // ---- Sample adjustment + gain computation (§3.1.1, Eq 2.2) -------
+        // Each reducer keeps only its top candidates by gain: the selection
+        // step needs at most the global top 1% (multi-rule rank limit), so
+        // shipping every candidate to the driver — millions for wide
+        // datasets like SUSY — would only burn memory. The true candidate
+        // count still reaches the driver for the rank-limit denominator.
+        const TOP_PER_PARTITION: usize = 4096;
+        let t2 = Instant::now();
+        let scored_ds: Dataset<(Rule, f64, f64, u64)> =
+            cand.map_partitions("adjust+gain", move |_, items: &[(Rule, Agg)]| {
+                let mut scored: Vec<(Rule, f64, f64, u64)> = match index {
+                    Some(idx) => adjust_for_sample(items.iter().cloned(), idx)
+                        .into_iter()
+                        .map(|(rule, sm, smh, cnt)| (rule, rule_gain(sm, smh), sm, cnt))
+                        .collect(),
+                    None => items
+                        .iter()
+                        .map(|(rule, (sm, smh, cnt))| {
+                            (rule.clone(), rule_gain(*sm, *smh), *sm, *cnt)
+                        })
+                        .collect(),
+                };
+                if scored.len() > TOP_PER_PARTITION {
+                    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    scored.truncate(TOP_PER_PARTITION);
+                }
+                scored
+            });
+        // Total candidates = records entering the adjust+gain stage.
+        let candidate_total: u64 = self
+            .engine
+            .metrics()
+            .stages()
+            .last()
+            .map(|s| s.tasks.iter().map(|t| t.records_in).sum())
+            .unwrap_or(0);
+        let scored = scored_ds.collect();
+        scored_ds.free();
+        cand.free();
+        let existing: HashSet<&Rule> = rules.iter().collect();
+        let result: Vec<ScoredCandidate> = scored
+            .into_iter()
+            .filter(|(rule, _, _, _)| !existing.contains(rule))
+            .map(|(rule, gain, sum_m, count)| ScoredCandidate {
+                rule,
+                gain,
+                sum_m,
+                count,
+            })
+            .collect();
+        timings.gain_computation += t2.elapsed().as_secs_f64();
+        (result, candidate_total)
+    }
+}

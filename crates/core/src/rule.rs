@@ -1,0 +1,305 @@
+//! Rules: elements of the multidimensional space
+//! `(dom(A₁) ∪ {*}) × ⋯ × (dom(A_d) ∪ {*})` (§2.1 of the thesis), with the
+//! match / least-common-ancestor / disjointness relations SIRUM is built on.
+
+use sirum_dataflow::Encode;
+use sirum_table::Table;
+use std::fmt;
+
+/// Sentinel dimension code meaning "matches every value" (the paper's `*`).
+pub const WILDCARD: u32 = u32::MAX;
+
+/// A rule: one dictionary code or [`WILDCARD`] per dimension attribute.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rule {
+    values: Box<[u32]>,
+}
+
+impl Rule {
+    /// The all-wildcards rule `(*, …, *)` over `d` dimensions — always the
+    /// first rule SIRUM selects.
+    pub fn all_wildcards(d: usize) -> Rule {
+        assert!(d > 0);
+        Rule {
+            values: vec![WILDCARD; d].into_boxed_slice(),
+        }
+    }
+
+    /// Build a rule from explicit per-dimension codes.
+    pub fn from_values(values: Vec<u32>) -> Rule {
+        assert!(!values.is_empty());
+        Rule {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Treat a tuple's dimension codes as the (bottom-of-lattice) rule that
+    /// matches exactly that value combination.
+    pub fn from_tuple(tuple: &[u32]) -> Rule {
+        Rule {
+            values: tuple.to_vec().into_boxed_slice(),
+        }
+    }
+
+    /// Number of dimension attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Per-dimension codes (with [`WILDCARD`] entries).
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Value in dimension `i`.
+    pub fn get(&self, i: usize) -> u32 {
+        self.values[i]
+    }
+
+    /// Whether dimension `i` is a wildcard.
+    pub fn is_wildcard(&self, i: usize) -> bool {
+        self.values[i] == WILDCARD
+    }
+
+    /// Number of non-wildcard positions (the rule's depth in the lattice).
+    pub fn num_constants(&self) -> usize {
+        self.values.iter().filter(|&&v| v != WILDCARD).count()
+    }
+
+    /// Indices of the non-wildcard positions.
+    pub fn constant_positions(&self) -> Vec<usize> {
+        (0..self.values.len())
+            .filter(|&i| self.values[i] != WILDCARD)
+            .collect()
+    }
+
+    /// `t ⊨ r`: the tuple matches this rule (every non-wildcard position
+    /// agrees). §2.1.
+    #[inline]
+    pub fn matches(&self, tuple: &[u32]) -> bool {
+        debug_assert_eq!(tuple.len(), self.values.len());
+        self.values
+            .iter()
+            .zip(tuple)
+            .all(|(&r, &t)| r == WILDCARD || r == t)
+    }
+
+    /// Least common ancestor of two tuples (§2.1): keep positions where they
+    /// agree, wildcard the rest.
+    pub fn lca(a: &[u32], b: &[u32]) -> Rule {
+        debug_assert_eq!(a.len(), b.len());
+        Rule {
+            values: a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| if x == y { x } else { WILDCARD })
+                .collect(),
+        }
+    }
+
+    /// `self` is an ancestor of `other` (generalization order, §2.5): every
+    /// position is either a wildcard or equal to `other`'s. Every rule is its
+    /// own ancestor.
+    pub fn is_ancestor_of(&self, other: &Rule) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .all(|(&a, &b)| a == WILDCARD || a == b)
+    }
+
+    /// Rules are disjoint iff some attribute has two different constants
+    /// (§2.1). Disjoint rules have provably disjoint support sets.
+    pub fn is_disjoint(&self, other: &Rule) -> bool {
+        debug_assert_eq!(self.arity(), other.arity());
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .any(|(&a, &b)| a != WILDCARD && b != WILDCARD && a != b)
+    }
+
+    /// Negation of [`Self::is_disjoint`].
+    pub fn overlaps(&self, other: &Rule) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Replace position `i` with a wildcard, producing a parent rule.
+    pub fn generalize(&self, i: usize) -> Rule {
+        let mut values = self.values.to_vec();
+        values[i] = WILDCARD;
+        Rule {
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// Render with the table's dictionaries, e.g. `(*, *, London)`.
+    pub fn display(&self, table: &Table) -> String {
+        let mut out = String::from("(");
+        for (i, &v) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            if v == WILDCARD {
+                out.push('*');
+            } else {
+                out.push_str(table.decode(i, v));
+            }
+        }
+        out.push(')');
+        out
+    }
+}
+
+impl fmt::Debug for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            if v == WILDCARD {
+                write!(f, "*")?;
+            } else {
+                write!(f, "{v}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl Encode for Rule {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.values.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        Rule {
+            values: Box::<[u32]>::decode(buf),
+        }
+    }
+    fn size_estimate(&self) -> usize {
+        8 + self.values.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(vals: &[i64]) -> Rule {
+        // -1 denotes a wildcard in test shorthand.
+        Rule::from_values(
+            vals.iter()
+                .map(|&v| if v < 0 { WILDCARD } else { v as u32 })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn matches_per_paper_example() {
+        // Table 1.1 tuple t6 = (Sat, Frankfurt, London) with codes.
+        let t6 = [5u32, 4, 0];
+        // r1=(*,*,*), r2=(*,*,London=0), r3=(Fri=0,*,*), r4=(Sat=5,*,*)
+        assert!(r(&[-1, -1, -1]).matches(&t6));
+        assert!(r(&[-1, -1, 0]).matches(&t6));
+        assert!(!r(&[0, -1, -1]).matches(&t6));
+        assert!(r(&[5, -1, -1]).matches(&t6));
+    }
+
+    #[test]
+    fn lca_keeps_agreements() {
+        // lca((Fri,SF,London),(Sun,Chicago,London)) = (*,*,London)
+        let l = Rule::lca(&[0, 1, 2], &[3, 4, 2]);
+        assert_eq!(l, r(&[-1, -1, 2]));
+        // lca of identical tuples is the tuple itself.
+        assert_eq!(Rule::lca(&[1, 2, 3], &[1, 2, 3]), r(&[1, 2, 3]));
+        // lca of fully different tuples is all wildcards.
+        assert_eq!(Rule::lca(&[1, 2, 3], &[4, 5, 6]), r(&[-1, -1, -1]));
+    }
+
+    #[test]
+    fn ancestor_order() {
+        let bottom = r(&[0, 1, 2]);
+        let mid = r(&[-1, 1, 2]);
+        let top = r(&[-1, -1, -1]);
+        assert!(top.is_ancestor_of(&mid));
+        assert!(mid.is_ancestor_of(&bottom));
+        assert!(top.is_ancestor_of(&bottom));
+        assert!(!bottom.is_ancestor_of(&mid));
+        // Reflexive.
+        assert!(mid.is_ancestor_of(&mid));
+        // Incomparable rules.
+        let other = r(&[0, -1, -1]);
+        assert!(!other.is_ancestor_of(&mid));
+        assert!(!mid.is_ancestor_of(&other));
+    }
+
+    #[test]
+    fn disjointness_per_paper_examples() {
+        // (Fri, London, LA) vs (*, SF, LA): different Origin → disjoint.
+        assert!(r(&[0, 1, 2]).is_disjoint(&r(&[-1, 3, 2])));
+        // (Wed, *, *) vs (*, *, London): overlapping by definition even
+        // though their support sets in Table 1.1 are disjoint.
+        assert!(r(&[6, -1, -1]).overlaps(&r(&[-1, -1, 0])));
+        // A rule always overlaps itself and its ancestors.
+        let x = r(&[1, -1, 2]);
+        assert!(x.overlaps(&x));
+        assert!(x.overlaps(&r(&[-1, -1, 2])));
+    }
+
+    #[test]
+    fn disjoint_rules_have_disjoint_support() {
+        // Exhaustive check over a tiny universe: if two rules are disjoint,
+        // no tuple matches both.
+        let rules: Vec<Rule> = vec![
+            r(&[-1, -1]),
+            r(&[0, -1]),
+            r(&[1, -1]),
+            r(&[-1, 0]),
+            r(&[0, 0]),
+            r(&[1, 1]),
+        ];
+        for a in &rules {
+            for b in &rules {
+                if a.is_disjoint(b) {
+                    for x in 0..3u32 {
+                        for y in 0..3u32 {
+                            assert!(
+                                !(a.matches(&[x, y]) && b.matches(&[x, y])),
+                                "{a:?} and {b:?} both match ({x},{y})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generalize_and_counts() {
+        let x = r(&[1, 2, 3]);
+        assert_eq!(x.num_constants(), 3);
+        let g = x.generalize(1);
+        assert_eq!(g, r(&[1, -1, 3]));
+        assert_eq!(g.num_constants(), 2);
+        assert_eq!(g.constant_positions(), vec![0, 2]);
+        assert!(g.is_ancestor_of(&x));
+    }
+
+    #[test]
+    fn encode_round_trip() {
+        let x = r(&[1, -1, 3, -1]);
+        let mut buf = Vec::new();
+        x.encode(&mut buf);
+        let mut s = buf.as_slice();
+        assert_eq!(Rule::decode(&mut s), x);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn display_uses_dictionaries() {
+        let t = sirum_table::generators::flights();
+        let london = t.dict(2).code("London").unwrap();
+        let rule = Rule::from_values(vec![WILDCARD, WILDCARD, london]);
+        assert_eq!(rule.display(&t), "(*, *, London)");
+    }
+}

@@ -1,0 +1,120 @@
+//! SIRUM on sample data (§4.5): when `D` exceeds the cluster's memory,
+//! mine on a random row sample sized to fit, trading a small loss in
+//! information gain for the elimination of repeated disk I/O
+//! (Figs 4.4, 5.18, 5.19).
+
+use crate::evaluate::{evaluate_rules, RuleSetEvaluation};
+use crate::miner::{Miner, MiningResult, SirumConfig};
+use crate::rule::Rule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sirum_dataflow::Engine;
+use sirum_table::Table;
+
+/// Outcome of a sampled mining run, scored against the *full* dataset.
+#[derive(Debug, Clone)]
+pub struct SampleDataResult {
+    /// The mining result over the sampled rows.
+    pub result: MiningResult,
+    /// Number of rows actually sampled.
+    pub rows_used: usize,
+    /// Sampling rate requested.
+    pub rate: f64,
+    /// Quality of the mined rule set evaluated on the full dataset.
+    pub eval: RuleSetEvaluation,
+}
+
+/// Draw a Bernoulli row sample of `table` at `rate` (deterministic in
+/// `seed`) and return the sampled sub-table.
+pub fn sample_table(table: &Table, rate: f64, seed: u64) -> Table {
+    assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let indices: Vec<usize> = (0..table.num_rows())
+        .filter(|_| rng.gen::<f64>() < rate)
+        .collect();
+    table.select_rows(&indices)
+}
+
+/// Mine on a `rate` sample of `table`, then score the resulting rule set on
+/// the full table (the §5.7.3 protocol: execution time from the sampled
+/// run, information gain from the full data).
+pub fn mine_on_sample(
+    engine: &Engine,
+    table: &Table,
+    rate: f64,
+    config: SirumConfig,
+) -> SampleDataResult {
+    let seed = config.seed;
+    let sampled = if rate >= 1.0 {
+        table.clone()
+    } else {
+        sample_table(table, rate, seed)
+    };
+    assert!(
+        sampled.num_rows() > 0,
+        "sampling rate {rate} produced an empty dataset"
+    );
+    let scaling = config.scaling;
+    let miner = Miner::new(engine.clone(), config);
+    let result = miner.mine(&sampled);
+    let rules: Vec<Rule> = result.rules.iter().map(|r| r.rule.clone()).collect();
+    let eval = evaluate_rules(table, &rules, &scaling);
+    SampleDataResult {
+        rows_used: sampled.num_rows(),
+        rate,
+        result,
+        eval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::CandidateStrategy;
+    use sirum_table::generators::income_like;
+
+    fn quick_config(k: usize) -> SirumConfig {
+        SirumConfig {
+            k,
+            strategy: CandidateStrategy::SampleLca { sample_size: 16 },
+            ..SirumConfig::default()
+        }
+    }
+
+    #[test]
+    fn sample_table_rate_and_determinism() {
+        let t = income_like(5_000, 1);
+        let s = sample_table(&t, 0.1, 7);
+        assert!(s.num_rows() > 350 && s.num_rows() < 650, "{}", s.num_rows());
+        let s2 = sample_table(&t, 0.1, 7);
+        assert_eq!(s.num_rows(), s2.num_rows());
+        assert_eq!(s.measures(), s2.measures());
+        // Full-rate sampling keeps everything.
+        assert_eq!(sample_table(&t, 1.0, 7).num_rows(), 5_000);
+    }
+
+    #[test]
+    fn sampled_mining_retains_most_information_gain() {
+        let t = income_like(8_000, 11);
+        let engine = Engine::in_memory();
+        let full = mine_on_sample(&engine, &t, 1.0, quick_config(4));
+        let sampled = mine_on_sample(&engine, &t, 0.25, quick_config(4));
+        assert!(full.eval.information_gain > 0.0);
+        assert!(sampled.rows_used < 3_000);
+        // §5.7.3: the drop in information gain from sampling is small.
+        assert!(
+            sampled.eval.information_gain > 0.3 * full.eval.information_gain,
+            "sampled {} vs full {}",
+            sampled.eval.information_gain,
+            full.eval.information_gain
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn zero_rate_panics() {
+        let t = income_like(100, 1);
+        let engine = Engine::in_memory();
+        let _ = mine_on_sample(&engine, &t, 0.0, quick_config(2));
+    }
+}

@@ -1,0 +1,106 @@
+//! Measure transforms (§2.2): the maximum-entropy machinery requires
+//! `t[m] ≥ 0` for all tuples and `Σ t[m] ≠ 0`; arbitrary numeric measures
+//! are shifted to satisfy this, and reported averages are shifted back.
+
+/// An affine shift applied to the measure column so the maximum-entropy
+/// optimization problem (Formulation 2.1 with the relaxed sum constraint)
+/// is well-posed. Since SIRUM always selects the all-wildcards rule first,
+/// `Σ t[m'] = C ≠ 0` suffices — no normalization to 1 is needed (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasureTransform {
+    shift: f64,
+}
+
+impl MeasureTransform {
+    /// Fit a transform to the measure column and return the transformed
+    /// values `m' = m + shift`:
+    ///
+    /// 1. If any value is negative, shift by `-min` so all values are ≥ 0.
+    /// 2. If the shifted sum is zero (all-zero column), add `1/|D|` to every
+    ///    value so the sum becomes 1.
+    pub fn fit(measures: &[f64]) -> (MeasureTransform, Vec<f64>) {
+        assert!(!measures.is_empty(), "empty measure column");
+        assert!(
+            measures.iter().all(|m| m.is_finite()),
+            "measure values must be finite"
+        );
+        let min = measures.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut shift = if min < 0.0 { -min } else { 0.0 };
+        let sum: f64 = measures.iter().map(|m| m + shift).sum();
+        if sum == 0.0 {
+            shift += 1.0 / measures.len() as f64;
+        }
+        let transformed = measures.iter().map(|m| m + shift).collect();
+        (MeasureTransform { shift }, transformed)
+    }
+
+    /// The additive shift this transform applies.
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// Transform one original value.
+    pub fn apply(&self, m: f64) -> f64 {
+        m + self.shift
+    }
+
+    /// Map an average of transformed values back to the original scale
+    /// (averages commute with the shift).
+    pub fn invert_avg(&self, avg_transformed: f64) -> f64 {
+        avg_transformed - self.shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonnegative_column_is_untouched() {
+        let (t, m) = MeasureTransform::fit(&[1.0, 0.0, 2.5]);
+        assert_eq!(t.shift(), 0.0);
+        assert_eq!(m, vec![1.0, 0.0, 2.5]);
+        assert_eq!(t.invert_avg(1.0), 1.0);
+    }
+
+    #[test]
+    fn negative_values_are_shifted() {
+        let (t, m) = MeasureTransform::fit(&[-2.0, 1.0, 3.0]);
+        assert_eq!(t.shift(), 2.0);
+        assert_eq!(m, vec![0.0, 3.0, 5.0]);
+        assert!(m.iter().all(|&v| v >= 0.0));
+        // avg' = 8/3 maps back to avg = 2/3.
+        assert!((t.invert_avg(8.0 / 3.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_column_gets_uniform_mass() {
+        let (t, m) = MeasureTransform::fit(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m, vec![0.25; 4]);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((t.invert_avg(0.25) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sum_mixed_column() {
+        // min = -1 → shift 1 → values [0, 2, 0, ... wait: [-1, 1] → [0, 2],
+        // sum 2 ≠ 0, no extra shift.
+        let (t, m) = MeasureTransform::fit(&[-1.0, 1.0]);
+        assert_eq!(t.shift(), 1.0);
+        assert_eq!(m, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_negative_column() {
+        // [-3,-3] → shift 3 → [0,0], sum 0 → add 1/2 each.
+        let (t, m) = MeasureTransform::fit(&[-3.0, -3.0]);
+        assert_eq!(m, vec![0.5, 0.5]);
+        assert!((t.invert_avg(0.5) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = MeasureTransform::fit(&[1.0, f64::NAN]);
+    }
+}

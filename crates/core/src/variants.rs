@@ -1,0 +1,143 @@
+//! The named SIRUM variants of Table 4.2, each toggling exactly one
+//! Chapter-4 optimization over the baseline (plus Naive and Optimized).
+
+use crate::miner::{CandidateStrategy, SirumConfig};
+use crate::multirule::MultiRuleConfig;
+
+/// A row of Table 4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Naive SIRUM: sample-based pruning but shuffle joins — the
+    /// distributed equivalent of El Gebaly et al. [16] (§3.1, §5.6.1).
+    Naive,
+    /// Baseline / BJ SIRUM: Naive + broadcast joins (§3.2).
+    Baseline,
+    /// Baseline + Rule Coverage Table (§4.1).
+    Rct,
+    /// Baseline + fast candidate pruning via inverted index (§4.2).
+    FastPruning,
+    /// Baseline + multi-stage ancestor generation with 2 column groups
+    /// (§4.3).
+    FastAncestor,
+    /// Baseline + 2 rules per iteration (§4.4).
+    MultiRule,
+    /// All optimizations combined.
+    Optimized,
+}
+
+impl Variant {
+    /// All variants, in Table 4.2 order.
+    pub const ALL: [Variant; 7] = [
+        Variant::Naive,
+        Variant::Baseline,
+        Variant::Rct,
+        Variant::FastPruning,
+        Variant::FastAncestor,
+        Variant::MultiRule,
+        Variant::Optimized,
+    ];
+
+    /// Display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Naive => "Naive",
+            Variant::Baseline => "Baseline",
+            Variant::Rct => "RCT",
+            Variant::FastPruning => "FastPruning",
+            Variant::FastAncestor => "FastAncestor",
+            Variant::MultiRule => "Multi-rule",
+            Variant::Optimized => "Optimized",
+        }
+    }
+
+    /// Build the configuration for this variant with the given `k` and
+    /// sample size `|s|`.
+    pub fn config(&self, k: usize, sample_size: usize) -> SirumConfig {
+        let base = SirumConfig {
+            k,
+            strategy: CandidateStrategy::SampleLca { sample_size },
+            broadcast_join: true,
+            rct: false,
+            fast_pruning: false,
+            column_groups: 1,
+            multirule: MultiRuleConfig::default(),
+            ..SirumConfig::default()
+        };
+        match self {
+            Variant::Naive => SirumConfig {
+                broadcast_join: false,
+                ..base
+            },
+            Variant::Baseline => base,
+            Variant::Rct => SirumConfig { rct: true, ..base },
+            Variant::FastPruning => SirumConfig {
+                fast_pruning: true,
+                ..base
+            },
+            Variant::FastAncestor => SirumConfig {
+                column_groups: 2,
+                ..base
+            },
+            Variant::MultiRule => SirumConfig {
+                multirule: MultiRuleConfig::l_rules(2),
+                ..base
+            },
+            Variant::Optimized => SirumConfig {
+                rct: true,
+                fast_pruning: true,
+                column_groups: 2,
+                multirule: MultiRuleConfig::l_rules(2),
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_has_only_broadcast_join() {
+        let c = Variant::Baseline.config(10, 64);
+        assert!(c.broadcast_join);
+        assert!(!c.rct);
+        assert!(!c.fast_pruning);
+        assert_eq!(c.column_groups, 1);
+        assert_eq!(c.multirule.rules_per_iter, 1);
+    }
+
+    #[test]
+    fn naive_disables_broadcast() {
+        assert!(!Variant::Naive.config(10, 64).broadcast_join);
+    }
+
+    #[test]
+    fn each_single_optimization_variant_toggles_one_knob() {
+        assert!(Variant::Rct.config(5, 16).rct);
+        assert!(Variant::FastPruning.config(5, 16).fast_pruning);
+        assert_eq!(Variant::FastAncestor.config(5, 16).column_groups, 2);
+        assert_eq!(Variant::MultiRule.config(5, 16).multirule.rules_per_iter, 2);
+    }
+
+    #[test]
+    fn optimized_enables_everything() {
+        let c = Variant::Optimized.config(20, 128);
+        assert!(c.broadcast_join && c.rct && c.fast_pruning);
+        assert_eq!(c.column_groups, 2);
+        assert_eq!(c.multirule.rules_per_iter, 2);
+        assert_eq!(c.k, 20);
+        assert_eq!(
+            c.strategy,
+            crate::miner::CandidateStrategy::SampleLca { sample_size: 128 }
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let mut names: Vec<&str> = Variant::ALL.iter().map(Variant::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

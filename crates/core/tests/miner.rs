@@ -1,0 +1,339 @@
+//! End-to-end tests of the SIRUM miner: the paper's worked example, the
+//! equivalence of all optimization variants, and invariance across the
+//! three engine modes.
+
+use sirum_core::{
+    CandidateStrategy, Miner, MiningResult, MultiRuleConfig, Rule, SirumConfig, Variant, WILDCARD,
+};
+use sirum_dataflow::{Engine, EngineConfig};
+use sirum_table::generators;
+use sirum_table::Table;
+use std::time::Duration;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::in_memory().with_workers(2).with_partitions(4))
+}
+
+/// Exhaustive-candidate config: deterministic, sample = whole table.
+fn full_sample_config(k: usize, n: usize) -> SirumConfig {
+    SirumConfig {
+        k,
+        strategy: CandidateStrategy::SampleLca { sample_size: n },
+        ..SirumConfig::default()
+    }
+}
+
+fn rule_names(result: &MiningResult, table: &Table) -> Vec<String> {
+    result.rules.iter().map(|r| r.rule.display(table)).collect()
+}
+
+#[test]
+fn flight_example_reproduces_table_1_2() {
+    // With the sample = the full table, candidate pruning is exact, and the
+    // first mined rule must be (*, *, London) — the paper's rule 2, chosen
+    // for its large, strongly-deviating support set.
+    let t = generators::flights();
+    let result = Miner::new(engine(), full_sample_config(3, 14)).mine(&t);
+    let names = rule_names(&result, &t);
+    assert_eq!(names[0], "(*, *, *)");
+    assert_eq!(names[1], "(*, *, London)");
+    // Table 1.2 reports AVG 15.3 (=61/4) and count 4 for rule 2.
+    let r2 = &result.rules[1];
+    assert_eq!(r2.count, 4);
+    assert!((r2.avg_measure - 61.0 / 4.0).abs() < 1e-9);
+    // The all-wildcards rule reports the global average over 14 tuples.
+    let r1 = &result.rules[0];
+    assert_eq!(r1.count, 14);
+    assert!((r1.avg_measure - 145.0 / 14.0).abs() < 1e-9);
+    // Follow-up rules in the paper are (Fri,*,*) and (Sat,*,*); selection
+    // order after r2 depends on ε, but Friday must appear among the four.
+    assert!(
+        names.contains(&"(Fri, *, *)".to_string()),
+        "mined: {names:?}"
+    );
+}
+
+#[test]
+fn kl_trace_is_monotone_nonincreasing() {
+    let t = generators::income_like(2_000, 5);
+    let result = Miner::new(engine(), full_sample_config(5, 32)).mine(&t);
+    for w in result.kl_trace.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-6,
+            "KL must not increase: {:?}",
+            result.kl_trace
+        );
+    }
+    assert!(result.information_gain() >= 0.0);
+}
+
+#[test]
+fn all_variants_mine_the_same_rules() {
+    // Every Table 4.2 variant is a *performance* change; given the same
+    // sample seed they must select the same rule set (multi-rule variants
+    // may order them differently within an iteration).
+    let t = generators::income_like(1_500, 9);
+    let reference: Vec<Rule> = {
+        let result = Miner::new(engine(), Variant::Baseline.config(4, 32)).mine(&t);
+        result.rules.iter().map(|r| r.rule.clone()).collect()
+    };
+    for variant in [Variant::Naive, Variant::Rct, Variant::FastPruning, Variant::FastAncestor] {
+        let result = Miner::new(engine(), variant.config(4, 32)).mine(&t);
+        let rules: Vec<Rule> = result.rules.iter().map(|r| r.rule.clone()).collect();
+        assert_eq!(
+            rules,
+            reference,
+            "variant {} diverged",
+            variant.name()
+        );
+    }
+}
+
+#[test]
+fn rct_scaling_reaches_same_quality_as_naive() {
+    let t = generators::gdelt_like(1_500, 3);
+    let naive = Miner::new(engine(), Variant::Baseline.config(4, 32)).mine(&t);
+    let rct = Miner::new(engine(), Variant::Rct.config(4, 32)).mine(&t);
+    assert!((naive.final_kl() - rct.final_kl()).abs() < 1e-3);
+    // RCT runs scaling entirely on the driver: same λ-update counts.
+    assert_eq!(naive.scaling_iterations, rct.scaling_iterations);
+}
+
+#[test]
+fn multirule_inserts_disjoint_rules_and_fewer_iterations() {
+    let t = generators::income_like(2_000, 13);
+    let single = Miner::new(engine(), Variant::Baseline.config(6, 64)).mine(&t);
+    let multi = Miner::new(engine(), Variant::MultiRule.config(6, 64)).mine(&t);
+    assert_eq!(multi.rules.len(), 7, "r1 + 6 mined rules");
+    assert!(
+        multi.iterations < single.iterations,
+        "multi-rule must need fewer iterations: {} vs {}",
+        multi.iterations,
+        single.iterations
+    );
+    // Rules inserted in the same iteration must be mutually disjoint; we
+    // can't see iteration boundaries from outside, but consecutive pairs
+    // inserted together satisfy it. Weaker check: the recorded scaling runs
+    // are fewer than the mined-rule count.
+    assert!(multi.scaling_iterations.len() <= single.scaling_iterations.len());
+}
+
+#[test]
+fn column_grouping_emits_fewer_ancestors() {
+    // §4.3 / Fig 5.8: multi-stage generation reduces the intermediate
+    // key-value pairs emitted by the mappers.
+    let t = generators::susy_like(800, 21).project(12);
+    let single = Miner::new(engine(), Variant::Baseline.config(3, 16)).mine(&t);
+    let grouped = Miner::new(engine(), Variant::FastAncestor.config(3, 16)).mine(&t);
+    assert!(
+        grouped.ancestors_emitted < single.ancestors_emitted,
+        "grouped {} vs single {}",
+        grouped.ancestors_emitted,
+        single.ancestors_emitted
+    );
+}
+
+#[test]
+fn engine_modes_agree_on_results() {
+    let t = generators::income_like(800, 17);
+    let cfg = || full_sample_config(3, 16);
+    let in_mem = Miner::new(engine(), cfg()).mine(&t);
+    let single = Miner::new(Engine::single_thread(), cfg()).mine(&t);
+    let disk = {
+        let e = Engine::new(
+            EngineConfig::disk_mr()
+                .with_stage_startup(Duration::ZERO)
+                .with_partitions(4),
+        );
+        Miner::new(e, cfg()).mine(&t)
+    };
+    let names = |r: &MiningResult| -> Vec<Rule> { r.rules.iter().map(|x| x.rule.clone()).collect() };
+    assert_eq!(names(&in_mem), names(&single));
+    assert_eq!(names(&in_mem), names(&disk));
+    assert!((in_mem.final_kl() - disk.final_kl()).abs() < 1e-9);
+}
+
+#[test]
+fn optimized_matches_baseline_quality_on_equal_rule_count() {
+    let t = generators::gdelt_like(2_000, 29);
+    let baseline = Miner::new(engine(), Variant::Baseline.config(6, 32)).mine(&t);
+    let optimized = Miner::new(engine(), Variant::Optimized.config(6, 32)).mine(&t);
+    assert_eq!(baseline.rules.len(), optimized.rules.len());
+    // Multi-rule selection may pick a slightly different set; §5.5 accepts
+    // a modest KL penalty. Allow 25% slack on the achieved KL reduction.
+    let b_gain = baseline.information_gain();
+    let o_gain = optimized.information_gain();
+    assert!(
+        o_gain > 0.5 * b_gain,
+        "optimized gain {o_gain} vs baseline {b_gain}"
+    );
+}
+
+#[test]
+fn target_kl_keeps_mining_until_reached() {
+    let t = generators::income_like(1_500, 31);
+    // First run: 6 rules, note the final KL.
+    let reference = Miner::new(engine(), full_sample_config(6, 32)).mine(&t);
+    let target = reference.final_kl();
+    // Second run: k=2 but must continue until it matches the target.
+    let cfg = SirumConfig {
+        target_kl: Some(target),
+        max_rules: Some(12),
+        multirule: MultiRuleConfig::l_rules(2),
+        ..full_sample_config(2, 32)
+    };
+    let starred = Miner::new(engine(), cfg).mine(&t);
+    assert!(
+        starred.final_kl() <= target * 1.0001 || starred.rules.len() - 1 >= 12,
+        "l-rule* must reach the target KL or the cap: kl={} target={target}",
+        starred.final_kl()
+    );
+    assert!(starred.rules.len() > 3, "needs more than k=2 rules");
+}
+
+#[test]
+fn timings_are_populated() {
+    let t = generators::income_like(500, 41);
+    let result = Miner::new(engine(), full_sample_config(2, 8)).mine(&t);
+    let tm = &result.timings;
+    assert!(tm.total > 0.0);
+    assert!(tm.iterative_scaling > 0.0);
+    assert!(tm.candidate_pruning > 0.0);
+    assert!(tm.ancestor_generation > 0.0);
+    assert!(tm.gain_computation > 0.0);
+    assert!(tm.rule_generation() + tm.iterative_scaling <= tm.total * 1.01);
+}
+
+#[test]
+fn mined_rule_counts_and_averages_are_exact() {
+    // Cross-check every reported (count, avg) against a direct scan.
+    let t = generators::gdelt_like(1_000, 43);
+    let result = Miner::new(engine(), full_sample_config(4, 24)).mine(&t);
+    for mined in &result.rules {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for (i, row) in t.rows().enumerate() {
+            if mined.rule.matches(row) {
+                sum += t.measure(i);
+                count += 1;
+            }
+        }
+        assert_eq!(mined.count, count, "{:?}", mined.rule);
+        assert!(
+            (mined.avg_measure - sum / count as f64).abs() < 1e-6,
+            "{:?}: {} vs {}",
+            mined.rule,
+            mined.avg_measure,
+            sum / count as f64
+        );
+    }
+}
+
+#[test]
+fn binary_measure_dataset_mines_planted_rule() {
+    // The income generator plants Education>=5 and Occupation<=1 boosts;
+    // the miner must discover at least one rule touching those columns.
+    let t = generators::income_like(4_000, 47);
+    let result = Miner::new(engine(), full_sample_config(5, 64)).mine(&t);
+    let touches_planted = result.rules.iter().skip(1).any(|r| {
+        !r.rule.is_wildcard(3) || !r.rule.is_wildcard(4)
+    });
+    assert!(touches_planted, "{}", result.render(&t));
+    // All mined rules must have meaningful support.
+    for r in result.rules.iter().skip(1) {
+        assert!(r.count > 0);
+        assert!(r.gain > 0.0);
+    }
+}
+
+#[test]
+fn gdelt_dirty_cleansing_finds_high_average_rules() {
+    // Data-cleansing application (Table 1.5): rules highlighting records
+    // with missing Actor2 type should surface averages near 1.
+    let t = generators::gdelt_dirty(4_000, 53);
+    let result = Miner::new(engine(), full_sample_config(4, 64)).mine(&t);
+    let base = t.avg_measure();
+    let best = result
+        .rules
+        .iter()
+        .skip(1)
+        .map(|r| r.avg_measure)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best > base + 0.2,
+        "expected a dirty-cluster rule, best avg {best} vs base {base}"
+    );
+}
+
+#[test]
+fn sample_seed_changes_candidates_not_correctness() {
+    let t = generators::income_like(1_200, 59);
+    let a = Miner::new(
+        engine(),
+        SirumConfig {
+            seed: 1,
+            ..full_sample_config(3, 16)
+        },
+    )
+    .mine(&t);
+    let b = Miner::new(
+        engine(),
+        SirumConfig {
+            seed: 2,
+            ..full_sample_config(3, 16)
+        },
+    )
+    .mine(&t);
+    // Different samples may mine different rules, but both must reduce KL.
+    assert!(a.information_gain() > 0.0);
+    assert!(b.information_gain() > 0.0);
+}
+
+#[test]
+fn wildcard_rule_alone_when_measure_uniform() {
+    // A perfectly uniform measure leaves nothing to explain: after r1 the
+    // estimates are exact and no candidate has positive gain.
+    let mut b = Table::builder(sirum_table::Schema::new(vec!["a", "b"], "m"));
+    for i in 0..50 {
+        let v0 = format!("x{}", i % 5);
+        let v1 = format!("y{}", i % 3);
+        b.push_row(&[&v0, &v1], 7.0);
+    }
+    let t = b.build();
+    let result = Miner::new(engine(), full_sample_config(3, 10)).mine(&t);
+    assert_eq!(result.rules.len(), 1, "{}", result.render(&t));
+    assert!(result.final_kl() < 1e-9);
+}
+
+#[test]
+fn negative_measures_are_handled_by_the_transform() {
+    let mut b = Table::builder(sirum_table::Schema::new(vec!["a", "b"], "m"));
+    for i in 0..60 {
+        let v0 = format!("x{}", i % 4);
+        let v1 = format!("y{}", i % 5);
+        // Negative measure with a planted x0 offset.
+        let m = if i % 4 == 0 { 5.0 } else { -10.0 };
+        b.push_row(&[&v0, &v1], m);
+    }
+    let t = b.build();
+    let result = Miner::new(engine(), full_sample_config(2, 12)).mine(&t);
+    assert!(result.transform_shift > 0.0);
+    // Reported averages are on the original scale.
+    let r1 = &result.rules[0];
+    assert!((r1.avg_measure - t.avg_measure()).abs() < 1e-9);
+    assert!(r1.avg_measure < 0.0);
+}
+
+#[test]
+fn prior_rules_are_respected() {
+    let t = generators::flights();
+    let london = t.dict(2).code("London").unwrap();
+    let prior = vec![Rule::from_values(vec![WILDCARD, WILDCARD, london])];
+    let result = Miner::new(engine(), full_sample_config(2, 14)).mine_with_prior(&t, &prior);
+    // Seed rules: (*,*,*) then the prior; mined rules must differ from both.
+    assert_eq!(result.rules[1].rule, prior[0]);
+    for mined in &result.rules[2..] {
+        assert_ne!(mined.rule, prior[0]);
+        assert_ne!(mined.rule, Rule::all_wildcards(3));
+    }
+}

@@ -1,0 +1,333 @@
+//! Property-based tests (proptest) for SIRUM's core invariants: rule
+//! algebra, lattice enumeration, sample-pruning exactness, and the
+//! equivalence of the RCT scaler with naive iterative scaling.
+
+use proptest::prelude::*;
+use sirum_core::candidates::{
+    adjust_for_sample, exhaustive_candidates, lca_aggregates, merge_agg, Agg, SampleIndex,
+};
+use sirum_core::gain::kl_divergence;
+use sirum_core::lattice::{ancestors, ancestors_restricted, column_groups};
+use sirum_core::rct::{iterative_scaling_rct, mhat_for_mask, Rct};
+use sirum_core::rule::{Rule, WILDCARD};
+use sirum_core::scaling::{
+    iterative_scaling, relative_diff, rule_measure_sums, ScalingConfig, TableBackend,
+};
+use sirum_core::transform::MeasureTransform;
+use sirum_dataflow::hash::FxHashMap;
+use sirum_table::{Schema, Table};
+
+const MAX_D: usize = 5;
+const MAX_CARD: u32 = 4;
+
+/// Strategy: a random tuple over `d` attributes with small domains.
+fn tuple(d: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0..MAX_CARD, d)
+}
+
+/// Strategy: a random rule (each position constant or wildcard).
+fn rule(d: usize) -> impl Strategy<Value = Rule> {
+    prop::collection::vec(prop_oneof![Just(WILDCARD), (0..MAX_CARD)], d)
+        .prop_map(Rule::from_values)
+}
+
+/// Strategy: a small random table with nonnegative measures.
+fn small_table() -> impl Strategy<Value = Table> {
+    (1usize..=MAX_D).prop_flat_map(|d| {
+        prop::collection::vec((tuple(d), 0.0f64..10.0), 1..40).prop_map(move |rows| {
+            let names: Vec<String> = (0..d).map(|i| format!("a{i}")).collect();
+            let mut b = Table::builder(Schema::new(names, "m"));
+            for col in 0..d {
+                for v in 0..MAX_CARD {
+                    b.intern(col, &format!("v{v}"));
+                }
+            }
+            for (codes, m) in rows {
+                b.push_coded_row(&codes, m);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lca_is_a_common_ancestor((a, b) in (1usize..=MAX_D).prop_flat_map(|d| (tuple(d), tuple(d)))) {
+        let lca = Rule::lca(&a, &b);
+        prop_assert!(lca.matches(&a));
+        prop_assert!(lca.matches(&b));
+    }
+
+    #[test]
+    fn lca_is_least((a, b, r) in (1usize..=MAX_D).prop_flat_map(|d| (tuple(d), tuple(d), rule(d)))) {
+        // Any rule covering both tuples is an ancestor of their LCA.
+        let lca = Rule::lca(&a, &b);
+        if r.matches(&a) && r.matches(&b) {
+            prop_assert!(r.is_ancestor_of(&lca), "{r:?} not ancestor of {lca:?}");
+        }
+    }
+
+    #[test]
+    fn ancestor_count_is_two_to_the_constants(r in (1usize..=MAX_D).prop_flat_map(rule)) {
+        let anc = ancestors(&r);
+        prop_assert_eq!(anc.len(), 1usize << r.num_constants());
+        // All distinct, all ancestors, and the rule itself is included.
+        let mut seen = std::collections::HashSet::new();
+        for a in &anc {
+            prop_assert!(a.is_ancestor_of(&r));
+            prop_assert!(seen.insert(a.clone()));
+        }
+        prop_assert!(anc.contains(&r));
+        prop_assert!(anc.contains(&Rule::all_wildcards(r.arity())));
+    }
+
+    #[test]
+    fn ancestors_are_exactly_the_matching_rules(t in (1usize..=3usize).prop_flat_map(tuple)) {
+        // For a full tuple, its lattice = every rule that matches it.
+        let base = Rule::from_tuple(&t);
+        let anc: std::collections::HashSet<Rule> = ancestors(&base).into_iter().collect();
+        // Enumerate all rules over the tuple's arity and cross-check.
+        let d = t.len();
+        let mut all = vec![Vec::<u32>::new()];
+        for _ in 0..d {
+            let mut next = Vec::new();
+            for prefix in &all {
+                for v in (0..MAX_CARD).chain([WILDCARD]) {
+                    let mut p = prefix.clone();
+                    p.push(v);
+                    next.push(p);
+                }
+            }
+            all = next;
+        }
+        for vals in all {
+            let r = Rule::from_values(vals);
+            prop_assert_eq!(r.matches(&t), anc.contains(&r), "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn staged_generation_equals_single_stage(
+        (r, g, seed) in (1usize..=MAX_D).prop_flat_map(|d| (rule(d), 1usize..=d, any::<u64>()))
+    ) {
+        // Appendix A: column-grouped expansion yields the same set, with
+        // each ancestor produced exactly once.
+        let d = r.arity();
+        let groups = column_groups(d, g, seed);
+        let mut staged = vec![r.clone()];
+        for group in &groups {
+            let mut next = Vec::new();
+            for rule in &staged {
+                next.extend(ancestors_restricted(rule, group));
+            }
+            staged = next;
+        }
+        let mut full = ancestors(&r);
+        prop_assert_eq!(staged.len(), full.len(), "uniqueness (Appendix A)");
+        staged.sort_by(|a, b| a.values().cmp(b.values()));
+        full.sort_by(|a, b| a.values().cmp(b.values()));
+        prop_assert_eq!(staged, full);
+    }
+
+    #[test]
+    fn disjoint_rules_never_share_tuples(
+        (a, b, t) in (1usize..=MAX_D).prop_flat_map(|d| (rule(d), rule(d), tuple(d)))
+    ) {
+        if a.is_disjoint(&b) {
+            prop_assert!(!(a.matches(&t) && b.matches(&t)));
+        }
+    }
+
+    #[test]
+    fn disjointness_is_symmetric_and_irreflexive(
+        (a, b) in (1usize..=MAX_D).prop_flat_map(|d| (rule(d), rule(d)))
+    ) {
+        prop_assert_eq!(a.is_disjoint(&b), b.is_disjoint(&a));
+        prop_assert!(!a.is_disjoint(&a));
+    }
+
+    #[test]
+    fn sample_pruned_aggregates_are_exact(
+        (table, picks) in small_table().prop_flat_map(|t| {
+            let n = t.num_rows();
+            (Just(t), prop::collection::vec(0..n, 1..6))
+        })
+    ) {
+        // §3.1.1 multiplicity adjustment: candidate aggregates after
+        // division by the sample match count equal exact support sums.
+        let d = table.num_dims();
+        let mhat: Vec<f64> = (0..table.num_rows()).map(|i| 0.5 + (i % 7) as f64).collect();
+        let sample: Vec<Box<[u32]>> = picks
+            .iter()
+            .map(|&i| table.row(i).to_vec().into_boxed_slice())
+            .collect();
+        let index = SampleIndex::build(sample.clone(), d);
+        let lcas = lca_aggregates(&table, table.measures(), &mhat, &sample);
+        let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
+        for (rule, agg) in &lcas {
+            for anc in ancestors(rule) {
+                merge_agg(cands.entry(anc).or_insert((0.0, 0.0, 0)), *agg);
+            }
+        }
+        let adjusted = adjust_for_sample(cands, &index);
+        let exhaustive = exhaustive_candidates(&table.with_measure(table.measures().to_vec()), &mhat);
+        for (rule, sum_m, sum_mhat, count) in adjusted {
+            let (em, emh, ec) = exhaustive[&rule];
+            prop_assert!((sum_m - em).abs() < 1e-6, "{:?}: {} vs {}", rule, sum_m, em);
+            prop_assert!((sum_mhat - emh).abs() < 1e-6);
+            prop_assert_eq!(count, ec);
+        }
+    }
+
+    #[test]
+    fn fast_index_lcas_equal_naive_lcas(
+        (table, picks) in small_table().prop_flat_map(|t| {
+            let n = t.num_rows();
+            (Just(t), prop::collection::vec(0..n, 1..6))
+        })
+    ) {
+        let d = table.num_dims();
+        let sample: Vec<Box<[u32]>> = picks
+            .iter()
+            .map(|&i| table.row(i).to_vec().into_boxed_slice())
+            .collect();
+        let index = SampleIndex::build(sample.clone(), d);
+        let mut scratch = Vec::new();
+        for row in table.rows() {
+            let fast = index.lcas_into(row, &mut scratch);
+            for (j, srow) in sample.iter().enumerate() {
+                let naive = Rule::lca(srow, row);
+                prop_assert_eq!(naive.values(), &fast[j * d..(j + 1) * d]);
+            }
+        }
+    }
+
+    #[test]
+    fn rct_and_naive_scaling_agree(table in small_table()) {
+        // Build a model from the all-wildcards rule plus up to 3 supported
+        // single-constant rules; both scalers must converge to the same
+        // multipliers and estimates.
+        let d = table.num_dims();
+        let (_tr, m_prime) = MeasureTransform::fit(table.measures());
+        let mut rules = vec![Rule::all_wildcards(d)];
+        'outer: for col in 0..d {
+            for code in 0..MAX_CARD {
+                if rules.len() >= 4 {
+                    break 'outer;
+                }
+                let mut vals = vec![WILDCARD; d];
+                vals[col] = code;
+                let r = Rule::from_values(vals);
+                // Only rules with positive measure mass are constrainable.
+                let mass: f64 = table
+                    .rows()
+                    .enumerate()
+                    .filter(|(_, row)| r.matches(row))
+                    .map(|(i, _)| m_prime[i])
+                    .sum();
+                if mass > 0.0 {
+                    rules.push(r);
+                }
+            }
+        }
+        let sums = rule_measure_sums(&table, &m_prime, &rules);
+        let m_sums: Vec<f64> = sums.iter().map(|s| s.0).collect();
+        let cfg = ScalingConfig { epsilon: 1e-9, max_iterations: 200_000 };
+
+        let mut naive_lambdas = vec![1.0; rules.len()];
+        let mut backend = TableBackend::new(&table);
+        let naive_out = iterative_scaling(&mut backend, &rules, &m_sums, &mut naive_lambdas, &cfg);
+
+        let masks: Vec<u64> = table
+            .rows()
+            .map(|row| {
+                rules.iter().enumerate().fold(0u64, |mask, (i, r)| {
+                    if r.matches(row) { mask | (1 << i) } else { mask }
+                })
+            })
+            .collect();
+        let mut rct = Rct::build(&masks, &m_prime, &vec![1.0; table.num_rows()]);
+        let mut rct_lambdas = vec![1.0; rules.len()];
+        let rct_out = iterative_scaling_rct(&mut rct, rules.len(), &m_sums, &mut rct_lambdas, &cfg);
+
+        prop_assert_eq!(naive_out.converged, rct_out.converged);
+        if naive_out.converged {
+            for i in 0..table.num_rows() {
+                let via_rct = mhat_for_mask(masks[i], &rct_lambdas);
+                prop_assert!(
+                    (via_rct - backend.mhat()[i]).abs() < 1e-5,
+                    "tuple {}: {} vs {}", i, via_rct, backend.mhat()[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_constraints_hold_at_convergence(table in small_table()) {
+        let d = table.num_dims();
+        let (_tr, m_prime) = MeasureTransform::fit(table.measures());
+        let rules = vec![Rule::all_wildcards(d)];
+        let sums = rule_measure_sums(&table, &m_prime, &rules);
+        let m_sums: Vec<f64> = sums.iter().map(|s| s.0).collect();
+        let cfg = ScalingConfig { epsilon: 1e-9, max_iterations: 100_000 };
+        let mut lambdas = vec![1.0];
+        let mut backend = TableBackend::new(&table);
+        let out = iterative_scaling(&mut backend, &rules, &m_sums, &mut lambdas, &cfg);
+        prop_assert!(out.converged);
+        let mhat_sums = {
+            let mut s = 0.0;
+            for i in 0..table.num_rows() { s += backend.mhat()[i]; }
+            s
+        };
+        prop_assert!(relative_diff(m_sums[0], mhat_sums) <= 1e-9);
+        // KL of the fitted model never exceeds KL of the uniform model.
+        let uniform = vec![1.0; table.num_rows()];
+        let kl_fit = kl_divergence(&m_prime, backend.mhat());
+        let kl_uniform = kl_divergence(&m_prime, &uniform);
+        prop_assert!(kl_fit <= kl_uniform + 1e-9);
+    }
+
+    #[test]
+    fn measure_transform_is_sound(ms in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let (tr, out) = MeasureTransform::fit(&ms);
+        prop_assert!(out.iter().all(|&v| v >= 0.0));
+        prop_assert!(out.iter().sum::<f64>() != 0.0);
+        // Averages invert exactly.
+        let avg_orig: f64 = ms.iter().sum::<f64>() / ms.len() as f64;
+        let avg_new: f64 = out.iter().sum::<f64>() / out.len() as f64;
+        prop_assert!((tr.invert_avg(avg_new) - avg_orig).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhaustive_aggregates_cover_all_mass(table in small_table()) {
+        // Each tuple contributes to exactly C(d, l) lattice elements with l
+        // constants, so the level-l sum of the exhaustive aggregation must
+        // equal C(d, l) × (total mass).
+        let n = table.num_rows();
+        let mhat = vec![1.0; n];
+        let cands = exhaustive_candidates(&table, &mhat);
+        let total: f64 = table.measures().iter().sum();
+        let d = table.num_dims();
+        let binom = |n: usize, k: usize| -> f64 {
+            let mut v = 1.0;
+            for i in 0..k {
+                v = v * (n - i) as f64 / (i + 1) as f64;
+            }
+            v
+        };
+        for level in 0..=d {
+            let level_sum: f64 = cands
+                .iter()
+                .filter(|(r, _)| r.num_constants() == level)
+                .map(|(_, (sm, _, _))| *sm)
+                .sum();
+            let expect = binom(d, level) * total;
+            prop_assert!(
+                (level_sum - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "level {}: {} vs {}", level, level_sum, expect
+            );
+        }
+    }
+}

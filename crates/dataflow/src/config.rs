@@ -1,0 +1,148 @@
+//! Engine configuration: execution mode, parallelism, memory budget.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Which of the paper's three data processing platforms the engine emulates
+/// (§2.6 / §5.2 of the thesis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Spark-like: partitions processed in parallel, intermediate results kept
+    /// in memory (subject to the block-store budget).
+    InMemory,
+    /// Hive-on-MapReduce-like: every stage writes its output partitions to
+    /// disk and reads them back, and each stage pays a job-startup latency.
+    /// This reproduces the disk/startup bottleneck Figure 5.2 measures.
+    DiskMr,
+    /// PostgreSQL-like: a single worker executes every task sequentially
+    /// (PostgreSQL 9.4 had no intra-query parallelism, §2.6.1). Data stays
+    /// in memory, isolating the parallelism effect Figure 5.1 measures.
+    SingleThread,
+}
+
+/// Tuning knobs for the [`crate::Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Platform emulation mode.
+    pub mode: EngineMode,
+    /// Number of OS worker threads used to execute tasks. Forced to 1 in
+    /// [`EngineMode::SingleThread`].
+    pub workers: usize,
+    /// Default number of partitions for new datasets (the paper uses 384
+    /// Spark tasks; scale to taste).
+    pub partitions: usize,
+    /// Memory budget in bytes for cached blocks. `None` = unbounded.
+    /// Mirrors Spark's executor storage memory (Figs 4.3/4.4).
+    pub memory_budget: Option<usize>,
+    /// Latency charged (slept) at the start of every stage. Zero for Spark
+    /// mode; tens of milliseconds for Hive mode to emulate MapReduce job
+    /// startup and cleanup, which §5.2 identifies as a Hive bottleneck.
+    pub stage_startup: Duration,
+    /// Directory for spill files and DiskMr intermediate results.
+    pub spill_dir: PathBuf,
+}
+
+impl EngineConfig {
+    /// Spark-like defaults: parallel, in-memory, unbounded budget.
+    pub fn in_memory() -> Self {
+        EngineConfig {
+            mode: EngineMode::InMemory,
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            partitions: 16,
+            memory_budget: None,
+            stage_startup: Duration::ZERO,
+            spill_dir: std::env::temp_dir().join("sirum-dataflow"),
+        }
+    }
+
+    /// Hive-like: disk-materialized stages with job-startup latency.
+    pub fn disk_mr() -> Self {
+        EngineConfig {
+            mode: EngineMode::DiskMr,
+            stage_startup: Duration::from_millis(25),
+            ..Self::in_memory()
+        }
+    }
+
+    /// PostgreSQL-like: one worker, no intra-query parallelism.
+    pub fn single_thread() -> Self {
+        EngineConfig {
+            mode: EngineMode::SingleThread,
+            workers: 1,
+            ..Self::in_memory()
+        }
+    }
+
+    /// Builder-style override of the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style override of the default partition count.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Builder-style override of the cache memory budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Builder-style override of the per-stage startup latency.
+    pub fn with_stage_startup(mut self, latency: Duration) -> Self {
+        self.stage_startup = latency;
+        self
+    }
+
+    /// Builder-style override of the spill directory.
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = dir;
+        self
+    }
+
+    /// Effective worker count after applying mode constraints.
+    pub fn effective_workers(&self) -> usize {
+        match self.mode {
+            EngineMode::SingleThread => 1,
+            _ => self.workers.max(1),
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_forces_one_worker() {
+        let cfg = EngineConfig::single_thread().with_workers(8);
+        // with_workers sets the field, but the mode clamps the effective count.
+        assert_eq!(cfg.effective_workers(), 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = EngineConfig::in_memory()
+            .with_workers(3)
+            .with_partitions(7)
+            .with_memory_budget(1 << 20);
+        assert_eq!(cfg.effective_workers(), 3);
+        assert_eq!(cfg.partitions, 7);
+        assert_eq!(cfg.memory_budget, Some(1 << 20));
+    }
+
+    #[test]
+    fn disk_mr_has_startup_latency() {
+        assert!(EngineConfig::disk_mr().stage_startup > Duration::ZERO);
+        assert_eq!(EngineConfig::in_memory().stage_startup, Duration::ZERO);
+    }
+}

@@ -1,0 +1,665 @@
+//! `Dataset<T>`: a partitioned, immutable collection with Spark-like
+//! coarse-grained transformations (map / filter / reduce-by-key / sample /
+//! cache), executed by the [`Engine`].
+
+use crate::encode::{decode_records, encode_records, Encode};
+use crate::engine::{Engine, TaskOutput};
+use crate::hash::{fx_hash_one, FxHashMap};
+use crate::memory::BlockId;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Bound alias for element types that can flow through the engine: they must
+/// be encodable (shuffles, spill), cloneable and thread-safe.
+pub trait Record: Encode + Clone + Send + Sync + 'static {}
+impl<T: Encode + Clone + Send + Sync + 'static> Record for T {}
+
+/// One partition of a dataset: either resident in memory or a handle into
+/// the block store (cached or disk-materialized).
+pub(crate) enum Part<T> {
+    Mem(Arc<Vec<T>>),
+    Stored(BlockId),
+}
+
+impl<T> Clone for Part<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Part::Mem(a) => Part::Mem(Arc::clone(a)),
+            Part::Stored(id) => Part::Stored(*id),
+        }
+    }
+}
+
+/// A partitioned immutable collection bound to an [`Engine`].
+pub struct Dataset<T> {
+    engine: Engine,
+    parts: Vec<Part<T>>,
+}
+
+impl<T> Clone for Dataset<T> {
+    fn clone(&self) -> Self {
+        Dataset {
+            engine: self.engine.clone(),
+            parts: self.parts.clone(),
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> Dataset<T> {
+    pub(crate) fn from_parts(engine: Engine, parts: Vec<Part<T>>) -> Self {
+        Dataset { engine, parts }
+    }
+
+    /// The engine this dataset is bound to.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+impl<T: Record> Dataset<T> {
+    /// Materialize partition `i` (decoding / reading from disk if stored).
+    pub fn part(&self, i: usize) -> Arc<Vec<T>> {
+        match &self.parts[i] {
+            Part::Mem(a) => Arc::clone(a),
+            Part::Stored(id) => self.engine.store().get::<T>(*id),
+        }
+    }
+
+    /// Total number of records (materializes partitions; cheap for in-memory
+    /// parts, a disk read for spilled ones).
+    pub fn len(&self) -> usize {
+        (0..self.parts.len()).map(|i| self.part(i).len()).sum()
+    }
+
+    /// True if the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Gather all records on the driver, in partition order.
+    pub fn collect(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        for i in 0..self.parts.len() {
+            out.extend_from_slice(&self.part(i));
+        }
+        out
+    }
+
+    /// Wrap freshly produced partition contents according to the engine mode
+    /// (in-memory for Spark-like modes, disk-materialized for `DiskMr`).
+    fn finish_part<U: Record>(engine: &Engine, out: Vec<U>) -> Part<U> {
+        use crate::config::EngineMode;
+        match engine.mode() {
+            EngineMode::DiskMr => Part::Stored(engine.store().put_disk(&out)),
+            _ => Part::Mem(Arc::new(out)),
+        }
+    }
+
+    /// One narrow stage: apply `f` to every partition independently.
+    pub fn map_partitions<U: Record, F>(&self, label: &str, f: F) -> Dataset<U>
+    where
+        F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
+    {
+        let engine = self.engine.clone();
+        let parts = self.engine.run_stage(
+            label,
+            self.parts.clone(),
+            (0, 0),
+            |idx, part: Part<T>| {
+                let data = match &part {
+                    Part::Mem(a) => Arc::clone(a),
+                    Part::Stored(id) => engine.store().get::<T>(*id),
+                };
+                let out = f(idx, &data);
+                TaskOutput {
+                    records_in: data.len() as u64,
+                    records_out: out.len() as u64,
+                    value: Self::finish_part(&engine, out),
+                }
+            },
+        );
+        Dataset::from_parts(self.engine.clone(), parts)
+    }
+
+    /// Element-wise transformation.
+    pub fn map<U: Record, F>(&self, label: &str, f: F) -> Dataset<U>
+    where
+        F: Fn(&T) -> U + Send + Sync,
+    {
+        self.map_partitions(label, move |_, data| data.iter().map(&f).collect())
+    }
+
+    /// Element-to-many transformation.
+    pub fn flat_map<U: Record, I, F>(&self, label: &str, f: F) -> Dataset<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: Fn(&T) -> I + Send + Sync,
+    {
+        self.map_partitions(label, move |_, data| {
+            data.iter().flat_map(&f).collect()
+        })
+    }
+
+    /// Keep only records satisfying the predicate.
+    pub fn filter<F>(&self, label: &str, f: F) -> Dataset<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        self.map_partitions(label, move |_, data| {
+            data.iter().filter(|t| f(t)).cloned().collect()
+        })
+    }
+
+    /// Tree-aggregate all records into one accumulator.
+    pub fn aggregate<A, FI, FS, FC>(&self, label: &str, init: FI, seq: FS, comb: FC) -> A
+    where
+        A: Send,
+        FI: Fn() -> A + Send + Sync,
+        FS: Fn(&mut A, &T) + Send + Sync,
+        FC: Fn(&mut A, A) + Send + Sync,
+    {
+        let engine = self.engine.clone();
+        let accs = self.engine.run_stage(
+            label,
+            self.parts.clone(),
+            (0, 0),
+            |_, part: Part<T>| {
+                let data = match &part {
+                    Part::Mem(a) => Arc::clone(a),
+                    Part::Stored(id) => engine.store().get::<T>(*id),
+                };
+                let mut acc = init();
+                for t in data.iter() {
+                    seq(&mut acc, t);
+                }
+                TaskOutput {
+                    records_in: data.len() as u64,
+                    records_out: 1,
+                    value: acc,
+                }
+            },
+        );
+        let mut iter = accs.into_iter();
+        let mut total = iter.next().unwrap_or_else(&init);
+        for acc in iter {
+            comb(&mut total, acc);
+        }
+        total
+    }
+
+    /// Total record count via a counting stage.
+    pub fn count(&self) -> u64 {
+        self.aggregate("count", || 0u64, |a, _| *a += 1, |a, b| *a += b)
+    }
+
+    /// Bernoulli sample: keep each record independently with probability
+    /// `fraction`, deterministically from `seed`.
+    pub fn sample(&self, fraction: f64, seed: u64) -> Dataset<T> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        self.map_partitions("sample", move |idx, data| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(idx as u64));
+            data.iter()
+                .filter(|_| rng.gen::<f64>() < fraction)
+                .cloned()
+                .collect()
+        })
+    }
+
+    /// Draw exactly `min(n, len)` records uniformly at random without
+    /// replacement, deterministically from `seed`.
+    pub fn take_sample(&self, n: usize, seed: u64) -> Vec<T> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let lens: Vec<usize> = (0..self.parts.len()).map(|i| self.part(i).len()).collect();
+        let total: usize = lens.iter().sum();
+        if n >= total {
+            return self.collect();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut chosen: Vec<usize> = rand::seq::index::sample(&mut rng, total, n).into_vec();
+        chosen.sort_unstable();
+        let mut out = Vec::with_capacity(n);
+        let mut offset = 0usize;
+        let mut cursor = 0usize;
+        for (i, &len) in lens.iter().enumerate() {
+            if cursor >= chosen.len() {
+                break;
+            }
+            let data = self.part(i);
+            while cursor < chosen.len() && chosen[cursor] < offset + len {
+                out.push(data[chosen[cursor] - offset].clone());
+                cursor += 1;
+            }
+            offset += len;
+        }
+        out
+    }
+
+    /// Persist every partition in the block store (subject to the memory
+    /// budget; over-budget blocks spill to disk, as in Spark's `cache()`).
+    pub fn cache(&self) -> Dataset<T> {
+        let engine = self.engine.clone();
+        let parts = self.engine.run_stage(
+            "cache",
+            self.parts.clone(),
+            (0, 0),
+            |_, part: Part<T>| {
+                let data = match &part {
+                    Part::Mem(a) => Arc::clone(a),
+                    Part::Stored(id) => engine.store().get::<T>(*id),
+                };
+                let n = data.len() as u64;
+                let owned = Arc::try_unwrap(data).unwrap_or_else(|a| a.as_ref().clone());
+                TaskOutput {
+                    records_in: n,
+                    records_out: n,
+                    value: Part::Stored(engine.store().put(owned)),
+                }
+            },
+        );
+        Dataset::from_parts(self.engine.clone(), parts)
+    }
+
+    /// Redistribute records across `partitions` partitions through a full
+    /// shuffle (every record is serialized, moved and deserialized — the
+    /// cost a repartition/cartesian join pays in Spark, which the broadcast
+    /// join of BJ SIRUM avoids).
+    pub fn repartition(&self, partitions: usize) -> Dataset<T> {
+        let partitions = partitions.max(1);
+        let engine = self.engine.clone();
+        let buckets: Vec<Vec<Vec<u8>>> = self.engine.run_stage(
+            "repartition.map",
+            self.parts.clone(),
+            (0, 0),
+            |_, part: Part<T>| {
+                let data = match &part {
+                    Part::Mem(a) => Arc::clone(a),
+                    Part::Stored(id) => engine.store().get::<T>(*id),
+                };
+                let mut split: Vec<Vec<&T>> = (0..partitions).map(|_| Vec::new()).collect();
+                for (i, t) in data.iter().enumerate() {
+                    split[i % partitions].push(t);
+                }
+                let encoded: Vec<Vec<u8>> = split
+                    .iter()
+                    .map(|bucket| {
+                        let mut out = Vec::new();
+                        (bucket.len() as u64).encode(&mut out);
+                        for t in bucket {
+                            t.encode(&mut out);
+                        }
+                        out
+                    })
+                    .collect();
+                TaskOutput {
+                    records_in: data.len() as u64,
+                    records_out: data.len() as u64,
+                    value: encoded,
+                }
+            },
+        );
+        let mut shuffled_bytes = 0u64;
+        let mut receiver_inputs: Vec<Vec<Vec<u8>>> = (0..partitions).map(|_| Vec::new()).collect();
+        for task_buckets in buckets {
+            for (j, bucket) in task_buckets.into_iter().enumerate() {
+                shuffled_bytes += bucket.len() as u64;
+                receiver_inputs[j].push(bucket);
+            }
+        }
+        let parts = self.engine.run_stage(
+            "repartition.reduce",
+            receiver_inputs,
+            (0, 0),
+            |_, incoming: Vec<Vec<u8>>| {
+                let mut out = Vec::new();
+                for bucket in incoming {
+                    out.extend(decode_records::<T>(&bucket));
+                }
+                let n = out.len() as u64;
+                TaskOutput {
+                    records_in: n,
+                    records_out: n,
+                    value: Self::finish_part(&engine, out),
+                }
+            },
+        );
+        let total: u64 = self
+            .engine
+            .metrics()
+            .stages()
+            .last()
+            .map(|s| s.tasks.iter().map(|t| t.records_in).sum())
+            .unwrap_or(0);
+        self.engine
+            .metrics()
+            .set_last_stage_shuffle(total, shuffled_bytes);
+        Dataset::from_parts(self.engine.clone(), parts)
+    }
+
+    /// Release any block-store blocks held by this dataset.
+    pub fn free(self) {
+        for part in &self.parts {
+            if let Part::Stored(id) = part {
+                self.engine.store().free(*id);
+            }
+        }
+    }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Record + Eq + Hash,
+    V: Record,
+{
+    /// Hash-shuffle aggregation with map-side combine (the workhorse of the
+    /// paper's data-cube rule generation). `merge` folds a new value into an
+    /// existing one for the same key.
+    ///
+    /// In `DiskMr` mode every map-side bucket is serialized and round-trips
+    /// through disk, as MapReduce map outputs do. The in-memory modes move
+    /// the combined records directly (Spark-with-broadcast keeps shuffles
+    /// narrow; charging a full serialize/deserialize per in-process record
+    /// would only rescale every variant equally) while still recording the
+    /// shuffled record and estimated byte volume.
+    pub fn reduce_by_key<F>(&self, label: &str, partitions: usize, merge: F) -> Dataset<(K, V)>
+    where
+        F: Fn(&mut V, V) + Send + Sync,
+    {
+        let partitions = partitions.max(1);
+        let engine = self.engine.clone();
+        let merge = &merge;
+        let disk_mr = matches!(engine.mode(), crate::config::EngineMode::DiskMr);
+
+        // Map side: combine within each partition, then split by key hash
+        // into one bucket per reducer.
+        let map_label = format!("{label}.combine");
+        let buckets: Vec<Vec<Vec<(K, V)>>> = self.engine.run_stage(
+            &map_label,
+            self.parts.clone(),
+            (0, 0),
+            |_, part: Part<(K, V)>| {
+                let data = match &part {
+                    Part::Mem(a) => Arc::clone(a),
+                    Part::Stored(id) => engine.store().get::<(K, V)>(*id),
+                };
+                let mut combined: FxHashMap<K, V> = FxHashMap::default();
+                for (k, v) in data.iter() {
+                    match combined.get_mut(k) {
+                        Some(acc) => merge(acc, v.clone()),
+                        None => {
+                            combined.insert(k.clone(), v.clone());
+                        }
+                    }
+                }
+                let records_out = combined.len() as u64;
+                let mut split: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+                for (k, v) in combined {
+                    let p = (fx_hash_one(&k) % partitions as u64) as usize;
+                    split[p].push((k, v));
+                }
+                TaskOutput {
+                    records_in: data.len() as u64,
+                    records_out,
+                    value: split,
+                }
+            },
+        );
+
+        // Shuffle accounting: every combined record crosses the wire once;
+        // bytes are estimated from a sampled record size.
+        let mut shuffled_records = 0u64;
+        let mut shuffled_bytes = 0u64;
+        let mut reducer_inputs: Vec<Vec<Vec<(K, V)>>> =
+            (0..partitions).map(|_| Vec::new()).collect();
+        for task_buckets in buckets {
+            for (j, bucket) in task_buckets.into_iter().enumerate() {
+                shuffled_records += bucket.len() as u64;
+                if let Some((k, v)) = bucket.first() {
+                    shuffled_bytes +=
+                        (k.size_estimate() + v.size_estimate()) as u64 * bucket.len() as u64;
+                }
+                let bucket = if disk_mr {
+                    // Real serialization + disk round trip per map output.
+                    let encoded = encode_records(&bucket);
+                    let id = engine.store().put_disk(&encoded);
+                    let data = engine.store().get::<u8>(id);
+                    engine.store().free(id);
+                    decode_records::<(K, V)>(&data)
+                } else {
+                    bucket
+                };
+                reducer_inputs[j].push(bucket);
+            }
+        }
+
+        // Reduce side: merge all buckets for this reducer.
+        let reduce_label = format!("{label}.reduce");
+        let parts = self.engine.run_stage(
+            &reduce_label,
+            reducer_inputs,
+            (0, 0),
+            |_, incoming: Vec<Vec<(K, V)>>| {
+                let mut merged: FxHashMap<K, V> = FxHashMap::default();
+                let mut records_in = 0u64;
+                for bucket in incoming {
+                    for (k, v) in bucket {
+                        records_in += 1;
+                        match merged.get_mut(&k) {
+                            Some(acc) => merge(acc, v),
+                            None => {
+                                merged.insert(k, v);
+                            }
+                        }
+                    }
+                }
+                let out: Vec<(K, V)> = merged.into_iter().collect();
+                TaskOutput {
+                    records_in,
+                    records_out: out.len() as u64,
+                    value: Self::finish_part(&engine, out),
+                }
+            },
+        );
+
+        // Attach shuffle volume to the reduce stage record.
+        self.engine
+            .metrics()
+            .set_last_stage_shuffle(shuffled_records, shuffled_bytes);
+
+        Dataset::from_parts(self.engine.clone(), parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::in_memory().with_workers(2))
+    }
+
+    #[test]
+    fn map_filter_flat_map_compose() {
+        let e = engine();
+        let d = e.parallelize((0..100u32).collect(), 7);
+        let out = d
+            .map("x2", |&x| x * 2)
+            .filter("even-hundreds", |&x| x % 10 == 0)
+            .flat_map("dup", |&x| vec![x, x])
+            .collect();
+        assert_eq!(out.len(), 40);
+        assert!(out.iter().all(|&x| x % 10 == 0));
+    }
+
+    #[test]
+    fn aggregate_sums() {
+        let e = engine();
+        let d = e.parallelize((1..=100u64).collect(), 9);
+        let sum = d.aggregate("sum", || 0u64, |a, &x| *a += x, |a, b| *a += b);
+        assert_eq!(sum, 5050);
+        assert_eq!(d.count(), 100);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_sequential() {
+        let e = engine();
+        let pairs: Vec<(u32, u64)> = (0..1000).map(|i| (i % 13, 1u64)).collect();
+        let d = e.parallelize(pairs, 8);
+        let mut out = d.reduce_by_key("count", 4, |a, b| *a += b).collect();
+        out.sort_unstable();
+        let expect: Vec<(u32, u64)> = (0..13)
+            .map(|k| (k, (0..1000).filter(|i| i % 13 == k).count() as u64))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn reduce_by_key_records_shuffle_metrics() {
+        let e = engine();
+        let pairs: Vec<(u32, u64)> = (0..100).map(|i| (i % 5, 1u64)).collect();
+        let d = e.parallelize(pairs, 4);
+        let _ = d.reduce_by_key("count", 3, |a, b| *a += b);
+        let stages = e.metrics().stages();
+        let reduce = stages.iter().find(|s| s.label == "count.reduce").unwrap();
+        // 4 map partitions × up to 5 keys each, combined map-side.
+        assert!(reduce.shuffled_records >= 5);
+        assert!(reduce.shuffled_records <= 20);
+        assert!(reduce.shuffled_bytes > 0);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_roughly_sized() {
+        let e = engine();
+        let d = e.parallelize((0..10_000u32).collect(), 8);
+        let s1 = d.sample(0.1, 42).collect();
+        let s2 = d.sample(0.1, 42).collect();
+        assert_eq!(s1, s2);
+        assert!(s1.len() > 700 && s1.len() < 1300, "got {}", s1.len());
+    }
+
+    #[test]
+    fn take_sample_exact_size_without_replacement() {
+        let e = engine();
+        let d = e.parallelize((0..1000u32).collect(), 7);
+        let s = d.take_sample(64, 7);
+        assert_eq!(s.len(), 64);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 64, "sample must be without replacement");
+        // Deterministic
+        assert_eq!(d.take_sample(64, 7), s);
+        // Oversized request returns everything.
+        assert_eq!(d.take_sample(5000, 7).len(), 1000);
+    }
+
+    #[test]
+    fn cache_round_trips_through_block_store() {
+        let e = engine();
+        let d = e.parallelize((0..500u32).collect(), 4).cache();
+        assert_eq!(d.collect(), (0..500).collect::<Vec<u32>>());
+        assert!(e.store().resident_bytes() > 0);
+        d.free();
+        assert_eq!(e.store().resident_bytes(), 0);
+    }
+
+    #[test]
+    fn disk_mr_mode_materializes_stages_on_disk() {
+        let e = Engine::new(
+            EngineConfig::disk_mr().with_stage_startup(std::time::Duration::ZERO),
+        );
+        let d = e.parallelize((0..100u32).collect(), 4);
+        let out = d.map("inc", |&x| x + 1);
+        assert!(e.metrics().counters().disk_writes >= 4);
+        let before_reads = e.metrics().counters().disk_reads;
+        assert_eq!(out.collect(), (1..=100).collect::<Vec<u32>>());
+        assert!(e.metrics().counters().disk_reads > before_reads);
+    }
+
+    #[test]
+    fn disk_mr_reduce_matches_in_memory() {
+        let pairs: Vec<(u32, u64)> = (0..200).map(|i| (i % 7, u64::from(i))).collect();
+        let run = |e: Engine| {
+            let mut out = e
+                .parallelize(pairs.clone(), 5)
+                .reduce_by_key("sum", 3, |a, b| *a += b)
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let mem = run(engine());
+        let disk = run(Engine::new(
+            EngineConfig::disk_mr().with_stage_startup(std::time::Duration::ZERO),
+        ));
+        assert_eq!(mem, disk);
+    }
+
+    #[test]
+    fn single_thread_mode_gives_same_results() {
+        let pairs: Vec<(u32, u64)> = (0..300).map(|i| (i % 11, 1u64)).collect();
+        let mut a = Engine::single_thread()
+            .parallelize(pairs.clone(), 6)
+            .reduce_by_key("c", 2, |x, y| *x += y)
+            .collect();
+        let mut b = engine()
+            .parallelize(pairs, 6)
+            .reduce_by_key("c", 2, |x, y| *x += y)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_partitions_sees_partition_index() {
+        let e = engine();
+        let d = e.parallelize(vec![0u32; 12], 3);
+        let idxs = d.map_partitions("tag", |idx, data| vec![idx as u32; data.len()]);
+        let mut seen = idxs.collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn stage_metrics_count_records() {
+        let e = engine();
+        let d = e.parallelize((0..50u32).collect(), 5);
+        let _ = d.flat_map("triple", |&x| [x, x, x]);
+        let stage = e.metrics().stages().pop().unwrap();
+        assert_eq!(stage.tasks.iter().map(|t| t.records_in).sum::<u64>(), 50);
+        assert_eq!(stage.tasks.iter().map(|t| t.records_out).sum::<u64>(), 150);
+    }
+}
+
+#[cfg(test)]
+mod repartition_tests {
+    use super::*;
+    use crate::config::EngineConfig;
+
+    #[test]
+    fn repartition_preserves_multiset() {
+        let e = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let d = e.parallelize((0..100u32).collect(), 3);
+        let r = d.repartition(7);
+        assert_eq!(r.num_partitions(), 7);
+        let mut out = r.collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..100).collect::<Vec<u32>>());
+        // Every record crossed the shuffle.
+        let stage = e
+            .metrics()
+            .stages()
+            .into_iter()
+            .find(|s| s.label == "repartition.reduce")
+            .unwrap();
+        assert_eq!(stage.shuffled_records, 100);
+        assert!(stage.shuffled_bytes >= 400);
+    }
+}

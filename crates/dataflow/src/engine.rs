@@ -1,0 +1,292 @@
+//! The execution engine: a thread pool running per-partition tasks with
+//! metrics collection, plus broadcast variables.
+
+use crate::config::{EngineConfig, EngineMode};
+use crate::dataset::{Dataset, Part};
+use crate::encode::Encode;
+use crate::memory::BlockStore;
+use crate::metrics::{MetricsRegistry, StageRecord, TaskRecord};
+use parking_lot::Mutex;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Handle to a dataflow engine. Cheap to clone; all clones share the same
+/// block store, metrics and configuration.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+pub(crate) struct EngineInner {
+    pub(crate) config: EngineConfig,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) store: BlockStore,
+}
+
+/// Result of one task: the produced value plus record accounting.
+pub struct TaskOutput<O> {
+    /// Value produced by the task (e.g. an output partition).
+    pub value: O,
+    /// Records the task consumed.
+    pub records_in: u64,
+    /// Records the task produced.
+    pub records_out: u64,
+}
+
+impl Engine {
+    /// Build an engine from a configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let metrics = MetricsRegistry::new();
+        let store = BlockStore::new(
+            config.memory_budget,
+            config.spill_dir.clone(),
+            metrics.clone(),
+        );
+        Engine {
+            inner: Arc::new(EngineInner {
+                config,
+                metrics,
+                store,
+            }),
+        }
+    }
+
+    /// Spark-like engine with default configuration.
+    pub fn in_memory() -> Self {
+        Self::new(EngineConfig::in_memory())
+    }
+
+    /// Hive-like engine (disk-materialized stages).
+    pub fn disk_mr() -> Self {
+        Self::new(EngineConfig::disk_mr())
+    }
+
+    /// PostgreSQL-like engine (single worker).
+    pub fn single_thread() -> Self {
+        Self::new(EngineConfig::single_thread())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// The platform emulation mode.
+    pub fn mode(&self) -> EngineMode {
+        self.inner.config.mode
+    }
+
+    /// The metrics registry shared by all operators of this engine.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// The block store backing cached and disk-materialized partitions.
+    pub fn store(&self) -> &BlockStore {
+        &self.inner.store
+    }
+
+    /// Distribute `data` over `partitions` in-memory partitions.
+    pub fn parallelize<T: Send + Sync + 'static>(
+        &self,
+        data: Vec<T>,
+        partitions: usize,
+    ) -> Dataset<T> {
+        let partitions = partitions.max(1);
+        let n = data.len();
+        let chunk = n.div_ceil(partitions).max(1);
+        let mut parts = Vec::with_capacity(partitions);
+        let mut iter = data.into_iter();
+        for _ in 0..partitions {
+            let part: Vec<T> = iter.by_ref().take(chunk).collect();
+            parts.push(Part::Mem(Arc::new(part)));
+        }
+        Dataset::from_parts(self.clone(), parts)
+    }
+
+    /// Distribute `data` using the engine's default partition count.
+    pub fn parallelize_default<T: Send + Sync + 'static>(&self, data: Vec<T>) -> Dataset<T> {
+        let p = self.inner.config.partitions;
+        self.parallelize(data, p)
+    }
+
+    /// Replicate a value to every worker (map-side / broadcast join input).
+    /// The reported broadcast volume is `bytes_hint × workers`, mirroring the
+    /// cost of shipping the variable to each executor.
+    pub fn broadcast_sized<T>(&self, value: T, bytes_hint: u64) -> Broadcast<T> {
+        self.inner
+            .metrics
+            .add_broadcast(bytes_hint * self.inner.config.effective_workers() as u64);
+        Broadcast {
+            value: Arc::new(value),
+        }
+    }
+
+    /// Broadcast an encodable value, deriving its size automatically.
+    pub fn broadcast<T: Encode>(&self, value: T) -> Broadcast<T> {
+        let bytes = value.size_estimate() as u64;
+        self.broadcast_sized(value, bytes)
+    }
+
+    /// Execute one stage: apply `f` to every input in parallel, recording a
+    /// [`StageRecord`]. `shuffle` carries (records, bytes) that crossed a
+    /// shuffle boundary into this stage, for metric purposes.
+    pub(crate) fn run_stage<I, O, F>(
+        &self,
+        label: &str,
+        inputs: Vec<I>,
+        shuffle: (u64, u64),
+        f: F,
+    ) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(usize, I) -> TaskOutput<O> + Send + Sync,
+    {
+        let startup = self.inner.config.stage_startup;
+        if !startup.is_zero() {
+            std::thread::sleep(startup);
+        }
+        let workers = self.inner.config.effective_workers().min(inputs.len().max(1));
+        let n = inputs.len();
+        let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let outputs: Vec<Mutex<Option<(O, TaskRecord)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        let run_task = |idx: usize| {
+            let input = slots[idx].lock().take().expect("task input taken once");
+            let start = Instant::now();
+            let out = f(idx, input);
+            let nanos = start.elapsed().as_nanos() as u64;
+            *outputs[idx].lock() = Some((
+                out.value,
+                TaskRecord {
+                    partition: idx,
+                    records_in: out.records_in,
+                    records_out: out.records_out,
+                    nanos,
+                },
+            ));
+        };
+
+        if workers <= 1 {
+            for idx in 0..n {
+                run_task(idx);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|_| loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        run_task(idx);
+                    });
+                }
+            })
+            .expect("worker panicked");
+        }
+
+        let mut values = Vec::with_capacity(n);
+        let mut tasks = Vec::with_capacity(n);
+        for slot in outputs {
+            let (value, record) = slot.into_inner().expect("task completed");
+            values.push(value);
+            tasks.push(record);
+        }
+        self.inner.metrics.push_stage(StageRecord {
+            label: label.to_string(),
+            tasks,
+            shuffled_records: shuffle.0,
+            shuffled_bytes: shuffle.1,
+        });
+        values
+    }
+}
+
+/// A read-only variable replicated to all workers (Spark broadcast variable).
+pub struct Broadcast<T> {
+    value: Arc<T>,
+}
+
+impl<T> Broadcast<T> {
+    /// Borrow the broadcast value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+impl<T> Deref for Broadcast<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stage_preserves_order_and_records_metrics() {
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(4));
+        let outs = engine.run_stage("square", (0..10u64).collect(), (0, 0), |_, x| TaskOutput {
+            value: x * x,
+            records_in: 1,
+            records_out: 1,
+        });
+        assert_eq!(outs, (0..10u64).map(|x| x * x).collect::<Vec<_>>());
+        let stages = engine.metrics().stages();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].label, "square");
+        assert_eq!(stages[0].tasks.len(), 10);
+    }
+
+    #[test]
+    fn single_thread_mode_runs_inline() {
+        let engine = Engine::single_thread();
+        let outs = engine.run_stage("id", vec![1, 2, 3], (0, 0), |_, x| TaskOutput {
+            value: x,
+            records_in: 1,
+            records_out: 1,
+        });
+        assert_eq!(outs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_derefs_and_counts_bytes() {
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let b = engine.broadcast(vec![1u32, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.value()[0], 1);
+        assert!(engine.metrics().counters().broadcast_bytes > 0);
+    }
+
+    #[test]
+    fn parallelize_splits_evenly() {
+        let engine = Engine::in_memory();
+        let ds = engine.parallelize((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(ds.num_partitions(), 3);
+        assert_eq!(ds.collect(), (0..10).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn parallelize_handles_empty_input() {
+        let engine = Engine::in_memory();
+        let ds = engine.parallelize(Vec::<u32>::new(), 4);
+        assert_eq!(ds.collect(), Vec::<u32>::new());
+        assert_eq!(ds.len(), 0);
+    }
+}

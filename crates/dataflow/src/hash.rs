@@ -1,0 +1,138 @@
+//! A fast, non-cryptographic hasher (FxHash-style) implemented locally so the
+//! engine does not depend on external hashing crates.
+//!
+//! The std `SipHash` default is robust against HashDoS but measurably slow for
+//! the short integer-heavy keys (rule encodings, bit masks) that dominate
+//! SIRUM's shuffles. All hash maps in this workspace key on data we generate
+//! ourselves, so DoS resistance is not required.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// FxHash-style multiplicative hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash a single value with [`FxHasher`]; used for shuffle partitioning.
+#[inline]
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        assert_eq!(fx_hash_one(&42u64), fx_hash_one(&42u64));
+        assert_eq!(fx_hash_one(&"abc"), fx_hash_one(&"abc"));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
+        assert_ne!(fx_hash_one(&[1u32, 2]), fx_hash_one(&[2u32, 1]));
+    }
+
+    #[test]
+    fn byte_tails_are_mixed() {
+        // Inputs that differ only in a non-word-aligned tail byte must differ.
+        assert_ne!(fx_hash_one(&[1u8, 2, 3]), fx_hash_one(&[1u8, 2, 4]));
+        assert_ne!(
+            fx_hash_one(&[1u8, 2, 3, 4, 5]),
+            fx_hash_one(&[1u8, 2, 3, 4, 6])
+        );
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<Vec<u32>, u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(vec![i, i + 1], u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m[&vec![i, i + 1]], u64::from(i));
+        }
+    }
+
+    #[test]
+    fn distribution_is_reasonable() {
+        // Crude avalanche check: bucketing 10k sequential integers into 64
+        // buckets should not leave any bucket pathologically empty/full.
+        let mut buckets = [0usize; 64];
+        for i in 0..10_000u64 {
+            buckets[(fx_hash_one(&i) % 64) as usize] += 1;
+        }
+        let min = *buckets.iter().min().unwrap();
+        let max = *buckets.iter().max().unwrap();
+        assert!(min > 50, "min bucket {min}");
+        assert!(max < 500, "max bucket {max}");
+    }
+}

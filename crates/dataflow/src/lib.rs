@@ -1,0 +1,52 @@
+//! # sirum-dataflow
+//!
+//! A miniature partitioned dataflow engine — the execution substrate for the
+//! SIRUM reproduction. It stands in for the platforms the thesis evaluates:
+//!
+//! * **Spark** ([`EngineMode::InMemory`]): parallel tasks over partitions,
+//!   map-side-combine shuffles, broadcast variables, budgeted block cache
+//!   with LRU spill.
+//! * **Hive on MapReduce** ([`EngineMode::DiskMr`]): identical operators, but
+//!   every stage's output (and every shuffle) round-trips through disk and
+//!   each stage pays a job-startup latency.
+//! * **PostgreSQL** ([`EngineMode::SingleThread`]): one worker, no
+//!   intra-query parallelism.
+//!
+//! The engine records per-task timings, shuffle volumes and disk I/O; the
+//! [`cost`] module replays them through a deterministic model of an
+//! `E × C`-slot cluster to reproduce the paper's scalability figures on a
+//! single machine.
+//!
+//! ## Example
+//!
+//! ```
+//! use sirum_dataflow::Engine;
+//!
+//! let engine = Engine::in_memory();
+//! let data = engine.parallelize((0..1000u32).collect(), 8);
+//! let pairs = data.map("key-by-mod", |&x| (x % 10, 1u64));
+//! let counts = pairs.reduce_by_key("count", 4, |a, b| *a += b);
+//! let mut result = counts.collect();
+//! result.sort_unstable();
+//! assert_eq!(result.len(), 10);
+//! assert!(result.iter().all(|&(_, c)| c == 100));
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::must_use_candidate)]
+
+mod config;
+pub mod cost;
+mod dataset;
+mod encode;
+mod engine;
+pub mod hash;
+mod memory;
+mod metrics;
+
+pub use config::{EngineConfig, EngineMode};
+pub use dataset::{Dataset, Record};
+pub use encode::{decode_records, encode_records, Encode};
+pub use engine::{Broadcast, Engine, TaskOutput};
+pub use memory::{BlockId, BlockStore, MemSample};
+pub use metrics::{CounterSnapshot, MetricsRegistry, StageRecord, TaskRecord};

@@ -1,0 +1,384 @@
+//! Block manager: budgeted in-memory cache of dataset partitions with LRU
+//! eviction to spill files, mirroring Spark's block store.
+//!
+//! The memory-usage-over-time traces this module records reproduce
+//! Figures 4.3 and 4.4 of the thesis (RDD block memory vs elapsed time under
+//! different executor memory budgets).
+
+use crate::encode::{decode_records, encode_records, Encode};
+use crate::hash::FxHashMap;
+use crate::metrics::MetricsRegistry;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier of a cached partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(u64);
+
+type AnyArc = Arc<dyn Any + Send + Sync>;
+type EncodeFn = fn(&AnyArc) -> Vec<u8>;
+
+struct Block {
+    /// Decoded partition (`Arc<Vec<T>>`) when resident in memory.
+    data: Option<AnyArc>,
+    /// Approximate in-memory footprint, charged against the budget.
+    size: usize,
+    /// LRU clock value of the last access.
+    last_access: u64,
+    /// Spill file, present once the block has been written to disk.
+    file: Option<PathBuf>,
+    /// Monomorphized encoder used when this block must be spilled.
+    encode: EncodeFn,
+}
+
+/// One point of the memory-usage-over-time trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSample {
+    /// Seconds since the store was created.
+    pub secs: f64,
+    /// Bytes of block data resident in memory at that instant.
+    pub resident_bytes: usize,
+}
+
+struct StoreInner {
+    blocks: FxHashMap<BlockId, Block>,
+    clock: u64,
+    resident_bytes: usize,
+    trace: Vec<MemSample>,
+}
+
+/// Thread-safe budgeted block store. Cheap to clone (shared interior).
+#[derive(Clone)]
+pub struct BlockStore {
+    inner: Arc<Mutex<StoreInner>>,
+    budget: Option<usize>,
+    dir: PathBuf,
+    metrics: MetricsRegistry,
+    epoch: Instant,
+    next_id: Arc<AtomicU64>,
+}
+
+fn encode_any<T: Encode + Send + Sync + 'static>(any: &AnyArc) -> Vec<u8> {
+    let v = any
+        .downcast_ref::<Vec<T>>()
+        .expect("block type matches its encoder");
+    encode_records(v)
+}
+
+impl BlockStore {
+    /// Create a store with the given budget (`None` = unbounded) spilling
+    /// into a unique subdirectory of `dir`.
+    pub fn new(budget: Option<usize>, dir: PathBuf, metrics: MetricsRegistry) -> Self {
+        static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let unique = format!(
+            "store-{}-{}",
+            std::process::id(),
+            STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = dir.join(unique);
+        std::fs::create_dir_all(&dir).expect("create spill directory");
+        BlockStore {
+            inner: Arc::new(Mutex::new(StoreInner {
+                blocks: FxHashMap::default(),
+                clock: 0,
+                resident_bytes: 0,
+                trace: Vec::new(),
+            })),
+            budget,
+            dir,
+            metrics,
+            epoch: Instant::now(),
+            next_id: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn alloc_id(&self) -> BlockId {
+        BlockId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn file_for(&self, id: BlockId) -> PathBuf {
+        self.dir.join(format!("block-{}.bin", id.0))
+    }
+
+    fn sample_locked(&self, inner: &mut StoreInner) {
+        inner.trace.push(MemSample {
+            secs: self.epoch.elapsed().as_secs_f64(),
+            resident_bytes: inner.resident_bytes,
+        });
+    }
+
+    /// Evict least-recently-used blocks (other than `keep`) until the
+    /// resident set fits the budget. Spilled blocks are encoded and written
+    /// to disk if they have no file yet.
+    fn enforce_budget(&self, inner: &mut StoreInner, keep: BlockId) {
+        let Some(budget) = self.budget else { return };
+        while inner.resident_bytes > budget {
+            let victim = inner
+                .blocks
+                .iter()
+                .filter(|(id, b)| **id != keep && b.data.is_some())
+                .min_by_key(|(_, b)| b.last_access)
+                .map(|(id, _)| *id);
+            let Some(victim) = victim else { break };
+            self.evict_locked(inner, victim);
+        }
+    }
+
+    fn evict_locked(&self, inner: &mut StoreInner, id: BlockId) {
+        let file = self.file_for(id);
+        let block = inner.blocks.get_mut(&id).expect("victim exists");
+        let data = block.data.take().expect("victim is resident");
+        if block.file.is_none() {
+            let bytes = (block.encode)(&data);
+            std::fs::write(&file, &bytes).expect("write spill file");
+            self.metrics.add_disk_write(bytes.len() as u64);
+            block.file = Some(file);
+        }
+        inner.resident_bytes -= block.size;
+        self.sample_locked(inner);
+    }
+
+    /// Insert a partition, keeping it resident (subject to the budget).
+    pub fn put<T: Encode + Send + Sync + 'static>(&self, data: Vec<T>) -> BlockId {
+        let size = partition_size(&data);
+        let id = self.alloc_id();
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.blocks.insert(
+            id,
+            Block {
+                data: Some(Arc::new(data) as AnyArc),
+                size,
+                last_access: clock,
+                file: None,
+                encode: encode_any::<T>,
+            },
+        );
+        inner.resident_bytes += size;
+        self.sample_locked(&mut inner);
+        self.enforce_budget(&mut inner, id);
+        // If this block alone exceeds the budget, it must itself be spilled.
+        if self.budget.is_some_and(|b| inner.resident_bytes > b) {
+            self.evict_locked(&mut inner, id);
+        }
+        id
+    }
+
+    /// Insert a partition directly on disk without occupying memory
+    /// (used by the Hive-like `DiskMr` mode for stage outputs).
+    pub fn put_disk<T: Encode + Send + Sync + 'static>(&self, data: &[T]) -> BlockId {
+        let id = self.alloc_id();
+        let bytes = encode_records(data);
+        let file = self.file_for(id);
+        std::fs::write(&file, &bytes).expect("write block file");
+        self.metrics.add_disk_write(bytes.len() as u64);
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.blocks.insert(
+            id,
+            Block {
+                data: None,
+                size: partition_size(data),
+                last_access: clock,
+                file: Some(file),
+                encode: encode_any::<T>,
+            },
+        );
+        id
+    }
+
+    /// Fetch a partition. Spilled blocks are read back from disk, decoded and
+    /// re-admitted to memory (possibly evicting others) — the "continuous
+    /// re-read" behaviour Figure 4.3 shows for undersized budgets.
+    pub fn get<T: Encode + Send + Sync + 'static>(&self, id: BlockId) -> Arc<Vec<T>> {
+        let file = {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            let block = inner.blocks.get_mut(&id).expect("block exists");
+            block.last_access = clock;
+            if let Some(data) = &block.data {
+                return Arc::clone(data)
+                    .downcast::<Vec<T>>()
+                    .expect("block type matches request");
+            }
+            block.file.clone().expect("non-resident block has a file")
+        };
+        // Read and decode outside the lock; file I/O can be slow.
+        let bytes = std::fs::read(&file).expect("read spill file");
+        self.metrics.add_disk_read(bytes.len() as u64);
+        let decoded: Arc<Vec<T>> = Arc::new(decode_records(&bytes));
+        let mut inner = self.inner.lock();
+        if let Some(block) = inner.blocks.get_mut(&id) {
+            if block.data.is_none() {
+                block.data = Some(Arc::clone(&decoded) as AnyArc);
+                let size = block.size;
+                inner.resident_bytes += size;
+                self.sample_locked(&mut inner);
+                self.enforce_budget(&mut inner, id);
+            }
+        }
+        decoded
+    }
+
+    /// Drop a block and its spill file.
+    pub fn free(&self, id: BlockId) {
+        let mut inner = self.inner.lock();
+        if let Some(block) = inner.blocks.remove(&id) {
+            if block.data.is_some() {
+                inner.resident_bytes -= block.size;
+                self.sample_locked(&mut inner);
+            }
+            if let Some(file) = block.file {
+                let _ = std::fs::remove_file(file);
+            }
+        }
+    }
+
+    /// Bytes of block data currently resident in memory.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident_bytes
+    }
+
+    /// The memory-usage-over-time trace accumulated so far.
+    pub fn trace(&self) -> Vec<MemSample> {
+        self.inner.lock().trace.clone()
+    }
+
+    /// Clear the trace (e.g. between experiments sharing one engine).
+    pub fn reset_trace(&self) {
+        self.inner.lock().trace.clear();
+    }
+
+    /// Best-effort removal of all spill files.
+    pub fn cleanup(&self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Approximate in-memory footprint of a partition.
+fn partition_size<T: Encode>(data: &[T]) -> usize {
+    // Sample up to 64 records to keep sizing O(1)-ish for huge partitions.
+    if data.is_empty() {
+        return 64;
+    }
+    let step = (data.len() / 64).max(1);
+    let mut sampled = 0usize;
+    let mut count = 0usize;
+    let mut i = 0;
+    while i < data.len() {
+        sampled += data[i].size_estimate();
+        count += 1;
+        i += step;
+    }
+    64 + sampled * data.len() / count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(budget: Option<usize>) -> BlockStore {
+        BlockStore::new(
+            budget,
+            std::env::temp_dir().join("sirum-dataflow-test"),
+            MetricsRegistry::new(),
+        )
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = store(None);
+        let id = s.put(vec![1u32, 2, 3]);
+        assert_eq!(*s.get::<u32>(id), vec![1, 2, 3]);
+        s.cleanup();
+    }
+
+    #[test]
+    fn unbounded_budget_never_spills() {
+        let s = store(None);
+        for i in 0..10 {
+            let id = s.put(vec![i as u64; 1000]);
+            let _ = s.get::<u64>(id);
+        }
+        assert_eq!(s.metrics.counters().disk_writes, 0);
+        s.cleanup();
+    }
+
+    #[test]
+    fn tight_budget_spills_and_reloads() {
+        let s = store(Some(10_000));
+        let ids: Vec<BlockId> = (0..8).map(|i| s.put(vec![i as u64; 1000])).collect();
+        // 8 blocks × ~8KB each with a 10KB budget: most must have spilled.
+        assert!(s.resident_bytes() <= 10_000 + 9000);
+        assert!(s.metrics.counters().disk_writes > 0);
+        // Every block still yields the right contents.
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(*s.get::<u64>(*id), vec![i as u64; 1000]);
+        }
+        assert!(s.metrics.counters().disk_reads > 0);
+        s.cleanup();
+    }
+
+    #[test]
+    fn disk_only_blocks_occupy_no_memory_until_read() {
+        let s = store(None);
+        let id = s.put_disk(&vec![7u32; 100]);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(*s.get::<u32>(id), vec![7u32; 100]);
+        assert!(s.resident_bytes() > 0, "read re-admits to memory");
+        s.cleanup();
+    }
+
+    #[test]
+    fn free_releases_memory() {
+        let s = store(None);
+        let id = s.put(vec![1u64; 100]);
+        assert!(s.resident_bytes() > 0);
+        s.free(id);
+        assert_eq!(s.resident_bytes(), 0);
+        s.cleanup();
+    }
+
+    #[test]
+    fn trace_records_growth() {
+        let s = store(None);
+        s.put(vec![1u64; 10]);
+        s.put(vec![2u64; 10]);
+        let trace = s.trace();
+        assert_eq!(trace.len(), 2);
+        assert!(trace[1].resident_bytes > trace[0].resident_bytes);
+        s.cleanup();
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let s = store(Some(20_000));
+        let a = s.put(vec![0u64; 1000]); // ~8KB
+        let b = s.put(vec![1u64; 1000]);
+        let _ = s.get::<u64>(a); // touch a so b becomes LRU
+        let _c = s.put(vec![2u64; 1000]); // forces one eviction
+        // b should have been the victim; a remains resident (no disk read).
+        let before = s.metrics.counters().disk_reads;
+        let _ = s.get::<u64>(a);
+        assert_eq!(s.metrics.counters().disk_reads, before);
+        let _ = s.get::<u64>(b);
+        assert_eq!(s.metrics.counters().disk_reads, before + 1);
+        s.cleanup();
+    }
+
+    #[test]
+    fn oversized_single_block_is_spilled() {
+        let s = store(Some(100));
+        let id = s.put(vec![1u64; 1000]);
+        assert_eq!(s.resident_bytes(), 0, "block larger than budget spills");
+        assert_eq!(*s.get::<u64>(id), vec![1u64; 1000]);
+        s.cleanup();
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal CSV I/O for [`Table`]s.
+//!
+//! The paper stores its datasets as CSV files in HDFS; this module provides
+//! the equivalent boundary for the reproduction. The dialect is deliberately
+//! simple: comma-separated, first line is the header (dimension names then
+//! the measure name), no quoting — categorical values must not contain commas
+//! or newlines, which holds for every dataset the generators produce.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use std::io::{self, BufRead, Write};
+
+/// Serialize a table as CSV (header + one line per row).
+pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> io::Result<()> {
+    let schema = table.schema();
+    for (i, name) in schema.dim_names().iter().enumerate() {
+        assert!(!name.contains(','), "CSV dialect forbids commas in names");
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        out.write_all(name.as_bytes())?;
+    }
+    writeln!(out, ",{}", schema.measure_name())?;
+    for i in 0..table.num_rows() {
+        for (col, &code) in table.row(i).iter().enumerate() {
+            let v = table.decode(col, code);
+            debug_assert!(!v.contains(','), "CSV dialect forbids commas in values");
+            if col > 0 {
+                out.write_all(b",")?;
+            }
+            out.write_all(v.as_bytes())?;
+        }
+        writeln!(out, ",{}", table.measure(i))?;
+    }
+    Ok(())
+}
+
+/// Parse a CSV produced by [`write_csv`] (or any comma-separated file whose
+/// last column is numeric) back into a [`Table`].
+pub fn read_csv<R: BufRead>(input: R) -> io::Result<Table> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let mut cols: Vec<&str> = header.split(',').collect();
+    let measure = cols
+        .pop()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "header has no columns"))?;
+    if cols.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "need at least one dimension column",
+        ));
+    }
+    let schema = Schema::new(cols.clone(), measure);
+    let d = schema.num_dims();
+    let mut builder = Table::builder(schema);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != d + 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "line {}: expected {} fields, found {}",
+                    lineno + 2,
+                    d + 1,
+                    fields.len()
+                ),
+            ));
+        }
+        let m: f64 = fields[d].parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad measure value: {e}", lineno + 2),
+            )
+        })?;
+        builder.push_row(&fields[..d], m);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = generators::flights();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.schema(), t.schema());
+        assert_eq!(back.num_rows(), t.num_rows());
+        for i in 0..t.num_rows() {
+            let orig: Vec<&str> = t
+                .row(i)
+                .iter()
+                .enumerate()
+                .map(|(c, &code)| t.decode(c, code))
+                .collect();
+            let reread: Vec<&str> = back
+                .row(i)
+                .iter()
+                .enumerate()
+                .map(|(c, &code)| back.decode(c, code))
+                .collect();
+            assert_eq!(orig, reread);
+            assert_eq!(t.measure(i), back.measure(i));
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_lines() {
+        let csv = "a,b,m\nx,y,1\nx,2\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 3 fields"));
+    }
+
+    #[test]
+    fn rejects_non_numeric_measure() {
+        let csv = "a,m\nx,notanumber\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "a,m\nx,1\n\ny,2\n";
+        let t = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+}

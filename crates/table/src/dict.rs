@@ -1,0 +1,93 @@
+//! Per-column dictionary encoding: categorical string values ↔ dense `u32`
+//! codes. SIRUM's rule machinery works entirely on codes; strings only
+//! appear at the I/O boundary.
+
+use std::collections::HashMap;
+
+/// Bidirectional mapping between the distinct values of one categorical
+/// column and dense codes `0..cardinality`.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    to_code: HashMap<String, u32>,
+    to_value: Vec<String>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the code for `value`, inserting it if unseen.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&code) = self.to_code.get(value) {
+            return code;
+        }
+        let code = u32::try_from(self.to_value.len()).expect("dictionary overflow");
+        assert!(code < u32::MAX, "u32::MAX is reserved for the wildcard");
+        self.to_code.insert(value.to_string(), code);
+        self.to_value.push(value.to_string());
+        code
+    }
+
+    /// Code for `value` if already interned.
+    pub fn code(&self, value: &str) -> Option<u32> {
+        self.to_code.get(value).copied()
+    }
+
+    /// String value for `code`.
+    ///
+    /// # Panics
+    /// Panics if the code was never interned.
+    pub fn value(&self, code: u32) -> &str {
+        &self.to_value[code as usize]
+    }
+
+    /// Number of distinct values (the active domain size `|dom(A)|`).
+    pub fn cardinality(&self) -> usize {
+        self.to_value.len()
+    }
+
+    /// Iterate over `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.to_value
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("SF");
+        let b = d.intern("London");
+        assert_eq!(d.intern("SF"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.cardinality(), 2);
+    }
+
+    #[test]
+    fn codes_are_dense_and_reversible() {
+        let mut d = Dictionary::new();
+        for (i, v) in ["x", "y", "z"].iter().enumerate() {
+            assert_eq!(d.intern(v), i as u32);
+        }
+        assert_eq!(d.value(1), "y");
+        assert_eq!(d.code("z"), Some(2));
+        assert_eq!(d.code("w"), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let mut d = Dictionary::new();
+        d.intern("b");
+        d.intern("a");
+        let pairs: Vec<(u32, &str)> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "b"), (1, "a")]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # sirum-table
+//!
+//! Columnar multidimensional table substrate for the SIRUM reproduction:
+//! dictionary-encoded categorical dimension attributes, a numeric measure
+//! column, CSV I/O, and deterministic synthetic generators matching the
+//! shapes of the paper's evaluation datasets (Income, GDELT, SUSY, TLC) and
+//! the worked flight-delay example.
+//!
+//! ```
+//! use sirum_table::generators;
+//!
+//! let flights = generators::flights();
+//! assert_eq!(flights.num_rows(), 14);
+//! assert_eq!(flights.schema().dim_names(), &["Day", "Origin", "Destination"]);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::must_use_candidate)]
+
+pub mod csv;
+mod dict;
+pub mod generators;
+mod schema;
+mod table;
+
+pub use dict::Dictionary;
+pub use schema::Schema;
+pub use table::{Table, TableBuilder};

@@ -1,0 +1,100 @@
+//! Schema description for a multidimensional dataset: named categorical
+//! dimension attributes plus one numeric measure attribute.
+
+/// Names of the dimension attributes and the measure attribute of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    dims: Vec<String>,
+    measure: String,
+}
+
+impl Schema {
+    /// Build a schema from dimension attribute names and a measure name.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or contains duplicates.
+    pub fn new<S: Into<String>>(dims: Vec<S>, measure: impl Into<String>) -> Self {
+        let dims: Vec<String> = dims.into_iter().map(Into::into).collect();
+        assert!(!dims.is_empty(), "at least one dimension attribute required");
+        for (i, a) in dims.iter().enumerate() {
+            assert!(
+                !dims[..i].contains(a),
+                "duplicate dimension attribute name {a:?}"
+            );
+        }
+        Schema {
+            dims,
+            measure: measure.into(),
+        }
+    }
+
+    /// Number of dimension attributes (the paper's `d`).
+    pub fn num_dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension attribute names in column order.
+    pub fn dim_names(&self) -> &[String] {
+        &self.dims
+    }
+
+    /// Name of dimension attribute `i`.
+    pub fn dim_name(&self, i: usize) -> &str {
+        &self.dims[i]
+    }
+
+    /// Name of the measure attribute.
+    pub fn measure_name(&self) -> &str {
+        &self.measure
+    }
+
+    /// Index of the dimension attribute named `name`, if present.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d == name)
+    }
+
+    /// Schema restricted to the first `d` dimension attributes (used for the
+    /// paper's SUSY projections over 10..18 dims).
+    pub fn project(&self, d: usize) -> Schema {
+        assert!(d >= 1 && d <= self.dims.len());
+        Schema {
+            dims: self.dims[..d].to_vec(),
+            measure: self.measure.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let s = Schema::new(vec!["Day", "Origin", "Destination"], "Delay");
+        assert_eq!(s.num_dims(), 3);
+        assert_eq!(s.dim_name(1), "Origin");
+        assert_eq!(s.measure_name(), "Delay");
+        assert_eq!(s.dim_index("Destination"), Some(2));
+        assert_eq!(s.dim_index("nope"), None);
+    }
+
+    #[test]
+    fn project_keeps_prefix() {
+        let s = Schema::new(vec!["a", "b", "c"], "m");
+        let p = s.project(2);
+        assert_eq!(p.dim_names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(p.measure_name(), "m");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_names_rejected() {
+        let _ = Schema::new(vec!["a", "a"], "m");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_dims_rejected() {
+        let _ = Schema::new(Vec::<String>::new(), "m");
+    }
+}

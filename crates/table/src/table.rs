@@ -1,0 +1,316 @@
+//! The `Table` type: a dictionary-encoded multidimensional dataset with a
+//! numeric measure column, stored flat (no per-row allocation).
+
+use crate::dict::Dictionary;
+use crate::schema::Schema;
+
+/// A multidimensional dataset `D`: `n` rows × `d` categorical dimension
+/// attributes (dictionary-encoded `u32`) plus one numeric measure column.
+///
+/// Dimension codes are stored row-major in one flat buffer, so `row(i)`
+/// is a zero-copy slice.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    dicts: Vec<Dictionary>,
+    dims: Vec<u32>,
+    measure: Vec<f64>,
+}
+
+impl Table {
+    /// Start building a table for the given schema.
+    pub fn builder(schema: Schema) -> TableBuilder {
+        let d = schema.num_dims();
+        TableBuilder {
+            schema,
+            dicts: (0..d).map(|_| Dictionary::new()).collect(),
+            dims: Vec::new(),
+            measure: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows `n`.
+    pub fn num_rows(&self) -> usize {
+        self.measure.len()
+    }
+
+    /// Number of dimension attributes `d`.
+    pub fn num_dims(&self) -> usize {
+        self.schema.num_dims()
+    }
+
+    /// Dimension codes of row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        let d = self.num_dims();
+        &self.dims[i * d..(i + 1) * d]
+    }
+
+    /// Measure value of row `i`.
+    pub fn measure(&self, i: usize) -> f64 {
+        self.measure[i]
+    }
+
+    /// The whole measure column.
+    pub fn measures(&self) -> &[f64] {
+        &self.measure
+    }
+
+    /// The dictionary of dimension attribute `col`.
+    pub fn dict(&self, col: usize) -> &Dictionary {
+        &self.dicts[col]
+    }
+
+    /// Decode `code` of dimension attribute `col` to its string value.
+    pub fn decode(&self, col: usize, code: u32) -> &str {
+        self.dicts[col].value(code)
+    }
+
+    /// Iterate over rows as dimension-code slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> {
+        self.dims.chunks_exact(self.num_dims().max(1))
+    }
+
+    /// Average of the measure column (`m(r)` for the all-wildcards rule).
+    pub fn avg_measure(&self) -> f64 {
+        if self.measure.is_empty() {
+            return 0.0;
+        }
+        self.measure.iter().sum::<f64>() / self.measure.len() as f64
+    }
+
+    /// Sum of the measure column.
+    pub fn sum_measure(&self) -> f64 {
+        self.measure.iter().sum()
+    }
+
+    /// Active-domain cardinalities per dimension attribute.
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.dicts.iter().map(Dictionary::cardinality).collect()
+    }
+
+    /// Number of syntactically possible rules `∏ (|dom(Aᵢ)| + 1)` (the
+    /// quantity the paper quotes per dataset, e.g. 78 million for Income).
+    pub fn possible_rule_count(&self) -> f64 {
+        self.dicts
+            .iter()
+            .map(|d| d.cardinality() as f64 + 1.0)
+            .product()
+    }
+
+    /// Restrict the table to its first `d` dimension attributes (the paper's
+    /// SUSY projections, Fig 3.2 / 5.7).
+    pub fn project(&self, d: usize) -> Table {
+        assert!(d >= 1 && d <= self.num_dims());
+        let full_d = self.num_dims();
+        let mut dims = Vec::with_capacity(self.num_rows() * d);
+        for row in self.dims.chunks_exact(full_d) {
+            dims.extend_from_slice(&row[..d]);
+        }
+        Table {
+            schema: self.schema.project(d),
+            dicts: self.dicts[..d].to_vec(),
+            dims,
+            measure: self.measure.clone(),
+        }
+    }
+
+    /// Keep only the rows at the given indices (in the given order).
+    pub fn select_rows(&self, indices: &[usize]) -> Table {
+        let d = self.num_dims();
+        let mut dims = Vec::with_capacity(indices.len() * d);
+        let mut measure = Vec::with_capacity(indices.len());
+        for &i in indices {
+            dims.extend_from_slice(self.row(i));
+            measure.push(self.measure[i]);
+        }
+        Table {
+            schema: self.schema.clone(),
+            dicts: self.dicts.clone(),
+            dims,
+            measure,
+        }
+    }
+
+    /// Replace the measure column (used by measure transforms). The new
+    /// column must have one value per row.
+    pub fn with_measure(&self, measure: Vec<f64>) -> Table {
+        assert_eq!(measure.len(), self.num_rows());
+        Table {
+            schema: self.schema.clone(),
+            dicts: self.dicts.clone(),
+            dims: self.dims.clone(),
+            measure,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (dimension + measure data).
+    pub fn data_bytes(&self) -> usize {
+        self.dims.len() * 4 + self.measure.len() * 8
+    }
+}
+
+/// Incremental [`Table`] constructor.
+pub struct TableBuilder {
+    schema: Schema,
+    dicts: Vec<Dictionary>,
+    dims: Vec<u32>,
+    measure: Vec<f64>,
+}
+
+impl TableBuilder {
+    /// Append a row given as string values plus a measure.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` does not match the schema.
+    pub fn push_row(&mut self, values: &[&str], m: f64) -> &mut Self {
+        assert_eq!(values.len(), self.schema.num_dims(), "arity mismatch");
+        for (col, v) in values.iter().enumerate() {
+            let code = self.dicts[col].intern(v);
+            self.dims.push(code);
+        }
+        self.measure.push(m);
+        self
+    }
+
+    /// Append a row given directly as dictionary codes. Codes must already
+    /// be interned (e.g. via [`Self::intern`]).
+    pub fn push_coded_row(&mut self, codes: &[u32], m: f64) -> &mut Self {
+        assert_eq!(codes.len(), self.schema.num_dims(), "arity mismatch");
+        for (col, &c) in codes.iter().enumerate() {
+            assert!(
+                (c as usize) < self.dicts[col].cardinality(),
+                "code {c} not interned in column {col}"
+            );
+        }
+        self.dims.extend_from_slice(codes);
+        self.measure.push(m);
+        self
+    }
+
+    /// Intern a value in column `col` without adding a row (lets generators
+    /// pre-populate domains so codes are stable).
+    pub fn intern(&mut self, col: usize, value: &str) -> u32 {
+        self.dicts[col].intern(value)
+    }
+
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.measure.len()
+    }
+
+    /// True if no rows were appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.measure.is_empty()
+    }
+
+    /// Finish and return the table.
+    pub fn build(self) -> Table {
+        Table {
+            schema: self.schema,
+            dicts: self.dicts,
+            dims: self.dims,
+            measure: self.measure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flight_schema() -> Schema {
+        Schema::new(vec!["Day", "Origin", "Destination"], "Delay")
+    }
+
+    fn small_table() -> Table {
+        let mut b = Table::builder(flight_schema());
+        b.push_row(&["Fri", "SF", "London"], 20.0);
+        b.push_row(&["Fri", "London", "LA"], 16.0);
+        b.push_row(&["Sun", "Tokyo", "Frankfurt"], 10.0);
+        b.build()
+    }
+
+    #[test]
+    fn rows_round_trip_through_dictionaries() {
+        let t = small_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_dims(), 3);
+        assert_eq!(t.decode(0, t.row(0)[0]), "Fri");
+        assert_eq!(t.decode(1, t.row(1)[1]), "London");
+        assert_eq!(t.decode(2, t.row(2)[2]), "Frankfurt");
+        assert_eq!(t.measure(1), 16.0);
+    }
+
+    #[test]
+    fn shared_values_share_codes() {
+        let t = small_table();
+        assert_eq!(t.row(0)[0], t.row(1)[0], "Fri appears twice");
+        assert_eq!(t.dict(0).cardinality(), 2); // Fri, Sun
+    }
+
+    #[test]
+    fn averages_and_rule_counts() {
+        let t = small_table();
+        assert!((t.avg_measure() - 46.0 / 3.0).abs() < 1e-12);
+        // Domains: Day {Fri,Sun}=2, Origin {SF,London,Tokyo}=3, Dest 3.
+        assert_eq!(t.possible_rule_count(), 3.0 * 4.0 * 4.0);
+        assert_eq!(t.cardinalities(), vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn project_restricts_columns() {
+        let t = small_table();
+        let p = t.project(2);
+        assert_eq!(p.num_dims(), 2);
+        assert_eq!(p.num_rows(), 3);
+        assert_eq!(p.row(0), &t.row(0)[..2]);
+        assert_eq!(p.measures(), t.measures());
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let t = small_table();
+        let s = t.select_rows(&[2, 0]);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.decode(0, s.row(0)[0]), "Sun");
+        assert_eq!(s.measure(1), 20.0);
+    }
+
+    #[test]
+    fn with_measure_replaces_column() {
+        let t = small_table();
+        let t2 = t.with_measure(vec![1.0, 2.0, 3.0]);
+        assert_eq!(t2.measures(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t2.row(0), t.row(0));
+    }
+
+    #[test]
+    fn coded_rows_must_be_interned() {
+        let mut b = Table::builder(flight_schema());
+        let day = b.intern(0, "Mon");
+        let org = b.intern(1, "SF");
+        let dst = b.intern(2, "Tokyo");
+        b.push_coded_row(&[day, org, dst], 5.0);
+        let t = b.build();
+        assert_eq!(t.decode(0, t.row(0)[0]), "Mon");
+    }
+
+    #[test]
+    #[should_panic(expected = "not interned")]
+    fn uninterned_code_rejected() {
+        let mut b = Table::builder(flight_schema());
+        b.push_coded_row(&[0, 0, 0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut b = Table::builder(flight_schema());
+        b.push_row(&["Fri", "SF"], 1.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! `sirum` — command-line informative rule mining.
+//!
+//! Reads a CSV file whose last column is a numeric measure and whose other
+//! columns are categorical dimensions, mines `k` informative rules, and
+//! prints them as a table.
+//!
+//! ```sh
+//! sirum data.csv --k 10 --sample 64 --variant optimized
+//! sirum data.csv --k 5 --engine single-thread --two-rules
+//! sirum --demo flights --k 3        # built-in demo datasets
+//! ```
+
+use sirum::prelude::*;
+use std::process::exit;
+
+struct Args {
+    input: Option<String>,
+    demo: Option<String>,
+    k: usize,
+    sample: usize,
+    variant: Variant,
+    engine: &'static str,
+    rules_per_iter: usize,
+    epsilon: f64,
+    seed: u64,
+    partitions: usize,
+}
+
+const USAGE: &str = "\
+sirum — scalable informative rule mining
+
+USAGE:
+  sirum <input.csv> [OPTIONS]
+  sirum --demo <flights|income|gdelt|susy|tlc|dirty> [OPTIONS]
+
+The CSV's last column must be numeric (the measure); all other columns are
+treated as categorical dimension attributes. The first line is the header.
+
+OPTIONS:
+  --k <N>            rules to mine beyond (*, …, *)      [default: 10]
+  --sample <N>       candidate-pruning sample size |s|   [default: 64]
+  --variant <V>      naive|baseline|rct|fast-pruning|fast-ancestor|
+                     multi-rule|optimized                [default: optimized]
+  --engine <E>       in-memory|disk-mr|single-thread     [default: in-memory]
+  --two-rules        insert 2 disjoint rules per iteration
+  --epsilon <F>      iterative-scaling tolerance         [default: 0.01]
+  --seed <N>         sampling seed                       [default: 42]
+  --partitions <N>   dataset partitions                  [default: 16]
+  --help             print this help
+";
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        input: None,
+        demo: None,
+        k: 10,
+        sample: 64,
+        variant: Variant::Optimized,
+        engine: "in-memory",
+        rules_per_iter: 1,
+        epsilon: 0.01,
+        seed: 42,
+        partitions: 16,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            "--demo" => args.demo = Some(value("--demo")),
+            "--k" => args.k = value("--k").parse().expect("--k must be an integer"),
+            "--sample" => {
+                args.sample = value("--sample").parse().expect("--sample must be an integer");
+            }
+            "--variant" => {
+                args.variant = match value("--variant").as_str() {
+                    "naive" => Variant::Naive,
+                    "baseline" => Variant::Baseline,
+                    "rct" => Variant::Rct,
+                    "fast-pruning" => Variant::FastPruning,
+                    "fast-ancestor" => Variant::FastAncestor,
+                    "multi-rule" => Variant::MultiRule,
+                    "optimized" => Variant::Optimized,
+                    other => {
+                        eprintln!("unknown variant {other:?}");
+                        exit(2);
+                    }
+                }
+            }
+            "--engine" => {
+                let e = value("--engine");
+                args.engine = match e.as_str() {
+                    "in-memory" => "in-memory",
+                    "disk-mr" => "disk-mr",
+                    "single-thread" => "single-thread",
+                    other => {
+                        eprintln!("unknown engine {other:?}");
+                        exit(2);
+                    }
+                }
+            }
+            "--two-rules" => args.rules_per_iter = 2,
+            "--epsilon" => {
+                args.epsilon = value("--epsilon").parse().expect("--epsilon must be a float");
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("--seed must be an integer"),
+            "--partitions" => {
+                args.partitions = value("--partitions")
+                    .parse()
+                    .expect("--partitions must be an integer");
+            }
+            other if !other.starts_with('-') && args.input.is_none() => {
+                args.input = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}\n\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn load_table(args: &Args) -> Table {
+    if let Some(demo) = &args.demo {
+        return match demo.as_str() {
+            "flights" => generators::flights(),
+            "income" => generators::income_like(20_000, args.seed),
+            "gdelt" => generators::gdelt_like(20_000, args.seed),
+            "susy" => generators::susy_like(2_000, args.seed),
+            "tlc" => generators::tlc_like(50_000, args.seed),
+            "dirty" => generators::gdelt_dirty(20_000, args.seed),
+            other => {
+                eprintln!("unknown demo dataset {other:?}");
+                exit(2);
+            }
+        };
+    }
+    let Some(path) = &args.input else {
+        eprint!("{USAGE}");
+        exit(2);
+    };
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1);
+    });
+    sirum::table::csv::read_csv(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let table = load_table(&args);
+    eprintln!(
+        "{} rows × {} dimensions ({}), measure = {}",
+        table.num_rows(),
+        table.num_dims(),
+        table.schema().dim_names().join(", "),
+        table.schema().measure_name(),
+    );
+
+    let engine_cfg = match args.engine {
+        "disk-mr" => EngineConfig::disk_mr(),
+        "single-thread" => EngineConfig::single_thread(),
+        _ => EngineConfig::in_memory(),
+    }
+    .with_partitions(args.partitions);
+    let engine = Engine::new(engine_cfg);
+
+    let mut config = args.variant.config(args.k, args.sample.min(table.num_rows()));
+    config.scaling = ScalingConfig {
+        epsilon: args.epsilon,
+        ..ScalingConfig::default()
+    };
+    config.seed = args.seed;
+    if args.rules_per_iter > 1 {
+        config.multirule = MultiRuleConfig::l_rules(args.rules_per_iter);
+    }
+
+    let result = Miner::new(engine, config).mine(&table);
+
+    // Rule table.
+    println!(
+        "\n{:>4}  {:<60} {:>12} {:>10} {:>10}",
+        "id",
+        format!("rule ({})", table.schema().dim_names().join(", ")),
+        "AVG(m)",
+        "count",
+        "gain"
+    );
+    for (i, r) in result.rules.iter().enumerate() {
+        println!(
+            "{:>4}  {:<60} {:>12.4} {:>10} {:>10.3}",
+            i + 1,
+            r.rule.display(&table),
+            r.avg_measure,
+            r.count,
+            r.gain
+        );
+    }
+    println!(
+        "\nKL divergence {:.6} → {:.6} (information gain {:.6})",
+        result.kl_trace[0],
+        result.final_kl(),
+        result.information_gain()
+    );
+    println!(
+        "timings: rule generation {:.2}s (pruning {:.2}s, ancestors {:.2}s, gain {:.2}s), scaling {:.2}s, total {:.2}s",
+        result.timings.rule_generation(),
+        result.timings.candidate_pruning,
+        result.timings.ancestor_generation,
+        result.timings.gain_computation,
+        result.timings.iterative_scaling,
+        result.timings.total
+    );
+}

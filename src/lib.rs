@@ -1,0 +1,46 @@
+//! # sirum
+//!
+//! Facade crate for the SIRUM reproduction — **S**calable **I**nformative
+//! **RU**le **M**ining (Feng, University of Waterloo, 2016). Re-exports the
+//! workspace's public API:
+//!
+//! * [`core`] (`sirum_core`) — the mining algorithms.
+//! * [`table`] (`sirum_table`) — the multidimensional table substrate and
+//!   dataset generators.
+//! * [`dataflow`] (`sirum_dataflow`) — the Spark-like execution engine.
+//! * [`baselines`] (`sirum_baselines`) — prior-work comparators.
+//!
+//! See the `examples/` directory for runnable walkthroughs and `DESIGN.md`
+//! for the system inventory.
+//!
+//! ```
+//! use sirum::prelude::*;
+//!
+//! let engine = Engine::in_memory();
+//! let table = generators::flights();
+//! let config = SirumConfig {
+//!     k: 3,
+//!     strategy: CandidateStrategy::SampleLca { sample_size: 14 },
+//!     ..SirumConfig::default()
+//! };
+//! let result = Miner::new(engine, config).mine(&table);
+//! assert_eq!(result.rules[1].rule.display(&table), "(*, *, London)");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sirum_baselines as baselines;
+pub use sirum_core as core;
+pub use sirum_dataflow as dataflow;
+pub use sirum_table as table;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use sirum_core::{
+        evaluate_rules, explore, mine_on_sample, CandidateStrategy, MinedRule, Miner,
+        MiningResult, MultiRuleConfig, Rule, RuleSetEvaluation, ScalingConfig, SirumConfig,
+        Variant, WILDCARD,
+    };
+    pub use sirum_dataflow::{Engine, EngineConfig, EngineMode};
+    pub use sirum_table::{generators, Schema, Table};
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the distributed miner against the
+//! centralized prior-work oracle, the worked examples of the thesis, and
+//! whole-pipeline invariants.
+
+use sirum::baselines::{mine_centralized, CentralizedConfig, SampleSource};
+use sirum::core::evaluate_rules;
+use sirum::prelude::*;
+
+fn shared_sample(table: &Table, engine: &Engine, size: usize, seed: u64) -> Vec<Box<[u32]>> {
+    // Draw the sample exactly the way the distributed miner does, so the
+    // centralized oracle sees the same candidate space.
+    let tuples: Vec<(Box<[u32]>, f64, f64, u64)> = (0..table.num_rows())
+        .map(|i| (table.row(i).to_vec().into_boxed_slice(), table.measure(i), 1.0, 0u64))
+        .collect();
+    let data = engine.parallelize_default(tuples);
+    data.take_sample(size, seed)
+        .into_iter()
+        .map(|(dims, _, _, _)| dims)
+        .collect()
+}
+
+#[test]
+fn distributed_miner_matches_centralized_oracle() {
+    // Rule-for-rule agreement between the dataflow implementation and the
+    // independent single-machine implementation of El Gebaly et al.
+    for (name, table) in [
+        ("income", generators::income_like(1_200, 5)),
+        ("gdelt", generators::gdelt_like(1_200, 5)),
+    ] {
+        let engine = Engine::in_memory();
+        let seed = 42;
+        let sample = shared_sample(&table, &engine, 32, seed);
+
+        let distributed = {
+            let config = SirumConfig {
+                k: 4,
+                strategy: CandidateStrategy::SampleLca { sample_size: 32 },
+                seed,
+                ..SirumConfig::default()
+            };
+            Miner::new(engine.clone(), config).mine(&table)
+        };
+        let centralized = mine_centralized(
+            &table,
+            &CentralizedConfig {
+                k: 4,
+                sample: SampleSource::Explicit(sample),
+                ..Default::default()
+            },
+        );
+
+        let d_rules: Vec<&Rule> = distributed.rules.iter().map(|r| &r.rule).collect();
+        let c_rules: Vec<&Rule> = centralized.rules.iter().map(|r| &r.rule).collect();
+        assert_eq!(d_rules, c_rules, "dataset {name}");
+        for (d, c) in distributed.rules.iter().zip(&centralized.rules) {
+            assert_eq!(d.count, c.count, "dataset {name} rule {:?}", d.rule);
+            assert!(
+                (d.avg_measure - c.avg_measure).abs() < 1e-6,
+                "dataset {name} rule {:?}",
+                d.rule
+            );
+        }
+        assert!(
+            (distributed.final_kl() - centralized.final_kl()).abs() < 1e-3,
+            "dataset {name}: {} vs {}",
+            distributed.final_kl(),
+            centralized.final_kl()
+        );
+    }
+}
+
+#[test]
+fn flight_walkthrough_matches_the_thesis() {
+    // Tables 1.1/1.2 end to end via the facade crate.
+    let flights = generators::flights();
+    let engine = Engine::in_memory();
+    let config = SirumConfig {
+        k: 3,
+        strategy: CandidateStrategy::SampleLca { sample_size: 14 },
+        ..SirumConfig::default()
+    };
+    let result = Miner::new(engine, config).mine(&flights);
+    let names: Vec<String> = result
+        .rules
+        .iter()
+        .map(|r| r.rule.display(&flights))
+        .collect();
+    assert_eq!(
+        names,
+        vec!["(*, *, *)", "(*, *, London)", "(Fri, *, *)", "(Sat, *, *)"],
+        "Table 1.2 rule set"
+    );
+    let avgs: Vec<f64> = result.rules.iter().map(|r| r.avg_measure).collect();
+    assert!((avgs[0] - 10.4).abs() < 0.05);
+    assert!((avgs[1] - 15.25).abs() < 0.05); // paper rounds to 15.3
+    assert!((avgs[2] - 18.0).abs() < 1e-9);
+    assert!((avgs[3] - 16.0).abs() < 1e-9);
+    let counts: Vec<u64> = result.rules.iter().map(|r| r.count).collect();
+    assert_eq!(counts, vec![14, 4, 2, 2]);
+}
+
+#[test]
+fn mined_rules_evaluate_consistently_offline() {
+    // The KL the miner reports must agree with the offline evaluator.
+    let table = generators::income_like(2_000, 77);
+    let engine = Engine::in_memory();
+    let config = SirumConfig {
+        k: 4,
+        strategy: CandidateStrategy::SampleLca { sample_size: 32 },
+        scaling: ScalingConfig {
+            epsilon: 1e-6,
+            max_iterations: 100_000,
+        },
+        ..SirumConfig::default()
+    };
+    let result = Miner::new(engine, config).mine(&table);
+    let rules: Vec<Rule> = result.rules.iter().map(|r| r.rule.clone()).collect();
+    let eval = evaluate_rules(
+        &table,
+        &rules,
+        &ScalingConfig {
+            epsilon: 1e-6,
+            max_iterations: 100_000,
+        },
+    );
+    assert!(
+        (eval.kl - result.final_kl()).abs() < 1e-3,
+        "offline {} vs miner {}",
+        eval.kl,
+        result.final_kl()
+    );
+    assert!(eval.binary_kl.is_some(), "income measure is binary");
+}
+
+#[test]
+fn csv_round_trip_preserves_mining_results() {
+    let table = generators::gdelt_dirty(1_000, 9);
+    let mut buf = Vec::new();
+    sirum::table::csv::write_csv(&table, &mut buf).unwrap();
+    let reread = sirum::table::csv::read_csv(buf.as_slice()).unwrap();
+
+    let mine = |t: &Table| -> Vec<String> {
+        let config = SirumConfig {
+            k: 3,
+            strategy: CandidateStrategy::SampleLca { sample_size: 16 },
+            ..SirumConfig::default()
+        };
+        Miner::new(Engine::in_memory(), config)
+            .mine(t)
+            .rules
+            .iter()
+            .map(|r| r.rule.display(t))
+            .collect()
+    };
+    assert_eq!(mine(&table), mine(&reread));
+}
+
+#[test]
+fn cluster_cost_model_scales_plausibly() {
+    use sirum::dataflow::cost::{makespan, ClusterSpec};
+    let table = generators::income_like(4_000, 21);
+    let engine = Engine::new(EngineConfig::in_memory().with_partitions(32));
+    let config = SirumConfig {
+        k: 3,
+        strategy: CandidateStrategy::SampleLca { sample_size: 32 },
+        ..SirumConfig::default()
+    };
+    let _ = Miner::new(engine.clone(), config).mine(&table);
+    let stages = engine.metrics().stages();
+    assert!(stages.len() > 10, "a mining run spans many stages");
+    let spec = ClusterSpec::paper_cluster();
+    let t16 = makespan(&stages, &spec.with_executors(16));
+    let t2 = makespan(&stages, &spec.with_executors(2));
+    assert!(t16 < t2, "more executors must not be slower");
+    assert!(
+        t2 / t16 < 8.0 + 1e-9,
+        "speedup is bounded by the executor ratio"
+    );
+}
