@@ -15,17 +15,12 @@ fn bench(c: &mut Criterion) {
         ("gdelt", workloads::gdelt_small()),
     ] {
         for variant in [Variant::Baseline, Variant::Optimized] {
-            group.bench_with_input(
-                BenchmarkId::new(variant.name(), name),
-                &variant,
-                |b, v| {
-                    b.iter(|| {
-                        let engine =
-                            Engine::new(EngineConfig::in_memory().with_partitions(8));
-                        Miner::new(engine, v.config(4, 32)).mine(&table)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(variant.name(), name), &variant, |b, v| {
+                b.iter(|| {
+                    let engine = Engine::new(EngineConfig::in_memory().with_partitions(8));
+                    Miner::new(engine, v.config(4, 32)).mine(&table)
+                });
+            });
         }
     }
     group.finish();

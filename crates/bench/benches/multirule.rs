@@ -31,17 +31,13 @@ fn bench(c: &mut Criterion) {
     for n in [10_000usize, 100_000] {
         let base = candidates(n);
         for l in [1usize, 2, 3] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("l{l}"), n),
-                &l,
-                |b, &l| {
-                    b.iter(|| {
-                        let mut cands = base.clone();
-                        let n = cands.len();
-                        select_rules(&mut cands, &MultiRuleConfig::l_rules(l), n)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("l{l}"), n), &l, |b, &l| {
+                b.iter(|| {
+                    let mut cands = base.clone();
+                    let n = cands.len();
+                    select_rules(&mut cands, &MultiRuleConfig::l_rules(l), n)
+                });
+            });
         }
     }
     group.finish();

@@ -15,7 +15,12 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for s in [64usize, 128, 256] {
         let sample: Vec<Box<[u32]>> = (0..s)
-            .map(|i| table.row(i * 7 % table.num_rows()).to_vec().into_boxed_slice())
+            .map(|i| {
+                table
+                    .row(i * 7 % table.num_rows())
+                    .to_vec()
+                    .into_boxed_slice()
+            })
             .collect();
         let index = SampleIndex::build(sample.clone(), d);
         group.bench_with_input(BenchmarkId::new("naive", s), &s, |b, _| {

@@ -104,7 +104,13 @@ fn f3_2() {
 fn f4_3() {
     let mut rep = FigureReport::new(
         "f4_3_memory_budgets",
-        &["budget_mb", "time_s", "peak_block_mb", "disk_read_mb", "disk_reads"],
+        &[
+            "budget_mb",
+            "time_s",
+            "peak_block_mb",
+            "disk_read_mb",
+            "disk_reads",
+        ],
     );
     let t = workloads::tlc(80_000);
     let bytes = t.data_bytes();
@@ -180,14 +186,22 @@ fn f4_4() {
 
 /// Modeled cluster time for the stages of one run.
 fn modeled(stages: &[StageRecord], executors: usize) -> f64 {
-    makespan(stages, &ClusterSpec::paper_cluster().with_executors(executors))
+    makespan(
+        stages,
+        &ClusterSpec::paper_cluster().with_executors(executors),
+    )
 }
 
 /// Fig 5.1: Baseline SIRUM on Spark vs PostgreSQL (single node).
 fn f5_1() {
     let mut rep = FigureReport::new(
         "f5_1_spark_vs_postgres",
-        &["platform", "measured_s", "modeled_node_s", "modeled_slowdown"],
+        &[
+            "platform",
+            "measured_s",
+            "modeled_node_s",
+            "modeled_slowdown",
+        ],
     );
     let t = workloads::income();
     let cfg = || Variant::Baseline.config(10, 16);
@@ -241,7 +255,13 @@ fn f5_1() {
 fn f5_2() {
     let mut rep = FigureReport::new(
         "f5_2_spark_vs_hive",
-        &["platform", "measured_s", "stages", "disk_write_mb", "slowdown"],
+        &[
+            "platform",
+            "measured_s",
+            "stages",
+            "disk_write_mb",
+            "slowdown",
+        ],
     );
     let t = workloads::tlc(30_000);
     let cfg = || Variant::Baseline.config(10, 16);
@@ -286,7 +306,10 @@ fn f5_3() {
                 k.to_string(),
                 secs(base.timings.iterative_scaling),
                 secs(rct.timings.iterative_scaling),
-                speedup(base.timings.iterative_scaling, rct.timings.iterative_scaling),
+                speedup(
+                    base.timings.iterative_scaling,
+                    rct.timings.iterative_scaling,
+                ),
             ]);
         }
     }
@@ -308,7 +331,10 @@ fn f5_5() {
             s.to_string(),
             secs(base.timings.rule_generation()),
             secs(fast.timings.rule_generation()),
-            speedup(base.timings.rule_generation(), fast.timings.rule_generation()),
+            speedup(
+                base.timings.rule_generation(),
+                fast.timings.rule_generation(),
+            ),
         ]);
     }
     rep.finish();
@@ -329,7 +355,10 @@ fn f5_6() {
             s.to_string(),
             secs(base.timings.rule_generation()),
             secs(fast.timings.rule_generation()),
-            speedup(base.timings.rule_generation(), fast.timings.rule_generation()),
+            speedup(
+                base.timings.rule_generation(),
+                fast.timings.rule_generation(),
+            ),
         ]);
     }
     rep.finish();
@@ -368,7 +397,14 @@ fn f5_7() {
 fn f5_9() {
     let mut rep = FigureReport::new(
         "f5_9_f5_10_multirule",
-        &["dataset", "k", "variant", "rule_gen_s", "rules_mined", "final_kl"],
+        &[
+            "dataset",
+            "k",
+            "variant",
+            "rule_gen_s",
+            "rules_mined",
+            "final_kl",
+        ],
     );
     for (name, t, s, ks) in [
         ("GDELT", workloads::gdelt(), 64usize, vec![5usize, 10]),
@@ -464,7 +500,14 @@ fn f5_11() {
 fn f5_12() {
     let mut rep = FigureReport::new(
         "f5_12_f5_13_vs_k",
-        &["dataset", "k", "baseline_s", "optimized_s", "optimized*_s", "speedup"],
+        &[
+            "dataset",
+            "k",
+            "baseline_s",
+            "optimized_s",
+            "optimized*_s",
+            "speedup",
+        ],
     );
     for (name, t, s, ks) in [
         ("GDELT", workloads::gdelt(), 64usize, vec![5usize, 10, 20]),
@@ -498,7 +541,13 @@ fn f5_12() {
 fn f5_14() {
     let mut rep = FigureReport::new(
         "f5_14_improvement_vs_s",
-        &["dataset", "|s|", "baseline_s", "optimized_s", "improvement_%"],
+        &[
+            "dataset",
+            "|s|",
+            "baseline_s",
+            "optimized_s",
+            "improvement_%",
+        ],
     );
     for (name, t, sweep) in [
         ("Income", workloads::income(), [64usize, 128, 256]),
@@ -525,7 +574,13 @@ fn f5_14() {
 fn f5_15() {
     let mut rep = FigureReport::new(
         "f5_15_cube_exploration",
-        &["system", "rule_gen_s", "iter_scaling_s", "total_s", "scaling_iters"],
+        &[
+            "system",
+            "rule_gen_s",
+            "iter_scaling_s",
+            "total_s",
+            "scaling_iters",
+        ],
     );
     // FullCube enumerates 2^d ancestors per tuple; keep the table smaller.
     let t = sirum_bench::table::generators::gdelt_like(3_000, workloads::SEED);
@@ -648,10 +703,7 @@ fn f5_18() {
         "f5_18_f5_19_sampling",
         &["dataset", "rate_%", "rows", "time_s", "info_gain"],
     );
-    for (name, t) in [
-        ("TLC", workloads::tlc(80_000)),
-        ("SUSY", workloads::susy()),
-    ] {
+    for (name, t) in [("TLC", workloads::tlc(80_000)), ("SUSY", workloads::susy())] {
         for rate in [1.0f64, 0.1, 0.01, 0.001] {
             let e = engine();
             let cfg = SirumConfig {

@@ -110,7 +110,8 @@ impl SampleIndex {
     /// Panics if the sample exceeds [`MAX_SAMPLE`] rows.
     pub fn build(rows: Vec<Box<[u32]>>, d: usize) -> SampleIndex {
         assert!(rows.len() <= MAX_SAMPLE, "sample too large for the index");
-        let mut cols: Vec<FxHashMap<u32, Vec<u32>>> = (0..d).map(|_| FxHashMap::default()).collect();
+        let mut cols: Vec<FxHashMap<u32, Vec<u32>>> =
+            (0..d).map(|_| FxHashMap::default()).collect();
         let mut mask_cols: Vec<FxHashMap<u32, SampleMask>> =
             (0..d).map(|_| FxHashMap::default()).collect();
         let mut full_mask = [0u64; 4];
@@ -232,7 +233,7 @@ mod tests {
         // yields 15 candidate rules vs 73 possible rules.
         let t = flights();
         let sample = sample_rows(&t, &[3, 8]);
-        let lcas = lca_aggregates(&t, t.measures(), &vec![1.0; 14], &sample);
+        let lcas = lca_aggregates(&t, t.measures(), &[1.0; 14], &sample);
         let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
         for (rule, agg) in &lcas {
             for anc in all_ancestors(rule) {
@@ -244,7 +245,7 @@ mod tests {
         // of distinct supported cube-lattice elements of Table 1.1 is 74
         // (an off-by-one in the thesis text). Either way the pruning cuts
         // the candidate space by ~5×.
-        let supported = exhaustive_candidates(&t, &vec![1.0; 14]).len();
+        let supported = exhaustive_candidates(&t, &[1.0; 14]).len();
         assert_eq!(supported, 74);
         // The 9 LCAs listed in the thesis text:
         let named = [
@@ -260,10 +261,7 @@ mod tests {
         ];
         assert_eq!(lcas.len(), 9);
         for n in named {
-            assert!(
-                lcas.keys().any(|r| r.display(&t) == n),
-                "missing LCA {n}"
-            );
+            assert!(lcas.keys().any(|r| r.display(&t) == n), "missing LCA {n}");
         }
     }
 
@@ -323,7 +321,7 @@ mod tests {
     #[test]
     fn exhaustive_includes_every_supported_rule() {
         let t = flights();
-        let cands = exhaustive_candidates(&t, &vec![1.0; 14]);
+        let cands = exhaustive_candidates(&t, &[1.0; 14]);
         // (*,*,London) supported by 4 tuples with Σm = 61.
         let london = t.dict(2).code("London").unwrap();
         let rule = Rule::from_values(vec![WILDCARD, WILDCARD, london]);

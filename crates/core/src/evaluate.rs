@@ -106,7 +106,7 @@ mod tests {
         // the qualitative claim (adding r2 reduces KL) holds either way.
         let t = flights();
         let r1 = Rule::all_wildcards(3);
-        let eval1 = evaluate_rules(&t, &[r1.clone()], &ScalingConfig::default());
+        let eval1 = evaluate_rules(&t, std::slice::from_ref(&r1), &ScalingConfig::default());
         assert!((eval1.kl - 0.146043).abs() < 1e-4, "kl1 = {}", eval1.kl);
         let london = t.dict(2).code("London").unwrap();
         let r2 = Rule::from_values(vec![WILDCARD, WILDCARD, london]);
@@ -135,7 +135,7 @@ mod tests {
             epsilon: 1e-8,
             max_iterations: 100_000,
         };
-        let e1 = evaluate_rules(&t, &[r1.clone()], &cfg);
+        let e1 = evaluate_rules(&t, std::slice::from_ref(&r1), &cfg);
         let e2 = evaluate_rules(&t, &[r1.clone(), r2.clone()], &cfg);
         let e3 = evaluate_rules(&t, &[r1, r2, r3], &cfg);
         assert!(e2.kl <= e1.kl + 1e-9);

@@ -64,6 +64,6 @@ pub use miner::{CandidateStrategy, MinedRule, Miner, MiningResult, PhaseTimings,
 pub use multirule::MultiRuleConfig;
 pub use rule::{Rule, WILDCARD};
 pub use sample_data::{mine_on_sample, SampleDataResult};
-pub use streaming::{StreamingConfig, StreamingMiner};
 pub use scaling::ScalingConfig;
+pub use streaming::{StreamingConfig, StreamingMiner};
 pub use variants::Variant;

@@ -364,8 +364,7 @@ impl Miner {
         let cached = if self.engine.mode() == EngineMode::DiskMr {
             new
         } else {
-            let c = new.cache();
-            c
+            new.cache()
         };
         if let Some(old) = old {
             old.free();
@@ -428,7 +427,7 @@ impl Miner {
         mut data: Dataset<Tup>,
         rules: &[Rule],
         m_sums: &[f64],
-        lambdas: &mut Vec<f64>,
+        lambdas: &mut [f64],
         new: std::ops::Range<usize>,
         timings: &mut PhaseTimings,
         scaling_iterations: &mut Vec<usize>,
@@ -464,20 +463,18 @@ impl Miner {
             let partials = data.aggregate(
                 "build-rct",
                 Vec::<RctGroup>::new,
-                |groups, (_dims, m, mh, mask)| {
-                    match groups.iter_mut().find(|g| g.mask == *mask) {
-                        Some(g) => {
-                            g.count += 1;
-                            g.sum_m += m;
-                            g.sum_mhat += mh;
-                        }
-                        None => groups.push(RctGroup {
-                            mask: *mask,
-                            count: 1,
-                            sum_m: *m,
-                            sum_mhat: *mh,
-                        }),
+                |groups, (_dims, m, mh, mask)| match groups.iter_mut().find(|g| g.mask == *mask) {
+                    Some(g) => {
+                        g.count += 1;
+                        g.sum_m += m;
+                        g.sum_mhat += mh;
                     }
+                    None => groups.push(RctGroup {
+                        mask: *mask,
+                        count: 1,
+                        sum_m: *m,
+                        sum_mhat: *mh,
+                    }),
                 },
                 |a, b| a.extend(b),
             );
@@ -489,7 +486,7 @@ impl Miner {
             scaling_iterations.push(outcome.iterations);
 
             // Pass 3: write the converged estimates back to D.
-            let ls = lambdas.clone();
+            let ls = lambdas.to_vec();
             let written = data.map("write-mhat", move |(dims, m, _mh, mask)| {
                 (dims.clone(), *m, mhat_for_mask(*mask, &ls), *mask)
             });

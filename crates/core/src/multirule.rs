@@ -63,7 +63,7 @@ pub struct ScoredCandidate {
 /// (pass `candidates.len()` when the list is complete). Returns the chosen
 /// candidates in selection order; empty if no candidate has positive gain.
 pub fn select_rules(
-    candidates: &mut Vec<ScoredCandidate>,
+    candidates: &mut [ScoredCandidate],
     cfg: &MultiRuleConfig,
     total_candidates: usize,
 ) -> Vec<ScoredCandidate> {

@@ -155,9 +155,9 @@ pub fn iterative_scaling_rct(
     loop {
         let mut next = usize::MAX;
         let mut worst = 0.0f64;
-        for i in 0..num_rules {
+        for (i, &target) in m_sums.iter().enumerate() {
             let (_m, mhat, _c) = rct.rule_sums(i);
-            let diff = relative_diff(m_sums[i], mhat);
+            let diff = relative_diff(target, mhat);
             if diff > worst {
                 worst = diff;
                 next = i;
@@ -267,7 +267,7 @@ mod tests {
     #[test]
     fn groups_partition_the_dataset() {
         let (t, _rules, masks) = flight_masks();
-        let rct = Rct::build(&masks, t.measures(), &vec![1.0; 14]);
+        let rct = Rct::build(&masks, t.measures(), &[1.0; 14]);
         assert_eq!(rct.total_count(), 14);
         assert!((rct.total_m() - 145.0).abs() < 1e-9);
         // Masks are distinct (disjoint groups, Fig 4.1).
@@ -290,15 +290,13 @@ mod tests {
         // Naive (Algorithm 1).
         let mut naive_lambdas = vec![1.0; rules.len()];
         let mut backend = TableBackend::new(&t);
-        let naive_out =
-            iterative_scaling(&mut backend, &rules, &m_sums, &mut naive_lambdas, &cfg);
+        let naive_out = iterative_scaling(&mut backend, &rules, &m_sums, &mut naive_lambdas, &cfg);
         assert!(naive_out.converged);
 
         // RCT (Algorithm 3), starting from mhat = 1.
-        let mut rct = Rct::build(&masks, t.measures(), &vec![1.0; 14]);
+        let mut rct = Rct::build(&masks, t.measures(), &[1.0; 14]);
         let mut rct_lambdas = vec![1.0; rules.len()];
-        let rct_out =
-            iterative_scaling_rct(&mut rct, rules.len(), &m_sums, &mut rct_lambdas, &cfg);
+        let rct_out = iterative_scaling_rct(&mut rct, rules.len(), &m_sums, &mut rct_lambdas, &cfg);
         assert!(rct_out.converged);
 
         for (a, b) in naive_lambdas.iter().zip(&rct_lambdas) {
@@ -318,7 +316,7 @@ mod tests {
         let (t, rules, masks) = flight_masks();
         let sums = rule_measure_sums(&t, t.measures(), &rules);
         let m_sums: Vec<f64> = sums.iter().map(|s| s.0).collect();
-        let mut rct = Rct::build(&masks, t.measures(), &vec![1.0; 14]);
+        let mut rct = Rct::build(&masks, t.measures(), &[1.0; 14]);
         let mut lambdas = vec![1.0; rules.len()];
         let cfg = ScalingConfig {
             epsilon: 1e-9,
@@ -326,9 +324,9 @@ mod tests {
         };
         let out = iterative_scaling_rct(&mut rct, rules.len(), &m_sums, &mut lambdas, &cfg);
         assert!(out.converged);
-        for i in 0..rules.len() {
+        for (i, &target) in m_sums.iter().enumerate() {
             let (_m, mhat, _c) = rct.rule_sums(i);
-            assert!(relative_diff(m_sums[i], mhat) <= 1e-9, "rule {i}");
+            assert!(relative_diff(target, mhat) <= 1e-9, "rule {i}");
         }
     }
 
@@ -372,7 +370,7 @@ mod tests {
     fn rct_is_small_relative_to_data() {
         // 14 tuples, 3 rules → at most 2^3 = 8 groups; actually 4.
         let (t, _rules, masks) = flight_masks();
-        let rct = Rct::build(&masks, t.measures(), &vec![1.0; 14]);
+        let rct = Rct::build(&masks, t.measures(), &[1.0; 14]);
         assert!(rct.len() <= 8);
         assert!(rct.len() < t.num_rows());
     }

@@ -254,7 +254,11 @@ mod tests {
         }
         // λ(r1) ≈ 8.4, λ(r2) ≈ 15.25/8.4 ≈ 1.815 (paper quotes 8.4, 1.8).
         assert!((lambdas[0] - 8.4).abs() < 1e-2, "λ1 = {}", lambdas[0]);
-        assert!((lambdas[1] - 61.0 / 4.0 / 8.4).abs() < 1e-2, "λ2 = {}", lambdas[1]);
+        assert!(
+            (lambdas[1] - 61.0 / 4.0 / 8.4).abs() < 1e-2,
+            "λ2 = {}",
+            lambdas[1]
+        );
     }
 
     #[test]
@@ -324,8 +328,7 @@ mod tests {
         let mut backend = TableBackend::new(&t);
         iterative_scaling(&mut backend, &rules[..1], &m_sums[..1], &mut lambdas, &cfg);
         lambdas.push(1.0);
-        let carry =
-            iterative_scaling(&mut backend, &rules, &m_sums, &mut lambdas, &cfg).iterations;
+        let carry = iterative_scaling(&mut backend, &rules, &m_sums, &mut lambdas, &cfg).iterations;
 
         // Reset: start over from scratch on both rules.
         let mut lambdas2 = vec![1.0; 2];

@@ -404,8 +404,9 @@ mod tests {
         sm.mine_more(3);
         // Second half is statistically identical: the warm re-fit should
         // need very few λ updates.
-        let rows2: Vec<(&[u32], f64)> =
-            (half..t.num_rows()).map(|i| (t.row(i), t.measure(i))).collect();
+        let rows2: Vec<(&[u32], f64)> = (half..t.num_rows())
+            .map(|i| (t.row(i), t.measure(i)))
+            .collect();
         let outcome = sm.ingest(&rows2);
         assert!(outcome.converged);
         // A cold re-fit of the same model from λ = 1 needs strictly more
@@ -434,11 +435,8 @@ mod tests {
     fn detects_concept_drift() {
         // First phase: uniform measure. Second phase: a planted pattern.
         let mut sm = StreamingMiner::new(2, tight());
-        let phase1: Vec<(Vec<u32>, f64)> = (0..500u32)
-            .map(|i| (vec![i % 4, i % 3], 1.0))
-            .collect();
-        let rows1: Vec<(&[u32], f64)> =
-            phase1.iter().map(|(r, m)| (r.as_slice(), *m)).collect();
+        let phase1: Vec<(Vec<u32>, f64)> = (0..500u32).map(|i| (vec![i % 4, i % 3], 1.0)).collect();
+        let rows1: Vec<(&[u32], f64)> = phase1.iter().map(|(r, m)| (r.as_slice(), *m)).collect();
         sm.ingest(&rows1);
         assert!(sm.mine_more(2).is_empty(), "uniform data needs no rules");
         let kl_flat = sm.kl();
@@ -450,8 +448,7 @@ mod tests {
                 (vec![v, i % 3], if v == 0 { 5.0 } else { 1.0 })
             })
             .collect();
-        let rows2: Vec<(&[u32], f64)> =
-            phase2.iter().map(|(r, m)| (r.as_slice(), *m)).collect();
+        let rows2: Vec<(&[u32], f64)> = phase2.iter().map(|(r, m)| (r.as_slice(), *m)).collect();
         sm.ingest(&rows2);
         assert!(sm.kl() > kl_flat, "drift must raise KL");
         let kl_drifted = sm.kl();

@@ -77,15 +77,15 @@ fn all_variants_mine_the_same_rules() {
         let result = Miner::new(engine(), Variant::Baseline.config(4, 32)).mine(&t);
         result.rules.iter().map(|r| r.rule.clone()).collect()
     };
-    for variant in [Variant::Naive, Variant::Rct, Variant::FastPruning, Variant::FastAncestor] {
+    for variant in [
+        Variant::Naive,
+        Variant::Rct,
+        Variant::FastPruning,
+        Variant::FastAncestor,
+    ] {
         let result = Miner::new(engine(), variant.config(4, 32)).mine(&t);
         let rules: Vec<Rule> = result.rules.iter().map(|r| r.rule.clone()).collect();
-        assert_eq!(
-            rules,
-            reference,
-            "variant {} diverged",
-            variant.name()
-        );
+        assert_eq!(rules, reference, "variant {} diverged", variant.name());
     }
 }
 
@@ -147,7 +147,8 @@ fn engine_modes_agree_on_results() {
         );
         Miner::new(e, cfg()).mine(&t)
     };
-    let names = |r: &MiningResult| -> Vec<Rule> { r.rules.iter().map(|x| x.rule.clone()).collect() };
+    let names =
+        |r: &MiningResult| -> Vec<Rule> { r.rules.iter().map(|x| x.rule.clone()).collect() };
     assert_eq!(names(&in_mem), names(&single));
     assert_eq!(names(&in_mem), names(&disk));
     assert!((in_mem.final_kl() - disk.final_kl()).abs() < 1e-9);
@@ -184,7 +185,7 @@ fn target_kl_keeps_mining_until_reached() {
     };
     let starred = Miner::new(engine(), cfg).mine(&t);
     assert!(
-        starred.final_kl() <= target * 1.0001 || starred.rules.len() - 1 >= 12,
+        starred.final_kl() <= target * 1.0001 || starred.rules.len() > 12,
         "l-rule* must reach the target KL or the cap: kl={} target={target}",
         starred.final_kl()
     );
@@ -235,9 +236,11 @@ fn binary_measure_dataset_mines_planted_rule() {
     // the miner must discover at least one rule touching those columns.
     let t = generators::income_like(4_000, 47);
     let result = Miner::new(engine(), full_sample_config(5, 64)).mine(&t);
-    let touches_planted = result.rules.iter().skip(1).any(|r| {
-        !r.rule.is_wildcard(3) || !r.rule.is_wildcard(4)
-    });
+    let touches_planted = result
+        .rules
+        .iter()
+        .skip(1)
+        .any(|r| !r.rule.is_wildcard(3) || !r.rule.is_wildcard(4));
     assert!(touches_planted, "{}", result.render(&t));
     // All mined rules must have meaningful support.
     for r in result.rules.iter().skip(1) {

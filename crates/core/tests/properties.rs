@@ -27,8 +27,7 @@ fn tuple(d: usize) -> impl Strategy<Value = Vec<u32>> {
 
 /// Strategy: a random rule (each position constant or wildcard).
 fn rule(d: usize) -> impl Strategy<Value = Rule> {
-    prop::collection::vec(prop_oneof![Just(WILDCARD), (0..MAX_CARD)], d)
-        .prop_map(Rule::from_values)
+    prop::collection::vec(prop_oneof![Just(WILDCARD), 0..MAX_CARD], d).prop_map(Rule::from_values)
 }
 
 /// Strategy: a small random table with nonnegative measures.
@@ -254,8 +253,8 @@ proptest! {
 
         prop_assert_eq!(naive_out.converged, rct_out.converged);
         if naive_out.converged {
-            for i in 0..table.num_rows() {
-                let via_rct = mhat_for_mask(masks[i], &rct_lambdas);
+            for (i, &mask) in masks.iter().enumerate() {
+                let via_rct = mhat_for_mask(mask, &rct_lambdas);
                 prop_assert!(
                     (via_rct - backend.mhat()[i]).abs() < 1e-5,
                     "tuple {}: {} vs {}", i, via_rct, backend.mhat()[i]

@@ -106,23 +106,20 @@ impl<T: Record> Dataset<T> {
         F: Fn(usize, &[T]) -> Vec<U> + Send + Sync,
     {
         let engine = self.engine.clone();
-        let parts = self.engine.run_stage(
-            label,
-            self.parts.clone(),
-            (0, 0),
-            |idx, part: Part<T>| {
-                let data = match &part {
-                    Part::Mem(a) => Arc::clone(a),
-                    Part::Stored(id) => engine.store().get::<T>(*id),
-                };
-                let out = f(idx, &data);
-                TaskOutput {
-                    records_in: data.len() as u64,
-                    records_out: out.len() as u64,
-                    value: Self::finish_part(&engine, out),
-                }
-            },
-        );
+        let parts =
+            self.engine
+                .run_stage(label, self.parts.clone(), (0, 0), |idx, part: Part<T>| {
+                    let data = match &part {
+                        Part::Mem(a) => Arc::clone(a),
+                        Part::Stored(id) => engine.store().get::<T>(*id),
+                    };
+                    let out = f(idx, &data);
+                    TaskOutput {
+                        records_in: data.len() as u64,
+                        records_out: out.len() as u64,
+                        value: Self::finish_part(&engine, out),
+                    }
+                });
         Dataset::from_parts(self.engine.clone(), parts)
     }
 
@@ -140,9 +137,7 @@ impl<T: Record> Dataset<T> {
         I: IntoIterator<Item = U>,
         F: Fn(&T) -> I + Send + Sync,
     {
-        self.map_partitions(label, move |_, data| {
-            data.iter().flat_map(&f).collect()
-        })
+        self.map_partitions(label, move |_, data| data.iter().flat_map(&f).collect())
     }
 
     /// Keep only records satisfying the predicate.
@@ -164,11 +159,9 @@ impl<T: Record> Dataset<T> {
         FC: Fn(&mut A, A) + Send + Sync,
     {
         let engine = self.engine.clone();
-        let accs = self.engine.run_stage(
-            label,
-            self.parts.clone(),
-            (0, 0),
-            |_, part: Part<T>| {
+        let accs = self
+            .engine
+            .run_stage(label, self.parts.clone(), (0, 0), |_, part: Part<T>| {
                 let data = match &part {
                     Part::Mem(a) => Arc::clone(a),
                     Part::Stored(id) => engine.store().get::<T>(*id),
@@ -182,8 +175,7 @@ impl<T: Record> Dataset<T> {
                     records_out: 1,
                     value: acc,
                 }
-            },
-        );
+            });
         let mut iter = accs.into_iter();
         let mut total = iter.next().unwrap_or_else(&init);
         for acc in iter {
@@ -245,24 +237,21 @@ impl<T: Record> Dataset<T> {
     /// budget; over-budget blocks spill to disk, as in Spark's `cache()`).
     pub fn cache(&self) -> Dataset<T> {
         let engine = self.engine.clone();
-        let parts = self.engine.run_stage(
-            "cache",
-            self.parts.clone(),
-            (0, 0),
-            |_, part: Part<T>| {
-                let data = match &part {
-                    Part::Mem(a) => Arc::clone(a),
-                    Part::Stored(id) => engine.store().get::<T>(*id),
-                };
-                let n = data.len() as u64;
-                let owned = Arc::try_unwrap(data).unwrap_or_else(|a| a.as_ref().clone());
-                TaskOutput {
-                    records_in: n,
-                    records_out: n,
-                    value: Part::Stored(engine.store().put(owned)),
-                }
-            },
-        );
+        let parts =
+            self.engine
+                .run_stage("cache", self.parts.clone(), (0, 0), |_, part: Part<T>| {
+                    let data = match &part {
+                        Part::Mem(a) => Arc::clone(a),
+                        Part::Stored(id) => engine.store().get::<T>(*id),
+                    };
+                    let n = data.len() as u64;
+                    let owned = Arc::try_unwrap(data).unwrap_or_else(|a| a.as_ref().clone());
+                    TaskOutput {
+                        records_in: n,
+                        records_out: n,
+                        value: Part::Stored(engine.store().put(owned)),
+                    }
+                });
         Dataset::from_parts(self.engine.clone(), parts)
     }
 
@@ -572,9 +561,7 @@ mod tests {
 
     #[test]
     fn disk_mr_mode_materializes_stages_on_disk() {
-        let e = Engine::new(
-            EngineConfig::disk_mr().with_stage_startup(std::time::Duration::ZERO),
-        );
+        let e = Engine::new(EngineConfig::disk_mr().with_stage_startup(std::time::Duration::ZERO));
         let d = e.parallelize((0..100u32).collect(), 4);
         let out = d.map("inc", |&x| x + 1);
         assert!(e.metrics().counters().disk_writes >= 4);

@@ -149,9 +149,14 @@ impl Engine {
         if !startup.is_zero() {
             std::thread::sleep(startup);
         }
-        let workers = self.inner.config.effective_workers().min(inputs.len().max(1));
+        let workers = self
+            .inner
+            .config
+            .effective_workers()
+            .min(inputs.len().max(1));
         let n = inputs.len();
-        let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let slots: Vec<Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let outputs: Vec<Mutex<Option<(O, TaskRecord)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
 

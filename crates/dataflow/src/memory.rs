@@ -364,7 +364,7 @@ mod tests {
         let b = s.put(vec![1u64; 1000]);
         let _ = s.get::<u64>(a); // touch a so b becomes LRU
         let _c = s.put(vec![2u64; 1000]); // forces one eviction
-        // b should have been the victim; a remains resident (no disk read).
+                                          // b should have been the victim; a remains resident (no disk read).
         let before = s.metrics.counters().disk_reads;
         let _ = s.get::<u64>(a);
         assert_eq!(s.metrics.counters().disk_reads, before);

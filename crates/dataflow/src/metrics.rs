@@ -148,7 +148,11 @@ impl MetricsRegistry {
 
     /// Sum of all task seconds across all recorded stages.
     pub fn total_task_secs(&self) -> f64 {
-        self.stages.lock().iter().map(StageRecord::total_task_secs).sum()
+        self.stages
+            .lock()
+            .iter()
+            .map(StageRecord::total_task_secs)
+            .sum()
     }
 }
 

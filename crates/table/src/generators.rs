@@ -196,7 +196,14 @@ pub fn gdelt_dirty(n: usize, seed: u64) -> Table {
         "ActionGeoType",
     ];
     let countries = ["US", "CN", "RU", "GB", "FR", "DE", "IN", "BR"];
-    let actor_types = ["Media", "Government", "Police", "Rebels", "NGO", "PoliticalOpposition"];
+    let actor_types = [
+        "Media",
+        "Government",
+        "Police",
+        "Rebels",
+        "NGO",
+        "PoliticalOpposition",
+    ];
     let root = ["0", "1"];
     let base_codes = ["010", "020", "036", "051", "112", "114", "173", "190"];
     let classes = [
@@ -276,7 +283,11 @@ pub fn susy_like(n: usize, seed: u64) -> Table {
             };
         }
         // Label noise keeps the mining problem non-trivial.
-        let label = if rng.gen::<f64>() < 0.9 { signal } else { !signal };
+        let label = if rng.gen::<f64>() < 0.9 {
+            signal
+        } else {
+            !signal
+        };
         b.push_coded_row(&codes, f64::from(label));
     }
     b.build()
@@ -358,7 +369,7 @@ mod tests {
         assert_eq!(t.num_rows(), 14);
         assert_eq!(t.num_dims(), 3);
         assert!((t.avg_measure() - 145.0 / 14.0).abs() < 1e-9); // paper: 10.4
-        // London-bound flights: rows 1,4,6,11 avg 15.25 (paper: 15.3).
+                                                                // London-bound flights: rows 1,4,6,11 avg 15.25 (paper: 15.3).
         let london = t.dict(2).code("London").unwrap();
         let (sum, cnt) = (0..14)
             .filter(|&i| t.row(i)[2] == london)

@@ -15,7 +15,10 @@ impl Schema {
     /// Panics if `dims` is empty or contains duplicates.
     pub fn new<S: Into<String>>(dims: Vec<S>, measure: impl Into<String>) -> Self {
         let dims: Vec<String> = dims.into_iter().map(Into::into).collect();
-        assert!(!dims.is_empty(), "at least one dimension attribute required");
+        assert!(
+            !dims.is_empty(),
+            "at least one dimension attribute required"
+        );
         for (i, a) in dims.iter().enumerate() {
             assert!(
                 !dims[..i].contains(a),

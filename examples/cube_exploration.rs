@@ -6,12 +6,19 @@
 //! ```sh
 //! cargo run --example cube_exploration
 //! ```
+//!
+//! `SIRUM_EXAMPLE_ROWS` overrides the dataset size (the smoke-test harness
+//! in `tests/examples.rs` sets it low so debug builds finish quickly).
 
 use sirum::core::explore::explore;
 use sirum::prelude::*;
 
 fn main() {
-    let trips = generators::tlc_like(20_000, 7);
+    let rows = std::env::var("SIRUM_EXAMPLE_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let trips = generators::tlc_like(rows, 7);
     println!(
         "Dataset: {} taxi trips × {} dimension attributes, measure = {}\n",
         trips.num_rows(),

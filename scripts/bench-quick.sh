@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Quick benchmark sweep: runs all eight Criterion benches with a reduced
+# sample count and appends one JSON line per benchmark to a BENCH_*.json
+# file, seeding the repo's perf trajectory.
+#
+# Usage:
+#   scripts/bench-quick.sh                # 3 samples/bench -> BENCH_<date>.json
+#   SAMPLES=5 scripts/bench-quick.sh out.json
+#
+# The vendored criterion stand-in (vendor/criterion) reads:
+#   SIRUM_BENCH_SAMPLES — timed samples per benchmark
+#   SIRUM_BENCH_JSON    — JSON-lines output path (appended)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_$(date +%Y%m%d_%H%M%S).json"
+if [[ $# -ge 1 && $1 != -* ]]; then
+    OUT="$1"
+    shift
+fi
+# Bench binaries run with the package dir as cwd; keep the output here.
+case "$OUT" in
+/*) ;;
+*) OUT="$(pwd)/$OUT" ;;
+esac
+SAMPLES="${SAMPLES:-3}"
+
+# Start fresh if the target file already exists (re-runs shouldn't mix).
+# The file is touched up front so a filter matching no benchmark still
+# leaves a (empty) results file rather than failing the final count.
+rm -f "$OUT"
+touch "$OUT"
+
+echo "== bench-quick: $SAMPLES samples/bench -> $OUT"
+SIRUM_BENCH_SAMPLES="$SAMPLES" SIRUM_BENCH_JSON="$OUT" \
+    cargo bench -p sirum_bench "$@"
+
+echo "== wrote $(wc -l < "$OUT") benchmark results to $OUT"

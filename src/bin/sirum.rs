@@ -78,7 +78,9 @@ fn parse_args() -> Args {
             "--demo" => args.demo = Some(value("--demo")),
             "--k" => args.k = value("--k").parse().expect("--k must be an integer"),
             "--sample" => {
-                args.sample = value("--sample").parse().expect("--sample must be an integer");
+                args.sample = value("--sample")
+                    .parse()
+                    .expect("--sample must be an integer");
             }
             "--variant" => {
                 args.variant = match value("--variant").as_str() {
@@ -109,7 +111,9 @@ fn parse_args() -> Args {
             }
             "--two-rules" => args.rules_per_iter = 2,
             "--epsilon" => {
-                args.epsilon = value("--epsilon").parse().expect("--epsilon must be a float");
+                args.epsilon = value("--epsilon")
+                    .parse()
+                    .expect("--epsilon must be a float");
             }
             "--seed" => args.seed = value("--seed").parse().expect("--seed must be an integer"),
             "--partitions" => {
@@ -177,7 +181,9 @@ fn main() {
     .with_partitions(args.partitions);
     let engine = Engine::new(engine_cfg);
 
-    let mut config = args.variant.config(args.k, args.sample.min(table.num_rows()));
+    let mut config = args
+        .variant
+        .config(args.k, args.sample.min(table.num_rows()));
     config.scaling = ScalingConfig {
         epsilon: args.epsilon,
         ..ScalingConfig::default()

@@ -37,9 +37,8 @@ pub use sirum_table as table;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sirum_core::{
-        evaluate_rules, explore, mine_on_sample, CandidateStrategy, MinedRule, Miner,
-        MiningResult, MultiRuleConfig, Rule, RuleSetEvaluation, ScalingConfig, SirumConfig,
-        Variant, WILDCARD,
+        evaluate_rules, explore, mine_on_sample, CandidateStrategy, MinedRule, Miner, MiningResult,
+        MultiRuleConfig, Rule, RuleSetEvaluation, ScalingConfig, SirumConfig, Variant, WILDCARD,
     };
     pub use sirum_dataflow::{Engine, EngineConfig, EngineMode};
     pub use sirum_table::{generators, Schema, Table};

@@ -10,7 +10,14 @@ fn shared_sample(table: &Table, engine: &Engine, size: usize, seed: u64) -> Vec<
     // Draw the sample exactly the way the distributed miner does, so the
     // centralized oracle sees the same candidate space.
     let tuples: Vec<(Box<[u32]>, f64, f64, u64)> = (0..table.num_rows())
-        .map(|i| (table.row(i).to_vec().into_boxed_slice(), table.measure(i), 1.0, 0u64))
+        .map(|i| {
+            (
+                table.row(i).to_vec().into_boxed_slice(),
+                table.measure(i),
+                1.0,
+                0u64,
+            )
+        })
         .collect();
     let data = engine.parallelize_default(tuples);
     data.take_sample(size, seed)

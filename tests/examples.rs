@@ -1,0 +1,63 @@
+//! Smoke tests for the four `examples/` walkthroughs: each must run to
+//! completion (exit code 0). `cargo test` builds example targets before
+//! running integration tests, so the binaries are invoked directly from
+//! `target/<profile>/examples/` — no nested cargo.
+//!
+//! `SIRUM_EXAMPLE_ROWS` scales the cube-exploration dataset down so the
+//! debug-profile run stays fast; the other examples use fixed small inputs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Directory holding the built example binaries for the current profile.
+fn examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // <target>/<profile>/deps/<test-bin> -> deps/
+    dir.pop(); // -> <target>/<profile>/
+    dir.push("examples");
+    dir
+}
+
+fn run_example(name: &str) {
+    let bin = examples_dir().join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        bin.exists(),
+        "example binary {} not built (cargo builds examples before integration tests)",
+        bin.display()
+    );
+    let output = Command::new(&bin)
+        .env("SIRUM_EXAMPLE_ROWS", "1500")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} produced no output"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn cube_exploration_runs() {
+    run_example("cube_exploration");
+}
+
+#[test]
+fn data_cleansing_runs() {
+    run_example("data_cleansing");
+}
+
+#[test]
+fn sampling_tradeoff_runs() {
+    run_example("sampling_tradeoff");
+}

@@ -1,0 +1,384 @@
+//! Offline stand-in for the subset of `criterion` the SIRUM workspace uses:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], `Bencher::iter`, and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark runs a
+//! short warm-up followed by `sample_size` timed samples (one closure call
+//! per sample unless the closure is so fast it needs batching) and reports
+//! min / median / max wall time. Two environment variables tune runs:
+//!
+//! * `SIRUM_BENCH_SAMPLES` — overrides every group's sample count (used by
+//!   `scripts/bench-quick.sh` for fast smoke runs).
+//! * `SIRUM_BENCH_JSON` — if set, appends one JSON line per benchmark
+//!   (`{"bench": ..., "median_ns": ...}`) to the given file, seeding the
+//!   repo's `BENCH_*.json` perf trajectory.
+//!
+//! A positional CLI filter (substring match, as passed by
+//! `cargo bench -- <filter>`) is honored; other flags cargo forwards, such
+//! as `--bench`, are ignored.
+//!
+//! ```
+//! use criterion::{Criterion, BenchmarkId};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("doc");
+//! group.sample_size(3);
+//! group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+//!     b.iter(|| x * x);
+//! });
+//! group.finish();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark: a function name plus an input parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just `<parameter>` (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the timing loop inside a benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Nanoseconds per sample, recorded by `iter`.
+    recorded: Vec<u64>,
+}
+
+impl Bencher {
+    /// Time `f`, collecting one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run at least once, at most for the warm-up budget.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let budget = Instant::now();
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.recorded.push(start.elapsed().as_nanos() as u64);
+            // Never exceed ~4x the configured measurement budget in total.
+            if budget.elapsed() > self.measurement * 4 {
+                break;
+            }
+        }
+    }
+
+    /// Time `f` with per-iteration setup, like criterion's `iter_batched`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let budget = Instant::now();
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed().as_nanos() as u64);
+            if budget.elapsed() > self.measurement * 4 {
+                break;
+            }
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("SIRUM_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+fn report(group: &str, bench: &str, samples: &[u64]) {
+    if samples.is_empty() {
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = sorted[sorted.len() / 2];
+    let fmt = |ns: u64| -> String {
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.3} µs", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    };
+    println!(
+        "{group}/{bench}  time: [{} {} {}]  ({} samples)",
+        fmt(min),
+        fmt(median),
+        fmt(max),
+        sorted.len()
+    );
+    if let Ok(path) = std::env::var("SIRUM_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"bench\": \"{group}/{bench}\", \"median_ns\": {median}, \"min_ns\": {min}, \"max_ns\": {max}, \"samples\": {}}}",
+                sorted.len()
+            );
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id.clone(), f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if !self.criterion.matches(&self.name, id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: env_samples().unwrap_or(self.sample_size),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            recorded: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, id, &bencher.recorded);
+    }
+
+    /// Finish the group (reporting is per-benchmark; nothing left to do).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the CLI arguments cargo forwards (`--bench`, an optional
+    /// substring filter) and return the configured driver.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                // Flags cargo or users pass that take no value.
+                "--bench" | "--test" | "--quick" | "--noplot" => {}
+                // Flags with a value we ignore.
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                | "--warm-up-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, group: &str, id: &str) -> bool {
+        match &self.filter {
+            None => true,
+            Some(f) => format!("{group}/{id}").contains(f.as_str()),
+        }
+    }
+
+    /// Start a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: self.default_samples,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Bundle benchmark functions into a named group runner, mirroring
+/// criterion's simple `criterion_group!(name, target...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(50));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            b.iter(|| ran += 1);
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let c = Criterion {
+            filter: Some("anc".into()),
+            default_samples: 1,
+        };
+        assert!(c.matches("ancestor_generation", "single/10"));
+        assert!(!c.matches("platforms", "spark"));
+    }
+}

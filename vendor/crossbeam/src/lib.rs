@@ -1,0 +1,82 @@
+//! Offline stand-in for the subset of `crossbeam` the SIRUM workspace uses:
+//! [`thread::scope`] with `Scope::spawn`, layered over `std::thread::scope`
+//! (stable since Rust 1.63, which postdates crossbeam's scoped threads).
+//!
+//! ```
+//! let total = std::sync::atomic::AtomicU64::new(0);
+//! crossbeam::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         s.spawn(|_| total.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+//!     }
+//! })
+//! .unwrap();
+//! assert_eq!(total.into_inner(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+/// Scoped threads (stand-in for `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type carried by a failed [`scope`] call.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to the closure of [`scope`] and to each spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// itself so it can spawn further threads, mirroring crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic at join time
+    /// instead of surfacing it in the returned `Result` — callers here
+    /// `expect` the result anyway, so the observable behavior matches.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let values: Vec<u32> = (0..100).collect();
+        super::thread::scope(|s| {
+            for chunk in values.chunks(25) {
+                s.spawn(|_| {
+                    counter.fetch_add(chunk.len(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.into_inner(), 100);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let out = super::thread::scope(|_| 42).unwrap();
+        assert_eq!(out, 42);
+    }
+}

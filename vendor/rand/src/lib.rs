@@ -1,0 +1,368 @@
+//! Offline stand-in for the subset of the `rand` crate that the SIRUM
+//! workspace uses: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! the [`Rng`] extension methods `gen`/`gen_range`/`gen_bool`, and
+//! [`seq::index::sample`] for without-replacement index sampling.
+//!
+//! The container this workspace builds in has no network access to a crates
+//! registry, so the external dependency is gated behind this vendored crate
+//! (see `vendor/README.md`). The generator is xoshiro256++ seeded with
+//! SplitMix64 — deterministic for a given seed, which is all the workspace
+//! relies on (every caller seeds explicitly with `seed_from_u64`).
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.gen_range(0..10u64);
+//! assert!(k < 10);
+//! ```
+
+#![warn(missing_docs)]
+
+/// A low-level source of randomness: a stream of `u64`/`u32` words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an [`RngCore`] "standard"
+/// distribution (the stand-in for `rand::distributions::Standard`).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A half-open or inclusive range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value in the range. Panics on an empty range.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Convenience methods layered over [`RngCore`] (the stand-in for
+/// `rand::Rng`). Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draw a value from the standard distribution of `T` (uniform bits;
+    /// `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draw a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Rngs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Not the same stream as upstream `rand`'s ChaCha-based `StdRng`; the
+    /// workspace only relies on determinism-per-seed, not on a particular
+    /// stream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    /// Index sampling without replacement.
+    pub mod index {
+        use crate::RngCore;
+        use std::collections::HashMap;
+
+        /// A set of sampled indices (stand-in for `rand::seq::index::IndexVec`).
+        #[derive(Clone, Debug)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Iterate over the sampled indices by value.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Convert into a plain vector of indices.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices uniformly from `0..length` via a
+        /// sparse partial Fisher–Yates shuffle: O(`amount`) time and memory
+        /// regardless of `length` (callers pass dataset-sized lengths to
+        /// draw a few dozen indices). Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from {length}"
+            );
+            // `swapped[i]` is the value a dense pool would hold at slot `i`
+            // after the swaps so far; untouched slots implicitly hold `i`.
+            let mut swapped: HashMap<usize, usize> = HashMap::with_capacity(amount * 2);
+            let mut out = Vec::with_capacity(amount);
+            for i in 0..amount {
+                let span = (length - i) as u64;
+                let j = i + (rng.next_u64() % span) as usize;
+                let picked = swapped.get(&j).copied().unwrap_or(j);
+                let displaced = swapped.get(&i).copied().unwrap_or(i);
+                swapped.insert(j, displaced);
+                out.push(picked);
+            }
+            IndexVec(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(42);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(43);
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..17u64);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn index_sample_is_without_replacement() {
+        let mut r = StdRng::seed_from_u64(3);
+        let idx = super::seq::index::sample(&mut r, 100, 20);
+        let mut v = idx.into_vec();
+        assert_eq!(v.len(), 20);
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 20);
+        assert!(v.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn index_sample_full_draw_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v = super::seq::index::sample(&mut r, 50, 50).into_vec();
+        v.sort_unstable();
+        assert_eq!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_sample_handles_large_lengths() {
+        // The sparse shuffle must stay O(amount): a dense pool of this size
+        // would be slow and memory-hungry.
+        let mut r = StdRng::seed_from_u64(5);
+        let mut v = super::seq::index::sample(&mut r, usize::MAX / 2, 64).into_vec();
+        assert_eq!(v.len(), 64);
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn index_sample_covers_all_indices_over_draws() {
+        // Every index must be reachable (no off-by-one bias at the ends).
+        let mut r = StdRng::seed_from_u64(6);
+        let mut seen = [false; 10];
+        for _ in 0..200 {
+            for i in super::seq::index::sample(&mut r, 10, 3).iter() {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
