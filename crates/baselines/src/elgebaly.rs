@@ -1,13 +1,13 @@
 //! Centralized informative rule mining in the style of El Gebaly et al.,
 //! "Interpretable and informative explanations of outcomes" (VLDB 2014) —
-//! the prior work [16] the thesis builds on.
+//! the prior work \[16\] the thesis builds on.
 //!
 //! This is a faithful single-machine implementation: sample-based candidate
 //! pruning (which that paper introduced), greedy highest-gain selection,
 //! and Algorithm-1 iterative scaling with attribute-by-attribute match
 //! tests on every pass. Its distributed equivalent is SIRUM's `Naive`
 //! variant (§5.6.1: "Naive SIRUM corresponds to the distributed
-//! implementations of the techniques from [16]"); the centralized version
+//! implementations of the techniques from \[16\]"); the centralized version
 //! exists (a) as the PostgreSQL-style comparator and (b) as an independent
 //! oracle for cross-checking the distributed miner's rule selection.
 

@@ -3,10 +3,10 @@
 //! Prior-work comparators for the SIRUM evaluation (§5.6):
 //!
 //! * [`elgebaly`] — centralized informative rule mining over sampled
-//!   candidates (El Gebaly et al., VLDB 2014; the thesis's reference [16]).
+//!   candidates (El Gebaly et al., VLDB 2014; the thesis's reference \[16\]).
 //!   Its distributed counterpart is SIRUM's `Naive` variant.
 //! * [`sarawagi`] — data-cube exploration with exhaustive candidates and
-//!   from-scratch iterative scaling (Sarawagi, VLDBJ 2001; reference [29]).
+//!   from-scratch iterative scaling (Sarawagi, VLDBJ 2001; reference \[29\]).
 
 #![warn(missing_docs)]
 #![allow(clippy::must_use_candidate)]

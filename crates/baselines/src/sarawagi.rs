@@ -1,5 +1,5 @@
 //! Data-cube exploration in the style of Sarawagi, "User-cognizant
-//! multidimensional analysis" (VLDB Journal 2001) — the prior work [29].
+//! multidimensional analysis" (VLDB Journal 2001) — the prior work \[29\].
 //!
 //! Differences from SIRUM that §5.6.2 measures:
 //!
@@ -8,7 +8,7 @@
 //!    it with column grouping).
 //! 2. **From-scratch iterative scaling** — all multipliers are reset to 1
 //!    and re-derived whenever new cells enter the model, instead of being
-//!    carried over. This is the main reason the [29] baseline spends so
+//!    carried over. This is the main reason the \[29\] baseline spends so
 //!    long in iterative scaling (Fig 5.15).
 
 use sirum_core::explore::{prior_rules_from_groupbys, ExploreResult};
@@ -38,7 +38,7 @@ impl Default for SarawagiConfig {
     }
 }
 
-/// Run the [29]-style exploration baseline: exhaustive candidates,
+/// Run the \[29\]-style exploration baseline: exhaustive candidates,
 /// single-stage ancestor generation, λ reset on every insertion, one rule
 /// per iteration.
 pub fn sarawagi_explore(engine: &Engine, table: &Table, cfg: &SarawagiConfig) -> ExploreResult {
@@ -54,11 +54,14 @@ pub fn sarawagi_explore(engine: &Engine, table: &Table, cfg: &SarawagiConfig) ->
         reset_lambdas_on_insert: true,
         target_kl: None,
         max_rules: None,
+        two_sided_gain: false,
         seed: cfg.seed,
     };
     let prior = prior_rules_from_groupbys(table, 2);
     let miner = Miner::new(engine.clone(), config);
-    let result = miner.mine_with_prior(table, &prior);
+    let result = miner
+        .try_mine_with_prior(table, &prior)
+        .expect("sarawagi baseline: valid config and non-empty table");
     ExploreResult { result, prior }
 }
 

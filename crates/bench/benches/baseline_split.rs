@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("baseline", name), table, |b, t| {
             b.iter(|| {
                 let e = Engine::new(EngineConfig::in_memory().with_partitions(8));
-                Miner::new(e, Variant::Baseline.config(4, 32)).mine(t)
+                Miner::new(e, Variant::Baseline.config(4, 32))
+                    .try_mine(t)
+                    .expect("mine")
             });
         });
     }

@@ -18,7 +18,9 @@ fn bench(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(variant.name(), name), &variant, |b, v| {
                 b.iter(|| {
                     let engine = Engine::new(EngineConfig::in_memory().with_partitions(8));
-                    Miner::new(engine, v.config(4, 32)).mine(&table)
+                    Miner::new(engine, v.config(4, 32))
+                        .try_mine(&table)
+                        .expect("mine")
                 });
             });
         }

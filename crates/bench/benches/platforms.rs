@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("spark_in_memory", |b| {
         b.iter(|| {
             let e = Engine::new(EngineConfig::in_memory().with_partitions(8));
-            Miner::new(e, Variant::Baseline.config(3, 16)).mine(&table)
+            Miner::new(e, Variant::Baseline.config(3, 16))
+                .try_mine(&table)
+                .expect("mine")
         });
     });
     group.bench_function("hive_disk_mr", |b| {
@@ -28,13 +30,17 @@ fn bench(c: &mut Criterion) {
                     .with_stage_startup(Duration::ZERO)
                     .with_partitions(8),
             );
-            Miner::new(e, Variant::Baseline.config(3, 16)).mine(&table)
+            Miner::new(e, Variant::Baseline.config(3, 16))
+                .try_mine(&table)
+                .expect("mine")
         });
     });
     group.bench_function("postgres_single_thread", |b| {
         b.iter(|| {
             let e = Engine::new(EngineConfig::single_thread().with_partitions(8));
-            Miner::new(e, Variant::Baseline.config(3, 16)).mine(&table)
+            Miner::new(e, Variant::Baseline.config(3, 16))
+                .try_mine(&table)
+                .expect("mine")
         });
     });
     group.finish();

@@ -26,11 +26,11 @@ fn engine() -> Engine {
 }
 
 fn run(table: &Table, config: SirumConfig) -> MiningResult {
-    Miner::new(engine(), config).mine(table)
+    Miner::new(engine(), config).try_mine(table).expect("mine")
 }
 
 fn run_on(e: Engine, table: &Table, config: SirumConfig) -> MiningResult {
-    Miner::new(e, config).mine(table)
+    Miner::new(e, config).try_mine(table).expect("mine")
 }
 
 /// Fig 3.1: Baseline SIRUM runtimes, rule generation vs iterative scaling,
@@ -569,7 +569,7 @@ fn f5_14() {
     rep.finish();
 }
 
-/// Fig 5.15: data-cube exploration — Sarawagi [29] baseline vs SIRUM
+/// Fig 5.15: data-cube exploration — Sarawagi \[29\] baseline vs SIRUM
 /// (k = 10, GDELT-like, exhaustive candidates).
 fn f5_15() {
     let mut rep = FigureReport::new(

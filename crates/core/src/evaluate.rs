@@ -4,6 +4,7 @@
 //! from samples against the full data (§4.5 / §5.7.3) and to compare
 //! variants at equal quality (the `Optimized*` runs of §5.6).
 
+use crate::error::SirumError;
 use crate::gain::{binary_kl, kl_divergence};
 use crate::rct::{iterative_scaling_rct, mhat_for_mask, Rct, MAX_RULES};
 use crate::rule::Rule;
@@ -20,7 +21,7 @@ pub struct RuleSetEvaluation {
     pub baseline_kl: f64,
     /// Information gain: `baseline_kl − kl` (§5.1).
     pub information_gain: f64,
-    /// Bernoulli KL in the style of [16], when the measure is binary.
+    /// Bernoulli KL in the style of \[16\], when the measure is binary.
     pub binary_kl: Option<f64>,
     /// Whether iterative scaling converged within tolerance.
     pub converged: bool,
@@ -28,15 +29,55 @@ pub struct RuleSetEvaluation {
 
 /// Fit and score `rules` on `table`. The first rule must be all-wildcards
 /// (SIRUM's invariant, §2.2); at most [`MAX_RULES`] rules.
+///
+/// # Panics
+/// Panics on an invalid rule set or table; use [`try_evaluate_rules`] on
+/// untrusted input.
 pub fn evaluate_rules(table: &Table, rules: &[Rule], cfg: &ScalingConfig) -> RuleSetEvaluation {
-    assert!(!rules.is_empty(), "need at least the all-wildcards rule");
-    assert!(rules.len() <= MAX_RULES);
-    assert_eq!(
-        rules[0],
-        Rule::all_wildcards(table.num_dims()),
-        "first rule must be (*, …, *)"
-    );
-    let (_transform, m_prime) = MeasureTransform::fit(table.measures());
+    match try_evaluate_rules(table, rules, cfg) {
+        Ok(eval) => eval,
+        Err(e) => crate::error::fail(e),
+    }
+}
+
+/// Fallible form of [`evaluate_rules`], naming the violated invariant.
+pub fn try_evaluate_rules(
+    table: &Table,
+    rules: &[Rule],
+    cfg: &ScalingConfig,
+) -> Result<RuleSetEvaluation, SirumError> {
+    if rules.is_empty() {
+        return Err(SirumError::invalid_config(
+            "rules",
+            "need at least the all-wildcards rule",
+        ));
+    }
+    if rules.len() > MAX_RULES {
+        return Err(SirumError::invalid_config(
+            "rules",
+            format!(
+                "{} rules exceed the {MAX_RULES}-rule bit-array limit",
+                rules.len()
+            ),
+        ));
+    }
+    if let Some(bad) = rules.iter().find(|r| r.arity() != table.num_dims()) {
+        return Err(SirumError::invalid_config(
+            "rules",
+            format!(
+                "rule has {} dimensions but the table has {}",
+                bad.arity(),
+                table.num_dims()
+            ),
+        ));
+    }
+    if rules[0] != Rule::all_wildcards(table.num_dims()) {
+        return Err(SirumError::invalid_config(
+            "rules",
+            "the first rule must be (*, …, *)",
+        ));
+    }
+    let (_transform, m_prime) = MeasureTransform::try_fit(table.measures())?;
 
     // Bit arrays + constraint targets in one scan.
     let n = table.num_rows();
@@ -71,13 +112,13 @@ pub fn evaluate_rules(table: &Table, rules: &[Rule], cfg: &ScalingConfig) -> Rul
         None
     };
 
-    RuleSetEvaluation {
+    Ok(RuleSetEvaluation {
         kl,
         baseline_kl,
         information_gain: baseline_kl - kl,
         binary_kl: binary,
         converged: outcome.converged,
-    }
+    })
 }
 
 #[cfg(test)]

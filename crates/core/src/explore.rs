@@ -2,6 +2,7 @@
 //! examined some group-by results; SIRUM recommends the `k` cells (rules)
 //! carrying the most additional information.
 
+use crate::error::SirumError;
 use crate::miner::{CandidateStrategy, Miner, MiningResult, SirumConfig};
 use crate::rule::{Rule, WILDCARD};
 use sirum_dataflow::Engine;
@@ -39,15 +40,30 @@ pub fn prior_rules_from_groupbys(table: &Table, num_groupbys: usize) -> Vec<Rule
 
 /// Run data-cube exploration: seed the model with the prior-knowledge rules
 /// and mine `config.k` recommendations. Candidate generation is exhaustive
-/// (no sample pruning), matching the original technique of Sarawagi [29];
+/// (no sample pruning), matching the original technique of Sarawagi \[29\];
 /// set `config.reset_lambdas_on_insert = true` to also reproduce that
 /// paper's from-scratch iterative scaling.
-pub fn explore(engine: &Engine, table: &Table, mut config: SirumConfig) -> ExploreResult {
+///
+/// # Panics
+/// Panics on invalid input; use [`try_explore`] on untrusted data.
+pub fn explore(engine: &Engine, table: &Table, config: SirumConfig) -> ExploreResult {
+    match try_explore(engine, table, config) {
+        Ok(result) => result,
+        Err(e) => crate::error::fail(e),
+    }
+}
+
+/// Fallible form of [`explore`].
+pub fn try_explore(
+    engine: &Engine,
+    table: &Table,
+    mut config: SirumConfig,
+) -> Result<ExploreResult, SirumError> {
     config.strategy = CandidateStrategy::FullCube;
     let prior = prior_rules_from_groupbys(table, 2);
     let miner = Miner::new(engine.clone(), config);
-    let result = miner.mine_with_prior(table, &prior);
-    ExploreResult { result, prior }
+    let result = miner.try_mine_with_prior(table, &prior)?;
+    Ok(ExploreResult { result, prior })
 }
 
 #[cfg(test)]

@@ -63,7 +63,7 @@ pub fn kl_from_parts(s1: f64, sum_m: f64, sum_mhat: f64) -> f64 {
     kl.max(0.0)
 }
 
-/// Binary-measure KL divergence in the style of El Gebaly et al. [16]
+/// Binary-measure KL divergence in the style of El Gebaly et al. \[16\]
 /// (§2.4, §5.6.1): treats each tuple's measure as a Bernoulli outcome with
 /// estimated success probability `mhat` (clamped to `(ε, 1-ε)`), and sums
 /// the per-tuple Bernoulli divergences.

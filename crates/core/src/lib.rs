@@ -18,13 +18,17 @@
 //! * multi-stage ancestor generation (§4.3) and multi-rule insertion
 //!   ([`multirule`], §4.4),
 //! * the mining driver and the Table 4.2 variants ([`miner`], [`variants`]),
-//! * data-cube exploration ([`explore`]) and SIRUM-on-sample-data
-//!   ([`sample_data`]), and offline rule-set evaluation ([`evaluate`]).
+//! * data-cube exploration ([`explore`](mod@explore)) and
+//!   SIRUM-on-sample-data ([`sample_data`]), and offline rule-set
+//!   evaluation ([`evaluate`]).
 //!
 //! ## Quickstart
 //!
+//! Mining is fallible: configuration and data problems surface as typed
+//! [`SirumError`] values rather than panics.
+//!
 //! ```
-//! use sirum_core::{Miner, SirumConfig, CandidateStrategy};
+//! use sirum_core::{Miner, SirumConfig, CandidateStrategy, SirumError};
 //! use sirum_dataflow::Engine;
 //! use sirum_table::generators;
 //!
@@ -35,15 +39,17 @@
 //!     strategy: CandidateStrategy::SampleLca { sample_size: 14 },
 //!     ..SirumConfig::default()
 //! };
-//! let result = Miner::new(engine, config).mine(&flights);
+//! let result = Miner::new(engine, config).try_mine(&flights)?;
 //! assert_eq!(result.rules.len(), 4); // (*,*,*) + 3 mined rules
 //! assert!(result.final_kl() < result.kl_trace[0]);
+//! # Ok::<(), SirumError>(())
 //! ```
 
 #![warn(missing_docs)]
 #![allow(clippy::must_use_candidate)]
 
 pub mod candidates;
+pub mod error;
 pub mod evaluate;
 pub mod explore;
 pub mod gain;
@@ -58,12 +64,16 @@ pub mod streaming;
 pub mod transform;
 pub mod variants;
 
-pub use evaluate::{evaluate_rules, RuleSetEvaluation};
-pub use explore::{explore, ExploreResult};
-pub use miner::{CandidateStrategy, MinedRule, Miner, MiningResult, PhaseTimings, SirumConfig};
+pub use error::SirumError;
+pub use evaluate::{evaluate_rules, try_evaluate_rules, RuleSetEvaluation};
+pub use explore::{explore, try_explore, ExploreResult};
+pub use miner::{
+    CandidateStrategy, IterationDecision, IterationEvent, IterationObserver, MinedRule, Miner,
+    MiningResult, PhaseTimings, SirumConfig,
+};
 pub use multirule::MultiRuleConfig;
 pub use rule::{Rule, WILDCARD};
-pub use sample_data::{mine_on_sample, SampleDataResult};
+pub use sample_data::{mine_on_sample, try_mine_on_sample, SampleDataResult};
 pub use scaling::ScalingConfig;
 pub use streaming::{StreamingConfig, StreamingMiner};
 pub use variants::Variant;

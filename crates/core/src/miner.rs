@@ -3,7 +3,8 @@
 //! configuration switch so each variant of Table 4.2 can be instantiated.
 
 use crate::candidates::{adjust_for_sample, merge_agg, Agg, SampleIndex};
-use crate::gain::{kl_from_parts, rule_gain};
+use crate::error::SirumError;
+use crate::gain::{kl_from_parts, rule_gain, rule_gain_two_sided};
 use crate::lattice::{ancestors_restricted, column_groups};
 use crate::multirule::{select_rules, MultiRuleConfig, ScoredCandidate};
 use crate::rct::{iterative_scaling_rct, mhat_for_mask, Rct, RctGroup, MAX_RULES};
@@ -57,13 +58,19 @@ pub struct SirumConfig {
     /// Multi-rule insertion policy (§4.4).
     pub multirule: MultiRuleConfig,
     /// Reset all multipliers to 1 whenever rules are inserted, re-deriving
-    /// the model from scratch — the strategy of Sarawagi [29] (§5.6.2).
+    /// the model from scratch — the strategy of Sarawagi \[29\] (§5.6.2).
     pub reset_lambdas_on_insert: bool,
     /// Keep mining past `k` rules until the KL divergence drops to this
     /// target (the `l-rule*` mode of §5.5), subject to [`Self::max_rules`].
     pub target_kl: Option<f64>,
     /// Hard cap on mined rules when `target_kl` is set (default `4·k`).
     pub max_rules: Option<usize>,
+    /// Score candidates with the symmetrized two-sided gain
+    /// ([`rule_gain_two_sided`]), which also rewards *over*estimated
+    /// regions — useful for data-cleansing style queries hunting for
+    /// unusually low-measure subsets. The paper's selection loop uses the
+    /// one-sided Eq 2.2 gain (the default, `false`).
+    pub two_sided_gain: bool,
     /// Seed for sampling and column-group shuffling.
     pub seed: u64,
 }
@@ -84,10 +91,117 @@ impl Default for SirumConfig {
             reset_lambdas_on_insert: false,
             target_kl: None,
             max_rules: None,
+            two_sided_gain: false,
             seed: 42,
         }
     }
 }
+
+impl SirumConfig {
+    /// Validate every strategy/variant/column-group/multirule invariant,
+    /// naming the offending field. [`Miner::try_mine`] calls this before
+    /// touching the data, so invalid combinations fail at request time
+    /// rather than as mid-mine assertions.
+    pub fn validate(&self) -> Result<(), SirumError> {
+        if let CandidateStrategy::SampleLca { sample_size: 0 } = self.strategy {
+            return Err(SirumError::invalid_config(
+                "strategy.sample_size",
+                "must be ≥ 1 (an empty sample prunes every candidate)",
+            ));
+        }
+        if self.column_groups == 0 {
+            return Err(SirumError::invalid_config(
+                "column_groups",
+                "must be ≥ 1 (1 = single-stage ancestor generation)",
+            ));
+        }
+        if self.multirule.rules_per_iter == 0 {
+            return Err(SirumError::invalid_config(
+                "multirule.rules_per_iter",
+                "must be ≥ 1",
+            ));
+        }
+        if !(self.multirule.top_fraction > 0.0 && self.multirule.top_fraction <= 1.0) {
+            return Err(SirumError::invalid_config(
+                "multirule.top_fraction",
+                format!("must be in (0, 1], got {}", self.multirule.top_fraction),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.multirule.min_gain_fraction) {
+            return Err(SirumError::invalid_config(
+                "multirule.min_gain_fraction",
+                format!(
+                    "must be in [0, 1], got {}",
+                    self.multirule.min_gain_fraction
+                ),
+            ));
+        }
+        if !(self.scaling.epsilon > 0.0 && self.scaling.epsilon.is_finite()) {
+            return Err(SirumError::invalid_config(
+                "scaling.epsilon",
+                format!(
+                    "must be a positive finite tolerance, got {}",
+                    self.scaling.epsilon
+                ),
+            ));
+        }
+        if self.scaling.max_iterations == 0 {
+            return Err(SirumError::invalid_config(
+                "scaling.max_iterations",
+                "must be ≥ 1",
+            ));
+        }
+        if let Some(t) = self.target_kl {
+            if !(t >= 0.0 && t.is_finite()) {
+                return Err(SirumError::invalid_config(
+                    "target_kl",
+                    format!("must be a finite KL value ≥ 0, got {t}"),
+                ));
+            }
+        }
+        if let Some(m) = self.max_rules {
+            if m == 0 {
+                return Err(SirumError::invalid_config("max_rules", "must be ≥ 1"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The run's rule budget: wildcard + priors + mined rules (`k`, or
+    /// `max_rules` when mining to a KL target).
+    fn rule_budget(&self, priors: usize) -> usize {
+        1 + priors + self.max_rules.unwrap_or(4 * self.k).max(self.k)
+    }
+}
+
+/// A progress snapshot delivered to the [`Miner`]'s observer after each
+/// rule-generation iteration (see [`Miner::with_observer`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IterationEvent {
+    /// 1-based index of the iteration that just completed.
+    pub iteration: usize,
+    /// Rules mined so far, beyond the all-wildcards rule and any priors.
+    pub rules_mined: usize,
+    /// Total rules in the model (wildcard + priors + mined).
+    pub rules_total: usize,
+    /// KL divergence after this iteration's scaling pass.
+    pub kl: f64,
+    /// Wall-clock seconds since the run started.
+    pub elapsed_secs: f64,
+}
+
+/// What an observer wants the miner to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationDecision {
+    /// Keep mining.
+    Continue,
+    /// Stop after this iteration and return the rules mined so far; the
+    /// result is marked [`MiningResult::cancelled`].
+    Stop,
+}
+
+/// Observer callback type: called after every mining iteration.
+pub type IterationObserver = dyn Fn(&IterationEvent) -> IterationDecision + Send + Sync;
 
 /// One mined rule with its reporting aggregates (a row of Table 1.2).
 #[derive(Debug, Clone)]
@@ -144,12 +258,15 @@ pub struct MiningResult {
     pub iterations: usize,
     /// Measure-transform shift applied before mining.
     pub transform_shift: f64,
+    /// True when an [`IterationObserver`] stopped the run early; the rules
+    /// mined up to that point are still returned.
+    pub cancelled: bool,
 }
 
 impl MiningResult {
-    /// Final KL divergence of the rule set.
+    /// Final KL divergence of the rule set (the seed KL is always present).
     pub fn final_kl(&self) -> f64 {
-        *self.kl_trace.last().expect("at least the seed KL")
+        self.kl_trace.last().copied().unwrap_or(f64::NAN)
     }
 
     /// Information gain as defined in §5.1: KL with only the all-wildcards
@@ -179,12 +296,29 @@ impl MiningResult {
 pub struct Miner {
     engine: Engine,
     config: SirumConfig,
+    observer: Option<Box<IterationObserver>>,
 }
 
 impl Miner {
     /// Create a miner.
     pub fn new(engine: Engine, config: SirumConfig) -> Self {
-        Miner { engine, config }
+        Miner {
+            engine,
+            config,
+            observer: None,
+        }
+    }
+
+    /// Attach a progress observer, called after every mining iteration with
+    /// an [`IterationEvent`]. Returning [`IterationDecision::Stop`] cancels
+    /// the run gracefully: the rules mined so far are returned and the
+    /// result is marked [`MiningResult::cancelled`].
+    pub fn with_observer(
+        mut self,
+        observer: impl Fn(&IterationEvent) -> IterationDecision + Send + Sync + 'static,
+    ) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
     }
 
     /// The miner's configuration.
@@ -198,26 +332,82 @@ impl Miner {
     }
 
     /// Mine `k` informative rules from `table` (Algorithm 2).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Miner::try_mine` (or `sirum::api::SirumSession`); this shim panics on invalid input"
+    )]
     pub fn mine(&self, table: &Table) -> MiningResult {
-        self.mine_with_prior(table, &[])
+        match self.try_mine(table) {
+            Ok(result) => result,
+            Err(e) => crate::error::fail(e),
+        }
+    }
+
+    /// Mine with prior-knowledge rules already in the model.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Miner::try_mine_with_prior`; this shim panics on invalid input"
+    )]
+    pub fn mine_with_prior(&self, table: &Table, prior: &[Rule]) -> MiningResult {
+        match self.try_mine_with_prior(table, prior) {
+            Ok(result) => result,
+            Err(e) => crate::error::fail(e),
+        }
+    }
+
+    /// Mine `k` informative rules from `table` (Algorithm 2), validating
+    /// the configuration and dataset first.
+    pub fn try_mine(&self, table: &Table) -> Result<MiningResult, SirumError> {
+        self.try_mine_with_prior(table, &[])
     }
 
     /// Mine with prior-knowledge rules already in the model (the data-cube
     /// exploration setting of §5.6.2 / Table 1.3): the seed rule set is
     /// `{(*,…,*)} ∪ prior`, and `k` additional rules are mined.
-    pub fn mine_with_prior(&self, table: &Table, prior: &[Rule]) -> MiningResult {
+    ///
+    /// # Errors
+    /// * [`SirumError::EmptyDataset`] — `table` has no rows.
+    /// * [`SirumError::InvalidConfig`] — a configuration invariant fails
+    ///   (see [`SirumConfig::validate`]) or the rule budget exceeds the
+    ///   bit-array capacity.
+    /// * [`SirumError::InvalidMeasure`] — non-finite measure values.
+    /// * [`SirumError::Dataflow`] — the engine hit a spill-I/O failure
+    ///   mid-run.
+    pub fn try_mine_with_prior(
+        &self,
+        table: &Table,
+        prior: &[Rule],
+    ) -> Result<MiningResult, SirumError> {
         let run_start = Instant::now();
         let cfg = &self.config;
+        cfg.validate()?;
         let d = table.num_dims();
         let n = table.num_rows();
-        assert!(n > 0, "empty dataset");
-        let rule_budget = 1 + prior.len() + cfg.max_rules.unwrap_or(4 * cfg.k).max(cfg.k);
-        assert!(
-            rule_budget <= MAX_RULES,
-            "rule budget {rule_budget} exceeds the {MAX_RULES}-rule bit-array limit"
-        );
+        if n == 0 {
+            return Err(SirumError::EmptyDataset);
+        }
+        let rule_budget = cfg.rule_budget(prior.len());
+        if rule_budget > MAX_RULES {
+            return Err(SirumError::invalid_config(
+                "k/max_rules",
+                format!(
+                    "rule budget {rule_budget} (1 + {} priors + mined rules) exceeds \
+                     the {MAX_RULES}-rule bit-array limit",
+                    prior.len()
+                ),
+            ));
+        }
+        if let Some(bad) = prior.iter().find(|r| r.arity() != d) {
+            return Err(SirumError::invalid_config(
+                "prior",
+                format!(
+                    "prior rule has {} dimensions but the table has {d}",
+                    bad.arity()
+                ),
+            ));
+        }
 
-        let (transform, m_prime) = MeasureTransform::fit(table.measures());
+        let (transform, m_prime) = MeasureTransform::try_fit(table.measures())?;
         let mut timings = PhaseTimings::default();
         let mut scaling_iterations = Vec::new();
         let mut ancestors_emitted = 0u64;
@@ -264,6 +454,10 @@ impl Miner {
             &mut scaling_iterations,
         );
         let mut kl_trace = vec![self.compute_kl(&data)];
+        if let Err(e) = self.engine.health() {
+            data.free();
+            return Err(e.into());
+        }
 
         // Draw the candidate-pruning sample once (§3.1.1) and build its
         // inverted index (§4.2); the index is also what adjusts aggregates.
@@ -283,6 +477,7 @@ impl Miner {
 
         // Greedy loop (Algorithm 2).
         let mut iterations = 0usize;
+        let mut cancelled = false;
         loop {
             let mined_so_far = rules.len() - 1 - prior.len();
             let done_k = mined_so_far >= cfg.k;
@@ -343,11 +538,28 @@ impl Miner {
             );
             kl_trace.push(self.compute_kl(&data));
             iterations += 1;
+            if let Err(e) = self.engine.health() {
+                data.free();
+                return Err(e.into());
+            }
+            if let Some(observer) = &self.observer {
+                let event = IterationEvent {
+                    iteration: iterations,
+                    rules_mined: rules.len() - 1 - prior.len(),
+                    rules_total: rules.len(),
+                    kl: kl_trace.last().copied().unwrap_or(f64::NAN),
+                    elapsed_secs: run_start.elapsed().as_secs_f64(),
+                };
+                if observer(&event) == IterationDecision::Stop {
+                    cancelled = true;
+                    break;
+                }
+            }
         }
 
         data.free();
         timings.total = run_start.elapsed().as_secs_f64();
-        MiningResult {
+        Ok(MiningResult {
             rules: mined,
             kl_trace,
             timings,
@@ -355,7 +567,8 @@ impl Miner {
             ancestors_emitted,
             iterations,
             transform_shift: transform.shift(),
-        }
+            cancelled,
+        })
     }
 
     /// Cache a freshly produced dataset (except in DiskMr mode, whose stage
@@ -646,18 +859,21 @@ impl Miner {
         // count still reaches the driver for the rank-limit denominator.
         const TOP_PER_PARTITION: usize = 4096;
         let t2 = Instant::now();
+        let gain_fn: fn(f64, f64) -> f64 = if cfg.two_sided_gain {
+            rule_gain_two_sided
+        } else {
+            rule_gain
+        };
         let scored_ds: Dataset<(Rule, f64, f64, u64)> =
             cand.map_partitions("adjust+gain", move |_, items: &[(Rule, Agg)]| {
                 let mut scored: Vec<(Rule, f64, f64, u64)> = match index {
                     Some(idx) => adjust_for_sample(items.iter().cloned(), idx)
                         .into_iter()
-                        .map(|(rule, sm, smh, cnt)| (rule, rule_gain(sm, smh), sm, cnt))
+                        .map(|(rule, sm, smh, cnt)| (rule, gain_fn(sm, smh), sm, cnt))
                         .collect(),
                     None => items
                         .iter()
-                        .map(|(rule, (sm, smh, cnt))| {
-                            (rule.clone(), rule_gain(*sm, *smh), *sm, *cnt)
-                        })
+                        .map(|(rule, (sm, smh, cnt))| (rule.clone(), gain_fn(*sm, *smh), *sm, *cnt))
                         .collect(),
                 };
                 if scored.len() > TOP_PER_PARTITION {

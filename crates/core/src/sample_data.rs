@@ -3,7 +3,8 @@
 //! information gain for the elimination of repeated disk I/O
 //! (Figs 4.4, 5.18, 5.19).
 
-use crate::evaluate::{evaluate_rules, RuleSetEvaluation};
+use crate::error::SirumError;
+use crate::evaluate::{try_evaluate_rules, RuleSetEvaluation};
 use crate::miner::{Miner, MiningResult, SirumConfig};
 use crate::rule::Rule;
 use rand::rngs::StdRng;
@@ -38,33 +39,60 @@ pub fn sample_table(table: &Table, rate: f64, seed: u64) -> Table {
 /// Mine on a `rate` sample of `table`, then score the resulting rule set on
 /// the full table (the §5.7.3 protocol: execution time from the sampled
 /// run, information gain from the full data).
+///
+/// # Panics
+/// Panics on invalid input (e.g. a rate that produces an empty sample);
+/// use [`try_mine_on_sample`] on untrusted data.
 pub fn mine_on_sample(
     engine: &Engine,
     table: &Table,
     rate: f64,
     config: SirumConfig,
 ) -> SampleDataResult {
+    match try_mine_on_sample(engine, table, rate, config) {
+        Ok(result) => result,
+        Err(e) => crate::error::fail(e),
+    }
+}
+
+/// Fallible form of [`mine_on_sample`].
+///
+/// # Errors
+/// * [`SirumError::InvalidConfig`] — `rate` outside `[0, 1]`.
+/// * [`SirumError::EmptyDataset`] — the sample (or the table) has no rows.
+/// * Everything [`Miner::try_mine`] can return.
+pub fn try_mine_on_sample(
+    engine: &Engine,
+    table: &Table,
+    rate: f64,
+    config: SirumConfig,
+) -> Result<SampleDataResult, SirumError> {
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(SirumError::invalid_config(
+            "rate",
+            format!("sampling rate must be in [0, 1], got {rate}"),
+        ));
+    }
     let seed = config.seed;
     let sampled = if rate >= 1.0 {
         table.clone()
     } else {
         sample_table(table, rate, seed)
     };
-    assert!(
-        sampled.num_rows() > 0,
-        "sampling rate {rate} produced an empty dataset"
-    );
+    if sampled.num_rows() == 0 {
+        return Err(SirumError::EmptyDataset);
+    }
     let scaling = config.scaling;
     let miner = Miner::new(engine.clone(), config);
-    let result = miner.mine(&sampled);
+    let result = miner.try_mine(&sampled)?;
     let rules: Vec<Rule> = result.rules.iter().map(|r| r.rule.clone()).collect();
-    let eval = evaluate_rules(table, &rules, &scaling);
-    SampleDataResult {
+    let eval = try_evaluate_rules(table, &rules, &scaling)?;
+    Ok(SampleDataResult {
         rows_used: sampled.num_rows(),
         rate,
         result,
         eval,
-    }
+    })
 }
 
 #[cfg(test)]

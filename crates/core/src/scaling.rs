@@ -141,7 +141,7 @@ impl<'a> TableBackend<'a> {
         self.mhat
     }
 
-    /// Reset all estimates to 1 and all multipliers to 1 (the Sarawagi [29]
+    /// Reset all estimates to 1 and all multipliers to 1 (the Sarawagi \[29\]
     /// strategy that re-fits from scratch whenever a rule is added).
     pub fn reset(&mut self, lambdas: &mut [f64]) {
         self.mhat.iter_mut().for_each(|v| *v = 1.0);

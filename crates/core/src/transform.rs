@@ -2,6 +2,8 @@
 //! `t[m] ≥ 0` for all tuples and `Σ t[m] ≠ 0`; arbitrary numeric measures
 //! are shifted to satisfy this, and reported averages are shifted back.
 
+use crate::error::SirumError;
+
 /// An affine shift applied to the measure column so the maximum-entropy
 /// optimization problem (Formulation 2.1 with the relaxed sum constraint)
 /// is well-posed. Since SIRUM always selects the all-wildcards rule first,
@@ -18,12 +20,29 @@ impl MeasureTransform {
     /// 1. If any value is negative, shift by `-min` so all values are ≥ 0.
     /// 2. If the shifted sum is zero (all-zero column), add `1/|D|` to every
     ///    value so the sum becomes 1.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-finite measure column; use
+    /// [`MeasureTransform::try_fit`] on untrusted data.
     pub fn fit(measures: &[f64]) -> (MeasureTransform, Vec<f64>) {
-        assert!(!measures.is_empty(), "empty measure column");
-        assert!(
-            measures.iter().all(|m| m.is_finite()),
-            "measure values must be finite"
-        );
+        match Self::try_fit(measures) {
+            Ok(fitted) => fitted,
+            Err(e) => crate::error::fail(e),
+        }
+    }
+
+    /// Fallible form of [`MeasureTransform::fit`]: rejects an empty column
+    /// ([`SirumError::EmptyDataset`]) and non-finite values
+    /// ([`SirumError::InvalidMeasure`], naming the offending row).
+    pub fn try_fit(measures: &[f64]) -> Result<(MeasureTransform, Vec<f64>), SirumError> {
+        if measures.is_empty() {
+            return Err(SirumError::EmptyDataset);
+        }
+        if let Some(i) = measures.iter().position(|m| !m.is_finite()) {
+            return Err(SirumError::InvalidMeasure {
+                reason: format!("row {i}: value {} is not finite", measures[i]),
+            });
+        }
         let min = measures.iter().copied().fold(f64::INFINITY, f64::min);
         let mut shift = if min < 0.0 { -min } else { 0.0 };
         let sum: f64 = measures.iter().map(|m| m + shift).sum();
@@ -31,7 +50,7 @@ impl MeasureTransform {
             shift += 1.0 / measures.len() as f64;
         }
         let transformed = measures.iter().map(|m| m + shift).collect();
-        (MeasureTransform { shift }, transformed)
+        Ok((MeasureTransform { shift }, transformed))
     }
 
     /// The additive shift this transform applies.
@@ -102,5 +121,17 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_nan() {
         let _ = MeasureTransform::fit(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn try_fit_returns_typed_errors() {
+        assert!(matches!(
+            MeasureTransform::try_fit(&[]),
+            Err(SirumError::EmptyDataset)
+        ));
+        assert!(matches!(
+            MeasureTransform::try_fit(&[1.0, f64::INFINITY]),
+            Err(SirumError::InvalidMeasure { reason }) if reason.contains("row 1")
+        ));
     }
 }

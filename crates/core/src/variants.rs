@@ -1,14 +1,17 @@
 //! The named SIRUM variants of Table 4.2, each toggling exactly one
 //! Chapter-4 optimization over the baseline (plus Naive and Optimized).
 
+use crate::error::SirumError;
 use crate::miner::{CandidateStrategy, SirumConfig};
 use crate::multirule::MultiRuleConfig;
+use std::fmt;
+use std::str::FromStr;
 
 /// A row of Table 4.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Variant {
     /// Naive SIRUM: sample-based pruning but shuffle joins — the
-    /// distributed equivalent of El Gebaly et al. [16] (§3.1, §5.6.1).
+    /// distributed equivalent of El Gebaly et al. \[16\] (§3.1, §5.6.1).
     Naive,
     /// Baseline / BJ SIRUM: Naive + broadcast joins (§3.2).
     Baseline,
@@ -47,6 +50,21 @@ impl Variant {
             Variant::FastAncestor => "FastAncestor",
             Variant::MultiRule => "Multi-rule",
             Variant::Optimized => "Optimized",
+        }
+    }
+
+    /// Canonical CLI spelling (`naive`, `baseline`, `rct`, `fast-pruning`,
+    /// `fast-ancestor`, `multi-rule`, `optimized`); round-trips through
+    /// [`Variant::from_str`].
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            Variant::Naive => "naive",
+            Variant::Baseline => "baseline",
+            Variant::Rct => "rct",
+            Variant::FastPruning => "fast-pruning",
+            Variant::FastAncestor => "fast-ancestor",
+            Variant::MultiRule => "multi-rule",
+            Variant::Optimized => "optimized",
         }
     }
 
@@ -93,9 +111,53 @@ impl Variant {
     }
 }
 
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cli_name())
+    }
+}
+
+impl FromStr for Variant {
+    type Err = SirumError;
+
+    /// Parse the CLI spelling of a variant. Unknown spellings map to
+    /// [`SirumError::InvalidConfig`] with the valid names listed.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Variant::ALL
+            .iter()
+            .copied()
+            .find(|v| v.cli_name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Variant::ALL.iter().map(|v| v.cli_name()).collect();
+                SirumError::invalid_config(
+                    "variant",
+                    format!(
+                        "unknown variant {s:?} (expected one of: {})",
+                        names.join(", ")
+                    ),
+                )
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cli_names_parse_round_trip() {
+        for v in Variant::ALL {
+            assert_eq!(v.cli_name().parse::<Variant>().unwrap(), v);
+            assert_eq!(v.to_string(), v.cli_name());
+        }
+        assert!(matches!(
+            "turbo".parse::<Variant>(),
+            Err(SirumError::InvalidConfig {
+                field: "variant",
+                ..
+            })
+        ));
+    }
 
     #[test]
     fn baseline_has_only_broadcast_join() {

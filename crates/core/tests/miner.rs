@@ -33,7 +33,9 @@ fn flight_example_reproduces_table_1_2() {
     // first mined rule must be (*, *, London) — the paper's rule 2, chosen
     // for its large, strongly-deviating support set.
     let t = generators::flights();
-    let result = Miner::new(engine(), full_sample_config(3, 14)).mine(&t);
+    let result = Miner::new(engine(), full_sample_config(3, 14))
+        .try_mine(&t)
+        .unwrap();
     let names = rule_names(&result, &t);
     assert_eq!(names[0], "(*, *, *)");
     assert_eq!(names[1], "(*, *, London)");
@@ -56,7 +58,9 @@ fn flight_example_reproduces_table_1_2() {
 #[test]
 fn kl_trace_is_monotone_nonincreasing() {
     let t = generators::income_like(2_000, 5);
-    let result = Miner::new(engine(), full_sample_config(5, 32)).mine(&t);
+    let result = Miner::new(engine(), full_sample_config(5, 32))
+        .try_mine(&t)
+        .unwrap();
     for w in result.kl_trace.windows(2) {
         assert!(
             w[1] <= w[0] + 1e-6,
@@ -74,7 +78,9 @@ fn all_variants_mine_the_same_rules() {
     // may order them differently within an iteration).
     let t = generators::income_like(1_500, 9);
     let reference: Vec<Rule> = {
-        let result = Miner::new(engine(), Variant::Baseline.config(4, 32)).mine(&t);
+        let result = Miner::new(engine(), Variant::Baseline.config(4, 32))
+            .try_mine(&t)
+            .unwrap();
         result.rules.iter().map(|r| r.rule.clone()).collect()
     };
     for variant in [
@@ -83,7 +89,9 @@ fn all_variants_mine_the_same_rules() {
         Variant::FastPruning,
         Variant::FastAncestor,
     ] {
-        let result = Miner::new(engine(), variant.config(4, 32)).mine(&t);
+        let result = Miner::new(engine(), variant.config(4, 32))
+            .try_mine(&t)
+            .unwrap();
         let rules: Vec<Rule> = result.rules.iter().map(|r| r.rule.clone()).collect();
         assert_eq!(rules, reference, "variant {} diverged", variant.name());
     }
@@ -92,8 +100,12 @@ fn all_variants_mine_the_same_rules() {
 #[test]
 fn rct_scaling_reaches_same_quality_as_naive() {
     let t = generators::gdelt_like(1_500, 3);
-    let naive = Miner::new(engine(), Variant::Baseline.config(4, 32)).mine(&t);
-    let rct = Miner::new(engine(), Variant::Rct.config(4, 32)).mine(&t);
+    let naive = Miner::new(engine(), Variant::Baseline.config(4, 32))
+        .try_mine(&t)
+        .unwrap();
+    let rct = Miner::new(engine(), Variant::Rct.config(4, 32))
+        .try_mine(&t)
+        .unwrap();
     assert!((naive.final_kl() - rct.final_kl()).abs() < 1e-3);
     // RCT runs scaling entirely on the driver: same λ-update counts.
     assert_eq!(naive.scaling_iterations, rct.scaling_iterations);
@@ -102,8 +114,12 @@ fn rct_scaling_reaches_same_quality_as_naive() {
 #[test]
 fn multirule_inserts_disjoint_rules_and_fewer_iterations() {
     let t = generators::income_like(2_000, 13);
-    let single = Miner::new(engine(), Variant::Baseline.config(6, 64)).mine(&t);
-    let multi = Miner::new(engine(), Variant::MultiRule.config(6, 64)).mine(&t);
+    let single = Miner::new(engine(), Variant::Baseline.config(6, 64))
+        .try_mine(&t)
+        .unwrap();
+    let multi = Miner::new(engine(), Variant::MultiRule.config(6, 64))
+        .try_mine(&t)
+        .unwrap();
     assert_eq!(multi.rules.len(), 7, "r1 + 6 mined rules");
     assert!(
         multi.iterations < single.iterations,
@@ -123,8 +139,12 @@ fn column_grouping_emits_fewer_ancestors() {
     // §4.3 / Fig 5.8: multi-stage generation reduces the intermediate
     // key-value pairs emitted by the mappers.
     let t = generators::susy_like(800, 21).project(12);
-    let single = Miner::new(engine(), Variant::Baseline.config(3, 16)).mine(&t);
-    let grouped = Miner::new(engine(), Variant::FastAncestor.config(3, 16)).mine(&t);
+    let single = Miner::new(engine(), Variant::Baseline.config(3, 16))
+        .try_mine(&t)
+        .unwrap();
+    let grouped = Miner::new(engine(), Variant::FastAncestor.config(3, 16))
+        .try_mine(&t)
+        .unwrap();
     assert!(
         grouped.ancestors_emitted < single.ancestors_emitted,
         "grouped {} vs single {}",
@@ -137,15 +157,17 @@ fn column_grouping_emits_fewer_ancestors() {
 fn engine_modes_agree_on_results() {
     let t = generators::income_like(800, 17);
     let cfg = || full_sample_config(3, 16);
-    let in_mem = Miner::new(engine(), cfg()).mine(&t);
-    let single = Miner::new(Engine::single_thread(), cfg()).mine(&t);
+    let in_mem = Miner::new(engine(), cfg()).try_mine(&t).unwrap();
+    let single = Miner::new(Engine::single_thread(), cfg())
+        .try_mine(&t)
+        .unwrap();
     let disk = {
         let e = Engine::new(
             EngineConfig::disk_mr()
                 .with_stage_startup(Duration::ZERO)
                 .with_partitions(4),
         );
-        Miner::new(e, cfg()).mine(&t)
+        Miner::new(e, cfg()).try_mine(&t).unwrap()
     };
     let names =
         |r: &MiningResult| -> Vec<Rule> { r.rules.iter().map(|x| x.rule.clone()).collect() };
@@ -157,8 +179,12 @@ fn engine_modes_agree_on_results() {
 #[test]
 fn optimized_matches_baseline_quality_on_equal_rule_count() {
     let t = generators::gdelt_like(2_000, 29);
-    let baseline = Miner::new(engine(), Variant::Baseline.config(6, 32)).mine(&t);
-    let optimized = Miner::new(engine(), Variant::Optimized.config(6, 32)).mine(&t);
+    let baseline = Miner::new(engine(), Variant::Baseline.config(6, 32))
+        .try_mine(&t)
+        .unwrap();
+    let optimized = Miner::new(engine(), Variant::Optimized.config(6, 32))
+        .try_mine(&t)
+        .unwrap();
     assert_eq!(baseline.rules.len(), optimized.rules.len());
     // Multi-rule selection may pick a slightly different set; §5.5 accepts
     // a modest KL penalty. Allow 25% slack on the achieved KL reduction.
@@ -174,7 +200,9 @@ fn optimized_matches_baseline_quality_on_equal_rule_count() {
 fn target_kl_keeps_mining_until_reached() {
     let t = generators::income_like(1_500, 31);
     // First run: 6 rules, note the final KL.
-    let reference = Miner::new(engine(), full_sample_config(6, 32)).mine(&t);
+    let reference = Miner::new(engine(), full_sample_config(6, 32))
+        .try_mine(&t)
+        .unwrap();
     let target = reference.final_kl();
     // Second run: k=2 but must continue until it matches the target.
     let cfg = SirumConfig {
@@ -183,7 +211,7 @@ fn target_kl_keeps_mining_until_reached() {
         multirule: MultiRuleConfig::l_rules(2),
         ..full_sample_config(2, 32)
     };
-    let starred = Miner::new(engine(), cfg).mine(&t);
+    let starred = Miner::new(engine(), cfg).try_mine(&t).unwrap();
     assert!(
         starred.final_kl() <= target * 1.0001 || starred.rules.len() > 12,
         "l-rule* must reach the target KL or the cap: kl={} target={target}",
@@ -195,7 +223,9 @@ fn target_kl_keeps_mining_until_reached() {
 #[test]
 fn timings_are_populated() {
     let t = generators::income_like(500, 41);
-    let result = Miner::new(engine(), full_sample_config(2, 8)).mine(&t);
+    let result = Miner::new(engine(), full_sample_config(2, 8))
+        .try_mine(&t)
+        .unwrap();
     let tm = &result.timings;
     assert!(tm.total > 0.0);
     assert!(tm.iterative_scaling > 0.0);
@@ -209,7 +239,9 @@ fn timings_are_populated() {
 fn mined_rule_counts_and_averages_are_exact() {
     // Cross-check every reported (count, avg) against a direct scan.
     let t = generators::gdelt_like(1_000, 43);
-    let result = Miner::new(engine(), full_sample_config(4, 24)).mine(&t);
+    let result = Miner::new(engine(), full_sample_config(4, 24))
+        .try_mine(&t)
+        .unwrap();
     for mined in &result.rules {
         let mut sum = 0.0;
         let mut count = 0u64;
@@ -235,7 +267,9 @@ fn binary_measure_dataset_mines_planted_rule() {
     // The income generator plants Education>=5 and Occupation<=1 boosts;
     // the miner must discover at least one rule touching those columns.
     let t = generators::income_like(4_000, 47);
-    let result = Miner::new(engine(), full_sample_config(5, 64)).mine(&t);
+    let result = Miner::new(engine(), full_sample_config(5, 64))
+        .try_mine(&t)
+        .unwrap();
     let touches_planted = result
         .rules
         .iter()
@@ -254,7 +288,9 @@ fn gdelt_dirty_cleansing_finds_high_average_rules() {
     // Data-cleansing application (Table 1.5): rules highlighting records
     // with missing Actor2 type should surface averages near 1.
     let t = generators::gdelt_dirty(4_000, 53);
-    let result = Miner::new(engine(), full_sample_config(4, 64)).mine(&t);
+    let result = Miner::new(engine(), full_sample_config(4, 64))
+        .try_mine(&t)
+        .unwrap();
     let base = t.avg_measure();
     let best = result
         .rules
@@ -278,7 +314,8 @@ fn sample_seed_changes_candidates_not_correctness() {
             ..full_sample_config(3, 16)
         },
     )
-    .mine(&t);
+    .try_mine(&t)
+    .unwrap();
     let b = Miner::new(
         engine(),
         SirumConfig {
@@ -286,7 +323,8 @@ fn sample_seed_changes_candidates_not_correctness() {
             ..full_sample_config(3, 16)
         },
     )
-    .mine(&t);
+    .try_mine(&t)
+    .unwrap();
     // Different samples may mine different rules, but both must reduce KL.
     assert!(a.information_gain() > 0.0);
     assert!(b.information_gain() > 0.0);
@@ -303,7 +341,9 @@ fn wildcard_rule_alone_when_measure_uniform() {
         b.push_row(&[&v0, &v1], 7.0);
     }
     let t = b.build();
-    let result = Miner::new(engine(), full_sample_config(3, 10)).mine(&t);
+    let result = Miner::new(engine(), full_sample_config(3, 10))
+        .try_mine(&t)
+        .unwrap();
     assert_eq!(result.rules.len(), 1, "{}", result.render(&t));
     assert!(result.final_kl() < 1e-9);
 }
@@ -319,7 +359,9 @@ fn negative_measures_are_handled_by_the_transform() {
         b.push_row(&[&v0, &v1], m);
     }
     let t = b.build();
-    let result = Miner::new(engine(), full_sample_config(2, 12)).mine(&t);
+    let result = Miner::new(engine(), full_sample_config(2, 12))
+        .try_mine(&t)
+        .unwrap();
     assert!(result.transform_shift > 0.0);
     // Reported averages are on the original scale.
     let r1 = &result.rules[0];
@@ -332,7 +374,9 @@ fn prior_rules_are_respected() {
     let t = generators::flights();
     let london = t.dict(2).code("London").unwrap();
     let prior = vec![Rule::from_values(vec![WILDCARD, WILDCARD, london])];
-    let result = Miner::new(engine(), full_sample_config(2, 14)).mine_with_prior(&t, &prior);
+    let result = Miner::new(engine(), full_sample_config(2, 14))
+        .try_mine_with_prior(&t, &prior)
+        .unwrap();
     // Seed rules: (*,*,*) then the prior; mined rules must differ from both.
     assert_eq!(result.rules[1].rule, prior[0]);
     for mined in &result.rules[2..] {

@@ -1,6 +1,9 @@
 //! Engine configuration: execution mode, parallelism, memory budget.
 
+use crate::error::DataflowError;
+use std::fmt;
 use std::path::PathBuf;
+use std::str::FromStr;
 use std::time::Duration;
 
 /// Which of the paper's three data processing platforms the engine emulates
@@ -18,6 +21,41 @@ pub enum EngineMode {
     /// (PostgreSQL 9.4 had no intra-query parallelism, §2.6.1). Data stays
     /// in memory, isolating the parallelism effect Figure 5.1 measures.
     SingleThread,
+}
+
+impl EngineMode {
+    /// Canonical CLI spelling of the mode (`in-memory`, `disk-mr`,
+    /// `single-thread`); round-trips through [`EngineMode::from_str`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineMode::InMemory => "in-memory",
+            EngineMode::DiskMr => "disk-mr",
+            EngineMode::SingleThread => "single-thread",
+        }
+    }
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EngineMode {
+    type Err = DataflowError;
+
+    /// Parse the CLI spelling of a mode. Unknown spellings map to
+    /// [`DataflowError::UnknownMode`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "in-memory" | "spark" => Ok(EngineMode::InMemory),
+            "disk-mr" | "hive" => Ok(EngineMode::DiskMr),
+            "single-thread" | "postgres" => Ok(EngineMode::SingleThread),
+            other => Err(DataflowError::UnknownMode {
+                name: other.to_string(),
+            }),
+        }
+    }
 }
 
 /// Tuning knobs for the [`crate::Engine`].
@@ -110,6 +148,31 @@ impl EngineConfig {
             _ => self.workers.max(1),
         }
     }
+
+    /// Validate the configuration, naming the offending field. Called by
+    /// [`crate::Engine::try_new`] so invalid combinations are rejected at
+    /// construction time rather than mid-job.
+    pub fn validate(&self) -> Result<(), DataflowError> {
+        let invalid = |field: &'static str, reason: String| {
+            Err(DataflowError::InvalidConfig { field, reason })
+        };
+        if self.workers == 0 {
+            return invalid("workers", "must be ≥ 1".into());
+        }
+        if self.partitions == 0 {
+            return invalid("partitions", "must be ≥ 1".into());
+        }
+        if self.memory_budget == Some(0) {
+            return invalid(
+                "memory_budget",
+                "must be > 0 bytes (use None for unbounded)".into(),
+            );
+        }
+        if self.spill_dir.as_os_str().is_empty() {
+            return invalid("spill_dir", "must not be empty".into());
+        }
+        Ok(())
+    }
 }
 
 impl Default for EngineConfig {
@@ -144,5 +207,41 @@ mod tests {
     fn disk_mr_has_startup_latency() {
         assert!(EngineConfig::disk_mr().stage_startup > Duration::ZERO);
         assert_eq!(EngineConfig::in_memory().stage_startup, Duration::ZERO);
+    }
+
+    #[test]
+    fn mode_parse_round_trips() {
+        for mode in [
+            EngineMode::InMemory,
+            EngineMode::DiskMr,
+            EngineMode::SingleThread,
+        ] {
+            assert_eq!(mode.name().parse::<EngineMode>().unwrap(), mode);
+        }
+        assert!(matches!(
+            "bogus".parse::<EngineMode>(),
+            Err(DataflowError::UnknownMode { name }) if name == "bogus"
+        ));
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        assert!(EngineConfig::in_memory().validate().is_ok());
+        let field = |cfg: EngineConfig| match cfg.validate() {
+            Err(DataflowError::InvalidConfig { field, .. }) => field,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        let mut cfg = EngineConfig::in_memory();
+        cfg.workers = 0;
+        assert_eq!(field(cfg), "workers");
+        let mut cfg = EngineConfig::in_memory();
+        cfg.partitions = 0;
+        assert_eq!(field(cfg), "partitions");
+        let mut cfg = EngineConfig::in_memory();
+        cfg.memory_budget = Some(0);
+        assert_eq!(field(cfg), "memory_budget");
+        let mut cfg = EngineConfig::in_memory();
+        cfg.spill_dir = PathBuf::new();
+        assert_eq!(field(cfg), "spill_dir");
     }
 }

@@ -103,7 +103,9 @@ pub fn stage_makespan(stage: &StageRecord, spec: &ClusterSpec) -> f64 {
         })
         .collect();
     for t in tasks {
-        let Reverse(mut slot) = heap.pop().expect("at least one slot");
+        let Some(Reverse(mut slot)) = heap.pop() else {
+            unreachable!("cluster specs have at least one slot");
+        };
         slot.load += t * slot.slow;
         heap.push(Reverse(slot));
     }

@@ -45,8 +45,9 @@ macro_rules! impl_encode_prim {
             }
             #[inline]
             fn decode(buf: &mut &[u8]) -> Self {
-                let bytes = take(buf, std::mem::size_of::<$t>());
-                <$t>::from_le_bytes(bytes.try_into().expect("fixed width"))
+                let mut bytes = [0u8; std::mem::size_of::<$t>()];
+                bytes.copy_from_slice(take(buf, std::mem::size_of::<$t>()));
+                <$t>::from_le_bytes(bytes)
             }
             #[inline]
             fn size_estimate(&self) -> usize {
@@ -187,7 +188,13 @@ impl Encode for String {
     }
     fn decode(buf: &mut &[u8]) -> Self {
         let n = u64::decode(buf) as usize;
-        String::from_utf8(take(buf, n).to_vec()).expect("valid utf-8")
+        match String::from_utf8(take(buf, n).to_vec()) {
+            Ok(s) => s,
+            // Spill/shuffle buffers are written by this same process as
+            // valid UTF-8; invalid bytes mean on-disk corruption, which
+            // must fail loudly rather than yield silently mangled data.
+            Err(e) => unreachable!("corrupted string in encoded buffer: {e}"),
+        }
     }
     fn size_estimate(&self) -> usize {
         8 + self.len()

@@ -4,6 +4,7 @@
 use crate::config::{EngineConfig, EngineMode};
 use crate::dataset::{Dataset, Part};
 use crate::encode::Encode;
+use crate::error::DataflowError;
 use crate::memory::BlockStore;
 use crate::metrics::{MetricsRegistry, StageRecord, TaskRecord};
 use parking_lot::Mutex;
@@ -37,19 +38,49 @@ pub struct TaskOutput<O> {
 
 impl Engine {
     /// Build an engine from a configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid or the spill directory
+    /// cannot be created; use [`Engine::try_new`] on untrusted
+    /// configurations to receive a [`DataflowError`] instead.
     pub fn new(config: EngineConfig) -> Self {
+        match Self::try_new(config) {
+            Ok(engine) => engine,
+            Err(e) => crate::error::fail(e),
+        }
+    }
+
+    /// Fallible form of [`Engine::new`]: validates the configuration
+    /// ([`DataflowError::InvalidConfig`]) and verifies the spill directory
+    /// is usable ([`DataflowError::Spill`]) before any job runs.
+    pub fn try_new(config: EngineConfig) -> Result<Self, DataflowError> {
+        config.validate()?;
         let metrics = MetricsRegistry::new();
         let store = BlockStore::new(
             config.memory_budget,
             config.spill_dir.clone(),
             metrics.clone(),
         );
-        Engine {
+        let engine = Engine {
             inner: Arc::new(EngineInner {
                 config,
                 metrics,
                 store,
             }),
+        };
+        engine.health()?;
+        Ok(engine)
+    }
+
+    /// Surface the first deferred dataflow failure (today: spill I/O errors
+    /// recorded by the block store while workers degraded gracefully),
+    /// clearing it. Drivers should check between stages and abort the run
+    /// on `Err`, since partitions produced after a poisoning event may be
+    /// placeholders.
+    pub fn health(&self) -> Result<(), DataflowError> {
+        match self.inner.store.take_poison() {
+            None => Ok(()),
+            Some(e) => Err(e),
         }
     }
 
@@ -161,7 +192,9 @@ impl Engine {
             (0..n).map(|_| Mutex::new(None)).collect();
 
         let run_task = |idx: usize| {
-            let input = slots[idx].lock().take().expect("task input taken once");
+            let Some(input) = slots[idx].lock().take() else {
+                unreachable!("task input taken once");
+            };
             let start = Instant::now();
             let out = f(idx, input);
             let nanos = start.elapsed().as_nanos() as u64;
@@ -182,7 +215,7 @@ impl Engine {
             }
         } else {
             let next = AtomicUsize::new(0);
-            crossbeam::thread::scope(|scope| {
+            let scope_result = crossbeam::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|_| loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
@@ -192,14 +225,20 @@ impl Engine {
                         run_task(idx);
                     });
                 }
-            })
-            .expect("worker panicked");
+            });
+            if let Err(payload) = scope_result {
+                // A worker thread died while running a task closure; carry
+                // the original panic to the driver instead of masking it.
+                std::panic::resume_unwind(payload);
+            }
         }
 
         let mut values = Vec::with_capacity(n);
         let mut tasks = Vec::with_capacity(n);
         for slot in outputs {
-            let (value, record) = slot.into_inner().expect("task completed");
+            let Some((value, record)) = slot.into_inner() else {
+                unreachable!("every task completed");
+            };
             values.push(value);
             tasks.push(record);
         }

@@ -40,6 +40,7 @@ pub mod cost;
 mod dataset;
 mod encode;
 mod engine;
+mod error;
 pub mod hash;
 mod memory;
 mod metrics;
@@ -48,5 +49,6 @@ pub use config::{EngineConfig, EngineMode};
 pub use dataset::{Dataset, Record};
 pub use encode::{decode_records, encode_records, Encode};
 pub use engine::{Broadcast, Engine, TaskOutput};
+pub use error::DataflowError;
 pub use memory::{BlockId, BlockStore, MemSample};
 pub use metrics::{CounterSnapshot, MetricsRegistry, StageRecord, TaskRecord};

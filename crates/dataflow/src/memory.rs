@@ -6,6 +6,7 @@
 //! different executor memory budgets).
 
 use crate::encode::{decode_records, encode_records, Encode};
+use crate::error::DataflowError;
 use crate::hash::FxHashMap;
 use crate::metrics::MetricsRegistry;
 use parking_lot::Mutex;
@@ -49,6 +50,10 @@ struct StoreInner {
     clock: u64,
     resident_bytes: usize,
     trace: Vec<MemSample>,
+    /// First spill-I/O failure observed. The store degrades gracefully
+    /// (failed evictions keep blocks resident, failed disk writes fall back
+    /// to memory) and the driver surfaces this at its next health check.
+    poison: Option<DataflowError>,
 }
 
 /// Thread-safe budgeted block store. Cheap to clone (shared interior).
@@ -63,10 +68,10 @@ pub struct BlockStore {
 }
 
 fn encode_any<T: Encode + Send + Sync + 'static>(any: &AnyArc) -> Vec<u8> {
-    let v = any
-        .downcast_ref::<Vec<T>>()
-        .expect("block type matches its encoder");
-    encode_records(v)
+    match any.downcast_ref::<Vec<T>>() {
+        Some(v) => encode_records(v),
+        None => unreachable!("block type matches its encoder"),
+    }
 }
 
 impl BlockStore {
@@ -80,13 +85,16 @@ impl BlockStore {
             STORE_SEQ.fetch_add(1, Ordering::Relaxed)
         );
         let dir = dir.join(unique);
-        std::fs::create_dir_all(&dir).expect("create spill directory");
+        let poison = std::fs::create_dir_all(&dir)
+            .err()
+            .map(|e| DataflowError::spill("create spill directory", &dir, &e));
         BlockStore {
             inner: Arc::new(Mutex::new(StoreInner {
                 blocks: FxHashMap::default(),
                 clock: 0,
                 resident_bytes: 0,
                 trace: Vec::new(),
+                poison,
             })),
             budget,
             dir,
@@ -113,7 +121,8 @@ impl BlockStore {
 
     /// Evict least-recently-used blocks (other than `keep`) until the
     /// resident set fits the budget. Spilled blocks are encoded and written
-    /// to disk if they have no file yet.
+    /// to disk if they have no file yet. A failed eviction (spill-I/O error)
+    /// poisons the store and stops evicting; blocks stay resident.
     fn enforce_budget(&self, inner: &mut StoreInner, keep: BlockId) {
         let Some(budget) = self.budget else { return };
         while inner.resident_bytes > budget {
@@ -124,22 +133,37 @@ impl BlockStore {
                 .min_by_key(|(_, b)| b.last_access)
                 .map(|(id, _)| *id);
             let Some(victim) = victim else { break };
-            self.evict_locked(inner, victim);
+            if !self.evict_locked(inner, victim) {
+                break;
+            }
         }
     }
 
-    fn evict_locked(&self, inner: &mut StoreInner, id: BlockId) {
+    /// Spill one resident block. Returns `false` (leaving the block
+    /// resident and the store poisoned) when the spill write fails.
+    fn evict_locked(&self, inner: &mut StoreInner, id: BlockId) -> bool {
         let file = self.file_for(id);
-        let block = inner.blocks.get_mut(&id).expect("victim exists");
-        let data = block.data.take().expect("victim is resident");
+        let Some(block) = inner.blocks.get_mut(&id) else {
+            return false;
+        };
+        let Some(data) = block.data.clone() else {
+            return false;
+        };
         if block.file.is_none() {
             let bytes = (block.encode)(&data);
-            std::fs::write(&file, &bytes).expect("write spill file");
+            if let Err(e) = std::fs::write(&file, &bytes) {
+                inner
+                    .poison
+                    .get_or_insert_with(|| DataflowError::spill("write spill file", &file, &e));
+                return false;
+            }
             self.metrics.add_disk_write(bytes.len() as u64);
             block.file = Some(file);
         }
+        block.data = None;
         inner.resident_bytes -= block.size;
         self.sample_locked(inner);
+        true
     }
 
     /// Insert a partition, keeping it resident (subject to the budget).
@@ -171,25 +195,50 @@ impl BlockStore {
 
     /// Insert a partition directly on disk without occupying memory
     /// (used by the Hive-like `DiskMr` mode for stage outputs).
-    pub fn put_disk<T: Encode + Send + Sync + 'static>(&self, data: &[T]) -> BlockId {
+    ///
+    /// When the disk write fails the store is poisoned and the partition
+    /// falls back to memory so no data is lost before the driver notices.
+    pub fn put_disk<T: Encode + Send + Sync + Clone + 'static>(&self, data: &[T]) -> BlockId {
         let id = self.alloc_id();
         let bytes = encode_records(data);
         let file = self.file_for(id);
-        std::fs::write(&file, &bytes).expect("write block file");
-        self.metrics.add_disk_write(bytes.len() as u64);
+        let size = partition_size(data);
+        let written = std::fs::write(&file, &bytes);
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
-        inner.blocks.insert(
-            id,
-            Block {
-                data: None,
-                size: partition_size(data),
-                last_access: clock,
-                file: Some(file),
-                encode: encode_any::<T>,
-            },
-        );
+        match written {
+            Ok(()) => {
+                self.metrics.add_disk_write(bytes.len() as u64);
+                inner.blocks.insert(
+                    id,
+                    Block {
+                        data: None,
+                        size,
+                        last_access: clock,
+                        file: Some(file),
+                        encode: encode_any::<T>,
+                    },
+                );
+            }
+            Err(e) => {
+                inner
+                    .poison
+                    .get_or_insert_with(|| DataflowError::spill("write block file", &file, &e));
+                inner.blocks.insert(
+                    id,
+                    Block {
+                        data: Some(Arc::new(data.to_vec()) as AnyArc),
+                        size,
+                        last_access: clock,
+                        file: None,
+                        encode: encode_any::<T>,
+                    },
+                );
+                inner.resident_bytes += size;
+                self.sample_locked(&mut inner);
+            }
+        }
         id
     }
 
@@ -201,17 +250,40 @@ impl BlockStore {
             let mut inner = self.inner.lock();
             inner.clock += 1;
             let clock = inner.clock;
-            let block = inner.blocks.get_mut(&id).expect("block exists");
+            let Some(block) = inner.blocks.get_mut(&id) else {
+                // Reading a freed block is a driver logic error; poison and
+                // return an empty partition so the run aborts at the next
+                // health check instead of crashing a worker thread.
+                inner.poison.get_or_insert(DataflowError::Spill {
+                    op: "read block",
+                    path: format!("block-{id:?}"),
+                    detail: "block was freed".into(),
+                });
+                return Arc::new(Vec::new());
+            };
             block.last_access = clock;
             if let Some(data) = &block.data {
-                return Arc::clone(data)
-                    .downcast::<Vec<T>>()
-                    .expect("block type matches request");
+                match Arc::clone(data).downcast::<Vec<T>>() {
+                    Ok(v) => return v,
+                    Err(_) => unreachable!("block type matches request"),
+                }
             }
-            block.file.clone().expect("non-resident block has a file")
+            match block.file.clone() {
+                Some(file) => file,
+                None => unreachable!("non-resident block has a file"),
+            }
         };
         // Read and decode outside the lock; file I/O can be slow.
-        let bytes = std::fs::read(&file).expect("read spill file");
+        let bytes = match std::fs::read(&file) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                let mut inner = self.inner.lock();
+                inner
+                    .poison
+                    .get_or_insert_with(|| DataflowError::spill("read spill file", &file, &e));
+                return Arc::new(Vec::new());
+            }
+        };
         self.metrics.add_disk_read(bytes.len() as u64);
         let decoded: Arc<Vec<T>> = Arc::new(decode_records(&bytes));
         let mut inner = self.inner.lock();
@@ -254,6 +326,20 @@ impl BlockStore {
     /// Clear the trace (e.g. between experiments sharing one engine).
     pub fn reset_trace(&self) {
         self.inner.lock().trace.clear();
+    }
+
+    /// Take the first spill-I/O failure recorded since the last check, if
+    /// any, clearing it. Drivers call this between stages ([`health`] on
+    /// [`crate::Engine`]) to turn deferred I/O failures into typed errors.
+    ///
+    /// [`health`]: crate::Engine::health
+    pub fn take_poison(&self) -> Option<DataflowError> {
+        self.inner.lock().poison.take()
+    }
+
+    /// True if a spill-I/O failure is pending.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poison.is_some()
     }
 
     /// Best-effort removal of all spill files.
@@ -371,6 +457,35 @@ mod tests {
         let _ = s.get::<u64>(b);
         assert_eq!(s.metrics.counters().disk_reads, before + 1);
         s.cleanup();
+    }
+
+    #[test]
+    fn unwritable_spill_dir_poisons_but_preserves_data() {
+        // Use a regular file as the spill parent so create_dir_all fails.
+        let blocker = std::env::temp_dir().join(format!("sirum-poison-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let s = BlockStore::new(Some(100), blocker.clone(), MetricsRegistry::new());
+        assert!(s.is_poisoned(), "failed dir creation must poison the store");
+        assert!(matches!(
+            s.take_poison(),
+            Some(DataflowError::Spill {
+                op: "create spill directory",
+                ..
+            })
+        ));
+        // Evictions now fail (no spill dir), so blocks stay resident and
+        // readable; the failed spill re-poisons the store.
+        let id = s.put(vec![1u64; 1000]); // far over the 100-byte budget
+        assert_eq!(*s.get::<u64>(id), vec![1u64; 1000]);
+        assert!(matches!(
+            s.take_poison(),
+            Some(DataflowError::Spill {
+                op: "write spill file",
+                ..
+            })
+        ));
+        assert!(!s.is_poisoned(), "take_poison clears the pending error");
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]

@@ -6,15 +6,25 @@
 //! the measure name), no quoting — categorical values must not contain commas
 //! or newlines, which holds for every dataset the generators produce.
 
+use crate::error::TableError;
 use crate::schema::Schema;
 use crate::table::Table;
-use std::io::{self, BufRead, Write};
+use std::io::{BufRead, Write};
 
 /// Serialize a table as CSV (header + one line per row).
-pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> io::Result<()> {
+///
+/// Returns [`TableError::Unwritable`] when an attribute name or value
+/// contains a comma (the dialect has no quoting), or [`TableError::Io`] on
+/// a write failure.
+pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<(), TableError> {
     let schema = table.schema();
     for (i, name) in schema.dim_names().iter().enumerate() {
-        assert!(!name.contains(','), "CSV dialect forbids commas in names");
+        if name.contains(',') || name.contains('\n') {
+            return Err(TableError::Unwritable {
+                what: "attribute name",
+                text: name.clone(),
+            });
+        }
         if i > 0 {
             out.write_all(b",")?;
         }
@@ -24,7 +34,12 @@ pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> io::Result<()> {
     for i in 0..table.num_rows() {
         for (col, &code) in table.row(i).iter().enumerate() {
             let v = table.decode(col, code);
-            debug_assert!(!v.contains(','), "CSV dialect forbids commas in values");
+            if v.contains(',') || v.contains('\n') {
+                return Err(TableError::Unwritable {
+                    what: "value",
+                    text: v.to_string(),
+                });
+            }
             if col > 0 {
                 out.write_all(b",")?;
             }
@@ -37,22 +52,22 @@ pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> io::Result<()> {
 
 /// Parse a CSV produced by [`write_csv`] (or any comma-separated file whose
 /// last column is numeric) back into a [`Table`].
-pub fn read_csv<R: BufRead>(input: R) -> io::Result<Table> {
+///
+/// Every malformed input maps to a typed [`TableError`]: a missing header
+/// ([`TableError::EmptyInput`]), a header without dimension columns
+/// ([`TableError::NoDimensions`]), repeated column names
+/// ([`TableError::DuplicateDimension`]), a wrong field count
+/// ([`TableError::RaggedLine`]) or a non-numeric measure
+/// ([`TableError::BadMeasure`]).
+pub fn read_csv<R: BufRead>(input: R) -> Result<Table, TableError> {
     let mut lines = input.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
+    let header = lines.next().ok_or(TableError::EmptyInput)??;
     let mut cols: Vec<&str> = header.split(',').collect();
-    let measure = cols
-        .pop()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "header has no columns"))?;
+    let measure = cols.pop().ok_or(TableError::NoDimensions)?;
     if cols.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "need at least one dimension column",
-        ));
+        return Err(TableError::NoDimensions);
     }
-    let schema = Schema::new(cols.clone(), measure);
+    let schema = Schema::try_new(cols, measure)?;
     let d = schema.num_dims();
     let mut builder = Table::builder(schema);
     for (lineno, line) in lines.enumerate() {
@@ -62,23 +77,17 @@ pub fn read_csv<R: BufRead>(input: R) -> io::Result<Table> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != d + 1 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "line {}: expected {} fields, found {}",
-                    lineno + 2,
-                    d + 1,
-                    fields.len()
-                ),
-            ));
+            return Err(TableError::RaggedLine {
+                line: lineno + 2,
+                expected: d + 1,
+                found: fields.len(),
+            });
         }
-        let m: f64 = fields[d].parse().map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: bad measure value: {e}", lineno + 2),
-            )
+        let m: f64 = fields[d].parse().map_err(|_| TableError::BadMeasure {
+            line: lineno + 2,
+            value: fields[d].to_string(),
         })?;
-        builder.push_row(&fields[..d], m);
+        builder.try_push_row(&fields[..d], m)?;
     }
     Ok(builder.build())
 }
@@ -125,6 +134,32 @@ mod tests {
     fn rejects_non_numeric_measure() {
         let csv = "a,m\nx,notanumber\n";
         assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn typed_errors_name_the_problem() {
+        assert!(matches!(read_csv(&b""[..]), Err(TableError::EmptyInput)));
+        assert!(matches!(
+            read_csv(&b"m\n1\n"[..]),
+            Err(TableError::NoDimensions)
+        ));
+        assert!(matches!(
+            read_csv(&b"a,a,m\nx,y,1\n"[..]),
+            Err(TableError::DuplicateDimension { .. })
+        ));
+        assert!(matches!(
+            read_csv(&b"a,m\nx,notanumber\n"[..]),
+            Err(TableError::BadMeasure { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn write_rejects_unwritable_values() {
+        let mut b = Table::builder(Schema::new(vec!["a"], "m"));
+        b.push_row(&["has,comma"], 1.0);
+        let t = b.build();
+        let err = write_csv(&t, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, TableError::Unwritable { what: "value", .. }));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! codes. SIRUM's rule machinery works entirely on codes; strings only
 //! appear at the I/O boundary.
 
+use crate::error::TableError;
 use std::collections::HashMap;
 
 /// Bidirectional mapping between the distinct values of one categorical
@@ -19,15 +20,37 @@ impl Dictionary {
     }
 
     /// Return the code for `value`, inserting it if unseen.
+    ///
+    /// # Panics
+    /// Panics if the `u32` code space is exhausted (more than `u32::MAX − 1`
+    /// distinct values; `u32::MAX` is reserved for the wildcard). Use
+    /// [`Dictionary::try_intern`] to handle that case as a typed error.
     pub fn intern(&mut self, value: &str) -> u32 {
-        if let Some(&code) = self.to_code.get(value) {
-            return code;
+        match self.try_intern(value) {
+            Ok(code) => code,
+            Err(e) => crate::error::fail(e),
         }
-        let code = u32::try_from(self.to_value.len()).expect("dictionary overflow");
-        assert!(code < u32::MAX, "u32::MAX is reserved for the wildcard");
+    }
+
+    /// Fallible form of [`Dictionary::intern`]: returns
+    /// [`TableError::DictionaryOverflow`] instead of panicking when the
+    /// code space is exhausted.
+    pub fn try_intern(&mut self, value: &str) -> Result<u32, TableError> {
+        if let Some(&code) = self.to_code.get(value) {
+            return Ok(code);
+        }
+        let code = match u32::try_from(self.to_value.len()) {
+            // u32::MAX itself is reserved for the wildcard sentinel.
+            Ok(code) if code < u32::MAX => code,
+            _ => {
+                return Err(TableError::DictionaryOverflow {
+                    cardinality: self.to_value.len(),
+                })
+            }
+        };
         self.to_code.insert(value.to_string(), code);
         self.to_value.push(value.to_string());
-        code
+        Ok(code)
     }
 
     /// Code for `value` if already interned.

@@ -19,10 +19,12 @@
 
 pub mod csv;
 mod dict;
+mod error;
 pub mod generators;
 mod schema;
 mod table;
 
 pub use dict::Dictionary;
+pub use error::TableError;
 pub use schema::Schema;
 pub use table::{Table, TableBuilder};

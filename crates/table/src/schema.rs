@@ -1,6 +1,8 @@
 //! Schema description for a multidimensional dataset: named categorical
 //! dimension attributes plus one numeric measure attribute.
 
+use crate::error::TableError;
+
 /// Names of the dimension attributes and the measure attribute of a table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
@@ -12,23 +14,35 @@ impl Schema {
     /// Build a schema from dimension attribute names and a measure name.
     ///
     /// # Panics
-    /// Panics if `dims` is empty or contains duplicates.
+    /// Panics if `dims` is empty or contains duplicates. Use
+    /// [`Schema::try_new`] on untrusted input (e.g. CSV headers).
     pub fn new<S: Into<String>>(dims: Vec<S>, measure: impl Into<String>) -> Self {
-        let dims: Vec<String> = dims.into_iter().map(Into::into).collect();
-        assert!(
-            !dims.is_empty(),
-            "at least one dimension attribute required"
-        );
-        for (i, a) in dims.iter().enumerate() {
-            assert!(
-                !dims[..i].contains(a),
-                "duplicate dimension attribute name {a:?}"
-            );
+        match Self::try_new(dims, measure) {
+            Ok(schema) => schema,
+            Err(e) => crate::error::fail(e),
         }
-        Schema {
+    }
+
+    /// Fallible form of [`Schema::new`]: rejects an empty dimension list
+    /// ([`TableError::NoDimensions`]) and duplicate attribute names
+    /// ([`TableError::DuplicateDimension`]).
+    pub fn try_new<S: Into<String>>(
+        dims: Vec<S>,
+        measure: impl Into<String>,
+    ) -> Result<Self, TableError> {
+        let dims: Vec<String> = dims.into_iter().map(Into::into).collect();
+        if dims.is_empty() {
+            return Err(TableError::NoDimensions);
+        }
+        for (i, a) in dims.iter().enumerate() {
+            if dims[..i].contains(a) {
+                return Err(TableError::DuplicateDimension { name: a.clone() });
+            }
+        }
+        Ok(Schema {
             dims,
             measure: measure.into(),
-        }
+        })
     }
 
     /// Number of dimension attributes (the paper's `d`).
@@ -87,6 +101,19 @@ mod tests {
         let p = s.project(2);
         assert_eq!(p.dim_names(), &["a".to_string(), "b".to_string()]);
         assert_eq!(p.measure_name(), "m");
+    }
+
+    #[test]
+    fn try_new_returns_typed_errors() {
+        assert!(matches!(
+            Schema::try_new(Vec::<String>::new(), "m"),
+            Err(TableError::NoDimensions)
+        ));
+        assert!(matches!(
+            Schema::try_new(vec!["a", "b", "a"], "m"),
+            Err(TableError::DuplicateDimension { name }) if name == "a"
+        ));
+        assert!(Schema::try_new(vec!["a", "b"], "m").is_ok());
     }
 
     #[test]

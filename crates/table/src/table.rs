@@ -2,6 +2,7 @@
 //! numeric measure column, stored flat (no per-row allocation).
 
 use crate::dict::Dictionary;
+use crate::error::TableError;
 use crate::schema::Schema;
 
 /// A multidimensional dataset `D`: `n` rows × `d` categorical dimension
@@ -155,6 +156,7 @@ impl Table {
 }
 
 /// Incremental [`Table`] constructor.
+#[derive(Debug)]
 pub struct TableBuilder {
     schema: Schema,
     dicts: Vec<Dictionary>,
@@ -166,30 +168,72 @@ impl TableBuilder {
     /// Append a row given as string values plus a measure.
     ///
     /// # Panics
-    /// Panics if `values.len()` does not match the schema.
+    /// Panics if `values.len()` does not match the schema (arity mismatch).
+    /// Use [`Self::try_push_row`] on untrusted input.
     pub fn push_row(&mut self, values: &[&str], m: f64) -> &mut Self {
-        assert_eq!(values.len(), self.schema.num_dims(), "arity mismatch");
+        if let Err(e) = self.try_push_row(values, m) {
+            crate::error::fail(e);
+        }
+        self
+    }
+
+    /// Fallible form of [`Self::push_row`]: rejects arity mismatches and
+    /// dictionary overflow as typed errors. On error the builder is left
+    /// unchanged.
+    pub fn try_push_row(&mut self, values: &[&str], m: f64) -> Result<&mut Self, TableError> {
+        if values.len() != self.schema.num_dims() {
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.num_dims(),
+                found: values.len(),
+            });
+        }
+        let before = self.dims.len();
         for (col, v) in values.iter().enumerate() {
-            let code = self.dicts[col].intern(v);
-            self.dims.push(code);
+            match self.dicts[col].try_intern(v) {
+                Ok(code) => self.dims.push(code),
+                Err(e) => {
+                    self.dims.truncate(before);
+                    return Err(e);
+                }
+            }
         }
         self.measure.push(m);
-        self
+        Ok(self)
     }
 
     /// Append a row given directly as dictionary codes. Codes must already
     /// be interned (e.g. via [`Self::intern`]).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or uninterned codes; use
+    /// [`Self::try_push_coded_row`] to handle those as typed errors.
     pub fn push_coded_row(&mut self, codes: &[u32], m: f64) -> &mut Self {
-        assert_eq!(codes.len(), self.schema.num_dims(), "arity mismatch");
+        if let Err(e) = self.try_push_coded_row(codes, m) {
+            crate::error::fail(e);
+        }
+        self
+    }
+
+    /// Fallible form of [`Self::push_coded_row`]. On error the builder is
+    /// left unchanged.
+    pub fn try_push_coded_row(&mut self, codes: &[u32], m: f64) -> Result<&mut Self, TableError> {
+        if codes.len() != self.schema.num_dims() {
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.num_dims(),
+                found: codes.len(),
+            });
+        }
         for (col, &c) in codes.iter().enumerate() {
-            assert!(
-                (c as usize) < self.dicts[col].cardinality(),
-                "code {c} not interned in column {col}"
-            );
+            if (c as usize) >= self.dicts[col].cardinality() {
+                return Err(TableError::UninternedCode {
+                    column: col,
+                    code: c,
+                });
+            }
         }
         self.dims.extend_from_slice(codes);
         self.measure.push(m);
-        self
+        Ok(self)
     }
 
     /// Intern a value in column `col` without adding a row (lets generators
@@ -301,16 +345,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not interned")]
+    #[should_panic(expected = "never interned")]
     fn uninterned_code_rejected() {
         let mut b = Table::builder(flight_schema());
         b.push_coded_row(&[0, 0, 0], 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "arity")]
+    #[should_panic(expected = "dimensions")]
     fn arity_checked() {
         let mut b = Table::builder(flight_schema());
         b.push_row(&["Fri", "SF"], 1.0);
+    }
+
+    #[test]
+    fn try_push_row_reports_arity_and_leaves_builder_intact() {
+        let mut b = Table::builder(flight_schema());
+        let err = b.try_push_row(&["Fri", "SF"], 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::ArityMismatch {
+                expected: 3,
+                found: 2
+            }
+        ));
+        assert!(b.is_empty(), "failed push must not leave partial state");
+        let err = b.try_push_coded_row(&[0, 0, 0], 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::UninternedCode { column: 0, code: 0 }
+        ));
+        b.try_push_row(&["Fri", "SF", "London"], 2.0).unwrap();
+        assert_eq!(b.len(), 1);
     }
 }

@@ -10,15 +10,17 @@
 //! `SIRUM_EXAMPLE_ROWS` overrides the dataset size (the smoke-test harness
 //! in `tests/examples.rs` sets it low so debug builds finish quickly).
 
-use sirum::core::explore::explore;
-use sirum::prelude::*;
+use sirum::api::{SirumError, SirumSession};
+use sirum::core::explore::prior_rules_from_groupbys;
 
-fn main() {
+fn main() -> Result<(), SirumError> {
     let rows = std::env::var("SIRUM_EXAMPLE_ROWS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(20_000);
-    let trips = generators::tlc_like(rows, 7);
+    let mut session = SirumSession::in_memory()?;
+    session.register_demo_with("tlc", Some(rows), 7)?;
+    let trips = session.table("tlc")?;
     println!(
         "Dataset: {} taxi trips × {} dimension attributes, measure = {}\n",
         trips.num_rows(),
@@ -26,22 +28,27 @@ fn main() {
         trips.schema().measure_name(),
     );
 
-    let engine = Engine::in_memory();
-    let config = SirumConfig {
-        k: 4,
-        ..SirumConfig::default()
-    };
-    let out = explore(&engine, &trips, config);
+    // The prior knowledge of §5.6.2: every examined group-by cell becomes a
+    // rule already in the model; recommendations are mined on top, with
+    // exhaustive (full-cube) candidate generation as in Sarawagi [29].
+    let prior = prior_rules_from_groupbys(trips, 2);
+    let result = session
+        .mine("tlc")
+        .k(4)
+        .full_cube()
+        .prior(prior.clone())
+        .run()?;
 
+    let trips = session.table("tlc")?;
     println!(
         "Prior knowledge: the analyst has examined {} group-by cells over the\n\
          two lowest-cardinality attributes:",
-        out.prior.len()
+        prior.len()
     );
-    for (rule, mined) in out.prior.iter().zip(&out.result.rules[1..=out.prior.len()]) {
+    for (rule, mined) in prior.iter().zip(&result.rules[1..=prior.len()]) {
         println!(
             "   {}  AVG({})={:.2} count={}",
-            rule.display(&trips),
+            rule.display(trips),
             trips.schema().measure_name(),
             mined.avg_measure,
             mined.count,
@@ -49,11 +56,11 @@ fn main() {
     }
 
     println!("\nSIRUM's recommended cells to explore next (cf. Table 1.3):");
-    for (i, rec) in out.result.rules[1 + out.prior.len()..].iter().enumerate() {
+    for (i, rec) in result.rules[1 + prior.len()..].iter().enumerate() {
         println!(
             "{:>2}. {}  AVG={:.2} count={} gain={:.3}",
             i + 1,
-            rec.rule.display(&trips),
+            rec.rule.display(trips),
             rec.avg_measure,
             rec.count,
             rec.gain,
@@ -61,7 +68,8 @@ fn main() {
     }
     println!(
         "\nKL divergence: {:.6} (prior knowledge only) → {:.6} (with recommendations)",
-        out.result.kl_trace.first().unwrap(),
-        out.result.final_kl(),
+        result.kl_trace.first().copied().unwrap_or(f64::NAN),
+        result.final_kl(),
     );
+    Ok(())
 }

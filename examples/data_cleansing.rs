@@ -1,46 +1,63 @@
 //! Data cleansing with informative rules (thesis §1, Tables 1.4/1.5):
 //! the measure attribute flags records whose `Actor2 Type` field is
 //! missing; SIRUM surfaces the dimension-value combinations most
-//! correlated with the defect.
+//! correlated with the defect. The request uses the *two-sided* gain so
+//! unusually clean regions surface too, and a progress observer reports
+//! each mining iteration.
 //!
 //! Run with:
 //! ```sh
 //! cargo run --example data_cleansing
 //! ```
 
+use sirum::api::{SirumError, SirumSession};
 use sirum::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SirumError> {
     // GDELT-like event records with a planted data-quality defect:
     // media-reported US material-conflict events usually lack Actor2 Type.
-    let events = generators::gdelt_dirty(30_000, 42);
+    let mut session = SirumSession::in_memory()?;
+    session.register_demo_with("dirty", Some(30_000), 42)?;
+    let events = session.table("dirty")?;
+    let base_rate = events.avg_measure();
     println!(
         "Dataset: {} events × {} dimension attributes; {:.1}% of records are dirty\n",
         events.num_rows(),
         events.num_dims(),
-        events.avg_measure() * 100.0,
+        base_rate * 100.0,
     );
 
-    let engine = Engine::in_memory();
-    let config = SirumConfig {
-        k: 4,
-        strategy: CandidateStrategy::SampleLca { sample_size: 64 },
-        ..SirumConfig::default() // Optimized SIRUM
-    };
-    let result = Miner::new(engine, config).mine(&events);
+    // Long mines are observable (and cancellable) through the iteration
+    // hook; here it just narrates progress.
+    let result = session
+        .mine("dirty")
+        .k(4)
+        .sample_size(64)
+        .two_sided()
+        .on_iteration(|event| {
+            eprintln!(
+                "  [iteration {}] {} rules, KL {:.5}",
+                event.iteration, event.rules_mined, event.kl
+            );
+            IterationDecision::Continue
+        })
+        .run()?;
 
+    let events = session.table("dirty")?;
     println!("Rules ranked by what they reveal about dirty records");
     println!("(AVG = fraction of covered records missing Actor2 Type, cf. Table 1.5):\n");
     for (i, rule) in result.rules.iter().enumerate() {
-        let marker = if rule.avg_measure > 2.0 * events.avg_measure() {
+        let marker = if rule.avg_measure > 2.0 * base_rate {
             "  ← dirty cluster"
+        } else if i > 0 && rule.avg_measure < 0.5 * base_rate {
+            "  ← unusually clean (two-sided gain)"
         } else {
             ""
         };
         println!(
             "{:>2}. {}  AVG={:.2} count={}{}",
             i + 1,
-            rule.rule.display(&events),
+            rule.rule.display(events),
             rule.avg_measure,
             rule.count,
             marker,
@@ -52,7 +69,7 @@ fn main() {
         .rules
         .iter()
         .skip(1)
-        .filter(|r| r.avg_measure > 2.0 * events.avg_measure())
+        .filter(|r| r.avg_measure > 2.0 * base_rate)
         .collect();
     println!(
         "\n{} rule(s) identify subsets with at least twice the overall defect rate.",
@@ -64,9 +81,10 @@ fn main() {
     {
         println!(
             "Worst offender: {} — {:.0}% of its {} records are missing Actor2 Type.",
-            worst.rule.display(&events),
+            worst.rule.display(events),
             worst.avg_measure * 100.0,
             worst.count,
         );
     }
+    Ok(())
 }

@@ -1,16 +1,21 @@
 //! Quickstart: mine informative rules from the paper's 14-row flight-delay
-//! table (Table 1.1) and print the rule set of Table 1.2.
+//! table (Table 1.1) via the session API and print the rule set of
+//! Table 1.2.
 //!
 //! Run with:
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use sirum::prelude::*;
+use sirum::api::{SirumError, SirumSession};
 
-fn main() {
-    // The exact flight-delay table from the thesis (Table 1.1).
-    let flights = generators::flights();
+fn main() -> Result<(), SirumError> {
+    // A session owns the engine (Spark-like, in-memory) and a catalog of
+    // named tables; both are reused across requests.
+    let mut session = SirumSession::in_memory()?;
+    session.register_demo("flights")?;
+
+    let flights = session.table("flights")?;
     println!(
         "Dataset: {} rows × {} dimension attributes ({}), measure = {}\n",
         flights.num_rows(),
@@ -19,17 +24,13 @@ fn main() {
         flights.schema().measure_name(),
     );
 
-    // A Spark-like in-memory engine. With |s| = 14 (the whole table) the
-    // sample-based candidate pruning is exact.
-    let engine = Engine::in_memory();
-    let config = SirumConfig {
-        k: 3,
-        strategy: CandidateStrategy::SampleLca { sample_size: 14 },
-        ..SirumConfig::default()
-    };
-    let result = Miner::new(engine, config).mine(&flights);
+    // With |s| = 14 (the whole table) the sample-based candidate pruning is
+    // exact. The request is validated before execution; any bad knob comes
+    // back as a typed SirumError instead of a panic.
+    let result = session.mine("flights").k(3).sample_size(14).run()?;
 
     // Print the informative rule set (cf. Table 1.2 of the thesis).
+    let flights = session.table("flights")?;
     println!("Informative rule set:");
     println!(
         "{:>7} | {:^30} | {:>9} | {:>5} | {:>8}",
@@ -39,7 +40,7 @@ fn main() {
         println!(
             "{:>7} | {:^30} | {:>9.1} | {:>5} | {:>8.3}",
             i + 1,
-            rule.rule.display(&flights),
+            rule.rule.display(flights),
             rule.avg_measure,
             rule.count,
             rule.gain,
@@ -63,4 +64,5 @@ fn main() {
         result.timings.gain_computation,
         result.timings.iterative_scaling,
     );
+    Ok(())
 }

@@ -8,23 +8,20 @@
 //! cargo run --release --example sampling_tradeoff
 //! ```
 
-use sirum::core::mine_on_sample;
-use sirum::prelude::*;
+use sirum::api::{SirumError, SirumSession};
 use std::time::Instant;
 
-fn main() {
-    let table = generators::tlc_like(120_000, 3);
+fn main() -> Result<(), SirumError> {
+    // One session serves every rate: the engine and the registered table
+    // are set up once and amortized across the repeated queries.
+    let mut session = SirumSession::builder().partitions(16).build()?;
+    session.register_demo_with("tlc", Some(120_000), 3)?;
+    let table = session.table("tlc")?;
     println!(
         "Dataset: {} taxi trips ({} MB of column data)\n",
         table.num_rows(),
         table.data_bytes() / (1024 * 1024),
     );
-
-    let config = || SirumConfig {
-        k: 6,
-        strategy: CandidateStrategy::SampleLca { sample_size: 16 },
-        ..SirumConfig::default()
-    };
 
     println!(
         "{:>9} | {:>9} | {:>11} | {:>16} | {:>11}",
@@ -32,10 +29,12 @@ fn main() {
     );
     let mut full_gain = None;
     for rate in [1.0, 0.5, 0.1, 0.01] {
-        // A fresh engine per run so memory/metrics don't leak across rates.
-        let engine = Engine::new(EngineConfig::in_memory().with_partitions(16));
         let start = Instant::now();
-        let out = mine_on_sample(&engine, &table, rate, config());
+        let out = session
+            .mine("tlc")
+            .k(6)
+            .sample_size(16)
+            .run_on_sample(rate)?;
         let secs = start.elapsed().as_secs_f64();
         let gain = out.eval.information_gain;
         let full = *full_gain.get_or_insert(gain);
@@ -54,4 +53,5 @@ fn main() {
          information gain (scored on the FULL dataset) degrades only slowly —\n\
          until the sample becomes too small to expose the informative rules."
     );
+    Ok(())
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Library panic gate: fail if `panic!`, `unwrap()` or `expect(` appears in
+# the non-test source of the three library crates (core, dataflow, table).
+# The facade's error hierarchy (ISSUE 2) requires every *user-input-
+# reachable* failure to be a typed `SirumError`, so new panic sites of
+# those forms must not creep back in.
+#
+# Deliberately OUT of scope: `assert!`/`debug_assert!`/`unreachable!` on
+# internal invariants (e.g. "this block was written by this process", "a
+# completed task filled its slot") — those document logic errors, not
+# input-reachable failures, and converting them to Results would only bury
+# corruption. Reviewers should still push back when a new assert guards
+# something a caller can reach with bad input.
+#
+# Exemptions:
+#   * `#[cfg(test)]` modules — every library file keeps its test module at
+#     the end of the file, so scanning stops at that attribute;
+#   * comment-only lines (docs may mention the words);
+#   * lines carrying a `lint:allow-panic` marker — reserved for the single
+#     documented panic bridge per crate (`error::fail`) behind the
+#     deprecated/infallible wrappers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r file; do
+    hits=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        /lint:allow-panic/ { next }
+        /^[[:space:]]*\/\// { next }
+        /panic!|unwrap\(\)|expect\(/ { printf "%s:%d: %s\n", FILENAME, FNR, $0 }
+    ' "$file")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        fail=1
+    fi
+done < <(find crates/core/src crates/dataflow/src crates/table/src -name '*.rs' | sort)
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "error: panic/unwrap/expect found on non-test library paths." >&2
+    echo "Convert these to typed errors (TableError / DataflowError / SirumError)." >&2
+    exit 1
+fi
+echo "lint-panics: no panic!/unwrap()/expect( on non-test library paths."

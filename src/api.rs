@@ -1,0 +1,562 @@
+//! The session API: the supported way to embed SIRUM in applications.
+//!
+//! A [`SirumSession`] owns a configured [`Engine`] and a catalog of named
+//! [`Table`]s, amortizing engine setup across requests — rule mining is an
+//! interactive, repeated-query workload (El Gebaly et al., VLDB'14), so the
+//! expensive pieces live for the session, not per query. Each query is a
+//! [`MiningRequest`] built fluently from [`SirumSession::mine`]; the full
+//! configuration (strategy/variant/column-group/multirule invariants) is
+//! validated *before* execution and every failure is a typed
+//! [`SirumError`], never a panic.
+//!
+//! ```
+//! use sirum::api::SirumSession;
+//!
+//! let mut session = SirumSession::in_memory()?;
+//! session.register_demo("flights")?;
+//! let result = session
+//!     .mine("flights")
+//!     .k(3)
+//!     .sample_size(14)
+//!     .run()?;
+//! assert_eq!(result.rules.len(), 4); // (*, *, *) + 3 mined rules
+//! assert_eq!(result.rules[1].rule.display(session.table("flights")?), "(*, *, London)");
+//! # Ok::<(), sirum::api::SirumError>(())
+//! ```
+//!
+//! ## Migrating from the old `Miner` facade
+//!
+//! `Miner::new(engine, config).mine(&table)` still compiles but is
+//! deprecated: it panics on bad input. The session equivalent is
+//!
+//! ```text
+//! old: Miner::new(engine, config).mine(&table)                  // panics
+//! new: session.mine("name").k(10).variant(Variant::Rct).run()?  // Result
+//! ```
+//!
+//! with one-off migrations also served by [`Miner::try_mine`].
+
+use sirum_core::miner::IterationObserver;
+use sirum_core::{
+    try_evaluate_rules, try_mine_on_sample, CandidateStrategy, IterationDecision, IterationEvent,
+    Miner, MiningResult, MultiRuleConfig, Rule, RuleSetEvaluation, SampleDataResult, ScalingConfig,
+    SirumConfig, Variant,
+};
+use sirum_dataflow::{Engine, EngineConfig, EngineMode};
+use sirum_table::{generators, Table};
+use std::collections::BTreeMap;
+
+pub use sirum_core::SirumError;
+
+/// Builder for a [`SirumSession`]'s engine configuration.
+///
+/// Unlike the clamping `EngineConfig::with_*` helpers, these setters pass
+/// values through verbatim so that invalid inputs (zero partitions, a zero
+/// memory budget) surface as [`SirumError::Dataflow`] from
+/// [`SessionBuilder::build`] rather than being silently corrected.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    config: EngineConfig,
+}
+
+impl SessionBuilder {
+    /// Replace the entire engine configuration.
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Select the platform-emulation mode. Only the mode-dependent knobs
+    /// change (`mode` itself and the stage-startup latency); every other
+    /// setting — `workers`, `partitions`, a full [`Self::engine_config`] —
+    /// is preserved, so setter order does not matter. `SingleThread`'s
+    /// one-worker constraint is applied by the engine at execution time.
+    pub fn mode(mut self, mode: EngineMode) -> Self {
+        let base = match mode {
+            EngineMode::InMemory => EngineConfig::in_memory(),
+            EngineMode::DiskMr => EngineConfig::disk_mr(),
+            EngineMode::SingleThread => EngineConfig::single_thread(),
+        };
+        self.config.mode = base.mode;
+        self.config.stage_startup = base.stage_startup;
+        self
+    }
+
+    /// Default number of partitions for datasets created by this session.
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.config.partitions = partitions;
+        self
+    }
+
+    /// Number of OS worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Memory budget in bytes for cached blocks.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.config.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Validate the configuration, stand up the engine (including its spill
+    /// directory) and return the session.
+    pub fn build(self) -> Result<SirumSession, SirumError> {
+        let engine = Engine::try_new(self.config)?;
+        Ok(SirumSession::with_engine(engine))
+    }
+}
+
+/// A long-lived mining session: one configured [`Engine`] plus a catalog of
+/// named tables. See the [module docs](self) for an end-to-end example.
+pub struct SirumSession {
+    engine: Engine,
+    tables: BTreeMap<String, Table>,
+}
+
+impl SirumSession {
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder {
+            config: EngineConfig::in_memory(),
+        }
+    }
+
+    /// A session on a default Spark-like in-memory engine.
+    pub fn in_memory() -> Result<Self, SirumError> {
+        Self::builder().build()
+    }
+
+    /// Wrap an already-constructed engine (assumed validated via
+    /// [`Engine::try_new`] or [`Engine::new`]).
+    pub fn with_engine(engine: Engine) -> Self {
+        SirumSession {
+            engine,
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// The session's engine (metrics, block store, configuration).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Register a table under `name`, replacing any previous table of that
+    /// name. Rejects empty tables ([`SirumError::EmptyDataset`]) and
+    /// non-finite measure values ([`SirumError::InvalidMeasure`]) at
+    /// registration time so every later request on the table can assume a
+    /// minable measure column.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        table: Table,
+    ) -> Result<&mut Self, SirumError> {
+        if table.num_rows() == 0 {
+            return Err(SirumError::EmptyDataset);
+        }
+        if let Some(i) = table.measures().iter().position(|m| !m.is_finite()) {
+            return Err(SirumError::InvalidMeasure {
+                reason: format!(
+                    "row {i}: value {} in measure column {:?} is not finite",
+                    table.measures()[i],
+                    table.schema().measure_name()
+                ),
+            });
+        }
+        self.tables.insert(name.into(), table);
+        Ok(self)
+    }
+
+    /// Parse a CSV stream (header + rows, last column numeric) and register
+    /// it under `name`. Malformed input surfaces as
+    /// [`SirumError::Table`] naming the offending line.
+    pub fn register_csv(
+        &mut self,
+        name: impl Into<String>,
+        input: impl std::io::BufRead,
+    ) -> Result<&mut Self, SirumError> {
+        let table = sirum_table::csv::read_csv(input)?;
+        self.register(name, table)
+    }
+
+    /// Register one of the built-in demo datasets under its own name with
+    /// default sizing: `flights` (the paper's Table 1.1), `income`,
+    /// `gdelt`, `susy`, `tlc` or `dirty`.
+    pub fn register_demo(&mut self, name: &str) -> Result<&mut Self, SirumError> {
+        self.register_demo_with(name, None, 42)
+    }
+
+    /// [`Self::register_demo`] with explicit row count (`None` = the demo's
+    /// default) and generator seed. `flights` is the fixed 14-row table and
+    /// ignores `rows`.
+    pub fn register_demo_with(
+        &mut self,
+        name: &str,
+        rows: Option<usize>,
+        seed: u64,
+    ) -> Result<&mut Self, SirumError> {
+        let table = match name {
+            "flights" => generators::flights(),
+            "income" => generators::income_like(rows.unwrap_or(20_000), seed),
+            "gdelt" => generators::gdelt_like(rows.unwrap_or(20_000), seed),
+            "susy" => generators::susy_like(rows.unwrap_or(2_000), seed),
+            "tlc" => generators::tlc_like(rows.unwrap_or(50_000), seed),
+            "dirty" => generators::gdelt_dirty(rows.unwrap_or(20_000), seed),
+            other => {
+                return Err(SirumError::UnknownDemo {
+                    name: other.to_string(),
+                })
+            }
+        };
+        self.register(name, table)
+    }
+
+    /// Look up a registered table. Unknown names list the registered ones
+    /// in the error.
+    pub fn table(&self, name: &str) -> Result<&Table, SirumError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| SirumError::UnknownTable {
+                name: name.to_string(),
+                registered: self.tables.keys().cloned().collect(),
+            })
+    }
+
+    /// Names of all registered tables, in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Remove a table from the catalog, returning it if present.
+    pub fn unregister(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Start building a mining request against the named table. The name is
+    /// resolved at [`MiningRequest::run`] time, so requests can be built
+    /// before the table is registered.
+    pub fn mine(&self, table: &str) -> MiningRequest<'_> {
+        MiningRequest {
+            session: self,
+            table: table.to_string(),
+            variant: None,
+            k: 10,
+            sample_size: 64,
+            full_cube: false,
+            epsilon: None,
+            max_scaling_iterations: None,
+            seed: None,
+            rules_per_iter: None,
+            two_sided: false,
+            target_kl: None,
+            max_rules: None,
+            column_groups: None,
+            prior: Vec::new(),
+            observer: None,
+        }
+    }
+
+    /// Score an externally supplied rule set against a registered table
+    /// (offline evaluation, §4.5/§5.7.3).
+    pub fn evaluate(
+        &self,
+        table: &str,
+        rules: &[Rule],
+        scaling: &ScalingConfig,
+    ) -> Result<RuleSetEvaluation, SirumError> {
+        try_evaluate_rules(self.table(table)?, rules, scaling)
+    }
+}
+
+impl std::fmt::Debug for SirumSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SirumSession")
+            .field("mode", &self.engine.mode())
+            .field("tables", &self.table_names())
+            .finish()
+    }
+}
+
+/// A fluent, validated mining request. Build one with
+/// [`SirumSession::mine`], tweak it, then [`MiningRequest::run`] it.
+///
+/// Unset knobs default to the paper's Optimized SIRUM configuration
+/// ([`SirumConfig::default`]); [`MiningRequest::variant`] swaps in a whole
+/// Table 4.2 row instead.
+pub struct MiningRequest<'s> {
+    session: &'s SirumSession,
+    table: String,
+    variant: Option<Variant>,
+    k: usize,
+    sample_size: usize,
+    full_cube: bool,
+    epsilon: Option<f64>,
+    max_scaling_iterations: Option<usize>,
+    seed: Option<u64>,
+    rules_per_iter: Option<usize>,
+    two_sided: bool,
+    target_kl: Option<f64>,
+    max_rules: Option<usize>,
+    column_groups: Option<usize>,
+    prior: Vec<Rule>,
+    observer: Option<Box<IterationObserver>>,
+}
+
+impl<'s> MiningRequest<'s> {
+    /// Number of rules to mine beyond `(*, …, *)` (default 10).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Candidate-pruning sample size `|s|` (default 64; clamped to the
+    /// table's row count at run time). Zero is rejected at validation.
+    pub fn sample_size(mut self, sample_size: usize) -> Self {
+        self.sample_size = sample_size;
+        self
+    }
+
+    /// Use a named Table 4.2 variant (Naive/Baseline/RCT/…) as the base
+    /// configuration instead of Optimized-by-default.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = Some(variant);
+        self
+    }
+
+    /// Exhaustive cube enumeration instead of sample-based pruning (the
+    /// data-cube-exploration setting, §5.6.2).
+    pub fn full_cube(mut self) -> Self {
+        self.full_cube = true;
+        self
+    }
+
+    /// Score candidates with the symmetrized two-sided gain, also
+    /// surfacing unusually *low*-measure regions (data-cleansing queries).
+    pub fn two_sided(mut self) -> Self {
+        self.two_sided = true;
+        self
+    }
+
+    /// Iterative-scaling convergence tolerance ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// Iterative-scaling λ-update cap.
+    pub fn max_scaling_iterations(mut self, n: usize) -> Self {
+        self.max_scaling_iterations = Some(n);
+        self
+    }
+
+    /// Sampling / column-group shuffling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Insert up to `l` mutually disjoint rules per iteration (§4.4).
+    pub fn rules_per_iter(mut self, l: usize) -> Self {
+        self.rules_per_iter = Some(l);
+        self
+    }
+
+    /// Keep mining past `k` until the KL divergence reaches `target`
+    /// (the `l-rule*` mode of §5.5), bounded by [`Self::max_rules`].
+    pub fn target_kl(mut self, target: f64) -> Self {
+        self.target_kl = Some(target);
+        self
+    }
+
+    /// Hard cap on mined rules when a KL target is set.
+    pub fn max_rules(mut self, max: usize) -> Self {
+        self.max_rules = Some(max);
+        self
+    }
+
+    /// Column groups for multi-stage ancestor generation (§4.3).
+    pub fn column_groups(mut self, groups: usize) -> Self {
+        self.column_groups = Some(groups);
+        self
+    }
+
+    /// Seed the model with prior-knowledge rules (cube exploration,
+    /// Table 1.3): the mined rules come *in addition to* these.
+    pub fn prior(mut self, rules: Vec<Rule>) -> Self {
+        self.prior = rules;
+        self
+    }
+
+    /// Observe progress: `observer` runs after every mining iteration and
+    /// can cancel the run gracefully by returning
+    /// [`IterationDecision::Stop`] (the partial result is returned with
+    /// [`MiningResult::cancelled`] set).
+    pub fn on_iteration(
+        mut self,
+        observer: impl Fn(&IterationEvent) -> IterationDecision + Send + Sync + 'static,
+    ) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Materialize the [`SirumConfig`] this request describes (also how the
+    /// request is validated: the config is checked before execution).
+    fn build_config(&self, num_rows: usize) -> SirumConfig {
+        let sample_size = if self.sample_size == 0 {
+            0 // left invalid so validation names the field
+        } else {
+            self.sample_size.min(num_rows)
+        };
+        let mut config = match self.variant {
+            Some(variant) => variant.config(self.k, sample_size),
+            None => SirumConfig {
+                k: self.k,
+                strategy: CandidateStrategy::SampleLca { sample_size },
+                ..SirumConfig::default()
+            },
+        };
+        if self.full_cube {
+            config.strategy = CandidateStrategy::FullCube;
+        }
+        if let Some(epsilon) = self.epsilon {
+            config.scaling.epsilon = epsilon;
+        }
+        if let Some(n) = self.max_scaling_iterations {
+            config.scaling.max_iterations = n;
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(l) = self.rules_per_iter {
+            config.multirule = MultiRuleConfig {
+                rules_per_iter: l,
+                ..config.multirule
+            };
+        }
+        if let Some(groups) = self.column_groups {
+            config.column_groups = groups;
+        }
+        config.two_sided_gain |= self.two_sided;
+        config.target_kl = self.target_kl.or(config.target_kl);
+        config.max_rules = self.max_rules.or(config.max_rules);
+        config
+    }
+
+    /// Validate the full configuration and execute the mining run.
+    ///
+    /// # Errors
+    /// * [`SirumError::UnknownTable`] — the request names an unregistered
+    ///   table.
+    /// * [`SirumError::InvalidConfig`] — a strategy/variant/column-group/
+    ///   multirule invariant fails, with the field named.
+    /// * [`SirumError::EmptyDataset`] / [`SirumError::InvalidMeasure`] —
+    ///   the data cannot drive the model.
+    /// * [`SirumError::Dataflow`] — the engine failed mid-run (spill I/O).
+    pub fn run(self) -> Result<MiningResult, SirumError> {
+        let table = self.session.table(&self.table)?;
+        let config = self.build_config(table.num_rows());
+        let mut miner = Miner::new(self.session.engine.clone(), config);
+        if let Some(observer) = self.observer {
+            miner = miner.with_observer(move |event| observer(event));
+        }
+        miner.try_mine_with_prior(table, &self.prior)
+    }
+
+    /// Like [`Self::run`], but mine on a Bernoulli row sample of the table
+    /// at `rate` and score the mined rules against the *full* table
+    /// (§4.5/§5.7.3). The progress observer is not invoked in this mode.
+    pub fn run_on_sample(self, rate: f64) -> Result<SampleDataResult, SirumError> {
+        let table = self.session.table(&self.table)?;
+        let config = self.build_config(table.num_rows());
+        try_mine_on_sample(&self.session.engine, table, rate, config)
+    }
+}
+
+impl std::fmt::Debug for MiningRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiningRequest")
+            .field("table", &self.table)
+            .field("k", &self.k)
+            .field("variant", &self.variant)
+            .field("sample_size", &self.sample_size)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_reuses_one_engine_across_requests() {
+        let mut session = SirumSession::in_memory().unwrap();
+        session.register_demo("flights").unwrap();
+        let a = session.mine("flights").k(2).sample_size(14).run().unwrap();
+        let stages_after_first = session.engine().metrics().stage_count();
+        let b = session.mine("flights").k(2).sample_size(14).run().unwrap();
+        assert_eq!(a.rules.len(), b.rules.len());
+        assert!(
+            session.engine().metrics().stage_count() > stages_after_first,
+            "second request ran on the same engine"
+        );
+    }
+
+    #[test]
+    fn request_defaults_match_optimized_sirum() {
+        let mut session = SirumSession::in_memory().unwrap();
+        session.register_demo("flights").unwrap();
+        let request = session.mine("flights").k(3).sample_size(14);
+        let config = request.build_config(14);
+        assert_eq!(config.k, 3);
+        assert!(config.rct && config.fast_pruning);
+        assert_eq!(
+            config.strategy,
+            CandidateStrategy::SampleLca { sample_size: 14 }
+        );
+    }
+
+    #[test]
+    fn builder_order_does_not_matter_for_variant_and_k() {
+        let session = SirumSession::in_memory().unwrap();
+        let a = session
+            .mine("t")
+            .k(5)
+            .variant(Variant::Rct)
+            .build_config(100);
+        let b = session
+            .mine("t")
+            .variant(Variant::Rct)
+            .k(5)
+            .build_config(100);
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.rct, b.rct);
+    }
+
+    #[test]
+    fn session_builder_mode_preserves_earlier_overrides() {
+        // workers() before mode() must survive the mode switch.
+        let session = SirumSession::builder()
+            .workers(3)
+            .partitions(7)
+            .mode(EngineMode::DiskMr)
+            .build()
+            .unwrap();
+        let config = session.engine().config();
+        assert_eq!(config.mode, EngineMode::DiskMr);
+        assert_eq!(config.workers, 3);
+        assert_eq!(config.partitions, 7);
+        assert!(config.stage_startup > std::time::Duration::ZERO);
+        // Switching back clears the mode-dependent latency only.
+        let session = SirumSession::builder()
+            .workers(3)
+            .mode(EngineMode::DiskMr)
+            .mode(EngineMode::InMemory)
+            .build()
+            .unwrap();
+        let config = session.engine().config();
+        assert_eq!(config.mode, EngineMode::InMemory);
+        assert_eq!(config.stage_startup, std::time::Duration::ZERO);
+        assert_eq!(config.workers, 3);
+    }
+}

@@ -1,4 +1,4 @@
-//! `sirum` — command-line informative rule mining.
+//! `sirum` — command-line informative rule mining on the session API.
 //!
 //! Reads a CSV file whose last column is a numeric measure and whose other
 //! columns are categorical dimensions, mines `k` informative rules, and
@@ -8,10 +8,17 @@
 //! sirum data.csv --k 10 --sample 64 --variant optimized
 //! sirum data.csv --k 5 --engine single-thread --two-rules
 //! sirum --demo flights --k 3        # built-in demo datasets
+//! sirum --demo tlc --target-kl 0.05 --progress
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (unreadable/malformed data,
+//! engine trouble), `2` usage error (unknown flags, unparsable values).
 
+use sirum::api::{SirumError, SirumSession};
 use sirum::prelude::*;
+use std::fmt::Display;
 use std::process::exit;
+use std::str::FromStr;
 
 struct Args {
     input: Option<String>,
@@ -19,11 +26,14 @@ struct Args {
     k: usize,
     sample: usize,
     variant: Variant,
-    engine: &'static str,
+    engine: EngineMode,
     rules_per_iter: usize,
     epsilon: f64,
     seed: u64,
     partitions: usize,
+    target_kl: Option<f64>,
+    two_sided: bool,
+    progress: bool,
 }
 
 const USAGE: &str = "\
@@ -43,11 +53,32 @@ OPTIONS:
                      multi-rule|optimized                [default: optimized]
   --engine <E>       in-memory|disk-mr|single-thread     [default: in-memory]
   --two-rules        insert 2 disjoint rules per iteration
+  --two-sided        also surface unusually LOW-measure regions
+  --target-kl <F>    keep mining until KL reaches this target
   --epsilon <F>      iterative-scaling tolerance         [default: 0.01]
   --seed <N>         sampling seed                       [default: 42]
   --partitions <N>   dataset partitions                  [default: 16]
+  --progress         report each mining iteration on stderr
   --help             print this help
 ";
+
+/// Print a usage error and exit with status 2.
+fn usage_error(msg: impl Display) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    exit(2);
+}
+
+/// Parse `raw` as the value of `flag`, exiting with a friendly usage
+/// message instead of panicking when it does not parse.
+fn parse_value<T: FromStr>(flag: &str, raw: &str) -> T
+where
+    T::Err: Display,
+{
+    match raw.parse() {
+        Ok(value) => value,
+        Err(e) => usage_error(format!("{flag} {raw:?}: {e}")),
+    }
+}
 
 fn parse_args() -> Args {
     let mut args = Args {
@@ -56,19 +87,22 @@ fn parse_args() -> Args {
         k: 10,
         sample: 64,
         variant: Variant::Optimized,
-        engine: "in-memory",
+        engine: EngineMode::InMemory,
         rules_per_iter: 1,
         epsilon: 0.01,
         seed: 42,
         partitions: 16,
+        target_kl: None,
+        two_sided: false,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> String {
-            it.next().unwrap_or_else(|| {
-                eprintln!("missing value for {name}");
-                exit(2);
-            })
+            match it.next() {
+                Some(v) => v,
+                None => usage_error(format!("missing value for {name}")),
+            }
         };
         match arg.as_str() {
             "--help" | "-h" => {
@@ -76,95 +110,52 @@ fn parse_args() -> Args {
                 exit(0);
             }
             "--demo" => args.demo = Some(value("--demo")),
-            "--k" => args.k = value("--k").parse().expect("--k must be an integer"),
-            "--sample" => {
-                args.sample = value("--sample")
-                    .parse()
-                    .expect("--sample must be an integer");
-            }
-            "--variant" => {
-                args.variant = match value("--variant").as_str() {
-                    "naive" => Variant::Naive,
-                    "baseline" => Variant::Baseline,
-                    "rct" => Variant::Rct,
-                    "fast-pruning" => Variant::FastPruning,
-                    "fast-ancestor" => Variant::FastAncestor,
-                    "multi-rule" => Variant::MultiRule,
-                    "optimized" => Variant::Optimized,
-                    other => {
-                        eprintln!("unknown variant {other:?}");
-                        exit(2);
-                    }
-                }
-            }
-            "--engine" => {
-                let e = value("--engine");
-                args.engine = match e.as_str() {
-                    "in-memory" => "in-memory",
-                    "disk-mr" => "disk-mr",
-                    "single-thread" => "single-thread",
-                    other => {
-                        eprintln!("unknown engine {other:?}");
-                        exit(2);
-                    }
-                }
-            }
+            "--k" => args.k = parse_value("--k", &value("--k")),
+            "--sample" => args.sample = parse_value("--sample", &value("--sample")),
+            "--variant" => args.variant = parse_value("--variant", &value("--variant")),
+            "--engine" => args.engine = parse_value("--engine", &value("--engine")),
             "--two-rules" => args.rules_per_iter = 2,
-            "--epsilon" => {
-                args.epsilon = value("--epsilon")
-                    .parse()
-                    .expect("--epsilon must be a float");
+            "--two-sided" => args.two_sided = true,
+            "--progress" => args.progress = true,
+            "--target-kl" => {
+                args.target_kl = Some(parse_value("--target-kl", &value("--target-kl")));
             }
-            "--seed" => args.seed = value("--seed").parse().expect("--seed must be an integer"),
+            "--epsilon" => args.epsilon = parse_value("--epsilon", &value("--epsilon")),
+            "--seed" => args.seed = parse_value("--seed", &value("--seed")),
             "--partitions" => {
-                args.partitions = value("--partitions")
-                    .parse()
-                    .expect("--partitions must be an integer");
+                args.partitions = parse_value("--partitions", &value("--partitions"));
             }
             other if !other.starts_with('-') && args.input.is_none() => {
                 args.input = Some(other.to_string());
             }
-            other => {
-                eprintln!("unexpected argument {other:?}\n\n{USAGE}");
-                exit(2);
-            }
+            other => usage_error(format!("unexpected argument {other:?}")),
         }
     }
     args
 }
 
-fn load_table(args: &Args) -> Table {
+/// Register the requested dataset in the session and return its name.
+fn load_table(session: &mut SirumSession, args: &Args) -> Result<String, SirumError> {
     if let Some(demo) = &args.demo {
-        return match demo.as_str() {
-            "flights" => generators::flights(),
-            "income" => generators::income_like(20_000, args.seed),
-            "gdelt" => generators::gdelt_like(20_000, args.seed),
-            "susy" => generators::susy_like(2_000, args.seed),
-            "tlc" => generators::tlc_like(50_000, args.seed),
-            "dirty" => generators::gdelt_dirty(20_000, args.seed),
-            other => {
-                eprintln!("unknown demo dataset {other:?}");
-                exit(2);
-            }
-        };
+        session.register_demo_with(demo, None, args.seed)?;
+        return Ok(demo.clone());
     }
     let Some(path) = &args.input else {
         eprint!("{USAGE}");
         exit(2);
     };
-    let file = std::fs::File::open(path).unwrap_or_else(|e| {
-        eprintln!("cannot open {path}: {e}");
-        exit(1);
-    });
-    sirum::table::csv::read_csv(std::io::BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        exit(1);
-    })
+    let file = std::fs::File::open(path).map_err(|e| SirumError::Table(TableError::Io(e)))?;
+    session.register_csv(path.clone(), std::io::BufReader::new(file))?;
+    Ok(path.clone())
 }
 
-fn main() {
-    let args = parse_args();
-    let table = load_table(&args);
+fn run(args: &Args) -> Result<(), SirumError> {
+    let mut session = SirumSession::builder()
+        .mode(args.engine)
+        .partitions(args.partitions)
+        .build()?;
+    let name = load_table(&mut session, args)?;
+    let table = session.table(&name)?;
     eprintln!(
         "{} rows × {} dimensions ({}), measure = {}",
         table.num_rows(),
@@ -173,27 +164,33 @@ fn main() {
         table.schema().measure_name(),
     );
 
-    let engine_cfg = match args.engine {
-        "disk-mr" => EngineConfig::disk_mr(),
-        "single-thread" => EngineConfig::single_thread(),
-        _ => EngineConfig::in_memory(),
-    }
-    .with_partitions(args.partitions);
-    let engine = Engine::new(engine_cfg);
-
-    let mut config = args
-        .variant
-        .config(args.k, args.sample.min(table.num_rows()));
-    config.scaling = ScalingConfig {
-        epsilon: args.epsilon,
-        ..ScalingConfig::default()
-    };
-    config.seed = args.seed;
+    let mut request = session
+        .mine(&name)
+        .k(args.k)
+        .sample_size(args.sample)
+        .variant(args.variant)
+        .epsilon(args.epsilon)
+        .seed(args.seed);
     if args.rules_per_iter > 1 {
-        config.multirule = MultiRuleConfig::l_rules(args.rules_per_iter);
+        request = request.rules_per_iter(args.rules_per_iter);
     }
-
-    let result = Miner::new(engine, config).mine(&table);
+    if args.two_sided {
+        request = request.two_sided();
+    }
+    if let Some(target) = args.target_kl {
+        request = request.target_kl(target);
+    }
+    if args.progress {
+        request = request.on_iteration(|event| {
+            eprintln!(
+                "iteration {:>3}: {} rules, KL {:.6} ({:.2}s)",
+                event.iteration, event.rules_mined, event.kl, event.elapsed_secs
+            );
+            IterationDecision::Continue
+        });
+    }
+    let result = request.run()?;
+    let table = session.table(&name)?;
 
     // Rule table.
     println!(
@@ -208,7 +205,7 @@ fn main() {
         println!(
             "{:>4}  {:<60} {:>12.4} {:>10} {:>10.3}",
             i + 1,
-            r.rule.display(&table),
+            r.rule.display(table),
             r.avg_measure,
             r.count,
             r.gain
@@ -229,4 +226,13 @@ fn main() {
         result.timings.iterative_scaling,
         result.timings.total
     );
+    Ok(())
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
 }

@@ -1,8 +1,30 @@
 //! # sirum
 //!
 //! Facade crate for the SIRUM reproduction — **S**calable **I**nformative
-//! **RU**le **M**ining (Feng, University of Waterloo, 2016). Re-exports the
-//! workspace's public API:
+//! **RU**le **M**ining (Feng, University of Waterloo, 2016).
+//!
+//! The supported entry point is the [`api`] module: a [`api::SirumSession`]
+//! owns a configured engine plus a catalog of named tables, and each query
+//! is a validated [`api::MiningRequest`] returning
+//! `Result<MiningResult, SirumError>` — no panics on bad input.
+//!
+//! ```
+//! use sirum::api::SirumSession;
+//! use sirum::prelude::*;
+//!
+//! let mut session = SirumSession::in_memory()?;
+//! session.register_demo("flights")?;
+//! let result = session
+//!     .mine("flights")
+//!     .k(3)
+//!     .sample_size(14)
+//!     .run()?;
+//! let flights = session.table("flights")?;
+//! assert_eq!(result.rules[1].rule.display(flights), "(*, *, London)");
+//! # Ok::<(), SirumError>(())
+//! ```
+//!
+//! The layer crates remain directly accessible:
 //!
 //! * [`core`] (`sirum_core`) — the mining algorithms.
 //! * [`table`] (`sirum_table`) — the multidimensional table substrate and
@@ -10,24 +32,14 @@
 //! * [`dataflow`] (`sirum_dataflow`) — the Spark-like execution engine.
 //! * [`baselines`] (`sirum_baselines`) — prior-work comparators.
 //!
-//! See the `examples/` directory for runnable walkthroughs and `DESIGN.md`
-//! for the system inventory.
-//!
-//! ```
-//! use sirum::prelude::*;
-//!
-//! let engine = Engine::in_memory();
-//! let table = generators::flights();
-//! let config = SirumConfig {
-//!     k: 3,
-//!     strategy: CandidateStrategy::SampleLca { sample_size: 14 },
-//!     ..SirumConfig::default()
-//! };
-//! let result = Miner::new(engine, config).mine(&table);
-//! assert_eq!(result.rules[1].rule.display(&table), "(*, *, London)");
-//! ```
+//! The old `Miner::new(engine, config).mine(&table)` facade still compiles
+//! as a deprecated shim; see the [`api`] module docs for the migration
+//! note. See the `examples/` directory for runnable walkthroughs and
+//! `DESIGN.md` for the system inventory.
 
 #![warn(missing_docs)]
+
+pub mod api;
 
 pub use sirum_baselines as baselines;
 pub use sirum_core as core;
@@ -36,10 +48,13 @@ pub use sirum_table as table;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::api::{MiningRequest, SessionBuilder, SirumSession};
     pub use sirum_core::{
-        evaluate_rules, explore, mine_on_sample, CandidateStrategy, MinedRule, Miner, MiningResult,
-        MultiRuleConfig, Rule, RuleSetEvaluation, ScalingConfig, SirumConfig, Variant, WILDCARD,
+        evaluate_rules, explore, mine_on_sample, try_evaluate_rules, try_explore,
+        try_mine_on_sample, CandidateStrategy, IterationDecision, IterationEvent, MinedRule, Miner,
+        MiningResult, MultiRuleConfig, Rule, RuleSetEvaluation, ScalingConfig, SirumConfig,
+        SirumError, Variant, WILDCARD,
     };
-    pub use sirum_dataflow::{Engine, EngineConfig, EngineMode};
-    pub use sirum_table::{generators, Schema, Table};
+    pub use sirum_dataflow::{DataflowError, Engine, EngineConfig, EngineMode};
+    pub use sirum_table::{generators, Schema, Table, TableError};
 }

@@ -1,0 +1,351 @@
+//! Integration coverage for the fallible session API: every [`SirumError`]
+//! variant is exercised end to end through `SirumSession` / `MiningRequest`
+//! (plus the layer entry points that produce the wrapped variants), and the
+//! deprecated `Miner::mine` shim is pinned to keep compiling.
+
+use sirum::api::{SirumError, SirumSession};
+use sirum::prelude::*;
+
+fn empty_table() -> Table {
+    Table::builder(Schema::new(vec!["a", "b"], "m")).build()
+}
+
+fn session_with_flights() -> SirumSession {
+    let mut session = SirumSession::in_memory().unwrap();
+    session.register_demo("flights").unwrap();
+    session
+}
+
+// ---- SirumError::EmptyDataset --------------------------------------------
+
+#[test]
+fn registering_an_empty_table_is_rejected() {
+    let mut session = SirumSession::in_memory().unwrap();
+    let err = session.register("empty", empty_table()).unwrap_err();
+    assert!(matches!(err, SirumError::EmptyDataset), "{err}");
+    assert!(err.to_string().contains("empty dataset"));
+}
+
+#[test]
+fn mining_an_empty_table_is_a_typed_error_not_a_panic() {
+    // Direct core path: the old `assert!(n > 0, "empty dataset")`.
+    let miner = Miner::new(Engine::in_memory(), SirumConfig::default());
+    let err = miner.try_mine(&empty_table()).unwrap_err();
+    assert!(matches!(err, SirumError::EmptyDataset));
+}
+
+#[test]
+fn empty_sample_rate_is_a_typed_error() {
+    let session = session_with_flights();
+    let err = session.mine("flights").k(2).run_on_sample(0.0).unwrap_err();
+    assert!(matches!(err, SirumError::EmptyDataset));
+    let err = session.mine("flights").k(2).run_on_sample(1.5).unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::InvalidConfig { field: "rate", .. }
+    ));
+}
+
+// ---- SirumError::InvalidConfig -------------------------------------------
+
+#[test]
+fn zero_sample_size_names_the_field() {
+    let session = session_with_flights();
+    let err = session.mine("flights").sample_size(0).run().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SirumError::InvalidConfig {
+                field: "strategy.sample_size",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn zero_column_groups_names_the_field() {
+    let session = session_with_flights();
+    let err = session.mine("flights").column_groups(0).run().unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::InvalidConfig {
+            field: "column_groups",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn invalid_multirule_scaling_and_target_fields_are_named() {
+    let session = session_with_flights();
+    let field = |result: Result<MiningResult, SirumError>| match result.unwrap_err() {
+        SirumError::InvalidConfig { field, .. } => field,
+        other => panic!("expected InvalidConfig, got {other}"),
+    };
+    assert_eq!(
+        field(session.mine("flights").rules_per_iter(0).run()),
+        "multirule.rules_per_iter"
+    );
+    assert_eq!(
+        field(session.mine("flights").epsilon(0.0).run()),
+        "scaling.epsilon"
+    );
+    assert_eq!(
+        field(session.mine("flights").epsilon(f64::NAN).run()),
+        "scaling.epsilon"
+    );
+    assert_eq!(
+        field(session.mine("flights").max_scaling_iterations(0).run()),
+        "scaling.max_iterations"
+    );
+    assert_eq!(
+        field(session.mine("flights").target_kl(-0.5).run()),
+        "target_kl"
+    );
+    assert_eq!(
+        field(session.mine("flights").target_kl(0.1).max_rules(0).run()),
+        "max_rules"
+    );
+    // Rule budget beyond the 64-bit rule-coverage arrays.
+    assert_eq!(field(session.mine("flights").k(1_000).run()), "k/max_rules");
+}
+
+#[test]
+fn wrong_arity_prior_rules_are_rejected_not_panicking() {
+    let session = session_with_flights();
+    // flights has 3 dimensions; a 1-dimension prior must be a typed error.
+    let err = session
+        .mine("flights")
+        .k(2)
+        .prior(vec![Rule::from_values(vec![WILDCARD])])
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, SirumError::InvalidConfig { field: "prior", .. }),
+        "{err}"
+    );
+    // Same guard on the offline evaluator's rule list.
+    let bad = vec![
+        Rule::all_wildcards(3),
+        Rule::from_values(vec![WILDCARD, WILDCARD]),
+    ];
+    let err = session
+        .evaluate("flights", &bad, &ScalingConfig::default())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::InvalidConfig { field: "rules", .. }
+    ));
+}
+
+#[test]
+fn unknown_variant_spelling_is_invalid_config() {
+    let err = "warp-speed".parse::<Variant>().unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::InvalidConfig {
+            field: "variant",
+            ..
+        }
+    ));
+    assert!(err.to_string().contains("optimized"), "lists valid names");
+}
+
+#[test]
+fn config_validate_is_directly_callable() {
+    let config = SirumConfig {
+        column_groups: 0,
+        ..SirumConfig::default()
+    };
+    assert!(config.validate().is_err());
+    assert!(SirumConfig::default().validate().is_ok());
+}
+
+// ---- SirumError::InvalidMeasure ------------------------------------------
+
+#[test]
+fn non_finite_measures_are_rejected_at_registration() {
+    let mut table = Table::builder(Schema::new(vec!["a"], "m"));
+    table.push_row(&["x"], 1.0);
+    table.push_row(&["y"], f64::NAN);
+    let mut session = SirumSession::in_memory().unwrap();
+    let err = session.register("bad", table.build()).unwrap_err();
+    match err {
+        SirumError::InvalidMeasure { reason } => {
+            assert!(reason.contains("row 1"), "{reason}");
+        }
+        other => panic!("expected InvalidMeasure, got {other}"),
+    }
+}
+
+// ---- SirumError::UnknownTable --------------------------------------------
+
+#[test]
+fn unknown_table_lists_registered_names() {
+    let session = session_with_flights();
+    let err = session.mine("nope").run().unwrap_err();
+    match &err {
+        SirumError::UnknownTable { name, registered } => {
+            assert_eq!(name, "nope");
+            assert_eq!(registered, &vec!["flights".to_string()]);
+        }
+        other => panic!("expected UnknownTable, got {other}"),
+    }
+    assert!(err.to_string().contains("flights"));
+}
+
+// ---- SirumError::UnknownDemo ---------------------------------------------
+
+#[test]
+fn unknown_demo_name_is_rejected() {
+    let mut session = SirumSession::in_memory().unwrap();
+    let err = session.register_demo("nonesuch").unwrap_err();
+    assert!(matches!(err, SirumError::UnknownDemo { ref name } if name == "nonesuch"));
+    assert!(err.to_string().contains("flights"), "lists valid demos");
+}
+
+// ---- SirumError::Table ---------------------------------------------------
+
+#[test]
+fn malformed_csv_surfaces_as_table_errors() {
+    let mut session = SirumSession::in_memory().unwrap();
+    let err = session
+        .register_csv("ragged", &b"a,b,m\nx,y,1\nx,2\n"[..])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::Table(TableError::RaggedLine {
+            line: 3,
+            expected: 3,
+            found: 2
+        })
+    ));
+    let err = session
+        .register_csv("nonnum", &b"a,m\nx,not-a-number\n"[..])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::Table(TableError::BadMeasure { line: 2, .. })
+    ));
+    let err = session.register_csv("empty", &b""[..]).unwrap_err();
+    assert!(matches!(err, SirumError::Table(TableError::EmptyInput)));
+    let err = session
+        .register_csv("dup", &b"a,a,m\nx,y,1\n"[..])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::Table(TableError::DuplicateDimension { .. })
+    ));
+}
+
+// ---- SirumError::Dataflow ------------------------------------------------
+
+#[test]
+fn invalid_engine_config_surfaces_from_the_session_builder() {
+    let err = SirumSession::builder().partitions(0).build().unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::Dataflow(DataflowError::InvalidConfig {
+            field: "partitions",
+            ..
+        })
+    ));
+    let err = SirumSession::builder().workers(0).build().unwrap_err();
+    assert!(matches!(
+        err,
+        SirumError::Dataflow(DataflowError::InvalidConfig {
+            field: "workers",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn unknown_engine_mode_spelling_is_typed() {
+    let err = "mapreduce-classic".parse::<EngineMode>().unwrap_err();
+    assert!(matches!(err, DataflowError::UnknownMode { ref name } if name == "mapreduce-classic"));
+    assert_eq!("disk-mr".parse::<EngineMode>().unwrap(), EngineMode::DiskMr);
+}
+
+// ---- Observer: progress + graceful cancellation --------------------------
+
+#[test]
+fn observer_sees_every_iteration_and_can_cancel() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let mut session = SirumSession::in_memory().unwrap();
+    session
+        .register_demo_with("income", Some(1_500), 5)
+        .unwrap();
+
+    let events = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&events);
+    let full = session
+        .mine("income")
+        .k(4)
+        .sample_size(32)
+        .on_iteration(move |event| {
+            assert!(event.kl.is_finite());
+            assert!(event.rules_total > event.rules_mined);
+            seen.fetch_add(1, Ordering::Relaxed);
+            IterationDecision::Continue
+        })
+        .run()
+        .unwrap();
+    assert!(!full.cancelled);
+    assert_eq!(events.load(Ordering::Relaxed), full.iterations);
+
+    // Cancelling after the first iteration returns a partial result.
+    let partial = session
+        .mine("income")
+        .k(4)
+        .sample_size(32)
+        .on_iteration(|_| IterationDecision::Stop)
+        .run()
+        .unwrap();
+    assert!(partial.cancelled);
+    assert_eq!(partial.iterations, 1);
+    assert!(partial.rules.len() < full.rules.len());
+}
+
+// ---- Deprecated shim stays alive -----------------------------------------
+
+#[test]
+#[allow(deprecated)]
+fn old_miner_facade_still_compiles_and_mines() {
+    let flights = generators::flights();
+    let config = SirumConfig {
+        k: 3,
+        strategy: CandidateStrategy::SampleLca { sample_size: 14 },
+        ..SirumConfig::default()
+    };
+    let result = Miner::new(Engine::in_memory(), config).mine(&flights);
+    assert_eq!(result.rules.len(), 4);
+}
+
+// ---- Parity: the new API reproduces the old results ----------------------
+
+#[test]
+fn session_request_matches_direct_miner_output() {
+    let session = session_with_flights();
+    let via_session = session.mine("flights").k(3).sample_size(14).run().unwrap();
+
+    let config = SirumConfig {
+        k: 3,
+        strategy: CandidateStrategy::SampleLca { sample_size: 14 },
+        ..SirumConfig::default()
+    };
+    let direct = Miner::new(Engine::in_memory(), config)
+        .try_mine(session.table("flights").unwrap())
+        .unwrap();
+
+    let names = |r: &MiningResult| -> Vec<String> {
+        let t = session.table("flights").unwrap();
+        r.rules.iter().map(|m| m.rule.display(t)).collect()
+    };
+    assert_eq!(names(&via_session), names(&direct));
+    assert_eq!(via_session.final_kl(), direct.final_kl());
+}

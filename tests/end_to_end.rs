@@ -45,7 +45,7 @@ fn distributed_miner_matches_centralized_oracle() {
                 seed,
                 ..SirumConfig::default()
             };
-            Miner::new(engine.clone(), config).mine(&table)
+            Miner::new(engine.clone(), config).try_mine(&table).unwrap()
         };
         let centralized = mine_centralized(
             &table,
@@ -86,7 +86,7 @@ fn flight_walkthrough_matches_the_thesis() {
         strategy: CandidateStrategy::SampleLca { sample_size: 14 },
         ..SirumConfig::default()
     };
-    let result = Miner::new(engine, config).mine(&flights);
+    let result = Miner::new(engine, config).try_mine(&flights).unwrap();
     let names: Vec<String> = result
         .rules
         .iter()
@@ -120,7 +120,7 @@ fn mined_rules_evaluate_consistently_offline() {
         },
         ..SirumConfig::default()
     };
-    let result = Miner::new(engine, config).mine(&table);
+    let result = Miner::new(engine, config).try_mine(&table).unwrap();
     let rules: Vec<Rule> = result.rules.iter().map(|r| r.rule.clone()).collect();
     let eval = evaluate_rules(
         &table,
@@ -153,7 +153,8 @@ fn csv_round_trip_preserves_mining_results() {
             ..SirumConfig::default()
         };
         Miner::new(Engine::in_memory(), config)
-            .mine(t)
+            .try_mine(t)
+            .unwrap()
             .rules
             .iter()
             .map(|r| r.rule.display(t))
@@ -172,7 +173,7 @@ fn cluster_cost_model_scales_plausibly() {
         strategy: CandidateStrategy::SampleLca { sample_size: 32 },
         ..SirumConfig::default()
     };
-    let _ = Miner::new(engine.clone(), config).mine(&table);
+    let _ = Miner::new(engine.clone(), config).try_mine(&table).unwrap();
     let stages = engine.metrics().stages();
     assert!(stages.len() > 10, "a mining run spans many stages");
     let spec = ClusterSpec::paper_cluster();
