@@ -55,6 +55,12 @@ pub mod workloads {
         generators::income_like(4_000, SEED)
     }
 
+    /// Income variant with an explicit row count (service-layer benches
+    /// sweep input sizes).
+    pub fn income_sized(n: usize) -> Table {
+        generators::income_like(n, SEED)
+    }
+
     /// Small GDELT variant for Criterion micro-benches.
     pub fn gdelt_small() -> Table {
         generators::gdelt_like(4_000, SEED)

@@ -1,0 +1,72 @@
+//! Cooperative cancellation: a cheap, cloneable token that a driver checks
+//! between mining iterations.
+//!
+//! A [`CancellationToken`] is the concurrency-safe counterpart of returning
+//! [`crate::IterationDecision::Stop`] from an observer: any thread holding a
+//! clone can flip it, and a [`crate::Miner`] carrying the token (via
+//! [`crate::Miner::with_cancellation`]) stops after the iteration in flight,
+//! returning the rules mined so far with [`crate::MiningResult::cancelled`]
+//! set. Cancellation is level-triggered and sticky — once cancelled, a token
+//! stays cancelled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Clones observe the same flag; `Default` and
+/// [`CancellationToken::new`] start un-cancelled.
+///
+/// ```
+/// use sirum_core::CancellationToken;
+///
+/// let token = CancellationToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; wakes no threads by itself — the
+    /// miner polls the flag at iteration boundaries (cooperative).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has called [`Self::cancel`].
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancellationToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancellationToken::new();
+        let b = CancellationToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

@@ -48,6 +48,13 @@ pub enum SirumError {
     Table(TableError),
     /// A dataflow-layer failure (engine configuration, spill I/O).
     Dataflow(DataflowError),
+    /// A serving-layer failure (job scheduling, handle misuse): the worker
+    /// pool shut down before a job ran, or a job result was requested
+    /// twice.
+    Service {
+        /// What went wrong in the serving layer.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SirumError {
@@ -79,6 +86,7 @@ impl fmt::Display for SirumError {
             ),
             SirumError::Table(e) => write!(f, "table error: {e}"),
             SirumError::Dataflow(e) => write!(f, "dataflow error: {e}"),
+            SirumError::Service { reason } => write!(f, "service error: {reason}"),
         }
     }
 }
@@ -110,6 +118,13 @@ impl SirumError {
     pub fn invalid_config(field: &'static str, reason: impl Into<String>) -> Self {
         SirumError::InvalidConfig {
             field,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`SirumError::Service`].
+    pub fn service(reason: impl Into<String>) -> Self {
+        SirumError::Service {
             reason: reason.into(),
         }
     }

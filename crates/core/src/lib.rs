@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::must_use_candidate)]
 
+pub mod cancel;
 pub mod candidates;
 pub mod error;
 pub mod evaluate;
@@ -56,6 +57,7 @@ pub mod gain;
 pub mod lattice;
 pub mod miner;
 pub mod multirule;
+pub mod prepared;
 pub mod rct;
 pub mod rule;
 pub mod sample_data;
@@ -64,6 +66,7 @@ pub mod streaming;
 pub mod transform;
 pub mod variants;
 
+pub use cancel::CancellationToken;
 pub use error::SirumError;
 pub use evaluate::{evaluate_rules, try_evaluate_rules, RuleSetEvaluation};
 pub use explore::{explore, try_explore, ExploreResult};
@@ -72,6 +75,7 @@ pub use miner::{
     MiningResult, PhaseTimings, SirumConfig,
 };
 pub use multirule::MultiRuleConfig;
+pub use prepared::PreparedTable;
 pub use rule::{Rule, WILDCARD};
 pub use sample_data::{mine_on_sample, try_mine_on_sample, SampleDataResult};
 pub use scaling::ScalingConfig;

@@ -2,15 +2,16 @@
 //! on the dataflow engine, with every optimization of Chapter 4 behind a
 //! configuration switch so each variant of Table 4.2 can be instantiated.
 
+use crate::cancel::CancellationToken;
 use crate::candidates::{adjust_for_sample, merge_agg, Agg, SampleIndex};
 use crate::error::SirumError;
 use crate::gain::{kl_from_parts, rule_gain, rule_gain_two_sided};
 use crate::lattice::{ancestors_restricted, column_groups};
 use crate::multirule::{select_rules, MultiRuleConfig, ScoredCandidate};
+use crate::prepared::PreparedTable;
 use crate::rct::{iterative_scaling_rct, mhat_for_mask, Rct, RctGroup, MAX_RULES};
 use crate::rule::Rule;
 use crate::scaling::{relative_diff, ScalingConfig};
-use crate::transform::MeasureTransform;
 use sirum_dataflow::{Dataset, Engine, EngineMode};
 use sirum_table::Table;
 use std::collections::HashSet;
@@ -297,6 +298,7 @@ pub struct Miner {
     engine: Engine,
     config: SirumConfig,
     observer: Option<Box<IterationObserver>>,
+    cancellation: Option<CancellationToken>,
 }
 
 impl Miner {
@@ -306,6 +308,7 @@ impl Miner {
             engine,
             config,
             observer: None,
+            cancellation: None,
         }
     }
 
@@ -318,6 +321,17 @@ impl Miner {
         observer: impl Fn(&IterationEvent) -> IterationDecision + Send + Sync + 'static,
     ) -> Self {
         self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Attach a [`CancellationToken`]: the miner polls it at every
+    /// iteration boundary and stops gracefully once it is cancelled,
+    /// returning the rules mined so far with [`MiningResult::cancelled`]
+    /// set. This is the thread-safe complement of an observer returning
+    /// [`IterationDecision::Stop`] — any thread holding a clone of the
+    /// token can cancel the run.
+    pub fn with_cancellation(mut self, token: CancellationToken) -> Self {
+        self.cancellation = Some(token);
         self
     }
 
@@ -378,14 +392,34 @@ impl Miner {
         table: &Table,
         prior: &[Rule],
     ) -> Result<MiningResult, SirumError> {
+        // Config is validated before the data so error precedence matches
+        // the pre-`PreparedTable` behavior (config errors win).
+        self.config.validate()?;
+        let prepared = PreparedTable::try_new(table)?;
+        self.try_mine_prepared(&prepared, prior)
+    }
+
+    /// Mine from a [`PreparedTable`] — the same run as
+    /// [`Self::try_mine_with_prior`], minus the per-request validation,
+    /// measure-transform fit and row re-encoding, which the caller paid
+    /// once at preparation time. This is the hot path of the service
+    /// layer's shared catalog: repeated requests against one registered
+    /// table reuse its preparation.
+    ///
+    /// # Errors
+    /// As [`Self::try_mine_with_prior`], except the data errors
+    /// ([`SirumError::EmptyDataset`], [`SirumError::InvalidMeasure`]) were
+    /// already surfaced by [`PreparedTable::try_new`].
+    pub fn try_mine_prepared(
+        &self,
+        prepared: &PreparedTable,
+        prior: &[Rule],
+    ) -> Result<MiningResult, SirumError> {
         let run_start = Instant::now();
         let cfg = &self.config;
         cfg.validate()?;
-        let d = table.num_dims();
-        let n = table.num_rows();
-        if n == 0 {
-            return Err(SirumError::EmptyDataset);
-        }
+        let d = prepared.num_dims();
+        let n = prepared.num_rows();
         let rule_budget = cfg.rule_budget(prior.len());
         if rule_budget > MAX_RULES {
             return Err(SirumError::invalid_config(
@@ -407,21 +441,15 @@ impl Miner {
             ));
         }
 
-        let (transform, m_prime) = MeasureTransform::try_fit(table.measures())?;
+        let transform = prepared.transform();
+        let m_prime = prepared.m_prime();
         let mut timings = PhaseTimings::default();
         let mut scaling_iterations = Vec::new();
         let mut ancestors_emitted = 0u64;
 
         // Distribute D as (dims, m′, m̂=1, BA=0) tuples and cache it.
         let tuples: Vec<Tup> = (0..n)
-            .map(|i| {
-                (
-                    table.row(i).to_vec().into_boxed_slice(),
-                    m_prime[i],
-                    1.0,
-                    0u64,
-                )
-            })
+            .map(|i| (prepared.rows()[i].clone(), m_prime[i], 1.0, 0u64))
             .collect();
         let mut data = self.cache_swap(None, self.engine.parallelize_default(tuples));
 
@@ -479,6 +507,16 @@ impl Miner {
         let mut iterations = 0usize;
         let mut cancelled = false;
         loop {
+            // Cooperative cancellation: polled at every iteration boundary,
+            // before the next candidate-generation pass is launched.
+            if self
+                .cancellation
+                .as_ref()
+                .is_some_and(CancellationToken::is_cancelled)
+            {
+                cancelled = true;
+                break;
+            }
             let mined_so_far = rules.len() - 1 - prior.len();
             let done_k = mined_so_far >= cfg.k;
             let done = match cfg.target_kl {

@@ -72,6 +72,32 @@ impl Engine {
         Ok(engine)
     }
 
+    /// Fork a per-job view of this engine: the clone shares the
+    /// configuration and block store (so cached/spilled partitions and the
+    /// memory budget stay global) but records stages into a **fresh**
+    /// [`MetricsRegistry`].
+    ///
+    /// An ordinary [`Engine::clone`] shares the metrics too, which is what
+    /// a single driver wants — but concurrent drivers on one engine would
+    /// interleave their stage records, and anything derived from "the last
+    /// stage" (candidate totals, ancestor counts) would become racy.
+    /// Serving layers therefore give each concurrent job a fork, keeping
+    /// per-job metrics deterministic while all jobs share one store.
+    ///
+    /// Disk I/O counters still accumulate in the *original* engine's
+    /// registry (the block store keeps its metrics handle); `health()` is
+    /// likewise store-global, so a poisoning spill failure surfaces to
+    /// every fork.
+    pub fn fork(&self) -> Engine {
+        Engine {
+            inner: Arc::new(EngineInner {
+                config: self.inner.config.clone(),
+                metrics: MetricsRegistry::new(),
+                store: self.inner.store.clone(),
+            }),
+        }
+    }
+
     /// Surface the first deferred dataflow failure (today: spill I/O errors
     /// recorded by the block store while workers degraded gracefully),
     /// clearing it. Drivers should check between stages and abort the run
@@ -279,9 +305,33 @@ impl<T> Deref for Broadcast<T> {
     }
 }
 
+// The service layer shares one engine across threads; keep that a compile-
+// time guarantee rather than an accident of field types.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fork_isolates_stage_metrics_but_shares_the_store() {
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let ds = engine.parallelize((0..10u32).collect(), 2).cache();
+        assert!(engine.metrics().stage_count() > 0);
+        let fork = engine.fork();
+        assert_eq!(fork.metrics().stage_count(), 0, "fresh registry");
+        let _ = fork.parallelize((0..4u32).collect(), 2).map("id", |&x| x);
+        assert_eq!(fork.metrics().stage_count(), 1);
+        // The parent's registry did not see the fork's stage.
+        assert!(engine.metrics().stages().iter().all(|s| s.label != "id"));
+        // One shared store: the fork sees the parent's cached bytes.
+        assert!(fork.store().resident_bytes() > 0);
+        ds.free();
+        assert_eq!(fork.store().resident_bytes(), 0);
+    }
 
     #[test]
     fn run_stage_preserves_order_and_records_metrics() {

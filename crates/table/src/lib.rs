@@ -20,6 +20,7 @@
 pub mod csv;
 mod dict;
 mod error;
+pub mod fingerprint;
 pub mod generators;
 mod schema;
 mod table;

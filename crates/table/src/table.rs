@@ -153,6 +153,36 @@ impl Table {
     pub fn data_bytes(&self) -> usize {
         self.dims.len() * 4 + self.measure.len() * 8
     }
+
+    /// Deterministic 64-bit content fingerprint over schema, dictionaries,
+    /// dimension codes and measure bits (see [`crate::fingerprint`]).
+    ///
+    /// Tables with identical contents fingerprint identically regardless of
+    /// how they were constructed; any changed value, column name or code
+    /// assignment changes the fingerprint with overwhelming probability.
+    /// The service layer keys its result cache on this, so a re-registered
+    /// but unchanged table keeps serving cached results.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv64::new();
+        for name in self.schema.dim_names() {
+            h.write_str(name);
+        }
+        h.write_str(self.schema.measure_name());
+        for dict in &self.dicts {
+            h.write_u64(dict.cardinality() as u64);
+            for (_, value) in dict.iter() {
+                h.write_str(value);
+            }
+        }
+        h.write_u64(self.measure.len() as u64);
+        for &code in &self.dims {
+            h.write_u32(code);
+        }
+        for &m in &self.measure {
+            h.write_f64(m);
+        }
+        h.finish()
+    }
 }
 
 /// Incremental [`Table`] constructor.
@@ -356,6 +386,24 @@ mod tests {
     fn arity_checked() {
         let mut b = Table::builder(flight_schema());
         b.push_row(&["Fri", "SF"], 1.0);
+    }
+
+    #[test]
+    fn fingerprint_is_content_addressed() {
+        let a = small_table();
+        let b = small_table();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same hash");
+        // Any data change moves the fingerprint.
+        let c = a.with_measure(vec![20.0, 16.0, 10.5]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = a.select_rows(&[0, 1]);
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        // A schema rename moves it even with identical data.
+        let mut builder = Table::builder(Schema::new(vec!["Day", "Origin", "Arrival"], "Delay"));
+        builder.push_row(&["Fri", "SF", "London"], 20.0);
+        builder.push_row(&["Fri", "London", "LA"], 16.0);
+        builder.push_row(&["Sun", "Tokyo", "Frankfurt"], 10.0);
+        assert_ne!(a.fingerprint(), builder.build().fingerprint());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Library panic gate: fail if `panic!`, `unwrap()` or `expect(` appears in
-# the non-test source of the three library crates (core, dataflow, table).
+# the non-test source of the three library crates (core, dataflow, table)
+# or the facade (`src/`: session + service layers, CLI, JSON rendering).
 # The facade's error hierarchy (ISSUE 2) requires every *user-input-
 # reachable* failure to be a typed `SirumError`, so new panic sites of
 # those forms must not creep back in.
@@ -34,7 +35,7 @@ while IFS= read -r file; do
         echo "$hits"
         fail=1
     fi
-done < <(find crates/core/src crates/dataflow/src crates/table/src -name '*.rs' | sort)
+done < <(find crates/core/src crates/dataflow/src crates/table/src src -name '*.rs' | sort)
 
 if [ "$fail" -ne 0 ]; then
     echo

@@ -9,6 +9,14 @@
 //! validated *before* execution and every failure is a typed
 //! [`SirumError`], never a panic.
 //!
+//! Since the service-layer redesign, a session is a thin single-threaded
+//! wrapper over [`crate::service::SirumService`]: the catalog holds
+//! `Arc<Table>`s with their mining preparation (dictionary-encoded rows,
+//! fitted measure transform) computed once at registration, so repeated
+//! requests skip the per-query encode. For concurrent serving — worker
+//! pool, job handles, result cache — use the service directly;
+//! [`SirumSession::service`] exposes the one backing this session.
+//!
 //! ```
 //! use sirum::api::SirumSession;
 //!
@@ -36,15 +44,16 @@
 //!
 //! with one-off migrations also served by [`Miner::try_mine`].
 
+use crate::service::{impl_request_setters, RequestSpec, SirumService};
 use sirum_core::miner::IterationObserver;
 use sirum_core::{
-    try_evaluate_rules, try_mine_on_sample, CandidateStrategy, IterationDecision, IterationEvent,
-    Miner, MiningResult, MultiRuleConfig, Rule, RuleSetEvaluation, SampleDataResult, ScalingConfig,
-    SirumConfig, Variant,
+    try_mine_on_sample, IterationDecision, IterationEvent, Miner, MiningResult, Rule,
+    RuleSetEvaluation, SampleDataResult, ScalingConfig, Variant,
 };
 use sirum_dataflow::{Engine, EngineConfig, EngineMode};
-use sirum_table::{generators, Table};
+use sirum_table::Table;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 pub use sirum_core::SirumError;
 
@@ -109,10 +118,15 @@ impl SessionBuilder {
 }
 
 /// A long-lived mining session: one configured [`Engine`] plus a catalog of
-/// named tables. See the [module docs](self) for an end-to-end example.
+/// named tables, wrapped around a single-owner [`SirumService`]. See the
+/// [module docs](self) for an end-to-end example.
 pub struct SirumSession {
-    engine: Engine,
-    tables: BTreeMap<String, Table>,
+    service: SirumService,
+    // The session's own registrations, so `table()` can lend `&Table`
+    // without holding the service's lock. Tables registered directly on
+    // the shared service are intentionally NOT mirrored here — see
+    // `SirumSession::service` for the visibility contract.
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl SirumSession {
@@ -132,39 +146,46 @@ impl SirumSession {
     /// [`Engine::try_new`] or [`Engine::new`]).
     pub fn with_engine(engine: Engine) -> Self {
         SirumSession {
-            engine,
+            service: SirumService::with_engine(engine),
             tables: BTreeMap::new(),
         }
     }
 
     /// The session's engine (metrics, block store, configuration).
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        self.service.engine()
+    }
+
+    /// The concurrent service backing this session. Requests driven through
+    /// the service (jobs, cache, streams) and through the session share one
+    /// catalog and engine; cloning the returned service hands other threads
+    /// a concurrent view of this session's tables.
+    ///
+    /// The sharing is asymmetric by design: everything registered through
+    /// the *session* is visible to the service, and session requests
+    /// ([`Self::mine`]) resolve against the live shared catalog — but
+    /// [`Self::table`]/[`Self::table_names`] lend `&Table` from the
+    /// session's own registrations only, so tables registered directly on
+    /// the shared service are reachable via [`SirumService::table`] (an
+    /// `Arc` clone), not via the session's borrow API.
+    pub fn service(&self) -> &SirumService {
+        &self.service
     }
 
     /// Register a table under `name`, replacing any previous table of that
     /// name. Rejects empty tables ([`SirumError::EmptyDataset`]) and
     /// non-finite measure values ([`SirumError::InvalidMeasure`]) at
     /// registration time so every later request on the table can assume a
-    /// minable measure column.
+    /// minable measure column. Registration also dictionary-encodes the
+    /// table for mining once, so repeated requests skip that work.
     pub fn register(
         &mut self,
         name: impl Into<String>,
         table: Table,
     ) -> Result<&mut Self, SirumError> {
-        if table.num_rows() == 0 {
-            return Err(SirumError::EmptyDataset);
-        }
-        if let Some(i) = table.measures().iter().position(|m| !m.is_finite()) {
-            return Err(SirumError::InvalidMeasure {
-                reason: format!(
-                    "row {i}: value {} in measure column {:?} is not finite",
-                    table.measures()[i],
-                    table.schema().measure_name()
-                ),
-            });
-        }
-        self.tables.insert(name.into(), table);
+        let name = name.into();
+        let shared = self.service.register(name.clone(), table)?;
+        self.tables.insert(name, shared);
         Ok(self)
     }
 
@@ -196,27 +217,19 @@ impl SirumSession {
         rows: Option<usize>,
         seed: u64,
     ) -> Result<&mut Self, SirumError> {
-        let table = match name {
-            "flights" => generators::flights(),
-            "income" => generators::income_like(rows.unwrap_or(20_000), seed),
-            "gdelt" => generators::gdelt_like(rows.unwrap_or(20_000), seed),
-            "susy" => generators::susy_like(rows.unwrap_or(2_000), seed),
-            "tlc" => generators::tlc_like(rows.unwrap_or(50_000), seed),
-            "dirty" => generators::gdelt_dirty(rows.unwrap_or(20_000), seed),
-            other => {
-                return Err(SirumError::UnknownDemo {
-                    name: other.to_string(),
-                })
-            }
-        };
-        self.register(name, table)
+        let shared = self.service.register_demo_with(name, rows, seed)?;
+        self.tables.insert(name.to_string(), shared);
+        Ok(self)
     }
 
-    /// Look up a registered table. Unknown names list the registered ones
-    /// in the error.
+    /// Look up a table registered through this session. Unknown names list
+    /// the registered ones in the error. (Tables registered directly on the
+    /// shared [`Self::service`] are looked up there instead — the session
+    /// can only lend `&Table` for registrations it performed itself.)
     pub fn table(&self, name: &str) -> Result<&Table, SirumError> {
         self.tables
             .get(name)
+            .map(Arc::as_ref)
             .ok_or_else(|| SirumError::UnknownTable {
                 name: name.to_string(),
                 registered: self.tables.keys().cloned().collect(),
@@ -228,9 +241,14 @@ impl SirumSession {
         self.tables.keys().map(String::as_str).collect()
     }
 
-    /// Remove a table from the catalog, returning it if present.
+    /// Remove a table from the shared catalog, returning it if present
+    /// (whether it was registered through this session or directly on the
+    /// backing service). The returned table is detached — cloned out of the
+    /// shared handle if in-flight work still holds it.
     pub fn unregister(&mut self, name: &str) -> Option<Table> {
-        self.tables.remove(name)
+        let removed = self.service.unregister(name);
+        self.tables.remove(name);
+        removed.map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()))
     }
 
     /// Start building a mining request against the named table. The name is
@@ -239,20 +257,7 @@ impl SirumSession {
     pub fn mine(&self, table: &str) -> MiningRequest<'_> {
         MiningRequest {
             session: self,
-            table: table.to_string(),
-            variant: None,
-            k: 10,
-            sample_size: 64,
-            full_cube: false,
-            epsilon: None,
-            max_scaling_iterations: None,
-            seed: None,
-            rules_per_iter: None,
-            two_sided: false,
-            target_kl: None,
-            max_rules: None,
-            column_groups: None,
-            prior: Vec::new(),
+            spec: RequestSpec::new(table),
             observer: None,
         }
     }
@@ -265,14 +270,14 @@ impl SirumSession {
         rules: &[Rule],
         scaling: &ScalingConfig,
     ) -> Result<RuleSetEvaluation, SirumError> {
-        try_evaluate_rules(self.table(table)?, rules, scaling)
+        self.service.evaluate(table, rules, scaling)
     }
 }
 
 impl std::fmt::Debug for SirumSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SirumSession")
-            .field("mode", &self.engine.mode())
+            .field("mode", &self.engine().mode())
             .field("tables", &self.table_names())
             .finish()
     }
@@ -282,168 +287,20 @@ impl std::fmt::Debug for SirumSession {
 /// [`SirumSession::mine`], tweak it, then [`MiningRequest::run`] it.
 ///
 /// Unset knobs default to the paper's Optimized SIRUM configuration
-/// ([`SirumConfig::default`]); [`MiningRequest::variant`] swaps in a whole
-/// Table 4.2 row instead.
+/// ([`sirum_core::SirumConfig::default`]); [`MiningRequest::variant`] swaps
+/// in a whole Table 4.2 row instead.
 pub struct MiningRequest<'s> {
     session: &'s SirumSession,
-    table: String,
-    variant: Option<Variant>,
-    k: usize,
-    sample_size: usize,
-    full_cube: bool,
-    epsilon: Option<f64>,
-    max_scaling_iterations: Option<usize>,
-    seed: Option<u64>,
-    rules_per_iter: Option<usize>,
-    two_sided: bool,
-    target_kl: Option<f64>,
-    max_rules: Option<usize>,
-    column_groups: Option<usize>,
-    prior: Vec<Rule>,
+    pub(crate) spec: RequestSpec,
     observer: Option<Box<IterationObserver>>,
 }
 
-impl<'s> MiningRequest<'s> {
-    /// Number of rules to mine beyond `(*, …, *)` (default 10).
-    pub fn k(mut self, k: usize) -> Self {
-        self.k = k;
-        self
-    }
+impl_request_setters!(MiningRequest);
 
-    /// Candidate-pruning sample size `|s|` (default 64; clamped to the
-    /// table's row count at run time). Zero is rejected at validation.
-    pub fn sample_size(mut self, sample_size: usize) -> Self {
-        self.sample_size = sample_size;
-        self
-    }
-
-    /// Use a named Table 4.2 variant (Naive/Baseline/RCT/…) as the base
-    /// configuration instead of Optimized-by-default.
-    pub fn variant(mut self, variant: Variant) -> Self {
-        self.variant = Some(variant);
-        self
-    }
-
-    /// Exhaustive cube enumeration instead of sample-based pruning (the
-    /// data-cube-exploration setting, §5.6.2).
-    pub fn full_cube(mut self) -> Self {
-        self.full_cube = true;
-        self
-    }
-
-    /// Score candidates with the symmetrized two-sided gain, also
-    /// surfacing unusually *low*-measure regions (data-cleansing queries).
-    pub fn two_sided(mut self) -> Self {
-        self.two_sided = true;
-        self
-    }
-
-    /// Iterative-scaling convergence tolerance ε.
-    pub fn epsilon(mut self, epsilon: f64) -> Self {
-        self.epsilon = Some(epsilon);
-        self
-    }
-
-    /// Iterative-scaling λ-update cap.
-    pub fn max_scaling_iterations(mut self, n: usize) -> Self {
-        self.max_scaling_iterations = Some(n);
-        self
-    }
-
-    /// Sampling / column-group shuffling seed.
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = Some(seed);
-        self
-    }
-
-    /// Insert up to `l` mutually disjoint rules per iteration (§4.4).
-    pub fn rules_per_iter(mut self, l: usize) -> Self {
-        self.rules_per_iter = Some(l);
-        self
-    }
-
-    /// Keep mining past `k` until the KL divergence reaches `target`
-    /// (the `l-rule*` mode of §5.5), bounded by [`Self::max_rules`].
-    pub fn target_kl(mut self, target: f64) -> Self {
-        self.target_kl = Some(target);
-        self
-    }
-
-    /// Hard cap on mined rules when a KL target is set.
-    pub fn max_rules(mut self, max: usize) -> Self {
-        self.max_rules = Some(max);
-        self
-    }
-
-    /// Column groups for multi-stage ancestor generation (§4.3).
-    pub fn column_groups(mut self, groups: usize) -> Self {
-        self.column_groups = Some(groups);
-        self
-    }
-
-    /// Seed the model with prior-knowledge rules (cube exploration,
-    /// Table 1.3): the mined rules come *in addition to* these.
-    pub fn prior(mut self, rules: Vec<Rule>) -> Self {
-        self.prior = rules;
-        self
-    }
-
-    /// Observe progress: `observer` runs after every mining iteration and
-    /// can cancel the run gracefully by returning
-    /// [`IterationDecision::Stop`] (the partial result is returned with
-    /// [`MiningResult::cancelled`] set).
-    pub fn on_iteration(
-        mut self,
-        observer: impl Fn(&IterationEvent) -> IterationDecision + Send + Sync + 'static,
-    ) -> Self {
-        self.observer = Some(Box::new(observer));
-        self
-    }
-
-    /// Materialize the [`SirumConfig`] this request describes (also how the
-    /// request is validated: the config is checked before execution).
-    fn build_config(&self, num_rows: usize) -> SirumConfig {
-        let sample_size = if self.sample_size == 0 {
-            0 // left invalid so validation names the field
-        } else {
-            self.sample_size.min(num_rows)
-        };
-        let mut config = match self.variant {
-            Some(variant) => variant.config(self.k, sample_size),
-            None => SirumConfig {
-                k: self.k,
-                strategy: CandidateStrategy::SampleLca { sample_size },
-                ..SirumConfig::default()
-            },
-        };
-        if self.full_cube {
-            config.strategy = CandidateStrategy::FullCube;
-        }
-        if let Some(epsilon) = self.epsilon {
-            config.scaling.epsilon = epsilon;
-        }
-        if let Some(n) = self.max_scaling_iterations {
-            config.scaling.max_iterations = n;
-        }
-        if let Some(seed) = self.seed {
-            config.seed = seed;
-        }
-        if let Some(l) = self.rules_per_iter {
-            config.multirule = MultiRuleConfig {
-                rules_per_iter: l,
-                ..config.multirule
-            };
-        }
-        if let Some(groups) = self.column_groups {
-            config.column_groups = groups;
-        }
-        config.two_sided_gain |= self.two_sided;
-        config.target_kl = self.target_kl.or(config.target_kl);
-        config.max_rules = self.max_rules.or(config.max_rules);
-        config
-    }
-
-    /// Validate the full configuration and execute the mining run.
+impl MiningRequest<'_> {
+    /// Validate the full configuration and execute the mining run on the
+    /// session's engine (synchronously, uncached — the session path always
+    /// re-executes; use the [`crate::service`] API for cached serving).
     ///
     /// # Errors
     /// * [`SirumError::UnknownTable`] — the request names an unregistered
@@ -454,32 +311,32 @@ impl<'s> MiningRequest<'s> {
     ///   the data cannot drive the model.
     /// * [`SirumError::Dataflow`] — the engine failed mid-run (spill I/O).
     pub fn run(self) -> Result<MiningResult, SirumError> {
-        let table = self.session.table(&self.table)?;
-        let config = self.build_config(table.num_rows());
-        let mut miner = Miner::new(self.session.engine.clone(), config);
+        let entry = self.session.service.entry(&self.spec.table)?;
+        let config = self.spec.build_config(entry.table.num_rows());
+        let mut miner = Miner::new(self.session.engine().clone(), config);
         if let Some(observer) = self.observer {
             miner = miner.with_observer(move |event| observer(event));
         }
-        miner.try_mine_with_prior(table, &self.prior)
+        miner.try_mine_prepared(&entry.prepared, &self.spec.prior)
     }
 
     /// Like [`Self::run`], but mine on a Bernoulli row sample of the table
     /// at `rate` and score the mined rules against the *full* table
     /// (§4.5/§5.7.3). The progress observer is not invoked in this mode.
     pub fn run_on_sample(self, rate: f64) -> Result<SampleDataResult, SirumError> {
-        let table = self.session.table(&self.table)?;
-        let config = self.build_config(table.num_rows());
-        try_mine_on_sample(&self.session.engine, table, rate, config)
+        let entry = self.session.service.entry(&self.spec.table)?;
+        let config = self.spec.build_config(entry.table.num_rows());
+        try_mine_on_sample(self.session.engine(), &entry.table, rate, config)
     }
 }
 
 impl std::fmt::Debug for MiningRequest<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MiningRequest")
-            .field("table", &self.table)
-            .field("k", &self.k)
-            .field("variant", &self.variant)
-            .field("sample_size", &self.sample_size)
+            .field("table", &self.spec.table)
+            .field("k", &self.spec.k)
+            .field("variant", &self.spec.variant)
+            .field("sample_size", &self.spec.sample_size)
             .finish_non_exhaustive()
     }
 }
@@ -487,6 +344,7 @@ impl std::fmt::Debug for MiningRequest<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sirum_core::CandidateStrategy;
 
     #[test]
     fn session_reuses_one_engine_across_requests() {
@@ -507,7 +365,7 @@ mod tests {
         let mut session = SirumSession::in_memory().unwrap();
         session.register_demo("flights").unwrap();
         let request = session.mine("flights").k(3).sample_size(14);
-        let config = request.build_config(14);
+        let config = request.spec.build_config(14);
         assert_eq!(config.k, 3);
         assert!(config.rct && config.fast_pruning);
         assert_eq!(
@@ -523,11 +381,13 @@ mod tests {
             .mine("t")
             .k(5)
             .variant(Variant::Rct)
+            .spec
             .build_config(100);
         let b = session
             .mine("t")
             .variant(Variant::Rct)
             .k(5)
+            .spec
             .build_config(100);
         assert_eq!(a.k, b.k);
         assert_eq!(a.rct, b.rct);
@@ -558,5 +418,29 @@ mod tests {
         assert_eq!(config.mode, EngineMode::InMemory);
         assert_eq!(config.stage_startup, std::time::Duration::ZERO);
         assert_eq!(config.workers, 3);
+    }
+
+    #[test]
+    fn session_and_service_share_one_catalog() {
+        let mut session = SirumSession::in_memory().unwrap();
+        session.register_demo("flights").unwrap();
+        let service = session.service().clone();
+        assert_eq!(service.table_names(), vec!["flights".to_string()]);
+        // A service-side mine sees the session's registration.
+        let output = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        assert_eq!(output.result.rules.len(), 3);
+        // Session-side unregister is visible through the service.
+        let removed = session.unregister("flights").unwrap();
+        assert_eq!(removed.num_rows(), 14);
+        assert!(service.table("flights").is_err());
+        // A table registered directly on the shared service is minable and
+        // removable through the session (borrow lookups stay session-only).
+        service.register_demo_with("income", Some(200), 1).unwrap();
+        assert!(session.table("income").is_err(), "no session borrow");
+        let result = session.mine("income").k(1).run().unwrap();
+        assert_eq!(result.rules.len(), 2);
+        let removed = session.unregister("income").unwrap();
+        assert_eq!(removed.num_rows(), 200);
+        assert!(service.table("income").is_err());
     }
 }

@@ -1,24 +1,45 @@
-//! `sirum` — command-line informative rule mining on the session API.
+//! `sirum` — command-line informative rule mining on the service API.
 //!
 //! Reads a CSV file whose last column is a numeric measure and whose other
 //! columns are categorical dimensions, mines `k` informative rules, and
-//! prints them as a table.
+//! prints them as a table (or JSON).
 //!
 //! ```sh
 //! sirum data.csv --k 10 --sample 64 --variant optimized
 //! sirum data.csv --k 5 --engine single-thread --two-rules
-//! sirum --demo flights --k 3        # built-in demo datasets
+//! sirum --demo flights --k 3              # built-in demo datasets
 //! sirum --demo tlc --target-kl 0.05 --progress
+//! sirum --demo income --repeat 8 --jobs 4 # exercise the worker pool + cache
+//! sirum --demo flights --k 3 --format json
+//! sirum --demo gdelt --explain            # plan + cost estimate, no run
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable/malformed data,
 //! engine trouble), `2` usage error (unknown flags, unparsable values).
 
-use sirum::api::{SirumError, SirumSession};
+use sirum::api::SirumError;
 use sirum::prelude::*;
 use std::fmt::Display;
 use std::process::exit;
 use std::str::FromStr;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
+impl FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "text" => Ok(OutputFormat::Text),
+            "json" => Ok(OutputFormat::Json),
+            other => Err(format!("unknown format {other:?} (expected text or json)")),
+        }
+    }
+}
 
 struct Args {
     input: Option<String>,
@@ -34,6 +55,10 @@ struct Args {
     target_kl: Option<f64>,
     two_sided: bool,
     progress: bool,
+    jobs: usize,
+    repeat: usize,
+    format: OutputFormat,
+    explain: bool,
 }
 
 const USAGE: &str = "\
@@ -58,7 +83,14 @@ OPTIONS:
   --epsilon <F>      iterative-scaling tolerance         [default: 0.01]
   --seed <N>         sampling seed                       [default: 42]
   --partitions <N>   dataset partitions                  [default: 16]
+  --jobs <N>         worker-pool size for --repeat       [default: 2]
+  --repeat <N>       submit the request N times through the service's
+                     worker pool and report cache behavior
+  --format <F>       text|json result output             [default: text]
+  --explain          print the planned strategy and modeled cost estimate
+                     instead of mining
   --progress         report each mining iteration on stderr
+                     (incompatible with --repeat: observers disable caching)
   --help             print this help
 ";
 
@@ -95,6 +127,10 @@ fn parse_args() -> Args {
         target_kl: None,
         two_sided: false,
         progress: false,
+        jobs: 2,
+        repeat: 1,
+        format: OutputFormat::Text,
+        explain: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -117,6 +153,7 @@ fn parse_args() -> Args {
             "--two-rules" => args.rules_per_iter = 2,
             "--two-sided" => args.two_sided = true,
             "--progress" => args.progress = true,
+            "--explain" => args.explain = true,
             "--target-kl" => {
                 args.target_kl = Some(parse_value("--target-kl", &value("--target-kl")));
             }
@@ -125,19 +162,34 @@ fn parse_args() -> Args {
             "--partitions" => {
                 args.partitions = parse_value("--partitions", &value("--partitions"));
             }
+            "--jobs" => args.jobs = parse_value("--jobs", &value("--jobs")),
+            "--repeat" => args.repeat = parse_value("--repeat", &value("--repeat")),
+            "--format" => args.format = parse_value("--format", &value("--format")),
             other if !other.starts_with('-') && args.input.is_none() => {
                 args.input = Some(other.to_string());
             }
             other => usage_error(format!("unexpected argument {other:?}")),
         }
     }
+    if args.jobs == 0 {
+        usage_error("--jobs must be ≥ 1");
+    }
+    if args.repeat == 0 {
+        usage_error("--repeat must be ≥ 1");
+    }
+    if args.progress && args.repeat > 1 {
+        // Progress observers disable result caching, which is the very
+        // thing --repeat demonstrates; combining them would silently
+        // change what --repeat measures.
+        usage_error("--progress cannot be combined with --repeat");
+    }
     args
 }
 
-/// Register the requested dataset in the session and return its name.
-fn load_table(session: &mut SirumSession, args: &Args) -> Result<String, SirumError> {
+/// Register the requested dataset in the service and return its name.
+fn load_table(service: &SirumService, args: &Args) -> Result<String, SirumError> {
     if let Some(demo) = &args.demo {
-        session.register_demo_with(demo, None, args.seed)?;
+        service.register_demo_with(demo, None, args.seed)?;
         return Ok(demo.clone());
     }
     let Some(path) = &args.input else {
@@ -145,27 +197,14 @@ fn load_table(session: &mut SirumSession, args: &Args) -> Result<String, SirumEr
         exit(2);
     };
     let file = std::fs::File::open(path).map_err(|e| SirumError::Table(TableError::Io(e)))?;
-    session.register_csv(path.clone(), std::io::BufReader::new(file))?;
+    service.register_csv(path.clone(), std::io::BufReader::new(file))?;
     Ok(path.clone())
 }
 
-fn run(args: &Args) -> Result<(), SirumError> {
-    let mut session = SirumSession::builder()
-        .mode(args.engine)
-        .partitions(args.partitions)
-        .build()?;
-    let name = load_table(&mut session, args)?;
-    let table = session.table(&name)?;
-    eprintln!(
-        "{} rows × {} dimensions ({}), measure = {}",
-        table.num_rows(),
-        table.num_dims(),
-        table.schema().dim_names().join(", "),
-        table.schema().measure_name(),
-    );
-
-    let mut request = session
-        .mine(&name)
+/// Build the request described by the CLI flags.
+fn build_request<'s>(service: &'s SirumService, name: &str, args: &Args) -> ServiceRequest<'s> {
+    let mut request = service
+        .mine(name)
         .k(args.k)
         .sample_size(args.sample)
         .variant(args.variant)
@@ -180,19 +219,10 @@ fn run(args: &Args) -> Result<(), SirumError> {
     if let Some(target) = args.target_kl {
         request = request.target_kl(target);
     }
-    if args.progress {
-        request = request.on_iteration(|event| {
-            eprintln!(
-                "iteration {:>3}: {} rules, KL {:.6} ({:.2}s)",
-                event.iteration, event.rules_mined, event.kl, event.elapsed_secs
-            );
-            IterationDecision::Continue
-        });
-    }
-    let result = request.run()?;
-    let table = session.table(&name)?;
+    request
+}
 
-    // Rule table.
+fn print_text(result: &MiningResult, table: &Table) {
     println!(
         "\n{:>4}  {:<60} {:>12} {:>10} {:>10}",
         "id",
@@ -226,6 +256,78 @@ fn run(args: &Args) -> Result<(), SirumError> {
         result.timings.iterative_scaling,
         result.timings.total
     );
+}
+
+fn run(args: &Args) -> Result<(), SirumError> {
+    let service = SirumService::builder()
+        .mode(args.engine)
+        .partitions(args.partitions)
+        .pool_workers(args.jobs)
+        .build()?;
+    let name = load_table(&service, args)?;
+    let table = service.table(&name)?;
+    eprintln!(
+        "{} rows × {} dimensions ({}), measure = {}",
+        table.num_rows(),
+        table.num_dims(),
+        table.schema().dim_names().join(", "),
+        table.schema().measure_name(),
+    );
+
+    if args.explain {
+        let plan = build_request(&service, &name, args).explain()?;
+        println!("{plan}");
+        return Ok(());
+    }
+
+    let output = if args.repeat > 1 {
+        // Exercise the concurrent path: submit N identical jobs to the
+        // pool; the first execution populates the result cache and the
+        // rest are served from it.
+        let handles: Vec<JobHandle> = (0..args.repeat)
+            .map(|_| build_request(&service, &name, args).submit())
+            .collect::<Result<_, _>>()?;
+        let mut outputs = Vec::with_capacity(handles.len());
+        for handle in handles {
+            outputs.push(handle.wait()?);
+        }
+        let stats = service.stats();
+        eprintln!(
+            "{} jobs: {} executed, {} coalesced onto in-flight runs, {} served from cache \
+             ({} entries cached)",
+            args.repeat,
+            stats.jobs_executed,
+            stats.jobs_coalesced,
+            stats.cache_hits,
+            stats.cache_entries
+        );
+        let Some(output) = outputs.into_iter().next() else {
+            return Err(SirumError::service("no job output produced"));
+        };
+        output
+    } else {
+        let mut request = build_request(&service, &name, args);
+        if args.progress {
+            request = request.on_iteration(|event| {
+                eprintln!(
+                    "iteration {:>3}: {} rules, KL {:.6} ({:.2}s)",
+                    event.iteration, event.rules_mined, event.kl, event.elapsed_secs
+                );
+                IterationDecision::Continue
+            });
+        }
+        request.run()?
+    };
+
+    match args.format {
+        OutputFormat::Json => {
+            println!(
+                "{}",
+                sirum::json::mining_result_to_json(&output.result, &table)
+            );
+        }
+        OutputFormat::Text => print_text(&output.result, &table),
+    }
     Ok(())
 }
 

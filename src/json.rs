@@ -1,0 +1,199 @@
+//! Hand-rolled JSON rendering for mining output (the build is offline, so
+//! no serde): machine-consumable `MiningResult` serialization for the CLI's
+//! `--format json` and for services piping results downstream.
+//!
+//! The encoder is deliberately tiny — string escaping per RFC 8259, floats
+//! via Rust's shortest-round-trip `Display` (non-finite values become
+//! `null`), and one composer for [`MiningResult`].
+
+use sirum_core::{MiningResult, Rule, WILDCARD};
+use sirum_table::Table;
+use std::fmt::Write as _;
+
+/// Escape `s` as a JSON string literal (including the surrounding quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float as a JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_array(values: impl IntoIterator<Item = f64>) -> String {
+    let items: Vec<String> = values.into_iter().map(json_number).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// One rule as a JSON object: the display string, the per-dimension values
+/// (`null` for wildcards, decoded strings otherwise) and the reporting
+/// aggregates.
+fn rule_json(id: usize, rule: &Rule, avg: f64, count: u64, gain: f64, table: &Table) -> String {
+    let values: Vec<String> = (0..rule.arity())
+        .map(|i| match rule.get(i) {
+            WILDCARD => "null".to_string(),
+            code => json_string(table.decode(i, code)),
+        })
+        .collect();
+    format!(
+        "{{\"id\":{id},\"rule\":{},\"values\":[{}],\"avg_measure\":{},\"count\":{count},\"gain\":{}}}",
+        json_string(&rule.display(table)),
+        values.join(","),
+        json_number(avg),
+        json_number(gain),
+    )
+}
+
+/// Serialize a [`MiningResult`] (with the table it was mined from, for
+/// schema names and dictionary decoding) as a single JSON object.
+///
+/// ```
+/// use sirum::api::SirumSession;
+///
+/// let mut session = SirumSession::in_memory()?;
+/// session.register_demo("flights")?;
+/// let result = session.mine("flights").k(2).sample_size(14).run()?;
+/// let json = sirum::json::mining_result_to_json(&result, session.table("flights")?);
+/// assert!(json.starts_with('{') && json.ends_with('}'));
+/// assert!(json.contains("\"rules\":["));
+/// assert!(json.contains("\"measure\":\"Delay\""));
+/// # Ok::<(), sirum::api::SirumError>(())
+/// ```
+pub fn mining_result_to_json(result: &MiningResult, table: &Table) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push('{');
+    let dims: Vec<String> = table
+        .schema()
+        .dim_names()
+        .iter()
+        .map(|n| json_string(n))
+        .collect();
+    let _ = write!(
+        out,
+        "\"schema\":{{\"dimensions\":[{}],\"measure\":{}}}",
+        dims.join(","),
+        json_string(table.schema().measure_name()),
+    );
+    out.push_str(",\"rules\":[");
+    for (i, r) in result.rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&rule_json(
+            i + 1,
+            &r.rule,
+            r.avg_measure,
+            r.count,
+            r.gain,
+            table,
+        ));
+    }
+    out.push(']');
+    let _ = write!(
+        out,
+        ",\"kl_trace\":{},\"final_kl\":{},\"information_gain\":{}",
+        json_f64_array(result.kl_trace.iter().copied()),
+        json_number(result.final_kl()),
+        json_number(result.information_gain()),
+    );
+    let _ = write!(
+        out,
+        ",\"iterations\":{},\"ancestors_emitted\":{},\"scaling_iterations\":[{}]",
+        result.iterations,
+        result.ancestors_emitted,
+        result
+            .scaling_iterations
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let _ = write!(
+        out,
+        ",\"transform_shift\":{},\"cancelled\":{}",
+        json_number(result.transform_shift),
+        result.cancelled,
+    );
+    let t = &result.timings;
+    let _ = write!(
+        out,
+        ",\"timings\":{{\"candidate_pruning\":{},\"ancestor_generation\":{},\"gain_computation\":{},\"iterative_scaling\":{},\"rule_generation\":{},\"total\":{}}}",
+        json_number(t.candidate_pruning),
+        json_number(t.ancestor_generation),
+        json_number(t.gain_computation),
+        json_number(t.iterative_scaling),
+        json_number(t.rule_generation()),
+        json_number(t.total),
+    );
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sirum_table::generators;
+
+    #[test]
+    fn strings_escape_control_and_quote_characters() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_and_non_finite_become_null() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(-0.25), "-0.25");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn mining_result_serializes_with_balanced_braces() {
+        let engine = sirum_dataflow::Engine::in_memory();
+        let table = generators::flights();
+        let config = sirum_core::SirumConfig {
+            k: 2,
+            strategy: sirum_core::CandidateStrategy::SampleLca { sample_size: 14 },
+            ..Default::default()
+        };
+        let result = sirum_core::Miner::new(engine, config)
+            .try_mine(&table)
+            .unwrap();
+        let json = mining_result_to_json(&result, &table);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"id\":1"));
+        assert!(json.contains("\"cancelled\":false"));
+        assert!(json.contains("\"dimensions\":[\"Day\",\"Origin\",\"Destination\"]"));
+        // The wildcard seed rule renders null values.
+        assert!(json.contains("\"values\":[null,null,null]"));
+    }
+}

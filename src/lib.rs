@@ -3,10 +3,19 @@
 //! Facade crate for the SIRUM reproduction — **S**calable **I**nformative
 //! **RU**le **M**ining (Feng, University of Waterloo, 2016).
 //!
-//! The supported entry point is the [`api`] module: a [`api::SirumSession`]
-//! owns a configured engine plus a catalog of named tables, and each query
-//! is a validated [`api::MiningRequest`] returning
-//! `Result<MiningResult, SirumError>` — no panics on bad input.
+//! Two entry points are supported:
+//!
+//! * **Embedding** ([`api`]): a single-owner [`api::SirumSession`] owns a
+//!   configured engine plus a catalog of named tables, and each query is a
+//!   validated [`api::MiningRequest`] returning
+//!   `Result<MiningResult, SirumError>` — no panics on bad input.
+//! * **Serving** ([`service`]): a `Send + Sync`, cheaply clonable
+//!   [`service::SirumService`] shares one catalog of pre-encoded tables
+//!   across threads, schedules requests on a bounded worker pool
+//!   ([`service::JobHandle`] with `wait`/`try_poll`/`cancel`), answers
+//!   repeated identical requests from an LRU result cache, and can
+//!   [`service::ServiceRequest::explain`] a request's planned cost before
+//!   running it.
 //!
 //! ```
 //! use sirum::api::SirumSession;
@@ -40,6 +49,8 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod json;
+pub mod service;
 
 pub use sirum_baselines as baselines;
 pub use sirum_core as core;
@@ -49,11 +60,15 @@ pub use sirum_table as table;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::api::{MiningRequest, SessionBuilder, SirumSession};
+    pub use crate::service::{
+        IngestHandle, JobHandle, JobOutput, MiningPlan, ServiceBuilder, ServiceRequest,
+        ServiceStats, SirumService,
+    };
     pub use sirum_core::{
         evaluate_rules, explore, mine_on_sample, try_evaluate_rules, try_explore,
-        try_mine_on_sample, CandidateStrategy, IterationDecision, IterationEvent, MinedRule, Miner,
-        MiningResult, MultiRuleConfig, Rule, RuleSetEvaluation, ScalingConfig, SirumConfig,
-        SirumError, Variant, WILDCARD,
+        try_mine_on_sample, CancellationToken, CandidateStrategy, IterationDecision,
+        IterationEvent, MinedRule, Miner, MiningResult, MultiRuleConfig, PreparedTable, Rule,
+        RuleSetEvaluation, ScalingConfig, SirumConfig, SirumError, Variant, WILDCARD,
     };
     pub use sirum_dataflow::{DataflowError, Engine, EngineConfig, EngineMode};
     pub use sirum_table::{generators, Schema, Table, TableError};

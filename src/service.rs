@@ -1,0 +1,1832 @@
+//! The concurrent service layer: a thread-safe, cheaply clonable
+//! [`SirumService`] that shares one table catalog, one engine and one
+//! result cache across any number of threads.
+//!
+//! Where a [`crate::api::SirumSession`] is the single-owner, `&mut`-bound
+//! embedding API, `SirumService` is the *serving* API: registration
+//! dictionary-encodes each table once into the shared catalog
+//! ([`sirum_core::PreparedTable`] behind an `Arc`), requests are submitted
+//! as jobs to a bounded worker pool, and identical repeated requests are
+//! answered from an LRU result cache keyed by (table content fingerprint,
+//! normalized configuration) without re-running the miner. Identical
+//! requests that are still *in flight* coalesce onto one execution, so a
+//! burst of equal queries against a cold cache runs the miner once.
+//!
+//! ```
+//! use sirum::service::SirumService;
+//!
+//! let service = SirumService::in_memory()?;
+//! service.register_demo("flights")?;
+//!
+//! // Submit a job; the handle supports wait(), try_poll() and cancel().
+//! let handle = service.mine("flights").k(3).sample_size(14).submit()?;
+//! let output = handle.wait()?;
+//! assert_eq!(output.result.rules.len(), 4);
+//! assert!(!output.from_cache);
+//!
+//! // The identical request is served from the result cache.
+//! let again = service.mine("flights").k(3).sample_size(14).submit()?.wait()?;
+//! assert!(again.from_cache);
+//! assert_eq!(service.stats().cache_hits, 1);
+//! # Ok::<(), sirum::api::SirumError>(())
+//! ```
+//!
+//! Cloning a `SirumService` is an `Arc` bump; all clones share catalog,
+//! pool, cache and counters, so handing a clone to each request thread is
+//! the intended usage. See `DESIGN.md` ("Concurrent service layer") for the
+//! ownership diagram and the session-vs-service migration table.
+
+use crate::json;
+use crossbeam::channel;
+use parking_lot::{Mutex, RwLock};
+use sirum_core::miner::IterationObserver;
+use sirum_core::{
+    try_evaluate_rules, try_mine_on_sample, CancellationToken, CandidateStrategy,
+    IterationDecision, IterationEvent, Miner, MiningResult, MultiRuleConfig, PreparedTable, Rule,
+    RuleSetEvaluation, SampleDataResult, ScalingConfig, SirumConfig, SirumError, StreamingConfig,
+    StreamingMiner, Variant,
+};
+use sirum_dataflow::cost::{makespan, ClusterSpec};
+use sirum_dataflow::{Engine, EngineConfig, EngineMode, StageRecord, TaskRecord};
+use sirum_table::{generators, Table, TableError};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+// ---------------------------------------------------------------------------
+// Request specification (shared with the session API)
+// ---------------------------------------------------------------------------
+
+/// The full, owner-independent description of a mining request: every knob
+/// the fluent builders expose, resolved against a table by name. Both the
+/// session's `MiningRequest` and the service's [`ServiceRequest`] wrap one
+/// of these.
+#[derive(Debug, Clone)]
+pub(crate) struct RequestSpec {
+    pub(crate) table: String,
+    pub(crate) variant: Option<Variant>,
+    pub(crate) k: usize,
+    pub(crate) sample_size: usize,
+    pub(crate) full_cube: bool,
+    pub(crate) epsilon: Option<f64>,
+    pub(crate) max_scaling_iterations: Option<usize>,
+    pub(crate) seed: Option<u64>,
+    pub(crate) rules_per_iter: Option<usize>,
+    pub(crate) two_sided: bool,
+    pub(crate) target_kl: Option<f64>,
+    pub(crate) max_rules: Option<usize>,
+    pub(crate) column_groups: Option<usize>,
+    pub(crate) prior: Vec<Rule>,
+}
+
+impl RequestSpec {
+    pub(crate) fn new(table: &str) -> Self {
+        RequestSpec {
+            table: table.to_string(),
+            variant: None,
+            k: 10,
+            sample_size: 64,
+            full_cube: false,
+            epsilon: None,
+            max_scaling_iterations: None,
+            seed: None,
+            rules_per_iter: None,
+            two_sided: false,
+            target_kl: None,
+            max_rules: None,
+            column_groups: None,
+            prior: Vec::new(),
+        }
+    }
+
+    /// Materialize the [`SirumConfig`] this spec describes (also how a
+    /// request is *normalized*: two builder paths producing the same final
+    /// configuration yield identical configs, hence identical cache keys).
+    pub(crate) fn build_config(&self, num_rows: usize) -> SirumConfig {
+        let sample_size = if self.sample_size == 0 {
+            0 // left invalid so validation names the field
+        } else {
+            self.sample_size.min(num_rows)
+        };
+        let mut config = match self.variant {
+            Some(variant) => variant.config(self.k, sample_size),
+            None => SirumConfig {
+                k: self.k,
+                strategy: CandidateStrategy::SampleLca { sample_size },
+                ..SirumConfig::default()
+            },
+        };
+        if self.full_cube {
+            config.strategy = CandidateStrategy::FullCube;
+        }
+        if let Some(epsilon) = self.epsilon {
+            config.scaling.epsilon = epsilon;
+        }
+        if let Some(n) = self.max_scaling_iterations {
+            config.scaling.max_iterations = n;
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(l) = self.rules_per_iter {
+            config.multirule = MultiRuleConfig {
+                rules_per_iter: l,
+                ..config.multirule
+            };
+        }
+        if let Some(groups) = self.column_groups {
+            config.column_groups = groups;
+        }
+        config.two_sided_gain |= self.two_sided;
+        config.target_kl = self.target_kl.or(config.target_kl);
+        config.max_rules = self.max_rules.or(config.max_rules);
+        config
+    }
+}
+
+/// Generates the fluent setter methods shared by the session's
+/// `MiningRequest` and the service's [`ServiceRequest`] — both wrap a
+/// [`RequestSpec`] plus an optional iteration observer.
+macro_rules! impl_request_setters {
+    ($ty:ident) => {
+        impl<'s> $ty<'s> {
+            /// Number of rules to mine beyond `(*, …, *)` (default 10).
+            pub fn k(mut self, k: usize) -> Self {
+                self.spec.k = k;
+                self
+            }
+
+            /// Candidate-pruning sample size `|s|` (default 64; clamped to
+            /// the table's row count at run time). Zero is rejected at
+            /// validation.
+            pub fn sample_size(mut self, sample_size: usize) -> Self {
+                self.spec.sample_size = sample_size;
+                self
+            }
+
+            /// Use a named Table 4.2 variant (Naive/Baseline/RCT/…) as the
+            /// base configuration instead of Optimized-by-default.
+            pub fn variant(mut self, variant: Variant) -> Self {
+                self.spec.variant = Some(variant);
+                self
+            }
+
+            /// Exhaustive cube enumeration instead of sample-based pruning
+            /// (the data-cube-exploration setting, §5.6.2).
+            pub fn full_cube(mut self) -> Self {
+                self.spec.full_cube = true;
+                self
+            }
+
+            /// Score candidates with the symmetrized two-sided gain, also
+            /// surfacing unusually *low*-measure regions (data-cleansing
+            /// queries).
+            pub fn two_sided(mut self) -> Self {
+                self.spec.two_sided = true;
+                self
+            }
+
+            /// Iterative-scaling convergence tolerance ε.
+            pub fn epsilon(mut self, epsilon: f64) -> Self {
+                self.spec.epsilon = Some(epsilon);
+                self
+            }
+
+            /// Iterative-scaling λ-update cap.
+            pub fn max_scaling_iterations(mut self, n: usize) -> Self {
+                self.spec.max_scaling_iterations = Some(n);
+                self
+            }
+
+            /// Sampling / column-group shuffling seed.
+            pub fn seed(mut self, seed: u64) -> Self {
+                self.spec.seed = Some(seed);
+                self
+            }
+
+            /// Insert up to `l` mutually disjoint rules per iteration (§4.4).
+            pub fn rules_per_iter(mut self, l: usize) -> Self {
+                self.spec.rules_per_iter = Some(l);
+                self
+            }
+
+            /// Keep mining past `k` until the KL divergence reaches `target`
+            /// (the `l-rule*` mode of §5.5), bounded by `max_rules`.
+            pub fn target_kl(mut self, target: f64) -> Self {
+                self.spec.target_kl = Some(target);
+                self
+            }
+
+            /// Hard cap on mined rules when a KL target is set.
+            pub fn max_rules(mut self, max: usize) -> Self {
+                self.spec.max_rules = Some(max);
+                self
+            }
+
+            /// Column groups for multi-stage ancestor generation (§4.3).
+            pub fn column_groups(mut self, groups: usize) -> Self {
+                self.spec.column_groups = Some(groups);
+                self
+            }
+
+            /// Seed the model with prior-knowledge rules (cube exploration,
+            /// Table 1.3): the mined rules come *in addition to* these.
+            pub fn prior(mut self, rules: Vec<Rule>) -> Self {
+                self.spec.prior = rules;
+                self
+            }
+
+            /// Observe progress: `observer` runs after every mining
+            /// iteration and can cancel the run gracefully by returning
+            /// [`IterationDecision::Stop`] (the partial result is returned
+            /// with [`MiningResult::cancelled`] set). A request carrying an
+            /// observer is never served from — nor inserted into — the
+            /// result cache, since the observer is a side effect.
+            pub fn on_iteration(
+                mut self,
+                observer: impl Fn(&IterationEvent) -> IterationDecision + Send + Sync + 'static,
+            ) -> Self {
+                self.observer = Some(Box::new(observer));
+                self
+            }
+        }
+    };
+}
+pub(crate) use impl_request_setters;
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+/// A registered table: the immutable table, its one-time mining
+/// preparation (dictionary-encoded rows + fitted measure transform) and its
+/// content fingerprint. Cloning shares everything.
+#[derive(Clone)]
+pub(crate) struct CatalogEntry {
+    pub(crate) table: Arc<Table>,
+    pub(crate) prepared: Arc<PreparedTable>,
+    pub(crate) fingerprint: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// Cache key: table content fingerprint plus the canonical rendering of the
+/// fully normalized configuration and prior rules. Two requests that
+/// *execute* identically — regardless of which builder path produced them —
+/// map to the same key; a table re-registered with identical content keeps
+/// its key (the fingerprint is content-addressed, not name-addressed).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RequestKey {
+    fingerprint: u64,
+    spec: String,
+}
+
+/// Render the executed configuration canonically. Floats are written by bit
+/// pattern so `0.01` and any other value that *displays* the same but
+/// differs in bits cannot alias.
+fn request_key(fingerprint: u64, config: &SirumConfig, prior: &[Rule]) -> RequestKey {
+    let mut s = String::with_capacity(160);
+    let strategy = match config.strategy {
+        CandidateStrategy::SampleLca { sample_size } => format!("lca{sample_size}"),
+        CandidateStrategy::FullCube => "cube".to_string(),
+    };
+    let _ = write!(
+        s,
+        "k{};{};eps{:x};it{};bj{};rct{};fp{};cg{};l{};tf{:x};mg{:x};reset{};tkl{};mr{};ts{};seed{}",
+        config.k,
+        strategy,
+        config.scaling.epsilon.to_bits(),
+        config.scaling.max_iterations,
+        u8::from(config.broadcast_join),
+        u8::from(config.rct),
+        u8::from(config.fast_pruning),
+        config.column_groups,
+        config.multirule.rules_per_iter,
+        config.multirule.top_fraction.to_bits(),
+        config.multirule.min_gain_fraction.to_bits(),
+        u8::from(config.reset_lambdas_on_insert),
+        config
+            .target_kl
+            .map_or("-".to_string(), |t| format!("{:x}", t.to_bits())),
+        config.max_rules.map_or("-".to_string(), |m| m.to_string()),
+        u8::from(config.two_sided_gain),
+        config.seed,
+    );
+    for rule in prior {
+        let _ = write!(s, ";p");
+        for i in 0..rule.arity() {
+            let _ = write!(s, ",{}", rule.get(i));
+        }
+    }
+    RequestKey {
+        fingerprint,
+        spec: s,
+    }
+}
+
+/// A bounded LRU map from [`RequestKey`] to completed results. Hand-rolled
+/// (offline build): recency is a monotonically increasing stamp; eviction
+/// removes the smallest stamp. Capacity 0 disables caching.
+struct ResultCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<RequestKey, (u64, Arc<MiningResult>)>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &RequestKey) -> Option<Arc<MiningResult>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(stamp, result)| {
+            *stamp = clock;
+            Arc::clone(result)
+        })
+    }
+
+    fn contains(&self, key: &RequestKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    fn insert(&mut self, key: RequestKey, result: Arc<MiningResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(key, (self.clock, result));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    sender: channel::Sender<Job>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A bounded worker pool over the vendored `crossbeam::channel` stand-in.
+/// Threads are spawned lazily on the first submission; `submit` blocks once
+/// `queue_capacity` jobs are in flight (backpressure). Dropping the pool
+/// closes the queue, lets the workers drain it, and joins them.
+struct WorkerPool {
+    workers: usize,
+    queue_capacity: usize,
+    state: Mutex<Option<PoolState>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize, queue_capacity: usize) -> Self {
+        WorkerPool {
+            workers: workers.max(1),
+            queue_capacity: queue_capacity.max(1),
+            state: Mutex::new(None),
+        }
+    }
+
+    fn submit(&self, job: Job) -> Result<(), SirumError> {
+        let mut state = self.state.lock();
+        let state = state.get_or_insert_with(|| {
+            let (sender, receiver) = channel::bounded::<Job>(self.queue_capacity);
+            let handles = (0..self.workers)
+                .map(|i| {
+                    let receiver = receiver.clone();
+                    std::thread::Builder::new()
+                        .name(format!("sirum-worker-{i}"))
+                        .spawn(move || {
+                            while let Ok(job) = receiver.recv() {
+                                job();
+                            }
+                        })
+                })
+                .filter_map(Result::ok)
+                .collect();
+            PoolState { sender, handles }
+        });
+        if state.handles.is_empty() {
+            return Err(SirumError::service("worker pool failed to spawn threads"));
+        }
+        state
+            .sender
+            .send(job)
+            .map_err(|_| SirumError::service("worker pool has shut down"))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.lock().take() {
+            drop(state.sender); // disconnect; workers drain the queue and exit
+            for handle in state.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+/// State shared between service handles *and* in-flight jobs. Jobs capture
+/// an `Arc<ServiceCore>` only — never the pool — so a job queued at service
+/// drop time cannot deadlock the pool join.
+struct ServiceCore {
+    engine: Engine,
+    cache: Mutex<ResultCache>,
+    /// In-flight cacheable executions, for request coalescing: followers of
+    /// an identical pending request park their [`JobShared`] here and are
+    /// completed by the leader instead of re-executing (no thundering herd
+    /// on a cold cache).
+    pending: Mutex<HashMap<RequestKey, Vec<Arc<JobShared>>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    jobs_executed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_coalesced: AtomicU64,
+}
+
+impl ServiceCore {
+    /// Counting cache lookup: a hit bumps `cache_hits`. Misses are NOT
+    /// counted here — a missing entry may still be coalesced onto an
+    /// in-flight execution; callers count `cache_misses` only when the
+    /// request actually proceeds to execute.
+    fn cache_lookup(&self, key: &RequestKey) -> Option<Arc<MiningResult>> {
+        let hit = self.cache.lock().get(key);
+        if hit.is_some() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Execute one mining job on a metrics-isolated fork of the shared
+    /// engine, recording stats and populating the cache on success.
+    fn execute(
+        &self,
+        prepared: &PreparedTable,
+        config: SirumConfig,
+        prior: &[Rule],
+        observer: Option<Box<IterationObserver>>,
+        token: CancellationToken,
+        key: Option<RequestKey>,
+    ) -> Result<JobOutput, SirumError> {
+        if key.is_some() {
+            // A cacheable request that reached execution: a true miss
+            // (cache hits and coalesced followers never get here).
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut miner = Miner::new(self.engine.fork(), config).with_cancellation(token);
+        if let Some(observer) = observer {
+            miner = miner.with_observer(move |event| observer(event));
+        }
+        let result = miner.try_mine_prepared(prepared, prior)?;
+        self.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        if result.cancelled {
+            self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        let result = Arc::new(result);
+        if let Some(key) = key {
+            // Cancelled runs are partial: correct to return, wrong to cache.
+            if !result.cancelled {
+                self.cache.lock().insert(key, Arc::clone(&result));
+            }
+        }
+        Ok(JobOutput {
+            result,
+            from_cache: false,
+        })
+    }
+}
+
+struct ServiceInner {
+    core: Arc<ServiceCore>,
+    catalog: RwLock<BTreeMap<String, CatalogEntry>>,
+    pool: WorkerPool,
+}
+
+/// A thread-safe mining service: one shared engine, one shared catalog of
+/// pre-encoded tables, a bounded worker pool and an LRU result cache.
+///
+/// `SirumService` is `Send + Sync` and cheap to clone (an `Arc` bump);
+/// clones share all state. See the [module docs](self) for an end-to-end
+/// example and [`SirumService::builder`] for the knobs.
+#[derive(Clone)]
+pub struct SirumService {
+    inner: Arc<ServiceInner>,
+}
+
+// Shared across request threads by design; keep it a compile-time fact.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync + Clone>() {}
+    assert_send_sync::<SirumService>();
+};
+
+/// Builder for a [`SirumService`]: engine configuration plus the serving
+/// knobs (pool size, queue bound, cache capacity).
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    config: EngineConfig,
+    pool_workers: usize,
+    queue_capacity: usize,
+    cache_capacity: usize,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder {
+            config: EngineConfig::in_memory(),
+            pool_workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 64,
+        }
+    }
+}
+
+impl ServiceBuilder {
+    /// Replace the entire engine configuration.
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Select the platform-emulation mode, preserving every other engine
+    /// setting (same contract as the session builder).
+    pub fn mode(mut self, mode: EngineMode) -> Self {
+        let base = match mode {
+            EngineMode::InMemory => EngineConfig::in_memory(),
+            EngineMode::DiskMr => EngineConfig::disk_mr(),
+            EngineMode::SingleThread => EngineConfig::single_thread(),
+        };
+        self.config.mode = base.mode;
+        self.config.stage_startup = base.stage_startup;
+        self
+    }
+
+    /// Default number of partitions for datasets created by this service.
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.config.partitions = partitions;
+        self
+    }
+
+    /// Number of OS worker threads *per mining stage* (the engine's
+    /// intra-job parallelism; distinct from [`Self::pool_workers`]).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Memory budget in bytes for cached blocks.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.config.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Number of concurrent mining jobs the pool runs (inter-job
+    /// parallelism; default 2). Threads are spawned lazily on the first
+    /// [`ServiceRequest::submit`].
+    pub fn pool_workers(mut self, workers: usize) -> Self {
+        self.pool_workers = workers.max(1);
+        self
+    }
+
+    /// Bound on queued-but-not-started jobs; once full, `submit` blocks
+    /// (backpressure) rather than growing without limit (default 64).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Result-cache capacity in entries; 0 disables caching (default 64).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Validate the engine configuration, stand up the engine and return
+    /// the service.
+    pub fn build(self) -> Result<SirumService, SirumError> {
+        let engine = Engine::try_new(self.config)?;
+        Ok(SirumService::with_engine_and(
+            engine,
+            self.pool_workers,
+            self.queue_capacity,
+            self.cache_capacity,
+        ))
+    }
+}
+
+impl SirumService {
+    /// Start configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// A service on a default Spark-like in-memory engine with default
+    /// serving knobs.
+    pub fn in_memory() -> Result<Self, SirumError> {
+        Self::builder().build()
+    }
+
+    /// Wrap an already-constructed engine with default serving knobs.
+    pub fn with_engine(engine: Engine) -> Self {
+        let defaults = ServiceBuilder::default();
+        Self::with_engine_and(
+            engine,
+            defaults.pool_workers,
+            defaults.queue_capacity,
+            defaults.cache_capacity,
+        )
+    }
+
+    fn with_engine_and(
+        engine: Engine,
+        pool_workers: usize,
+        queue_capacity: usize,
+        cache_capacity: usize,
+    ) -> Self {
+        SirumService {
+            inner: Arc::new(ServiceInner {
+                core: Arc::new(ServiceCore {
+                    engine,
+                    cache: Mutex::new(ResultCache::new(cache_capacity)),
+                    pending: Mutex::new(HashMap::new()),
+                    cache_hits: AtomicU64::new(0),
+                    cache_misses: AtomicU64::new(0),
+                    jobs_executed: AtomicU64::new(0),
+                    jobs_cancelled: AtomicU64::new(0),
+                    jobs_coalesced: AtomicU64::new(0),
+                }),
+                catalog: RwLock::new(BTreeMap::new()),
+                pool: WorkerPool::new(pool_workers, queue_capacity),
+            }),
+        }
+    }
+
+    /// The shared engine (metrics, block store, configuration). Jobs run on
+    /// metrics-isolated forks of it; this handle's registry records only
+    /// work driven through the session path or directly by the caller.
+    pub fn engine(&self) -> &Engine {
+        &self.inner.core.engine
+    }
+
+    // -- catalog ------------------------------------------------------------
+
+    /// Register a table under `name`, replacing any previous table of that
+    /// name; returns the shared handle. Registration validates the data
+    /// (non-empty, finite measures) and pays the dictionary-encoding and
+    /// measure-transform work **once**, so every subsequent request on the
+    /// table skips it.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        table: Table,
+    ) -> Result<Arc<Table>, SirumError> {
+        if table.num_rows() == 0 {
+            return Err(SirumError::EmptyDataset);
+        }
+        if let Some(i) = table.measures().iter().position(|m| !m.is_finite()) {
+            return Err(SirumError::InvalidMeasure {
+                reason: format!(
+                    "row {i}: value {} in measure column {:?} is not finite",
+                    table.measures()[i],
+                    table.schema().measure_name()
+                ),
+            });
+        }
+        let table = Arc::new(table);
+        let entry = CatalogEntry {
+            fingerprint: table.fingerprint(),
+            prepared: Arc::new(PreparedTable::try_new(&table)?),
+            table: Arc::clone(&table),
+        };
+        self.inner.catalog.write().insert(name.into(), entry);
+        Ok(table)
+    }
+
+    /// Parse a CSV stream (header + rows, last column numeric) and register
+    /// it under `name`.
+    pub fn register_csv(
+        &self,
+        name: impl Into<String>,
+        input: impl std::io::BufRead,
+    ) -> Result<Arc<Table>, SirumError> {
+        let table = sirum_table::csv::read_csv(input)?;
+        self.register(name, table)
+    }
+
+    /// Register one of the built-in demo datasets under its own name with
+    /// default sizing: `flights`, `income`, `gdelt`, `susy`, `tlc` or
+    /// `dirty`.
+    pub fn register_demo(&self, name: &str) -> Result<Arc<Table>, SirumError> {
+        self.register_demo_with(name, None, 42)
+    }
+
+    /// [`Self::register_demo`] with explicit row count (`None` = the demo's
+    /// default) and generator seed.
+    pub fn register_demo_with(
+        &self,
+        name: &str,
+        rows: Option<usize>,
+        seed: u64,
+    ) -> Result<Arc<Table>, SirumError> {
+        let table = match name {
+            "flights" => generators::flights(),
+            "income" => generators::income_like(rows.unwrap_or(20_000), seed),
+            "gdelt" => generators::gdelt_like(rows.unwrap_or(20_000), seed),
+            "susy" => generators::susy_like(rows.unwrap_or(2_000), seed),
+            "tlc" => generators::tlc_like(rows.unwrap_or(50_000), seed),
+            "dirty" => generators::gdelt_dirty(rows.unwrap_or(20_000), seed),
+            other => {
+                return Err(SirumError::UnknownDemo {
+                    name: other.to_string(),
+                })
+            }
+        };
+        self.register(name, table)
+    }
+
+    /// Look up a registered table (a cheap `Arc` clone). Unknown names list
+    /// the registered ones in the error.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>, SirumError> {
+        self.entry(name).map(|e| e.table)
+    }
+
+    /// Names of all registered tables, in sorted order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.read().keys().cloned().collect()
+    }
+
+    /// Remove a table from the catalog, returning its shared handle if
+    /// present. In-flight jobs against the table finish normally (they hold
+    /// their own `Arc`s); cached results keyed by its content fingerprint
+    /// age out via LRU.
+    pub fn unregister(&self, name: &str) -> Option<Arc<Table>> {
+        self.inner.catalog.write().remove(name).map(|e| e.table)
+    }
+
+    pub(crate) fn entry(&self, name: &str) -> Result<CatalogEntry, SirumError> {
+        self.inner
+            .catalog
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SirumError::UnknownTable {
+                name: name.to_string(),
+                registered: self.table_names(),
+            })
+    }
+
+    // -- requests -----------------------------------------------------------
+
+    /// Start building a mining request against the named table; finish with
+    /// [`ServiceRequest::submit`] (pooled, returns a [`JobHandle`]),
+    /// [`ServiceRequest::run`] (synchronous on the calling thread) or
+    /// [`ServiceRequest::explain`] (plan only, no execution).
+    pub fn mine(&self, table: &str) -> ServiceRequest<'_> {
+        ServiceRequest {
+            service: self,
+            spec: RequestSpec::new(table),
+            observer: None,
+        }
+    }
+
+    /// Score an externally supplied rule set against a registered table
+    /// (offline evaluation, §4.5/§5.7.3).
+    pub fn evaluate(
+        &self,
+        table: &str,
+        rules: &[Rule],
+        scaling: &ScalingConfig,
+    ) -> Result<RuleSetEvaluation, SirumError> {
+        try_evaluate_rules(&self.entry(table)?.table, rules, scaling)
+    }
+
+    /// Open an incremental-maintenance stream seeded with the named table's
+    /// current contents (§7-style streaming SIRUM): the returned
+    /// [`IngestHandle`] accepts new batches and maintains the rule model
+    /// with warm-started refits. The handle is single-owner (`&mut`
+    /// ingestion) and independent of later catalog changes.
+    ///
+    /// Streaming maintenance requires nonnegative measures (history cannot
+    /// be re-shifted retroactively); a table with negative measures is
+    /// rejected with [`SirumError::InvalidMeasure`].
+    pub fn stream(&self, table: &str) -> Result<IngestHandle, SirumError> {
+        let entry = self.entry(table)?;
+        if let Some(i) = entry.table.measures().iter().position(|m| *m < 0.0) {
+            return Err(SirumError::InvalidMeasure {
+                reason: format!(
+                    "row {i}: value {} is negative; streaming maintenance requires \
+                     nonnegative measures (apply a measure transform upstream)",
+                    entry.table.measures()[i]
+                ),
+            });
+        }
+        let mut miner = StreamingMiner::new(entry.table.num_dims(), StreamingConfig::default());
+        miner.ingest_table(&entry.table);
+        Ok(IngestHandle {
+            miner,
+            table: entry.table,
+        })
+    }
+
+    /// Point-in-time serving statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let core = &self.inner.core;
+        ServiceStats {
+            cache_hits: core.cache_hits.load(Ordering::Relaxed),
+            cache_misses: core.cache_misses.load(Ordering::Relaxed),
+            jobs_executed: core.jobs_executed.load(Ordering::Relaxed),
+            jobs_cancelled: core.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_coalesced: core.jobs_coalesced.load(Ordering::Relaxed),
+            cache_entries: core.cache.lock().len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SirumService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SirumService")
+            .field("mode", &self.inner.core.engine.mode())
+            .field("tables", &self.table_names())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Counters describing how the service has been serving requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered from the result cache without re-execution.
+    pub cache_hits: u64,
+    /// Cacheable requests that had to execute.
+    pub cache_misses: u64,
+    /// Mining runs actually executed (cache misses + uncacheable requests).
+    pub jobs_executed: u64,
+    /// Executed runs that ended via cooperative cancellation.
+    pub jobs_cancelled: u64,
+    /// Submitted jobs served by coalescing onto an identical in-flight
+    /// execution instead of running themselves.
+    pub jobs_coalesced: u64,
+    /// Results currently held by the cache.
+    pub cache_entries: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Requests and job handles
+// ---------------------------------------------------------------------------
+
+/// A fluent, validated mining request against a [`SirumService`]. Build
+/// with [`SirumService::mine`], tweak, then [`Self::submit`] it to the
+/// worker pool, [`Self::run`] it synchronously, or [`Self::explain`] it.
+pub struct ServiceRequest<'s> {
+    service: &'s SirumService,
+    spec: RequestSpec,
+    observer: Option<Box<IterationObserver>>,
+}
+
+impl_request_setters!(ServiceRequest);
+
+impl ServiceRequest<'_> {
+    /// Resolve the table and validate the normalized configuration, the
+    /// shared front half of submit/run/explain.
+    fn resolve(&self) -> Result<(CatalogEntry, SirumConfig), SirumError> {
+        let entry = self.service.entry(&self.spec.table)?;
+        let config = self.spec.build_config(entry.table.num_rows());
+        config.validate()?;
+        Ok((entry, config))
+    }
+
+    fn cache_key(&self, entry: &CatalogEntry, config: &SirumConfig) -> Option<RequestKey> {
+        // Observers are side effects; requests carrying one bypass the
+        // cache entirely (a hit would silently skip every callback).
+        if self.observer.is_some() {
+            None
+        } else {
+            Some(request_key(entry.fingerprint, config, &self.spec.prior))
+        }
+    }
+
+    /// Submit the request to the worker pool and return a [`JobHandle`].
+    ///
+    /// Table resolution and configuration validation happen *here*, on the
+    /// calling thread, so every "bad request" error surfaces immediately;
+    /// the handle only ever carries execution-time outcomes. Blocks while
+    /// the job queue is at capacity (backpressure).
+    ///
+    /// Identical requests are served once: a previously-completed one is
+    /// answered from the result cache (the returned handle is already
+    /// finished, [`JobOutput::from_cache`] set), and one that is still
+    /// *running* is **coalesced** — the new handle rides the in-flight
+    /// execution and receives the same shared result when it completes (no
+    /// thundering herd on a cold cache). A coalesced handle's `cancel()`
+    /// does not stop the shared execution (other handles want its result);
+    /// if the *leader* is cancelled, every coalesced handle receives the
+    /// same partial result with [`MiningResult::cancelled`] set. Should the
+    /// leader *fail*, followers receive the failure re-wrapped as
+    /// [`SirumError::Service`] with the original error rendered into the
+    /// reason (errors are not clonable across handles) — match on the
+    /// leader's handle for the typed variant.
+    ///
+    /// # Errors
+    /// * [`SirumError::UnknownTable`] / [`SirumError::InvalidConfig`] — the
+    ///   request cannot execute.
+    /// * [`SirumError::Service`] — the worker pool is shut down.
+    pub fn submit(self) -> Result<JobHandle, SirumError> {
+        let (entry, config) = self.resolve()?;
+        let key = self.cache_key(&entry, &config);
+        let core = Arc::clone(&self.service.inner.core);
+        let token = CancellationToken::new();
+        let shared = Arc::new(JobShared::new());
+        if let Some(key) = &key {
+            if let Some(hit) = core.cache_lookup(key) {
+                shared.set(Ok(JobOutput {
+                    result: hit,
+                    from_cache: true,
+                }));
+                return Ok(JobHandle {
+                    shared,
+                    token,
+                    delivered: false,
+                });
+            }
+            // Coalesce onto an identical in-flight execution, or claim
+            // leadership of this key (push/claim and the leader's drain
+            // serialize on the `pending` lock, so no follower is lost).
+            let mut pending = core.pending.lock();
+            if let Some(waiters) = pending.get_mut(key) {
+                waiters.push(Arc::clone(&shared));
+                core.jobs_coalesced.fetch_add(1, Ordering::Relaxed);
+                return Ok(JobHandle {
+                    shared,
+                    token,
+                    delivered: false,
+                });
+            }
+            pending.insert(key.clone(), Vec::new());
+        }
+        let observer = self.observer;
+        let prior = self.spec.prior;
+        let job_shared = Arc::clone(&shared);
+        let job_token = token.clone();
+        let leader_key = key.clone();
+        let leader_core = Arc::clone(&core);
+        let job: Job = Box::new(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                core.execute(
+                    &entry.prepared,
+                    config,
+                    &prior,
+                    observer,
+                    job_token,
+                    key.clone(),
+                )
+            }))
+            .unwrap_or_else(|_| Err(SirumError::service("mining job panicked")));
+            // Complete every follower that coalesced onto this execution.
+            // The cache was populated inside `execute`, so a request
+            // arriving between the drain and our own slot-set hits it.
+            if let Some(key) = &key {
+                let waiters = core.pending.lock().remove(key).unwrap_or_default();
+                for waiter in waiters {
+                    waiter.set(match &outcome {
+                        Ok(out) => Ok(JobOutput {
+                            result: Arc::clone(&out.result),
+                            from_cache: true,
+                        }),
+                        Err(e) => Err(SirumError::service(format!("coalesced job failed: {e}"))),
+                    });
+                }
+            }
+            job_shared.set(outcome);
+        });
+        if let Err(e) = self.service.inner.pool.submit(job) {
+            // Leadership was claimed but the job never queued: release the
+            // key AND fail any follower that already coalesced onto it
+            // (dropping their JobShared unset would hang their wait()).
+            if let Some(key) = &leader_key {
+                let waiters = leader_core.pending.lock().remove(key).unwrap_or_default();
+                for waiter in waiters {
+                    waiter.set(Err(SirumError::service(format!(
+                        "coalesced job was never scheduled: {e}"
+                    ))));
+                }
+            }
+            return Err(e);
+        }
+        Ok(JobHandle {
+            shared,
+            token,
+            delivered: false,
+        })
+    }
+
+    /// Execute the request synchronously on the calling thread (still
+    /// cache-checked and metrics-isolated; the worker pool is not
+    /// involved and the run neither joins nor leads in-flight coalescing).
+    pub fn run(self) -> Result<JobOutput, SirumError> {
+        let (entry, config) = self.resolve()?;
+        let key = self.cache_key(&entry, &config);
+        let core = &self.service.inner.core;
+        if let Some(key) = &key {
+            if let Some(hit) = core.cache_lookup(key) {
+                return Ok(JobOutput {
+                    result: hit,
+                    from_cache: true,
+                });
+            }
+        }
+        core.execute(
+            &entry.prepared,
+            config,
+            &self.spec.prior,
+            self.observer,
+            CancellationToken::new(),
+            key,
+        )
+    }
+
+    /// Like [`Self::run`], but mine on a Bernoulli row sample of the table
+    /// at `rate` and score the mined rules against the *full* table
+    /// (§4.5/§5.7.3). Never cached (the sample is drawn per call); the
+    /// progress observer is not invoked in this mode.
+    pub fn run_on_sample(self, rate: f64) -> Result<SampleDataResult, SirumError> {
+        let (entry, config) = self.resolve()?;
+        try_mine_on_sample(&self.service.engine().fork(), &entry.table, rate, config)
+    }
+
+    /// Return the planned execution — strategy, normalized configuration
+    /// and a modeled cost estimate from [`sirum_dataflow::cost`] — without
+    /// running anything. The same validation as [`Self::submit`] applies,
+    /// so `explain` doubles as a dry-run check.
+    pub fn explain(&self) -> Result<MiningPlan, SirumError> {
+        let (entry, config) = self.resolve()?;
+        let cached = match self.cache_key(&entry, &config) {
+            Some(key) => self.service.inner.core.cache.lock().contains(&key),
+            None => false,
+        };
+        Ok(MiningPlan::model(
+            &self.spec.table,
+            self.spec.variant,
+            &entry,
+            &config,
+            self.service.engine().config(),
+            cached,
+        ))
+    }
+}
+
+impl std::fmt::Debug for ServiceRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRequest")
+            .field("table", &self.spec.table)
+            .field("k", &self.spec.k)
+            .field("variant", &self.spec.variant)
+            .field("sample_size", &self.spec.sample_size)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A completed request: the mining result (shared — cache hits return the
+/// *same* allocation, observable via [`Arc::ptr_eq`]) plus where it came
+/// from.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The mining result.
+    pub result: Arc<MiningResult>,
+    /// True when the result was served from the result cache without
+    /// re-execution.
+    pub from_cache: bool,
+}
+
+enum JobSlot {
+    Pending,
+    Done(Result<JobOutput, SirumError>),
+    Taken,
+}
+
+struct JobShared {
+    slot: StdMutex<JobSlot>,
+    done: Condvar,
+}
+
+impl JobShared {
+    fn new() -> Self {
+        JobShared {
+            slot: StdMutex::new(JobSlot::Pending),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JobSlot> {
+        // A panicking setter is already mapped to Err by the job wrapper;
+        // recover the poison instead of propagating it.
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn set(&self, outcome: Result<JobOutput, SirumError>) {
+        *self.lock() = JobSlot::Done(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// Handle to a submitted mining job (see [`ServiceRequest::submit`]).
+///
+/// ```
+/// use sirum::service::SirumService;
+///
+/// let service = SirumService::in_memory()?;
+/// service.register_demo("flights")?;
+/// let mut handle = service.mine("flights").k(2).sample_size(14).submit()?;
+/// // Poll without blocking…
+/// let output = loop {
+///     match handle.try_poll() {
+///         Some(outcome) => break outcome?,
+///         None => std::thread::yield_now(),
+///     }
+/// };
+/// assert_eq!(output.result.rules.len(), 3);
+/// # Ok::<(), sirum::api::SirumError>(())
+/// ```
+///
+/// `cancel()` requests cooperative cancellation: the running miner stops at
+/// the next iteration boundary and the job completes *successfully* with a
+/// partial result whose [`MiningResult::cancelled`] flag is set.
+pub struct JobHandle {
+    shared: Arc<JobShared>,
+    token: CancellationToken,
+    delivered: bool,
+}
+
+impl JobHandle {
+    /// Request cooperative cancellation. Idempotent; a job that already
+    /// finished is unaffected, a queued job stops before its first mining
+    /// iteration, a running job stops at the next iteration boundary. The
+    /// partial result still arrives through [`Self::wait`] /
+    /// [`Self::try_poll`] with [`MiningResult::cancelled`] set.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// A clone of the job's cancellation token (e.g. to hand to a watchdog
+    /// thread).
+    pub fn cancellation_token(&self) -> CancellationToken {
+        self.token.clone()
+    }
+
+    /// True once the job's outcome is available (or was already taken).
+    pub fn is_finished(&self) -> bool {
+        !matches!(*self.shared.lock(), JobSlot::Pending)
+    }
+
+    /// Non-blocking poll: `None` while the job is still queued or running;
+    /// the outcome exactly once when finished (subsequent polls return
+    /// `None` again).
+    pub fn try_poll(&mut self) -> Option<Result<JobOutput, SirumError>> {
+        let mut slot = self.shared.lock();
+        match std::mem::replace(&mut *slot, JobSlot::Taken) {
+            JobSlot::Done(outcome) => {
+                self.delivered = true;
+                Some(outcome)
+            }
+            JobSlot::Pending => {
+                *slot = JobSlot::Pending;
+                None
+            }
+            JobSlot::Taken => None,
+        }
+    }
+
+    /// Block until the job finishes and return its outcome.
+    ///
+    /// # Errors
+    /// The job's own error, or [`SirumError::Service`] if the outcome was
+    /// already taken by [`Self::try_poll`].
+    pub fn wait(mut self) -> Result<JobOutput, SirumError> {
+        if self.delivered {
+            return Err(SirumError::service(
+                "job result was already taken by try_poll()",
+            ));
+        }
+        let mut slot = self.shared.lock();
+        loop {
+            match std::mem::replace(&mut *slot, JobSlot::Taken) {
+                JobSlot::Done(outcome) => {
+                    self.delivered = true;
+                    return outcome;
+                }
+                JobSlot::Pending => {
+                    *slot = JobSlot::Pending;
+                    slot = self
+                        .shared
+                        .done
+                        .wait(slot)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                JobSlot::Taken => {
+                    return Err(SirumError::service(
+                        "job result was already taken by try_poll()",
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("finished", &self.is_finished())
+            .field("cancel_requested", &self.token.is_cancelled())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------------
+
+/// Modeled per-record processing cost used by [`MiningPlan`]. A planning
+/// heuristic, not a measurement: it only needs to rank plans sensibly and
+/// scale with input size.
+const EST_NANOS_PER_RECORD: f64 = 60.0;
+/// Modeled bytes per shuffled candidate pair.
+const EST_BYTES_PER_PAIR: u64 = 24;
+
+/// The planned execution of a mining request: the normalized strategy plus
+/// a deterministic cost estimate obtained by replaying the *predicted*
+/// stage list through the cluster cost model ([`sirum_dataflow::cost`]).
+/// Produced by [`ServiceRequest::explain`]; nothing is executed.
+#[derive(Debug, Clone)]
+pub struct MiningPlan {
+    /// Requested table name.
+    pub table: String,
+    /// The table's content fingerprint (the cache key's table half).
+    pub fingerprint: u64,
+    /// Rows in the table.
+    pub rows: usize,
+    /// Dimension attributes in the table.
+    pub dims: usize,
+    /// Syntactically possible rules `∏(|dom(Aᵢ)|+1)` for scale context.
+    pub possible_rules: f64,
+    /// Normalized candidate strategy (sample size already clamped).
+    pub strategy: CandidateStrategy,
+    /// The variant the request was based on, if any.
+    pub variant: Option<Variant>,
+    /// Rules to mine beyond the wildcard rule.
+    pub k: usize,
+    /// Column groups for staged ancestor generation.
+    pub column_groups: usize,
+    /// Rules inserted per iteration.
+    pub rules_per_iter: usize,
+    /// Whether the RCT scaling path is active.
+    pub rct: bool,
+    /// Predicted rule-generation iterations (`⌈k / l⌉`; a KL-target run may
+    /// iterate further, up to its `max_rules` bound).
+    pub estimated_iterations: usize,
+    /// Predicted engine stages across the whole run.
+    pub estimated_stages: usize,
+    /// Predicted candidate pairs emitted per iteration by the LCA join
+    /// (`|s| × n`, before combining).
+    pub estimated_lca_pairs: u64,
+    /// Modeled wall-clock seconds on the service's engine configuration
+    /// (LPT schedule over `workers` slots, per-stage startup, shuffle
+    /// volume — see [`sirum_dataflow::cost::stage_makespan`]).
+    pub estimated_secs: f64,
+    /// True when the result cache already holds this exact request (it
+    /// would be answered without execution).
+    pub cached: bool,
+}
+
+impl MiningPlan {
+    fn model(
+        table: &str,
+        variant: Option<Variant>,
+        entry: &CatalogEntry,
+        config: &SirumConfig,
+        engine_config: &EngineConfig,
+        cached: bool,
+    ) -> MiningPlan {
+        let n = entry.table.num_rows() as u64;
+        let sample = match config.strategy {
+            CandidateStrategy::SampleLca { sample_size } => sample_size as u64,
+            CandidateStrategy::FullCube => 1,
+        };
+        let lca_pairs = n * sample;
+        let iterations = config.k.div_ceil(config.multirule.rules_per_iter.max(1));
+        let partitions = engine_config.partitions.max(1);
+
+        // Predicted stage list for one iteration: the LCA join, one
+        // combine+reduce per column group for ancestor generation, the
+        // adjust+gain pass, then scaling (3 RCT passes or a modeled 5
+        // Algorithm-1 passes over D).
+        let stage = |records: u64, shuffled: bool| -> StageRecord {
+            let per_task = records.div_ceil(partitions as u64);
+            StageRecord {
+                label: "planned".to_string(),
+                tasks: (0..partitions)
+                    .map(|p| TaskRecord {
+                        partition: p,
+                        records_in: per_task,
+                        records_out: per_task,
+                        nanos: (per_task as f64 * EST_NANOS_PER_RECORD) as u64,
+                    })
+                    .collect(),
+                shuffled_records: if shuffled { records } else { 0 },
+                shuffled_bytes: if shuffled {
+                    records * EST_BYTES_PER_PAIR
+                } else {
+                    0
+                },
+            }
+        };
+        let mut stages: Vec<StageRecord> = Vec::new();
+        stages.push(stage(n, false)); // seed distribution + rule sums
+        for _ in 0..iterations {
+            stages.push(stage(lca_pairs, false)); // LCA join emit
+            stages.push(stage(lca_pairs, true)); // lca-agg combine+reduce
+            for _ in 0..config.column_groups.max(1) {
+                stages.push(stage(lca_pairs, false)); // ancestor expansion
+                stages.push(stage(lca_pairs, true)); // ancestor reduce
+            }
+            stages.push(stage(lca_pairs, false)); // adjust + gain
+            let scaling_passes = if config.rct { 3 } else { 5 };
+            for _ in 0..scaling_passes {
+                stages.push(stage(n, false));
+            }
+        }
+        let spec = ClusterSpec {
+            executors: 1,
+            cores_per_executor: engine_config.effective_workers(),
+            stage_startup_secs: engine_config.stage_startup.as_secs_f64(),
+            shuffle_secs_per_mb: 0.01,
+            straggler_slowdown: 1.0,
+        };
+        MiningPlan {
+            table: table.to_string(),
+            fingerprint: entry.fingerprint,
+            rows: entry.table.num_rows(),
+            dims: entry.table.num_dims(),
+            possible_rules: entry.table.possible_rule_count(),
+            strategy: config.strategy,
+            variant,
+            k: config.k,
+            column_groups: config.column_groups,
+            rules_per_iter: config.multirule.rules_per_iter,
+            rct: config.rct,
+            estimated_iterations: iterations,
+            estimated_stages: stages.len(),
+            estimated_lca_pairs: lca_pairs,
+            estimated_secs: makespan(&stages, &spec),
+            cached,
+        }
+    }
+}
+
+impl std::fmt::Display for MiningPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "plan: table {:?} ({} rows × {} dims, {:.3e} possible rules, fingerprint {:016x})",
+            self.table, self.rows, self.dims, self.possible_rules, self.fingerprint
+        )?;
+        let strategy = match self.strategy {
+            CandidateStrategy::SampleLca { sample_size } => {
+                format!("sample-LCA pruning, |s| = {sample_size}")
+            }
+            CandidateStrategy::FullCube => "full cube enumeration".to_string(),
+        };
+        writeln!(
+            f,
+            "  strategy: {strategy}; k = {}, {} column group(s), {} rule(s)/iteration, scaling via {}",
+            self.k,
+            self.column_groups,
+            self.rules_per_iter,
+            if self.rct { "RCT" } else { "Algorithm 1" },
+        )?;
+        write!(
+            f,
+            "  estimate: {} iteration(s), {} stages, {} LCA pairs/iteration, ~{:.3}s modeled{}",
+            self.estimated_iterations,
+            self.estimated_stages,
+            self.estimated_lca_pairs,
+            self.estimated_secs,
+            if self.cached {
+                " — cached, would be served without execution"
+            } else {
+                ""
+            },
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming
+// ---------------------------------------------------------------------------
+
+/// An incremental-maintenance stream over one table's rule model, from
+/// [`SirumService::stream`]: batches ingested through the handle update the
+/// model with warm-started refits ([`StreamingMiner`], §7), and
+/// [`Self::mine_more`] mines additional rules when the model drifts.
+///
+/// The handle owns its miner (single-owner, `&mut` ingestion) but shares
+/// the catalog's table `Arc` for dictionaries, so codes can be decoded and
+/// validated without copying the table.
+pub struct IngestHandle {
+    miner: StreamingMiner,
+    table: Arc<Table>,
+}
+
+impl IngestHandle {
+    /// The table this stream was seeded from (dictionaries, schema).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Rows in the model's history (seed rows + ingested rows).
+    pub fn len(&self) -> usize {
+        self.miner.len()
+    }
+
+    /// True before any row arrives (cannot happen for catalog-seeded
+    /// streams, which start with the table's rows).
+    pub fn is_empty(&self) -> bool {
+        self.miner.is_empty()
+    }
+
+    /// Current rule list (all-wildcards first).
+    pub fn rules(&self) -> &[Rule] {
+        self.miner.rules()
+    }
+
+    /// Exact KL divergence of the current model over the whole history.
+    pub fn kl(&self) -> f64 {
+        self.miner.kl()
+    }
+
+    /// Ingest one batch of dictionary-coded rows and re-fit the model from
+    /// the current multipliers (warm start). Codes must come from the
+    /// seeding table's dictionaries (e.g. via [`sirum_table::Dictionary::code`]).
+    ///
+    /// # Errors
+    /// * [`SirumError::InvalidConfig`] — a row's arity does not match the
+    ///   table.
+    /// * [`SirumError::InvalidMeasure`] — a measure is negative or not
+    ///   finite.
+    /// * [`SirumError::Table`] — a code was never interned in the seeding
+    ///   table's dictionary.
+    pub fn ingest(&mut self, rows: &[(&[u32], f64)]) -> Result<(), SirumError> {
+        let d = self.table.num_dims();
+        for (row, m) in rows {
+            if row.len() != d {
+                return Err(SirumError::invalid_config(
+                    "stream.row",
+                    format!("row has {} dimensions but the table has {d}", row.len()),
+                ));
+            }
+            if !(m.is_finite() && *m >= 0.0) {
+                return Err(SirumError::InvalidMeasure {
+                    reason: format!("streamed value {m} must be finite and ≥ 0"),
+                });
+            }
+            for (col, &code) in row.iter().enumerate() {
+                if code as usize >= self.table.dict(col).cardinality() {
+                    return Err(SirumError::Table(TableError::UninternedCode {
+                        column: col,
+                        code,
+                    }));
+                }
+            }
+        }
+        self.miner.ingest(rows);
+        Ok(())
+    }
+
+    /// Mine up to `k` additional rules over the accumulated history,
+    /// warm-starting the scaling (typically after [`Self::kl`] reveals
+    /// drift). Returns the new rules with their selection-time gains.
+    ///
+    /// # Errors
+    /// [`SirumError::InvalidConfig`] when `k` would exceed the
+    /// rule-coverage bit-array capacity.
+    pub fn mine_more(&mut self, k: usize) -> Result<Vec<(Rule, f64)>, SirumError> {
+        if self.miner.rules().len() + k > sirum_core::rct::MAX_RULES {
+            return Err(SirumError::invalid_config(
+                "k",
+                format!(
+                    "{} existing + {k} requested rules exceeds the {}-rule bit-array limit",
+                    self.miner.rules().len(),
+                    sirum_core::rct::MAX_RULES
+                ),
+            ));
+        }
+        Ok(self.miner.mine_more(k))
+    }
+
+    /// Render the current rule list like Table 1.2 (decoded through the
+    /// seeding table's dictionaries).
+    pub fn render_rules(&self) -> String {
+        let mut out = String::new();
+        for (i, rule) in self.miner.rules().iter().enumerate() {
+            let _ = writeln!(out, "{} | {}", i + 1, rule.display(&self.table));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for IngestHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestHandle")
+            .field("rows", &self.len())
+            .field("rules", &self.rules().len())
+            .finish()
+    }
+}
+
+// Re-exported here so the JSON rendering of service output lives next to
+// its producers in the docs.
+pub use json::mining_result_to_json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flights_service() -> SirumService {
+        let service = SirumService::in_memory().unwrap();
+        service.register_demo("flights").unwrap();
+        service
+    }
+
+    #[test]
+    fn submit_wait_round_trip_matches_run() {
+        let service = flights_service();
+        let a = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .submit()
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!a.from_cache);
+        // Identical request → cache hit, same allocation.
+        let b = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        assert!(b.from_cache);
+        assert!(Arc::ptr_eq(&a.result, &b.result));
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.jobs_executed, 1);
+    }
+
+    #[test]
+    fn different_builder_paths_normalize_to_one_cache_key() {
+        let service = flights_service();
+        // Optimized-by-default vs the explicit Optimized variant: the
+        // normalized configs are identical, so the second is a hit.
+        let _ = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        let again = service
+            .mine("flights")
+            .variant(Variant::Optimized)
+            .rules_per_iter(1) // Optimized defaults to l=2; override back to the default config's l=1
+            .k(2)
+            .sample_size(14)
+            .run()
+            .unwrap();
+        assert!(
+            again.from_cache,
+            "normalized configs are identical, so the explicit-variant spelling must hit"
+        );
+        // Sample size larger than the table clamps to n → one key.
+        let big = service
+            .mine("flights")
+            .k(2)
+            .sample_size(10_000)
+            .run()
+            .unwrap();
+        let clamped = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        assert!(clamped.from_cache);
+        assert!(Arc::ptr_eq(&big.result, &clamped.result));
+    }
+
+    #[test]
+    fn observers_bypass_the_cache() {
+        let service = flights_service();
+        let _ = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        let observed = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .on_iteration(|_| IterationDecision::Continue)
+            .run()
+            .unwrap();
+        assert!(!observed.from_cache, "observer requests must re-execute");
+        let stats = service.stats();
+        assert_eq!(stats.jobs_executed, 2);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_coalesce() {
+        let service = SirumService::builder().pool_workers(4).build().unwrap();
+        service
+            .register_demo_with("income", Some(1_500), 3)
+            .unwrap();
+        let n = 6;
+        let handles: Vec<JobHandle> = (0..n)
+            .map(|_| service.mine("income").k(3).submit().unwrap())
+            .collect();
+        let outputs: Vec<JobOutput> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        let stats = service.stats();
+        assert_eq!(
+            stats.jobs_executed + stats.jobs_coalesced + stats.cache_hits,
+            n as u64,
+            "every submission is accounted for: {stats:?}"
+        );
+        assert!(stats.jobs_executed >= 1);
+        // All outputs carry identical results; followers share the
+        // leader's allocation.
+        for output in &outputs {
+            assert_eq!(output.result.rules.len(), outputs[0].result.rules.len());
+            assert_eq!(output.result.final_kl(), outputs[0].result.final_kl());
+        }
+        let shared = outputs
+            .iter()
+            .filter(|o| Arc::ptr_eq(&o.result, &outputs[0].result))
+            .count();
+        assert!(shared >= 1);
+    }
+
+    #[test]
+    fn submit_reports_bad_requests_before_queueing() {
+        let service = flights_service();
+        assert!(matches!(
+            service.mine("nope").submit(),
+            Err(SirumError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            service.mine("flights").sample_size(0).submit(),
+            Err(SirumError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn try_poll_delivers_exactly_once_and_wait_after_poll_errors() {
+        let service = flights_service();
+        let mut handle = service
+            .mine("flights")
+            .k(1)
+            .sample_size(14)
+            .submit()
+            .unwrap();
+        let output = loop {
+            match handle.try_poll() {
+                Some(outcome) => break outcome.unwrap(),
+                None => std::thread::yield_now(),
+            }
+        };
+        assert_eq!(output.result.rules.len(), 2);
+        assert!(handle.try_poll().is_none(), "delivered exactly once");
+        assert!(matches!(handle.wait(), Err(SirumError::Service { .. })));
+    }
+
+    #[test]
+    fn cancelled_results_are_not_cached() {
+        let service = SirumService::in_memory().unwrap();
+        service
+            .register_demo_with("income", Some(2_000), 7)
+            .unwrap();
+        let handle = service.mine("income").k(8).submit().unwrap();
+        handle.cancel(); // may land before the first iteration
+        let out = handle.wait().unwrap();
+        if out.result.cancelled {
+            let rerun = service.mine("income").k(8).run().unwrap();
+            assert!(!rerun.from_cache, "partial results must not be served");
+        }
+    }
+
+    #[test]
+    fn explain_plans_without_executing() {
+        let service = flights_service();
+        let plan = service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .explain()
+            .unwrap();
+        assert_eq!(plan.rows, 14);
+        assert_eq!(plan.dims, 3);
+        assert!(plan.rct, "Optimized default uses the RCT");
+        assert_eq!(
+            plan.strategy,
+            CandidateStrategy::SampleLca { sample_size: 14 }
+        );
+        assert!(plan.estimated_stages > 0 && plan.estimated_secs >= 0.0);
+        assert!(!plan.cached);
+        assert_eq!(service.stats().jobs_executed, 0, "explain ran nothing");
+        // After executing, the same plan reports a cache hit ahead.
+        let _ = service.mine("flights").k(3).sample_size(14).run().unwrap();
+        let plan = service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .explain()
+            .unwrap();
+        assert!(plan.cached);
+        assert!(plan.to_string().contains("cached"));
+    }
+
+    #[test]
+    fn lru_cache_evicts_oldest() {
+        let mut cache = ResultCache::new(2);
+        let key = |i: u64| RequestKey {
+            fingerprint: i,
+            spec: String::new(),
+        };
+        let result = || {
+            Arc::new(MiningResult {
+                rules: Vec::new(),
+                kl_trace: vec![0.0],
+                timings: Default::default(),
+                scaling_iterations: Vec::new(),
+                ancestors_emitted: 0,
+                iterations: 0,
+                transform_shift: 0.0,
+                cancelled: false,
+            })
+        };
+        cache.insert(key(1), result());
+        cache.insert(key(2), result());
+        assert!(cache.get(&key(1)).is_some()); // 1 is now most recent
+        cache.insert(key(3), result()); // evicts 2
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn stream_handle_maintains_the_model() {
+        let service = flights_service();
+        let mut stream = service.stream("flights").unwrap();
+        assert_eq!(stream.len(), 14);
+        assert!(!stream.is_empty());
+        // Ingest a valid coded row and a few invalid ones.
+        let row: Vec<u32> = stream.table().row(0).to_vec();
+        stream.ingest(&[(&row, 5.0)]).unwrap();
+        assert_eq!(stream.len(), 15);
+        assert!(matches!(
+            stream.ingest(&[(&row[..2], 1.0)]),
+            Err(SirumError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            stream.ingest(&[(&row, -1.0)]),
+            Err(SirumError::InvalidMeasure { .. })
+        ));
+        let bad = vec![u32::MAX - 1; 3];
+        assert!(matches!(
+            stream.ingest(&[(&bad, 1.0)]),
+            Err(SirumError::Table(TableError::UninternedCode { .. }))
+        ));
+        let added = stream.mine_more(2).unwrap();
+        assert!(added.len() <= 2);
+        assert!(stream.kl().is_finite());
+        assert!(!stream.render_rules().is_empty());
+    }
+
+    #[test]
+    fn unregister_keeps_shared_handles_alive() {
+        let service = flights_service();
+        let table = service.table("flights").unwrap();
+        let removed = service.unregister("flights").unwrap();
+        assert!(Arc::ptr_eq(&table, &removed));
+        assert!(service.table("flights").is_err());
+        assert_eq!(table.num_rows(), 14, "existing Arcs still usable");
+    }
+}

@@ -349,3 +349,70 @@ fn session_request_matches_direct_miner_output() {
     assert_eq!(names(&via_session), names(&direct));
     assert_eq!(via_session.final_kl(), direct.final_kl());
 }
+
+// ---- Service-layer errors -------------------------------------------------
+
+#[test]
+fn service_unknown_table_and_invalid_config_surface_at_submit() {
+    let service = SirumService::in_memory().unwrap();
+    let err = service.mine("nope").k(2).submit().unwrap_err();
+    assert!(matches!(err, SirumError::UnknownTable { .. }));
+    service.register_demo("flights").unwrap();
+    let err = service.mine("flights").sample_size(0).submit().unwrap_err();
+    assert!(
+        matches!(err, SirumError::InvalidConfig { field, .. } if field == "strategy.sample_size")
+    );
+}
+
+#[test]
+fn service_error_variant_displays_its_reason() {
+    let err = SirumError::service("worker pool has shut down");
+    assert!(err.to_string().contains("service error"));
+    assert!(err.to_string().contains("worker pool"));
+    assert!(matches!(err, SirumError::Service { .. }));
+}
+
+#[test]
+fn double_consuming_a_job_handle_is_a_typed_service_error() {
+    let service = SirumService::in_memory().unwrap();
+    service.register_demo("flights").unwrap();
+    let mut handle = service
+        .mine("flights")
+        .k(1)
+        .sample_size(14)
+        .submit()
+        .unwrap();
+    loop {
+        if let Some(outcome) = handle.try_poll() {
+            outcome.unwrap();
+            break;
+        }
+        std::thread::yield_now();
+    }
+    assert!(matches!(handle.wait(), Err(SirumError::Service { .. })));
+}
+
+#[test]
+fn stream_rejects_negative_measure_tables_and_bad_batches() {
+    let service = SirumService::in_memory().unwrap();
+    // A table with a negative measure cannot seed a stream.
+    let mut builder = Table::builder(Schema::new(vec!["A"], "m"));
+    builder.push_row(&["x"], -1.0);
+    builder.push_row(&["y"], 2.0);
+    service.register("neg", builder.build()).unwrap();
+    assert!(matches!(
+        service.stream("neg"),
+        Err(SirumError::InvalidMeasure { .. })
+    ));
+    // Bad batches are typed errors, not panics.
+    service.register_demo("flights").unwrap();
+    let mut stream = service.stream("flights").unwrap();
+    assert!(matches!(
+        stream.ingest(&[(&[0u32][..], 1.0)]),
+        Err(SirumError::InvalidConfig { .. })
+    ));
+    assert!(matches!(
+        stream.ingest(&[(&[0u32, 0, 0][..], f64::NAN)]),
+        Err(SirumError::InvalidMeasure { .. })
+    ));
+}

@@ -1,4 +1,4 @@
-//! Smoke tests for the four `examples/` walkthroughs: each must run to
+//! Smoke tests for the `examples/` walkthroughs: each must run to
 //! completion (exit code 0). `cargo test` builds example targets before
 //! running integration tests, so the binaries are invoked directly from
 //! `target/<profile>/examples/` — no nested cargo.
@@ -60,4 +60,9 @@ fn data_cleansing_runs() {
 #[test]
 fn sampling_tradeoff_runs() {
     run_example("sampling_tradeoff");
+}
+
+#[test]
+fn concurrent_service_runs() {
+    run_example("concurrent_service");
 }

@@ -1,6 +1,8 @@
 //! Offline stand-in for the subset of `crossbeam` the SIRUM workspace uses:
 //! [`thread::scope`] with `Scope::spawn`, layered over `std::thread::scope`
-//! (stable since Rust 1.63, which postdates crossbeam's scoped threads).
+//! (stable since Rust 1.63, which postdates crossbeam's scoped threads), and
+//! [`channel`] with bounded multi-producer/multi-consumer queues, layered
+//! over `std::sync::mpsc` with a shared receiver.
 //!
 //! ```
 //! let total = std::sync::atomic::AtomicU64::new(0);
@@ -52,6 +54,186 @@ pub mod thread {
         F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
     {
         Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Multi-producer/multi-consumer channels (stand-in for
+/// `crossbeam::channel`). Only the blocking bounded flavor the SIRUM
+/// service's worker pool needs is provided.
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] when every [`Receiver`] has been
+    /// dropped; carries the unsent message back to the caller.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every [`Sender`] has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty (but senders remain).
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// The sending half of a channel. Cloneable; the channel disconnects
+    /// for receivers once every clone is dropped.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while the channel is at capacity.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// The receiving half of a channel. Cloneable: clones share one queue,
+    /// so each message is delivered to exactly one receiver (work-stealing
+    /// worker-pool semantics). Receivers serialize on an internal lock
+    /// while waiting.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Receive the next message, blocking until one arrives or every
+        /// sender is dropped (buffered messages are still delivered after
+        /// disconnection, then [`RecvError`]).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.lock().recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.lock().try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Create a channel holding at most `cap` in-flight messages; `send`
+    /// blocks once the buffer is full (backpressure). `cap` is clamped to
+    /// ≥ 1 (crossbeam's zero-capacity rendezvous channel is not needed
+    /// here and `std::sync::mpsc`'s rendezvous handshake differs subtly).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::channel;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trips_in_order_single_consumer() {
+        let (tx, rx) = channel::bounded(8);
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn cloned_receivers_split_the_work() {
+        let (tx, rx) = channel::bounded(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                while rx.recv().is_ok() {
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            100,
+            "each message delivered once"
+        );
+    }
+
+    #[test]
+    fn send_fails_once_receivers_are_gone() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        let err = tx.send(7u32).unwrap_err();
+        assert_eq!(err.0, 7);
+        assert!(err.to_string().contains("disconnected"));
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = channel::bounded(2);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(0).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(1).unwrap(); // blocks until the first recv below
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
     }
 }
 
