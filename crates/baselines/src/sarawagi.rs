@@ -55,6 +55,9 @@ pub fn sarawagi_explore(engine: &Engine, table: &Table, cfg: &SarawagiConfig) ->
         target_kl: None,
         max_rules: None,
         two_sided_gain: false,
+        // Comparator fidelity: keep the staged pipeline this baseline's
+        // timings were modeled on, not the fused sweep.
+        gain_sweep: false,
         seed: cfg.seed,
     };
     let prior = prior_rules_from_groupbys(table, 2);

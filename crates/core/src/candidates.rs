@@ -29,6 +29,7 @@ pub fn merge_agg(a: &mut Agg, b: Agg) {
 /// and as the candidate strategy for data-cube exploration (§5.6.2, which
 /// does not use pruning).
 pub fn exhaustive_candidates(table: &Table, mhat: &[f64]) -> FxHashMap<Rule, Agg> {
+    // lint:allow-assert — reference helper; callers build the parallel mhat column themselves
     assert_eq!(mhat.len(), table.num_rows());
     let mut out: FxHashMap<Rule, Agg> = FxHashMap::default();
     for (i, row) in table.rows().enumerate() {
@@ -109,6 +110,7 @@ impl SampleIndex {
     /// # Panics
     /// Panics if the sample exceeds [`MAX_SAMPLE`] rows.
     pub fn build(rows: Vec<Box<[u32]>>, d: usize) -> SampleIndex {
+        // lint:allow-assert — unreachable via Miner (typed InvalidConfig on oversized effective samples) and via StreamingMiner (reservoir capped at MAX_SAMPLE)
         assert!(rows.len() <= MAX_SAMPLE, "sample too large for the index");
         let mut cols: Vec<FxHashMap<u32, Vec<u32>>> =
             (0..d).map(|_| FxHashMap::default()).collect();
@@ -116,6 +118,7 @@ impl SampleIndex {
             (0..d).map(|_| FxHashMap::default()).collect();
         let mut full_mask = [0u64; 4];
         for (i, row) in rows.iter().enumerate() {
+            // lint:allow-assert — sample rows come from the table being mined; arity is fixed at encode time
             assert_eq!(row.len(), d);
             mask_set(&mut full_mask, i);
             for (col, &v) in row.iter().enumerate() {
@@ -208,6 +211,7 @@ pub fn adjust_for_sample<I: IntoIterator<Item = (Rule, Agg)>>(
     let mut out = Vec::new();
     for (rule, (sum_m, sum_mhat, pairs)) in candidates {
         let c = index.match_count(&rule);
+        // lint:allow-assert — documented invariant: every ancestor of lca(s, t) covers s
         assert!(c > 0, "candidate {rule:?} matches no sample tuple");
         debug_assert_eq!(pairs % c, 0, "pair multiplicity must be uniform");
         out.push((rule, sum_m / c as f64, sum_mhat / c as f64, pairs / c));

@@ -20,10 +20,16 @@ pub fn rule_gain(sum_m: f64, sum_mhat: f64) -> f64 {
 /// binary-measure formulation of El Gebaly et al. does. Not used by the
 /// paper's selection loop, but useful for data-cleansing style queries that
 /// look for unusually *low* measure regions.
+///
+/// Semantics at the boundary match [`rule_gain`]: a support with no true
+/// mass (`Σm ≤ 0`) carries no information in either direction, and a
+/// zero/negative estimate sum (`Σm̂ ≤ 0`) cannot be scored against — both
+/// score exactly `0.0`, never a sign-flipped or absolute variant of some
+/// other formula. Otherwise the score is `|Eq 2.2|`.
 #[inline]
 pub fn rule_gain_two_sided(sum_m: f64, sum_mhat: f64) -> f64 {
     if sum_m <= 0.0 || sum_mhat <= 0.0 {
-        return rule_gain(sum_m, sum_mhat).abs();
+        return 0.0;
     }
     (sum_m * (sum_m / sum_mhat).ln()).abs()
 }
@@ -32,19 +38,37 @@ pub fn rule_gain_two_sided(sum_m: f64, sum_mhat: f64) -> f64 {
 /// (normalized) estimated distribution: `Σ p log(p/q)` with
 /// `p = m/Σm`, `q = mhat/Σmhat`. Tuples with `m = 0` contribute zero.
 ///
+/// Total over all float *values*, with saturating semantics at the edges
+/// (these are reachable from user data — e.g. an all-zero measure column —
+/// through [`crate::evaluate`]):
+///
+/// * `Σm ≤ 0` — the true distribution has no mass, so there is nothing to
+///   diverge from: returns `0.0`;
+/// * some tuple has `m > 0` but `mhat ≤ 0` (or `Σm̂ ≤ 0`) — the model
+///   assigns zero/negative density where the data has mass, the supremum
+///   of divergence: returns `f64::INFINITY`.
+///
 /// # Panics
-/// Panics if some tuple has `m > 0` but `mhat ≤ 0` (the maximum-entropy
-/// estimates are products of positive multipliers, so this is a logic error).
+/// Panics when the slices differ in length: every caller builds `mhat` as
+/// a parallel array over the same tuples as `m`, so a mismatch is driver
+/// corruption that must fail loudly, not score quietly.
 pub fn kl_divergence(m: &[f64], mhat: &[f64]) -> f64 {
+    // lint:allow-assert — parallel-array contract; a length mismatch is a caller logic error, not user data
     assert_eq!(m.len(), mhat.len());
     let sum_m: f64 = m.iter().sum();
     let sum_mhat: f64 = mhat.iter().sum();
-    assert!(sum_m > 0.0, "true distribution has no mass");
-    assert!(sum_mhat > 0.0, "estimated distribution has no mass");
+    if sum_m <= 0.0 {
+        return 0.0;
+    }
+    if sum_mhat <= 0.0 {
+        return f64::INFINITY;
+    }
     let mut s1 = 0.0;
     for (&mi, &qi) in m.iter().zip(mhat) {
         if mi > 0.0 {
-            assert!(qi > 0.0, "mhat must be positive wherever m is");
+            if qi <= 0.0 {
+                return f64::INFINITY;
+            }
             s1 += mi * (mi / qi).ln();
         }
     }
@@ -69,6 +93,7 @@ pub fn kl_from_parts(s1: f64, sum_m: f64, sum_mhat: f64) -> f64 {
 /// the per-tuple Bernoulli divergences.
 pub fn binary_kl(m: &[f64], mhat: &[f64]) -> f64 {
     const EPS: f64 = 1e-9;
+    // lint:allow-assert — parallel-array contract; a length mismatch is a caller logic error, not user data
     assert_eq!(m.len(), mhat.len());
     let mut total = 0.0;
     for (&mi, &qi) in m.iter().zip(mhat) {
@@ -112,6 +137,21 @@ mod tests {
             "underestimated case equals the one-sided gain"
         );
         assert_eq!(rule_gain_two_sided(5.0, 5.0), 0.0);
+        assert_eq!(
+            rule_gain_two_sided(5.0, 10.0),
+            -rule_gain(5.0, 10.0),
+            "overestimated case is the mirrored one-sided gain"
+        );
+    }
+
+    #[test]
+    fn two_sided_gain_boundary_matches_one_sided() {
+        // Zero-mass or unscoreable supports are worth exactly zero in both
+        // scoring modes — never an |NaN| or a sign flip of something else.
+        for (sm, smh) in [(0.0, 5.0), (5.0, 0.0), (0.0, 0.0), (-3.0, 5.0), (5.0, -3.0)] {
+            assert_eq!(rule_gain_two_sided(sm, smh), 0.0, "({sm}, {smh})");
+            assert_eq!(rule_gain(sm, smh), 0.0, "({sm}, {smh})");
+        }
     }
 
     #[test]
@@ -183,8 +223,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive wherever")]
-    fn kl_rejects_impossible_estimates() {
-        let _ = kl_divergence(&[1.0, 1.0], &[0.0, 1.0]);
+    fn kl_is_total_and_saturates_on_degenerate_inputs() {
+        // m-mass where the model has none: the divergence supremum.
+        assert_eq!(kl_divergence(&[1.0, 1.0], &[0.0, 1.0]), f64::INFINITY);
+        assert_eq!(kl_divergence(&[1.0], &[-2.0]), f64::INFINITY);
+        assert_eq!(kl_divergence(&[1.0, 1.0], &[0.0, 0.0]), f64::INFINITY);
+        // No true mass at all (reachable from an all-zero measure column
+        // via evaluate): nothing to diverge from.
+        assert_eq!(kl_divergence(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(kl_divergence(&[], &[]), 0.0);
     }
 }

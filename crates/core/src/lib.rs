@@ -63,6 +63,7 @@ pub mod rule;
 pub mod sample_data;
 pub mod scaling;
 pub mod streaming;
+pub mod sweep;
 pub mod transform;
 pub mod variants;
 
@@ -80,4 +81,5 @@ pub use rule::{Rule, WILDCARD};
 pub use sample_data::{mine_on_sample, try_mine_on_sample, SampleDataResult};
 pub use scaling::ScalingConfig;
 pub use streaming::{StreamingConfig, StreamingMiner};
+pub use sweep::{sweep_gains, sweep_gains_reference, SweepOutcome};
 pub use variants::Variant;

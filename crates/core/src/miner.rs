@@ -3,15 +3,16 @@
 //! configuration switch so each variant of Table 4.2 can be instantiated.
 
 use crate::cancel::CancellationToken;
-use crate::candidates::{adjust_for_sample, merge_agg, Agg, SampleIndex};
+use crate::candidates::{adjust_for_sample, merge_agg, Agg, SampleIndex, MAX_SAMPLE};
 use crate::error::SirumError;
 use crate::gain::{kl_from_parts, rule_gain, rule_gain_two_sided};
-use crate::lattice::{ancestors_restricted, column_groups};
+use crate::lattice::{ancestors_restricted, column_groups, MAX_EXPAND_BITS};
 use crate::multirule::{select_rules, MultiRuleConfig, ScoredCandidate};
 use crate::prepared::PreparedTable;
 use crate::rct::{iterative_scaling_rct, mhat_for_mask, Rct, RctGroup, MAX_RULES};
 use crate::rule::Rule;
 use crate::scaling::{relative_diff, ScalingConfig};
+use crate::sweep::{sweep_gains, SweepOutcome};
 use sirum_dataflow::{Dataset, Engine, EngineMode};
 use sirum_table::Table;
 use std::collections::HashSet;
@@ -20,6 +21,15 @@ use std::time::Instant;
 /// A tuple flowing through the engine: `(dimension codes, transformed
 /// measure m′, current estimate m̂, rule-coverage bit array)`.
 pub type Tup = (Box<[u32]>, f64, f64, u64);
+
+/// Scored candidates kept per partition for selection: the selection step
+/// needs at most the global top 1% (multi-rule rank limit), so shipping
+/// every candidate to the driver — millions for wide datasets like SUSY —
+/// would only burn memory. The true candidate count still reaches the
+/// driver for the rank-limit denominator. Both candidate-evaluation paths
+/// (the fused sweep and the legacy staged pipeline) honor the same
+/// `TOP_PER_PARTITION × partitions` driver budget.
+const TOP_PER_PARTITION: usize = 4096;
 
 /// How candidate rules are generated each iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +82,20 @@ pub struct SirumConfig {
     /// unusually low-measure subsets. The paper's selection loop uses the
     /// one-sided Eq 2.2 gain (the default, `false`).
     pub two_sided_gain: bool,
+    /// Evaluate each iteration's candidate frontier with the fused,
+    /// partition-parallel gain sweep ([`crate::sweep`]): one scan over the
+    /// partitioned data folds every tuple into per-partition
+    /// `(Σm, Σm̂)` accumulators for all live candidates at once, merged
+    /// with a deterministic partition-ordered reduction (default `true`).
+    ///
+    /// When `false`, candidates are scored by the legacy staged pipeline
+    /// that emulates the paper's per-platform jobs (LCA emit → shuffle →
+    /// per-column-group ancestor stages → shuffle → adjust + gain); the
+    /// Table 4.2 [`crate::Variant`]s use that path so their relative
+    /// timings keep modeling the thesis experiments. The sweep fuses those
+    /// stages, so [`Self::broadcast_join`], [`Self::fast_pruning`] and
+    /// [`Self::column_groups`] have no effect while it is active.
+    pub gain_sweep: bool,
     /// Seed for sampling and column-group shuffling.
     pub seed: u64,
 }
@@ -93,6 +117,7 @@ impl Default for SirumConfig {
             target_kl: None,
             max_rules: None,
             two_sided_gain: false,
+            gain_sweep: true,
             seed: 42,
         }
     }
@@ -222,11 +247,17 @@ pub struct MinedRule {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseTimings {
     /// Candidate pruning: computing `LCA(s, D)` (or the tuple-rule stage).
+    /// Zero when the fused gain sweep is active.
     pub candidate_pruning: f64,
-    /// Ancestor generation along the cube lattice.
+    /// Ancestor generation along the cube lattice. Zero when the fused
+    /// gain sweep is active.
     pub ancestor_generation: f64,
     /// Gain computation, sample adjustment and selection.
     pub gain_computation: f64,
+    /// The fused partition-parallel gain sweep ([`crate::sweep`]), which
+    /// performs pruning, ancestor generation and aggregate computation in
+    /// one pass; zero on the legacy staged path.
+    pub gain_sweep: f64,
     /// Iterative scaling (including BA/RCT maintenance and write-out).
     pub iterative_scaling: f64,
     /// Whole run.
@@ -236,7 +267,7 @@ pub struct PhaseTimings {
 impl PhaseTimings {
     /// Total rule-generation time (the paper's "Rule Generation" bar).
     pub fn rule_generation(&self) -> f64 {
-        self.candidate_pruning + self.ancestor_generation + self.gain_computation
+        self.candidate_pruning + self.ancestor_generation + self.gain_computation + self.gain_sweep
     }
 }
 
@@ -440,6 +471,40 @@ impl Miner {
                 ),
             ));
         }
+        // Any candidate pass ultimately materializes the full lattice of
+        // every LCA: a sample tuple always pairs with itself, so a
+        // d-constant LCA — and hence 2^d candidates — is guaranteed under
+        // sample pruning (and FullCube expands each tuple's own 2^d).
+        // Column grouping only stages that emission; it does not shrink
+        // the candidate set. Past MAX_EXPAND_BITS the run is unaffordable
+        // on either evaluation path, so reject up front instead of
+        // asserting (sweep) or grinding unboundedly (staged).
+        if d > MAX_EXPAND_BITS {
+            return Err(SirumError::invalid_config(
+                "table.dims",
+                format!(
+                    "{d} dimension attributes imply 2^{d} candidate rules per \
+                     tuple lattice, beyond the 2^{MAX_EXPAND_BITS} expansion \
+                     limit; project the table first"
+                ),
+            ));
+        }
+        // The inverted sample index is a fixed-width bitset over sample
+        // rows; an effective sample beyond its capacity would panic inside
+        // the build. (The sample is clamped to the row count, so only the
+        // post-clamp size matters.)
+        if let CandidateStrategy::SampleLca { sample_size } = cfg.strategy {
+            if sample_size.min(n) > MAX_SAMPLE {
+                return Err(SirumError::invalid_config(
+                    "strategy.sample_size",
+                    format!(
+                        "effective sample size {} exceeds the {MAX_SAMPLE}-row \
+                         index limit",
+                        sample_size.min(n)
+                    ),
+                ));
+            }
+        }
 
         let transform = prepared.transform();
         let m_prime = prepared.m_prime();
@@ -535,13 +600,20 @@ impl Miner {
                 None => cfg.k - mined_so_far,
                 Some(_) => cfg.max_rules.unwrap_or(4 * cfg.k).max(cfg.k) - mined_so_far,
             };
-            let (mut candidates, candidate_total) = self.generate_candidates(
+            let (mut candidates, candidate_total, sweep_cancelled) = self.generate_candidates(
                 &data,
                 index.as_deref(),
                 &rules,
                 &mut timings,
                 &mut ancestors_emitted,
             );
+            if sweep_cancelled {
+                // The cancellation token flipped mid-sweep (polled at
+                // partition boundaries): abandon the iteration without
+                // selecting from partial aggregates.
+                cancelled = true;
+                break;
+            }
             let select_cfg = MultiRuleConfig {
                 rules_per_iter: cfg.multirule.rules_per_iter.min(remaining).max(1),
                 ..cfg.multirule
@@ -795,8 +867,15 @@ impl Miner {
         data
     }
 
-    /// Candidate generation for one iteration: LCA join (or tuple stage),
-    /// staged ancestor generation, sample adjustment, gain scoring.
+    /// Candidate generation for one iteration. On the default path this is
+    /// one fused, partition-parallel gain sweep ([`crate::sweep`]); with
+    /// [`SirumConfig::gain_sweep`] off it is the legacy staged pipeline —
+    /// LCA join (or tuple stage), staged ancestor generation, sample
+    /// adjustment, gain scoring — that emulates the paper's platform jobs.
+    ///
+    /// Returns the scored candidates, the true candidate count (for the
+    /// multi-rule rank limit) and whether a cancellation token stopped the
+    /// pass mid-sweep.
     fn generate_candidates(
         &self,
         data: &Dataset<Tup>,
@@ -804,9 +883,50 @@ impl Miner {
         rules: &[Rule],
         timings: &mut PhaseTimings,
         ancestors_emitted: &mut u64,
-    ) -> (Vec<ScoredCandidate>, u64) {
+    ) -> (Vec<ScoredCandidate>, u64, bool) {
         let cfg = &self.config;
         let d = rules[0].arity();
+        let gain_fn: fn(f64, f64) -> f64 = if cfg.two_sided_gain {
+            rule_gain_two_sided
+        } else {
+            rule_gain
+        };
+
+        if cfg.gain_sweep {
+            let t0 = Instant::now();
+            let SweepOutcome {
+                candidates,
+                distinct_candidates,
+                pairs_emitted,
+                cancelled,
+            } = sweep_gains(data, d, index, self.cancellation.as_ref());
+            *ancestors_emitted += pairs_emitted;
+            let existing: HashSet<&Rule> = rules.iter().collect();
+            let mut result: Vec<ScoredCandidate> = candidates
+                .into_iter()
+                .filter(|(rule, _, _, _)| !existing.contains(rule))
+                .map(|(rule, sum_m, sum_mhat, count)| ScoredCandidate {
+                    gain: gain_fn(sum_m, sum_mhat),
+                    rule,
+                    sum_m,
+                    count,
+                })
+                .collect();
+            // Same driver-memory guard as the staged path's per-partition
+            // truncation: selection only ever reads the top rank-limit
+            // candidates, so cap what reaches it (millions for wide
+            // full-cube datasets otherwise). The stable gain sort keeps
+            // tie order — and therefore the selected sequence —
+            // deterministic.
+            let keep = TOP_PER_PARTITION * data.num_partitions().max(1);
+            if result.len() > keep {
+                result.sort_by(|a, b| b.gain.total_cmp(&a.gain));
+                result.truncate(keep);
+            }
+            timings.gain_sweep += t0.elapsed().as_secs_f64();
+            return (result, distinct_candidates, cancelled);
+        }
+
         let partitions = self.engine.config().partitions;
 
         // ---- Candidate pruning: LCA(s, D) (§3.1.1 / §4.2) ----------------
@@ -890,18 +1010,9 @@ impl Miner {
         timings.ancestor_generation += t1.elapsed().as_secs_f64();
 
         // ---- Sample adjustment + gain computation (§3.1.1, Eq 2.2) -------
-        // Each reducer keeps only its top candidates by gain: the selection
-        // step needs at most the global top 1% (multi-rule rank limit), so
-        // shipping every candidate to the driver — millions for wide
-        // datasets like SUSY — would only burn memory. The true candidate
-        // count still reaches the driver for the rank-limit denominator.
-        const TOP_PER_PARTITION: usize = 4096;
+        // Each reducer keeps only its top candidates by gain, honoring the
+        // TOP_PER_PARTITION driver budget (see the constant's docs).
         let t2 = Instant::now();
-        let gain_fn: fn(f64, f64) -> f64 = if cfg.two_sided_gain {
-            rule_gain_two_sided
-        } else {
-            rule_gain
-        };
         let scored_ds: Dataset<(Rule, f64, f64, u64)> =
             cand.map_partitions("adjust+gain", move |_, items: &[(Rule, Agg)]| {
                 let mut scored: Vec<(Rule, f64, f64, u64)> = match index {
@@ -943,6 +1054,6 @@ impl Miner {
             })
             .collect();
         timings.gain_computation += t2.elapsed().as_secs_f64();
-        (result, candidate_total)
+        (result, candidate_total, false)
     }
 }

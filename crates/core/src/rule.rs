@@ -19,6 +19,7 @@ impl Rule {
     /// The all-wildcards rule `(*, …, *)` over `d` dimensions — always the
     /// first rule SIRUM selects.
     pub fn all_wildcards(d: usize) -> Rule {
+        // lint:allow-assert — documented constructor contract; zero-dimension rules are meaningless
         assert!(d > 0);
         Rule {
             values: vec![WILDCARD; d].into_boxed_slice(),
@@ -27,6 +28,7 @@ impl Rule {
 
     /// Build a rule from explicit per-dimension codes.
     pub fn from_values(values: Vec<u32>) -> Rule {
+        // lint:allow-assert — documented constructor contract; zero-dimension rules are meaningless
         assert!(!values.is_empty());
         Rule {
             values: values.into_boxed_slice(),
@@ -147,6 +149,17 @@ impl Rule {
         }
         out.push(')');
         out
+    }
+}
+
+/// Rules hash and compare exactly like their value slices (the derived
+/// `Hash`/`Eq` delegate to `Box<[u32]>`, which delegates to `[u32]`), so a
+/// `HashMap<Rule, _>` can be probed with a borrowed `&[u32]` — the gain
+/// sweep's per-partition accumulators rely on this to skip a `Rule`
+/// allocation on every hit.
+impl std::borrow::Borrow<[u32]> for Rule {
+    fn borrow(&self) -> &[u32] {
+        &self.values
     }
 }
 

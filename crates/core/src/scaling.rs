@@ -62,7 +62,9 @@ pub fn iterative_scaling<B: ScalingBackend>(
     lambdas: &mut [f64],
     cfg: &ScalingConfig,
 ) -> ScalingOutcome {
+    // lint:allow-assert — driver-built parallel arrays
     assert_eq!(rules.len(), m_sums.len());
+    // lint:allow-assert — driver-built parallel arrays
     assert_eq!(rules.len(), lambdas.len());
     let mut iterations = 0;
     loop {
@@ -127,6 +129,7 @@ impl<'a> TableBackend<'a> {
 
     /// Resume from existing estimates.
     pub fn with_mhat(table: &'a Table, mhat: Vec<f64>) -> Self {
+        // lint:allow-assert — driver-built parallel arrays
         assert_eq!(mhat.len(), table.num_rows());
         TableBackend { table, mhat }
     }

@@ -75,7 +75,14 @@ pub struct StreamingMiner {
 impl StreamingMiner {
     /// Start a maintainer over `d` dimension attributes. The model begins
     /// with just the all-wildcards rule.
-    pub fn new(d: usize, cfg: StreamingConfig) -> Self {
+    ///
+    /// The reservoir size is silently capped at
+    /// [`crate::candidates::MAX_SAMPLE`] — the inverted sample index
+    /// [`Self::mine_more`] builds over the reservoir cannot address more
+    /// rows, and a larger pruning sample has no quality benefit (the
+    /// paper's default is 64).
+    pub fn new(d: usize, mut cfg: StreamingConfig) -> Self {
+        cfg.reservoir = cfg.reservoir.min(crate::candidates::MAX_SAMPLE);
         let rng = StdRng::seed_from_u64(cfg.seed);
         StreamingMiner {
             d,
@@ -120,7 +127,9 @@ impl StreamingMiner {
     /// Panics on arity mismatch or negative measures.
     pub fn ingest(&mut self, rows: &[(&[u32], f64)]) -> ScalingOutcome {
         for (row, m) in rows {
+            // lint:allow-assert — documented contract; the service IngestHandle validates with typed errors first
             assert_eq!(row.len(), self.d, "arity mismatch");
+            // lint:allow-assert — documented contract; the service IngestHandle validates with typed errors first
             assert!(*m >= 0.0 && m.is_finite(), "measure must be ≥ 0");
             // Bit array against the current rules; estimate from current λ.
             let mut mask = 0u64;
@@ -168,6 +177,7 @@ impl StreamingMiner {
     /// compatible with previous batches — i.e. produced by the same
     /// encoding pipeline).
     pub fn ingest_table(&mut self, table: &Table) -> ScalingOutcome {
+        // lint:allow-assert — documented contract; streams are seeded from the catalog table itself
         assert_eq!(table.num_dims(), self.d);
         let rows: Vec<(&[u32], f64)> = (0..table.num_rows())
             .map(|i| (table.row(i), table.measure(i)))
@@ -224,6 +234,7 @@ impl StreamingMiner {
     /// reservoir for candidate pruning and warm-starting the scaling.
     /// Returns the newly added rules with their gains at selection time.
     pub fn mine_more(&mut self, k: usize) -> Vec<(Rule, f64)> {
+        // lint:allow-assert — documented contract; the service IngestHandle checks the budget with a typed error first
         assert!(
             self.rules.len() + k <= MAX_RULES,
             "rule budget exceeds bit-array capacity"
@@ -348,6 +359,26 @@ mod tests {
             },
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn oversized_reservoir_is_capped_not_panicking() {
+        // Regression (ISSUE 4 assert audit): a reservoir beyond the sample
+        // index's capacity used to panic inside SampleIndex::build once
+        // mine_more ran over a full reservoir; it is now capped at
+        // MAX_SAMPLE up front.
+        let t = generators::income_like(600, 11);
+        let mut miner = StreamingMiner::new(
+            t.num_dims(),
+            StreamingConfig {
+                reservoir: 10_000,
+                ..tight()
+            },
+        );
+        miner.ingest_table(&t);
+        assert!(miner.reservoir.len() <= crate::candidates::MAX_SAMPLE);
+        let added = miner.mine_more(1);
+        assert!(added.len() <= 1);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Partition-parallel candidate gain sweep.
+//!
+//! The legacy candidate pipeline of [`crate::miner`] stages the work the
+//! way the paper's MapReduce/Spark jobs do: emit one `(rule, aggregate)`
+//! pair per (sample tuple, data tuple) LCA, shuffle, expand ancestors in
+//! one stage per column group, shuffle again, then adjust and score. That
+//! reproduces the platform economics of Chapter 3, but on a single machine
+//! every shuffle is pure overhead: the same numbers fall out of **one scan
+//! over the partitioned data** that folds every tuple's contributions into
+//! per-partition `(Σm, Σm̂, pairs)` accumulators for *all* live candidates
+//! at once — the group-by-style aggregation El Gebaly et al.'s explanation
+//! tables use to stay competitive.
+//!
+//! The sweep runs as two shuffle-free, partition-parallel stages on the
+//! existing [`sirum_dataflow::Engine`] thread pool
+//! ([`Dataset::aggregate_partitions`]):
+//!
+//! 1. **Combine** — each data partition folds its `(sample tuple, data
+//!    tuple)` LCAs into a local `LCA → (Σm, Σm̂, pairs)` map; the maps are
+//!    merged in partition order into the globally distinct LCA frontier;
+//! 2. **Expand** — the frontier is split over the same number of
+//!    partitions and each task expands its LCAs' cube lattices once,
+//!    folding the combined aggregates into every ancestor; the candidate
+//!    maps are again merged in partition order.
+//!
+//! Determinism argument (see DESIGN.md "Partition-parallel gain sweep"
+//! for the full version):
+//!
+//! 1. every partition task is a pure function of its partition's input
+//!    (row order within a partition is fixed by the original encoding
+//!    order);
+//! 2. [`Dataset::aggregate_partitions`] returns task outputs in partition
+//!    order regardless of which worker ran which task, and the driver folds
+//!    them front-to-back — so each candidate's floating-point sums are
+//!    accumulated in exactly the same order for 1 worker or N;
+//! 3. every intermediate map's iteration order depends only on its
+//!    insertion sequence, which is itself partition-ordered — so stage 2's
+//!    frontier chunking is a pure function of stage 1's result.
+//!
+//! Hence the sweep's per-candidate sums — and everything derived from them
+//! (gains, the selected rule sequence) — are **bit-identical to the
+//! sequential reference** ([`sweep_gains_reference`]) for any worker
+//! count. A proptest in `crates/core/tests/properties.rs` pins this across
+//! random tables, partition counts and thread counts.
+//!
+//! Cancellation is polled at every partition boundary, every
+//! [`CANCEL_POLL_ROWS`] data rows inside the combine stage, and every
+//! [`CANCEL_POLL_ROWS`] ancestor folds inside the expand stage (a single
+//! LCA's lattice can dwarf the frontier, so the expansion budget counts
+//! folds, not entries); a cancelled sweep returns an empty candidate list
+//! with [`SweepOutcome::cancelled`] set, and the miner abandons the
+//! iteration without selecting from partial sums.
+
+use crate::cancel::CancellationToken;
+use crate::candidates::{adjust_for_sample, SampleIndex};
+use crate::lattice::MAX_EXPAND_BITS;
+use crate::miner::Tup;
+use crate::rule::{Rule, WILDCARD};
+use sirum_dataflow::hash::FxHashMap;
+use sirum_dataflow::Dataset;
+
+/// Per-candidate aggregate carried by the sweep: `(Σm, Σm̂, pair count)` —
+/// the same triple the legacy shuffle pipeline reduces by key.
+type Agg = (f64, f64, u64);
+
+/// How many units of work — data rows in the combine stage, ancestor
+/// folds in the expand stage — a partition task processes between
+/// cancellation polls (in addition to the poll at every partition
+/// boundary).
+pub const CANCEL_POLL_ROWS: usize = 4096;
+
+/// One partition's fold state: a rule-keyed accumulator map plus the pair
+/// counter (the Fig 5.8 "ancestors emitted" quantity, counted by the
+/// expansion stage only) and the cancellation flag. Used for both sweep
+/// stages — LCA combining over the data and ancestor expansion over the
+/// frontier.
+struct PartitionSweep {
+    map: FxHashMap<Rule, Agg>,
+    pairs: u64,
+    cancelled: bool,
+}
+
+impl PartitionSweep {
+    fn new() -> Self {
+        PartitionSweep {
+            map: FxHashMap::default(),
+            pairs: 0,
+            cancelled: false,
+        }
+    }
+
+    /// Pre-sized accumulator: rehashing a tens-of-thousands-entry map
+    /// several times while it grows costs a measurable slice of the hot
+    /// loop, so tasks seed their maps from a workload-derived hint.
+    fn with_capacity(capacity: usize) -> Self {
+        PartitionSweep {
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            pairs: 0,
+            cancelled: false,
+        }
+    }
+
+    /// Fold `other` into `self`. Callers merge partitions **in partition
+    /// order**, so each candidate's float sums accumulate deterministically.
+    fn merge(&mut self, other: PartitionSweep) {
+        self.pairs += other.pairs;
+        self.cancelled |= other.cancelled;
+        for (rule, agg) in other.map {
+            match self.map.get_mut(rule.values()) {
+                Some(a) => {
+                    a.0 += agg.0;
+                    a.1 += agg.1;
+                    a.2 += agg.2;
+                }
+                None => {
+                    self.map.insert(rule, agg);
+                }
+            }
+        }
+    }
+}
+
+/// What one full sweep over the data produces.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Exact per-candidate aggregates over their true support sets:
+    /// `(rule, Σm, Σm̂, |support|)`, already adjusted for sample
+    /// multiplicity when an index was supplied. Deterministically ordered
+    /// (partition-ordered merge; see the module docs). Empty when
+    /// [`Self::cancelled`].
+    pub candidates: Vec<(Rule, f64, f64, u64)>,
+    /// Distinct candidate rules seen by the sweep (the rank-limit
+    /// denominator of multi-rule selection).
+    pub distinct_candidates: u64,
+    /// Total (candidate, tuple-contribution) pairs folded — the quantity
+    /// the legacy pipeline's ancestor-generation mappers would have
+    /// emitted (Fig 5.8).
+    pub pairs_emitted: u64,
+    /// True when a cancellation token stopped the sweep at a partition
+    /// boundary (or an intra-partition poll); `candidates` is empty.
+    pub cancelled: bool,
+}
+
+#[inline]
+fn is_cancelled(cancel: Option<&CancellationToken>) -> bool {
+    cancel.is_some_and(CancellationToken::is_cancelled)
+}
+
+/// Fold a combined aggregate into every ancestor of `values` (the cube
+/// lattice above one distinct LCA or tuple): `2^w` entries for `w`
+/// constants. A single lattice can be huge (up to `2^MAX_EXPAND_BITS`
+/// folds), so the cancellation token is polled every
+/// [`CANCEL_POLL_ROWS`] folds *inside* the subset loop too; returns
+/// `true` when the expansion was abandoned mid-lattice.
+fn accumulate_ancestors(
+    acc: &mut PartitionSweep,
+    values: &[u32],
+    agg: Agg,
+    live: &mut Vec<usize>,
+    buf: &mut Vec<u32>,
+    cancel: Option<&CancellationToken>,
+) -> bool {
+    live.clear();
+    live.extend((0..values.len()).filter(|&i| values[i] != WILDCARD));
+    let w = live.len();
+    // Unreachable through the miner, which rejects tables with more than
+    // MAX_EXPAND_BITS dimensions up front (typed InvalidConfig).
+    // lint:allow-assert — internal expansion-size invariant, not user-reachable
+    assert!(w <= MAX_EXPAND_BITS, "refusing to expand 2^{w} ancestors");
+    buf.clear();
+    buf.extend_from_slice(values);
+    for subset in 0..(1u32 << w) {
+        for (bit, &pos) in live.iter().enumerate() {
+            buf[pos] = if subset & (1 << bit) != 0 {
+                WILDCARD
+            } else {
+                values[pos]
+            };
+        }
+        acc.pairs += 1;
+        if acc.pairs.is_multiple_of(CANCEL_POLL_ROWS as u64) && is_cancelled(cancel) {
+            return true;
+        }
+        // Probe by borrowed slice first (no Rule allocation on hits).
+        match acc.map.get_mut(buf.as_slice()) {
+            Some(a) => {
+                a.0 += agg.0;
+                a.1 += agg.1;
+                a.2 += agg.2;
+            }
+            None => {
+                acc.map.insert(Rule::from_tuple(buf), agg);
+            }
+        }
+    }
+    false
+}
+
+/// Stage 1, one partition: combine every `(sample tuple, data tuple)` LCA
+/// (or the tuple itself when no index is given — the full-cube strategy)
+/// into a partition-local `LCA → (Σm, Σm̂, pairs)` map. This is the
+/// **single pass over the partitioned data**; pure function of the
+/// partition's rows.
+fn combine_partition(
+    rows: &[Tup],
+    d: usize,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+) -> PartitionSweep {
+    let mut acc = PartitionSweep::with_capacity(rows.len());
+    if is_cancelled(cancel) {
+        acc.cancelled = true;
+        return acc;
+    }
+    // Probing with a borrowed `&[u32]` LCA key (see `Borrow<[u32]> for
+    // Rule`) keeps the hot loop allocation-free on hits and lets the map
+    // stay keyed by *rules*, which stays small — one entry per distinct
+    // LCA, not per (sample row, LCA) pair.
+    let fold = |map: &mut FxHashMap<Rule, Agg>, key: &[u32], m: f64, mh: f64| match map.get_mut(key)
+    {
+        Some(a) => {
+            a.0 += m;
+            a.1 += mh;
+            a.2 += 1;
+        }
+        None => {
+            map.insert(Rule::from_tuple(key), (m, mh, 1));
+        }
+    };
+    let mut scratch = Vec::new();
+    for (i, (dims, m, mh, _ba)) in rows.iter().enumerate() {
+        if i > 0 && i % CANCEL_POLL_ROWS == 0 && is_cancelled(cancel) {
+            acc.cancelled = true;
+            return acc;
+        }
+        match index {
+            Some(idx) => {
+                let chunks = idx.lcas_into(dims, &mut scratch);
+                for chunk in chunks.chunks_exact(d) {
+                    fold(&mut acc.map, chunk, *m, *mh);
+                }
+            }
+            None => fold(&mut acc.map, dims, *m, *mh),
+        }
+    }
+    acc
+}
+
+/// Stage 2, one partition of the **frontier**: expand each globally
+/// distinct LCA's cube lattice once, folding its combined aggregate into
+/// every ancestor. Doing this after the global (partition-ordered) LCA
+/// merge performs the `2^w` lattice work exactly once per distinct LCA —
+/// the same complexity as the legacy pipeline's post-reduce expansion —
+/// while staying shuffle-free.
+fn expand_partition(
+    frontier: &[(Rule, Agg)],
+    cancel: Option<&CancellationToken>,
+) -> PartitionSweep {
+    let mut acc = PartitionSweep::with_capacity(frontier.len() * 4);
+    if is_cancelled(cancel) {
+        acc.cancelled = true;
+        return acc;
+    }
+    let d = frontier.first().map_or(0, |(r, _)| r.arity());
+    let mut live = Vec::with_capacity(d);
+    let mut buf = Vec::with_capacity(d);
+    for (lca, agg) in frontier {
+        // The fold-budget poll lives inside accumulate_ancestors: one
+        // lattice can dwarf the whole frontier, so counting entries here
+        // would not bound the time to observe a cancellation.
+        if accumulate_ancestors(&mut acc, lca.values(), *agg, &mut live, &mut buf, cancel) {
+            acc.cancelled = true;
+            return acc;
+        }
+    }
+    acc
+}
+
+/// Turn the merged accumulator into the final outcome, dividing by sample
+/// multiplicity when an index was used (§3.1.1) so every candidate carries
+/// exact sums over its true support set.
+fn finish(acc: PartitionSweep, index: Option<&SampleIndex>) -> SweepOutcome {
+    if acc.cancelled {
+        return SweepOutcome {
+            candidates: Vec::new(),
+            distinct_candidates: 0,
+            pairs_emitted: acc.pairs,
+            cancelled: true,
+        };
+    }
+    let distinct = acc.map.len() as u64;
+    let candidates = match index {
+        Some(idx) => adjust_for_sample(acc.map, idx),
+        None => acc
+            .map
+            .into_iter()
+            .map(|(rule, (sm, smh, cnt))| (rule, sm, smh, cnt))
+            .collect(),
+    };
+    SweepOutcome {
+        candidates,
+        distinct_candidates: distinct,
+        pairs_emitted: acc.pairs,
+        cancelled: false,
+    }
+}
+
+/// Distribute the globally distinct LCA frontier over the same number of
+/// partitions as the data, so stage 2's chunking (and therefore its
+/// float-fold order) is a pure function of the stage-1 result.
+fn frontier_dataset(data: &Dataset<Tup>, combined: PartitionSweep) -> Dataset<(Rule, Agg)> {
+    let frontier: Vec<(Rule, Agg)> = combined.map.into_iter().collect();
+    data.engine()
+        .parallelize(frontier, data.num_partitions().max(1))
+}
+
+/// Run the sweep as per-partition tasks on the dataset's engine thread
+/// pool, merged with the partition-ordered reduction of
+/// [`Dataset::aggregate_partitions`]: one scan over the partitioned data
+/// combines the LCA frontier, one pass over the distinct frontier expands
+/// the cube lattice — no shuffle in either stage. `d` is the table's
+/// dimension count; `index` enables the sample-LCA strategy (`None` =
+/// full cube).
+///
+/// Bit-identical to [`sweep_gains_reference`] for every worker count (see
+/// the module docs for the argument).
+pub fn sweep_gains(
+    data: &Dataset<Tup>,
+    d: usize,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+) -> SweepOutcome {
+    let combined = data.aggregate_partitions(
+        "gain-sweep-combine",
+        PartitionSweep::new,
+        |_, rows| combine_partition(rows, d, index, cancel),
+        PartitionSweep::merge,
+    );
+    if combined.cancelled {
+        return finish(combined, index);
+    }
+    let frontier = frontier_dataset(data, combined);
+    let acc = frontier.aggregate_partitions(
+        "gain-sweep-expand",
+        PartitionSweep::new,
+        |_, lcas| expand_partition(lcas, cancel),
+        PartitionSweep::merge,
+    );
+    finish(acc, index)
+}
+
+/// The sequential reference: identical per-partition work and identical
+/// partition-ordered merges, executed inline on the calling thread without
+/// the engine's thread pool. This is the "1-thread path" the proptests
+/// compare the parallel sweep against.
+pub fn sweep_gains_reference(
+    data: &Dataset<Tup>,
+    d: usize,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+) -> SweepOutcome {
+    // Mirror aggregate_partitions' fold exactly: the first partition's
+    // accumulator *is* the fold seed (not an empty map merged with it),
+    // so map insertion orders — and therefore the frontier's chunking —
+    // match the parallel path bit for bit.
+    let mut combine = (0..data.num_partitions()).map(|i| {
+        let part = data.part(i);
+        combine_partition(&part, d, index, cancel)
+    });
+    let mut combined = combine.next().unwrap_or_else(PartitionSweep::new);
+    for acc in combine {
+        combined.merge(acc);
+    }
+    if combined.cancelled {
+        return finish(combined, index);
+    }
+    let frontier = frontier_dataset(data, combined);
+    let mut expand = (0..frontier.num_partitions()).map(|i| {
+        let part = frontier.part(i);
+        expand_partition(&part, cancel)
+    });
+    let mut acc = expand.next().unwrap_or_else(PartitionSweep::new);
+    for out in expand {
+        acc.merge(out);
+    }
+    finish(acc, index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::exhaustive_candidates;
+    use sirum_dataflow::{Engine, EngineConfig};
+    use sirum_table::generators::flights;
+
+    fn tuples(table: &sirum_table::Table) -> Vec<Tup> {
+        (0..table.num_rows())
+            .map(|i| {
+                (
+                    table.row(i).to_vec().into_boxed_slice(),
+                    table.measure(i),
+                    1.0,
+                    0u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_cube_sweep_matches_exhaustive_reference() {
+        let t = flights();
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let data = engine.parallelize(tuples(&t), 4);
+        let out = sweep_gains(&data, 3, None, None);
+        let exhaustive = exhaustive_candidates(&t, &[1.0; 14]);
+        assert_eq!(out.candidates.len(), exhaustive.len());
+        assert_eq!(out.distinct_candidates, exhaustive.len() as u64);
+        for (rule, sm, smh, cnt) in &out.candidates {
+            let (em, emh, ec) = exhaustive[rule];
+            assert!((sm - em).abs() < 1e-9, "{rule:?}");
+            assert!((smh - emh).abs() < 1e-9, "{rule:?}");
+            assert_eq!(*cnt, ec, "{rule:?}");
+        }
+        // One pair per (tuple, lattice ancestor): 14 tuples × 2^3.
+        assert_eq!(out.pairs_emitted, 14 * 8);
+    }
+
+    #[test]
+    fn sample_sweep_recovers_exact_support_sums() {
+        let t = flights();
+        let sample: Vec<Box<[u32]>> = [3usize, 8, 0]
+            .iter()
+            .map(|&i| t.row(i).to_vec().into_boxed_slice())
+            .collect();
+        let index = SampleIndex::build(sample, 3);
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let data = engine.parallelize(tuples(&t), 3);
+        let out = sweep_gains(&data, 3, Some(&index), None);
+        for (rule, sm, smh, cnt) in &out.candidates {
+            let mut exp = (0.0, 0.0, 0u64);
+            for (i, row) in t.rows().enumerate() {
+                if rule.matches(row) {
+                    exp.0 += t.measure(i);
+                    exp.1 += 1.0;
+                    exp.2 += 1;
+                }
+            }
+            assert!((sm - exp.0).abs() < 1e-9, "{rule:?}");
+            assert!((smh - exp.1).abs() < 1e-9, "{rule:?}");
+            assert_eq!(*cnt, exp.2, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_reference_paths_are_bit_identical() {
+        let t = flights();
+        let canon = |mut v: Vec<(Rule, f64, f64, u64)>| -> Vec<(Rule, u64, u64, u64)> {
+            v.sort_by(|a, b| a.0.values().cmp(b.0.values()));
+            v.into_iter()
+                .map(|(r, a, b, c)| (r, a.to_bits(), b.to_bits(), c))
+                .collect()
+        };
+        for workers in [1, 2, 4] {
+            let engine = Engine::new(EngineConfig::in_memory().with_workers(workers));
+            let data = engine.parallelize(tuples(&t), 5);
+            let par = sweep_gains(&data, 3, None, None);
+            let seq = sweep_gains_reference(&data, 3, None, None);
+            assert_eq!(par.pairs_emitted, seq.pairs_emitted);
+            assert_eq!(canon(par.candidates), canon(seq.candidates));
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_sweep_without_partial_candidates() {
+        let t = flights();
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let data = engine.parallelize(tuples(&t), 2);
+        let token = CancellationToken::new();
+        token.cancel();
+        let out = sweep_gains(&data, 3, None, Some(&token));
+        assert!(out.cancelled);
+        assert!(out.candidates.is_empty());
+        assert_eq!(out.distinct_candidates, 0);
+    }
+}

@@ -154,6 +154,106 @@ fn column_grouping_emits_fewer_ancestors() {
 }
 
 #[test]
+fn gain_sweep_selects_the_same_rules_as_the_staged_pipeline() {
+    // The fused sweep computes the same exact per-candidate aggregates as
+    // the legacy shuffle pipeline (modulo float association), so given the
+    // same sample it must select the same rule set.
+    for (table, sample) in [
+        (generators::flights(), 14usize),
+        (generators::income_like(1_500, 9), 32),
+        (generators::gdelt_like(1_200, 3), 24),
+    ] {
+        let swept = Miner::new(engine(), full_sample_config(4, sample))
+            .try_mine(&table)
+            .unwrap();
+        // column_groups: 1 so the staged path does single-stage ancestor
+        // generation — the same lattice work the sweep fuses, making the
+        // emitted-pair counts comparable.
+        let staged = Miner::new(
+            engine(),
+            SirumConfig {
+                gain_sweep: false,
+                column_groups: 1,
+                ..full_sample_config(4, sample)
+            },
+        )
+        .try_mine(&table)
+        .unwrap();
+        // Exact ties between candidates with identical support sets may
+        // break differently (the two paths enumerate candidates in a
+        // different order), so compare the selection-time gains and the
+        // achieved quality, which the ties cannot change, rather than the
+        // literal rule identities.
+        assert_eq!(swept.rules.len(), staged.rules.len());
+        for (a, b) in swept.rules.iter().zip(&staged.rules) {
+            assert!(
+                (a.gain - b.gain).abs() < 1e-9,
+                "{:?} gain {} vs {:?} gain {}",
+                a.rule,
+                a.gain,
+                b.rule,
+                b.gain
+            );
+        }
+        assert!((swept.final_kl() - staged.final_kl()).abs() < 1e-9);
+        // Both expand each globally distinct LCA's lattice exactly once
+        // (the staged path after its reduce, the sweep after its
+        // partition-ordered merge): identical emitted-pair counts.
+        assert_eq!(swept.ancestors_emitted, staged.ancestors_emitted);
+    }
+}
+
+#[test]
+fn wide_tables_are_rejected_with_a_typed_error_on_both_paths() {
+    // 30 dimension attributes guarantee a 30-constant LCA (every sample
+    // tuple pairs with itself), i.e. 2^30 candidates — unaffordable on
+    // either evaluation path. Both must refuse with InvalidConfig instead
+    // of asserting mid-expansion (sweep) or grinding for hours (staged —
+    // column grouping stages the emission but cannot shrink the lattice).
+    let mut b = Table::builder(sirum_table::Schema::new(
+        (0..30).map(|i| format!("c{i}")).collect::<Vec<_>>(),
+        "m",
+    ));
+    for i in 0..12 {
+        let vals: Vec<String> = (0..30).map(|c| format!("v{}", (i * (c + 3)) % 3)).collect();
+        let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+        b.push_row(&refs, (i % 4) as f64);
+    }
+    let t = b.build();
+    for gain_sweep in [true, false] {
+        let result = Miner::new(
+            engine(),
+            SirumConfig {
+                gain_sweep,
+                ..full_sample_config(1, 3)
+            },
+        )
+        .try_mine(&t);
+        assert!(
+            matches!(result, Err(sirum_core::SirumError::InvalidConfig { .. })),
+            "30-dim table must be rejected (gain_sweep = {gain_sweep}): {result:?}"
+        );
+    }
+}
+
+#[test]
+fn cancellation_token_stops_the_sweep_mid_pass() {
+    use sirum_core::CancellationToken;
+    let t = generators::income_like(2_000, 11);
+    let token = CancellationToken::new();
+    token.cancel();
+    // Already-cancelled token: the sweep bails at the first partition
+    // boundary and the run reports a graceful cancellation with only the
+    // seed rule.
+    let result = Miner::new(engine(), full_sample_config(5, 32))
+        .with_cancellation(token)
+        .try_mine(&t)
+        .unwrap();
+    assert!(result.cancelled);
+    assert_eq!(result.rules.len(), 1, "seed rule only");
+}
+
+#[test]
 fn engine_modes_agree_on_results() {
     let t = generators::income_like(800, 17);
     let cfg = || full_sample_config(3, 16);
@@ -223,15 +323,31 @@ fn target_kl_keeps_mining_until_reached() {
 #[test]
 fn timings_are_populated() {
     let t = generators::income_like(500, 41);
+    // Default path: the fused sweep does pruning + ancestors + aggregation
+    // in one pass, recorded under its own phase.
     let result = Miner::new(engine(), full_sample_config(2, 8))
         .try_mine(&t)
         .unwrap();
     let tm = &result.timings;
     assert!(tm.total > 0.0);
     assert!(tm.iterative_scaling > 0.0);
+    assert!(tm.gain_sweep > 0.0);
+    assert_eq!(tm.candidate_pruning, 0.0);
+    assert_eq!(tm.ancestor_generation, 0.0);
+    assert!(tm.rule_generation() + tm.iterative_scaling <= tm.total * 1.01);
+    // Legacy staged path: the three classic phase timings.
+    let cfg = SirumConfig {
+        gain_sweep: false,
+        ..full_sample_config(2, 8)
+    };
+    let result = Miner::new(engine(), cfg).try_mine(&t).unwrap();
+    let tm = &result.timings;
+    assert!(tm.total > 0.0);
+    assert!(tm.iterative_scaling > 0.0);
     assert!(tm.candidate_pruning > 0.0);
     assert!(tm.ancestor_generation > 0.0);
     assert!(tm.gain_computation > 0.0);
+    assert_eq!(tm.gain_sweep, 0.0);
     assert!(tm.rule_generation() + tm.iterative_scaling <= tm.total * 1.01);
 }
 

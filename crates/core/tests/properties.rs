@@ -8,13 +8,16 @@ use sirum_core::candidates::{
 };
 use sirum_core::gain::kl_divergence;
 use sirum_core::lattice::{ancestors, ancestors_restricted, column_groups};
+use sirum_core::miner::{CandidateStrategy, Miner, SirumConfig, Tup};
 use sirum_core::rct::{iterative_scaling_rct, mhat_for_mask, Rct};
 use sirum_core::rule::{Rule, WILDCARD};
 use sirum_core::scaling::{
     iterative_scaling, relative_diff, rule_measure_sums, ScalingConfig, TableBackend,
 };
+use sirum_core::sweep::{sweep_gains, sweep_gains_reference};
 use sirum_core::transform::MeasureTransform;
 use sirum_dataflow::hash::FxHashMap;
+use sirum_dataflow::{Engine, EngineConfig};
 use sirum_table::{Schema, Table};
 
 const MAX_D: usize = 5;
@@ -49,8 +52,134 @@ fn small_table() -> impl Strategy<Value = Table> {
     })
 }
 
+/// Tuples as the miner distributes them: `(dims, m, m̂, bit array)` with a
+/// synthetic non-uniform estimate column.
+fn sweep_tuples(table: &Table) -> Vec<Tup> {
+    (0..table.num_rows())
+        .map(|i| {
+            (
+                table.row(i).to_vec().into_boxed_slice(),
+                table.measure(i),
+                0.5 + (i % 7) as f64,
+                0u64,
+            )
+        })
+        .collect()
+}
+
+/// Canonical, comparable form of a sweep's candidate list: sorted by rule
+/// with float sums taken to bits, so equality means *bit* equality.
+fn sweep_bits(out: &sirum_core::sweep::SweepOutcome) -> Vec<(Vec<u32>, u64, u64, u64)> {
+    let mut v: Vec<(Vec<u32>, u64, u64, u64)> = out
+        .candidates
+        .iter()
+        .map(|(r, sm, smh, c)| (r.values().to_vec(), sm.to_bits(), smh.to_bits(), *c))
+        .collect();
+    v.sort();
+    v
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_the_sequential_reference(
+        (table, picks, partitions, workers) in small_table().prop_flat_map(|t| {
+            let n = t.num_rows();
+            (
+                Just(t),
+                prop::collection::vec(0..n, 1..6),
+                1usize..7,
+                1usize..5,
+            )
+        })
+    ) {
+        // The tentpole determinism claim: per-candidate (Σm, Σm̂) from the
+        // engine-parallel sweep equal the sequential reference BIT FOR BIT
+        // for any table, partition count and worker count.
+        let d = table.num_dims();
+        let sample: Vec<Box<[u32]>> = picks
+            .iter()
+            .map(|&i| table.row(i).to_vec().into_boxed_slice())
+            .collect();
+        let index = SampleIndex::build(sample, d);
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(workers));
+        let data = engine.parallelize(sweep_tuples(&table), partitions);
+        for idx in [Some(&index), None] {
+            let par = sweep_gains(&data, d, idx, None);
+            let seq = sweep_gains_reference(&data, d, idx, None);
+            prop_assert_eq!(par.pairs_emitted, seq.pairs_emitted);
+            prop_assert_eq!(par.distinct_candidates, seq.distinct_candidates);
+            prop_assert_eq!(sweep_bits(&par), sweep_bits(&seq));
+        }
+    }
+
+    #[test]
+    fn sweep_mining_output_is_thread_invariant(
+        (table, partitions) in small_table().prop_flat_map(|t| (Just(t), 1usize..5))
+    ) {
+        // Selected rule sequence, selection-time gains and the KL trace
+        // must be bit-identical between a 1-worker and a 4-worker engine
+        // over the same partitioning.
+        let n = table.num_rows();
+        let mine = |workers: usize| {
+            let engine = Engine::new(
+                EngineConfig::in_memory()
+                    .with_workers(workers)
+                    .with_partitions(partitions),
+            );
+            let config = SirumConfig {
+                k: 3,
+                strategy: CandidateStrategy::SampleLca {
+                    sample_size: n.min(5),
+                },
+                ..SirumConfig::default()
+            };
+            Miner::new(engine, config).try_mine(&table).unwrap()
+        };
+        let seq = mine(1);
+        let par = mine(4);
+        prop_assert_eq!(seq.rules.len(), par.rules.len());
+        for (a, b) in seq.rules.iter().zip(&par.rules) {
+            prop_assert_eq!(a.rule.values(), b.rule.values());
+            prop_assert_eq!(a.gain.to_bits(), b.gain.to_bits(), "{:?}", a.rule);
+            prop_assert_eq!(a.avg_measure.to_bits(), b.avg_measure.to_bits());
+            prop_assert_eq!(a.count, b.count);
+        }
+        let bits = |r: &sirum_core::MiningResult| -> Vec<u64> {
+            r.kl_trace.iter().map(|k| k.to_bits()).collect()
+        };
+        prop_assert_eq!(bits(&seq), bits(&par));
+        prop_assert_eq!(seq.ancestors_emitted, par.ancestors_emitted);
+    }
+
+    #[test]
+    fn sweep_aggregates_equal_the_exhaustive_reference(
+        (table, picks) in small_table().prop_flat_map(|t| {
+            let n = t.num_rows();
+            (Just(t), prop::collection::vec(0..n, 1..6))
+        })
+    ) {
+        // Semantic exactness: the sweep's adjusted sums equal the exact
+        // support-set sums of the exhaustive reference aggregation.
+        let d = table.num_dims();
+        let mhat: Vec<f64> = (0..table.num_rows()).map(|i| 0.5 + (i % 7) as f64).collect();
+        let sample: Vec<Box<[u32]>> = picks
+            .iter()
+            .map(|&i| table.row(i).to_vec().into_boxed_slice())
+            .collect();
+        let index = SampleIndex::build(sample, d);
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let data = engine.parallelize(sweep_tuples(&table), 3);
+        let out = sweep_gains(&data, d, Some(&index), None);
+        let exhaustive = exhaustive_candidates(&table, &mhat);
+        for (rule, sum_m, sum_mhat, count) in &out.candidates {
+            let (em, emh, ec) = exhaustive[rule];
+            prop_assert!((sum_m - em).abs() < 1e-6, "{:?}: {} vs {}", rule, sum_m, em);
+            prop_assert!((sum_mhat - emh).abs() < 1e-6, "{:?}", rule);
+            prop_assert_eq!(*count, ec, "{:?}", rule);
+        }
+    }
 
     #[test]
     fn lca_is_a_common_ancestor((a, b) in (1usize..=MAX_D).prop_flat_map(|d| (tuple(d), tuple(d)))) {

@@ -124,6 +124,33 @@ pub fn makespan(stages: &[StageRecord], spec: &ClusterSpec) -> f64 {
     stages.iter().map(|s| stage_makespan(s, spec)).sum()
 }
 
+/// Build the modeled [`StageRecord`] of a **fused partition-parallel
+/// sweep**: `records` units of per-tuple work split evenly over
+/// `partitions` tasks at `nanos_per_record` each, with **zero shuffle
+/// volume** — the sweep's reduction is a driver-side, partition-ordered
+/// fold of per-partition accumulators, so nothing crosses a shuffle
+/// boundary. Planners (e.g. `service.explain()`) replay this record
+/// through [`stage_makespan`] alongside measured/modeled staged pipelines
+/// to predict what fusing the candidate evaluation saves.
+pub fn modeled_sweep_stage(records: u64, partitions: usize, nanos_per_record: f64) -> StageRecord {
+    use crate::metrics::TaskRecord;
+    let partitions = partitions.max(1);
+    let per_task = records.div_ceil(partitions as u64);
+    StageRecord {
+        label: "gain-sweep".to_string(),
+        tasks: (0..partitions)
+            .map(|p| TaskRecord {
+                partition: p,
+                records_in: per_task,
+                records_out: 1,
+                nanos: (per_task as f64 * nanos_per_record) as u64,
+            })
+            .collect(),
+        shuffled_records: 0,
+        shuffled_bytes: 0,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +233,19 @@ mod tests {
         let strag = stage_makespan(&s, &spec(4, 1).with_straggler(1.5));
         assert!((base - 1.0).abs() < 1e-9);
         assert!((strag - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn modeled_sweep_stage_parallelizes_and_never_shuffles() {
+        let s = modeled_sweep_stage(8_000_000, 8, 100.0);
+        assert_eq!(s.tasks.len(), 8);
+        assert_eq!(s.shuffled_records, 0);
+        assert_eq!(s.shuffled_bytes, 0);
+        // 8 × 0.1s tasks: 4 dual-core executors finish in one task's time.
+        let par = stage_makespan(&s, &spec(4, 2));
+        let seq = stage_makespan(&s, &spec(1, 1));
+        assert!((par - 0.1).abs() < 1e-9, "par = {par}");
+        assert!((seq - 0.8).abs() < 1e-9, "seq = {seq}");
     }
 
     #[test]

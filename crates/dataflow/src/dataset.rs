@@ -184,6 +184,58 @@ impl<T: Record> Dataset<T> {
         total
     }
 
+    /// Partition-granular aggregation with a **deterministic,
+    /// partition-ordered reduction**: `per_part` maps each whole partition
+    /// to an accumulator (tasks run in parallel on the engine's thread
+    /// pool), and `comb` folds the accumulators strictly in partition
+    /// order on the driver.
+    ///
+    /// Unlike [`Self::aggregate`], the task closure sees the partition
+    /// slice (and its index) at once, so it can do work that needs
+    /// partition boundaries — e.g. polling a cancellation token between
+    /// partitions, or building one hash accumulator per partition. Because
+    /// the fold order is the partition order — never the task *completion*
+    /// order — the result is bit-identical for any worker count, including
+    /// non-associative float accumulation.
+    pub fn aggregate_partitions<A, FI, FP, FC>(
+        &self,
+        label: &str,
+        init: FI,
+        per_part: FP,
+        comb: FC,
+    ) -> A
+    where
+        A: Send,
+        FI: Fn() -> A + Send + Sync,
+        FP: Fn(usize, &[T]) -> A + Send + Sync,
+        FC: Fn(&mut A, A),
+    {
+        let engine = self.engine.clone();
+        let accs =
+            self.engine
+                .run_stage(label, self.parts.clone(), (0, 0), |idx, part: Part<T>| {
+                    let data = match &part {
+                        Part::Mem(a) => Arc::clone(a),
+                        Part::Stored(id) => engine.store().get::<T>(*id),
+                    };
+                    let acc = per_part(idx, &data);
+                    TaskOutput {
+                        records_in: data.len() as u64,
+                        records_out: 1,
+                        value: acc,
+                    }
+                });
+        // run_stage returns outputs in partition order regardless of which
+        // worker ran which task; folding that Vec front-to-back is the
+        // deterministic reduction.
+        let mut iter = accs.into_iter();
+        let mut total = iter.next().unwrap_or_else(&init);
+        for acc in iter {
+            comb(&mut total, acc);
+        }
+        total
+    }
+
     /// Total record count via a counting stage.
     pub fn count(&self) -> u64 {
         self.aggregate("count", || 0u64, |a, _| *a += 1, |a, b| *a += b)
@@ -485,6 +537,48 @@ mod tests {
             .collect();
         assert_eq!(out.len(), 40);
         assert!(out.iter().all(|&x| x % 10 == 0));
+    }
+
+    #[test]
+    fn aggregate_partitions_folds_in_partition_order() {
+        // The fold must visit partitions 0, 1, 2, … regardless of worker
+        // count; tags record the order the combiner saw them in.
+        for workers in [1, 2, 4] {
+            let e = Engine::new(EngineConfig::in_memory().with_workers(workers));
+            let d = e.parallelize((0..40u32).collect(), 5);
+            let order = d.aggregate_partitions(
+                "order",
+                Vec::new,
+                |idx, data: &[u32]| vec![(idx, data.len())],
+                |a, b| a.extend(b),
+            );
+            assert_eq!(
+                order,
+                vec![(0, 8), (1, 8), (2, 8), (3, 8), (4, 8)],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_partitions_is_bit_identical_across_worker_counts() {
+        // Non-associative float accumulation: same partitioning must yield
+        // the same bits for 1 and many workers.
+        let data: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 0.37)).collect();
+        let run = |workers: usize| -> u64 {
+            let e = Engine::new(EngineConfig::in_memory().with_workers(workers));
+            let d = e.parallelize(data.clone(), 7);
+            d.aggregate_partitions(
+                "sum",
+                || 0.0f64,
+                |_, part: &[f64]| part.iter().sum::<f64>(),
+                |a, b| *a += b,
+            )
+            .to_bits()
+        };
+        let seq = run(1);
+        assert_eq!(run(2), seq);
+        assert_eq!(run(4), seq);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Quick benchmark sweep: runs all nine Criterion benches with a reduced
+# Quick benchmark sweep: runs all ten Criterion benches with a reduced
 # sample count and appends one JSON line per benchmark to a BENCH_*.json
 # file, seeding the repo's perf trajectory.
 #

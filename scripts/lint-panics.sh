@@ -1,17 +1,17 @@
 #!/usr/bin/env bash
-# Library panic gate: fail if `panic!`, `unwrap()` or `expect(` appears in
-# the non-test source of the three library crates (core, dataflow, table)
-# or the facade (`src/`: session + service layers, CLI, JSON rendering).
-# The facade's error hierarchy (ISSUE 2) requires every *user-input-
-# reachable* failure to be a typed `SirumError`, so new panic sites of
-# those forms must not creep back in.
+# Library panic gate: fail if `panic!`, `unwrap()`, `expect(`, or a bare
+# `assert!`/`assert_eq!`/`assert_ne!` appears in the non-test source of the
+# three library crates (core, dataflow, table) or the facade (`src/`:
+# session + service layers, CLI, JSON rendering). The facade's error
+# hierarchy (ISSUE 2) requires every *user-input-reachable* failure to be a
+# typed `SirumError`, so new panic sites of those forms must not creep back
+# in — and since `assert!` is reachable panic machinery too (the
+# `kl_divergence` zero-mass panics of ISSUE 4 arrived that way), bare
+# asserts now need an explicit allowlist marker.
 #
-# Deliberately OUT of scope: `assert!`/`debug_assert!`/`unreachable!` on
-# internal invariants (e.g. "this block was written by this process", "a
-# completed task filled its slot") — those document logic errors, not
-# input-reachable failures, and converting them to Results would only bury
-# corruption. Reviewers should still push back when a new assert guards
-# something a caller can reach with bad input.
+# Deliberately OUT of scope: `debug_assert!`/`unreachable!` on internal
+# invariants — those document logic errors, not input-reachable failures,
+# and converting them to Results would only bury corruption.
 #
 # Exemptions:
 #   * `#[cfg(test)]` modules — every library file keeps its test module at
@@ -19,7 +19,12 @@
 #   * comment-only lines (docs may mention the words);
 #   * lines carrying a `lint:allow-panic` marker — reserved for the single
 #     documented panic bridge per crate (`error::fail`) behind the
-#     deprecated/infallible wrappers.
+#     deprecated/infallible wrappers;
+#   * asserts carrying a `lint:allow-assert — <reason>` marker on the same
+#     line or the line directly above — reserved for genuinely *internal*
+#     invariants (encode/decode framing, driver-maintained index bounds)
+#     that no caller can reach with bad input. Reviewers should push back
+#     when a new marker guards something user data can reach.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,9 +32,21 @@ fail=0
 while IFS= read -r file; do
     hits=$(awk '
         /#\[cfg\(test\)\]/ { exit }
-        /lint:allow-panic/ { next }
-        /^[[:space:]]*\/\// { next }
-        /panic!|unwrap\(\)|expect\(/ { printf "%s:%d: %s\n", FILENAME, FNR, $0 }
+        # Comment lines are never findings; a comment carrying the assert
+        # marker blesses only what DIRECTLY follows it — any other comment
+        # line clears a pending blessing, so a marker cannot leak through
+        # an unrelated comment block onto a distant assert.
+        /^[[:space:]]*\/\// { allow = /lint:allow-assert/ ? 1 : 0; next }
+        /lint:allow-panic/ { allow = 0; next }
+        /panic!|unwrap\(\)|expect\(/ {
+            printf "%s:%d: %s\n", FILENAME, FNR, $0; allow = 0; next
+        }
+        /debug_assert/ { allow = 0; next }
+        /(^|[^_[:alnum:]])assert(_eq|_ne)?!/ {
+            if (!allow && !/lint:allow-assert/) printf "%s:%d: %s\n", FILENAME, FNR, $0
+            allow = 0; next
+        }
+        { allow = 0 }
     ' "$file")
     if [ -n "$hits" ]; then
         echo "$hits"
@@ -39,8 +56,9 @@ done < <(find crates/core/src crates/dataflow/src crates/table/src src -name '*.
 
 if [ "$fail" -ne 0 ]; then
     echo
-    echo "error: panic/unwrap/expect found on non-test library paths." >&2
-    echo "Convert these to typed errors (TableError / DataflowError / SirumError)." >&2
+    echo "error: panic/unwrap/expect/bare-assert found on non-test library paths." >&2
+    echo "Convert these to typed errors (TableError / DataflowError / SirumError)," >&2
+    echo "or mark a genuinely internal invariant with: // lint:allow-assert — <reason>" >&2
     exit 1
 fi
-echo "lint-panics: no panic!/unwrap()/expect( on non-test library paths."
+echo "lint-panics: no panic!/unwrap()/expect(/bare assert! on non-test library paths."

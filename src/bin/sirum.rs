@@ -49,6 +49,7 @@ struct Args {
     variant: Variant,
     engine: EngineMode,
     rules_per_iter: usize,
+    no_sweep: bool,
     epsilon: f64,
     seed: u64,
     partitions: usize,
@@ -79,6 +80,8 @@ OPTIONS:
   --engine <E>       in-memory|disk-mr|single-thread     [default: in-memory]
   --two-rules        insert 2 disjoint rules per iteration
   --two-sided        also surface unusually LOW-measure regions
+  --no-sweep         score candidates with the legacy staged pipeline
+                     instead of the fused partition-parallel gain sweep
   --target-kl <F>    keep mining until KL reaches this target
   --epsilon <F>      iterative-scaling tolerance         [default: 0.01]
   --seed <N>         sampling seed                       [default: 42]
@@ -121,6 +124,7 @@ fn parse_args() -> Args {
         variant: Variant::Optimized,
         engine: EngineMode::InMemory,
         rules_per_iter: 1,
+        no_sweep: false,
         epsilon: 0.01,
         seed: 42,
         partitions: 16,
@@ -152,6 +156,7 @@ fn parse_args() -> Args {
             "--engine" => args.engine = parse_value("--engine", &value("--engine")),
             "--two-rules" => args.rules_per_iter = 2,
             "--two-sided" => args.two_sided = true,
+            "--no-sweep" => args.no_sweep = true,
             "--progress" => args.progress = true,
             "--explain" => args.explain = true,
             "--target-kl" => {
@@ -213,6 +218,9 @@ fn build_request<'s>(service: &'s SirumService, name: &str, args: &Args) -> Serv
     if args.rules_per_iter > 1 {
         request = request.rules_per_iter(args.rules_per_iter);
     }
+    if args.no_sweep {
+        request = request.gain_sweep(false);
+    }
     if args.two_sided {
         request = request.two_sided();
     }
@@ -247,15 +255,26 @@ fn print_text(result: &MiningResult, table: &Table) {
         result.final_kl(),
         result.information_gain()
     );
-    println!(
-        "timings: rule generation {:.2}s (pruning {:.2}s, ancestors {:.2}s, gain {:.2}s), scaling {:.2}s, total {:.2}s",
-        result.timings.rule_generation(),
-        result.timings.candidate_pruning,
-        result.timings.ancestor_generation,
-        result.timings.gain_computation,
-        result.timings.iterative_scaling,
-        result.timings.total
-    );
+    if result.timings.gain_sweep > 0.0 {
+        println!(
+            "timings: rule generation {:.2}s (fused gain sweep {:.2}s, selection {:.2}s), scaling {:.2}s, total {:.2}s",
+            result.timings.rule_generation(),
+            result.timings.gain_sweep,
+            result.timings.gain_computation,
+            result.timings.iterative_scaling,
+            result.timings.total
+        );
+    } else {
+        println!(
+            "timings: rule generation {:.2}s (pruning {:.2}s, ancestors {:.2}s, gain {:.2}s), scaling {:.2}s, total {:.2}s",
+            result.timings.rule_generation(),
+            result.timings.candidate_pruning,
+            result.timings.ancestor_generation,
+            result.timings.gain_computation,
+            result.timings.iterative_scaling,
+            result.timings.total
+        );
+    }
 }
 
 fn run(args: &Args) -> Result<(), SirumError> {

@@ -138,10 +138,11 @@ pub fn mining_result_to_json(result: &MiningResult, table: &Table) -> String {
     let t = &result.timings;
     let _ = write!(
         out,
-        ",\"timings\":{{\"candidate_pruning\":{},\"ancestor_generation\":{},\"gain_computation\":{},\"iterative_scaling\":{},\"rule_generation\":{},\"total\":{}}}",
+        ",\"timings\":{{\"candidate_pruning\":{},\"ancestor_generation\":{},\"gain_computation\":{},\"gain_sweep\":{},\"iterative_scaling\":{},\"rule_generation\":{},\"total\":{}}}",
         json_number(t.candidate_pruning),
         json_number(t.ancestor_generation),
         json_number(t.gain_computation),
+        json_number(t.gain_sweep),
         json_number(t.iterative_scaling),
         json_number(t.rule_generation()),
         json_number(t.total),

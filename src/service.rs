@@ -46,7 +46,7 @@ use sirum_core::{
     RuleSetEvaluation, SampleDataResult, ScalingConfig, SirumConfig, SirumError, StreamingConfig,
     StreamingMiner, Variant,
 };
-use sirum_dataflow::cost::{makespan, ClusterSpec};
+use sirum_dataflow::cost::{makespan, modeled_sweep_stage, ClusterSpec};
 use sirum_dataflow::{Engine, EngineConfig, EngineMode, StageRecord, TaskRecord};
 use sirum_table::{generators, Table, TableError};
 use std::collections::{BTreeMap, HashMap};
@@ -77,6 +77,7 @@ pub(crate) struct RequestSpec {
     pub(crate) target_kl: Option<f64>,
     pub(crate) max_rules: Option<usize>,
     pub(crate) column_groups: Option<usize>,
+    pub(crate) gain_sweep: Option<bool>,
     pub(crate) prior: Vec<Rule>,
 }
 
@@ -96,6 +97,7 @@ impl RequestSpec {
             target_kl: None,
             max_rules: None,
             column_groups: None,
+            gain_sweep: None,
             prior: Vec::new(),
         }
     }
@@ -137,6 +139,9 @@ impl RequestSpec {
         }
         if let Some(groups) = self.column_groups {
             config.column_groups = groups;
+        }
+        if let Some(sweep) = self.gain_sweep {
+            config.gain_sweep = sweep;
         }
         config.two_sided_gain |= self.two_sided;
         config.target_kl = self.target_kl.or(config.target_kl);
@@ -230,6 +235,16 @@ macro_rules! impl_request_setters {
                 self
             }
 
+            /// Toggle the fused partition-parallel gain sweep
+            /// ([`sirum_core::sweep`]). On by default (and for the
+            /// `Optimized` variant); pass `false` to score candidates with
+            /// the legacy staged pipeline that models the paper's
+            /// per-platform jobs.
+            pub fn gain_sweep(mut self, enabled: bool) -> Self {
+                self.spec.gain_sweep = Some(enabled);
+                self
+            }
+
             /// Seed the model with prior-knowledge rules (cube exploration,
             /// Table 1.3): the mined rules come *in addition to* these.
             pub fn prior(mut self, rules: Vec<Rule>) -> Self {
@@ -293,17 +308,28 @@ fn request_key(fingerprint: u64, config: &SirumConfig, prior: &[Rule]) -> Reques
         CandidateStrategy::SampleLca { sample_size } => format!("lca{sample_size}"),
         CandidateStrategy::FullCube => "cube".to_string(),
     };
+    // broadcast_join / fast_pruning / column_groups only steer the legacy
+    // staged pipeline; under the fused sweep they have no effect on the
+    // result (see `SirumConfig::gain_sweep`), so they normalize to fixed
+    // sentinels — requests differing only in inert knobs share one entry.
+    let (bj, fp, cg) = if config.gain_sweep {
+        (1, 1, 0)
+    } else {
+        (
+            u8::from(config.broadcast_join),
+            u8::from(config.fast_pruning),
+            config.column_groups,
+        )
+    };
     let _ = write!(
         s,
-        "k{};{};eps{:x};it{};bj{};rct{};fp{};cg{};l{};tf{:x};mg{:x};reset{};tkl{};mr{};ts{};seed{}",
+        "k{};{};eps{:x};it{};bj{bj};rct{};fp{fp};cg{cg};gs{};l{};tf{:x};mg{:x};reset{};tkl{};mr{};ts{};seed{}",
         config.k,
         strategy,
         config.scaling.epsilon.to_bits(),
         config.scaling.max_iterations,
-        u8::from(config.broadcast_join),
         u8::from(config.rct),
-        u8::from(config.fast_pruning),
-        config.column_groups,
+        u8::from(config.gain_sweep),
         config.multirule.rules_per_iter,
         config.multirule.top_fraction.to_bits(),
         config.multirule.min_gain_fraction.to_bits(),
@@ -836,9 +862,25 @@ impl SirumService {
     ///
     /// Streaming maintenance requires nonnegative measures (history cannot
     /// be re-shifted retroactively); a table with negative measures is
-    /// rejected with [`SirumError::InvalidMeasure`].
+    /// rejected with [`SirumError::InvalidMeasure`]. A table wider than
+    /// the cube-lattice expansion limit is rejected with
+    /// [`SirumError::InvalidConfig`], mirroring [`Self::mine`] — the
+    /// stream's [`IngestHandle::mine_more`] expands sample-tuple lattices
+    /// just like the miner does.
     pub fn stream(&self, table: &str) -> Result<IngestHandle, SirumError> {
         let entry = self.entry(table)?;
+        let d = entry.table.num_dims();
+        if d > sirum_core::lattice::MAX_EXPAND_BITS {
+            return Err(SirumError::invalid_config(
+                "table.dims",
+                format!(
+                    "{d} dimension attributes imply 2^{d} candidate rules per \
+                     tuple lattice, beyond the 2^{} expansion limit; project \
+                     the table first",
+                    sirum_core::lattice::MAX_EXPAND_BITS
+                ),
+            ));
+        }
         if let Some(i) = entry.table.measures().iter().position(|m| *m < 0.0) {
             return Err(SirumError::InvalidMeasure {
                 reason: format!(
@@ -946,9 +988,12 @@ impl ServiceRequest<'_> {
     /// *running* is **coalesced** — the new handle rides the in-flight
     /// execution and receives the same shared result when it completes (no
     /// thundering herd on a cold cache). A coalesced handle's `cancel()`
-    /// does not stop the shared execution (other handles want its result);
-    /// if the *leader* is cancelled, every coalesced handle receives the
-    /// same partial result with [`MiningResult::cancelled`] set. Should the
+    /// does not stop the shared execution (other handles want its result).
+    /// If the *leader* is cancelled, its own handle receives the partial
+    /// result with [`MiningResult::cancelled`] set, but coalesced handles
+    /// asked for the full answer: they receive a retryable
+    /// [`SirumError::Service`] instead of a partial result (and the cache
+    /// stays unpopulated, so a resubmission executes fresh). Should the
     /// leader *fail*, followers receive the failure re-wrapped as
     /// [`SirumError::Service`] with the original error rendered into the
     /// reason (errors are not clonable across handles) — match on the
@@ -1012,10 +1057,22 @@ impl ServiceRequest<'_> {
             // Complete every follower that coalesced onto this execution.
             // The cache was populated inside `execute`, so a request
             // arriving between the drain and our own slot-set hits it.
+            //
+            // Cache-correctness invariant: a cancelled run is a *partial*
+            // result. It is correct to hand it to the handle whose owner
+            // requested the cancellation, but a follower asked for the
+            // full answer — it must never be resolved with the leader's
+            // partial rules (and the cache was likewise not populated).
+            // Followers of a cancelled leader get a typed retryable error
+            // instead; a resubmission executes fresh.
             if let Some(key) = &key {
                 let waiters = core.pending.lock().remove(key).unwrap_or_default();
                 for waiter in waiters {
                     waiter.set(match &outcome {
+                        Ok(out) if out.result.cancelled => Err(SirumError::service(
+                            "coalesced execution was cancelled before completion; \
+                             resubmit the request for a full run",
+                        )),
                         Ok(out) => Ok(JobOutput {
                             result: Arc::clone(&out.result),
                             from_cache: true,
@@ -1307,6 +1364,10 @@ pub struct MiningPlan {
     pub rules_per_iter: usize,
     /// Whether the RCT scaling path is active.
     pub rct: bool,
+    /// Whether candidate evaluation runs as the fused partition-parallel
+    /// gain sweep (one scan per iteration, no shuffles) or as the legacy
+    /// staged pipeline.
+    pub gain_sweep: bool,
     /// Predicted rule-generation iterations (`⌈k / l⌉`; a KL-target run may
     /// iterate further, up to its `max_rules` bound).
     pub estimated_iterations: usize,
@@ -1369,13 +1430,25 @@ impl MiningPlan {
         let mut stages: Vec<StageRecord> = Vec::new();
         stages.push(stage(n, false)); // seed distribution + rule sums
         for _ in 0..iterations {
-            stages.push(stage(lca_pairs, false)); // LCA join emit
-            stages.push(stage(lca_pairs, true)); // lca-agg combine+reduce
-            for _ in 0..config.column_groups.max(1) {
-                stages.push(stage(lca_pairs, false)); // ancestor expansion
-                stages.push(stage(lca_pairs, true)); // ancestor reduce
+            if config.gain_sweep {
+                // One fused scan folds LCA combining, ancestor expansion
+                // and aggregation into per-partition accumulators; the
+                // reduction is a driver-side partition-ordered fold, so
+                // the stage carries the pair volume but zero shuffle.
+                stages.push(modeled_sweep_stage(
+                    lca_pairs,
+                    partitions,
+                    EST_NANOS_PER_RECORD,
+                ));
+            } else {
+                stages.push(stage(lca_pairs, false)); // LCA join emit
+                stages.push(stage(lca_pairs, true)); // lca-agg combine+reduce
+                for _ in 0..config.column_groups.max(1) {
+                    stages.push(stage(lca_pairs, false)); // ancestor expansion
+                    stages.push(stage(lca_pairs, true)); // ancestor reduce
+                }
+                stages.push(stage(lca_pairs, false)); // adjust + gain
             }
-            stages.push(stage(lca_pairs, false)); // adjust + gain
             let scaling_passes = if config.rct { 3 } else { 5 };
             for _ in 0..scaling_passes {
                 stages.push(stage(n, false));
@@ -1400,6 +1473,7 @@ impl MiningPlan {
             column_groups: config.column_groups,
             rules_per_iter: config.multirule.rules_per_iter,
             rct: config.rct,
+            gain_sweep: config.gain_sweep,
             estimated_iterations: iterations,
             estimated_stages: stages.len(),
             estimated_lca_pairs: lca_pairs,
@@ -1429,6 +1503,15 @@ impl std::fmt::Display for MiningPlan {
             self.column_groups,
             self.rules_per_iter,
             if self.rct { "RCT" } else { "Algorithm 1" },
+        )?;
+        writeln!(
+            f,
+            "  candidate evaluation: {}",
+            if self.gain_sweep {
+                "fused partition-parallel gain sweep (one scan/iteration, no shuffles)"
+            } else {
+                "legacy staged pipeline (LCA join → ancestor stages → adjust + gain)"
+            },
         )?;
         write!(
             f,
@@ -1636,6 +1719,33 @@ mod tests {
     }
 
     #[test]
+    fn sweep_inert_knobs_normalize_to_one_cache_key() {
+        let service = flights_service();
+        let a = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        // column_groups (like broadcast_join/fast_pruning) has no effect
+        // under the fused sweep, so it must not split the cache key.
+        let b = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .column_groups(3)
+            .run()
+            .unwrap();
+        assert!(b.from_cache, "inert knob must hit the same entry");
+        assert!(Arc::ptr_eq(&a.result, &b.result));
+        // With the sweep off the knob steers execution again → own key.
+        let c = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .gain_sweep(false)
+            .column_groups(3)
+            .run()
+            .unwrap();
+        assert!(!c.from_cache);
+    }
+
+    #[test]
     fn observers_bypass_the_cache() {
         let service = flights_service();
         let _ = service.mine("flights").k(2).sample_size(14).run().unwrap();
@@ -1717,6 +1827,79 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_job_never_caches_and_resubmission_executes_fresh() {
+        // Regression (ISSUE 4): a run that ends cancelled is partial; the
+        // cache must stay unpopulated so re-submitting the identical
+        // request performs a fresh, full execution.
+        let service = SirumService::builder().pool_workers(1).build().unwrap();
+        service
+            .register_demo_with("income", Some(1_000), 7)
+            .unwrap();
+        // Occupy the single pool worker so the target job is still queued
+        // when we cancel it — the miner then observes the token before its
+        // first iteration, making the cancellation deterministic.
+        let blocker = service.mine("income").k(4).submit().unwrap();
+        let target = service.mine("income").k(2).submit().unwrap();
+        target.cancel();
+        let out = target.wait().unwrap();
+        assert!(out.result.cancelled, "queued job cancels before iterating");
+        assert!(!out.from_cache);
+        assert_eq!(out.result.rules.len(), 1, "seed rule only");
+        let _ = blocker.wait().unwrap();
+        // Identical request: must be a fresh full execution, not a cache
+        // hit on the partial result.
+        let fresh = service
+            .mine("income")
+            .k(2)
+            .submit()
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!fresh.from_cache, "partial results must never be cached");
+        assert!(!fresh.result.cancelled);
+        assert_eq!(fresh.result.rules.len(), 3, "(*,…,*) + k=2 rules");
+        let stats = service.stats();
+        assert_eq!(stats.jobs_cancelled, 1);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn cancelled_leader_fails_followers_instead_of_partial_results() {
+        // Regression (ISSUE 4): followers coalesced onto a leader that got
+        // cancelled asked for the FULL answer; resolving them with the
+        // leader's partial rules would silently serve truncated results.
+        let service = SirumService::builder().pool_workers(1).build().unwrap();
+        service
+            .register_demo_with("income", Some(1_000), 7)
+            .unwrap();
+        let blocker = service.mine("income").k(4).submit().unwrap();
+        let leader = service.mine("income").k(2).submit().unwrap();
+        let follower = service.mine("income").k(2).submit().unwrap();
+        assert_eq!(service.stats().jobs_coalesced, 1);
+        leader.cancel();
+        let _ = blocker.wait().unwrap();
+        let lead_out = leader.wait().unwrap();
+        assert!(lead_out.result.cancelled, "the leader sees its partial run");
+        match follower.wait() {
+            Err(SirumError::Service { reason }) => {
+                assert!(reason.contains("cancelled"), "reason: {reason}")
+            }
+            other => panic!("follower must get a retryable error, got {other:?}"),
+        }
+        // And the retry executes fresh and fully.
+        let retry = service
+            .mine("income")
+            .k(2)
+            .submit()
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(!retry.from_cache);
+        assert!(!retry.result.cancelled);
+        assert_eq!(retry.result.rules.len(), 3);
+    }
+
+    #[test]
     fn cancelled_results_are_not_cached() {
         let service = SirumService::in_memory().unwrap();
         service
@@ -1789,6 +1972,28 @@ mod tests {
         assert!(cache.get(&key(1)).is_some());
         assert!(cache.get(&key(3)).is_some());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn stream_rejects_tables_beyond_the_expansion_limit() {
+        // Regression: stream()+mine_more() used to reach the lattice
+        // expansion assert on >24-dim tables where mine() already returned
+        // a typed error.
+        let service = SirumService::in_memory().unwrap();
+        let mut b = Table::builder(sirum_table::Schema::new(
+            (0..30).map(|i| format!("c{i}")).collect::<Vec<_>>(),
+            "m",
+        ));
+        for i in 0..3 {
+            let vals: Vec<String> = (0..30).map(|c| format!("v{}", (i + c) % 2)).collect();
+            let refs: Vec<&str> = vals.iter().map(String::as_str).collect();
+            b.push_row(&refs, 1.0);
+        }
+        service.register("wide", b.build()).unwrap();
+        assert!(matches!(
+            service.stream("wide"),
+            Err(SirumError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -168,9 +168,12 @@ fn cluster_cost_model_scales_plausibly() {
     use sirum::dataflow::cost::{makespan, ClusterSpec};
     let table = generators::income_like(4_000, 21);
     let engine = Engine::new(EngineConfig::in_memory().with_partitions(32));
+    // The staged pipeline: the cost model's executor scaling shows up in
+    // its shuffle stages (the fused sweep has none — see below).
     let config = SirumConfig {
         k: 3,
         strategy: CandidateStrategy::SampleLca { sample_size: 32 },
+        gain_sweep: false,
         ..SirumConfig::default()
     };
     let _ = Miner::new(engine.clone(), config).try_mine(&table).unwrap();
@@ -184,4 +187,20 @@ fn cluster_cost_model_scales_plausibly() {
         t2 / t16 < 8.0 + 1e-9,
         "speedup is bounded by the executor ratio"
     );
+    // The sweep run replays through the same model with fewer stages and
+    // zero candidate-pipeline shuffle volume, so it never models slower.
+    let sweep_engine = Engine::new(EngineConfig::in_memory().with_partitions(32));
+    let sweep_config = SirumConfig {
+        k: 3,
+        strategy: CandidateStrategy::SampleLca { sample_size: 32 },
+        ..SirumConfig::default()
+    };
+    let _ = Miner::new(sweep_engine.clone(), sweep_config)
+        .try_mine(&table)
+        .unwrap();
+    let sweep_stages = sweep_engine.metrics().stages();
+    assert!(sweep_stages.len() < stages.len(), "the sweep fuses stages");
+    let swept_shuffle: u64 = sweep_stages.iter().map(|s| s.shuffled_records).sum();
+    let staged_shuffle: u64 = stages.iter().map(|s| s.shuffled_records).sum();
+    assert!(swept_shuffle < staged_shuffle, "the sweep avoids shuffles");
 }
