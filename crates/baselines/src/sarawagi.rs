@@ -56,8 +56,10 @@ pub fn sarawagi_explore(engine: &Engine, table: &Table, cfg: &SarawagiConfig) ->
         max_rules: None,
         two_sided_gain: false,
         // Comparator fidelity: keep the staged pipeline this baseline's
-        // timings were modeled on, not the fused sweep.
+        // timings were modeled on, not the fused sweep. The columnar scan
+        // is representation only (bit-identical output), so it stays on.
         gain_sweep: false,
+        columnar: true,
         seed: cfg.seed,
     };
     let prior = prior_rules_from_groupbys(table, 2);

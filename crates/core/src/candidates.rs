@@ -178,6 +178,30 @@ impl SampleIndex {
         scratch
     }
 
+    /// As [`Self::lcas_into`], but reading the tuple's attribute values
+    /// straight out of columnar storage (`cols[j][row]`) instead of a
+    /// gathered row slice — the zero-copy data path's probe. Produces
+    /// byte-identical scratch content to `lcas_into` over the gathered row.
+    pub fn lcas_into_cols<'a>(
+        &self,
+        cols: &[&[u32]],
+        row: usize,
+        scratch: &'a mut Vec<u32>,
+    ) -> &'a [u32] {
+        debug_assert_eq!(cols.len(), self.d);
+        scratch.clear();
+        scratch.resize(self.rows.len() * self.d, WILDCARD);
+        for (col, values) in cols.iter().enumerate() {
+            let v = values[row];
+            if let Some(hits) = self.cols[col].get(&v) {
+                for &r in hits {
+                    scratch[r as usize * self.d + col] = v;
+                }
+            }
+        }
+        scratch
+    }
+
     /// Number of sample tuples matching `rule` (the aggregate-adjustment
     /// divisor of §3.1.1): an intersection of the per-constant posting
     /// bitsets — O(#constants) instead of a scan of the sample.
@@ -351,6 +375,21 @@ mod tests {
                 let via_index = &fast[j * 3..(j + 1) * 3];
                 assert_eq!(naive.values(), via_index);
             }
+        }
+    }
+
+    #[test]
+    fn columnar_lcas_match_row_lcas() {
+        let t = flights();
+        let sample = sample_rows(&t, &[3, 8, 11]);
+        let index = SampleIndex::build(sample, 3);
+        let frame = sirum_table::Frame::from_table(&t);
+        let cols: Vec<&[u32]> = (0..3).map(|j| frame.col(j)).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for (i, row) in t.rows().enumerate() {
+            let via_row = index.lcas_into(row, &mut a).to_vec();
+            let via_cols = index.lcas_into_cols(&cols, i, &mut b);
+            assert_eq!(via_row, via_cols, "row {i}");
         }
     }
 

@@ -1,0 +1,624 @@
+//! The mining dataset behind the greedy driver, in one of two
+//! representations:
+//!
+//! * **Columnar** (the default): one [`TupleBlock`] per partition — a
+//!   [`sirum_table::FrameView`] range over the table's shared dimension
+//!   columns plus per-partition `m̂`/bit-array state. Scans walk
+//!   contiguous columns; scaling rewrites allocate two arrays per
+//!   partition; per-row codes are gathered into a reusable scratch buffer
+//!   only at the LCA-probe boundary.
+//! * **Row-major** (the reference): per-row [`Tup`] tuples with boxed
+//!   dimension codes — the pre-columnar data path, kept selectable
+//!   (`SirumConfig::columnar = false`) so proptests and benches can pin
+//!   the columnar path bit-identical to it and measure the difference.
+//!
+//! Every primitive here preserves, between the two arms, the exact
+//! per-partition row order, accumulator capacities and partition-ordered
+//! float-fold sequence — which is what makes the mining output (selected
+//! rules, gains, KL traces, counts) **bit-identical** across
+//! representations for every variant, partition count, worker count and
+//! cancellation point. The proptests in `crates/core/tests/properties.rs`
+//! pin this.
+
+use crate::block::TupleBlock;
+use crate::cancel::CancellationToken;
+use crate::candidates::{merge_agg, Agg, SampleIndex};
+use crate::miner::Tup;
+use crate::prepared::PreparedTable;
+use crate::rct::{mhat_for_mask, RctGroup};
+use crate::rule::Rule;
+use crate::sweep::{sweep_gains, sweep_gains_blocks, SweepOutcome};
+use sirum_dataflow::{Dataset, Engine, EngineMode};
+
+/// The distributed dataset a mining run scans, in either representation.
+pub(crate) enum MiningData {
+    /// Per-row boxed tuples (the row-major reference path).
+    Rows(Dataset<Tup>),
+    /// One columnar block per partition (the default path).
+    Blocks(Dataset<TupleBlock>),
+}
+
+/// The dimension columns a rule constrains in one block, pre-resolved so
+/// the per-row match test touches only constant columns.
+fn constant_cols<'b>(rule: &Rule, block: &'b TupleBlock) -> Vec<(&'b [u32], u32)> {
+    rule.constants()
+        .map(|(j, v)| (block.dims().col(j), v))
+        .collect()
+}
+
+#[inline]
+fn row_matches(consts: &[(&[u32], u32)], i: usize) -> bool {
+    consts.iter().all(|&(col, v)| col[i] == v)
+}
+
+impl MiningData {
+    /// Distribute `D` from its preparation: columnar blocks over the shared
+    /// frame columns (zero copies), or gathered row tuples for the
+    /// reference path. Both use the engine's default partition count and
+    /// identical row→partition placement.
+    pub(crate) fn seed(engine: &Engine, prepared: &PreparedTable, columnar: bool) -> MiningData {
+        let partitions = engine.config().partitions;
+        if columnar {
+            let m = prepared.m_prime_slice();
+            let blocks: Vec<TupleBlock> = prepared
+                .frame()
+                .partition_views(partitions)
+                .into_iter()
+                .map(|view| {
+                    let window = m.slice(view.start(), view.len());
+                    TupleBlock::seed(view, window)
+                })
+                .collect();
+            MiningData::Blocks(Dataset::from_partitioned(engine, blocks))
+        } else {
+            let frame = prepared.frame();
+            let m_prime = prepared.m_prime();
+            let mut buf = Vec::with_capacity(frame.num_dims());
+            let mut tuples: Vec<Tup> = Vec::with_capacity(frame.num_rows());
+            for (i, &mp) in m_prime.iter().enumerate() {
+                frame.gather_row(i, &mut buf);
+                tuples.push((buf.clone().into_boxed_slice(), mp, 1.0, 0u64));
+            }
+            MiningData::Rows(engine.parallelize(tuples, partitions))
+        }
+    }
+
+    /// Number of partitions.
+    pub(crate) fn num_partitions(&self) -> usize {
+        match self {
+            MiningData::Rows(d) => d.num_partitions(),
+            MiningData::Blocks(d) => d.num_partitions(),
+        }
+    }
+
+    /// Persist in the block store (except in DiskMr mode, whose stage
+    /// outputs are already disk-materialized).
+    pub(crate) fn cached(self, mode: EngineMode) -> MiningData {
+        if mode == EngineMode::DiskMr {
+            return self;
+        }
+        match self {
+            MiningData::Rows(d) => MiningData::Rows(d.cache()),
+            MiningData::Blocks(d) => MiningData::Blocks(d.cache()),
+        }
+    }
+
+    /// Release any block-store blocks.
+    pub(crate) fn free(self) {
+        match self {
+            MiningData::Rows(d) => d.free(),
+            MiningData::Blocks(d) => d.free(),
+        }
+    }
+
+    /// `Σ_{t⊨r} m′` and support counts for a rule list, one pass over `D`.
+    /// Both arms accumulate each rule's sum over rows in ascending row
+    /// order per partition, merged in partition order — identical float
+    /// sequences.
+    pub(crate) fn rule_sums(&self, rules: &[Rule]) -> (Vec<f64>, Vec<u64>) {
+        match self {
+            MiningData::Rows(data) => data.aggregate(
+                "rule-m-sums",
+                || (vec![0.0f64; rules.len()], vec![0u64; rules.len()]),
+                |(sums, counts), (dims, m, _mh, _mask)| {
+                    for (j, rule) in rules.iter().enumerate() {
+                        if rule.matches(dims) {
+                            sums[j] += *m;
+                            counts[j] += 1;
+                        }
+                    }
+                },
+                |(s1, c1), (s2, c2)| {
+                    for (a, b) in s1.iter_mut().zip(s2) {
+                        *a += b;
+                    }
+                    for (a, b) in c1.iter_mut().zip(c2) {
+                        *a += b;
+                    }
+                },
+            ),
+            MiningData::Blocks(data) => data.aggregate_partitions(
+                "rule-m-sums",
+                || (vec![0.0f64; rules.len()], vec![0u64; rules.len()]),
+                |_, blocks| {
+                    let mut sums = vec![0.0f64; rules.len()];
+                    let mut counts = vec![0u64; rules.len()];
+                    for block in blocks {
+                        let m = block.m();
+                        for (j, rule) in rules.iter().enumerate() {
+                            let consts = constant_cols(rule, block);
+                            for (i, &mi) in m.iter().enumerate() {
+                                if row_matches(&consts, i) {
+                                    sums[j] += mi;
+                                    counts[j] += 1;
+                                }
+                            }
+                        }
+                    }
+                    (sums, counts)
+                },
+                |(s1, c1), (s2, c2)| {
+                    for (a, b) in s1.iter_mut().zip(s2) {
+                        *a += b;
+                    }
+                    for (a, b) in c1.iter_mut().zip(c2) {
+                        *a += b;
+                    }
+                },
+            ),
+        }
+    }
+
+    /// One KL evaluation pass: `(Σ m·ln(m/m̂), Σ m, Σ m̂)`.
+    pub(crate) fn kl_parts(&self) -> (f64, f64, f64) {
+        let comb = |a: &mut (f64, f64, f64), b: (f64, f64, f64)| {
+            a.0 += b.0;
+            a.1 += b.1;
+            a.2 += b.2;
+        };
+        match self {
+            MiningData::Rows(data) => data.aggregate(
+                "kl",
+                || (0.0f64, 0.0f64, 0.0f64),
+                |(s1, sm, smh), (_dims, m, mh, _mask)| {
+                    if *m > 0.0 {
+                        *s1 += m * (m / mh).ln();
+                    }
+                    *sm += m;
+                    *smh += mh;
+                },
+                comb,
+            ),
+            MiningData::Blocks(data) => data.aggregate_partitions(
+                "kl",
+                || (0.0f64, 0.0f64, 0.0f64),
+                |_, blocks| {
+                    let mut acc = (0.0f64, 0.0f64, 0.0f64);
+                    for block in blocks {
+                        let (m, mh) = (block.m(), block.mhat());
+                        for i in 0..block.len() {
+                            if m[i] > 0.0 {
+                                acc.0 += m[i] * (m[i] / mh[i]).ln();
+                            }
+                            acc.1 += m[i];
+                            acc.2 += mh[i];
+                        }
+                    }
+                    acc
+                },
+                comb,
+            ),
+        }
+    }
+
+    /// Reset every estimate to 1 (Sarawagi's from-scratch re-derivation).
+    pub(crate) fn reset_mhat(&self) -> MiningData {
+        match self {
+            MiningData::Rows(data) => {
+                MiningData::Rows(data.map("reset-mhat", |(dims, m, _mh, mask)| {
+                    (dims.clone(), *m, 1.0, *mask)
+                }))
+            }
+            MiningData::Blocks(data) => MiningData::Blocks(data.map("reset-mhat", |block| {
+                block.with_mhat(vec![1.0; block.len()])
+            })),
+        }
+    }
+
+    /// Set bit `i` of every covered tuple's bit array, for each newly
+    /// added `(i, rule)`.
+    pub(crate) fn update_ba(&self, new_rules: Vec<(usize, Rule)>) -> MiningData {
+        match self {
+            MiningData::Rows(data) => {
+                MiningData::Rows(data.map("update-ba", move |(dims, m, mh, mask)| {
+                    let mut mask = *mask;
+                    for (i, rule) in &new_rules {
+                        if rule.matches(dims) {
+                            mask |= 1u64 << i;
+                        }
+                    }
+                    (dims.clone(), *m, *mh, mask)
+                }))
+            }
+            MiningData::Blocks(data) => MiningData::Blocks(data.map("update-ba", move |block| {
+                let mut mask = block.mask().to_vec();
+                for (i, rule) in &new_rules {
+                    let consts = constant_cols(rule, block);
+                    let bit = 1u64 << i;
+                    for (r, m) in mask.iter_mut().enumerate() {
+                        if row_matches(&consts, r) {
+                            *m |= bit;
+                        }
+                    }
+                }
+                block.with_mask(mask)
+            })),
+        }
+    }
+
+    /// Group tuples by bit array into partial RCT groups (first-occurrence
+    /// order per partition, merged in partition order — both arms
+    /// identical).
+    pub(crate) fn build_rct_partials(&self) -> Vec<RctGroup> {
+        let fold = |groups: &mut Vec<RctGroup>, mask: u64, m: f64, mh: f64| match groups
+            .iter_mut()
+            .find(|g| g.mask == mask)
+        {
+            Some(g) => {
+                g.count += 1;
+                g.sum_m += m;
+                g.sum_mhat += mh;
+            }
+            None => groups.push(RctGroup {
+                mask,
+                count: 1,
+                sum_m: m,
+                sum_mhat: mh,
+            }),
+        };
+        match self {
+            MiningData::Rows(data) => data.aggregate(
+                "build-rct",
+                Vec::<RctGroup>::new,
+                |groups, (_dims, m, mh, mask)| fold(groups, *mask, *m, *mh),
+                |a, b| a.extend(b),
+            ),
+            MiningData::Blocks(data) => data.aggregate_partitions(
+                "build-rct",
+                Vec::<RctGroup>::new,
+                |_, blocks| {
+                    let mut groups = Vec::new();
+                    for block in blocks {
+                        let (m, mh, mask) = (block.m(), block.mhat(), block.mask());
+                        for i in 0..block.len() {
+                            fold(&mut groups, mask[i], m[i], mh[i]);
+                        }
+                    }
+                    groups
+                },
+                |a, b| a.extend(b),
+            ),
+        }
+    }
+
+    /// Write converged estimates back: `m̂ = ∏_{i ∈ BA} λᵢ`.
+    pub(crate) fn write_mhat(&self, lambdas: Vec<f64>) -> MiningData {
+        match self {
+            MiningData::Rows(data) => {
+                MiningData::Rows(data.map("write-mhat", move |(dims, m, _mh, mask)| {
+                    (dims.clone(), *m, mhat_for_mask(*mask, &lambdas), *mask)
+                }))
+            }
+            MiningData::Blocks(data) => MiningData::Blocks(data.map("write-mhat", move |block| {
+                let mhat: Vec<f64> = block
+                    .mask()
+                    .iter()
+                    .map(|&mask| mhat_for_mask(mask, &lambdas))
+                    .collect();
+                block.with_mhat(mhat)
+            })),
+        }
+    }
+
+    /// `Σ_{t⊨rⱼ} m̂` per rule (one Algorithm-1 sums pass over `D`).
+    pub(crate) fn scaling_sums(&self, rules: &[Rule]) -> Vec<f64> {
+        let comb = |a: &mut Vec<f64>, b: Vec<f64>| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        };
+        match self {
+            MiningData::Rows(data) => data.aggregate(
+                "scaling-sums",
+                || vec![0.0f64; rules.len()],
+                |sums, (dims, _m, mh, _mask)| {
+                    for (j, rule) in rules.iter().enumerate() {
+                        if rule.matches(dims) {
+                            sums[j] += *mh;
+                        }
+                    }
+                },
+                comb,
+            ),
+            MiningData::Blocks(data) => data.aggregate_partitions(
+                "scaling-sums",
+                || vec![0.0f64; rules.len()],
+                |_, blocks| {
+                    let mut sums = vec![0.0f64; rules.len()];
+                    for block in blocks {
+                        let mh = block.mhat();
+                        for (j, rule) in rules.iter().enumerate() {
+                            let consts = constant_cols(rule, block);
+                            for (i, &mhi) in mh.iter().enumerate() {
+                                if row_matches(&consts, i) {
+                                    sums[j] += mhi;
+                                }
+                            }
+                        }
+                    }
+                    sums
+                },
+                comb,
+            ),
+        }
+    }
+
+    /// Scale the estimates of every tuple covered by `rule` (one
+    /// Algorithm-1 update pass).
+    pub(crate) fn scale_mhat(&self, rule: Rule, factor: f64) -> MiningData {
+        match self {
+            MiningData::Rows(data) => {
+                MiningData::Rows(data.map("scale-mhat", move |(dims, m, mh, mask)| {
+                    let mh = if rule.matches(dims) { mh * factor } else { *mh };
+                    (dims.clone(), *m, mh, *mask)
+                }))
+            }
+            MiningData::Blocks(data) => MiningData::Blocks(data.map("scale-mhat", move |block| {
+                let consts = constant_cols(&rule, block);
+                let mhat: Vec<f64> = block
+                    .mhat()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &mh)| {
+                        if row_matches(&consts, i) {
+                            mh * factor
+                        } else {
+                            mh
+                        }
+                    })
+                    .collect();
+                block.with_mhat(mhat)
+            })),
+        }
+    }
+
+    /// Draw exactly `min(n, rows)` dimension-code rows uniformly without
+    /// replacement, deterministically from `seed` — the candidate-pruning
+    /// sample. The blocks arm replays the row-major `take_sample` protocol
+    /// (same RNG stream over the same global row indexing), so both
+    /// representations draw the *same* sample rows.
+    pub(crate) fn sample_dims(&self, n: usize, seed: u64) -> Vec<Box<[u32]>> {
+        match self {
+            MiningData::Rows(data) => data
+                .take_sample(n, seed)
+                .into_iter()
+                .map(|(dims, _, _, _)| dims)
+                .collect(),
+            MiningData::Blocks(data) => {
+                let parts = data.num_partitions();
+                let lens: Vec<usize> = (0..parts)
+                    .map(|i| data.part(i).iter().map(TupleBlock::len).sum())
+                    .collect();
+                let total: usize = lens.iter().sum();
+                // One selection protocol for both arms: the row indices
+                // `take_sample` would pick, gathered from the columns.
+                let chosen = sirum_dataflow::sample_row_indices(total, n, seed);
+                let mut out = Vec::with_capacity(chosen.len());
+                let mut offset = 0usize;
+                let mut cursor = 0usize;
+                for (i, &len) in lens.iter().enumerate() {
+                    if cursor >= chosen.len() {
+                        break;
+                    }
+                    let part = data.part(i);
+                    while cursor < chosen.len() && chosen[cursor] < offset + len {
+                        let mut local = chosen[cursor] - offset;
+                        for block in part.iter() {
+                            if local < block.len() {
+                                out.push(block.dims().gather_row_boxed(local));
+                                break;
+                            }
+                            local -= block.len();
+                        }
+                        cursor += 1;
+                    }
+                    offset += len;
+                }
+                out
+            }
+        }
+    }
+
+    /// The fused partition-parallel gain sweep over this dataset.
+    pub(crate) fn sweep(
+        &self,
+        d: usize,
+        index: Option<&SampleIndex>,
+        cancel: Option<&CancellationToken>,
+    ) -> SweepOutcome {
+        match self {
+            MiningData::Rows(data) => sweep_gains(data, d, index, cancel),
+            MiningData::Blocks(data) => sweep_gains_blocks(data, d, index, cancel),
+        }
+    }
+
+    /// The legacy staged candidate-pruning join: emit one `(rule,
+    /// aggregate)` pair per (sample tuple, data tuple) LCA — or per tuple
+    /// under full-cube — and reduce by key. With `broadcast_join` off
+    /// (Naive SIRUM) the data is re-shuffled first; the columnar arm
+    /// materializes row records for that shuffle (that is exactly what a
+    /// real shuffle serializes), reusing the row-major join so the pair
+    /// stream — and everything downstream — is identical.
+    pub(crate) fn lca_candidates(
+        &self,
+        partitions: usize,
+        index: Option<&SampleIndex>,
+        d: usize,
+        broadcast_join: bool,
+        fast_pruning: bool,
+    ) -> Dataset<(Rule, Agg)> {
+        match self {
+            MiningData::Rows(data) => {
+                let base = if broadcast_join {
+                    data.clone()
+                } else {
+                    data.repartition(data.num_partitions())
+                };
+                let pairs = lca_pairs_rows(&base, index, d, fast_pruning);
+                let cand = pairs.reduce_by_key("lca-agg", partitions, merge_agg);
+                pairs.free();
+                if !broadcast_join {
+                    base.free();
+                }
+                cand
+            }
+            MiningData::Blocks(data) => {
+                if broadcast_join {
+                    let pairs = lca_pairs_blocks(data, index, d, fast_pruning);
+                    let cand = pairs.reduce_by_key("lca-agg", partitions, merge_agg);
+                    pairs.free();
+                    return cand;
+                }
+                let rows: Dataset<Tup> = data.map_partitions("materialize-rows", |_, blocks| {
+                    let n: usize = blocks.iter().map(TupleBlock::len).sum();
+                    let mut out = Vec::with_capacity(n);
+                    let mut buf = Vec::new();
+                    for block in blocks {
+                        for i in 0..block.len() {
+                            block.gather(i, &mut buf);
+                            out.push((
+                                buf.clone().into_boxed_slice(),
+                                block.m()[i],
+                                block.mhat()[i],
+                                block.mask()[i],
+                            ));
+                        }
+                    }
+                    out
+                });
+                let base = rows.repartition(data.num_partitions());
+                rows.free();
+                let pairs = lca_pairs_rows(&base, index, d, fast_pruning);
+                let cand = pairs.reduce_by_key("lca-agg", partitions, merge_agg);
+                pairs.free();
+                base.free();
+                cand
+            }
+        }
+    }
+}
+
+/// The row-major LCA pair emission (§3.1.1 / §4.2): one stage, order-
+/// preserving per partition.
+fn lca_pairs_rows(
+    base: &Dataset<Tup>,
+    index: Option<&SampleIndex>,
+    d: usize,
+    fast_pruning: bool,
+) -> Dataset<(Rule, Agg)> {
+    match index {
+        Some(idx) if fast_pruning => {
+            let s = idx.len();
+            base.map_partitions("lca-fast", move |_, rows| {
+                let mut out = Vec::with_capacity(rows.len() * s);
+                let mut scratch = Vec::new();
+                for (dims, m, mh, _mask) in rows {
+                    let lcas = idx.lcas_into(dims, &mut scratch);
+                    for chunk in lcas.chunks_exact(d) {
+                        out.push((Rule::from_tuple(chunk), (*m, *mh, 1u64)));
+                    }
+                }
+                out
+            })
+        }
+        Some(idx) => {
+            let s = idx.len();
+            base.map_partitions("lca-naive", move |_, rows| {
+                let mut out = Vec::with_capacity(rows.len() * s);
+                for (dims, m, mh, _mask) in rows {
+                    for srow in idx.rows() {
+                        out.push((Rule::lca(srow, dims), (*m, *mh, 1u64)));
+                    }
+                }
+                out
+            })
+        }
+        None => base.map("tuple-rule", |(dims, m, mh, _mask)| {
+            (Rule::from_tuple(dims), (*m, *mh, 1u64))
+        }),
+    }
+}
+
+/// The columnar LCA pair emission: same labels, same per-partition
+/// emission order as [`lca_pairs_rows`], gathering each row's codes only
+/// for the probe.
+fn lca_pairs_blocks(
+    data: &Dataset<TupleBlock>,
+    index: Option<&SampleIndex>,
+    d: usize,
+    fast_pruning: bool,
+) -> Dataset<(Rule, Agg)> {
+    type EmitFn<'f> = Box<dyn FnMut(&[u32], f64, f64, &mut Vec<(Rule, Agg)>) + 'f>;
+    let emit = move |blocks: &[TupleBlock], per_row: usize, mut f: EmitFn| -> Vec<(Rule, Agg)> {
+        let n: usize = blocks.iter().map(TupleBlock::len).sum();
+        let mut out = Vec::with_capacity(n * per_row);
+        let mut buf = Vec::with_capacity(d);
+        for block in blocks {
+            let (m, mh) = (block.m(), block.mhat());
+            for i in 0..block.len() {
+                block.gather(i, &mut buf);
+                f(&buf, m[i], mh[i], &mut out);
+            }
+        }
+        out
+    };
+    match index {
+        Some(idx) if fast_pruning => {
+            let s = idx.len();
+            data.map_partitions("lca-fast", move |_, blocks| {
+                let mut scratch = Vec::new();
+                emit(
+                    blocks,
+                    s,
+                    Box::new(move |dims, m, mh, out| {
+                        let lcas = idx.lcas_into(dims, &mut scratch);
+                        for chunk in lcas.chunks_exact(d) {
+                            out.push((Rule::from_tuple(chunk), (m, mh, 1u64)));
+                        }
+                    }),
+                )
+            })
+        }
+        Some(idx) => {
+            let s = idx.len();
+            data.map_partitions("lca-naive", move |_, blocks| {
+                emit(
+                    blocks,
+                    s,
+                    Box::new(move |dims, m, mh, out| {
+                        for srow in idx.rows() {
+                            out.push((Rule::lca(srow, dims), (m, mh, 1u64)));
+                        }
+                    }),
+                )
+            })
+        }
+        None => data.map_partitions("tuple-rule", move |_, blocks| {
+            emit(
+                blocks,
+                1,
+                Box::new(|dims, m, mh, out| out.push((Rule::from_tuple(dims), (m, mh, 1u64)))),
+            )
+        }),
+    }
+}

@@ -6,10 +6,10 @@
 
 use crate::error::SirumError;
 use crate::gain::{binary_kl, kl_divergence};
+use crate::prepared::PreparedTable;
 use crate::rct::{iterative_scaling_rct, mhat_for_mask, Rct, MAX_RULES};
 use crate::rule::Rule;
 use crate::scaling::ScalingConfig;
-use crate::transform::MeasureTransform;
 use sirum_table::Table;
 
 /// Quality scores of a rule set on a dataset.
@@ -41,11 +41,32 @@ pub fn evaluate_rules(table: &Table, rules: &[Rule], cfg: &ScalingConfig) -> Rul
 }
 
 /// Fallible form of [`evaluate_rules`], naming the violated invariant.
+/// Transposes the table on the way in; callers that already hold a
+/// [`PreparedTable`] (e.g. a service catalog entry) should use
+/// [`try_evaluate_rules_prepared`] and skip the per-call transpose.
 pub fn try_evaluate_rules(
     table: &Table,
     rules: &[Rule],
     cfg: &ScalingConfig,
 ) -> Result<RuleSetEvaluation, SirumError> {
+    validate_rules(rules, table.num_dims())?;
+    let prepared = PreparedTable::try_new(table)?;
+    Ok(evaluate_prepared(&prepared, rules, cfg))
+}
+
+/// As [`try_evaluate_rules`], but scanning an existing preparation's
+/// shared columns — no transpose, no re-validation of the data.
+pub fn try_evaluate_rules_prepared(
+    prepared: &PreparedTable,
+    rules: &[Rule],
+    cfg: &ScalingConfig,
+) -> Result<RuleSetEvaluation, SirumError> {
+    validate_rules(rules, prepared.num_dims())?;
+    Ok(evaluate_prepared(prepared, rules, cfg))
+}
+
+/// The rule-list invariants shared by both entry points.
+fn validate_rules(rules: &[Rule], d: usize) -> Result<(), SirumError> {
     if rules.is_empty() {
         return Err(SirumError::invalid_config(
             "rules",
@@ -61,64 +82,77 @@ pub fn try_evaluate_rules(
             ),
         ));
     }
-    if let Some(bad) = rules.iter().find(|r| r.arity() != table.num_dims()) {
+    if let Some(bad) = rules.iter().find(|r| r.arity() != d) {
         return Err(SirumError::invalid_config(
             "rules",
-            format!(
-                "rule has {} dimensions but the table has {}",
-                bad.arity(),
-                table.num_dims()
-            ),
+            format!("rule has {} dimensions but the table has {d}", bad.arity()),
         ));
     }
-    if rules[0] != Rule::all_wildcards(table.num_dims()) {
+    if rules[0] != Rule::all_wildcards(d) {
         return Err(SirumError::invalid_config(
             "rules",
             "the first rule must be (*, …, *)",
         ));
     }
-    let (_transform, m_prime) = MeasureTransform::try_fit(table.measures())?;
+    Ok(())
+}
 
-    // Bit arrays + constraint targets in one scan.
-    let n = table.num_rows();
+/// The evaluation itself, over a validated rule list and preparation.
+fn evaluate_prepared(
+    prepared: &PreparedTable,
+    rules: &[Rule],
+    cfg: &ScalingConfig,
+) -> RuleSetEvaluation {
+    let frame = prepared.frame();
+    let m_prime = prepared.m_prime();
+    let n = frame.num_rows();
+
+    // Bit arrays + constraint targets, scanned column-wise: one columnar
+    // pass per rule touching only its constant columns (each `m_sums[j]`
+    // still accumulates rows in ascending order, so the sums are
+    // bit-identical to the old row-major scan).
     let mut masks = vec![0u64; n];
     let mut m_sums = vec![0.0f64; rules.len()];
-    for (i, row) in table.rows().enumerate() {
-        for (j, rule) in rules.iter().enumerate() {
-            if rule.matches(row) {
-                masks[i] |= 1u64 << j;
+    for (j, rule) in rules.iter().enumerate() {
+        let bit = 1u64 << j;
+        let consts: Vec<(&[u32], u32)> = rule.constants().map(|(c, v)| (frame.col(c), v)).collect();
+        for i in 0..n {
+            if consts.iter().all(|&(col, v)| col[i] == v) {
+                masks[i] |= bit;
                 m_sums[j] += m_prime[i];
             }
         }
     }
 
     // Fit via the RCT (fast, exact same fixed point as Algorithm 1).
-    let mut rct = Rct::build(&masks, &m_prime, &vec![1.0; n]);
+    let mut rct = Rct::build(&masks, m_prime, &vec![1.0; n]);
     let mut lambdas = vec![1.0; rules.len()];
     let outcome = iterative_scaling_rct(&mut rct, rules.len(), &m_sums, &mut lambdas, cfg);
     let mhat: Vec<f64> = masks.iter().map(|&m| mhat_for_mask(m, &lambdas)).collect();
-    let kl = kl_divergence(&m_prime, &mhat);
+    let kl = kl_divergence(m_prime, &mhat);
 
     // Baseline model: the all-wildcards rule alone sets every estimate to
     // the global average, so its KL needs no fitting.
     let avg = m_prime.iter().sum::<f64>() / n as f64;
     let baseline = vec![avg; n];
-    let baseline_kl = kl_divergence(&m_prime, &baseline);
+    let baseline_kl = kl_divergence(m_prime, &baseline);
 
-    let is_binary = table.measures().iter().all(|&m| m == 0.0 || m == 1.0);
+    // The raw measure column (the frame carries it alongside m′).
+    let measures = frame.measures();
+    let is_binary = measures.iter().all(|&m| m == 0.0 || m == 1.0);
     let binary = if is_binary {
-        Some(binary_kl(table.measures(), &mhat))
+        Some(binary_kl(measures, &mhat))
     } else {
         None
     };
 
-    Ok(RuleSetEvaluation {
+    RuleSetEvaluation {
         kl,
         baseline_kl,
         information_gain: baseline_kl - kl,
         binary_kl: binary,
         converged: outcome.converged,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -48,8 +48,10 @@
 #![warn(missing_docs)]
 #![allow(clippy::must_use_candidate)]
 
+pub mod block;
 pub mod cancel;
 pub mod candidates;
+mod data;
 pub mod error;
 pub mod evaluate;
 pub mod explore;
@@ -67,9 +69,12 @@ pub mod sweep;
 pub mod transform;
 pub mod variants;
 
+pub use block::TupleBlock;
 pub use cancel::CancellationToken;
 pub use error::SirumError;
-pub use evaluate::{evaluate_rules, try_evaluate_rules, RuleSetEvaluation};
+pub use evaluate::{
+    evaluate_rules, try_evaluate_rules, try_evaluate_rules_prepared, RuleSetEvaluation,
+};
 pub use explore::{explore, try_explore, ExploreResult};
 pub use miner::{
     CandidateStrategy, IterationDecision, IterationEvent, IterationObserver, MinedRule, Miner,
@@ -81,5 +86,8 @@ pub use rule::{Rule, WILDCARD};
 pub use sample_data::{mine_on_sample, try_mine_on_sample, SampleDataResult};
 pub use scaling::ScalingConfig;
 pub use streaming::{StreamingConfig, StreamingMiner};
-pub use sweep::{sweep_gains, sweep_gains_reference, SweepOutcome};
+pub use sweep::{
+    sweep_gains, sweep_gains_blocks, sweep_gains_blocks_reference, sweep_gains_reference,
+    SweepOutcome,
+};
 pub use variants::Variant;

@@ -4,16 +4,17 @@
 
 use crate::cancel::CancellationToken;
 use crate::candidates::{adjust_for_sample, merge_agg, Agg, SampleIndex, MAX_SAMPLE};
+use crate::data::MiningData;
 use crate::error::SirumError;
 use crate::gain::{kl_from_parts, rule_gain, rule_gain_two_sided};
 use crate::lattice::{ancestors_restricted, column_groups, MAX_EXPAND_BITS};
 use crate::multirule::{select_rules, MultiRuleConfig, ScoredCandidate};
 use crate::prepared::PreparedTable;
-use crate::rct::{iterative_scaling_rct, mhat_for_mask, Rct, RctGroup, MAX_RULES};
+use crate::rct::{iterative_scaling_rct, Rct, MAX_RULES};
 use crate::rule::Rule;
 use crate::scaling::{relative_diff, ScalingConfig};
-use crate::sweep::{sweep_gains, SweepOutcome};
-use sirum_dataflow::{Dataset, Engine, EngineMode};
+use crate::sweep::SweepOutcome;
+use sirum_dataflow::{Dataset, Engine};
 use sirum_table::Table;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -96,6 +97,19 @@ pub struct SirumConfig {
     /// stages, so [`Self::broadcast_join`], [`Self::fast_pruning`] and
     /// [`Self::column_groups`] have no effect while it is active.
     pub gain_sweep: bool,
+    /// Scan `D` in columnar form (default `true`): partitions are
+    /// [`sirum_table::FrameView`] range views over the prepared table's
+    /// `Arc`-shared dimension columns ([`crate::block::TupleBlock`]), so
+    /// scaling rewrites carry the codes forward by reference instead of
+    /// re-boxing every row, and per-row codes are gathered into a scratch
+    /// buffer only at the LCA-probe boundary.
+    ///
+    /// When `false`, `D` is distributed as per-row boxed tuples — the
+    /// pre-columnar data path, kept as a reference. The mining output is
+    /// **bit-identical** between the two representations for every
+    /// variant, partition count, worker count and cancellation point
+    /// (proptested), so this knob trades only speed, never results.
+    pub columnar: bool,
     /// Seed for sampling and column-group shuffling.
     pub seed: u64,
 }
@@ -118,6 +132,7 @@ impl Default for SirumConfig {
             max_rules: None,
             two_sided_gain: false,
             gain_sweep: true,
+            columnar: true,
             seed: 42,
         }
     }
@@ -376,30 +391,6 @@ impl Miner {
         &self.engine
     }
 
-    /// Mine `k` informative rules from `table` (Algorithm 2).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Miner::try_mine` (or `sirum::api::SirumSession`); this shim panics on invalid input"
-    )]
-    pub fn mine(&self, table: &Table) -> MiningResult {
-        match self.try_mine(table) {
-            Ok(result) => result,
-            Err(e) => crate::error::fail(e),
-        }
-    }
-
-    /// Mine with prior-knowledge rules already in the model.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Miner::try_mine_with_prior`; this shim panics on invalid input"
-    )]
-    pub fn mine_with_prior(&self, table: &Table, prior: &[Rule]) -> MiningResult {
-        match self.try_mine_with_prior(table, prior) {
-            Ok(result) => result,
-            Err(e) => crate::error::fail(e),
-        }
-    }
-
     /// Mine `k` informative rules from `table` (Algorithm 2), validating
     /// the configuration and dataset first.
     pub fn try_mine(&self, table: &Table) -> Result<MiningResult, SirumError> {
@@ -507,23 +498,22 @@ impl Miner {
         }
 
         let transform = prepared.transform();
-        let m_prime = prepared.m_prime();
         let mut timings = PhaseTimings::default();
         let mut scaling_iterations = Vec::new();
         let mut ancestors_emitted = 0u64;
 
-        // Distribute D as (dims, m′, m̂=1, BA=0) tuples and cache it.
-        let tuples: Vec<Tup> = (0..n)
-            .map(|i| (prepared.rows()[i].clone(), m_prime[i], 1.0, 0u64))
-            .collect();
-        let mut data = self.cache_swap(None, self.engine.parallelize_default(tuples));
+        // Distribute D and cache it: columnar blocks over the prepared
+        // table's shared columns (the default), or per-row boxed tuples on
+        // the row-major reference path.
+        let mut data =
+            self.cache_swap(None, MiningData::seed(&self.engine, prepared, cfg.columnar));
 
         // Seed rule set: all-wildcards first (required by §2.2), then priors.
         let mut rules: Vec<Rule> = Vec::with_capacity(rule_budget);
         rules.push(Rule::all_wildcards(d));
         rules.extend(prior.iter().cloned());
         let mut lambdas = vec![1.0f64; rules.len()];
-        let (mut m_sums, counts) = self.rule_sums(&data, &rules);
+        let (mut m_sums, counts) = data.rule_sums(&rules);
         let mut mined: Vec<MinedRule> = rules
             .iter()
             .zip(m_sums.iter().zip(&counts))
@@ -556,11 +546,7 @@ impl Miner {
         // inverted index (§4.2); the index is also what adjusts aggregates.
         let index = match cfg.strategy {
             CandidateStrategy::SampleLca { sample_size } => {
-                let rows: Vec<Box<[u32]>> = data
-                    .take_sample(sample_size, cfg.seed)
-                    .into_iter()
-                    .map(|(dims, _, _, _)| dims)
-                    .collect();
+                let rows: Vec<Box<[u32]>> = data.sample_dims(sample_size, cfg.seed);
                 let idx = SampleIndex::build(rows, d);
                 let hint = idx.bytes_hint();
                 Some(self.engine.broadcast_sized(idx, hint))
@@ -683,61 +669,17 @@ impl Miner {
 
     /// Cache a freshly produced dataset (except in DiskMr mode, whose stage
     /// outputs are already disk-materialized) and free its predecessor.
-    fn cache_swap(&self, old: Option<Dataset<Tup>>, new: Dataset<Tup>) -> Dataset<Tup> {
-        let cached = if self.engine.mode() == EngineMode::DiskMr {
-            new
-        } else {
-            new.cache()
-        };
+    fn cache_swap(&self, old: Option<MiningData>, new: MiningData) -> MiningData {
+        let cached = new.cached(self.engine.mode());
         if let Some(old) = old {
             old.free();
         }
         cached
     }
 
-    /// `Σ_{t⊨r} m′` and support counts for a rule list, one pass over `D`.
-    fn rule_sums(&self, data: &Dataset<Tup>, rules: &[Rule]) -> (Vec<f64>, Vec<u64>) {
-        let acc = data.aggregate(
-            "rule-m-sums",
-            || (vec![0.0f64; rules.len()], vec![0u64; rules.len()]),
-            |(sums, counts), (dims, m, _mh, _mask)| {
-                for (j, rule) in rules.iter().enumerate() {
-                    if rule.matches(dims) {
-                        sums[j] += *m;
-                        counts[j] += 1;
-                    }
-                }
-            },
-            |(s1, c1), (s2, c2)| {
-                for (a, b) in s1.iter_mut().zip(s2) {
-                    *a += b;
-                }
-                for (a, b) in c1.iter_mut().zip(c2) {
-                    *a += b;
-                }
-            },
-        );
-        acc
-    }
-
     /// One KL evaluation pass (Eq in §2.3, assembled from aggregates).
-    fn compute_kl(&self, data: &Dataset<Tup>) -> f64 {
-        let (s1, sum_m, sum_mhat) = data.aggregate(
-            "kl",
-            || (0.0f64, 0.0f64, 0.0f64),
-            |(s1, sm, smh), (_dims, m, mh, _mask)| {
-                if *m > 0.0 {
-                    *s1 += m * (m / mh).ln();
-                }
-                *sm += m;
-                *smh += mh;
-            },
-            |a, b| {
-                a.0 += b.0;
-                a.1 += b.1;
-                a.2 += b.2;
-            },
-        );
+    fn compute_kl(&self, data: &MiningData) -> f64 {
+        let (s1, sum_m, sum_mhat) = data.kl_parts();
         kl_from_parts(s1, sum_m, sum_mhat)
     }
 
@@ -747,23 +689,21 @@ impl Miner {
     #[allow(clippy::too_many_arguments)]
     fn run_scaling(
         &self,
-        mut data: Dataset<Tup>,
+        mut data: MiningData,
         rules: &[Rule],
         m_sums: &[f64],
         lambdas: &mut [f64],
         new: std::ops::Range<usize>,
         timings: &mut PhaseTimings,
         scaling_iterations: &mut Vec<usize>,
-    ) -> Dataset<Tup> {
+    ) -> MiningData {
         let start = Instant::now();
         let cfg = &self.config;
 
         if cfg.reset_lambdas_on_insert {
             // Sarawagi [29]: re-derive the whole model from scratch.
             lambdas.iter_mut().for_each(|l| *l = 1.0);
-            let reset = data.map("reset-mhat", |(dims, m, _mh, mask)| {
-                (dims.clone(), *m, 1.0, *mask)
-            });
+            let reset = data.reset_mhat();
             data = self.cache_swap(Some(data), reset);
         }
 
@@ -771,37 +711,11 @@ impl Miner {
             // Pass 1: update bit arrays for the newly added rules.
             let new_rules: Vec<(usize, Rule)> =
                 new.clone().map(|i| (i, rules[i].clone())).collect();
-            let updated = data.map("update-ba", move |(dims, m, mh, mask)| {
-                let mut mask = *mask;
-                for (i, rule) in &new_rules {
-                    if rule.matches(dims) {
-                        mask |= 1u64 << i;
-                    }
-                }
-                (dims.clone(), *m, *mh, mask)
-            });
+            let updated = data.update_ba(new_rules);
             data = self.cache_swap(Some(data), updated);
 
             // Pass 2: group by BA to build the RCT (small, driver-resident).
-            let partials = data.aggregate(
-                "build-rct",
-                Vec::<RctGroup>::new,
-                |groups, (_dims, m, mh, mask)| match groups.iter_mut().find(|g| g.mask == *mask) {
-                    Some(g) => {
-                        g.count += 1;
-                        g.sum_m += m;
-                        g.sum_mhat += mh;
-                    }
-                    None => groups.push(RctGroup {
-                        mask: *mask,
-                        count: 1,
-                        sum_m: *m,
-                        sum_mhat: *mh,
-                    }),
-                },
-                |a, b| a.extend(b),
-            );
-            let mut rct = Rct::from_partials(partials);
+            let mut rct = Rct::from_partials(data.build_rct_partials());
 
             // Scaling runs entirely on the RCT.
             let outcome =
@@ -809,32 +723,14 @@ impl Miner {
             scaling_iterations.push(outcome.iterations);
 
             // Pass 3: write the converged estimates back to D.
-            let ls = lambdas.to_vec();
-            let written = data.map("write-mhat", move |(dims, m, _mh, mask)| {
-                (dims.clone(), *m, mhat_for_mask(*mask, &ls), *mask)
-            });
+            let written = data.write_mhat(lambdas.to_vec());
             data = self.cache_swap(Some(data), written);
         } else {
             // Algorithm 1 against the distributed dataset: every loop pays
             // one sums pass and (if not converged) one update pass over D.
             let mut iterations = 0usize;
             loop {
-                let mhat_sums = data.aggregate(
-                    "scaling-sums",
-                    || vec![0.0f64; rules.len()],
-                    |sums, (dims, _m, mh, _mask)| {
-                        for (j, rule) in rules.iter().enumerate() {
-                            if rule.matches(dims) {
-                                sums[j] += *mh;
-                            }
-                        }
-                    },
-                    |a, b| {
-                        for (x, y) in a.iter_mut().zip(b) {
-                            *x += y;
-                        }
-                    },
-                );
+                let mhat_sums = data.scaling_sums(rules);
                 let mut next = usize::MAX;
                 let mut worst = 0.0f64;
                 for i in 0..rules.len() {
@@ -853,11 +749,7 @@ impl Miner {
                 iterations += 1;
                 let factor = m_sums[next] / mhat_sums[next];
                 lambdas[next] *= factor;
-                let rule = rules[next].clone();
-                let updated = data.map("scale-mhat", move |(dims, m, mh, mask)| {
-                    let mh = if rule.matches(dims) { mh * factor } else { *mh };
-                    (dims.clone(), *m, mh, *mask)
-                });
+                let updated = data.scale_mhat(rules[next].clone(), factor);
                 data = self.cache_swap(Some(data), updated);
             }
             scaling_iterations.push(iterations);
@@ -878,7 +770,7 @@ impl Miner {
     /// pass mid-sweep.
     fn generate_candidates(
         &self,
-        data: &Dataset<Tup>,
+        data: &MiningData,
         index: Option<&SampleIndex>,
         rules: &[Rule],
         timings: &mut PhaseTimings,
@@ -899,7 +791,7 @@ impl Miner {
                 distinct_candidates,
                 pairs_emitted,
                 cancelled,
-            } = sweep_gains(data, d, index, self.cancellation.as_ref());
+            } = data.sweep(d, index, self.cancellation.as_ref());
             *ancestors_emitted += pairs_emitted;
             let existing: HashSet<&Rule> = rules.iter().collect();
             let mut result: Vec<ScoredCandidate> = candidates
@@ -931,50 +823,8 @@ impl Miner {
 
         // ---- Candidate pruning: LCA(s, D) (§3.1.1 / §4.2) ----------------
         let t0 = Instant::now();
-        let base = if cfg.broadcast_join {
-            data.clone()
-        } else {
-            // Naive SIRUM re-shuffles D for the join instead of broadcasting
-            // the small side (§3.2).
-            data.repartition(data.num_partitions())
-        };
-        let pairs: Dataset<(Rule, Agg)> = match index {
-            Some(idx) => {
-                if cfg.fast_pruning {
-                    let s = idx.len();
-                    base.map_partitions("lca-fast", move |_, rows| {
-                        let mut out = Vec::with_capacity(rows.len() * s);
-                        let mut scratch = Vec::new();
-                        for (dims, m, mh, _mask) in rows {
-                            let lcas = idx.lcas_into(dims, &mut scratch);
-                            for chunk in lcas.chunks_exact(d) {
-                                out.push((Rule::from_tuple(chunk), (*m, *mh, 1u64)));
-                            }
-                        }
-                        out
-                    })
-                } else {
-                    let s = idx.len();
-                    base.map_partitions("lca-naive", move |_, rows| {
-                        let mut out = Vec::with_capacity(rows.len() * s);
-                        for (dims, m, mh, _mask) in rows {
-                            for srow in idx.rows() {
-                                out.push((Rule::lca(srow, dims), (*m, *mh, 1u64)));
-                            }
-                        }
-                        out
-                    })
-                }
-            }
-            None => base.map("tuple-rule", |(dims, m, mh, _mask)| {
-                (Rule::from_tuple(dims), (*m, *mh, 1u64))
-            }),
-        };
-        let mut cand = pairs.reduce_by_key("lca-agg", partitions, merge_agg);
-        pairs.free();
-        if !cfg.broadcast_join {
-            base.free();
-        }
+        let mut cand =
+            data.lca_candidates(partitions, index, d, cfg.broadcast_join, cfg.fast_pruning);
         timings.candidate_pruning += t0.elapsed().as_secs_f64();
 
         // ---- Ancestor generation (§3.1.1 single-stage / §4.3 grouped) ----

@@ -1,30 +1,35 @@
-//! Pre-encoded mining input: the per-request table preparation —
-//! row-major dimension codes boxed per tuple, the fitted
-//! [`MeasureTransform`] and the transformed measure column — computed once
-//! and reused across requests.
+//! Pre-encoded mining input: the per-request table preparation — the
+//! columnar [`Frame`] (one `Arc`-shared code column per dimension), the
+//! fitted [`MeasureTransform`] and the transformed measure column — built
+//! once and scanned by every request.
 //!
 //! [`crate::Miner::try_mine_with_prior`] performs this preparation on every
 //! call; an interactive workload that re-mines the same table with varied
 //! `k`/variant/two-sided settings pays it repeatedly. The service layer's
 //! catalog instead builds one [`PreparedTable`] per registered table and
 //! feeds it to [`crate::Miner::try_mine_prepared`], so repeated requests
-//! skip re-validation, transform fitting and row re-encoding.
+//! skip re-validation, transform fitting and the row-major → columnar
+//! transpose — and every concurrent job scans the *same* shared buffers
+//! (partitioning hands out [`sirum_table::FrameView`] ranges, never
+//! copies).
 
 use crate::error::SirumError;
 use crate::transform::MeasureTransform;
-use sirum_table::Table;
+use sirum_table::{ColSlice, Frame, Table};
+use std::sync::Arc;
 
-/// A table validated and encoded for mining: per-row boxed dimension codes
-/// plus the transformed measure column `m′` and its [`MeasureTransform`].
+/// A table validated and encoded for mining: the columnar dimension
+/// [`Frame`] plus the transformed measure column `m′` and its
+/// [`MeasureTransform`].
 ///
 /// Construction checks everything [`crate::Miner`] needs from the data —
 /// non-emptiness and finite measures — so a `PreparedTable` can be mined
-/// without re-validating per request.
+/// without re-validating per request. Cloning shares the columns (`Arc`
+/// bumps).
 #[derive(Debug, Clone)]
 pub struct PreparedTable {
-    d: usize,
-    rows: Vec<Box<[u32]>>,
-    m_prime: Vec<f64>,
+    frame: Frame,
+    m_prime: Arc<[f64]>,
     transform: MeasureTransform,
 }
 
@@ -39,35 +44,38 @@ impl PreparedTable {
             return Err(SirumError::EmptyDataset);
         }
         let (transform, m_prime) = MeasureTransform::try_fit(table.measures())?;
-        let rows: Vec<Box<[u32]>> = (0..table.num_rows())
-            .map(|i| table.row(i).to_vec().into_boxed_slice())
-            .collect();
         Ok(PreparedTable {
-            d: table.num_dims(),
-            rows,
-            m_prime,
+            frame: Frame::from_table(table),
+            m_prime: Arc::from(m_prime),
             transform,
         })
     }
 
     /// Number of rows `n`.
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.frame.num_rows()
     }
 
     /// Number of dimension attributes `d`.
     pub fn num_dims(&self) -> usize {
-        self.d
+        self.frame.num_dims()
     }
 
-    /// The encoded rows (dimension codes, row-major per tuple).
-    pub fn rows(&self) -> &[Box<[u32]>] {
-        &self.rows
+    /// The shared columnar frame (dimension code columns + the raw measure
+    /// column), the buffers every mining scan reads.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
     }
 
-    /// The transformed measure column `m′` (aligned with [`Self::rows`]).
+    /// The transformed measure column `m′` (row-aligned with the frame).
     pub fn m_prime(&self) -> &[f64] {
         &self.m_prime
+    }
+
+    /// The transformed measure column as a shared slice (an `Arc` bump),
+    /// for building partition-aligned column windows.
+    pub fn m_prime_slice(&self) -> ColSlice<f64> {
+        ColSlice::full(Arc::clone(&self.m_prime))
     }
 
     /// The fitted measure transform (shift applied to produce `m′`).
@@ -87,10 +95,22 @@ mod tests {
         let p = PreparedTable::try_new(&t).unwrap();
         assert_eq!(p.num_rows(), t.num_rows());
         assert_eq!(p.num_dims(), t.num_dims());
+        let mut buf = Vec::new();
         for i in 0..t.num_rows() {
-            assert_eq!(&*p.rows()[i], t.row(i));
+            p.frame().gather_row(i, &mut buf);
+            assert_eq!(buf.as_slice(), t.row(i));
             assert_eq!(p.m_prime()[i], p.transform().apply(t.measure(i)));
         }
+        assert_eq!(p.frame().fingerprint(), t.fingerprint());
+    }
+
+    #[test]
+    fn clones_share_the_columns() {
+        let t = generators::flights();
+        let p = PreparedTable::try_new(&t).unwrap();
+        let q = p.clone();
+        assert!(std::ptr::eq(p.frame().col(0), q.frame().col(0)));
+        assert!(std::ptr::eq(p.m_prime(), q.m_prime()));
     }
 
     #[test]

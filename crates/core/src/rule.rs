@@ -75,6 +75,18 @@ impl Rule {
             .collect()
     }
 
+    /// The rule's constant positions with their codes, `(dimension, code)`
+    /// — the only columns a columnar scan needs to touch. Every columnar
+    /// match site (miner data path, evaluator, streaming history) resolves
+    /// its column storage from this one iterator.
+    pub fn constants(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != WILDCARD)
+            .map(|(j, &v)| (j, v))
+    }
+
     /// `t ⊨ r`: the tuple matches this rule (every non-wildcard position
     /// agrees). §2.1.
     #[inline]

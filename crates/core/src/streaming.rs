@@ -60,8 +60,10 @@ pub struct StreamingMiner {
     rules: Vec<Rule>,
     lambdas: Vec<f64>,
     m_sums: Vec<f64>,
-    // Columnar history: dims (row-major), measures, bit arrays.
-    dims: Vec<u32>,
+    // Columnar history (struct-of-arrays, matching the batch miner's
+    // Frame layout): one contiguous code column per dimension attribute,
+    // plus the measure and bit-array columns.
+    cols: Vec<Vec<u32>>,
     measures: Vec<f64>,
     masks: Vec<u64>,
     // RCT sufficient statistics, maintained incrementally. `sum_mlnm`
@@ -90,7 +92,7 @@ impl StreamingMiner {
             rules: vec![Rule::all_wildcards(d)],
             lambdas: vec![1.0],
             m_sums: vec![0.0],
-            dims: Vec::new(),
+            cols: (0..d).map(|_| Vec::new()).collect(),
             measures: Vec::new(),
             masks: Vec::new(),
             groups: FxHashMap::default(),
@@ -155,8 +157,10 @@ impl StreamingMiner {
             if *m > 0.0 {
                 entry.1 += m * m.ln();
             }
-            // History (columnar).
-            self.dims.extend_from_slice(row);
+            // History (columnar: one push per dimension column).
+            for (col, &v) in self.cols.iter_mut().zip(row.iter()) {
+                col.push(v);
+            }
             self.measures.push(*m);
             self.masks.push(mask);
             // Reservoir sample for future candidate generation.
@@ -247,20 +251,16 @@ impl StreamingMiner {
             // Estimates for every historical tuple under the current model.
             let mhat: Vec<f64> = self.masks.iter().map(|&m| self.estimate_of(m)).collect();
             let index = SampleIndex::build(self.reservoir.clone(), self.d);
-            let view = TableView {
-                d: self.d,
-                dims: &self.dims,
-            };
             // LCA(s, D) + ancestors, in memory (same path as the
-            // centralized miner).
+            // centralized miner): scan the code columns, gathering each
+            // row into a reusable scratch buffer only at the LCA probe.
             let mut lcas: FxHashMap<Rule, Agg> = FxHashMap::default();
-            for (i, row) in view.rows().enumerate() {
+            let mut row = Vec::with_capacity(self.d);
+            for (i, (&m, &mh)) in self.measures.iter().zip(&mhat).enumerate() {
+                self.gather_row(i, &mut row);
                 for s in &self.reservoir {
-                    let lca = Rule::lca(s, row);
-                    merge_agg(
-                        lcas.entry(lca).or_insert((0.0, 0.0, 0)),
-                        (self.measures[i], mhat[i], 1),
-                    );
+                    let lca = Rule::lca(s, &row);
+                    merge_agg(lcas.entry(lca).or_insert((0.0, 0.0, 0)), (m, mh, 1));
                 }
             }
             let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
@@ -305,9 +305,10 @@ impl StreamingMiner {
         self.m_sums.push(sum_m);
         let mut groups: FxHashMap<u64, (RctGroup, f64)> = FxHashMap::default();
         let rule = self.rules[w].clone();
+        // Columnar coverage test: only the rule's constant columns are read.
+        let consts: Vec<(usize, u32)> = rule.constants().collect();
         for i in 0..self.measures.len() {
-            let row = &self.dims[i * self.d..(i + 1) * self.d];
-            if rule.matches(row) {
+            if consts.iter().all(|&(j, v)| self.cols[j][i] == v) {
                 self.masks[i] |= bit;
             }
             let mask = self.masks[i];
@@ -332,17 +333,11 @@ impl StreamingMiner {
         self.groups = groups;
         self.refit();
     }
-}
 
-/// Zero-copy row view over the columnar history.
-struct TableView<'a> {
-    d: usize,
-    dims: &'a [u32],
-}
-
-impl<'a> TableView<'a> {
-    fn rows(&self) -> impl Iterator<Item = &'a [u32]> {
-        self.dims.chunks_exact(self.d)
+    /// Copy historical row `i`'s codes out of the columns (cleared first).
+    fn gather_row(&self, i: usize, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|col| col[i]));
     }
 }
 

@@ -51,13 +51,14 @@
 //! with [`SweepOutcome::cancelled`] set, and the miner abandons the
 //! iteration without selecting from partial sums.
 
+use crate::block::TupleBlock;
 use crate::cancel::CancellationToken;
 use crate::candidates::{adjust_for_sample, SampleIndex};
 use crate::lattice::MAX_EXPAND_BITS;
 use crate::miner::Tup;
 use crate::rule::{Rule, WILDCARD};
 use sirum_dataflow::hash::FxHashMap;
-use sirum_dataflow::Dataset;
+use sirum_dataflow::{Dataset, Engine};
 
 /// Per-candidate aggregate carried by the sweep: `(Σm, Σm̂, pair count)` —
 /// the same triple the legacy shuffle pipeline reduces by key.
@@ -196,6 +197,25 @@ fn accumulate_ancestors(
     false
 }
 
+/// Fold one data row's LCA contributions into the partition map. Probing
+/// with a borrowed `&[u32]` LCA key (see `Borrow<[u32]> for Rule`) keeps
+/// the hot loop allocation-free on hits and lets the map stay keyed by
+/// *rules*, which stays small — one entry per distinct LCA, not per
+/// (sample row, LCA) pair.
+#[inline]
+fn fold_lca(map: &mut FxHashMap<Rule, Agg>, key: &[u32], m: f64, mh: f64) {
+    match map.get_mut(key) {
+        Some(a) => {
+            a.0 += m;
+            a.1 += mh;
+            a.2 += 1;
+        }
+        None => {
+            map.insert(Rule::from_tuple(key), (m, mh, 1));
+        }
+    }
+}
+
 /// Stage 1, one partition: combine every `(sample tuple, data tuple)` LCA
 /// (or the tuple itself when no index is given — the full-cube strategy)
 /// into a partition-local `LCA → (Σm, Σm̂, pairs)` map. This is the
@@ -212,21 +232,6 @@ fn combine_partition(
         acc.cancelled = true;
         return acc;
     }
-    // Probing with a borrowed `&[u32]` LCA key (see `Borrow<[u32]> for
-    // Rule`) keeps the hot loop allocation-free on hits and lets the map
-    // stay keyed by *rules*, which stays small — one entry per distinct
-    // LCA, not per (sample row, LCA) pair.
-    let fold = |map: &mut FxHashMap<Rule, Agg>, key: &[u32], m: f64, mh: f64| match map.get_mut(key)
-    {
-        Some(a) => {
-            a.0 += m;
-            a.1 += mh;
-            a.2 += 1;
-        }
-        None => {
-            map.insert(Rule::from_tuple(key), (m, mh, 1));
-        }
-    };
     let mut scratch = Vec::new();
     for (i, (dims, m, mh, _ba)) in rows.iter().enumerate() {
         if i > 0 && i % CANCEL_POLL_ROWS == 0 && is_cancelled(cancel) {
@@ -237,10 +242,61 @@ fn combine_partition(
             Some(idx) => {
                 let chunks = idx.lcas_into(dims, &mut scratch);
                 for chunk in chunks.chunks_exact(d) {
-                    fold(&mut acc.map, chunk, *m, *mh);
+                    fold_lca(&mut acc.map, chunk, *m, *mh);
                 }
             }
-            None => fold(&mut acc.map, dims, *m, *mh),
+            None => fold_lca(&mut acc.map, dims, *m, *mh),
+        }
+    }
+    acc
+}
+
+/// Stage 1 over a columnar partition ([`TupleBlock`]): identical fold,
+/// identical accumulator capacity and identical cancellation poll points
+/// as [`combine_partition`] — the LCA probe reads attribute values
+/// directly from the shared columns, and a row-shaped key is materialized
+/// into a reusable scratch buffer only where a contiguous row is
+/// unavoidable (the full-cube fold), so the per-candidate float sums are
+/// **bit-identical** to the row-major path's for the same partitioning.
+fn combine_partition_blocks(
+    blocks: &[TupleBlock],
+    d: usize,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+) -> PartitionSweep {
+    let rows: usize = blocks.iter().map(TupleBlock::len).sum();
+    let mut acc = PartitionSweep::with_capacity(rows);
+    if is_cancelled(cancel) {
+        acc.cancelled = true;
+        return acc;
+    }
+    let mut scratch = Vec::new();
+    let mut row_buf = Vec::with_capacity(d);
+    let mut at = 0usize;
+    for block in blocks {
+        let (m_col, mhat_col) = (block.m(), block.mhat());
+        // The sample-index probe reads attribute values straight from the
+        // columns (`lcas_into_cols`); only the full-cube fold needs a
+        // contiguous row key and pays the gather.
+        let cols: Vec<&[u32]> = (0..d).map(|j| block.dims().col(j)).collect();
+        for i in 0..block.len() {
+            if at > 0 && at.is_multiple_of(CANCEL_POLL_ROWS) && is_cancelled(cancel) {
+                acc.cancelled = true;
+                return acc;
+            }
+            at += 1;
+            match index {
+                Some(idx) => {
+                    let chunks = idx.lcas_into_cols(&cols, i, &mut scratch);
+                    for chunk in chunks.chunks_exact(d) {
+                        fold_lca(&mut acc.map, chunk, m_col[i], mhat_col[i]);
+                    }
+                }
+                None => {
+                    block.gather(i, &mut row_buf);
+                    fold_lca(&mut acc.map, &row_buf, m_col[i], mhat_col[i]);
+                }
+            }
         }
     }
     acc
@@ -308,10 +364,60 @@ fn finish(acc: PartitionSweep, index: Option<&SampleIndex>) -> SweepOutcome {
 /// Distribute the globally distinct LCA frontier over the same number of
 /// partitions as the data, so stage 2's chunking (and therefore its
 /// float-fold order) is a pure function of the stage-1 result.
-fn frontier_dataset(data: &Dataset<Tup>, combined: PartitionSweep) -> Dataset<(Rule, Agg)> {
+fn frontier_dataset(
+    engine: &Engine,
+    partitions: usize,
+    combined: PartitionSweep,
+) -> Dataset<(Rule, Agg)> {
     let frontier: Vec<(Rule, Agg)> = combined.map.into_iter().collect();
-    data.engine()
-        .parallelize(frontier, data.num_partitions().max(1))
+    engine.parallelize(frontier, partitions.max(1))
+}
+
+/// Stage 2 + finish, shared by every stage-1 source (row-major or
+/// columnar, parallel or sequential reference): expand the merged frontier
+/// on the engine thread pool and assemble the outcome.
+fn expand_merged(
+    engine: &Engine,
+    partitions: usize,
+    combined: PartitionSweep,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+) -> SweepOutcome {
+    if combined.cancelled {
+        return finish(combined, index);
+    }
+    let frontier = frontier_dataset(engine, partitions, combined);
+    let acc = frontier.aggregate_partitions(
+        "gain-sweep-expand",
+        PartitionSweep::new,
+        |_, lcas| expand_partition(lcas, cancel),
+        PartitionSweep::merge,
+    );
+    finish(acc, index)
+}
+
+/// As [`expand_merged`], but expanding inline on the calling thread (the
+/// sequential reference's stage 2).
+fn expand_merged_reference(
+    engine: &Engine,
+    partitions: usize,
+    combined: PartitionSweep,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+) -> SweepOutcome {
+    if combined.cancelled {
+        return finish(combined, index);
+    }
+    let frontier = frontier_dataset(engine, partitions, combined);
+    let mut expand = (0..frontier.num_partitions()).map(|i| {
+        let part = frontier.part(i);
+        expand_partition(&part, cancel)
+    });
+    let mut acc = expand.next().unwrap_or_else(PartitionSweep::new);
+    for out in expand {
+        acc.merge(out);
+    }
+    finish(acc, index)
 }
 
 /// Run the sweep as per-partition tasks on the dataset's engine thread
@@ -323,7 +429,8 @@ fn frontier_dataset(data: &Dataset<Tup>, combined: PartitionSweep) -> Dataset<(R
 /// full cube).
 ///
 /// Bit-identical to [`sweep_gains_reference`] for every worker count (see
-/// the module docs for the argument).
+/// the module docs for the argument), and to [`sweep_gains_blocks`] over
+/// the same partitioning.
 pub fn sweep_gains(
     data: &Dataset<Tup>,
     d: usize,
@@ -336,17 +443,40 @@ pub fn sweep_gains(
         |_, rows| combine_partition(rows, d, index, cancel),
         PartitionSweep::merge,
     );
-    if combined.cancelled {
-        return finish(combined, index);
-    }
-    let frontier = frontier_dataset(data, combined);
-    let acc = frontier.aggregate_partitions(
-        "gain-sweep-expand",
+    expand_merged(
+        data.engine(),
+        data.num_partitions(),
+        combined,
+        index,
+        cancel,
+    )
+}
+
+/// The sweep over the **columnar** dataset (one [`TupleBlock`] per
+/// partition): the default data path. Stage 1 scans the shared dimension
+/// columns, gathering each row into a scratch buffer only for the LCA
+/// probe; stage 2 is shared with the row-major sweep. Bit-identical to
+/// [`sweep_gains`] over the same partitioning — proptested in
+/// `crates/core/tests/properties.rs`.
+pub fn sweep_gains_blocks(
+    data: &Dataset<TupleBlock>,
+    d: usize,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+) -> SweepOutcome {
+    let combined = data.aggregate_partitions(
+        "gain-sweep-combine",
         PartitionSweep::new,
-        |_, lcas| expand_partition(lcas, cancel),
+        |_, blocks| combine_partition_blocks(blocks, d, index, cancel),
         PartitionSweep::merge,
     );
-    finish(acc, index)
+    expand_merged(
+        data.engine(),
+        data.num_partitions(),
+        combined,
+        index,
+        cancel,
+    )
 }
 
 /// The sequential reference: identical per-partition work and identical
@@ -371,19 +501,38 @@ pub fn sweep_gains_reference(
     for acc in combine {
         combined.merge(acc);
     }
-    if combined.cancelled {
-        return finish(combined, index);
-    }
-    let frontier = frontier_dataset(data, combined);
-    let mut expand = (0..frontier.num_partitions()).map(|i| {
-        let part = frontier.part(i);
-        expand_partition(&part, cancel)
+    expand_merged_reference(
+        data.engine(),
+        data.num_partitions(),
+        combined,
+        index,
+        cancel,
+    )
+}
+
+/// Sequential reference over the columnar dataset (see
+/// [`sweep_gains_reference`]).
+pub fn sweep_gains_blocks_reference(
+    data: &Dataset<TupleBlock>,
+    d: usize,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+) -> SweepOutcome {
+    let mut combine = (0..data.num_partitions()).map(|i| {
+        let part = data.part(i);
+        combine_partition_blocks(&part, d, index, cancel)
     });
-    let mut acc = expand.next().unwrap_or_else(PartitionSweep::new);
-    for out in expand {
-        acc.merge(out);
+    let mut combined = combine.next().unwrap_or_else(PartitionSweep::new);
+    for acc in combine {
+        combined.merge(acc);
     }
-    finish(acc, index)
+    expand_merged_reference(
+        data.engine(),
+        data.num_partitions(),
+        combined,
+        index,
+        cancel,
+    )
 }
 
 #[cfg(test)]
@@ -467,6 +616,45 @@ mod tests {
             let seq = sweep_gains_reference(&data, 3, None, None);
             assert_eq!(par.pairs_emitted, seq.pairs_emitted);
             assert_eq!(canon(par.candidates), canon(seq.candidates));
+        }
+    }
+
+    #[test]
+    fn columnar_blocks_sweep_is_bit_identical_to_the_row_sweep() {
+        use sirum_table::Frame;
+        let t = flights();
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let rows = engine.parallelize(tuples(&t), 4);
+        let frame = Frame::from_table(&t);
+        let m: sirum_table::ColSlice<f64> = t.measures().to_vec().into();
+        let blocks: Vec<TupleBlock> = frame
+            .partition_views(4)
+            .into_iter()
+            .map(|v| TupleBlock::seed(v.clone(), m.slice(v.start(), v.len())))
+            .collect();
+        let block_ds = Dataset::from_partitioned(&engine, blocks);
+        let canon = |out: SweepOutcome| -> Vec<(Rule, u64, u64, u64)> {
+            out.candidates
+                .into_iter()
+                .map(|(r, a, b, c)| (r, a.to_bits(), b.to_bits(), c))
+                .collect()
+        };
+        let sample: Vec<Box<[u32]>> = [3usize, 8]
+            .iter()
+            .map(|&i| t.row(i).to_vec().into_boxed_slice())
+            .collect();
+        let index = SampleIndex::build(sample, 3);
+        for idx in [None, Some(&index)] {
+            let row_out = sweep_gains(&rows, 3, idx, None);
+            let blk_out = sweep_gains_blocks(&block_ds, 3, idx, None);
+            let blk_ref = sweep_gains_blocks_reference(&block_ds, 3, idx, None);
+            assert_eq!(row_out.pairs_emitted, blk_out.pairs_emitted);
+            assert_eq!(row_out.distinct_candidates, blk_out.distinct_candidates);
+            // Same partitioning ⇒ identical fold orders ⇒ identical bits,
+            // including the deterministic candidate ORDER.
+            let row_bits = canon(row_out);
+            assert_eq!(row_bits, canon(blk_out));
+            assert_eq!(row_bits, canon(blk_ref));
         }
     }
 

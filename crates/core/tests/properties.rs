@@ -8,7 +8,7 @@ use sirum_core::candidates::{
 };
 use sirum_core::gain::kl_divergence;
 use sirum_core::lattice::{ancestors, ancestors_restricted, column_groups};
-use sirum_core::miner::{CandidateStrategy, Miner, SirumConfig, Tup};
+use sirum_core::miner::{CandidateStrategy, IterationDecision, Miner, SirumConfig, Tup};
 use sirum_core::rct::{iterative_scaling_rct, mhat_for_mask, Rct};
 use sirum_core::rule::{Rule, WILDCARD};
 use sirum_core::scaling::{
@@ -16,6 +16,7 @@ use sirum_core::scaling::{
 };
 use sirum_core::sweep::{sweep_gains, sweep_gains_reference};
 use sirum_core::transform::MeasureTransform;
+use sirum_core::Variant;
 use sirum_dataflow::hash::FxHashMap;
 use sirum_dataflow::{Engine, EngineConfig};
 use sirum_table::{Schema, Table};
@@ -79,8 +80,108 @@ fn sweep_bits(out: &sirum_core::sweep::SweepOutcome) -> Vec<(Vec<u32>, u64, u64,
     v
 }
 
+/// Everything a mining run produces that must match bit for bit between
+/// the columnar and row-major representations: the selected rule sequence
+/// with selection-time gains/averages/counts, the KL trace, the λ-update
+/// counts, the emitted-pair accounting, the iteration count and the
+/// cancellation flag. (Wall-clock timings are excluded by construction.)
+type ResultBits = (
+    Vec<(Vec<u32>, u64, u64, u64)>,
+    Vec<u64>,
+    Vec<usize>,
+    u64,
+    usize,
+    bool,
+);
+
+fn result_bits(r: &sirum_core::MiningResult) -> ResultBits {
+    (
+        r.rules
+            .iter()
+            .map(|m| {
+                (
+                    m.rule.values().to_vec(),
+                    m.gain.to_bits(),
+                    m.avg_measure.to_bits(),
+                    m.count,
+                )
+            })
+            .collect(),
+        r.kl_trace.iter().map(|k| k.to_bits()).collect(),
+        r.scaling_iterations.clone(),
+        r.ancestors_emitted,
+        r.iterations,
+        r.cancelled,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn columnar_and_rowmajor_mining_are_bit_identical(
+        (table, variant_idx, partitions, workers) in small_table().prop_flat_map(|t| {
+            (Just(t), 0usize..Variant::ALL.len(), 1usize..5, 1usize..4)
+        })
+    ) {
+        // The tentpole refactor claim (ISSUE 5): swapping the data
+        // representation — zero-copy columnar FrameView partitions vs.
+        // boxed per-row tuples — changes NOTHING about the mining output,
+        // for every Table 4.2 variant (incl. Naive's repartition path and
+        // the staged pipelines), partition count and worker count.
+        let variant = Variant::ALL[variant_idx];
+        let n = table.num_rows();
+        let mine = |columnar: bool| {
+            let engine = Engine::new(
+                EngineConfig::in_memory()
+                    .with_workers(workers)
+                    .with_partitions(partitions),
+            );
+            let mut config = variant.config(2, n.min(4));
+            config.columnar = columnar;
+            Miner::new(engine, config).try_mine(&table).unwrap()
+        };
+        prop_assert_eq!(result_bits(&mine(true)), result_bits(&mine(false)));
+    }
+
+    #[test]
+    fn columnar_and_rowmajor_agree_under_midmine_cancellation(
+        (table, stop_after, partitions) in small_table().prop_flat_map(|t| {
+            (Just(t), 1usize..3, 1usize..5)
+        })
+    ) {
+        // Cancelling at an iteration boundary must leave the same partial
+        // result on both representations: same rules mined so far, same
+        // KL trace, same cancelled flag.
+        let n = table.num_rows();
+        let mine = |columnar: bool| {
+            let engine = Engine::new(
+                EngineConfig::in_memory()
+                    .with_workers(2)
+                    .with_partitions(partitions),
+            );
+            let config = SirumConfig {
+                k: 4,
+                strategy: CandidateStrategy::SampleLca { sample_size: n.min(5) },
+                columnar,
+                ..SirumConfig::default()
+            };
+            Miner::new(engine, config)
+                .with_observer(move |event| {
+                    if event.iteration >= stop_after {
+                        IterationDecision::Stop
+                    } else {
+                        IterationDecision::Continue
+                    }
+                })
+                .try_mine(&table)
+                .unwrap()
+        };
+        let columnar = mine(true);
+        let rowmajor = mine(false);
+        prop_assert_eq!(columnar.cancelled, rowmajor.cancelled);
+        prop_assert_eq!(result_bits(&columnar), result_bits(&rowmajor));
+    }
 
     #[test]
     fn parallel_sweep_is_bit_identical_to_the_sequential_reference(

@@ -14,6 +14,26 @@ use std::sync::Arc;
 pub trait Record: Encode + Clone + Send + Sync + 'static {}
 impl<T: Encode + Clone + Send + Sync + 'static> Record for T {}
 
+/// The selection protocol behind [`Dataset::take_sample`]: the sorted
+/// global row indices of a uniform without-replacement draw of
+/// `min(n, total)` rows, deterministic in `seed` (all rows when
+/// `n >= total`). Public — and the single implementation — so datasets
+/// with a different record granularity (e.g. one columnar block per
+/// partition) can draw the *same* rows a record-per-row dataset would:
+/// the miner's columnar/row-major bit-identity depends on both arms
+/// replaying this one protocol.
+pub fn sample_row_indices(total: usize, n: usize, seed: u64) -> Vec<usize> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    if n >= total {
+        return (0..total).collect();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: Vec<usize> = rand::seq::index::sample(&mut rng, total, n).into_vec();
+    chosen.sort_unstable();
+    chosen
+}
+
 /// One partition of a dataset: either resident in memory or a handle into
 /// the block store (cached or disk-materialized).
 pub(crate) enum Part<T> {
@@ -58,6 +78,34 @@ impl<T: Send + Sync + 'static> Dataset<T> {
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.parts.len()
+    }
+
+    /// Build a dataset with **one record per partition** — the columnar
+    /// construction, where each record is itself a whole partition's worth
+    /// of rows (a [`sirum_table::FrameView`] range or a column block) and
+    /// placing it is an `Arc` bump, not a copy. Contrast
+    /// [`Engine::parallelize`], which chunks a flat record list.
+    pub fn from_partitioned(engine: &Engine, items: Vec<T>) -> Dataset<T> {
+        let parts = items
+            .into_iter()
+            .map(|item| Part::Mem(Arc::new(vec![item])))
+            .collect();
+        Dataset::from_parts(engine.clone(), parts)
+    }
+}
+
+impl Dataset<sirum_table::FrameView> {
+    /// Partition a columnar [`sirum_table::Frame`] into `partitions` range
+    /// views over its shared columns — one view per partition, zero
+    /// copying, using the same row chunking as [`Engine::parallelize`] so
+    /// a columnar dataset sees every row in the same partition slot as the
+    /// row-major dataset it replaces.
+    pub fn from_frame_views(
+        engine: &Engine,
+        frame: &sirum_table::Frame,
+        partitions: usize,
+    ) -> Dataset<sirum_table::FrameView> {
+        Dataset::from_partitioned(engine, frame.partition_views(partitions))
     }
 }
 
@@ -256,18 +304,15 @@ impl<T: Record> Dataset<T> {
     }
 
     /// Draw exactly `min(n, len)` records uniformly at random without
-    /// replacement, deterministically from `seed`.
+    /// replacement, deterministically from `seed` (the
+    /// [`sample_row_indices`] protocol).
     pub fn take_sample(&self, n: usize, seed: u64) -> Vec<T> {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
         let lens: Vec<usize> = (0..self.parts.len()).map(|i| self.part(i).len()).collect();
         let total: usize = lens.iter().sum();
         if n >= total {
             return self.collect();
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut chosen: Vec<usize> = rand::seq::index::sample(&mut rng, total, n).into_vec();
-        chosen.sort_unstable();
+        let chosen = sample_row_indices(total, n, seed);
         let mut out = Vec::with_capacity(n);
         let mut offset = 0usize;
         let mut cursor = 0usize;

@@ -201,6 +201,72 @@ impl Encode for String {
     }
 }
 
+impl<T: Encode> Encode for std::sync::Arc<[T]> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self.iter() {
+            item.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        Vec::<T>::decode(buf).into()
+    }
+    fn size_estimate(&self) -> usize {
+        8 + self.iter().map(Encode::size_estimate).sum::<usize>()
+    }
+}
+
+/// A [`sirum_table::ColSlice`] encodes as its *in-range* values only — the shared
+/// buffer outside the range never crosses a spill/shuffle boundary — and
+/// decodes to a fresh full-range slice over its own buffer. Zero-copy
+/// sharing is an in-memory property; a round trip preserves the values.
+impl<T: Encode> Encode for sirum_table::ColSlice<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self.iter() {
+            item.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        Vec::<T>::decode(buf).into()
+    }
+    fn size_estimate(&self) -> usize {
+        8 + self.iter().map(Encode::size_estimate).sum::<usize>()
+    }
+}
+
+/// A [`sirum_table::FrameView`] encodes as its in-range column values (dimension codes
+/// then measures) and decodes to a view over a fresh single-partition
+/// [`sirum_table::Frame`] — this is what lets columnar partitions spill to
+/// disk in `DiskMr` mode and under block-store memory pressure while
+/// staying range views over shared columns in memory.
+impl Encode for sirum_table::FrameView {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.num_dims() as u64).encode(out);
+        (self.len() as u64).encode(out);
+        for j in 0..self.num_dims() {
+            for &code in self.col(j) {
+                code.encode(out);
+            }
+        }
+        for &m in self.measures() {
+            m.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        let d = u64::decode(buf) as usize;
+        let n = u64::decode(buf) as usize;
+        let cols: Vec<Vec<u32>> = (0..d)
+            .map(|_| (0..n).map(|_| u32::decode(buf)).collect())
+            .collect();
+        let measure: Vec<f64> = (0..n).map(|_| f64::decode(buf)).collect();
+        sirum_table::Frame::from_columns(cols, measure).view()
+    }
+    fn size_estimate(&self) -> usize {
+        16 + self.len() * (self.num_dims() * 4 + 8)
+    }
+}
+
 /// Encode a whole slice of records into one buffer (length-prefixed).
 pub fn encode_records<T: Encode>(records: &[T]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + records.len() * 8);

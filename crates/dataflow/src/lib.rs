@@ -46,7 +46,7 @@ mod memory;
 mod metrics;
 
 pub use config::{EngineConfig, EngineMode};
-pub use dataset::{Dataset, Record};
+pub use dataset::{sample_row_indices, Dataset, Record};
 pub use encode::{decode_records, encode_records, Encode};
 pub use engine::{Broadcast, Engine, TaskOutput};
 pub use error::DataflowError;

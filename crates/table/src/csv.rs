@@ -1,93 +1,192 @@
-//! Minimal CSV I/O for [`Table`]s.
+//! CSV I/O for [`Table`]s, in the RFC-4180 dialect.
 //!
 //! The paper stores its datasets as CSV files in HDFS; this module provides
-//! the equivalent boundary for the reproduction. The dialect is deliberately
-//! simple: comma-separated, first line is the header (dimension names then
-//! the measure name), no quoting — categorical values must not contain commas
-//! or newlines, which holds for every dataset the generators produce.
+//! the equivalent boundary for the reproduction. Fields are
+//! comma-separated, the first line is the header (dimension names then the
+//! measure name), and values containing commas, double quotes, carriage
+//! returns or newlines are written inside double quotes with embedded
+//! quotes doubled (`"` → `""`), so every categorical value round-trips —
+//! the reader accepts quoted fields back, including multi-line ones.
 
 use crate::error::TableError;
 use crate::schema::Schema;
 use crate::table::Table;
 use std::io::{BufRead, Write};
 
-/// Serialize a table as CSV (header + one line per row).
-///
-/// Returns [`TableError::Unwritable`] when an attribute name or value
-/// contains a comma (the dialect has no quoting), or [`TableError::Io`] on
-/// a write failure.
+/// True when `field` must be quoted under RFC 4180.
+fn needs_quoting(field: &str) -> bool {
+    field
+        .chars()
+        .any(|c| c == ',' || c == '"' || c == '\n' || c == '\r')
+}
+
+/// Write one field, quoting and escaping it if the dialect requires.
+fn write_field<W: Write>(out: &mut W, field: &str) -> Result<(), TableError> {
+    if needs_quoting(field) {
+        out.write_all(b"\"")?;
+        out.write_all(field.replace('"', "\"\"").as_bytes())?;
+        out.write_all(b"\"")?;
+    } else {
+        out.write_all(field.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Serialize a table as CSV (header + one line per row). Values with
+/// commas, quotes or line breaks are quoted per RFC 4180 and round-trip
+/// through [`read_csv`]. Returns [`TableError::Io`] on a write failure.
 pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<(), TableError> {
     let schema = table.schema();
     for (i, name) in schema.dim_names().iter().enumerate() {
-        if name.contains(',') || name.contains('\n') {
-            return Err(TableError::Unwritable {
-                what: "attribute name",
-                text: name.clone(),
-            });
-        }
         if i > 0 {
             out.write_all(b",")?;
         }
-        out.write_all(name.as_bytes())?;
+        write_field(out, name)?;
     }
-    writeln!(out, ",{}", schema.measure_name())?;
+    out.write_all(b",")?;
+    write_field(out, schema.measure_name())?;
+    out.write_all(b"\n")?;
     for i in 0..table.num_rows() {
         for (col, &code) in table.row(i).iter().enumerate() {
-            let v = table.decode(col, code);
-            if v.contains(',') || v.contains('\n') {
-                return Err(TableError::Unwritable {
-                    what: "value",
-                    text: v.to_string(),
-                });
-            }
             if col > 0 {
                 out.write_all(b",")?;
             }
-            out.write_all(v.as_bytes())?;
+            write_field(out, table.decode(col, code))?;
         }
         writeln!(out, ",{}", table.measure(i))?;
     }
     Ok(())
 }
 
-/// Parse a CSV produced by [`write_csv`] (or any comma-separated file whose
-/// last column is numeric) back into a [`Table`].
+/// A streaming record splitter over the raw input text, honoring RFC-4180
+/// quoting: a field starting with `"` runs to the matching closing quote,
+/// `""` inside quotes is a literal `"`, and commas *and line breaks*
+/// inside quotes do not split — `\r`/`\n` bytes inside a quoted field are
+/// preserved exactly (line-based readers would strip the `\r` of an
+/// embedded CRLF). Outside quotes, `\n`, `\r\n` and a lone `\r` all
+/// terminate a record. A lone `"` inside an unquoted field is taken
+/// literally (lenient, like most real-world readers).
+struct Records<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    /// 1-based physical line number of the *next* character.
+    line: usize,
+}
+
+impl<'a> Records<'a> {
+    fn new(text: &'a str) -> Self {
+        Records {
+            chars: text.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    /// Pull the next logical record as `(fields, first physical line)`,
+    /// `None` at end of input.
+    fn next_record(&mut self) -> Result<Option<(Vec<String>, usize)>, TableError> {
+        if self.chars.peek().is_none() {
+            return Ok(None);
+        }
+        let start_line = self.line;
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut in_quotes = false;
+        let mut at_field_start = true;
+        while let Some(c) = self.chars.next() {
+            if c == '\n' {
+                self.line += 1;
+            }
+            if in_quotes {
+                if c == '"' {
+                    if self.chars.peek() == Some(&'"') {
+                        self.chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    cur.push(c); // commas, \r and \n included, verbatim
+                }
+                continue;
+            }
+            match c {
+                '"' if at_field_start => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                    at_field_start = true;
+                    continue;
+                }
+                '\n' => {
+                    fields.push(cur);
+                    return Ok(Some((fields, start_line)));
+                }
+                '\r' => {
+                    // CRLF or a lone CR (classic Mac): either way one
+                    // physical line ends here.
+                    if self.chars.peek() == Some(&'\n') {
+                        self.chars.next();
+                    }
+                    self.line += 1;
+                    fields.push(cur);
+                    return Ok(Some((fields, start_line)));
+                }
+                _ => cur.push(c),
+            }
+            at_field_start = false;
+        }
+        if in_quotes {
+            return Err(TableError::UnclosedQuote { line: start_line });
+        }
+        fields.push(cur);
+        Ok(Some((fields, start_line)))
+    }
+}
+
+/// Parse a CSV produced by [`write_csv`] (or any RFC-4180 file whose last
+/// column is numeric) back into a [`Table`]. Quoted fields — including
+/// values with embedded commas, doubled quotes and line breaks — are
+/// unescaped.
 ///
 /// Every malformed input maps to a typed [`TableError`]: a missing header
 /// ([`TableError::EmptyInput`]), a header without dimension columns
 /// ([`TableError::NoDimensions`]), repeated column names
 /// ([`TableError::DuplicateDimension`]), a wrong field count
-/// ([`TableError::RaggedLine`]) or a non-numeric measure
-/// ([`TableError::BadMeasure`]).
-pub fn read_csv<R: BufRead>(input: R) -> Result<Table, TableError> {
-    let mut lines = input.lines();
-    let header = lines.next().ok_or(TableError::EmptyInput)??;
-    let mut cols: Vec<&str> = header.split(',').collect();
+/// ([`TableError::RaggedLine`]), a non-numeric measure
+/// ([`TableError::BadMeasure`]) or a quote left open at end of input
+/// ([`TableError::UnclosedQuote`]).
+pub fn read_csv<R: BufRead>(mut input: R) -> Result<Table, TableError> {
+    // Buffer the input: quoted fields may span physical lines, and the
+    // CSV is about to be materialized as an in-memory table anyway.
+    let mut text = String::new();
+    input.read_to_string(&mut text)?;
+    let mut records = Records::new(&text);
+
+    let Some((mut cols, _)) = records.next_record()? else {
+        return Err(TableError::EmptyInput);
+    };
     let measure = cols.pop().ok_or(TableError::NoDimensions)?;
     if cols.is_empty() {
         return Err(TableError::NoDimensions);
     }
-    let schema = Schema::try_new(cols, measure)?;
+    let schema = Schema::try_new(cols.iter().map(String::as_str).collect(), &measure)?;
     let d = schema.num_dims();
     let mut builder = Table::builder(schema);
-    for (lineno, line) in lines.enumerate() {
-        let line = line?;
-        if line.is_empty() {
-            continue;
+    while let Some((fields, line)) = records.next_record()? {
+        if fields.len() == 1 && fields[0].is_empty() {
+            continue; // blank line
         }
-        let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != d + 1 {
             return Err(TableError::RaggedLine {
-                line: lineno + 2,
+                line,
                 expected: d + 1,
                 found: fields.len(),
             });
         }
         let m: f64 = fields[d].parse().map_err(|_| TableError::BadMeasure {
-            line: lineno + 2,
-            value: fields[d].to_string(),
+            line,
+            value: fields[d].clone(),
         })?;
-        builder.try_push_row(&fields[..d], m)?;
+        let dims: Vec<&str> = fields[..d].iter().map(String::as_str).collect();
+        builder.try_push_row(&dims, m)?;
     }
     Ok(builder.build())
 }
@@ -97,30 +196,112 @@ mod tests {
     use super::*;
     use crate::generators;
 
+    fn round_trip(t: &Table) -> Table {
+        let mut buf = Vec::new();
+        write_csv(t, &mut buf).unwrap();
+        read_csv(buf.as_slice()).unwrap()
+    }
+
+    fn assert_tables_equal(a: &Table, b: &Table) {
+        assert_eq!(a.schema(), b.schema());
+        assert_eq!(a.num_rows(), b.num_rows());
+        for i in 0..a.num_rows() {
+            let orig: Vec<&str> = a
+                .row(i)
+                .iter()
+                .enumerate()
+                .map(|(c, &code)| a.decode(c, code))
+                .collect();
+            let reread: Vec<&str> = b
+                .row(i)
+                .iter()
+                .enumerate()
+                .map(|(c, &code)| b.decode(c, code))
+                .collect();
+            assert_eq!(orig, reread);
+            assert_eq!(a.measure(i), b.measure(i));
+        }
+    }
+
     #[test]
     fn round_trip_preserves_everything() {
         let t = generators::flights();
+        assert_tables_equal(&t, &round_trip(&t));
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_round_trip() {
+        let mut b = Table::builder(Schema::new(vec!["City, Country", "Kind"], "m"));
+        b.push_row(&["London, UK", "plain"], 1.0);
+        b.push_row(&["San Francisco, CA, USA", "with \"quotes\""], 2.5);
+        b.push_row(&["multi\nline", "trailing,comma,"], -3.0);
+        let t = b.build();
         let mut buf = Vec::new();
         write_csv(&t, &mut buf).unwrap();
-        let back = read_csv(buf.as_slice()).unwrap();
-        assert_eq!(back.schema(), t.schema());
-        assert_eq!(back.num_rows(), t.num_rows());
-        for i in 0..t.num_rows() {
-            let orig: Vec<&str> = t
-                .row(i)
-                .iter()
-                .enumerate()
-                .map(|(c, &code)| t.decode(c, code))
-                .collect();
-            let reread: Vec<&str> = back
-                .row(i)
-                .iter()
-                .enumerate()
-                .map(|(c, &code)| back.decode(c, code))
-                .collect();
-            assert_eq!(orig, reread);
-            assert_eq!(t.measure(i), back.measure(i));
-        }
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("\"City, Country\",Kind,m\n"));
+        assert!(text.contains("\"London, UK\""));
+        assert!(text.contains("\"with \"\"quotes\"\"\""));
+        assert!(text.contains("\"multi\nline\""));
+        assert_tables_equal(&t, &read_csv(buf.as_slice()).unwrap());
+    }
+
+    #[test]
+    fn reader_accepts_foreign_rfc4180_input() {
+        let csv = "a,b,m\n\"x,1\",\"he said \"\"hi\"\"\",3\nplain,\"\",4\n";
+        let t = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.decode(0, t.row(0)[0]), "x,1");
+        assert_eq!(t.decode(1, t.row(0)[1]), "he said \"hi\"");
+        assert_eq!(t.decode(1, t.row(1)[1]), "");
+        assert_eq!(t.measure(1), 4.0);
+    }
+
+    #[test]
+    fn carriage_returns_in_quoted_fields_survive_exactly() {
+        // A line-based reader would strip the \r of an embedded CRLF; the
+        // raw-text record splitter must not.
+        let mut b = Table::builder(Schema::new(vec!["a"], "m"));
+        b.push_row(&["x\r\ny"], 1.0);
+        b.push_row(&["lone\rcr"], 2.0);
+        let t = b.build();
+        let back = round_trip(&t);
+        assert_eq!(back.decode(0, back.row(0)[0]), "x\r\ny");
+        assert_eq!(back.decode(0, back.row(1)[0]), "lone\rcr");
+    }
+
+    #[test]
+    fn crlf_terminated_input_parses_without_stray_cr() {
+        let csv = "a,m\r\nx,1\r\ny,2\r\n";
+        let t = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.schema().measure_name(), "m");
+        assert_eq!(t.decode(0, t.row(0)[0]), "x");
+        assert_eq!(t.decode(0, t.row(1)[0]), "y");
+        assert_eq!(t.measure(1), 2.0);
+    }
+
+    #[test]
+    fn error_line_numbers_count_every_terminator_style() {
+        // Lone-\r (classic Mac) terminators must advance the physical line
+        // counter too, so diagnostics point at the right record.
+        assert!(matches!(
+            read_csv(&b"a,m\rx,1\ry,bad\r"[..]),
+            Err(TableError::BadMeasure { line: 3, .. })
+        ));
+        assert!(matches!(
+            read_csv(&b"a,m\r\nx,1\r\ny\r\n"[..]),
+            Err(TableError::RaggedLine { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_is_a_typed_error() {
+        let csv = "a,m\n\"never closed,1\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes()),
+            Err(TableError::UnclosedQuote { line: 2 })
+        ));
     }
 
     #[test]
@@ -151,15 +332,6 @@ mod tests {
             read_csv(&b"a,m\nx,notanumber\n"[..]),
             Err(TableError::BadMeasure { line: 2, .. })
         ));
-    }
-
-    #[test]
-    fn write_rejects_unwritable_values() {
-        let mut b = Table::builder(Schema::new(vec!["a"], "m"));
-        b.push_row(&["has,comma"], 1.0);
-        let t = b.build();
-        let err = write_csv(&t, &mut Vec::new()).unwrap_err();
-        assert!(matches!(err, TableError::Unwritable { what: "value", .. }));
     }
 
     #[test]

@@ -37,13 +37,11 @@ pub enum TableError {
         /// The offending raw value.
         value: String,
     },
-    /// A name or value cannot be represented in the CSV dialect
-    /// (comma-separated, no quoting).
-    Unwritable {
-        /// What was being written ("attribute name" or "value").
-        what: &'static str,
-        /// The offending text.
-        text: String,
+    /// A quoted CSV field was opened but never closed before the input
+    /// ended (RFC-4180 quoting).
+    UnclosedQuote {
+        /// 1-based line number where the quoted field started.
+        line: usize,
     },
     /// A row's arity does not match the schema.
     ArityMismatch {
@@ -90,9 +88,9 @@ impl fmt::Display for TableError {
             TableError::BadMeasure { line, value } => {
                 write!(f, "line {line}: measure value {value:?} is not a number")
             }
-            TableError::Unwritable { what, text } => write!(
+            TableError::UnclosedQuote { line } => write!(
                 f,
-                "{what} {text:?} cannot be written: the CSV dialect forbids commas and newlines"
+                "line {line}: quoted field is never closed before the input ends"
             ),
             TableError::ArityMismatch { expected, found } => {
                 write!(

@@ -1,0 +1,395 @@
+//! The columnar, `Arc`-shared mining frame: the one in-memory
+//! representation the whole stack scans.
+//!
+//! A [`Table`] stores its dimension codes row-major, which is the right
+//! layout for building and CSV I/O but the wrong one for the scan-dominated
+//! mining workload: every greedy iteration re-aggregates all rows, and the
+//! repeated-query setting means the same table is scanned across many
+//! requests. A [`Frame`] transposes the table once into struct-of-arrays
+//! form — one contiguous `u32` column per dimension attribute plus the
+//! `f64` measure column, each behind an `Arc` — so that
+//!
+//! * every scan walks contiguous, type-homogeneous memory,
+//! * partitions are [`FrameView`] *range views* over the shared columns
+//!   (an `Arc` bump and two offsets — no per-row boxing, no copying), and
+//! * concurrent jobs mining the same registered table share one set of
+//!   buffers.
+//!
+//! The frame carries the source table's content fingerprint so downstream
+//! caches stay content-addressed without re-hashing.
+
+use crate::table::Table;
+use std::sync::{Arc, OnceLock};
+
+/// A shared, immutable slice of one column: an `Arc`'d buffer plus a range.
+/// Cloning is an `Arc` bump; deref yields the in-range `&[T]`.
+#[derive(Debug, Clone)]
+pub struct ColSlice<T> {
+    data: Arc<[T]>,
+    start: usize,
+    len: usize,
+}
+
+impl<T> ColSlice<T> {
+    /// View an entire shared buffer.
+    pub fn full(data: Arc<[T]>) -> Self {
+        let len = data.len();
+        ColSlice {
+            data,
+            start: 0,
+            len,
+        }
+    }
+
+    /// Narrow this slice to `[start, start + len)` of *this* slice.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the current slice.
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        // lint:allow-assert — documented range contract, mirrors `[T]` slicing
+        assert!(start + len <= self.len, "ColSlice range out of bounds");
+        ColSlice {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            len,
+        }
+    }
+
+    /// Number of elements in range.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The in-range elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl<T> std::ops::Deref for ColSlice<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> From<Vec<T>> for ColSlice<T> {
+    fn from(v: Vec<T>) -> Self {
+        ColSlice::full(Arc::from(v))
+    }
+}
+
+/// The columnar frame: one contiguous dimension-code column per attribute
+/// plus the measure column, all `Arc`-shared. Built once per table (at
+/// registration / preparation time) and scanned by every request.
+///
+/// Cloning a `Frame` bumps `d + 1` `Arc`s; no data moves.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    cols: Arc<[Arc<[u32]>]>,
+    measure: Arc<[f64]>,
+    rows: usize,
+    /// Content fingerprint: stamped from the source table by
+    /// [`Frame::from_table`]; computed lazily (first [`Self::fingerprint`]
+    /// call) for frames assembled from raw columns, so the spill-decode
+    /// path never pays a hash pass nobody reads.
+    fingerprint: OnceLock<u64>,
+}
+
+impl Frame {
+    /// Transpose `table` into columnar form (one pass per column) and stamp
+    /// it with the table's content fingerprint.
+    pub fn from_table(table: &Table) -> Frame {
+        let d = table.num_dims();
+        let n = table.num_rows();
+        let cols: Vec<Arc<[u32]>> = (0..d)
+            .map(|j| {
+                let mut col = Vec::with_capacity(n);
+                col.extend(table.rows().map(|row| row[j]));
+                Arc::from(col)
+            })
+            .collect();
+        let fingerprint = OnceLock::new();
+        let _ = fingerprint.set(table.fingerprint());
+        Frame {
+            cols: Arc::from(cols),
+            measure: Arc::from(table.measures().to_vec()),
+            rows: n,
+            fingerprint,
+        }
+    }
+
+    /// Assemble a frame from raw columns (the spill-decode path). Every
+    /// dimension column must have one entry per measure value. The
+    /// fingerprint — computed only if someone asks for it — covers the raw
+    /// codes and measure bits: it identifies the *data*, not any schema or
+    /// dictionary.
+    ///
+    /// # Panics
+    /// Panics on ragged columns.
+    pub fn from_columns(cols: Vec<Vec<u32>>, measure: Vec<f64>) -> Frame {
+        let n = measure.len();
+        // lint:allow-assert — constructor contract; ragged columns are a logic error
+        assert!(
+            cols.iter().all(|c| c.len() == n),
+            "every dimension column must have one code per row"
+        );
+        Frame {
+            cols: Arc::from(cols.into_iter().map(Arc::from).collect::<Vec<_>>()),
+            measure: Arc::from(measure),
+            rows: n,
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// Number of rows `n`.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of dimension attributes `d`.
+    pub fn num_dims(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The full column of dimension attribute `j`.
+    pub fn col(&self, j: usize) -> &[u32] {
+        &self.cols[j]
+    }
+
+    /// The full measure column.
+    pub fn measures(&self) -> &[f64] {
+        &self.measure
+    }
+
+    /// The measure column as a shared slice (an `Arc` bump).
+    pub fn measure_slice(&self) -> ColSlice<f64> {
+        ColSlice::full(Arc::clone(&self.measure))
+    }
+
+    /// Content fingerprint: carried from the source table, or computed on
+    /// first call (and cached) for column-assembled frames.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = crate::fingerprint::Fnv64::new();
+            h.write_u64(self.cols.len() as u64);
+            h.write_u64(self.rows as u64);
+            for col in self.cols.iter() {
+                for &code in col.iter() {
+                    h.write_u32(code);
+                }
+            }
+            for &m in self.measure.iter() {
+                h.write_f64(m);
+            }
+            h.finish()
+        })
+    }
+
+    /// A view over the whole frame.
+    pub fn view(&self) -> FrameView {
+        FrameView {
+            frame: self.clone(),
+            start: 0,
+            len: self.rows,
+        }
+    }
+
+    /// Split the frame into exactly `partitions` contiguous range views
+    /// using the same chunking as the dataflow engine's `parallelize`
+    /// (`⌈n / partitions⌉` rows per chunk, trailing views possibly empty) —
+    /// so a columnar dataset built from these views places every row in the
+    /// same partition, at the same offset, as the row-major path it
+    /// replaces. This is what keeps the two representations bit-identical.
+    pub fn partition_views(&self, partitions: usize) -> Vec<FrameView> {
+        let partitions = partitions.max(1);
+        let n = self.rows;
+        let chunk = n.div_ceil(partitions).max(1);
+        let mut views = Vec::with_capacity(partitions);
+        let mut start = 0usize;
+        for _ in 0..partitions {
+            let len = chunk.min(n - start);
+            views.push(FrameView {
+                frame: self.clone(),
+                start,
+                len,
+            });
+            start += len;
+        }
+        views
+    }
+
+    /// Copy row `i`'s dimension codes into `buf` (cleared first). The
+    /// gather boundary: row-shaped probes (LCA computation, rule hashing)
+    /// read from here; everything else scans the columns directly.
+    pub fn gather_row(&self, i: usize, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|col| col[i]));
+    }
+}
+
+/// A zero-copy range view over a [`Frame`]'s columns: the unit of
+/// partitioning for columnar datasets. Cloning bumps the frame's `Arc`s.
+#[derive(Debug, Clone)]
+pub struct FrameView {
+    frame: Frame,
+    start: usize,
+    len: usize,
+}
+
+impl FrameView {
+    /// The underlying frame.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// First row of the range (an offset into the frame).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of rows in view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of dimension attributes.
+    pub fn num_dims(&self) -> usize {
+        self.frame.num_dims()
+    }
+
+    /// The in-range slice of dimension column `j`.
+    pub fn col(&self, j: usize) -> &[u32] {
+        &self.frame.cols[j][self.start..self.start + self.len]
+    }
+
+    /// The in-range slice of the measure column.
+    pub fn measures(&self) -> &[f64] {
+        &self.frame.measure[self.start..self.start + self.len]
+    }
+
+    /// Narrow to rows `[start, start + len)` of *this* view.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the view.
+    pub fn slice(&self, start: usize, len: usize) -> FrameView {
+        // lint:allow-assert — documented range contract, mirrors `[T]` slicing
+        assert!(start + len <= self.len, "FrameView range out of bounds");
+        FrameView {
+            frame: self.frame.clone(),
+            start: self.start + start,
+            len,
+        }
+    }
+
+    /// Copy local row `i`'s dimension codes into `buf` (cleared first).
+    pub fn gather_row(&self, i: usize, buf: &mut Vec<u32>) {
+        debug_assert!(i < self.len);
+        self.frame.gather_row(self.start + i, buf);
+    }
+
+    /// Local row `i`'s dimension codes as a fresh boxed slice (sample
+    /// extraction and the row-major reference path; not the hot loop).
+    pub fn gather_row_boxed(&self, i: usize) -> Box<[u32]> {
+        let mut buf = Vec::with_capacity(self.num_dims());
+        self.gather_row(i, &mut buf);
+        buf.into_boxed_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn frame_transposes_the_table() {
+        let t = generators::flights();
+        let f = Frame::from_table(&t);
+        assert_eq!(f.num_rows(), t.num_rows());
+        assert_eq!(f.num_dims(), t.num_dims());
+        assert_eq!(f.measures(), t.measures());
+        assert_eq!(f.fingerprint(), t.fingerprint());
+        let mut buf = Vec::new();
+        for (i, row) in t.rows().enumerate() {
+            f.gather_row(i, &mut buf);
+            assert_eq!(buf.as_slice(), row);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(f.col(j)[i], v);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_views_match_parallelize_chunking() {
+        let t = generators::flights(); // 14 rows
+        let f = Frame::from_table(&t);
+        let views = f.partition_views(4); // ceil(14/4) = 4 → 4,4,4,2
+        assert_eq!(views.len(), 4);
+        let lens: Vec<usize> = views.iter().map(FrameView::len).collect();
+        assert_eq!(lens, vec![4, 4, 4, 2]);
+        assert_eq!(views[2].start(), 8);
+        // Trailing views of an over-partitioned frame are empty.
+        let many = f.partition_views(20);
+        assert_eq!(many.len(), 20);
+        assert_eq!(many.iter().map(FrameView::len).sum::<usize>(), 14);
+        assert!(many[14].is_empty());
+        // Degenerate request behaves like parallelize(.., 1).
+        assert_eq!(f.partition_views(0).len(), 1);
+    }
+
+    #[test]
+    fn views_and_slices_are_zero_copy_windows() {
+        let t = generators::flights();
+        let f = Frame::from_table(&t);
+        let v = f.view().slice(3, 5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.col(0), &f.col(0)[3..8]);
+        assert_eq!(v.measures(), &t.measures()[3..8]);
+        assert_eq!(&*v.gather_row_boxed(0), t.row(3));
+        let inner = v.slice(1, 2);
+        assert_eq!(inner.col(1), &f.col(1)[4..6]);
+    }
+
+    #[test]
+    fn from_columns_round_trips_values() {
+        let cols = vec![vec![1u32, 2, 3], vec![9, 9, 9]];
+        let f = Frame::from_columns(cols.clone(), vec![0.5, 1.5, 2.5]);
+        assert_eq!(f.num_dims(), 2);
+        assert_eq!(f.col(0), &cols[0][..]);
+        assert_eq!(f.measures(), &[0.5, 1.5, 2.5]);
+        // Content-addressed: same columns, same fingerprint; any change moves it.
+        let same = Frame::from_columns(cols.clone(), vec![0.5, 1.5, 2.5]);
+        assert_eq!(f.fingerprint(), same.fingerprint());
+        let diff = Frame::from_columns(cols, vec![0.5, 1.5, 2.0]);
+        assert_ne!(f.fingerprint(), diff.fingerprint());
+    }
+
+    #[test]
+    fn col_slice_windows_share_the_buffer() {
+        let s: ColSlice<f64> = vec![0.0, 1.0, 2.0, 3.0, 4.0].into();
+        assert_eq!(s.len(), 5);
+        let w = s.slice(1, 3);
+        assert_eq!(&*w, &[1.0, 2.0, 3.0]);
+        let ww = w.slice(2, 1);
+        assert_eq!(&*ww, &[3.0]);
+        assert!(w.slice(0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn col_slice_range_checked() {
+        let s: ColSlice<u32> = vec![1, 2, 3].into();
+        let _ = s.slice(2, 2);
+    }
+}

@@ -21,11 +21,13 @@ pub mod csv;
 mod dict;
 mod error;
 pub mod fingerprint;
+pub mod frame;
 pub mod generators;
 mod schema;
 mod table;
 
 pub use dict::Dictionary;
 pub use error::TableError;
+pub use frame::{ColSlice, Frame, FrameView};
 pub use schema::Schema;
 pub use table::{Table, TableBuilder};

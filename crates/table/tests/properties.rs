@@ -5,8 +5,10 @@ use proptest::prelude::*;
 use sirum_table::csv::{read_csv, write_csv};
 use sirum_table::{Dictionary, Schema, Table};
 
-/// A pool of CSV-safe categorical values (no commas or newlines, mixed
-/// scripts and lengths, including the empty string).
+/// A pool of categorical values of mixed scripts and lengths, including
+/// the empty string and every shape RFC-4180 quoting must escort through
+/// a round trip: embedded commas, double quotes (lone, doubled, leading,
+/// trailing) and line breaks.
 const VALUE_POOL: &[&str] = &[
     "",
     "a",
@@ -28,6 +30,15 @@ const VALUE_POOL: &[&str] = &[
     "long value with spaces",
     "ümlaut",
     "ØΔπ",
+    "London, UK",
+    "a,b,c",
+    ",leading and trailing,",
+    "he said \"hi\"",
+    "\"quoted\"",
+    "double\"\"doubled",
+    "multi\nline",
+    "crlf\r\ninside",
+    "comma, \"quote\" and\nnewline",
 ];
 
 fn value() -> impl Strategy<Value = &'static str> {
@@ -93,14 +104,22 @@ proptest! {
             (
                 Just(d),
                 prop::collection::vec(
-                    (prop::collection::vec(0..12usize, d), measure()),
+                    (prop::collection::vec(0..VALUE_POOL.len(), d), measure()),
                     0..30,
                 ),
             )
         })
     ) {
-        // Column/measure names must be comma-free per the CSV dialect.
-        let names: Vec<String> = (0..d).map(|i| format!("dim{i}")).collect();
+        // Column names exercise quoting too (a comma in the header).
+        let names: Vec<String> = (0..d)
+            .map(|i| {
+                if i == 0 {
+                    "dim, zero".to_string()
+                } else {
+                    format!("dim{i}")
+                }
+            })
+            .collect();
         let mut builder = Table::builder(Schema::new(names, "measure"));
         for (value_ids, m) in &rows {
             let values: Vec<&str> = value_ids.iter().map(|&i| VALUE_POOL[i]).collect();

@@ -36,3 +36,33 @@ SIRUM_BENCH_SAMPLES="$SAMPLES" SIRUM_BENCH_JSON="$OUT" \
     cargo bench -p sirum_bench "$@"
 
 echo "== wrote $(wc -l < "$OUT") benchmark results to $OUT"
+
+# Row-major vs columnar data-path comparison (ISSUE 5): pair each
+# boxed-row reference benchmark with its columnar counterpart and print
+# the speedup, so every BENCH_*.json snapshot carries the numbers needed
+# to spot a regression of the zero-copy path at a glance.
+median() {
+    grep -F "\"bench\": \"$1\"" "$OUT" | head -1 |
+        sed -n 's/.*"median_ns": \([0-9]*\).*/\1/p'
+}
+compare() {
+    local label="$1" row="$2" col="$3"
+    local row_ns col_ns
+    row_ns="$(median "$row")"
+    col_ns="$(median "$col")"
+    if [[ -n "$row_ns" && -n "$col_ns" && "$col_ns" -gt 0 ]]; then
+        awk -v l="$label" -v r="$row_ns" -v c="$col_ns" 'BEGIN {
+            printf "==   %-34s row-major %8.2fms  columnar %8.2fms  (%.2fx)\n",
+                l, r / 1e6, c / 1e6, r / c
+        }'
+    fi
+}
+echo "== row-major vs columnar (median, from $OUT):"
+compare "gain_sweep mine (1 worker)" \
+    "gain_sweep/mine/sweep-rowmajor" "gain_sweep/mine/sweep/1threads"
+compare "gain_sweep single pass (1 worker)" \
+    "gain_sweep/sweep-pass-rowmajor" "gain_sweep/sweep-pass/1threads"
+compare "prepared seed-fit 20k rows" \
+    "prepared_catalog/prepared-rowmajor/20000" "prepared_catalog/prepared/20000"
+compare "prepared seed-fit 80k rows" \
+    "prepared_catalog/prepared-rowmajor/80000" "prepared_catalog/prepared/80000"

@@ -34,11 +34,11 @@
 //!
 //! ## Migrating from the old `Miner` facade
 //!
-//! `Miner::new(engine, config).mine(&table)` still compiles but is
-//! deprecated: it panics on bad input. The session equivalent is
+//! The panicking `Miner::new(engine, config).mine(&table)` shim has been
+//! removed. The session equivalent is
 //!
 //! ```text
-//! old: Miner::new(engine, config).mine(&table)                  // panics
+//! old: Miner::new(engine, config).mine(&table)                  // panicked
 //! new: session.mine("name").k(10).variant(Variant::Rct).run()?  // Result
 //! ```
 //!

@@ -41,10 +41,10 @@
 //! * [`dataflow`] (`sirum_dataflow`) — the Spark-like execution engine.
 //! * [`baselines`] (`sirum_baselines`) — prior-work comparators.
 //!
-//! The old `Miner::new(engine, config).mine(&table)` facade still compiles
-//! as a deprecated shim; see the [`api`] module docs for the migration
-//! note. See the `examples/` directory for runnable walkthroughs and
-//! `DESIGN.md` for the system inventory.
+//! The old panicking `Miner::mine` facade is gone; `Miner::try_mine` and
+//! the session/service builders are the entry points (see the [`api`]
+//! module docs for the migration note). See the `examples/` directory for
+//! runnable walkthroughs and `DESIGN.md` for the system inventory.
 
 #![warn(missing_docs)]
 

@@ -4,8 +4,11 @@
 //!
 //! Where a [`crate::api::SirumSession`] is the single-owner, `&mut`-bound
 //! embedding API, `SirumService` is the *serving* API: registration
-//! dictionary-encodes each table once into the shared catalog
-//! ([`sirum_core::PreparedTable`] behind an `Arc`), requests are submitted
+//! dictionary-encodes and transposes each table once into the shared
+//! catalog ([`sirum_core::PreparedTable`] behind an `Arc`, holding the
+//! columnar `Arc`-shared [`sirum_table::Frame`]), so every concurrent job
+//! scans the same column buffers through zero-copy partition views.
+//! Requests are submitted
 //! as jobs to a bounded worker pool, and identical repeated requests are
 //! answered from an LRU result cache keyed by (table content fingerprint,
 //! normalized configuration) without re-running the miner. Identical
@@ -41,7 +44,7 @@ use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use sirum_core::miner::IterationObserver;
 use sirum_core::{
-    try_evaluate_rules, try_mine_on_sample, CancellationToken, CandidateStrategy,
+    try_evaluate_rules_prepared, try_mine_on_sample, CancellationToken, CandidateStrategy,
     IterationDecision, IterationEvent, Miner, MiningResult, MultiRuleConfig, PreparedTable, Rule,
     RuleSetEvaluation, SampleDataResult, ScalingConfig, SirumConfig, SirumError, StreamingConfig,
     StreamingMiner, Variant,
@@ -78,6 +81,7 @@ pub(crate) struct RequestSpec {
     pub(crate) max_rules: Option<usize>,
     pub(crate) column_groups: Option<usize>,
     pub(crate) gain_sweep: Option<bool>,
+    pub(crate) columnar: Option<bool>,
     pub(crate) prior: Vec<Rule>,
 }
 
@@ -98,6 +102,7 @@ impl RequestSpec {
             max_rules: None,
             column_groups: None,
             gain_sweep: None,
+            columnar: None,
             prior: Vec::new(),
         }
     }
@@ -142,6 +147,9 @@ impl RequestSpec {
         }
         if let Some(sweep) = self.gain_sweep {
             config.gain_sweep = sweep;
+        }
+        if let Some(columnar) = self.columnar {
+            config.columnar = columnar;
         }
         config.two_sided_gain |= self.two_sided;
         config.target_kl = self.target_kl.or(config.target_kl);
@@ -245,6 +253,18 @@ macro_rules! impl_request_setters {
                 self
             }
 
+            /// Choose the data representation `D` is scanned in. On by
+            /// default: partitions are zero-copy range views over the
+            /// registered table's `Arc`-shared dimension columns. Pass
+            /// `false` for the row-major boxed-tuple reference path. The
+            /// mining output is bit-identical either way (proptested), so
+            /// this knob trades only speed — and both settings share one
+            /// result-cache entry.
+            pub fn columnar(mut self, enabled: bool) -> Self {
+                self.spec.columnar = Some(enabled);
+                self
+            }
+
             /// Seed the model with prior-knowledge rules (cube exploration,
             /// Table 1.3): the mined rules come *in addition to* these.
             pub fn prior(mut self, rules: Vec<Rule>) -> Self {
@@ -275,8 +295,10 @@ pub(crate) use impl_request_setters;
 // ---------------------------------------------------------------------------
 
 /// A registered table: the immutable table, its one-time mining
-/// preparation (dictionary-encoded rows + fitted measure transform) and its
-/// content fingerprint. Cloning shares everything.
+/// preparation (the columnar `Arc`-shared frame + fitted measure
+/// transform) and its content fingerprint. Cloning shares everything —
+/// every concurrent job's partitions are range views over one set of
+/// column buffers.
 #[derive(Clone)]
 pub(crate) struct CatalogEntry {
     pub(crate) table: Arc<Table>,
@@ -312,6 +334,9 @@ fn request_key(fingerprint: u64, config: &SirumConfig, prior: &[Rule]) -> Reques
     // staged pipeline; under the fused sweep they have no effect on the
     // result (see `SirumConfig::gain_sweep`), so they normalize to fixed
     // sentinels — requests differing only in inert knobs share one entry.
+    // `columnar` is likewise absent from the key: the two representations
+    // produce bit-identical results (proptested), so a row-major request
+    // is correctly served from a columnar run's cache entry and vice versa.
     let (bj, fp, cg) = if config.gain_sweep {
         (1, 1, 0)
     } else {
@@ -844,14 +869,15 @@ impl SirumService {
     }
 
     /// Score an externally supplied rule set against a registered table
-    /// (offline evaluation, §4.5/§5.7.3).
+    /// (offline evaluation, §4.5/§5.7.3), scanning the catalog entry's
+    /// shared columnar preparation — no per-call transpose.
     pub fn evaluate(
         &self,
         table: &str,
         rules: &[Rule],
         scaling: &ScalingConfig,
     ) -> Result<RuleSetEvaluation, SirumError> {
-        try_evaluate_rules(&self.entry(table)?.table, rules, scaling)
+        try_evaluate_rules_prepared(&self.entry(table)?.prepared, rules, scaling)
     }
 
     /// Open an incremental-maintenance stream seeded with the named table's
@@ -1368,6 +1394,11 @@ pub struct MiningPlan {
     /// gain sweep (one scan per iteration, no shuffles) or as the legacy
     /// staged pipeline.
     pub gain_sweep: bool,
+    /// Whether `D` is scanned in columnar form (zero-copy `FrameView`
+    /// partitions over the registered table's shared columns) or as
+    /// row-major boxed tuples; the model charges row-materializing scans
+    /// [`sirum_dataflow::cost::ROW_MATERIALIZE_FACTOR`]× per record.
+    pub columnar: bool,
     /// Predicted rule-generation iterations (`⌈k / l⌉`; a KL-target run may
     /// iterate further, up to its `max_rules` bound).
     pub estimated_iterations: usize,
@@ -1403,6 +1434,15 @@ impl MiningPlan {
         let iterations = config.k.div_ceil(config.multirule.rules_per_iter.max(1));
         let partitions = engine_config.partitions.max(1);
 
+        // Per-record scan cost: row-materializing passes (the boxed-tuple
+        // reference path) re-allocate every row on every rewrite, which
+        // the model charges as a constant factor over the columnar scan.
+        let scan_nanos = if config.columnar {
+            EST_NANOS_PER_RECORD
+        } else {
+            EST_NANOS_PER_RECORD * sirum_dataflow::cost::ROW_MATERIALIZE_FACTOR
+        };
+
         // Predicted stage list for one iteration: the LCA join, one
         // combine+reduce per column group for ancestor generation, the
         // adjust+gain pass, then scaling (3 RCT passes or a modeled 5
@@ -1416,7 +1456,7 @@ impl MiningPlan {
                         partition: p,
                         records_in: per_task,
                         records_out: per_task,
-                        nanos: (per_task as f64 * EST_NANOS_PER_RECORD) as u64,
+                        nanos: (per_task as f64 * scan_nanos) as u64,
                     })
                     .collect(),
                 shuffled_records: if shuffled { records } else { 0 },
@@ -1435,11 +1475,7 @@ impl MiningPlan {
                 // and aggregation into per-partition accumulators; the
                 // reduction is a driver-side partition-ordered fold, so
                 // the stage carries the pair volume but zero shuffle.
-                stages.push(modeled_sweep_stage(
-                    lca_pairs,
-                    partitions,
-                    EST_NANOS_PER_RECORD,
-                ));
+                stages.push(modeled_sweep_stage(lca_pairs, partitions, scan_nanos));
             } else {
                 stages.push(stage(lca_pairs, false)); // LCA join emit
                 stages.push(stage(lca_pairs, true)); // lca-agg combine+reduce
@@ -1474,6 +1510,7 @@ impl MiningPlan {
             rules_per_iter: config.multirule.rules_per_iter,
             rct: config.rct,
             gain_sweep: config.gain_sweep,
+            columnar: config.columnar,
             estimated_iterations: iterations,
             estimated_stages: stages.len(),
             estimated_lca_pairs: lca_pairs,
@@ -1511,6 +1548,15 @@ impl std::fmt::Display for MiningPlan {
                 "fused partition-parallel gain sweep (one scan/iteration, no shuffles)"
             } else {
                 "legacy staged pipeline (LCA join → ancestor stages → adjust + gain)"
+            },
+        )?;
+        writeln!(
+            f,
+            "  data path: {}",
+            if self.columnar {
+                "columnar (zero-copy FrameView partitions over shared columns)"
+            } else {
+                "row-major (boxed per-row tuples — reference path)"
             },
         )?;
         write!(
@@ -1743,6 +1789,35 @@ mod tests {
             .run()
             .unwrap();
         assert!(!c.from_cache);
+    }
+
+    #[test]
+    fn columnar_and_rowmajor_requests_share_one_cache_entry() {
+        // The representation does not affect results (bit-identical,
+        // proptested), so it must not split the cache key: a row-major
+        // request is correctly served the columnar run's Arc.
+        let service = flights_service();
+        let a = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        let b = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .columnar(false)
+            .run()
+            .unwrap();
+        assert!(b.from_cache, "representation must not split the cache key");
+        assert!(Arc::ptr_eq(&a.result, &b.result));
+        // And an executed row-major run returns the same rules anyway.
+        let c = service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .columnar(false)
+            .run()
+            .unwrap();
+        let d = service.mine("flights").k(3).sample_size(14).run().unwrap();
+        assert!(d.from_cache);
+        assert!(Arc::ptr_eq(&c.result, &d.result));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Integration coverage for the fallible session API: every [`SirumError`]
 //! variant is exercised end to end through `SirumSession` / `MiningRequest`
 //! (plus the layer entry points that produce the wrapped variants), and the
-//! deprecated `Miner::mine` shim is pinned to keep compiling.
+//! direct `Miner` facade is pinned to its fallible-only surface.
 
 use sirum::api::{SirumError, SirumSession};
 use sirum::prelude::*;
@@ -311,19 +311,32 @@ fn observer_sees_every_iteration_and_can_cancel() {
     assert!(partial.rules.len() < full.rules.len());
 }
 
-// ---- Deprecated shim stays alive -----------------------------------------
+// ---- Fallible miner facade -------------------------------------------------
+// (The panicking `Miner::mine`/`mine_with_prior` shims from the pre-session
+// API are gone; `try_mine` is the only direct entry point.)
 
 #[test]
-#[allow(deprecated)]
-fn old_miner_facade_still_compiles_and_mines() {
+fn direct_miner_facade_is_fallible_only() {
     let flights = generators::flights();
     let config = SirumConfig {
         k: 3,
         strategy: CandidateStrategy::SampleLca { sample_size: 14 },
         ..SirumConfig::default()
     };
-    let result = Miner::new(Engine::in_memory(), config).mine(&flights);
+    let result = Miner::new(Engine::in_memory(), config)
+        .try_mine(&flights)
+        .unwrap();
     assert_eq!(result.rules.len(), 4);
+    // Invalid input is a typed error, never a panic.
+    let bad = SirumConfig {
+        k: 3,
+        strategy: CandidateStrategy::SampleLca { sample_size: 0 },
+        ..SirumConfig::default()
+    };
+    assert!(matches!(
+        Miner::new(Engine::in_memory(), bad).try_mine(&flights),
+        Err(SirumError::InvalidConfig { .. })
+    ));
 }
 
 // ---- Parity: the new API reproduces the old results ----------------------
