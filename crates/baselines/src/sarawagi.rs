@@ -60,6 +60,8 @@ pub fn sarawagi_explore(engine: &Engine, table: &Table, cfg: &SarawagiConfig) ->
         // is representation only (bit-identical output), so it stays on.
         gain_sweep: false,
         columnar: true,
+        // No effect with the sweep off, but keep the default for parity.
+        packed_codes: true,
         seed: cfg.seed,
     };
     let prior = prior_rules_from_groupbys(table, 2);

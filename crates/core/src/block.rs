@@ -118,6 +118,12 @@ impl Encode for TupleBlock {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.num_dims() as u64).encode(out);
         (self.len() as u64).encode(out);
+        // Dictionary cardinalities travel with the columns so a spilled
+        // block decodes to a frame with the same packed-code layout
+        // metadata, not observed-max estimates.
+        for &card in self.dims.cards() {
+            card.encode(out);
+        }
         for j in 0..self.num_dims() {
             for &code in self.dims.col(j) {
                 code.encode(out);
@@ -137,6 +143,7 @@ impl Encode for TupleBlock {
     fn decode(buf: &mut &[u8]) -> Self {
         let d = u64::decode(buf) as usize;
         let n = u64::decode(buf) as usize;
+        let cards: Vec<u32> = (0..d).map(|_| u32::decode(buf)).collect();
         let cols: Vec<Vec<u32>> = (0..d)
             .map(|_| (0..n).map(|_| u32::decode(buf)).collect())
             .collect();
@@ -146,7 +153,7 @@ impl Encode for TupleBlock {
         // The decoded frame's measure column is m′ (the raw measures never
         // cross a spill boundary — mining reads only m′); the block's `m`
         // window shares that Arc rather than copying the column again.
-        let frame = Frame::from_columns(cols, m);
+        let frame = Frame::from_columns_with_cards(cols, m, cards);
         let m = frame.measure_slice();
         TupleBlock {
             dims: frame.view(),
@@ -157,7 +164,7 @@ impl Encode for TupleBlock {
     }
 
     fn size_estimate(&self) -> usize {
-        16 + self.len() * (self.num_dims() * 4 + 24)
+        16 + self.num_dims() * 4 + self.len() * (self.num_dims() * 4 + 24)
     }
 }
 
@@ -218,5 +225,8 @@ mod tests {
         assert_eq!(back.m(), b.m());
         assert_eq!(back.mhat(), b.mhat());
         assert_eq!(back.mask(), b.mask());
+        // Dictionary cardinalities survive the spill round-trip, so the
+        // decoded frame reproduces the exact packed-code layout.
+        assert_eq!(back.dims().cards(), b.dims().cards());
     }
 }

@@ -9,8 +9,21 @@
 //! set. Cancellation is level-triggered and sticky — once cancelled, a token
 //! stays cancelled.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
+
+/// Sentinel for "no poll budget armed" — [`CancellationToken::is_cancelled`]
+/// skips the budget bookkeeping entirely in the common case.
+const BUDGET_DISABLED: i64 = i64::MIN;
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    /// Remaining [`CancellationToken::is_cancelled`] calls before a
+    /// [`CancellationToken::cancel_after_polls`] deadline self-cancels
+    /// ([`BUDGET_DISABLED`] when unarmed).
+    poll_budget: AtomicI64,
+}
 
 /// A shared cancellation flag. Clones observe the same flag; `Default` and
 /// [`CancellationToken::new`] start un-cancelled.
@@ -24,9 +37,20 @@ use std::sync::Arc;
 /// token.cancel();
 /// assert!(watcher.is_cancelled());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CancellationToken {
-    flag: Arc<AtomicBool>,
+    inner: Arc<Inner>,
+}
+
+impl Default for CancellationToken {
+    fn default() -> Self {
+        CancellationToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                poll_budget: AtomicI64::new(BUDGET_DISABLED),
+            }),
+        }
+    }
 }
 
 impl CancellationToken {
@@ -38,12 +62,32 @@ impl CancellationToken {
     /// Request cancellation. Idempotent; wakes no threads by itself — the
     /// miner polls the flag at iteration boundaries (cooperative).
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+        self.inner.flag.store(true, Ordering::Release);
     }
 
-    /// True once any clone has called [`Self::cancel`].
+    /// Arm the token to self-cancel on the `n`-th [`Self::is_cancelled`]
+    /// poll (counted across all clones). A latency test hook: it lets a
+    /// single-threaded test cancel *mid-scan* at a deterministic point and
+    /// then measure how many further polls a code path takes to notice —
+    /// no racing helper thread, no wall-clock flakiness.
+    pub fn cancel_after_polls(&self, n: u64) {
+        let n = i64::try_from(n).unwrap_or(i64::MAX).max(1);
+        self.inner.poll_budget.store(n, Ordering::Release);
+    }
+
+    /// True once any clone has called [`Self::cancel`] (or an armed poll
+    /// budget has run out).
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        if self.inner.poll_budget.load(Ordering::Acquire) != BUDGET_DISABLED
+            && self.inner.poll_budget.fetch_sub(1, Ordering::AcqRel) <= 1
+        {
+            self.cancel();
+            return true;
+        }
+        false
     }
 }
 
@@ -68,5 +112,24 @@ mod tests {
         let b = CancellationToken::new();
         a.cancel();
         assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn poll_budget_cancels_at_the_deadline() {
+        let t = CancellationToken::new();
+        t.cancel_after_polls(3);
+        assert!(!t.is_cancelled());
+        assert!(!t.is_cancelled());
+        assert!(t.is_cancelled(), "third poll hits the deadline");
+        // Sticky from then on, across clones.
+        assert!(t.clone().is_cancelled());
+    }
+
+    #[test]
+    fn unarmed_tokens_poll_forever() {
+        let t = CancellationToken::new();
+        for _ in 0..10_000 {
+            assert!(!t.is_cancelled());
+        }
     }
 }

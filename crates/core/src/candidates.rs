@@ -3,7 +3,7 @@
 //! inverted-index fast pruning of §4.2.
 
 use crate::lattice::ancestors;
-use crate::rule::{Rule, WILDCARD};
+use crate::rule::{PackedCode, PackedMasks, Rule, WILDCARD};
 use sirum_dataflow::hash::FxHashMap;
 use sirum_table::Table;
 
@@ -202,6 +202,57 @@ impl SampleIndex {
         scratch
     }
 
+    /// As [`Self::lcas_into`], but producing *packed* LCA codes: every LCA
+    /// starts as the all-wildcards code and the matching sample rows get
+    /// their field overwritten in place — one shift-or per posting-list
+    /// hit, no `d`-wide slices anywhere. Entry `j` of the result packs
+    /// exactly the values `lcas_into` writes for sample row `j`.
+    pub fn packed_lcas_into<'a, C: PackedCode>(
+        &self,
+        masks: &PackedMasks<C>,
+        tuple: &[u32],
+        scratch: &'a mut Vec<C>,
+    ) -> &'a [C] {
+        debug_assert_eq!(tuple.len(), self.d);
+        debug_assert_eq!(masks.num_dims(), self.d);
+        scratch.clear();
+        scratch.resize(self.rows.len(), masks.all_wild());
+        for (col, &v) in tuple.iter().enumerate() {
+            if let Some(hits) = self.cols[col].get(&v) {
+                for &row in hits {
+                    let slot = &mut scratch[row as usize];
+                    *slot = masks.with_constant(*slot, col, v);
+                }
+            }
+        }
+        scratch
+    }
+
+    /// As [`Self::packed_lcas_into`], reading the tuple straight out of
+    /// columnar storage (the packed twin of [`Self::lcas_into_cols`]).
+    pub fn packed_lcas_into_cols<'a, C: PackedCode>(
+        &self,
+        masks: &PackedMasks<C>,
+        cols: &[&[u32]],
+        row: usize,
+        scratch: &'a mut Vec<C>,
+    ) -> &'a [C] {
+        debug_assert_eq!(cols.len(), self.d);
+        debug_assert_eq!(masks.num_dims(), self.d);
+        scratch.clear();
+        scratch.resize(self.rows.len(), masks.all_wild());
+        for (col, values) in cols.iter().enumerate() {
+            let v = values[row];
+            if let Some(hits) = self.cols[col].get(&v) {
+                for &r in hits {
+                    let slot = &mut scratch[r as usize];
+                    *slot = masks.with_constant(*slot, col, v);
+                }
+            }
+        }
+        scratch
+    }
+
     /// Number of sample tuples matching `rule` (the aggregate-adjustment
     /// divisor of §3.1.1): an intersection of the per-constant posting
     /// bitsets — O(#constants) instead of a scan of the sample.
@@ -390,6 +441,33 @@ mod tests {
             let via_row = index.lcas_into(row, &mut a).to_vec();
             let via_cols = index.lcas_into_cols(&cols, i, &mut b);
             assert_eq!(via_row, via_cols, "row {i}");
+        }
+    }
+
+    #[test]
+    fn packed_lcas_match_unpacked_lcas() {
+        use crate::rule::RuleLayout;
+        let t = flights();
+        let sample = sample_rows(&t, &[3, 8, 11]);
+        let index = SampleIndex::build(sample, 3);
+        let cards: Vec<u32> = t.cardinalities().iter().map(|&c| c as u32).collect();
+        let layout = RuleLayout::from_cardinalities(&cards);
+        let masks = layout.masks::<u64>();
+        let frame = sirum_table::Frame::from_table(&t);
+        let cols: Vec<&[u32]> = (0..3).map(|j| frame.col(j)).collect();
+        let (mut plain, mut packed, mut packed_cols) = (Vec::new(), Vec::new(), Vec::new());
+        for (i, row) in t.rows().enumerate() {
+            let want: Vec<u64> = index
+                .lcas_into(row, &mut plain)
+                .chunks_exact(3)
+                .map(|lca| layout.pack(lca))
+                .collect();
+            assert_eq!(index.packed_lcas_into(&masks, row, &mut packed), want);
+            assert_eq!(
+                index.packed_lcas_into_cols(&masks, &cols, i, &mut packed_cols),
+                want,
+                "row {i}"
+            );
         }
     }
 

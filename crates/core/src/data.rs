@@ -27,7 +27,8 @@ use crate::miner::Tup;
 use crate::prepared::PreparedTable;
 use crate::rct::{mhat_for_mask, RctGroup};
 use crate::rule::Rule;
-use crate::sweep::{sweep_gains, sweep_gains_blocks, SweepOutcome};
+use crate::sweep::{sweep_gains, sweep_gains_blocks, SweepOptions, SweepOutcome};
+use sirum_dataflow::hash::FxHashMap;
 use sirum_dataflow::{Dataset, Engine, EngineMode};
 
 /// The distributed dataset a mining run scans, in either representation.
@@ -258,29 +259,49 @@ impl MiningData {
 
     /// Group tuples by bit array into partial RCT groups (first-occurrence
     /// order per partition, merged in partition order — both arms
-    /// identical).
+    /// identical). Groups are located through a per-partition `mask →
+    /// slot` hash index: the old linear probe was O(rows × groups), which
+    /// on a table with hundreds of distinct bit arrays dominated the RCT
+    /// build; the index keeps the push order (and therefore the partial
+    /// stream) exactly the same.
     pub(crate) fn build_rct_partials(&self) -> Vec<RctGroup> {
-        let fold = |groups: &mut Vec<RctGroup>, mask: u64, m: f64, mh: f64| match groups
-            .iter_mut()
-            .find(|g| g.mask == mask)
-        {
-            Some(g) => {
-                g.count += 1;
-                g.sum_m += m;
-                g.sum_mhat += mh;
+        fn fold(
+            groups: &mut Vec<RctGroup>,
+            slots: &mut FxHashMap<u64, usize>,
+            mask: u64,
+            m: f64,
+            mh: f64,
+        ) {
+            match slots.get(&mask) {
+                Some(&at) => {
+                    let g = &mut groups[at];
+                    g.count += 1;
+                    g.sum_m += m;
+                    g.sum_mhat += mh;
+                }
+                None => {
+                    slots.insert(mask, groups.len());
+                    groups.push(RctGroup {
+                        mask,
+                        count: 1,
+                        sum_m: m,
+                        sum_mhat: mh,
+                    });
+                }
             }
-            None => groups.push(RctGroup {
-                mask,
-                count: 1,
-                sum_m: m,
-                sum_mhat: mh,
-            }),
-        };
+        }
         match self {
-            MiningData::Rows(data) => data.aggregate(
+            MiningData::Rows(data) => data.aggregate_partitions(
                 "build-rct",
                 Vec::<RctGroup>::new,
-                |groups, (_dims, m, mh, mask)| fold(groups, *mask, *m, *mh),
+                |_, rows| {
+                    let mut groups = Vec::new();
+                    let mut slots = FxHashMap::default();
+                    for (_dims, m, mh, mask) in rows {
+                        fold(&mut groups, &mut slots, *mask, *m, *mh);
+                    }
+                    groups
+                },
                 |a, b| a.extend(b),
             ),
             MiningData::Blocks(data) => data.aggregate_partitions(
@@ -288,10 +309,11 @@ impl MiningData {
                 Vec::<RctGroup>::new,
                 |_, blocks| {
                     let mut groups = Vec::new();
+                    let mut slots = FxHashMap::default();
                     for block in blocks {
                         let (m, mh, mask) = (block.m(), block.mhat(), block.mask());
                         for i in 0..block.len() {
-                            fold(&mut groups, mask[i], m[i], mh[i]);
+                            fold(&mut groups, &mut slots, mask[i], m[i], mh[i]);
                         }
                     }
                     groups
@@ -320,40 +342,47 @@ impl MiningData {
         }
     }
 
-    /// `Σ_{t⊨rⱼ} m̂` per rule (one Algorithm-1 sums pass over `D`).
-    pub(crate) fn scaling_sums(&self, rules: &[Rule]) -> Vec<f64> {
+    /// `Σ_{t⊨rⱼ} m̂` per rule (one Algorithm-1 sums pass over `D`), driven
+    /// by the per-tuple bit arrays: instead of re-matching every rule
+    /// against every tuple (O(rows × rules × d) value compares), each row
+    /// walks the set bits of its mask word — coverage was already computed
+    /// once by [`Self::update_ba`]. Per rule `j` the covered rows are
+    /// visited in the same row order as the old per-rule scan, so the
+    /// float sums are bit-identical.
+    pub(crate) fn scaling_sums(&self, num_rules: usize) -> Vec<f64> {
         let comb = |a: &mut Vec<f64>, b: Vec<f64>| {
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;
             }
         };
+        let fold = |sums: &mut [f64], mask: u64, mh: f64| {
+            let mut bits = if num_rules >= 64 {
+                mask
+            } else {
+                mask & ((1u64 << num_rules) - 1)
+            };
+            while bits != 0 {
+                let j = bits.trailing_zeros() as usize;
+                sums[j] += mh;
+                bits &= bits - 1;
+            }
+        };
         match self {
             MiningData::Rows(data) => data.aggregate(
                 "scaling-sums",
-                || vec![0.0f64; rules.len()],
-                |sums, (dims, _m, mh, _mask)| {
-                    for (j, rule) in rules.iter().enumerate() {
-                        if rule.matches(dims) {
-                            sums[j] += *mh;
-                        }
-                    }
-                },
+                || vec![0.0f64; num_rules],
+                |sums, (_dims, _m, mh, mask)| fold(sums, *mask, *mh),
                 comb,
             ),
             MiningData::Blocks(data) => data.aggregate_partitions(
                 "scaling-sums",
-                || vec![0.0f64; rules.len()],
+                || vec![0.0f64; num_rules],
                 |_, blocks| {
-                    let mut sums = vec![0.0f64; rules.len()];
+                    let mut sums = vec![0.0f64; num_rules];
                     for block in blocks {
-                        let mh = block.mhat();
-                        for (j, rule) in rules.iter().enumerate() {
-                            let consts = constant_cols(rule, block);
-                            for (i, &mhi) in mh.iter().enumerate() {
-                                if row_matches(&consts, i) {
-                                    sums[j] += mhi;
-                                }
-                            }
+                        let (mh, mask) = (block.mhat(), block.mask());
+                        for i in 0..block.len() {
+                            fold(&mut sums, mask[i], mh[i]);
                         }
                     }
                     sums
@@ -363,29 +392,25 @@ impl MiningData {
         }
     }
 
-    /// Scale the estimates of every tuple covered by `rule` (one
-    /// Algorithm-1 update pass).
-    pub(crate) fn scale_mhat(&self, rule: Rule, factor: f64) -> MiningData {
+    /// Scale the estimates of every tuple covered by rule `j` (one
+    /// Algorithm-1 update pass) — coverage read from bit `j` of each
+    /// tuple's bit array, the same word [`Self::scaling_sums`] summed.
+    pub(crate) fn scale_mhat(&self, j: usize, factor: f64) -> MiningData {
+        let bit = 1u64 << j;
         match self {
             MiningData::Rows(data) => {
                 MiningData::Rows(data.map("scale-mhat", move |(dims, m, mh, mask)| {
-                    let mh = if rule.matches(dims) { mh * factor } else { *mh };
+                    let mh = if mask & bit != 0 { mh * factor } else { *mh };
                     (dims.clone(), *m, mh, *mask)
                 }))
             }
             MiningData::Blocks(data) => MiningData::Blocks(data.map("scale-mhat", move |block| {
-                let consts = constant_cols(&rule, block);
+                let mask = block.mask();
                 let mhat: Vec<f64> = block
                     .mhat()
                     .iter()
                     .enumerate()
-                    .map(|(i, &mh)| {
-                        if row_matches(&consts, i) {
-                            mh * factor
-                        } else {
-                            mh
-                        }
-                    })
+                    .map(|(i, &mh)| if mask[i] & bit != 0 { mh * factor } else { mh })
                     .collect();
                 block.with_mhat(mhat)
             })),
@@ -439,16 +464,20 @@ impl MiningData {
         }
     }
 
-    /// The fused partition-parallel gain sweep over this dataset.
+    /// The fused partition-parallel gain sweep over this dataset. `opts`
+    /// picks packed-code vs `Rule`-keyed accumulators (see
+    /// [`crate::sweep::SweepOptions`]); the output is bit-identical either
+    /// way.
     pub(crate) fn sweep(
         &self,
         d: usize,
         index: Option<&SampleIndex>,
         cancel: Option<&CancellationToken>,
+        opts: &SweepOptions,
     ) -> SweepOutcome {
         match self {
-            MiningData::Rows(data) => sweep_gains(data, d, index, cancel),
-            MiningData::Blocks(data) => sweep_gains_blocks(data, d, index, cancel),
+            MiningData::Rows(data) => sweep_gains(data, d, index, cancel, opts),
+            MiningData::Blocks(data) => sweep_gains_blocks(data, d, index, cancel, opts),
         }
     }
 

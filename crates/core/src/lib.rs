@@ -82,12 +82,12 @@ pub use miner::{
 };
 pub use multirule::MultiRuleConfig;
 pub use prepared::PreparedTable;
-pub use rule::{Rule, WILDCARD};
+pub use rule::{PackedCode, PackedMasks, Rule, RuleLayout, WILDCARD};
 pub use sample_data::{mine_on_sample, try_mine_on_sample, SampleDataResult};
 pub use scaling::ScalingConfig;
 pub use streaming::{StreamingConfig, StreamingMiner};
 pub use sweep::{
     sweep_gains, sweep_gains_blocks, sweep_gains_blocks_reference, sweep_gains_reference,
-    SweepOutcome,
+    SweepOptions, SweepOutcome,
 };
 pub use variants::Variant;

@@ -11,9 +11,9 @@ use crate::lattice::{ancestors_restricted, column_groups, MAX_EXPAND_BITS};
 use crate::multirule::{select_rules, MultiRuleConfig, ScoredCandidate};
 use crate::prepared::PreparedTable;
 use crate::rct::{iterative_scaling_rct, Rct, MAX_RULES};
-use crate::rule::Rule;
+use crate::rule::{Rule, RuleLayout};
 use crate::scaling::{relative_diff, ScalingConfig};
-use crate::sweep::SweepOutcome;
+use crate::sweep::{SweepOptions, SweepOutcome};
 use sirum_dataflow::{Dataset, Engine};
 use sirum_table::Table;
 use std::collections::HashSet;
@@ -110,6 +110,17 @@ pub struct SirumConfig {
     /// variant, partition count, worker count and cancellation point
     /// (proptested), so this knob trades only speed, never results.
     pub columnar: bool,
+    /// Intern rules as dense packed integer codes on the gain-sweep hot
+    /// path (default `true`): each dimension gets a bit-field sized by
+    /// its dictionary cardinality ([`crate::rule::RuleLayout`]), so LCA
+    /// combining probes a `u64`/`u128`-keyed map (integer hash + compare
+    /// instead of slice hashing) and ancestor expansion is bit surgery.
+    /// Falls back to the `Rule`-keyed maps automatically when the summed
+    /// widths exceed 128 bits; only meaningful while
+    /// [`Self::gain_sweep`] is active. The mining output is
+    /// **bit-identical** either way (proptested), so this knob trades
+    /// only speed, never results.
+    pub packed_codes: bool,
     /// Seed for sampling and column-group shuffling.
     pub seed: u64,
 }
@@ -133,6 +144,7 @@ impl Default for SirumConfig {
             two_sided_gain: false,
             gain_sweep: true,
             columnar: true,
+            packed_codes: true,
             seed: 42,
         }
     }
@@ -502,6 +514,16 @@ impl Miner {
         let mut scaling_iterations = Vec::new();
         let mut ancestors_emitted = 0u64;
 
+        // Packed-code layout for the sweep hot path, derived once from the
+        // dictionary cardinalities the prepared frame carries. Oversized
+        // layouts (> 128 bits) fall back to Rule-keyed maps inside the
+        // sweep dispatch, so this is always safe to hand over.
+        let sweep_opts = if cfg.packed_codes {
+            SweepOptions::packed(RuleLayout::from_cardinalities(prepared.frame().cards()))
+        } else {
+            SweepOptions::rule_keyed()
+        };
+
         // Distribute D and cache it: columnar blocks over the prepared
         // table's shared columns (the default), or per-row boxed tuples on
         // the row-major reference path.
@@ -590,6 +612,7 @@ impl Miner {
                 &data,
                 index.as_deref(),
                 &rules,
+                &sweep_opts,
                 &mut timings,
                 &mut ancestors_emitted,
             );
@@ -707,13 +730,18 @@ impl Miner {
             data = self.cache_swap(Some(data), reset);
         }
 
-        if cfg.rct {
-            // Pass 1: update bit arrays for the newly added rules.
-            let new_rules: Vec<(usize, Rule)> =
-                new.clone().map(|i| (i, rules[i].clone())).collect();
-            let updated = data.update_ba(new_rules);
-            data = self.cache_swap(Some(data), updated);
+        // Pass 1 (both scaling paths): update bit arrays for the newly
+        // added rules. The RCT groups by them; Algorithm 1 reads them as
+        // precomputed rule coverage — `scaling_sums` walks each row's set
+        // bits and `scale_mhat` tests one bit instead of re-matching rules
+        // against dimension codes on every pass. The rule budget is
+        // capped at the bit-array width for every run (see
+        // `try_mine_prepared`), so indices always fit the mask word.
+        let new_rules: Vec<(usize, Rule)> = new.clone().map(|i| (i, rules[i].clone())).collect();
+        let updated = data.update_ba(new_rules);
+        data = self.cache_swap(Some(data), updated);
 
+        if cfg.rct {
             // Pass 2: group by BA to build the RCT (small, driver-resident).
             let mut rct = Rct::from_partials(data.build_rct_partials());
 
@@ -730,7 +758,7 @@ impl Miner {
             // one sums pass and (if not converged) one update pass over D.
             let mut iterations = 0usize;
             loop {
-                let mhat_sums = data.scaling_sums(rules);
+                let mhat_sums = data.scaling_sums(rules.len());
                 let mut next = usize::MAX;
                 let mut worst = 0.0f64;
                 for i in 0..rules.len() {
@@ -749,7 +777,7 @@ impl Miner {
                 iterations += 1;
                 let factor = m_sums[next] / mhat_sums[next];
                 lambdas[next] *= factor;
-                let updated = data.scale_mhat(rules[next].clone(), factor);
+                let updated = data.scale_mhat(next, factor);
                 data = self.cache_swap(Some(data), updated);
             }
             scaling_iterations.push(iterations);
@@ -773,6 +801,7 @@ impl Miner {
         data: &MiningData,
         index: Option<&SampleIndex>,
         rules: &[Rule],
+        sweep_opts: &SweepOptions,
         timings: &mut PhaseTimings,
         ancestors_emitted: &mut u64,
     ) -> (Vec<ScoredCandidate>, u64, bool) {
@@ -791,7 +820,7 @@ impl Miner {
                 distinct_candidates,
                 pairs_emitted,
                 cancelled,
-            } = data.sweep(d, index, self.cancellation.as_ref());
+            } = data.sweep(d, index, self.cancellation.as_ref(), sweep_opts);
             *ancestors_emitted += pairs_emitted;
             let existing: HashSet<&Rule> = rules.iter().collect();
             let mut result: Vec<ScoredCandidate> = candidates

@@ -206,6 +206,287 @@ impl Encode for Rule {
     }
 }
 
+/// An unsigned integer wide enough to hold a whole rule as one dense code —
+/// the gain sweep's hot-path key type (`u64` or `u128`).
+///
+/// The supertraits are exactly what the sweep accumulators need: map keys
+/// (`Eq + Hash`), canonical frontier ordering (`Ord`), spill via the
+/// dataflow layer (`Encode`), and cross-thread frontier datasets
+/// (`Send + Sync + 'static`).
+/// The arithmetic surface is the minimal shift/mask set [`RuleLayout`]
+/// packs and unpacks with, kept as named methods so the trait stays
+/// object-simple and every call site inlines to single instructions.
+pub trait PackedCode:
+    Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug + Encode + Send + Sync + 'static
+{
+    /// Width of the code type in bits.
+    const BITS: u32;
+    /// The all-zero code.
+    const ZERO: Self;
+    /// Zero-extend one dimension code into the low field.
+    fn from_u32(v: u32) -> Self;
+    /// The low 32 bits (a field isolated by shift/mask).
+    fn low_u32(self) -> u32;
+    /// Left shift by `n < Self::BITS`.
+    fn shl(self, n: u32) -> Self;
+    /// Right shift by `n < Self::BITS`.
+    fn shr(self, n: u32) -> Self;
+    /// Bitwise or.
+    fn bitor(self, rhs: Self) -> Self;
+    /// Bitwise and.
+    fn bitand(self, rhs: Self) -> Self;
+    /// Bitwise xor.
+    fn bitxor(self, rhs: Self) -> Self;
+    /// Bitwise complement.
+    fn not(self) -> Self;
+}
+
+macro_rules! impl_packed_code {
+    ($($t:ty),*) => {$(
+        impl PackedCode for $t {
+            const BITS: u32 = <$t>::BITS;
+            const ZERO: Self = 0;
+            #[inline]
+            fn from_u32(v: u32) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn low_u32(self) -> u32 {
+                self as u32
+            }
+            #[inline]
+            fn shl(self, n: u32) -> Self {
+                self << n
+            }
+            #[inline]
+            fn shr(self, n: u32) -> Self {
+                self >> n
+            }
+            #[inline]
+            fn bitor(self, rhs: Self) -> Self {
+                self | rhs
+            }
+            #[inline]
+            fn bitand(self, rhs: Self) -> Self {
+                self & rhs
+            }
+            #[inline]
+            fn bitxor(self, rhs: Self) -> Self {
+                self ^ rhs
+            }
+            #[inline]
+            fn not(self) -> Self {
+                !self
+            }
+        }
+    )*};
+}
+
+impl_packed_code!(u64, u128);
+
+/// The all-ones field mask of width `w` (`1 ≤ w ≤ C::BITS`) in the low bits.
+#[inline]
+fn field_mask<C: PackedCode>(w: u32) -> C {
+    C::ZERO.not().shr(C::BITS - w)
+}
+
+/// Per-dimension bit-widths derived from the table's dictionary
+/// cardinalities: the layout that packs a whole rule into one integer code.
+///
+/// Dimension `j` with cardinality `cⱼ` gets `wⱼ = max(1, bit_length(cⱼ))`
+/// bits — wide enough for codes `0..cⱼ` *plus* a reserved all-ones slot
+/// encoding the wildcard (`bit_length(c) = ceil(log2(c + 1))`, so
+/// `2^wⱼ − 1 ≥ cⱼ` and no real code collides with the slot; for a full
+/// 32-bit field the all-ones slot *is* `u32::MAX`, which is exactly
+/// [`WILDCARD`]). Fields are laid out with dimension 0 in the most
+/// significant bits, which makes the integer order of packed codes
+/// identical to the lexicographic order of [`Rule::values`] slices with
+/// `WILDCARD` sorting last in each position — so the canonical frontier
+/// sort on codes equals the canonical sort on the rules they decode to.
+///
+/// A layout always constructs; callers check [`RuleLayout::fits`] to pick
+/// `u64`, `u128`, or the `Rule`-keyed fallback when `total_bits` exceeds
+/// even 128.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleLayout {
+    widths: Box<[u32]>,
+    /// `shifts[j]` = bits to the right of field `j` (dim 0 is most
+    /// significant).
+    shifts: Box<[u32]>,
+    total_bits: u32,
+}
+
+impl RuleLayout {
+    /// Derive the layout from per-dimension dictionary cardinalities.
+    pub fn from_cardinalities(cards: &[u32]) -> RuleLayout {
+        let widths: Box<[u32]> = cards
+            .iter()
+            .map(|&c| (32 - c.leading_zeros()).max(1))
+            .collect();
+        let total_bits = widths.iter().sum();
+        let mut shifts = vec![0u32; widths.len()].into_boxed_slice();
+        let mut acc = 0u32;
+        for j in (0..widths.len()).rev() {
+            shifts[j] = acc;
+            acc += widths[j];
+        }
+        RuleLayout {
+            widths,
+            shifts,
+            total_bits,
+        }
+    }
+
+    /// Number of dimension attributes.
+    pub fn num_dims(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Bits needed to pack one whole rule.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Bit-width of dimension `j`'s field.
+    pub fn width(&self, j: usize) -> u32 {
+        self.widths[j]
+    }
+
+    /// Whether the layout fits in code type `C`.
+    pub fn fits<C: PackedCode>(&self) -> bool {
+        self.total_bits <= C::BITS
+    }
+
+    /// Pack a rule's value slice (codes and [`WILDCARD`]s) into one code.
+    ///
+    /// Callers must have checked [`RuleLayout::fits`]; packing into a
+    /// too-narrow type would silently drop high fields, so this is guarded
+    /// in debug builds.
+    #[inline]
+    pub fn pack<C: PackedCode>(&self, values: &[u32]) -> C {
+        debug_assert_eq!(values.len(), self.widths.len());
+        debug_assert!(self.fits::<C>());
+        let mut code = C::ZERO;
+        for (j, &v) in values.iter().enumerate() {
+            let w = self.widths[j];
+            let field = if v == WILDCARD {
+                field_mask::<C>(w)
+            } else {
+                debug_assert!(w == 32 || u64::from(v) < (1u64 << w));
+                C::from_u32(v)
+            };
+            code = code.shl(w).bitor(field);
+        }
+        code
+    }
+
+    /// Decode a packed code back into a [`Rule`] (all-ones fields become
+    /// wildcards). Inverse of [`RuleLayout::pack`].
+    pub fn unpack<C: PackedCode>(&self, code: C) -> Rule {
+        let values: Vec<u32> = (0..self.widths.len())
+            .map(|j| {
+                let w = self.widths[j];
+                let mask = field_mask::<C>(w);
+                let field = code.shr(self.shifts[j]).bitand(mask);
+                if field == mask {
+                    WILDCARD
+                } else {
+                    field.low_u32()
+                }
+            })
+            .collect();
+        Rule::from_values(values)
+    }
+
+    /// Precompute the in-position field masks for hot-path code surgery.
+    pub fn masks<C: PackedCode>(&self) -> PackedMasks<C> {
+        debug_assert!(self.fits::<C>());
+        let wild: Box<[C]> = (0..self.widths.len())
+            .map(|j| field_mask::<C>(self.widths[j]).shl(self.shifts[j]))
+            .collect();
+        let all_wild = wild.iter().fold(C::ZERO, |acc, &m| acc.bitor(m));
+        PackedMasks {
+            wild,
+            shifts: self.shifts.clone(),
+            all_wild,
+        }
+    }
+}
+
+impl Encode for RuleLayout {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.widths.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> Self {
+        let widths = Box::<[u32]>::decode(buf);
+        let total_bits = widths.iter().sum();
+        let mut shifts = vec![0u32; widths.len()].into_boxed_slice();
+        let mut acc = 0u32;
+        for j in (0..widths.len()).rev() {
+            shifts[j] = acc;
+            acc += widths[j];
+        }
+        RuleLayout {
+            widths,
+            shifts,
+            total_bits,
+        }
+    }
+    fn size_estimate(&self) -> usize {
+        8 + self.widths.len() * 4
+    }
+}
+
+/// Precomputed in-position field masks for a [`RuleLayout`]: everything the
+/// sweep's inner loops need to build LCA codes and widen dimensions without
+/// re-deriving shifts.
+#[derive(Debug, Clone)]
+pub struct PackedMasks<C> {
+    /// `wild[j]`: dimension `j`'s all-ones (wildcard) field, in position.
+    wild: Box<[C]>,
+    shifts: Box<[u32]>,
+    all_wild: C,
+}
+
+impl<C: PackedCode> PackedMasks<C> {
+    /// Number of dimension attributes.
+    pub fn num_dims(&self) -> usize {
+        self.wild.len()
+    }
+
+    /// The all-wildcards rule `(*, …, *)` as a code.
+    #[inline]
+    pub fn all_wild(&self) -> C {
+        self.all_wild
+    }
+
+    /// Dimension `j`'s wildcard field mask, in position.
+    #[inline]
+    pub fn wild(&self, j: usize) -> C {
+        self.wild[j]
+    }
+
+    /// Whether dimension `j` of `code` is the wildcard (real codes never
+    /// fill their field with ones — the layout reserves that slot).
+    #[inline]
+    pub fn is_wild(&self, code: C, j: usize) -> bool {
+        code.bitand(self.wild[j]) == self.wild[j]
+    }
+
+    /// `code` with dimension `j` set to the constant `v`.
+    #[inline]
+    pub fn with_constant(&self, code: C, j: usize, v: u32) -> C {
+        code.bitand(self.wild[j].not())
+            .bitor(C::from_u32(v).shl(self.shifts[j]))
+    }
+
+    /// `code` with dimension `j` generalized to the wildcard.
+    #[inline]
+    pub fn widen(&self, code: C, j: usize) -> C {
+        code.bitor(self.wild[j])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +599,103 @@ mod tests {
         let mut s = buf.as_slice();
         assert_eq!(Rule::decode(&mut s), x);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn layout_widths_reserve_the_wildcard_slot() {
+        let l = RuleLayout::from_cardinalities(&[1, 2, 3, 4, 7, 8, 256]);
+        // bit_length(c): room for codes 0..c plus the all-ones wildcard.
+        let widths: Vec<u32> = (0..l.num_dims()).map(|j| l.width(j)).collect();
+        assert_eq!(widths, vec![1, 2, 2, 3, 3, 4, 9]);
+        assert_eq!(l.total_bits(), 24);
+        assert!(l.fits::<u64>() && l.fits::<u128>());
+        // Zero-cardinality columns still get one (wildcard-only) bit.
+        assert_eq!(RuleLayout::from_cardinalities(&[0]).total_bits(), 1);
+        // Saturated cardinality (u32::MAX) takes a full 32-bit field whose
+        // all-ones slot coincides with the WILDCARD sentinel itself.
+        let wide = RuleLayout::from_cardinalities(&[u32::MAX; 4]);
+        assert_eq!(wide.total_bits(), 128);
+        assert!(!wide.fits::<u64>() && wide.fits::<u128>());
+        assert!(!RuleLayout::from_cardinalities(&[u32::MAX; 5]).fits::<u128>());
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let l = RuleLayout::from_cardinalities(&[6, 3, 300, 2]);
+        for rule in [
+            r(&[-1, -1, -1, -1]),
+            r(&[5, 2, 299, 1]),
+            r(&[0, 0, 0, 0]),
+            r(&[-1, 2, -1, 0]),
+            r(&[3, -1, 17, -1]),
+        ] {
+            let c64: u64 = l.pack(rule.values());
+            let c128: u128 = l.pack(rule.values());
+            assert_eq!(l.unpack(c64), rule);
+            assert_eq!(l.unpack(c128), rule);
+            assert_eq!(u128::from(c64), c128);
+        }
+    }
+
+    #[test]
+    fn packed_order_is_lexicographic_rule_order() {
+        // Integer order of codes == lexicographic order of value slices
+        // (wildcard = u32::MAX sorts last in both worlds).
+        let l = RuleLayout::from_cardinalities(&[5, 9, 2]);
+        let mut rules = Vec::new();
+        for a in [0u32, 3, WILDCARD] {
+            for b in [0u32, 8, WILDCARD] {
+                for c in [0u32, 1, WILDCARD] {
+                    rules.push(r(&[
+                        if a == WILDCARD { -1 } else { a as i64 },
+                        if b == WILDCARD { -1 } else { b as i64 },
+                        if c == WILDCARD { -1 } else { c as i64 },
+                    ]));
+                }
+            }
+        }
+        let mut by_code: Vec<Rule> = rules.clone();
+        by_code.sort_by_key(|x| l.pack::<u64>(x.values()));
+        let mut by_values = rules;
+        by_values.sort_by(|x, y| x.values().cmp(y.values()));
+        assert_eq!(by_code, by_values);
+    }
+
+    #[test]
+    fn masks_do_in_place_code_surgery() {
+        let l = RuleLayout::from_cardinalities(&[6, 3, 300]);
+        let m = l.masks::<u64>();
+        assert_eq!(m.num_dims(), 3);
+        assert_eq!(l.unpack::<u64>(m.all_wild()), r(&[-1, -1, -1]));
+        let c = m.with_constant(m.all_wild(), 1, 2);
+        assert_eq!(l.unpack(c), r(&[-1, 2, -1]));
+        assert!(!m.is_wild(c, 1) && m.is_wild(c, 0) && m.is_wild(c, 2));
+        let c = m.with_constant(c, 0, 5);
+        assert_eq!(l.unpack(c), r(&[5, 2, -1]));
+        assert_eq!(l.unpack(m.widen(c, 1)), r(&[5, -1, -1]));
+        // Masks agree with pack on a fully-constant tuple.
+        let t = [4u32, 1, 123];
+        let mut built = m.all_wild();
+        for (j, &v) in t.iter().enumerate() {
+            built = m.with_constant(built, j, v);
+        }
+        assert_eq!(built, l.pack::<u64>(&t));
+    }
+
+    #[test]
+    fn layout_encode_round_trip() {
+        let l = RuleLayout::from_cardinalities(&[6, 0, 300, u32::MAX]);
+        let mut buf = Vec::new();
+        l.encode(&mut buf);
+        let mut s = buf.as_slice();
+        let back = RuleLayout::decode(&mut s);
+        assert!(s.is_empty());
+        assert_eq!(back, l);
+        let rule = r(&[5, -1, 17, 9]);
+        assert_eq!(
+            back.pack::<u128>(rule.values()),
+            l.pack::<u128>(rule.values())
+        );
     }
 
     #[test]

@@ -23,8 +23,26 @@
 //!    folding the combined aggregates into every ancestor; the candidate
 //!    maps are again merged in partition order.
 //!
+//! ## Packed rule codes
+//!
+//! On the hot path rules are interned as dense integer codes
+//! ([`crate::rule::RuleLayout`]): each dimension gets a bit-field sized by
+//! its dictionary cardinality (wildcard = the reserved all-ones slot), so
+//! an LCA key is one `u64`/`u128` instead of a `&[u32]` slice — the
+//! combine probe becomes an integer hash plus an integer compare, and
+//! ancestor expansion is a couple of ORs per ancestor instead of slice
+//! rewrites. When the summed widths exceed 128 bits the sweep falls back
+//! to the original `Rule`-keyed maps; [`SweepOptions`] picks the path.
+//! Each combine partition also chooses **how** to aggregate via
+//! [`sirum_dataflow::cost::choose_combine`]: probe-or-insert into the
+//! hash map, or radix-scatter `(code, m, m̂)` triples into 256 hash
+//! lanes and fold each lane through its own cache-resident map (better
+//! once the distinct working set outgrows the cache). Both are
+//! bit-identical by construction — a code's emissions all land in one
+//! lane in emission order, so its float sums add in the same sequence.
+//!
 //! Determinism argument (see DESIGN.md "Partition-parallel gain sweep"
-//! for the full version):
+//! and "Packed rule codes" for the full version):
 //!
 //! 1. every partition task is a pure function of its partition's input
 //!    (row order within a partition is fixed by the original encoding
@@ -33,91 +51,100 @@
 //!    order regardless of which worker ran which task, and the driver folds
 //!    them front-to-back — so each candidate's floating-point sums are
 //!    accumulated in exactly the same order for 1 worker or N;
-//! 3. every intermediate map's iteration order depends only on its
-//!    insertion sequence, which is itself partition-ordered — so stage 2's
-//!    frontier chunking is a pure function of stage 1's result.
+//! 3. the merged stage-1 frontier is sorted into **canonical rule order**
+//!    before stage-2 chunking (packed codes are order-isomorphic to
+//!    lexicographic `Rule::values` order, so every key representation
+//!    sorts identically), and the final candidate list is sorted the same
+//!    way — no intermediate hash map's iteration order reaches the output.
 //!
 //! Hence the sweep's per-candidate sums — and everything derived from them
 //! (gains, the selected rule sequence) — are **bit-identical to the
 //! sequential reference** ([`sweep_gains_reference`]) for any worker
-//! count. A proptest in `crates/core/tests/properties.rs` pins this across
-//! random tables, partition counts and thread counts.
+//! count, and across the packed/`Rule`-keyed, hash/radix-group and
+//! row-major/columnar variants. Proptests in
+//! `crates/core/tests/properties.rs` pin this across random tables,
+//! partition counts and thread counts.
 //!
-//! Cancellation is polled at every partition boundary, every
-//! [`CANCEL_POLL_ROWS`] data rows inside the combine stage, and every
-//! [`CANCEL_POLL_ROWS`] ancestor folds inside the expand stage (a single
-//! LCA's lattice can dwarf the frontier, so the expansion budget counts
-//! folds, not entries); a cancelled sweep returns an empty candidate list
-//! with [`SweepOutcome::cancelled`] set, and the miner abandons the
-//! iteration without selecting from partial sums.
+//! Cancellation is polled at every partition boundary and every
+//! [`CANCEL_POLL_ROWS`] **work units** inside both stages — a work unit is
+//! one LCA fold (or scanned row) in the combine stage and one ancestor
+//! fold in the expand stage, so the latency to observe a cancellation is
+//! bounded even across stretches that emit nothing (a row whose LCAs all
+//! hit existing entries still counts work). A cancelled sweep returns an
+//! empty candidate list with [`SweepOutcome::cancelled`] set, and the
+//! miner abandons the iteration without selecting from partial sums.
 
 use crate::block::TupleBlock;
 use crate::cancel::CancellationToken;
 use crate::candidates::{adjust_for_sample, SampleIndex};
-use crate::lattice::MAX_EXPAND_BITS;
+use crate::lattice::{packed_live_dims, MAX_EXPAND_BITS};
 use crate::miner::Tup;
-use crate::rule::{Rule, WILDCARD};
-use sirum_dataflow::hash::FxHashMap;
+use crate::rule::{PackedCode, PackedMasks, Rule, RuleLayout, WILDCARD};
+use sirum_dataflow::cost::{choose_combine, CombineStrategy};
+use sirum_dataflow::hash::{fx_hash_one, FxHashMap};
 use sirum_dataflow::{Dataset, Engine};
 
 /// Per-candidate aggregate carried by the sweep: `(Σm, Σm̂, pair count)` —
 /// the same triple the legacy shuffle pipeline reduces by key.
 type Agg = (f64, f64, u64);
 
-/// How many units of work — data rows in the combine stage, ancestor
-/// folds in the expand stage — a partition task processes between
-/// cancellation polls (in addition to the poll at every partition
-/// boundary).
+/// How many units of work — LCA folds or scanned rows in the combine
+/// stage, ancestor folds in the expand stage — a partition task processes
+/// between cancellation polls (in addition to the poll at every partition
+/// boundary). Counting *folds* rather than emitted pairs bounds the poll
+/// latency even through long stretches that emit nothing new.
 pub const CANCEL_POLL_ROWS: usize = 4096;
 
-/// One partition's fold state: a rule-keyed accumulator map plus the pair
-/// counter (the Fig 5.8 "ancestors emitted" quantity, counted by the
-/// expansion stage only) and the cancellation flag. Used for both sweep
-/// stages — LCA combining over the data and ancestor expansion over the
-/// frontier.
-struct PartitionSweep {
-    map: FxHashMap<Rule, Agg>,
-    pairs: u64,
-    cancelled: bool,
+/// How the sweep keys its hot-path accumulators, chosen once per sweep
+/// from the table's dictionary cardinalities (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    layout: Option<RuleLayout>,
+    combine: Option<CombineStrategy>,
 }
 
-impl PartitionSweep {
-    fn new() -> Self {
-        PartitionSweep {
-            map: FxHashMap::default(),
-            pairs: 0,
-            cancelled: false,
+impl SweepOptions {
+    /// The original `Rule`-keyed accumulators (also the automatic fallback
+    /// when a packed layout overflows 128 bits).
+    pub fn rule_keyed() -> SweepOptions {
+        SweepOptions::default()
+    }
+
+    /// Packed integer codes laid out by `layout`; falls back to
+    /// `Rule`-keyed maps automatically when the layout does not fit 128
+    /// bits.
+    pub fn packed(layout: RuleLayout) -> SweepOptions {
+        SweepOptions {
+            layout: Some(layout),
+            combine: None,
         }
     }
 
-    /// Pre-sized accumulator: rehashing a tens-of-thousands-entry map
-    /// several times while it grows costs a measurable slice of the hot
-    /// loop, so tasks seed their maps from a workload-derived hint.
-    fn with_capacity(capacity: usize) -> Self {
-        PartitionSweep {
-            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
-            pairs: 0,
-            cancelled: false,
+    /// Force every combine partition onto one [`CombineStrategy`] instead
+    /// of the per-partition cost-model choice (benchmarks and the
+    /// bit-identity tests use this; the mining output is identical either
+    /// way).
+    pub fn with_combine(mut self, strategy: CombineStrategy) -> SweepOptions {
+        self.combine = Some(strategy);
+        self
+    }
+
+    /// The packed code width this sweep will run with (64 or 128), or
+    /// `None` when it runs `Rule`-keyed (no layout, or fallback).
+    pub fn packed_bits(&self) -> Option<u32> {
+        let layout = self.layout.as_ref()?;
+        if layout.fits::<u64>() {
+            Some(64)
+        } else if layout.fits::<u128>() {
+            Some(128)
+        } else {
+            None
         }
     }
 
-    /// Fold `other` into `self`. Callers merge partitions **in partition
-    /// order**, so each candidate's float sums accumulate deterministically.
-    fn merge(&mut self, other: PartitionSweep) {
-        self.pairs += other.pairs;
-        self.cancelled |= other.cancelled;
-        for (rule, agg) in other.map {
-            match self.map.get_mut(rule.values()) {
-                Some(a) => {
-                    a.0 += agg.0;
-                    a.1 += agg.1;
-                    a.2 += agg.2;
-                }
-                None => {
-                    self.map.insert(rule, agg);
-                }
-            }
-        }
+    /// The forced combine strategy, if any.
+    pub fn combine_override(&self) -> Option<CombineStrategy> {
+        self.combine
     }
 }
 
@@ -126,9 +153,9 @@ impl PartitionSweep {
 pub struct SweepOutcome {
     /// Exact per-candidate aggregates over their true support sets:
     /// `(rule, Σm, Σm̂, |support|)`, already adjusted for sample
-    /// multiplicity when an index was supplied. Deterministically ordered
-    /// (partition-ordered merge; see the module docs). Empty when
-    /// [`Self::cancelled`].
+    /// multiplicity when an index was supplied. Sorted in canonical rule
+    /// order (lexicographic on values, wildcards last), which is identical
+    /// across every sweep variant. Empty when [`Self::cancelled`].
     pub candidates: Vec<(Rule, f64, f64, u64)>,
     /// Distinct candidate rules seen by the sweep (the rank-limit
     /// denominator of multi-rule selection).
@@ -147,14 +174,398 @@ fn is_cancelled(cancel: Option<&CancellationToken>) -> bool {
     cancel.is_some_and(CancellationToken::is_cancelled)
 }
 
+/// One partition's fold state, generic over the accumulator key (a packed
+/// code or a [`Rule`]). Used for both sweep stages — LCA combining over
+/// the data and ancestor expansion over the frontier.
+struct PartitionSweep<K> {
+    map: FxHashMap<K, Agg>,
+    /// Ancestor folds performed (the Fig 5.8 "ancestors emitted" quantity,
+    /// counted by the expansion stage only).
+    pairs: u64,
+    /// Work units since the task started — the cancellation poll clock
+    /// (never part of the output).
+    work: u64,
+    cancelled: bool,
+}
+
+impl<K: Eq + std::hash::Hash> PartitionSweep<K> {
+    fn new() -> Self {
+        PartitionSweep {
+            map: FxHashMap::default(),
+            pairs: 0,
+            work: 0,
+            cancelled: false,
+        }
+    }
+
+    /// Pre-sized accumulator: rehashing a tens-of-thousands-entry map
+    /// several times while it grows costs a measurable slice of the hot
+    /// loop, so tasks seed their maps from a workload-derived hint.
+    fn with_capacity(capacity: usize) -> Self {
+        PartitionSweep {
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+            pairs: 0,
+            work: 0,
+            cancelled: false,
+        }
+    }
+
+    /// Count one unit of work and poll the cancellation token on the
+    /// budget boundary. Returns `true` when the task should abandon.
+    #[inline]
+    fn tick(&mut self, cancel: Option<&CancellationToken>) -> bool {
+        self.work += 1;
+        if self.work.is_multiple_of(CANCEL_POLL_ROWS as u64) && is_cancelled(cancel) {
+            self.cancelled = true;
+            return true;
+        }
+        false
+    }
+
+    /// Fold `other` into `self`. Callers merge partitions **in partition
+    /// order**, so each candidate's float sums accumulate deterministically.
+    fn merge(&mut self, other: PartitionSweep<K>) {
+        self.pairs += other.pairs;
+        self.work += other.work;
+        self.cancelled |= other.cancelled;
+        for (key, agg) in other.map {
+            match self.map.get_mut(&key) {
+                Some(a) => {
+                    a.0 += agg.0;
+                    a.1 += agg.1;
+                    a.2 += agg.2;
+                }
+                None => {
+                    self.map.insert(key, agg);
+                }
+            }
+        }
+    }
+
+    /// Probe-or-insert one full aggregate (both stages' hash inner fold:
+    /// the combine stage passes `(m, m̂, 1)`, the expand stage the merged
+    /// LCA aggregate).
+    #[inline]
+    fn fold_agg(&mut self, key: K, agg: Agg)
+    where
+        K: Copy,
+    {
+        match self.map.get_mut(&key) {
+            Some(a) => {
+                a.0 += agg.0;
+                a.1 += agg.1;
+                a.2 += agg.2;
+            }
+            None => {
+                self.map.insert(key, agg);
+            }
+        }
+    }
+}
+
+/// How many scatter lanes the [`CombineStrategy::RadixGroup`] combine path
+/// uses (indexed by the top byte of the key's Fx hash).
+const RADIX_LANES: usize = 256;
+
+/// Radix-bucketed emission log for the [`CombineStrategy::RadixGroup`]
+/// combine path. Emissions scatter into [`RADIX_LANES`] lanes by the high
+/// byte of their key's Fx hash — a purely sequential append — and each
+/// lane then folds through one small reused map holding ~1/256 of the
+/// distinct keys, which stays cache-resident even when a single flat
+/// accumulator would spill every probe to DRAM.
+///
+/// Bit-identity with the probe-or-insert path: a key's emissions all hash
+/// to the same lane and the scatter is stable, so each key's float sums
+/// accumulate in the original emission order. Entries land in the output
+/// map lane by lane, an ordering the canonical frontier sort later erases
+/// anyway.
+struct RadixBuckets<K> {
+    lanes: Vec<Vec<(K, f64, f64)>>,
+}
+
+impl<K: Eq + std::hash::Hash + Copy> RadixBuckets<K> {
+    /// Lanes pre-sized for `records` total emissions split evenly.
+    fn with_capacity(records: usize) -> Self {
+        let per_lane = records / RADIX_LANES + 1;
+        RadixBuckets {
+            lanes: (0..RADIX_LANES)
+                .map(|_| Vec::with_capacity(per_lane))
+                .collect(),
+        }
+    }
+
+    /// Append one emission to its key's lane.
+    #[inline]
+    fn push(&mut self, key: K, m: f64, mh: f64) {
+        let lane = (fx_hash_one(&key) >> 56) as usize;
+        self.lanes[lane].push((key, m, mh));
+    }
+
+    /// Fold every lane into the accumulator map, one lane at a time.
+    fn group_into(self, acc: &mut PartitionSweep<K>) {
+        let mut lane_map: FxHashMap<K, Agg> = FxHashMap::default();
+        for lane in self.lanes {
+            lane_map.reserve(lane.len());
+            for (key, m, mh) in lane {
+                match lane_map.get_mut(&key) {
+                    Some(a) => {
+                        a.0 += m;
+                        a.1 += mh;
+                        a.2 += 1;
+                    }
+                    None => {
+                        lane_map.insert(key, (m, mh, 1));
+                    }
+                }
+            }
+            // Each key lives in exactly one lane, so these inserts never
+            // collide with an existing entry.
+            for (key, agg) in lane_map.drain() {
+                acc.map.insert(key, agg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-code stages
+// ---------------------------------------------------------------------------
+
+/// Pick the combine strategy for one partition: the forced override, or
+/// the cost model fed with this partition's emission volume (`rows × |s|`
+/// pairs). The same count doubles as the distinct-code ceiling hint —
+/// every pair can in principle yield a fresh LCA, and real workloads land
+/// close enough to that bound (tens of thousands of distinct codes from a
+/// few thousand rows) that hinting `rows` alone kept the model in the
+/// cache-hit regime while the actual accumulator was spilling to DRAM.
+fn partition_strategy(
+    rows: usize,
+    index: Option<&SampleIndex>,
+    force: Option<CombineStrategy>,
+) -> CombineStrategy {
+    force.unwrap_or_else(|| {
+        let s = index.map_or(1, SampleIndex::len).max(1);
+        let records = rows as u64 * s as u64;
+        choose_combine(records, records)
+    })
+}
+
+/// Stage 1, one row-major partition, packed keys: combine every
+/// `(sample tuple, data tuple)` LCA (or the packed tuple itself when no
+/// index is given — the full-cube strategy) into a partition-local
+/// `code → (Σm, Σm̂, pairs)` map.
+fn combine_rows_packed<C: PackedCode>(
+    rows: &[Tup],
+    layout: &RuleLayout,
+    masks: &PackedMasks<C>,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+    force: Option<CombineStrategy>,
+) -> PartitionSweep<C> {
+    let mut acc = PartitionSweep::with_capacity(rows.len());
+    if is_cancelled(cancel) {
+        acc.cancelled = true;
+        return acc;
+    }
+    let strategy = partition_strategy(rows.len(), index, force);
+    let mut scratch: Vec<C> = Vec::new();
+    let mut buckets = if strategy == CombineStrategy::RadixGroup {
+        let s = index.map_or(1, SampleIndex::len).max(1);
+        RadixBuckets::with_capacity(rows.len() * s)
+    } else {
+        RadixBuckets { lanes: Vec::new() }
+    };
+    // All-wild fast path: a (sample, data) pair with no shared constants
+    // yields the `(*, …, *)` LCA — usually the most frequent code by far.
+    // Its contributions touch no other key, so a register accumulator adds
+    // them in exactly the emission order the map entry would have seen
+    // (bit-identical), skipping one hash probe per such pair.
+    let aw = masks.all_wild();
+    let mut wild: Agg = (0.0, 0.0, 0);
+    for (dims, m, mh, _ba) in rows {
+        match index {
+            Some(idx) => {
+                for &code in idx.packed_lcas_into(masks, dims, &mut scratch) {
+                    if acc.tick(cancel) {
+                        return acc;
+                    }
+                    if code == aw {
+                        wild.0 += *m;
+                        wild.1 += *mh;
+                        wild.2 += 1;
+                    } else {
+                        match strategy {
+                            CombineStrategy::HashProbe => acc.fold_agg(code, (*m, *mh, 1)),
+                            CombineStrategy::RadixGroup => buckets.push(code, *m, *mh),
+                        }
+                    }
+                }
+            }
+            None => {
+                if acc.tick(cancel) {
+                    return acc;
+                }
+                let code: C = layout.pack(dims);
+                match strategy {
+                    CombineStrategy::HashProbe => acc.fold_agg(code, (*m, *mh, 1)),
+                    CombineStrategy::RadixGroup => buckets.push(code, *m, *mh),
+                }
+            }
+        }
+    }
+    if strategy == CombineStrategy::RadixGroup {
+        buckets.group_into(&mut acc);
+    }
+    if wild.2 > 0 {
+        acc.fold_agg(aw, wild);
+    }
+    acc
+}
+
+/// Stage 1 over a columnar partition ([`TupleBlock`]), packed keys:
+/// identical fold order and identical cancellation poll points as
+/// [`combine_rows_packed`] — the LCA probe reads attribute values directly
+/// from the shared columns.
+fn combine_blocks_packed<C: PackedCode>(
+    blocks: &[TupleBlock],
+    d: usize,
+    layout: &RuleLayout,
+    masks: &PackedMasks<C>,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+    force: Option<CombineStrategy>,
+) -> PartitionSweep<C> {
+    let rows: usize = blocks.iter().map(TupleBlock::len).sum();
+    let mut acc = PartitionSweep::with_capacity(rows);
+    if is_cancelled(cancel) {
+        acc.cancelled = true;
+        return acc;
+    }
+    let strategy = partition_strategy(rows, index, force);
+    let mut scratch: Vec<C> = Vec::new();
+    let mut row_buf = Vec::with_capacity(d);
+    let mut buckets = if strategy == CombineStrategy::RadixGroup {
+        let s = index.map_or(1, SampleIndex::len).max(1);
+        RadixBuckets::with_capacity(rows * s)
+    } else {
+        RadixBuckets { lanes: Vec::new() }
+    };
+    // Same all-wild register accumulator as [`combine_rows_packed`] — see
+    // the bit-identity note there.
+    let aw = masks.all_wild();
+    let mut wild: Agg = (0.0, 0.0, 0);
+    for block in blocks {
+        let (m_col, mhat_col) = (block.m(), block.mhat());
+        let cols: Vec<&[u32]> = (0..d).map(|j| block.dims().col(j)).collect();
+        for i in 0..block.len() {
+            match index {
+                Some(idx) => {
+                    for &code in idx.packed_lcas_into_cols(masks, &cols, i, &mut scratch) {
+                        if acc.tick(cancel) {
+                            return acc;
+                        }
+                        if code == aw {
+                            wild.0 += m_col[i];
+                            wild.1 += mhat_col[i];
+                            wild.2 += 1;
+                        } else {
+                            match strategy {
+                                CombineStrategy::HashProbe => {
+                                    acc.fold_agg(code, (m_col[i], mhat_col[i], 1));
+                                }
+                                CombineStrategy::RadixGroup => {
+                                    buckets.push(code, m_col[i], mhat_col[i]);
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if acc.tick(cancel) {
+                        return acc;
+                    }
+                    block.gather(i, &mut row_buf);
+                    let code: C = layout.pack(&row_buf);
+                    match strategy {
+                        CombineStrategy::HashProbe => {
+                            acc.fold_agg(code, (m_col[i], mhat_col[i], 1));
+                        }
+                        CombineStrategy::RadixGroup => {
+                            buckets.push(code, m_col[i], mhat_col[i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if strategy == CombineStrategy::RadixGroup {
+        buckets.group_into(&mut acc);
+    }
+    if wild.2 > 0 {
+        acc.fold_agg(aw, wild);
+    }
+    acc
+}
+
+/// Stage 2, one partition of the packed **frontier**: expand each globally
+/// distinct LCA's cube lattice once — two ORs per ancestor — folding its
+/// combined aggregate into every ancestor.
+fn expand_packed<C: PackedCode>(
+    frontier: &[(C, Agg)],
+    masks: &PackedMasks<C>,
+    cancel: Option<&CancellationToken>,
+) -> PartitionSweep<C> {
+    let mut acc = PartitionSweep::with_capacity(frontier.len() * 4);
+    if is_cancelled(cancel) {
+        acc.cancelled = true;
+        return acc;
+    }
+    let mut live = Vec::with_capacity(masks.num_dims());
+    let mut deltas: Vec<C> = Vec::with_capacity(masks.num_dims());
+    for &(code, agg) in frontier {
+        packed_live_dims(code, masks, &mut live);
+        let w = live.len();
+        // Unreachable through the miner, which rejects tables with more
+        // than MAX_EXPAND_BITS dimensions up front (typed InvalidConfig).
+        // lint:allow-assert — internal expansion-size invariant, not user-reachable
+        assert!(w <= MAX_EXPAND_BITS, "refusing to expand 2^{w} ancestors");
+        // Walk the lattice in binary-reflected Gray order: each step
+        // toggles one live field between its value and all-ones, so every
+        // ancestor is a single XOR from the previous one. Enumeration
+        // order within a lattice is free to differ from the rule-keyed
+        // path's 0..2^w order — subsets of distinct live dims yield
+        // distinct codes, so each ancestor key still receives exactly one
+        // fold per lattice and cross-variant sums are unchanged.
+        deltas.clear();
+        deltas.extend(live.iter().map(|&j| masks.wild(j).bitand(code.not())));
+        let mut anc = code;
+        for step in 0..(1u32 << w) {
+            if step != 0 {
+                anc = anc.bitxor(deltas[step.trailing_zeros() as usize]);
+            }
+            acc.pairs += 1;
+            // One lattice can dwarf the whole frontier, so the poll clock
+            // counts folds, not frontier entries.
+            if acc.tick(cancel) {
+                return acc;
+            }
+            acc.fold_agg(anc, agg);
+        }
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Rule-keyed stages (the >128-bit fallback and the historical reference)
+// ---------------------------------------------------------------------------
+
 /// Fold a combined aggregate into every ancestor of `values` (the cube
 /// lattice above one distinct LCA or tuple): `2^w` entries for `w`
 /// constants. A single lattice can be huge (up to `2^MAX_EXPAND_BITS`
-/// folds), so the cancellation token is polled every
-/// [`CANCEL_POLL_ROWS`] folds *inside* the subset loop too; returns
-/// `true` when the expansion was abandoned mid-lattice.
+/// folds), so the work clock ticks every fold *inside* the subset loop
+/// too; returns `true` when the expansion was abandoned mid-lattice.
 fn accumulate_ancestors(
-    acc: &mut PartitionSweep,
+    acc: &mut PartitionSweep<Rule>,
     values: &[u32],
     agg: Agg,
     live: &mut Vec<usize>,
@@ -179,7 +590,7 @@ fn accumulate_ancestors(
             };
         }
         acc.pairs += 1;
-        if acc.pairs.is_multiple_of(CANCEL_POLL_ROWS as u64) && is_cancelled(cancel) {
+        if acc.tick(cancel) {
             return true;
         }
         // Probe by borrowed slice first (no Rule allocation on hits).
@@ -226,26 +637,30 @@ fn combine_partition(
     d: usize,
     index: Option<&SampleIndex>,
     cancel: Option<&CancellationToken>,
-) -> PartitionSweep {
+) -> PartitionSweep<Rule> {
     let mut acc = PartitionSweep::with_capacity(rows.len());
     if is_cancelled(cancel) {
         acc.cancelled = true;
         return acc;
     }
     let mut scratch = Vec::new();
-    for (i, (dims, m, mh, _ba)) in rows.iter().enumerate() {
-        if i > 0 && i % CANCEL_POLL_ROWS == 0 && is_cancelled(cancel) {
-            acc.cancelled = true;
-            return acc;
-        }
+    for (dims, m, mh, _ba) in rows {
         match index {
             Some(idx) => {
                 let chunks = idx.lcas_into(dims, &mut scratch);
                 for chunk in chunks.chunks_exact(d) {
+                    if acc.tick(cancel) {
+                        return acc;
+                    }
                     fold_lca(&mut acc.map, chunk, *m, *mh);
                 }
             }
-            None => fold_lca(&mut acc.map, dims, *m, *mh),
+            None => {
+                if acc.tick(cancel) {
+                    return acc;
+                }
+                fold_lca(&mut acc.map, dims, *m, *mh);
+            }
         }
     }
     acc
@@ -263,7 +678,7 @@ fn combine_partition_blocks(
     d: usize,
     index: Option<&SampleIndex>,
     cancel: Option<&CancellationToken>,
-) -> PartitionSweep {
+) -> PartitionSweep<Rule> {
     let rows: usize = blocks.iter().map(TupleBlock::len).sum();
     let mut acc = PartitionSweep::with_capacity(rows);
     if is_cancelled(cancel) {
@@ -272,7 +687,6 @@ fn combine_partition_blocks(
     }
     let mut scratch = Vec::new();
     let mut row_buf = Vec::with_capacity(d);
-    let mut at = 0usize;
     for block in blocks {
         let (m_col, mhat_col) = (block.m(), block.mhat());
         // The sample-index probe reads attribute values straight from the
@@ -280,19 +694,20 @@ fn combine_partition_blocks(
         // contiguous row key and pays the gather.
         let cols: Vec<&[u32]> = (0..d).map(|j| block.dims().col(j)).collect();
         for i in 0..block.len() {
-            if at > 0 && at.is_multiple_of(CANCEL_POLL_ROWS) && is_cancelled(cancel) {
-                acc.cancelled = true;
-                return acc;
-            }
-            at += 1;
             match index {
                 Some(idx) => {
                     let chunks = idx.lcas_into_cols(&cols, i, &mut scratch);
                     for chunk in chunks.chunks_exact(d) {
+                        if acc.tick(cancel) {
+                            return acc;
+                        }
                         fold_lca(&mut acc.map, chunk, m_col[i], mhat_col[i]);
                     }
                 }
                 None => {
+                    if acc.tick(cancel) {
+                        return acc;
+                    }
                     block.gather(i, &mut row_buf);
                     fold_lca(&mut acc.map, &row_buf, m_col[i], mhat_col[i]);
                 }
@@ -311,7 +726,7 @@ fn combine_partition_blocks(
 fn expand_partition(
     frontier: &[(Rule, Agg)],
     cancel: Option<&CancellationToken>,
-) -> PartitionSweep {
+) -> PartitionSweep<Rule> {
     let mut acc = PartitionSweep::with_capacity(frontier.len() * 4);
     if is_cancelled(cancel) {
         acc.cancelled = true;
@@ -332,23 +747,35 @@ fn expand_partition(
     acc
 }
 
+// ---------------------------------------------------------------------------
+// Shared driver plumbing
+// ---------------------------------------------------------------------------
+
+fn cancelled_outcome<K>(acc: &PartitionSweep<K>) -> SweepOutcome {
+    SweepOutcome {
+        candidates: Vec::new(),
+        distinct_candidates: 0,
+        pairs_emitted: acc.pairs,
+        cancelled: true,
+    }
+}
+
 /// Turn the merged accumulator into the final outcome, dividing by sample
 /// multiplicity when an index was used (§3.1.1) so every candidate carries
-/// exact sums over its true support set.
-fn finish(acc: PartitionSweep, index: Option<&SampleIndex>) -> SweepOutcome {
+/// exact sums over its true support set. Candidates are sorted into
+/// canonical rule order first, so the output order is identical across
+/// every sweep variant.
+fn finish(acc: PartitionSweep<Rule>, index: Option<&SampleIndex>) -> SweepOutcome {
     if acc.cancelled {
-        return SweepOutcome {
-            candidates: Vec::new(),
-            distinct_candidates: 0,
-            pairs_emitted: acc.pairs,
-            cancelled: true,
-        };
+        return cancelled_outcome(&acc);
     }
     let distinct = acc.map.len() as u64;
+    let pairs = acc.pairs;
+    let mut entries: Vec<(Rule, Agg)> = acc.map.into_iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.values().cmp(b.0.values()));
     let candidates = match index {
-        Some(idx) => adjust_for_sample(acc.map, idx),
-        None => acc
-            .map
+        Some(idx) => adjust_for_sample(entries, idx),
+        None => entries
             .into_iter()
             .map(|(rule, (sm, smh, cnt))| (rule, sm, smh, cnt))
             .collect(),
@@ -356,69 +783,160 @@ fn finish(acc: PartitionSweep, index: Option<&SampleIndex>) -> SweepOutcome {
     SweepOutcome {
         candidates,
         distinct_candidates: distinct,
-        pairs_emitted: acc.pairs,
+        pairs_emitted: pairs,
+        cancelled: false,
+    }
+}
+
+/// [`finish`], packed: unpack codes back into rules after the canonical
+/// sort (packed integer order *is* canonical rule order, so sorting before
+/// unpacking is both cheaper and identical).
+fn finish_packed<C: PackedCode>(
+    acc: PartitionSweep<C>,
+    layout: &RuleLayout,
+    index: Option<&SampleIndex>,
+) -> SweepOutcome {
+    if acc.cancelled {
+        return cancelled_outcome(&acc);
+    }
+    let distinct = acc.map.len() as u64;
+    let pairs = acc.pairs;
+    let mut entries: Vec<(C, Agg)> = acc.map.into_iter().collect();
+    entries.sort_unstable_by_key(|e| e.0);
+    let rules = entries
+        .into_iter()
+        .map(|(code, agg)| (layout.unpack(code), agg));
+    let candidates = match index {
+        Some(idx) => adjust_for_sample(rules, idx),
+        None => rules
+            .map(|(rule, (sm, smh, cnt))| (rule, sm, smh, cnt))
+            .collect(),
+    };
+    SweepOutcome {
+        candidates,
+        distinct_candidates: distinct,
+        pairs_emitted: pairs,
         cancelled: false,
     }
 }
 
 /// Distribute the globally distinct LCA frontier over the same number of
-/// partitions as the data, so stage 2's chunking (and therefore its
-/// float-fold order) is a pure function of the stage-1 result.
-fn frontier_dataset(
+/// partitions as the data, in **canonical order** — sorted by key, so the
+/// stage-2 chunking (and therefore its float-fold order) is independent of
+/// any hash map's iteration order and identical across sweep variants.
+fn frontier_dataset<K>(
     engine: &Engine,
     partitions: usize,
-    combined: PartitionSweep,
-) -> Dataset<(Rule, Agg)> {
-    let frontier: Vec<(Rule, Agg)> = combined.map.into_iter().collect();
+    map: FxHashMap<K, Agg>,
+    sort_key: impl Fn(&K, &K) -> std::cmp::Ordering,
+) -> Dataset<(K, Agg)>
+where
+    (K, Agg): sirum_dataflow::Record,
+{
+    let mut frontier: Vec<(K, Agg)> = map.into_iter().collect();
+    frontier.sort_unstable_by(|a, b| sort_key(&a.0, &b.0));
     engine.parallelize(frontier, partitions.max(1))
 }
 
-/// Stage 2 + finish, shared by every stage-1 source (row-major or
-/// columnar, parallel or sequential reference): expand the merged frontier
-/// on the engine thread pool and assemble the outcome.
+/// Stage 2 + finish for the `Rule`-keyed path, shared by every stage-1
+/// source: expand the canonically ordered frontier (on the engine thread
+/// pool, or inline for the sequential reference) and assemble the outcome.
 fn expand_merged(
     engine: &Engine,
     partitions: usize,
-    combined: PartitionSweep,
+    combined: PartitionSweep<Rule>,
     index: Option<&SampleIndex>,
     cancel: Option<&CancellationToken>,
+    parallel: bool,
 ) -> SweepOutcome {
     if combined.cancelled {
         return finish(combined, index);
     }
-    let frontier = frontier_dataset(engine, partitions, combined);
-    let acc = frontier.aggregate_partitions(
-        "gain-sweep-expand",
-        PartitionSweep::new,
-        |_, lcas| expand_partition(lcas, cancel),
-        PartitionSweep::merge,
-    );
+    let pairs_so_far = combined.pairs;
+    let frontier = frontier_dataset(engine, partitions, combined.map, |a, b| {
+        a.values().cmp(b.values())
+    });
+    let mut acc = if parallel {
+        frontier.aggregate_partitions(
+            "gain-sweep-expand",
+            PartitionSweep::new,
+            |_, lcas| expand_partition(lcas, cancel),
+            PartitionSweep::merge,
+        )
+    } else {
+        // Mirror aggregate_partitions' fold exactly: the first partition's
+        // accumulator *is* the fold seed (not an empty map merged with it).
+        let mut expand = (0..frontier.num_partitions()).map(|i| {
+            let part = frontier.part(i);
+            expand_partition(&part, cancel)
+        });
+        let mut acc = expand.next().unwrap_or_else(PartitionSweep::new);
+        for out in expand {
+            acc.merge(out);
+        }
+        acc
+    };
+    acc.pairs += pairs_so_far;
     finish(acc, index)
 }
 
-/// As [`expand_merged`], but expanding inline on the calling thread (the
-/// sequential reference's stage 2).
-fn expand_merged_reference(
+/// [`expand_merged`], packed. Rebuilds the (cheap, layout-derived) field
+/// masks locally rather than threading them through as another parameter.
+fn expand_merged_packed<C: PackedCode>(
     engine: &Engine,
     partitions: usize,
-    combined: PartitionSweep,
+    combined: PartitionSweep<C>,
+    layout: &RuleLayout,
     index: Option<&SampleIndex>,
     cancel: Option<&CancellationToken>,
+    parallel: bool,
 ) -> SweepOutcome {
     if combined.cancelled {
-        return finish(combined, index);
+        return finish_packed(combined, layout, index);
     }
-    let frontier = frontier_dataset(engine, partitions, combined);
-    let mut expand = (0..frontier.num_partitions()).map(|i| {
-        let part = frontier.part(i);
-        expand_partition(&part, cancel)
-    });
-    let mut acc = expand.next().unwrap_or_else(PartitionSweep::new);
-    for out in expand {
-        acc.merge(out);
-    }
-    finish(acc, index)
+    let masks: PackedMasks<C> = layout.masks();
+    let pairs_so_far = combined.pairs;
+    let frontier = frontier_dataset(engine, partitions, combined.map, Ord::cmp);
+    let mut acc = if parallel {
+        frontier.aggregate_partitions(
+            "gain-sweep-expand",
+            PartitionSweep::new,
+            |_, lcas| expand_packed(lcas, &masks, cancel),
+            PartitionSweep::merge,
+        )
+    } else {
+        let mut expand = (0..frontier.num_partitions()).map(|i| {
+            let part = frontier.part(i);
+            expand_packed(&part, &masks, cancel)
+        });
+        let mut acc = expand.next().unwrap_or_else(PartitionSweep::new);
+        for out in expand {
+            acc.merge(out);
+        }
+        acc
+    };
+    acc.pairs += pairs_so_far;
+    finish_packed(acc, layout, index)
 }
+
+/// Which packed width (if any) a [`SweepOptions`] resolves to.
+enum Dispatch<'a> {
+    U64(&'a RuleLayout),
+    U128(&'a RuleLayout),
+    RuleKeyed,
+}
+
+fn dispatch(opts: &SweepOptions) -> Dispatch<'_> {
+    match (&opts.layout, opts.packed_bits()) {
+        (Some(layout), Some(64)) => Dispatch::U64(layout),
+        (Some(layout), Some(_)) => Dispatch::U128(layout),
+        _ => Dispatch::RuleKeyed,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
 
 /// Run the sweep as per-partition tasks on the dataset's engine thread
 /// pool, merged with the partition-ordered reduction of
@@ -426,36 +944,31 @@ fn expand_merged_reference(
 /// combines the LCA frontier, one pass over the distinct frontier expands
 /// the cube lattice — no shuffle in either stage. `d` is the table's
 /// dimension count; `index` enables the sample-LCA strategy (`None` =
-/// full cube).
+/// full cube); `opts` selects packed codes vs `Rule` keys (see
+/// [`SweepOptions`]).
 ///
 /// Bit-identical to [`sweep_gains_reference`] for every worker count (see
-/// the module docs for the argument), and to [`sweep_gains_blocks`] over
-/// the same partitioning.
+/// the module docs for the argument), to [`sweep_gains_blocks`] over the
+/// same partitioning, and across every [`SweepOptions`] choice.
 pub fn sweep_gains(
     data: &Dataset<Tup>,
     d: usize,
     index: Option<&SampleIndex>,
     cancel: Option<&CancellationToken>,
+    opts: &SweepOptions,
 ) -> SweepOutcome {
-    let combined = data.aggregate_partitions(
-        "gain-sweep-combine",
-        PartitionSweep::new,
-        |_, rows| combine_partition(rows, d, index, cancel),
-        PartitionSweep::merge,
-    );
-    expand_merged(
-        data.engine(),
-        data.num_partitions(),
-        combined,
-        index,
-        cancel,
-    )
+    match dispatch(opts) {
+        Dispatch::U64(layout) => sweep_rows_packed::<u64>(data, layout, index, cancel, opts, true),
+        Dispatch::U128(layout) => {
+            sweep_rows_packed::<u128>(data, layout, index, cancel, opts, true)
+        }
+        Dispatch::RuleKeyed => sweep_rows_rulekey(data, d, index, cancel, true),
+    }
 }
 
 /// The sweep over the **columnar** dataset (one [`TupleBlock`] per
 /// partition): the default data path. Stage 1 scans the shared dimension
-/// columns, gathering each row into a scratch buffer only for the LCA
-/// probe; stage 2 is shared with the row-major sweep. Bit-identical to
+/// columns; stage 2 is shared with the row-major sweep. Bit-identical to
 /// [`sweep_gains`] over the same partitioning — proptested in
 /// `crates/core/tests/properties.rs`.
 pub fn sweep_gains_blocks(
@@ -463,20 +976,17 @@ pub fn sweep_gains_blocks(
     d: usize,
     index: Option<&SampleIndex>,
     cancel: Option<&CancellationToken>,
+    opts: &SweepOptions,
 ) -> SweepOutcome {
-    let combined = data.aggregate_partitions(
-        "gain-sweep-combine",
-        PartitionSweep::new,
-        |_, blocks| combine_partition_blocks(blocks, d, index, cancel),
-        PartitionSweep::merge,
-    );
-    expand_merged(
-        data.engine(),
-        data.num_partitions(),
-        combined,
-        index,
-        cancel,
-    )
+    match dispatch(opts) {
+        Dispatch::U64(layout) => {
+            sweep_blocks_packed::<u64>(data, d, layout, index, cancel, opts, true)
+        }
+        Dispatch::U128(layout) => {
+            sweep_blocks_packed::<u128>(data, d, layout, index, cancel, opts, true)
+        }
+        Dispatch::RuleKeyed => sweep_blocks_rulekey(data, d, index, cancel, true),
+    }
 }
 
 /// The sequential reference: identical per-partition work and identical
@@ -488,26 +998,15 @@ pub fn sweep_gains_reference(
     d: usize,
     index: Option<&SampleIndex>,
     cancel: Option<&CancellationToken>,
+    opts: &SweepOptions,
 ) -> SweepOutcome {
-    // Mirror aggregate_partitions' fold exactly: the first partition's
-    // accumulator *is* the fold seed (not an empty map merged with it),
-    // so map insertion orders — and therefore the frontier's chunking —
-    // match the parallel path bit for bit.
-    let mut combine = (0..data.num_partitions()).map(|i| {
-        let part = data.part(i);
-        combine_partition(&part, d, index, cancel)
-    });
-    let mut combined = combine.next().unwrap_or_else(PartitionSweep::new);
-    for acc in combine {
-        combined.merge(acc);
+    match dispatch(opts) {
+        Dispatch::U64(layout) => sweep_rows_packed::<u64>(data, layout, index, cancel, opts, false),
+        Dispatch::U128(layout) => {
+            sweep_rows_packed::<u128>(data, layout, index, cancel, opts, false)
+        }
+        Dispatch::RuleKeyed => sweep_rows_rulekey(data, d, index, cancel, false),
     }
-    expand_merged_reference(
-        data.engine(),
-        data.num_partitions(),
-        combined,
-        index,
-        cancel,
-    )
 }
 
 /// Sequential reference over the columnar dataset (see
@@ -517,21 +1016,168 @@ pub fn sweep_gains_blocks_reference(
     d: usize,
     index: Option<&SampleIndex>,
     cancel: Option<&CancellationToken>,
+    opts: &SweepOptions,
 ) -> SweepOutcome {
-    let mut combine = (0..data.num_partitions()).map(|i| {
-        let part = data.part(i);
-        combine_partition_blocks(&part, d, index, cancel)
-    });
-    let mut combined = combine.next().unwrap_or_else(PartitionSweep::new);
-    for acc in combine {
-        combined.merge(acc);
+    match dispatch(opts) {
+        Dispatch::U64(layout) => {
+            sweep_blocks_packed::<u64>(data, d, layout, index, cancel, opts, false)
+        }
+        Dispatch::U128(layout) => {
+            sweep_blocks_packed::<u128>(data, d, layout, index, cancel, opts, false)
+        }
+        Dispatch::RuleKeyed => sweep_blocks_rulekey(data, d, index, cancel, false),
     }
-    expand_merged_reference(
+}
+
+fn sweep_rows_rulekey(
+    data: &Dataset<Tup>,
+    d: usize,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+    parallel: bool,
+) -> SweepOutcome {
+    let combined = if parallel {
+        data.aggregate_partitions(
+            "gain-sweep-combine",
+            PartitionSweep::new,
+            |_, rows| combine_partition(rows, d, index, cancel),
+            PartitionSweep::merge,
+        )
+    } else {
+        // Mirror aggregate_partitions' fold exactly: the first partition's
+        // accumulator *is* the fold seed (not an empty map merged with it),
+        // so per-key float sums match the parallel path bit for bit.
+        let mut combine = (0..data.num_partitions()).map(|i| {
+            let part = data.part(i);
+            combine_partition(&part, d, index, cancel)
+        });
+        let mut combined = combine.next().unwrap_or_else(PartitionSweep::new);
+        for acc in combine {
+            combined.merge(acc);
+        }
+        combined
+    };
+    expand_merged(
         data.engine(),
         data.num_partitions(),
         combined,
         index,
         cancel,
+        parallel,
+    )
+}
+
+fn sweep_blocks_rulekey(
+    data: &Dataset<TupleBlock>,
+    d: usize,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+    parallel: bool,
+) -> SweepOutcome {
+    let combined = if parallel {
+        data.aggregate_partitions(
+            "gain-sweep-combine",
+            PartitionSweep::new,
+            |_, blocks| combine_partition_blocks(blocks, d, index, cancel),
+            PartitionSweep::merge,
+        )
+    } else {
+        let mut combine = (0..data.num_partitions()).map(|i| {
+            let part = data.part(i);
+            combine_partition_blocks(&part, d, index, cancel)
+        });
+        let mut combined = combine.next().unwrap_or_else(PartitionSweep::new);
+        for acc in combine {
+            combined.merge(acc);
+        }
+        combined
+    };
+    expand_merged(
+        data.engine(),
+        data.num_partitions(),
+        combined,
+        index,
+        cancel,
+        parallel,
+    )
+}
+
+fn sweep_rows_packed<C: PackedCode>(
+    data: &Dataset<Tup>,
+    layout: &RuleLayout,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+    opts: &SweepOptions,
+    parallel: bool,
+) -> SweepOutcome {
+    let masks: PackedMasks<C> = layout.masks();
+    let force = opts.combine_override();
+    let combined = if parallel {
+        data.aggregate_partitions(
+            "gain-sweep-combine",
+            PartitionSweep::new,
+            |_, rows| combine_rows_packed(rows, layout, &masks, index, cancel, force),
+            PartitionSweep::merge,
+        )
+    } else {
+        let mut combine = (0..data.num_partitions()).map(|i| {
+            let part = data.part(i);
+            combine_rows_packed(&part, layout, &masks, index, cancel, force)
+        });
+        let mut combined = combine.next().unwrap_or_else(PartitionSweep::new);
+        for acc in combine {
+            combined.merge(acc);
+        }
+        combined
+    };
+    expand_merged_packed(
+        data.engine(),
+        data.num_partitions(),
+        combined,
+        layout,
+        index,
+        cancel,
+        parallel,
+    )
+}
+
+fn sweep_blocks_packed<C: PackedCode>(
+    data: &Dataset<TupleBlock>,
+    d: usize,
+    layout: &RuleLayout,
+    index: Option<&SampleIndex>,
+    cancel: Option<&CancellationToken>,
+    opts: &SweepOptions,
+    parallel: bool,
+) -> SweepOutcome {
+    let masks: PackedMasks<C> = layout.masks();
+    let force = opts.combine_override();
+    let combined = if parallel {
+        data.aggregate_partitions(
+            "gain-sweep-combine",
+            PartitionSweep::new,
+            |_, blocks| combine_blocks_packed(blocks, d, layout, &masks, index, cancel, force),
+            PartitionSweep::merge,
+        )
+    } else {
+        let mut combine = (0..data.num_partitions()).map(|i| {
+            let part = data.part(i);
+            combine_blocks_packed(&part, d, layout, &masks, index, cancel, force)
+        });
+        let mut combined = combine.next().unwrap_or_else(PartitionSweep::new);
+        for acc in combine {
+            combined.merge(acc);
+        }
+        combined
+    };
+    expand_merged_packed(
+        data.engine(),
+        data.num_partitions(),
+        combined,
+        layout,
+        index,
+        cancel,
+        parallel,
     )
 }
 
@@ -555,23 +1201,40 @@ mod tests {
             .collect()
     }
 
+    fn packed_opts(table: &sirum_table::Table) -> SweepOptions {
+        let cards: Vec<u32> = table.cardinalities().iter().map(|&c| c as u32).collect();
+        SweepOptions::packed(RuleLayout::from_cardinalities(&cards))
+    }
+
+    fn all_variants(table: &sirum_table::Table) -> Vec<SweepOptions> {
+        let packed = packed_opts(table);
+        vec![
+            SweepOptions::rule_keyed(),
+            packed.clone(),
+            packed.clone().with_combine(CombineStrategy::HashProbe),
+            packed.with_combine(CombineStrategy::RadixGroup),
+        ]
+    }
+
     #[test]
     fn full_cube_sweep_matches_exhaustive_reference() {
         let t = flights();
         let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
         let data = engine.parallelize(tuples(&t), 4);
-        let out = sweep_gains(&data, 3, None, None);
-        let exhaustive = exhaustive_candidates(&t, &[1.0; 14]);
-        assert_eq!(out.candidates.len(), exhaustive.len());
-        assert_eq!(out.distinct_candidates, exhaustive.len() as u64);
-        for (rule, sm, smh, cnt) in &out.candidates {
-            let (em, emh, ec) = exhaustive[rule];
-            assert!((sm - em).abs() < 1e-9, "{rule:?}");
-            assert!((smh - emh).abs() < 1e-9, "{rule:?}");
-            assert_eq!(*cnt, ec, "{rule:?}");
+        for opts in all_variants(&t) {
+            let out = sweep_gains(&data, 3, None, None, &opts);
+            let exhaustive = exhaustive_candidates(&t, &[1.0; 14]);
+            assert_eq!(out.candidates.len(), exhaustive.len());
+            assert_eq!(out.distinct_candidates, exhaustive.len() as u64);
+            for (rule, sm, smh, cnt) in &out.candidates {
+                let (em, emh, ec) = exhaustive[rule];
+                assert!((sm - em).abs() < 1e-9, "{rule:?}");
+                assert!((smh - emh).abs() < 1e-9, "{rule:?}");
+                assert_eq!(*cnt, ec, "{rule:?}");
+            }
+            // One pair per (tuple, lattice ancestor): 14 tuples × 2^3.
+            assert_eq!(out.pairs_emitted, 14 * 8);
         }
-        // One pair per (tuple, lattice ancestor): 14 tuples × 2^3.
-        assert_eq!(out.pairs_emitted, 14 * 8);
     }
 
     #[test]
@@ -584,39 +1247,101 @@ mod tests {
         let index = SampleIndex::build(sample, 3);
         let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
         let data = engine.parallelize(tuples(&t), 3);
-        let out = sweep_gains(&data, 3, Some(&index), None);
-        for (rule, sm, smh, cnt) in &out.candidates {
-            let mut exp = (0.0, 0.0, 0u64);
-            for (i, row) in t.rows().enumerate() {
-                if rule.matches(row) {
-                    exp.0 += t.measure(i);
-                    exp.1 += 1.0;
-                    exp.2 += 1;
+        for opts in all_variants(&t) {
+            let out = sweep_gains(&data, 3, Some(&index), None, &opts);
+            for (rule, sm, smh, cnt) in &out.candidates {
+                let mut exp = (0.0, 0.0, 0u64);
+                for (i, row) in t.rows().enumerate() {
+                    if rule.matches(row) {
+                        exp.0 += t.measure(i);
+                        exp.1 += 1.0;
+                        exp.2 += 1;
+                    }
                 }
+                assert!((sm - exp.0).abs() < 1e-9, "{rule:?}");
+                assert!((smh - exp.1).abs() < 1e-9, "{rule:?}");
+                assert_eq!(*cnt, exp.2, "{rule:?}");
             }
-            assert!((sm - exp.0).abs() < 1e-9, "{rule:?}");
-            assert!((smh - exp.1).abs() < 1e-9, "{rule:?}");
-            assert_eq!(*cnt, exp.2, "{rule:?}");
         }
+    }
+
+    fn bits(out: SweepOutcome) -> Vec<(Rule, u64, u64, u64)> {
+        out.candidates
+            .into_iter()
+            .map(|(r, a, b, c)| (r, a.to_bits(), b.to_bits(), c))
+            .collect()
     }
 
     #[test]
     fn parallel_and_reference_paths_are_bit_identical() {
         let t = flights();
-        let canon = |mut v: Vec<(Rule, f64, f64, u64)>| -> Vec<(Rule, u64, u64, u64)> {
-            v.sort_by(|a, b| a.0.values().cmp(b.0.values()));
-            v.into_iter()
-                .map(|(r, a, b, c)| (r, a.to_bits(), b.to_bits(), c))
-                .collect()
-        };
         for workers in [1, 2, 4] {
             let engine = Engine::new(EngineConfig::in_memory().with_workers(workers));
             let data = engine.parallelize(tuples(&t), 5);
-            let par = sweep_gains(&data, 3, None, None);
-            let seq = sweep_gains_reference(&data, 3, None, None);
-            assert_eq!(par.pairs_emitted, seq.pairs_emitted);
-            assert_eq!(canon(par.candidates), canon(seq.candidates));
+            for opts in all_variants(&t) {
+                let par = sweep_gains(&data, 3, None, None, &opts);
+                let seq = sweep_gains_reference(&data, 3, None, None, &opts);
+                assert_eq!(par.pairs_emitted, seq.pairs_emitted);
+                // Canonical ordering: identical bits AND identical order.
+                assert_eq!(bits(par), bits(seq));
+            }
         }
+    }
+
+    #[test]
+    fn every_key_representation_is_bit_identical() {
+        let t = flights();
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let data = engine.parallelize(tuples(&t), 4);
+        let sample: Vec<Box<[u32]>> = [3usize, 8]
+            .iter()
+            .map(|&i| t.row(i).to_vec().into_boxed_slice())
+            .collect();
+        let index = SampleIndex::build(sample, 3);
+        for idx in [None, Some(&index)] {
+            let baseline = bits(sweep_gains(
+                &data,
+                3,
+                idx,
+                None,
+                &SweepOptions::rule_keyed(),
+            ));
+            for opts in all_variants(&t) {
+                assert_eq!(baseline, bits(sweep_gains(&data, 3, idx, None, &opts)));
+            }
+        }
+    }
+
+    #[test]
+    fn u128_layouts_take_the_wide_path_and_agree() {
+        // Inflated cardinalities force total_bits into (64, 128]; codes
+        // still round-trip and the sweep output matches the rule-keyed one.
+        let t = flights();
+        let layout = RuleLayout::from_cardinalities(&[1 << 30, 1 << 30, 1 << 30]);
+        assert!(!layout.fits::<u64>() && layout.fits::<u128>());
+        let opts = SweepOptions::packed(layout);
+        assert_eq!(opts.packed_bits(), Some(128));
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let data = engine.parallelize(tuples(&t), 4);
+        let wide = sweep_gains(&data, 3, None, None, &opts);
+        let narrow = sweep_gains(&data, 3, None, None, &SweepOptions::rule_keyed());
+        assert_eq!(bits(wide), bits(narrow));
+    }
+
+    #[test]
+    fn oversized_layouts_fall_back_to_rule_keys() {
+        let layout = RuleLayout::from_cardinalities(&[u32::MAX; 5]);
+        let opts = SweepOptions::packed(layout);
+        assert_eq!(opts.packed_bits(), None);
+        let t = flights();
+        let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
+        let data = engine.parallelize(tuples(&t), 2);
+        // 3-dim data under a 5-dim layout would be an arity error on the
+        // packed path; the fallback dispatch never touches the layout.
+        let out = sweep_gains(&data, 3, None, None, &opts);
+        let baseline = sweep_gains(&data, 3, None, None, &SweepOptions::rule_keyed());
+        assert_eq!(out.distinct_candidates, baseline.distinct_candidates);
+        assert_eq!(bits(out), bits(baseline));
     }
 
     #[test]
@@ -633,28 +1358,24 @@ mod tests {
             .map(|v| TupleBlock::seed(v.clone(), m.slice(v.start(), v.len())))
             .collect();
         let block_ds = Dataset::from_partitioned(&engine, blocks);
-        let canon = |out: SweepOutcome| -> Vec<(Rule, u64, u64, u64)> {
-            out.candidates
-                .into_iter()
-                .map(|(r, a, b, c)| (r, a.to_bits(), b.to_bits(), c))
-                .collect()
-        };
         let sample: Vec<Box<[u32]>> = [3usize, 8]
             .iter()
             .map(|&i| t.row(i).to_vec().into_boxed_slice())
             .collect();
         let index = SampleIndex::build(sample, 3);
-        for idx in [None, Some(&index)] {
-            let row_out = sweep_gains(&rows, 3, idx, None);
-            let blk_out = sweep_gains_blocks(&block_ds, 3, idx, None);
-            let blk_ref = sweep_gains_blocks_reference(&block_ds, 3, idx, None);
-            assert_eq!(row_out.pairs_emitted, blk_out.pairs_emitted);
-            assert_eq!(row_out.distinct_candidates, blk_out.distinct_candidates);
-            // Same partitioning ⇒ identical fold orders ⇒ identical bits,
-            // including the deterministic candidate ORDER.
-            let row_bits = canon(row_out);
-            assert_eq!(row_bits, canon(blk_out));
-            assert_eq!(row_bits, canon(blk_ref));
+        for opts in all_variants(&t) {
+            for idx in [None, Some(&index)] {
+                let row_out = sweep_gains(&rows, 3, idx, None, &opts);
+                let blk_out = sweep_gains_blocks(&block_ds, 3, idx, None, &opts);
+                let blk_ref = sweep_gains_blocks_reference(&block_ds, 3, idx, None, &opts);
+                assert_eq!(row_out.pairs_emitted, blk_out.pairs_emitted);
+                assert_eq!(row_out.distinct_candidates, blk_out.distinct_candidates);
+                // Same partitioning ⇒ identical fold orders ⇒ identical
+                // bits, including the deterministic candidate ORDER.
+                let row_bits = bits(row_out);
+                assert_eq!(row_bits, bits(blk_out));
+                assert_eq!(row_bits, bits(blk_ref));
+            }
         }
     }
 
@@ -663,11 +1384,53 @@ mod tests {
         let t = flights();
         let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
         let data = engine.parallelize(tuples(&t), 2);
-        let token = CancellationToken::new();
-        token.cancel();
-        let out = sweep_gains(&data, 3, None, Some(&token));
-        assert!(out.cancelled);
-        assert!(out.candidates.is_empty());
-        assert_eq!(out.distinct_candidates, 0);
+        for opts in all_variants(&t) {
+            let token = CancellationToken::new();
+            token.cancel();
+            let out = sweep_gains(&data, 3, None, Some(&token), &opts);
+            assert!(out.cancelled);
+            assert!(out.candidates.is_empty());
+            assert_eq!(out.distinct_candidates, 0);
+        }
+    }
+
+    #[test]
+    fn combine_polls_cancellation_through_zero_pair_stretches() {
+        // Regression (ISSUE 6 satellite): the combine stage emits zero
+        // "pairs" by definition — pairs count ancestor folds in stage 2 —
+        // so a poll clock driven by the pair counter would never fire
+        // during a long combine scan and cancel latency would be unbounded.
+        // Arm a poll-budget token that self-cancels mid-combine and require
+        // the sweep to notice within one CANCEL_POLL_ROWS window.
+        let n = CANCEL_POLL_ROWS * 4;
+        let rows: Vec<Tup> = (0..n)
+            .map(|i| {
+                (
+                    vec![(i % 7) as u32, (i % 3) as u32].into_boxed_slice(),
+                    1.0,
+                    1.0,
+                    0u64,
+                )
+            })
+            .collect();
+        let engine = Engine::new(EngineConfig::single_thread());
+        let data = engine.parallelize(rows, 1);
+        let layout = RuleLayout::from_cardinalities(&[7, 3]);
+        for opts in [
+            SweepOptions::rule_keyed(),
+            SweepOptions::packed(layout.clone()),
+            SweepOptions::packed(layout.clone()).with_combine(CombineStrategy::RadixGroup),
+        ] {
+            let token = CancellationToken::new();
+            // Self-cancel once the combine scan is mid-partition: after
+            // the partition-boundary poll plus one work-budget poll.
+            token.cancel_after_polls(2);
+            let out = sweep_gains(&data, 2, None, Some(&token), &opts);
+            assert!(out.cancelled, "combine scan never polled ({opts:?})");
+            assert!(out.candidates.is_empty());
+            // The second poll happens one work window in — long before
+            // the scan ends — so no expansion pairs were ever folded.
+            assert_eq!(out.pairs_emitted, 0);
+        }
     }
 }

@@ -10,13 +10,14 @@ use sirum_core::gain::kl_divergence;
 use sirum_core::lattice::{ancestors, ancestors_restricted, column_groups};
 use sirum_core::miner::{CandidateStrategy, IterationDecision, Miner, SirumConfig, Tup};
 use sirum_core::rct::{iterative_scaling_rct, mhat_for_mask, Rct};
-use sirum_core::rule::{Rule, WILDCARD};
+use sirum_core::rule::{Rule, RuleLayout, WILDCARD};
 use sirum_core::scaling::{
     iterative_scaling, relative_diff, rule_measure_sums, ScalingConfig, TableBackend,
 };
-use sirum_core::sweep::{sweep_gains, sweep_gains_reference};
+use sirum_core::sweep::{sweep_gains, sweep_gains_reference, SweepOptions};
 use sirum_core::transform::MeasureTransform;
 use sirum_core::Variant;
+use sirum_dataflow::cost::CombineStrategy;
 use sirum_dataflow::hash::FxHashMap;
 use sirum_dataflow::{Engine, EngineConfig};
 use sirum_table::{Schema, Table};
@@ -68,10 +69,29 @@ fn sweep_tuples(table: &Table) -> Vec<Tup> {
         .collect()
 }
 
+/// Every way [`SweepOptions`] can key the sweep's hot-path accumulators
+/// for `table`: the `Rule`-keyed maps, packed codes with the
+/// cost-model-chosen combine, and packed codes with each combine strategy
+/// forced. All must produce bit-identical output.
+fn sweep_variants(table: &Table) -> Vec<SweepOptions> {
+    let cards: Vec<u32> = table.cardinalities().iter().map(|&c| c as u32).collect();
+    let packed = SweepOptions::packed(RuleLayout::from_cardinalities(&cards));
+    vec![
+        SweepOptions::rule_keyed(),
+        packed.clone(),
+        packed.clone().with_combine(CombineStrategy::HashProbe),
+        packed.with_combine(CombineStrategy::RadixGroup),
+    ]
+}
+
+/// Canonical, comparable form of a sweep's candidate list: per candidate
+/// `(rule values, Σm bits, Σm̂ bits, count)`.
+type SweepBits = Vec<(Vec<u32>, u64, u64, u64)>;
+
 /// Canonical, comparable form of a sweep's candidate list: sorted by rule
 /// with float sums taken to bits, so equality means *bit* equality.
-fn sweep_bits(out: &sirum_core::sweep::SweepOutcome) -> Vec<(Vec<u32>, u64, u64, u64)> {
-    let mut v: Vec<(Vec<u32>, u64, u64, u64)> = out
+fn sweep_bits(out: &sirum_core::sweep::SweepOutcome) -> SweepBits {
+    let mut v: SweepBits = out
         .candidates
         .iter()
         .map(|(r, sm, smh, c)| (r.values().to_vec(), sm.to_bits(), smh.to_bits(), *c))
@@ -151,10 +171,11 @@ proptest! {
         })
     ) {
         // Cancelling at an iteration boundary must leave the same partial
-        // result on both representations: same rules mined so far, same
-        // KL trace, same cancelled flag.
+        // result on every representation — columnar vs row-major data AND
+        // packed vs Rule-keyed sweep accumulators: same rules mined so
+        // far, same KL trace, same cancelled flag.
         let n = table.num_rows();
-        let mine = |columnar: bool| {
+        let mine = |columnar: bool, packed_codes: bool| {
             let engine = Engine::new(
                 EngineConfig::in_memory()
                     .with_workers(2)
@@ -164,6 +185,7 @@ proptest! {
                 k: 4,
                 strategy: CandidateStrategy::SampleLca { sample_size: n.min(5) },
                 columnar,
+                packed_codes,
                 ..SirumConfig::default()
             };
             Miner::new(engine, config)
@@ -177,10 +199,103 @@ proptest! {
                 .try_mine(&table)
                 .unwrap()
         };
-        let columnar = mine(true);
-        let rowmajor = mine(false);
-        prop_assert_eq!(columnar.cancelled, rowmajor.cancelled);
-        prop_assert_eq!(result_bits(&columnar), result_bits(&rowmajor));
+        let baseline = mine(true, true);
+        for (columnar, packed) in [(true, false), (false, true), (false, false)] {
+            let other = mine(columnar, packed);
+            prop_assert_eq!(baseline.cancelled, other.cancelled);
+            prop_assert_eq!(result_bits(&baseline), result_bits(&other));
+        }
+    }
+
+    #[test]
+    fn packed_and_rulekey_mining_are_bit_identical(
+        (table, partitions, workers, columnar) in small_table().prop_flat_map(|t| {
+            (Just(t), 1usize..5, 1usize..4, any::<bool>())
+        })
+    ) {
+        // The tentpole claim of ISSUE 6: interning rules as packed integer
+        // codes on the sweep hot path changes NOTHING about the mining
+        // output — selected rules, gains, KL trace, pair accounting — for
+        // either data representation, any partition count and any worker
+        // count.
+        let n = table.num_rows();
+        let mine = |packed_codes: bool| {
+            let engine = Engine::new(
+                EngineConfig::in_memory()
+                    .with_workers(workers)
+                    .with_partitions(partitions),
+            );
+            let config = SirumConfig {
+                k: 3,
+                strategy: CandidateStrategy::SampleLca { sample_size: n.min(5) },
+                columnar,
+                packed_codes,
+                ..SirumConfig::default()
+            };
+            Miner::new(engine, config).try_mine(&table).unwrap()
+        };
+        prop_assert_eq!(result_bits(&mine(true)), result_bits(&mine(false)));
+    }
+
+    #[test]
+    fn packed_layout_round_trips_and_preserves_rule_order(
+        (cards, seeds) in prop::collection::vec(1u32..(1u32 << 28), 1..10)
+            .prop_flat_map(|cards| {
+                let d = cards.len();
+                let rules = prop::collection::vec(
+                    prop::collection::vec(any::<u64>(), d),
+                    2..16,
+                );
+                (Just(cards), rules)
+            })
+    ) {
+        // Random dictionaries: widths span the u64 / u128 / fallback
+        // regimes (up to 9 dims × ≤28 bits). Wherever the layout fits,
+        // pack → unpack is the identity and packed integer order is
+        // exactly lexicographic rule-value order (WILDCARD last), which is
+        // what lets the sweep sort codes instead of rules.
+        let layout = RuleLayout::from_cardinalities(&cards);
+        let total: u32 = cards.iter().map(|&c| (32 - c.leading_zeros()).max(1)).sum();
+        prop_assert_eq!(layout.total_bits(), total);
+        prop_assert_eq!(layout.fits::<u64>(), total <= 64);
+        prop_assert_eq!(layout.fits::<u128>(), total <= 128);
+        if layout.fits::<u128>() {
+            // Each dim's value drawn from {0..card-1} ∪ {WILDCARD}.
+            let rules_vals: Vec<Vec<u32>> = seeds
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .zip(&cards)
+                        .map(|(&s, &c)| {
+                            let v = (s % (u64::from(c) + 1)) as u32;
+                            if v == c { WILDCARD } else { v }
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut coded: Vec<(u128, Vec<u32>)> = rules_vals
+                .iter()
+                .map(|v| (layout.pack::<u128>(v), v.clone()))
+                .collect();
+            for (code, vals) in &coded {
+                prop_assert_eq!(layout.unpack(*code).values(), &vals[..]);
+            }
+            if layout.fits::<u64>() {
+                for (code, vals) in &coded {
+                    let narrow: u64 = layout.pack(vals);
+                    prop_assert_eq!(u128::from(narrow), *code);
+                    prop_assert_eq!(layout.unpack(narrow).values(), &vals[..]);
+                }
+            }
+            let by_values = {
+                let mut v = coded.clone();
+                v.sort_by(|a, b| a.1.cmp(&b.1));
+                v.into_iter().map(|(_, vals)| vals).collect::<Vec<_>>()
+            };
+            coded.sort_by_key(|(code, _)| *code);
+            let by_code: Vec<Vec<u32>> = coded.into_iter().map(|(_, vals)| vals).collect();
+            prop_assert_eq!(by_code, by_values);
+        }
     }
 
     #[test]
@@ -197,7 +312,9 @@ proptest! {
     ) {
         // The tentpole determinism claim: per-candidate (Σm, Σm̂) from the
         // engine-parallel sweep equal the sequential reference BIT FOR BIT
-        // for any table, partition count and worker count.
+        // for any table, partition count and worker count — and across
+        // every accumulator-key representation (Rule-keyed, packed u64
+        // hash-probe, packed radix-group).
         let d = table.num_dims();
         let sample: Vec<Box<[u32]>> = picks
             .iter()
@@ -207,11 +324,19 @@ proptest! {
         let engine = Engine::new(EngineConfig::in_memory().with_workers(workers));
         let data = engine.parallelize(sweep_tuples(&table), partitions);
         for idx in [Some(&index), None] {
-            let par = sweep_gains(&data, d, idx, None);
-            let seq = sweep_gains_reference(&data, d, idx, None);
-            prop_assert_eq!(par.pairs_emitted, seq.pairs_emitted);
-            prop_assert_eq!(par.distinct_candidates, seq.distinct_candidates);
-            prop_assert_eq!(sweep_bits(&par), sweep_bits(&seq));
+            let mut baseline: Option<SweepBits> = None;
+            for opts in sweep_variants(&table) {
+                let par = sweep_gains(&data, d, idx, None, &opts);
+                let seq = sweep_gains_reference(&data, d, idx, None, &opts);
+                prop_assert_eq!(par.pairs_emitted, seq.pairs_emitted);
+                prop_assert_eq!(par.distinct_candidates, seq.distinct_candidates);
+                let par_bits = sweep_bits(&par);
+                prop_assert_eq!(&par_bits, &sweep_bits(&seq));
+                match &baseline {
+                    None => baseline = Some(par_bits),
+                    Some(b) => prop_assert_eq!(b, &par_bits),
+                }
+            }
         }
     }
 
@@ -272,13 +397,15 @@ proptest! {
         let index = SampleIndex::build(sample, d);
         let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
         let data = engine.parallelize(sweep_tuples(&table), 3);
-        let out = sweep_gains(&data, d, Some(&index), None);
         let exhaustive = exhaustive_candidates(&table, &mhat);
-        for (rule, sum_m, sum_mhat, count) in &out.candidates {
-            let (em, emh, ec) = exhaustive[rule];
-            prop_assert!((sum_m - em).abs() < 1e-6, "{:?}: {} vs {}", rule, sum_m, em);
-            prop_assert!((sum_mhat - emh).abs() < 1e-6, "{:?}", rule);
-            prop_assert_eq!(*count, ec, "{:?}", rule);
+        for opts in sweep_variants(&table) {
+            let out = sweep_gains(&data, d, Some(&index), None, &opts);
+            for (rule, sum_m, sum_mhat, count) in &out.candidates {
+                let (em, emh, ec) = exhaustive[rule];
+                prop_assert!((sum_m - em).abs() < 1e-6, "{:?}: {} vs {}", rule, sum_m, em);
+                prop_assert!((sum_mhat - emh).abs() < 1e-6, "{:?}", rule);
+                prop_assert_eq!(*count, ec, "{:?}", rule);
+            }
         }
     }
 

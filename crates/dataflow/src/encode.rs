@@ -57,7 +57,7 @@ macro_rules! impl_encode_prim {
     )*};
 }
 
-impl_encode_prim!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+impl_encode_prim!(u8, u16, u32, u64, u128, i8, i16, i32, i64, f32, f64);
 
 impl Encode for bool {
     #[inline]
@@ -244,6 +244,12 @@ impl Encode for sirum_table::FrameView {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.num_dims() as u64).encode(out);
         (self.len() as u64).encode(out);
+        // Dictionary cardinalities ride along so a decoded partition derives
+        // the same packed rule-code layout as the frame it was cut from —
+        // a partition's observed max code can under-estimate the true width.
+        for &card in self.cards() {
+            card.encode(out);
+        }
         for j in 0..self.num_dims() {
             for &code in self.col(j) {
                 code.encode(out);
@@ -256,14 +262,15 @@ impl Encode for sirum_table::FrameView {
     fn decode(buf: &mut &[u8]) -> Self {
         let d = u64::decode(buf) as usize;
         let n = u64::decode(buf) as usize;
+        let cards: Vec<u32> = (0..d).map(|_| u32::decode(buf)).collect();
         let cols: Vec<Vec<u32>> = (0..d)
             .map(|_| (0..n).map(|_| u32::decode(buf)).collect())
             .collect();
         let measure: Vec<f64> = (0..n).map(|_| f64::decode(buf)).collect();
-        sirum_table::Frame::from_columns(cols, measure).view()
+        sirum_table::Frame::from_columns_with_cards(cols, measure, cards).view()
     }
     fn size_estimate(&self) -> usize {
-        16 + self.len() * (self.num_dims() * 4 + 8)
+        16 + self.num_dims() * 4 + self.len() * (self.num_dims() * 4 + 8)
     }
 }
 
@@ -309,6 +316,8 @@ mod tests {
         round_trip(255u8);
         round_trip(u32::MAX);
         round_trip(u64::MAX);
+        round_trip(u128::MAX);
+        round_trip(1u128 << 100);
         round_trip(-1i64);
         round_trip(3.5f64);
         round_trip(f64::NEG_INFINITY);

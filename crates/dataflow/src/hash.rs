@@ -66,6 +66,14 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    fn write_u128(&mut self, v: u128) {
+        // Two word-mixes instead of std's default byte-slice fallback:
+        // packed u128 rule codes sit on the sweep's hottest probe path.
+        self.add_to_hash(v as u64);
+        self.add_to_hash((v >> 64) as u64);
+    }
+
+    #[inline]
     fn write_usize(&mut self, v: usize) {
         self.add_to_hash(v as u64);
     }
@@ -98,6 +106,9 @@ mod tests {
     fn different_inputs_differ() {
         assert_ne!(fx_hash_one(&1u64), fx_hash_one(&2u64));
         assert_ne!(fx_hash_one(&[1u32, 2]), fx_hash_one(&[2u32, 1]));
+        // u128 mixes both halves, not just the low word.
+        assert_ne!(fx_hash_one(&1u128), fx_hash_one(&(1u128 << 64 | 1)));
+        assert_ne!(fx_hash_one(&0u128), fx_hash_one(&(1u128 << 127)));
     }
 
     #[test]

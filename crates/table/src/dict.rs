@@ -39,15 +39,7 @@ impl Dictionary {
         if let Some(&code) = self.to_code.get(value) {
             return Ok(code);
         }
-        let code = match u32::try_from(self.to_value.len()) {
-            // u32::MAX itself is reserved for the wildcard sentinel.
-            Ok(code) if code < u32::MAX => code,
-            _ => {
-                return Err(TableError::DictionaryOverflow {
-                    cardinality: self.to_value.len(),
-                })
-            }
-        };
+        let code = next_code(self.to_value.len())?;
         self.to_code.insert(value.to_string(), code);
         self.to_value.push(value.to_string());
         Ok(code)
@@ -80,6 +72,21 @@ impl Dictionary {
     }
 }
 
+/// The code a dictionary of `cardinality` entries would assign next, or
+/// [`TableError::DictionaryOverflow`] when the code space is exhausted.
+///
+/// `u32::MAX` is the rule wildcard sentinel (`sirum_core::rule::WILDCARD`
+/// mirrors it): handing it out as a real value code would make that value
+/// silently match every rule, so the boundary is `code < u32::MAX`, not
+/// merely "fits in a `u32`". Kept as a free function so the boundary is
+/// testable without interning four billion strings.
+fn next_code(cardinality: usize) -> Result<u32, TableError> {
+    match u32::try_from(cardinality) {
+        Ok(code) if code < u32::MAX => Ok(code),
+        _ => Err(TableError::DictionaryOverflow { cardinality }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +110,26 @@ mod tests {
         assert_eq!(d.value(1), "y");
         assert_eq!(d.code("z"), Some(2));
         assert_eq!(d.code("w"), None);
+    }
+
+    #[test]
+    fn code_space_boundary_reserves_the_wildcard_sentinel() {
+        // The last code a dictionary may hand out is u32::MAX - 1; the
+        // sentinel slot itself and anything past it overflow with a typed
+        // error rather than colliding with the wildcard.
+        assert!(matches!(next_code(0), Ok(0)));
+        assert!(matches!(
+            next_code((u32::MAX - 1) as usize),
+            Ok(c) if c == u32::MAX - 1
+        ));
+        assert!(matches!(
+            next_code(u32::MAX as usize),
+            Err(TableError::DictionaryOverflow { cardinality }) if cardinality == u32::MAX as usize
+        ));
+        assert!(matches!(
+            next_code(u32::MAX as usize + 1),
+            Err(TableError::DictionaryOverflow { .. })
+        ));
     }
 
     #[test]

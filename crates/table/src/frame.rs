@@ -94,6 +94,12 @@ pub struct Frame {
     cols: Arc<[Arc<[u32]>]>,
     measure: Arc<[f64]>,
     rows: usize,
+    /// Per-dimension dictionary cardinalities `|dom(Aⱼ)|` — the bit-width
+    /// metadata packed rule codes are derived from. Stamped from the source
+    /// table's dictionaries by [`Frame::from_table`]; carried through spill
+    /// round-trips by [`Frame::from_columns_with_cards`] so a decoded block
+    /// reproduces the exact packed layout of the frame it was encoded from.
+    cards: Arc<[u32]>,
     /// Content fingerprint: stamped from the source table by
     /// [`Frame::from_table`]; computed lazily (first [`Self::fingerprint`]
     /// call) for frames assembled from raw columns, so the spill-decode
@@ -116,10 +122,16 @@ impl Frame {
             .collect();
         let fingerprint = OnceLock::new();
         let _ = fingerprint.set(table.fingerprint());
+        let cards: Vec<u32> = table
+            .cardinalities()
+            .into_iter()
+            .map(|c| u32::try_from(c).unwrap_or(u32::MAX))
+            .collect();
         Frame {
             cols: Arc::from(cols),
             measure: Arc::from(table.measures().to_vec()),
             rows: n,
+            cards: Arc::from(cards),
             fingerprint,
         }
     }
@@ -133,16 +145,45 @@ impl Frame {
     /// # Panics
     /// Panics on ragged columns.
     pub fn from_columns(cols: Vec<Vec<u32>>, measure: Vec<f64>) -> Frame {
+        // Without dictionary metadata the best cardinality bound is the
+        // observed maximum code + 1 per column (saturating: a column that
+        // contains the wildcard sentinel u32::MAX simply gets a cardinality
+        // too wide to pack, which disables packing rather than corrupting it).
+        let cards: Vec<u32> = cols
+            .iter()
+            .map(|c| c.iter().copied().max().map_or(0, |m| m.saturating_add(1)))
+            .collect();
+        Frame::from_columns_with_cards(cols, measure, cards)
+    }
+
+    /// [`Frame::from_columns`], but with explicit per-dimension
+    /// cardinalities — the spill-decode path uses this to reproduce the
+    /// packed-code layout of the frame the block was encoded from, which can
+    /// be wider than the codes a single partition happens to contain.
+    ///
+    /// # Panics
+    /// Panics on ragged columns or a cardinality count mismatch.
+    pub fn from_columns_with_cards(
+        cols: Vec<Vec<u32>>,
+        measure: Vec<f64>,
+        cards: Vec<u32>,
+    ) -> Frame {
         let n = measure.len();
         // lint:allow-assert — constructor contract; ragged columns are a logic error
         assert!(
             cols.iter().all(|c| c.len() == n),
             "every dimension column must have one code per row"
         );
+        // lint:allow-assert — constructor contract, same class as the ragged check
+        assert!(
+            cards.len() == cols.len(),
+            "one cardinality per dimension column"
+        );
         Frame {
             cols: Arc::from(cols.into_iter().map(Arc::from).collect::<Vec<_>>()),
             measure: Arc::from(measure),
             rows: n,
+            cards: Arc::from(cards),
             fingerprint: OnceLock::new(),
         }
     }
@@ -165,6 +206,17 @@ impl Frame {
     /// The full measure column.
     pub fn measures(&self) -> &[f64] {
         &self.measure
+    }
+
+    /// Per-dimension dictionary cardinalities (bit-width metadata for the
+    /// packed rule-code layout).
+    pub fn cards(&self) -> &[u32] {
+        &self.cards
+    }
+
+    /// The cardinalities as a shared buffer (an `Arc` bump).
+    pub fn cards_arc(&self) -> Arc<[u32]> {
+        Arc::clone(&self.cards)
     }
 
     /// The measure column as a shared slice (an `Arc` bump).
@@ -278,6 +330,11 @@ impl FrameView {
         &self.frame.measure[self.start..self.start + self.len]
     }
 
+    /// Per-dimension dictionary cardinalities of the underlying frame.
+    pub fn cards(&self) -> &[u32] {
+        self.frame.cards()
+    }
+
     /// Narrow to rows `[start, start + len)` of *this* view.
     ///
     /// # Panics
@@ -373,6 +430,24 @@ mod tests {
         assert_eq!(f.fingerprint(), same.fingerprint());
         let diff = Frame::from_columns(cols, vec![0.5, 1.5, 2.0]);
         assert_ne!(f.fingerprint(), diff.fingerprint());
+    }
+
+    #[test]
+    fn cards_come_from_the_dictionary_or_the_observed_codes() {
+        let t = generators::flights();
+        let f = Frame::from_table(&t);
+        let expect: Vec<u32> = t.cardinalities().iter().map(|&c| c as u32).collect();
+        assert_eq!(f.cards(), &expect[..]);
+        // Column-assembled frames bound cardinality by max code + 1 …
+        let g = Frame::from_columns(vec![vec![0, 4, 2], vec![1, 1, 0]], vec![1.0; 3]);
+        assert_eq!(g.cards(), &[5, 2]);
+        // … and a wildcard-bearing column saturates instead of wrapping.
+        let w = Frame::from_columns(vec![vec![0, u32::MAX]], vec![1.0; 2]);
+        assert_eq!(w.cards(), &[u32::MAX]);
+        // Explicit cards survive the round trip wider than the observed codes.
+        let e = Frame::from_columns_with_cards(vec![vec![0, 1]], vec![1.0; 2], vec![7]);
+        assert_eq!(e.cards(), &[7]);
+        assert_eq!(e.view().slice(0, 1).cards(), &[7]);
     }
 
     #[test]

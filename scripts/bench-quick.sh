@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Quick benchmark sweep: runs all ten Criterion benches with a reduced
+# Quick benchmark sweep: runs all the Criterion benches with a reduced
 # sample count and appends one JSON line per benchmark to a BENCH_*.json
 # file, seeding the repo's perf trajectory.
 #
 # Usage:
 #   scripts/bench-quick.sh                # 3 samples/bench -> BENCH_<date>.json
 #   SAMPLES=5 scripts/bench-quick.sh out.json
+#   SKIP_LONG=1 scripts/bench-quick.sh    # drop the slow end-to-end rows
 #
 # The vendored criterion stand-in (vendor/criterion) reads:
-#   SIRUM_BENCH_SAMPLES — timed samples per benchmark
-#   SIRUM_BENCH_JSON    — JSON-lines output path (appended)
+#   SIRUM_BENCH_SAMPLES     — timed samples per benchmark
+#   SIRUM_BENCH_MIN_SAMPLES — sample floor the budget cutoff cannot cross
+#   SIRUM_BENCH_JSON        — JSON-lines output path (appended)
+#   SIRUM_BENCH_SKIP        — comma-separated substrings of benches to skip
+#
+# JSON lines whose benchmark was budget-truncated below its requested
+# sample count carry "sub_floor": true — treat those medians as thin.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +30,16 @@ case "$OUT" in
 *) OUT="$(pwd)/$OUT" ;;
 esac
 SAMPLES="${SAMPLES:-3}"
+# The floor defaults to the requested count, so quick runs never report a
+# median over fewer samples than asked for; the vendored harness caps the
+# floor at the request anyway.
+MIN_SAMPLES="${MIN_SAMPLES:-$SAMPLES}"
+# SKIP_LONG=1 drops the slow end-to-end rows (full baseline profiles and
+# the staged-pipeline mine) for a faster smoke loop; SKIP overrides.
+SKIP="${SKIP:-}"
+if [[ -n "${SKIP_LONG:-}" && -z "$SKIP" ]]; then
+    SKIP="baseline_profile,mine/staged-sequential"
+fi
 
 # Start fresh if the target file already exists (re-runs shouldn't mix).
 # The file is touched up front so a filter matching no benchmark still
@@ -31,38 +47,54 @@ SAMPLES="${SAMPLES:-3}"
 rm -f "$OUT"
 touch "$OUT"
 
-echo "== bench-quick: $SAMPLES samples/bench -> $OUT"
-SIRUM_BENCH_SAMPLES="$SAMPLES" SIRUM_BENCH_JSON="$OUT" \
+echo "== bench-quick: $SAMPLES samples/bench (floor $MIN_SAMPLES) -> $OUT"
+[[ -n "$SKIP" ]] && echo "== skipping benches matching: $SKIP"
+SIRUM_BENCH_SAMPLES="$SAMPLES" SIRUM_BENCH_MIN_SAMPLES="$MIN_SAMPLES" \
+    SIRUM_BENCH_SKIP="$SKIP" SIRUM_BENCH_JSON="$OUT" \
     cargo bench -p sirum_bench "$@"
 
 echo "== wrote $(wc -l < "$OUT") benchmark results to $OUT"
+SUB_FLOOR="$(grep -c '"sub_floor": true' "$OUT" || true)"
+if [[ "$SUB_FLOOR" -gt 0 ]]; then
+    echo "== WARNING: $SUB_FLOOR result(s) budget-truncated below $SAMPLES samples (marked \"sub_floor\")"
+fi
 
-# Row-major vs columnar data-path comparison (ISSUE 5): pair each
-# boxed-row reference benchmark with its columnar counterpart and print
-# the speedup, so every BENCH_*.json snapshot carries the numbers needed
-# to spot a regression of the zero-copy path at a glance.
+# Paired comparisons: each snapshot carries, at a glance, the numbers
+# needed to spot a regression of the zero-copy columnar path (ISSUE 5)
+# and of the packed-code / combine-strategy sweep accumulators (ISSUE 6).
 median() {
     grep -F "\"bench\": \"$1\"" "$OUT" | head -1 |
         sed -n 's/.*"median_ns": \([0-9]*\).*/\1/p'
 }
 compare() {
-    local label="$1" row="$2" col="$3"
-    local row_ns col_ns
-    row_ns="$(median "$row")"
-    col_ns="$(median "$col")"
-    if [[ -n "$row_ns" && -n "$col_ns" && "$col_ns" -gt 0 ]]; then
-        awk -v l="$label" -v r="$row_ns" -v c="$col_ns" 'BEGIN {
-            printf "==   %-34s row-major %8.2fms  columnar %8.2fms  (%.2fx)\n",
-                l, r / 1e6, c / 1e6, r / c
+    local label="$1" base_name="$2" base="$3" new_name="$4" new="$5"
+    local base_ns new_ns
+    base_ns="$(median "$base")"
+    new_ns="$(median "$new")"
+    if [[ -n "$base_ns" && -n "$new_ns" && "$new_ns" -gt 0 ]]; then
+        awk -v l="$label" -v bn="$base_name" -v b="$base_ns" \
+            -v nn="$new_name" -v n="$new_ns" 'BEGIN {
+            printf "==   %-34s %-9s %8.2fms  %-9s %8.2fms  (%.2fx)\n",
+                l, bn, b / 1e6, nn, n / 1e6, b / n
         }'
     fi
 }
-echo "== row-major vs columnar (median, from $OUT):"
+echo "== paired medians (from $OUT):"
 compare "gain_sweep mine (1 worker)" \
-    "gain_sweep/mine/sweep-rowmajor" "gain_sweep/mine/sweep/1threads"
+    row-major "gain_sweep/mine/sweep-rowmajor" \
+    columnar "gain_sweep/mine/sweep/1threads"
 compare "gain_sweep single pass (1 worker)" \
-    "gain_sweep/sweep-pass-rowmajor" "gain_sweep/sweep-pass/1threads"
+    row-major "gain_sweep/sweep-pass-rowmajor" \
+    columnar "gain_sweep/sweep-pass/1threads"
 compare "prepared seed-fit 20k rows" \
-    "prepared_catalog/prepared-rowmajor/20000" "prepared_catalog/prepared/20000"
+    row-major "prepared_catalog/prepared-rowmajor/20000" \
+    columnar "prepared_catalog/prepared/20000"
 compare "prepared seed-fit 80k rows" \
-    "prepared_catalog/prepared-rowmajor/80000" "prepared_catalog/prepared/80000"
+    row-major "prepared_catalog/prepared-rowmajor/80000" \
+    columnar "prepared_catalog/prepared/80000"
+compare "sweep accumulator keying (1 worker)" \
+    rule-key "gain_sweep/sweep-pass-rulekey/1threads" \
+    packed "gain_sweep/sweep-pass/1threads"
+compare "sweep combine strategy (1 worker)" \
+    hash "gain_sweep/sweep-pass-hashprobe/1threads" \
+    radix "gain_sweep/sweep-pass/1threads"

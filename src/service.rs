@@ -46,10 +46,12 @@ use sirum_core::miner::IterationObserver;
 use sirum_core::{
     try_evaluate_rules_prepared, try_mine_on_sample, CancellationToken, CandidateStrategy,
     IterationDecision, IterationEvent, Miner, MiningResult, MultiRuleConfig, PreparedTable, Rule,
-    RuleSetEvaluation, SampleDataResult, ScalingConfig, SirumConfig, SirumError, StreamingConfig,
-    StreamingMiner, Variant,
+    RuleLayout, RuleSetEvaluation, SampleDataResult, ScalingConfig, SirumConfig, SirumError,
+    StreamingConfig, StreamingMiner, SweepOptions, Variant,
 };
-use sirum_dataflow::cost::{makespan, modeled_sweep_stage, ClusterSpec};
+use sirum_dataflow::cost::{
+    choose_combine, makespan, modeled_sweep_stage, ClusterSpec, CombineStrategy,
+};
 use sirum_dataflow::{Engine, EngineConfig, EngineMode, StageRecord, TaskRecord};
 use sirum_table::{generators, Table, TableError};
 use std::collections::{BTreeMap, HashMap};
@@ -82,6 +84,7 @@ pub(crate) struct RequestSpec {
     pub(crate) column_groups: Option<usize>,
     pub(crate) gain_sweep: Option<bool>,
     pub(crate) columnar: Option<bool>,
+    pub(crate) packed: Option<bool>,
     pub(crate) prior: Vec<Rule>,
 }
 
@@ -103,6 +106,7 @@ impl RequestSpec {
             column_groups: None,
             gain_sweep: None,
             columnar: None,
+            packed: None,
             prior: Vec::new(),
         }
     }
@@ -150,6 +154,9 @@ impl RequestSpec {
         }
         if let Some(columnar) = self.columnar {
             config.columnar = columnar;
+        }
+        if let Some(packed) = self.packed {
+            config.packed_codes = packed;
         }
         config.two_sided_gain |= self.two_sided;
         config.target_kl = self.target_kl.or(config.target_kl);
@@ -265,6 +272,19 @@ macro_rules! impl_request_setters {
                 self
             }
 
+            /// Choose how the gain sweep keys its accumulators. On by
+            /// default: rules are interned as dense packed integer codes
+            /// (`u64`/`u128` per the table's dictionary bit-widths,
+            /// [`sirum_core::RuleLayout`]). Pass `false` for the
+            /// `Rule`-keyed reference maps. Like [`Self::columnar`], the
+            /// mining output is bit-identical either way (proptested), so
+            /// this knob trades only speed and both settings share one
+            /// result-cache entry. No effect when the sweep is off.
+            pub fn packed(mut self, enabled: bool) -> Self {
+                self.spec.packed = Some(enabled);
+                self
+            }
+
             /// Seed the model with prior-knowledge rules (cube exploration,
             /// Table 1.3): the mined rules come *in addition to* these.
             pub fn prior(mut self, rules: Vec<Rule>) -> Self {
@@ -337,6 +357,9 @@ fn request_key(fingerprint: u64, config: &SirumConfig, prior: &[Rule]) -> Reques
     // `columnar` is likewise absent from the key: the two representations
     // produce bit-identical results (proptested), so a row-major request
     // is correctly served from a columnar run's cache entry and vice versa.
+    // `packed_codes` follows the same rule — packed and `Rule`-keyed sweep
+    // accumulators compute bit-identical candidates (proptested), so the
+    // keying choice must not split the cache either.
     let (bj, fp, cg) = if config.gain_sweep {
         (1, 1, 0)
     } else {
@@ -1399,6 +1422,16 @@ pub struct MiningPlan {
     /// row-major boxed tuples; the model charges row-materializing scans
     /// [`sirum_dataflow::cost::ROW_MATERIALIZE_FACTOR`]× per record.
     pub columnar: bool,
+    /// Packed-code width the sweep's accumulators will use: `Some(64)` or
+    /// `Some(128)` when rules intern as dense integer codes (the table's
+    /// dictionary bit-widths fit; [`sirum_core::RuleLayout`]), `None` when
+    /// the sweep falls back to `Rule`-keyed maps (packing disabled or the
+    /// layout exceeds 128 bits) — or when the sweep itself is off.
+    pub packed_bits: Option<u32>,
+    /// Predicted stage-1 combine strategy for one sweep partition
+    /// ([`sirum_dataflow::cost::choose_combine`] replayed on the planned
+    /// per-partition emission volume). `None` when the sweep is off.
+    pub combine: Option<CombineStrategy>,
     /// Predicted rule-generation iterations (`⌈k / l⌉`; a KL-target run may
     /// iterate further, up to its `max_rules` bound).
     pub estimated_iterations: usize,
@@ -1433,6 +1466,28 @@ impl MiningPlan {
         let lca_pairs = n * sample;
         let iterations = config.k.div_ceil(config.multirule.rules_per_iter.max(1));
         let partitions = engine_config.partitions.max(1);
+
+        // Replay the sweep's own per-partition decisions: the packed-code
+        // width falls out of the registered dictionaries' bit-widths, and
+        // the combine strategy out of the cost model on the planned
+        // per-partition emission volume (rows/partition × |s| emissions,
+        // rows/partition as the distinct-key ceiling) — the same inputs
+        // `sirum_core::sweep` uses at run time.
+        let (packed_bits, combine) = if config.gain_sweep {
+            let bits = if config.packed_codes {
+                let layout = RuleLayout::from_cardinalities(entry.prepared.frame().cards());
+                SweepOptions::packed(layout).packed_bits()
+            } else {
+                None
+            };
+            // Same (records, distinct-ceiling) hint the sweep's
+            // per-partition strategy pick uses: the emission count itself
+            // bounds the distinct codes a partition can produce.
+            let records = n.div_ceil(partitions as u64) * sample;
+            (bits, Some(choose_combine(records, records)))
+        } else {
+            (None, None)
+        };
 
         // Per-record scan cost: row-materializing passes (the boxed-tuple
         // reference path) re-allocate every row on every rewrite, which
@@ -1511,6 +1566,8 @@ impl MiningPlan {
             rct: config.rct,
             gain_sweep: config.gain_sweep,
             columnar: config.columnar,
+            packed_bits,
+            combine,
             estimated_iterations: iterations,
             estimated_stages: stages.len(),
             estimated_lca_pairs: lca_pairs,
@@ -1559,6 +1616,16 @@ impl std::fmt::Display for MiningPlan {
                 "row-major (boxed per-row tuples — reference path)"
             },
         )?;
+        if let Some(combine) = self.combine {
+            writeln!(
+                f,
+                "  sweep accumulators: {}, {combine} combine",
+                match self.packed_bits {
+                    Some(bits) => format!("packed u{bits} rule codes"),
+                    None => "Rule-keyed maps (packing disabled or layout > 128 bits)".to_string(),
+                },
+            )?;
+        }
         write!(
             f,
             "  estimate: {} iteration(s), {} stages, {} LCA pairs/iteration, ~{:.3}s modeled{}",
@@ -1821,6 +1888,42 @@ mod tests {
     }
 
     #[test]
+    fn packed_and_rulekey_requests_share_one_cache_entry() {
+        // Accumulator keying is pure representation (bit-identical,
+        // proptested), so it must not split the cache key either: a
+        // Rule-keyed request is served the packed run's Arc and vice
+        // versa.
+        let service = flights_service();
+        let a = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        let b = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .packed(false)
+            .run()
+            .unwrap();
+        assert!(b.from_cache, "accumulator keying must not split the key");
+        assert!(Arc::ptr_eq(&a.result, &b.result));
+        // And an executed Rule-keyed run seeds the cache for packed.
+        let c = service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .packed(false)
+            .run()
+            .unwrap();
+        let d = service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .packed(true)
+            .run()
+            .unwrap();
+        assert!(d.from_cache);
+        assert!(Arc::ptr_eq(&c.result, &d.result));
+    }
+
+    #[test]
     fn observers_bypass_the_cache() {
         let service = flights_service();
         let _ = service.mine("flights").k(2).sample_size(14).run().unwrap();
@@ -2007,6 +2110,32 @@ mod tests {
         );
         assert!(plan.estimated_stages > 0 && plan.estimated_secs >= 0.0);
         assert!(!plan.cached);
+        // Flights: 3 dims of tiny cardinality, well inside a u64 code; the
+        // small per-partition volume keeps stage 1 on the hash combine.
+        assert_eq!(plan.packed_bits, Some(64));
+        assert_eq!(plan.combine, Some(CombineStrategy::HashProbe));
+        assert!(plan.to_string().contains("packed u64 rule codes"));
+        // With packing off the plan reports the Rule-keyed fallback; with
+        // the sweep off there is no combine stage to report at all.
+        let plan_rulekey = service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .packed(false)
+            .explain()
+            .unwrap();
+        assert_eq!(plan_rulekey.packed_bits, None);
+        assert!(plan_rulekey.combine.is_some());
+        let plan_staged = service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .gain_sweep(false)
+            .explain()
+            .unwrap();
+        assert_eq!(plan_staged.packed_bits, None);
+        assert_eq!(plan_staged.combine, None);
+        assert!(!plan_staged.to_string().contains("sweep accumulators"));
         assert_eq!(service.stats().jobs_executed, 0, "explain ran nothing");
         // After executing, the same plan reports a cache hit ahead.
         let _ = service.mine("flights").k(3).sample_size(14).run().unwrap();

@@ -5,13 +5,22 @@
 //! Instead of criterion's full statistical pipeline, each benchmark runs a
 //! short warm-up followed by `sample_size` timed samples (one closure call
 //! per sample unless the closure is so fast it needs batching) and reports
-//! min / median / max wall time. Two environment variables tune runs:
+//! min / median / max wall time. Environment variables tune runs:
 //!
 //! * `SIRUM_BENCH_SAMPLES` — overrides every group's sample count (used by
 //!   `scripts/bench-quick.sh` for fast smoke runs).
+//! * `SIRUM_BENCH_MIN_SAMPLES` — per-bench sample *floor* (default 3): the
+//!   measurement-budget early exit never truncates a benchmark below this
+//!   many recorded samples, so a "median" is never silently a single
+//!   observation. Capped at the requested sample count.
 //! * `SIRUM_BENCH_JSON` — if set, appends one JSON line per benchmark
 //!   (`{"bench": ..., "median_ns": ...}`) to the given file, seeding the
-//!   repo's `BENCH_*.json` perf trajectory.
+//!   repo's `BENCH_*.json` perf trajectory. Benchmarks the budget cut
+//!   short of their requested sample count carry `"sub_floor": true` so
+//!   downstream tooling can tell a thin median from a full one.
+//! * `SIRUM_BENCH_SKIP` — comma-separated substrings; any benchmark whose
+//!   `group/id` contains one is skipped (how `bench-quick.sh` drops the
+//!   long baseline-profile rows from smoke runs).
 //!
 //! A positional CLI filter (substring match, as passed by
 //! `cargo bench -- <filter>`) is honored; other flags cargo forwards, such
@@ -77,6 +86,7 @@ impl From<String> for BenchmarkId {
 /// Drives the timing loop inside a benchmark closure.
 pub struct Bencher {
     samples: usize,
+    min_samples: usize,
     warm_up: Duration,
     measurement: Duration,
     /// Nanoseconds per sample, recorded by `iter`.
@@ -84,6 +94,13 @@ pub struct Bencher {
 }
 
 impl Bencher {
+    /// True once the measurement budget is spent *and* enough samples are
+    /// recorded that stopping cannot leave a single-observation "median":
+    /// the budget early exit is gated on the sample floor.
+    fn over_budget(&self, budget: &Instant) -> bool {
+        self.recorded.len() >= self.min_samples && budget.elapsed() > self.measurement * 4
+    }
+
     /// Time `f`, collecting one duration per sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up: run at least once, at most for the warm-up budget.
@@ -100,8 +117,9 @@ impl Bencher {
             let start = Instant::now();
             black_box(f());
             self.recorded.push(start.elapsed().as_nanos() as u64);
-            // Never exceed ~4x the configured measurement budget in total.
-            if budget.elapsed() > self.measurement * 4 {
+            // Never exceed ~4x the configured measurement budget in total
+            // (but never report fewer than the sample floor either).
+            if self.over_budget(&budget) {
                 break;
             }
         }
@@ -122,7 +140,7 @@ impl Bencher {
             let start = Instant::now();
             black_box(routine(input));
             self.recorded.push(start.elapsed().as_nanos() as u64);
-            if budget.elapsed() > self.measurement * 4 {
+            if self.over_budget(&budget) {
                 break;
             }
         }
@@ -147,7 +165,32 @@ fn env_samples() -> Option<usize> {
         .filter(|&n| n > 0)
 }
 
-fn report(group: &str, bench: &str, samples: &[u64]) {
+/// Per-bench sample floor: the measurement-budget early exit never cuts a
+/// benchmark below this many recorded samples. Defaults to 3 — the smallest
+/// count where "median" names a middle observation rather than whatever one
+/// run happened to produce.
+fn env_min_samples() -> usize {
+    std::env::var("SIRUM_BENCH_MIN_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Comma-separated `SIRUM_BENCH_SKIP` substrings (empty entries dropped).
+fn env_skip() -> Vec<String> {
+    std::env::var("SIRUM_BENCH_SKIP")
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn report(group: &str, bench: &str, samples: &[u64], requested: usize) {
     if samples.is_empty() {
         return;
     }
@@ -167,12 +210,21 @@ fn report(group: &str, bench: &str, samples: &[u64]) {
             format!("{ns} ns")
         }
     };
+    // The budget early exit stopped this benchmark short of its requested
+    // sample count: say so, in text and in the JSON line, so a thin median
+    // is never mistaken for a full one downstream.
+    let sub_floor = sorted.len() < requested;
     println!(
-        "{group}/{bench}  time: [{} {} {}]  ({} samples)",
+        "{group}/{bench}  time: [{} {} {}]  ({} samples{})",
         fmt(min),
         fmt(median),
         fmt(max),
-        sorted.len()
+        sorted.len(),
+        if sub_floor {
+            format!(", budget-truncated from {requested}")
+        } else {
+            String::new()
+        }
     );
     if let Ok(path) = std::env::var("SIRUM_BENCH_JSON") {
         if let Ok(mut f) = std::fs::OpenOptions::new()
@@ -182,8 +234,9 @@ fn report(group: &str, bench: &str, samples: &[u64]) {
         {
             let _ = writeln!(
                 f,
-                "{{\"bench\": \"{group}/{bench}\", \"median_ns\": {median}, \"min_ns\": {min}, \"max_ns\": {max}, \"samples\": {}}}",
-                sorted.len()
+                "{{\"bench\": \"{group}/{bench}\", \"median_ns\": {median}, \"min_ns\": {min}, \"max_ns\": {max}, \"samples\": {}{}}}",
+                sorted.len(),
+                if sub_floor { ", \"sub_floor\": true" } else { "" }
             );
         }
     }
@@ -245,14 +298,16 @@ impl BenchmarkGroup<'_> {
         if !self.criterion.matches(&self.name, id) {
             return;
         }
+        let samples = env_samples().unwrap_or(self.sample_size);
         let mut bencher = Bencher {
-            samples: env_samples().unwrap_or(self.sample_size),
+            samples,
+            min_samples: env_min_samples().min(samples),
             warm_up: self.warm_up,
             measurement: self.measurement,
             recorded: Vec::new(),
         };
         f(&mut bencher);
-        report(&self.name, id, &bencher.recorded);
+        report(&self.name, id, &bencher.recorded, samples);
     }
 
     /// Finish the group (reporting is per-benchmark; nothing left to do).
@@ -262,6 +317,7 @@ impl BenchmarkGroup<'_> {
 /// Top-level benchmark driver (stand-in for `criterion::Criterion`).
 pub struct Criterion {
     filter: Option<String>,
+    skip: Vec<String>,
     default_samples: usize,
 }
 
@@ -269,6 +325,7 @@ impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             filter: None,
+            skip: env_skip(),
             default_samples: 10,
         }
     }
@@ -296,9 +353,13 @@ impl Criterion {
     }
 
     fn matches(&self, group: &str, id: &str) -> bool {
+        let full = format!("{group}/{id}");
+        if self.skip.iter().any(|s| full.contains(s.as_str())) {
+            return false;
+        }
         match &self.filter {
             None => true,
-            Some(f) => format!("{group}/{id}").contains(f.as_str()),
+            Some(f) => full.contains(f.as_str()),
         }
     }
 
@@ -376,9 +437,63 @@ mod tests {
     fn filter_matches_substring() {
         let c = Criterion {
             filter: Some("anc".into()),
+            skip: Vec::new(),
             default_samples: 1,
         };
         assert!(c.matches("ancestor_generation", "single/10"));
         assert!(!c.matches("platforms", "spark"));
+    }
+
+    #[test]
+    fn skip_list_drops_matching_benches() {
+        let c = Criterion {
+            filter: None,
+            skip: vec!["baseline_profile".into(), "staged".into()],
+            default_samples: 1,
+        };
+        assert!(!c.matches("baseline_profile", "sarawagi/income"));
+        assert!(!c.matches("gain_sweep", "mine/staged-sequential"));
+        assert!(c.matches("gain_sweep", "sweep-pass/1threads"));
+        // Skip wins even when the positional filter also matches.
+        let both = Criterion {
+            filter: Some("gain_sweep".into()),
+            skip: vec!["staged".into()],
+            default_samples: 1,
+        };
+        assert!(!both.matches("gain_sweep", "mine/staged-sequential"));
+        assert!(both.matches("gain_sweep", "mine/sweep/1threads"));
+    }
+
+    #[test]
+    fn budget_exit_respects_the_sample_floor() {
+        // A benchmark whose single iteration blows the entire 4x budget
+        // must still record the floor's worth of samples — one sample
+        // masquerading as a median is the bug this floor fixes.
+        let mut b = Bencher {
+            samples: 10,
+            min_samples: 3,
+            warm_up: Duration::ZERO,
+            measurement: Duration::ZERO, // any elapsed time is over budget
+            recorded: Vec::new(),
+        };
+        b.iter(|| std::thread::sleep(Duration::from_millis(1)));
+        assert_eq!(b.recorded.len(), 3, "floor holds under a spent budget");
+        // With the budget honored (floor reached), truncation still works:
+        // the same bencher never exceeds its floor here, i.e. it stopped
+        // early rather than running all 10 samples.
+        assert!(b.recorded.len() < b.samples);
+    }
+
+    #[test]
+    fn full_runs_record_every_requested_sample() {
+        let mut b = Bencher {
+            samples: 5,
+            min_samples: 3,
+            warm_up: Duration::ZERO,
+            measurement: Duration::from_secs(2),
+            recorded: Vec::new(),
+        };
+        b.iter(|| black_box(2u64 + 2));
+        assert_eq!(b.recorded.len(), 5);
     }
 }
