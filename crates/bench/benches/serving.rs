@@ -1,0 +1,75 @@
+//! Wire-serving latency: what the HTTP front end adds on top of the
+//! in-process service path. `in-process/mine-cached` answers the request
+//! straight from the service's result cache; `wire/mine-cached` is the
+//! same request as an HTTP round trip over a real socket (parse + route +
+//! serialize + TCP); `wire/health` isolates the pure wire overhead with no
+//! mining behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sirum::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let service = SirumService::in_memory().unwrap();
+    service
+        .register_demo_with("income", Some(4_000), 42)
+        .unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Router::new(
+            service.clone(),
+            Arc::new(NetMetrics::new()),
+            RouterConfig::default(),
+        ),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut http = HttpClient::new(server.local_addr()).timeout(Duration::from_secs(30));
+    let body = r#"{"table":"income","k":3,"sample_size":64,"seed":1}"#;
+
+    // Warm the result cache so every measured request is a cache hit:
+    // the comparison then isolates serving overhead, not mining time.
+    service
+        .mine("income")
+        .k(3)
+        .sample_size(64)
+        .seed(1)
+        .run()
+        .unwrap();
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("in-process/mine-cached", |b| {
+        b.iter(|| {
+            service
+                .mine("income")
+                .k(3)
+                .sample_size(64)
+                .seed(1)
+                .run()
+                .unwrap()
+        });
+    });
+    group.bench_function("wire/mine-cached", |b| {
+        b.iter(|| {
+            let response = http.post_json("/mine", body).unwrap();
+            assert_eq!(response.status, 200);
+            response
+        });
+    });
+    group.bench_function("wire/health", |b| {
+        b.iter(|| {
+            let response = http.get("/health").unwrap();
+            assert_eq!(response.status, 200);
+            response
+        });
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,547 @@
+//! `loadgen` — load-generator harness for the SIRUM wire front end.
+//!
+//! By default it self-hosts a server on an ephemeral port (so the harness
+//! is one command, no daemon management), drives it with a configurable
+//! client fleet, and appends JSON-lines results to a `BENCH_*.json`
+//! snapshot. Point it at an already-running `sirum serve` with `--addr`.
+//!
+//! The run has three phases:
+//!
+//! 1. **Throughput** — closed-loop (or `--rate`-paced open-loop) clients
+//!    issuing a read/mine/stream mix. Mine requests are hot-key skewed
+//!    (`--hot-pct`): hot requests repeat one identical body, exercising
+//!    the service's result cache and request coalescing.
+//! 2. **Coalesce probe** — barrier-synchronized identical never-cached
+//!    requests from every client at once; all but one leader should
+//!    coalesce onto the in-flight run.
+//! 3. **Overload** — `wait_ms: 0` submits with distinct seeds until the
+//!    bounded queue sheds load with `429 Retry-After`, then a `/health`
+//!    check proves the server stayed live.
+//!
+//! `--check` turns the phase expectations (no 5xx, coalescing observed,
+//! 429s observed, health ok) into a nonzero exit status for CI.
+
+use sirum::net::metrics::Histogram;
+use sirum::prelude::*;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    addr: Option<String>,
+    clients: usize,
+    duration: Duration,
+    rate: Option<f64>,
+    hot_pct: u64,
+    read_pct: u64,
+    stream_pct: u64,
+    jobs: usize,
+    queue: usize,
+    rows: usize,
+    out: Option<String>,
+    check: bool,
+}
+
+const USAGE: &str = "\
+loadgen — load generator for the sirum wire front end
+
+USAGE:
+  loadgen [OPTIONS]                 self-host a server and drive it
+  loadgen --addr 127.0.0.1:7878     drive an external `sirum serve`
+
+OPTIONS:
+  --addr <A>           target server (default: self-host on an ephemeral port)
+  --clients <N>        concurrent client connections        [default: 8]
+  --duration-secs <S>  throughput-phase length              [default: 5]
+  --rate <R>           open-loop: pace the fleet at R req/s total
+                       (default: closed loop, fire as fast as replies come)
+  --hot-pct <P>        % of mine requests using the one hot body
+                       (cache/coalescing skew)              [default: 80]
+  --read-pct <P>       % of requests that are cheap reads   [default: 50]
+  --stream-pct <P>     % of requests that stream rows in    [default: 10]
+  --jobs <N>           self-host worker threads             [default: 2]
+  --queue <N>          self-host queue capacity             [default: 4]
+  --rows <N>           self-host income table rows          [default: 4000]
+  --out <FILE>         append JSON-lines results here
+                       (default: BENCH_loadgen.json when self-hosting)
+  --check              exit 1 unless: zero 5xx, coalescing observed,
+                       overload produced 429s, health stayed ok
+  --help               this help
+";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: None,
+        clients: 8,
+        duration: Duration::from_secs(5),
+        rate: None,
+        hot_pct: 80,
+        read_pct: 50,
+        stream_pct: 10,
+        jobs: 2,
+        queue: 4,
+        rows: 4000,
+        out: None,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("missing value for {name}")))
+        };
+        macro_rules! parse {
+            ($name:expr) => {{
+                let raw = value($name);
+                raw.parse()
+                    .unwrap_or_else(|_| usage_error(&format!("bad value for {}: {raw:?}", $name)))
+            }};
+        }
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--clients" => opts.clients = parse!("--clients"),
+            "--duration-secs" => opts.duration = Duration::from_secs(parse!("--duration-secs")),
+            "--rate" => opts.rate = Some(parse!("--rate")),
+            "--hot-pct" => opts.hot_pct = parse!("--hot-pct"),
+            "--read-pct" => opts.read_pct = parse!("--read-pct"),
+            "--stream-pct" => opts.stream_pct = parse!("--stream-pct"),
+            "--jobs" => opts.jobs = parse!("--jobs"),
+            "--queue" => opts.queue = parse!("--queue"),
+            "--rows" => opts.rows = parse!("--rows"),
+            "--out" => opts.out = Some(value("--out")),
+            "--check" => opts.check = true,
+            other => usage_error(&format!("unexpected argument {other:?}")),
+        }
+    }
+    if opts.clients == 0 {
+        usage_error("--clients must be ≥ 1");
+    }
+    if opts.read_pct + opts.stream_pct > 100 {
+        usage_error("--read-pct + --stream-pct must be ≤ 100");
+    }
+    if opts.hot_pct > 100 {
+        usage_error("--hot-pct must be ≤ 100");
+    }
+    opts
+}
+
+/// Tiny xorshift so the mix and seeds are deterministic per client.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// One request class's client-side view: latency histogram + status tally.
+#[derive(Default)]
+struct ClassStats {
+    latency: Histogram,
+    ok: AtomicU64,
+    client_error: AtomicU64,
+    rejected: AtomicU64,
+    server_error: AtomicU64,
+    transport_error: AtomicU64,
+}
+
+impl ClassStats {
+    fn record(&self, status: u16, elapsed: Duration) {
+        self.latency.record(elapsed);
+        let slot = match status {
+            429 => &self.rejected,
+            200..=299 => &self.ok,
+            400..=499 => &self.client_error,
+            _ => &self.server_error,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn row(&self, name: &str) -> String {
+        let s = self.latency.snapshot();
+        format!(
+            "{{\"bench\": \"{name}\", \"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}, \"ok\": {}, \"client_error\": {}, \
+             \"rejected\": {}, \"server_error\": {}, \"transport_error\": {}}}",
+            s.count,
+            s.p50_nanos,
+            s.p95_nanos,
+            s.p99_nanos,
+            s.max_nanos,
+            self.ok.load(Ordering::Relaxed),
+            self.client_error.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.server_error.load(Ordering::Relaxed),
+            self.transport_error.load(Ordering::Relaxed),
+        )
+    }
+
+    fn total(&self) -> u64 {
+        self.latency.snapshot().count
+    }
+
+    fn server_errors(&self) -> u64 {
+        self.server_error.load(Ordering::Relaxed)
+    }
+}
+
+struct Fleet {
+    read: ClassStats,
+    mine_hot: ClassStats,
+    mine_cold: ClassStats,
+    stream: ClassStats,
+}
+
+fn hot_body() -> String {
+    // One fixed body: every hot request is the same cache key.
+    "{\"table\":\"income\",\"k\":3,\"sample_size\":64,\"seed\":1}".to_string()
+}
+
+fn cold_body(seed: u64) -> String {
+    format!("{{\"table\":\"income\",\"k\":2,\"sample_size\":48,\"seed\":{seed}}}")
+}
+
+/// Phase 1: the mixed open/closed-loop fleet.
+fn throughput_phase(addr: SocketAddr, opts: &Opts, fleet: &Arc<Fleet>) -> Duration {
+    let started = Instant::now();
+    let interval = opts
+        .rate
+        .map(|r| Duration::from_secs_f64(opts.clients as f64 / r.max(0.001)));
+    std::thread::scope(|scope| {
+        for client_id in 0..opts.clients {
+            let fleet = Arc::clone(fleet);
+            let deadline = started + opts.duration;
+            let (read_pct, stream_pct, hot_pct) = (opts.read_pct, opts.stream_pct, opts.hot_pct);
+            scope.spawn(move || {
+                let mut http = HttpClient::new(addr).timeout(Duration::from_secs(30));
+                let mut rng = Prng(0x9e37_79b9 ^ (client_id as u64 + 1));
+                let mut next_fire = Instant::now();
+                while Instant::now() < deadline {
+                    if let Some(interval) = interval {
+                        // Open loop: fire on the schedule even if the last
+                        // reply was slow (sleep only when ahead).
+                        let now = Instant::now();
+                        if next_fire > now {
+                            std::thread::sleep(next_fire - now);
+                        }
+                        next_fire += interval;
+                    }
+                    let draw = rng.next() % 100;
+                    let t0 = Instant::now();
+                    if draw < read_pct {
+                        let (class, path) = match rng.next() % 3 {
+                            0 => (&fleet.read, "/tables"),
+                            1 => (&fleet.read, "/stats"),
+                            _ => (&fleet.read, "/metrics"),
+                        };
+                        match http.get(path) {
+                            Ok(r) => class.record(r.status, t0.elapsed()),
+                            Err(_) => {
+                                class.transport_error.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else if draw < read_pct + stream_pct {
+                        // Stream one row into the tiny demo table.
+                        let body = format!(
+                            "{{\"rows\":[{{\"codes\":[{},{},{}],\"measure\":{}}}]}}",
+                            rng.next() % 3,
+                            rng.next() % 3,
+                            rng.next() % 3,
+                            (rng.next() % 50) as f64 / 10.0,
+                        );
+                        match http.post_json("/stream/flights", &body) {
+                            Ok(r) => fleet.stream.record(r.status, t0.elapsed()),
+                            Err(_) => {
+                                fleet.stream.transport_error.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else if rng.next() % 100 < hot_pct {
+                        match http.post_json("/mine", &hot_body()) {
+                            Ok(r) => fleet.mine_hot.record(r.status, t0.elapsed()),
+                            Err(_) => {
+                                fleet
+                                    .mine_hot
+                                    .transport_error
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else {
+                        let body = cold_body(1000 + rng.next() % 64);
+                        match http.post_json("/mine", &body) {
+                            Ok(r) => fleet.mine_cold.record(r.status, t0.elapsed()),
+                            Err(_) => {
+                                fleet
+                                    .mine_cold
+                                    .transport_error
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    started.elapsed()
+}
+
+/// Phase 2: barrier-synchronized identical requests on a fresh cache key —
+/// one leader executes, the rest coalesce onto its in-flight run.
+fn coalesce_phase(addr: SocketAddr, clients: usize, rounds: u64) -> u64 {
+    for round in 0..rounds {
+        let barrier = Arc::new(Barrier::new(clients));
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut http = HttpClient::new(addr).timeout(Duration::from_secs(30));
+                    // Connect before the barrier so the posts land together.
+                    let _ = http.get("/health");
+                    // A seed no other phase uses: never cached before this
+                    // round, identical across the fleet within it.
+                    let body = format!(
+                        "{{\"table\":\"income\",\"k\":4,\"sample_size\":96,\"seed\":{}}}",
+                        7_000_000 + round,
+                    );
+                    barrier.wait();
+                    let _ = http.post_json("/mine", &body);
+                });
+            }
+        });
+    }
+    rounds
+}
+
+/// Phase 3: saturate the bounded queue with instant submits until it sheds.
+fn overload_phase(addr: SocketAddr, clients: usize) -> (u64, u64, bool) {
+    let rejected = AtomicU64::new(0);
+    let accepted = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for client_id in 0..clients {
+            let (rejected, accepted) = (&rejected, &accepted);
+            scope.spawn(move || {
+                let mut http = HttpClient::new(addr).timeout(Duration::from_secs(30));
+                for i in 0..40_u64 {
+                    let seed = 9_000_000 + client_id as u64 * 1_000 + i;
+                    let body = format!(
+                        "{{\"table\":\"income\",\"k\":5,\"sample_size\":128,\
+                         \"seed\":{seed},\"wait_ms\":0}}"
+                    );
+                    match http.post_json("/mine", &body) {
+                        Ok(r) if r.status == 429 => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(r) if r.status == 202 => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    if rejected.load(Ordering::Relaxed) >= 5 {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let mut http = HttpClient::new(addr).timeout(Duration::from_secs(30));
+    let healthy = http
+        .get("/health")
+        .map(|r| r.status == 200)
+        .unwrap_or(false);
+    (
+        rejected.load(Ordering::Relaxed),
+        accepted.load(Ordering::Relaxed),
+        healthy,
+    )
+}
+
+fn stat(stats: &sirum::json::JsonValue, key: &str) -> u64 {
+    stats.get(key).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn main() {
+    let opts = parse_opts();
+
+    // Self-host unless --addr was given.
+    let server = if opts.addr.is_none() {
+        let service = SirumService::builder()
+            .pool_workers(opts.jobs)
+            .queue_capacity(opts.queue)
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot build service: {e}");
+                exit(1);
+            });
+        let register = service
+            .register_demo("flights")
+            .and_then(|_| service.register_demo_with("income", Some(opts.rows), 42));
+        if let Err(e) = register {
+            eprintln!("error: cannot register tables: {e}");
+            exit(1);
+        }
+        let router = Router::new(
+            service,
+            Arc::new(NetMetrics::new()),
+            RouterConfig::default(),
+        );
+        match Server::bind("127.0.0.1:0", router, ServerConfig::default()) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                eprintln!("error: cannot bind: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let addr: SocketAddr = match (&server, &opts.addr) {
+        (Some(server), _) => server.local_addr(),
+        (None, Some(addr)) => addr
+            .parse()
+            .unwrap_or_else(|_| usage_error(&format!("--addr {addr:?} is not a socket address"))),
+        (None, None) => unreachable!("self-host covers the no-addr case"),
+    };
+    let mode = match opts.rate {
+        Some(rate) => format!("open-loop @ {rate} req/s"),
+        None => "closed-loop".to_string(),
+    };
+    eprintln!(
+        "loadgen: {} clients, {mode}, {}s against http://{addr} ({})",
+        opts.clients,
+        opts.duration.as_secs(),
+        if server.is_some() {
+            "self-hosted"
+        } else {
+            "external"
+        },
+    );
+
+    // Phase 1: throughput.
+    let fleet = Arc::new(Fleet {
+        read: ClassStats::default(),
+        mine_hot: ClassStats::default(),
+        mine_cold: ClassStats::default(),
+        stream: ClassStats::default(),
+    });
+    let elapsed = throughput_phase(addr, &opts, &fleet);
+
+    // Phase 2: coalesce probe.
+    let mut http = HttpClient::new(addr).timeout(Duration::from_secs(30));
+    let before = http.get("/stats").and_then(|r| r.json()).ok();
+    let rounds = coalesce_phase(addr, opts.clients.max(2), 5);
+
+    // Phase 3: overload.
+    let (rejected_429, overload_accepted, healthy) = overload_phase(addr, opts.clients.max(4));
+
+    let after = http.get("/stats").and_then(|r| r.json()).ok();
+    let (coalesced, cache_hits, jobs_rejected) = match (&before, &after) {
+        (Some(_), Some(after)) => (
+            stat(after, "jobs_coalesced"),
+            stat(after, "cache_hits"),
+            stat(after, "jobs_rejected"),
+        ),
+        _ => (0, 0, 0),
+    };
+
+    // Report.
+    let requests = fleet.read.total()
+        + fleet.mine_hot.total()
+        + fleet.mine_cold.total()
+        + fleet.stream.total();
+    let server_errors = fleet.read.server_errors()
+        + fleet.mine_hot.server_errors()
+        + fleet.mine_cold.server_errors()
+        + fleet.stream.server_errors();
+    let throughput = requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    let mut out = String::new();
+    let prefix = if opts.rate.is_some() {
+        "open"
+    } else {
+        "closed"
+    };
+    for (name, class) in [
+        ("read", &fleet.read),
+        ("mine-hot", &fleet.mine_hot),
+        ("mine-cold", &fleet.mine_cold),
+        ("stream", &fleet.stream),
+    ] {
+        let _ = writeln!(out, "{}", class.row(&format!("serving/{prefix}/{name}")));
+    }
+    let _ = writeln!(
+        out,
+        "{{\"bench\": \"serving/summary\", \"clients\": {}, \"duration_secs\": {:.3}, \
+         \"requests\": {requests}, \"throughput_rps\": {throughput:.1}, \
+         \"server_errors\": {server_errors}, \"coalesce_rounds\": {rounds}, \
+         \"jobs_coalesced\": {coalesced}, \"cache_hits\": {cache_hits}, \
+         \"jobs_rejected\": {jobs_rejected}, \"overload_429\": {rejected_429}, \
+         \"overload_202\": {overload_accepted}, \"healthy_after_overload\": {healthy}}}",
+        opts.clients,
+        elapsed.as_secs_f64(),
+    );
+    print!("{out}");
+    let out_path = opts
+        .out
+        .clone()
+        .or_else(|| server.as_ref().map(|_| "BENCH_loadgen.json".to_string()));
+    if let Some(path) = out_path {
+        use std::io::Write as _;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(out.as_bytes()));
+        match appended {
+            Ok(()) => eprintln!("loadgen: appended {} rows to {path}", out.lines().count()),
+            Err(e) => eprintln!("loadgen: cannot write {path}: {e}"),
+        }
+    }
+
+    // Drain before verdicts so a failed check still exits cleanly.
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if opts.check {
+        let mut failures = Vec::new();
+        if server_errors > 0 {
+            failures.push(format!("{server_errors} responses were 5xx"));
+        }
+        if coalesced == 0 {
+            failures.push("no requests coalesced onto in-flight runs".to_string());
+        }
+        if cache_hits == 0 {
+            failures.push("no requests were served from the result cache".to_string());
+        }
+        if rejected_429 == 0 {
+            failures.push("overload never produced a 429".to_string());
+        }
+        if !healthy {
+            failures.push("server unhealthy after overload".to_string());
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("loadgen check FAILED: {f}");
+            }
+            exit(1);
+        }
+        eprintln!(
+            "loadgen check OK: 0 5xx, {coalesced} coalesced, {cache_hits} cache hits, \
+             {rejected_429} shed with 429, healthy after overload"
+        );
+    }
+}

@@ -55,6 +55,13 @@ pub enum SirumError {
         /// What went wrong in the serving layer.
         reason: String,
     },
+    /// The serving layer's bounded job queue is full and the request was
+    /// admitted non-blockingly; shed-load signal — the caller should retry
+    /// later (an HTTP front end maps this to `429 Too Many Requests`).
+    Overloaded {
+        /// The queue bound that was hit.
+        queue_capacity: usize,
+    },
 }
 
 impl fmt::Display for SirumError {
@@ -87,6 +94,11 @@ impl fmt::Display for SirumError {
             SirumError::Table(e) => write!(f, "table error: {e}"),
             SirumError::Dataflow(e) => write!(f, "dataflow error: {e}"),
             SirumError::Service { reason } => write!(f, "service error: {reason}"),
+            SirumError::Overloaded { queue_capacity } => write!(
+                f,
+                "service overloaded: the job queue is at its {queue_capacity}-job \
+                 capacity; retry later"
+            ),
         }
     }
 }

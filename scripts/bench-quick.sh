@@ -98,3 +98,6 @@ compare "sweep accumulator keying (1 worker)" \
 compare "sweep combine strategy (1 worker)" \
     hash "gain_sweep/sweep-pass-hashprobe/1threads" \
     radix "gain_sweep/sweep-pass/1threads"
+compare "serving cached-mine latency" \
+    in-proc "serving/in-process/mine-cached" \
+    wire "serving/wire/mine-cached"

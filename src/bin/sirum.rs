@@ -12,6 +12,7 @@
 //! sirum --demo income --repeat 8 --jobs 4 # exercise the worker pool + cache
 //! sirum --demo flights --k 3 --format json
 //! sirum --demo gdelt --explain            # plan + cost estimate, no run
+//! sirum serve --demo flights              # HTTP front end on 127.0.0.1:7878
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (unreadable/malformed data,
@@ -98,6 +99,25 @@ OPTIONS:
   --progress         report each mining iteration on stderr
                      (incompatible with --repeat: observers disable caching)
   --help             print this help
+
+SERVING:
+  sirum serve [OPTIONS] [input.csv ...]
+
+  Start the wire front end: a dependency-free HTTP/1.1 + JSON server over
+  the same service API. Endpoints: POST /tables/{name} (CSV body),
+  GET /tables, POST /mine, GET|DELETE /jobs/{id}, GET /explain,
+  POST /stream/{table}, GET /metrics, GET /stats, GET /health.
+
+  --addr <A>         listen address                      [default: 127.0.0.1:7878]
+  --demo <NAME>      pre-register a demo table (repeatable)
+  --jobs <N>         mining worker threads               [default: 4]
+  --queue <N>        job queue depth before /mine sheds
+                     load with 429 + Retry-After         [default: 64]
+  --max-connections <N>  concurrent connections before new
+                     accepts get 503                     [default: 64]
+  --read-timeout <SECS>  per-socket read timeout (slow-loris
+                     guard)                              [default: 10]
+  --engine / --partitions / --seed    as in mining mode
 ";
 
 /// Print a usage error and exit with status 2.
@@ -285,6 +305,115 @@ fn print_text(result: &MiningResult, table: &Table) {
     }
 }
 
+struct ServeArgs {
+    addr: String,
+    demos: Vec<String>,
+    inputs: Vec<String>,
+    jobs: usize,
+    queue: usize,
+    max_connections: usize,
+    read_timeout_secs: u64,
+    engine: EngineMode,
+    partitions: usize,
+    seed: u64,
+}
+
+fn parse_serve_args(it: impl Iterator<Item = String>) -> ServeArgs {
+    let mut args = ServeArgs {
+        addr: "127.0.0.1:7878".to_string(),
+        demos: Vec::new(),
+        inputs: Vec::new(),
+        jobs: 4,
+        queue: 64,
+        max_connections: 64,
+        read_timeout_secs: 10,
+        engine: EngineMode::InMemory,
+        partitions: 16,
+        seed: 42,
+    };
+    let mut it = it;
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v,
+                None => usage_error(format!("missing value for {name}")),
+            }
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            "--addr" => args.addr = value("--addr"),
+            "--demo" => args.demos.push(value("--demo")),
+            "--jobs" => args.jobs = parse_value("--jobs", &value("--jobs")),
+            "--queue" => args.queue = parse_value("--queue", &value("--queue")),
+            "--max-connections" => {
+                args.max_connections =
+                    parse_value("--max-connections", &value("--max-connections"));
+            }
+            "--read-timeout" => {
+                args.read_timeout_secs = parse_value("--read-timeout", &value("--read-timeout"));
+            }
+            "--engine" => args.engine = parse_value("--engine", &value("--engine")),
+            "--partitions" => {
+                args.partitions = parse_value("--partitions", &value("--partitions"));
+            }
+            "--seed" => args.seed = parse_value("--seed", &value("--seed")),
+            other if !other.starts_with('-') => args.inputs.push(other.to_string()),
+            other => usage_error(format!("unexpected argument {other:?}")),
+        }
+    }
+    if args.jobs == 0 {
+        usage_error("--jobs must be ≥ 1");
+    }
+    if args.read_timeout_secs == 0 {
+        usage_error("--read-timeout must be ≥ 1 second");
+    }
+    args
+}
+
+/// `sirum serve`: register the requested tables, bind the HTTP front end,
+/// and serve until the process is killed.
+fn run_serve(args: &ServeArgs) -> Result<(), SirumError> {
+    let service = SirumService::builder()
+        .mode(args.engine)
+        .partitions(args.partitions)
+        .pool_workers(args.jobs)
+        .queue_capacity(args.queue)
+        .build()?;
+    for demo in &args.demos {
+        service.register_demo_with(demo, None, args.seed)?;
+    }
+    for path in &args.inputs {
+        let file = std::fs::File::open(path).map_err(|e| SirumError::Table(TableError::Io(e)))?;
+        service.register_csv(path.clone(), std::io::BufReader::new(file))?;
+    }
+    let tables = service.table_names();
+    let router = Router::new(
+        service,
+        std::sync::Arc::new(NetMetrics::new()),
+        RouterConfig::default(),
+    );
+    let config = ServerConfig {
+        max_connections: args.max_connections,
+        read_timeout: std::time::Duration::from_secs(args.read_timeout_secs),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(args.addr.as_str(), router, config)
+        .map_err(|e| SirumError::service(format!("cannot bind {}: {e}", args.addr)))?;
+    eprintln!(
+        "sirum serving on http://{} — tables: [{}]; try GET /health, POST /mine",
+        server.local_addr(),
+        tables.join(", "),
+    );
+    // Serve until killed; the accept loop runs on its own thread and the
+    // Server's Drop handles draining if this ever unparks.
+    loop {
+        std::thread::park();
+    }
+}
+
 fn run(args: &Args) -> Result<(), SirumError> {
     let service = SirumService::builder()
         .mode(args.engine)
@@ -359,6 +488,14 @@ fn run(args: &Args) -> Result<(), SirumError> {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        let args = parse_serve_args(std::env::args().skip(2));
+        if let Err(e) = run_serve(&args) {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+        return;
+    }
     let args = parse_args();
     if let Err(e) = run(&args) {
         eprintln!("error: {e}");

@@ -50,6 +50,7 @@
 
 pub mod api;
 pub mod json;
+pub mod net;
 pub mod service;
 
 pub use sirum_baselines as baselines;
@@ -60,9 +61,13 @@ pub use sirum_table as table;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use crate::api::{MiningRequest, SessionBuilder, SirumSession};
+    pub use crate::net::client::{ClientResponse, HttpClient};
+    pub use crate::net::metrics::{LatencySummary, NetMetrics};
+    pub use crate::net::router::{Router, RouterConfig};
+    pub use crate::net::server::{Server, ServerConfig};
     pub use crate::service::{
-        IngestHandle, JobHandle, JobOutput, MiningPlan, ServiceBuilder, ServiceRequest,
-        ServiceStats, SirumService,
+        IngestHandle, JobHandle, JobOutput, JobState, JobStatus, MiningPlan, ServiceBuilder,
+        ServiceRequest, ServiceStats, SirumService,
     };
     pub use sirum_core::{
         evaluate_rules, explore, mine_on_sample, try_evaluate_rules, try_explore,

@@ -1,0 +1,385 @@
+//! Serving metrics: a fixed log₂-bucket latency [`Histogram`] (no
+//! dependencies, no allocation after construction, lock-free recording)
+//! plus the per-endpoint registry ([`NetMetrics`]) the HTTP front end
+//! exposes through `GET /metrics`.
+//!
+//! The histogram is shared machinery: [`crate::service::SirumService`]
+//! records per-job execution latency into one and surfaces the summary in
+//! [`crate::service::ServiceStats::job_latency`], and the wire layer keeps
+//! one histogram per endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets: bucket `i` counts samples in `[2^(i-1), 2^i)`
+/// nanoseconds (bucket 0 holds 0 ns), so 64 buckets cover every `u64`
+/// nanosecond value — about 584 years.
+const BUCKETS: usize = 64;
+
+/// A concurrent, fixed-size log₂-bucket histogram of durations.
+///
+/// Recording is a single relaxed atomic increment per sample; snapshots
+/// walk the 64 buckets. Quantiles are bucket-resolution estimates (within
+/// 2× of the true value by construction — plenty for serving dashboards,
+/// not for micro-benchmarks).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a sample: position of its highest set bit.
+    fn bucket(nanos: u64) -> usize {
+        (u64::BITS - nanos.leading_zeros()) as usize % BUCKETS
+    }
+
+    /// Record one duration.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_nanos(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one duration in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[Self::bucket(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary (concurrent recordings may be partially
+    /// visible; each counter is individually consistent).
+    pub fn snapshot(&self) -> LatencySummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let max = self.max_nanos.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile sample, 1-based.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Upper bound of bucket i (see [`BUCKETS`]), clamped
+                    // to the observed maximum so estimates never exceed
+                    // a real sample.
+                    let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                    return upper.min(max);
+                }
+            }
+            max
+        };
+        LatencySummary {
+            count,
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            p50_nanos: quantile(0.50),
+            p95_nanos: quantile(0.95),
+            p99_nanos: quantile(0.99),
+            max_nanos: max,
+        }
+    }
+}
+
+/// A snapshot of a [`Histogram`]: counts plus estimated percentiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds (mean = `sum / count`).
+    pub sum_nanos: u64,
+    /// Estimated median, in nanoseconds (bucket upper bound).
+    pub p50_nanos: u64,
+    /// Estimated 95th percentile, in nanoseconds.
+    pub p95_nanos: u64,
+    /// Estimated 99th percentile, in nanoseconds.
+    pub p99_nanos: u64,
+    /// Largest sample observed, exact.
+    pub max_nanos: u64,
+}
+
+impl LatencySummary {
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Render the summary as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_ms\":{:.3},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\"p99_ms\":{:.3},\"max_ms\":{:.3}}}",
+            self.count,
+            self.mean_nanos() / 1e6,
+            self.p50_nanos as f64 / 1e6,
+            self.p95_nanos as f64 / 1e6,
+            self.p99_nanos as f64 / 1e6,
+            self.max_nanos as f64 / 1e6,
+        )
+    }
+}
+
+/// The served endpoints, used to label per-endpoint metrics. `Other`
+/// absorbs unroutable requests so hostile paths cannot grow the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET/POST/DELETE /tables…`
+    Tables,
+    /// `POST /mine`
+    Mine,
+    /// `GET/DELETE /jobs/{id}`
+    Jobs,
+    /// `GET /explain`
+    Explain,
+    /// `POST /stream/{table}`
+    Stream,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /stats`
+    Stats,
+    /// `GET /health`
+    Health,
+    /// Anything that did not route.
+    Other,
+}
+
+/// Every endpoint, for iteration in export order.
+pub const ENDPOINTS: [Endpoint; 9] = [
+    Endpoint::Tables,
+    Endpoint::Mine,
+    Endpoint::Jobs,
+    Endpoint::Explain,
+    Endpoint::Stream,
+    Endpoint::Metrics,
+    Endpoint::Stats,
+    Endpoint::Health,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// Stable label used in `GET /metrics` output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Tables => "tables",
+            Endpoint::Mine => "mine",
+            Endpoint::Jobs => "jobs",
+            Endpoint::Explain => "explain",
+            Endpoint::Stream => "stream",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Stats => "stats",
+            Endpoint::Health => "health",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Tables => 0,
+            Endpoint::Mine => 1,
+            Endpoint::Jobs => 2,
+            Endpoint::Explain => 3,
+            Endpoint::Stream => 4,
+            Endpoint::Metrics => 5,
+            Endpoint::Stats => 6,
+            Endpoint::Health => 7,
+            Endpoint::Other => 8,
+        }
+    }
+}
+
+/// Per-endpoint serving counters: one latency histogram plus response
+/// counts by status class.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Wall-clock handler latency (request fully read → response queued).
+    pub latency: Histogram,
+    /// 2xx responses.
+    pub ok: AtomicU64,
+    /// 4xx responses other than 429.
+    pub client_error: AtomicU64,
+    /// 429 responses (admission control shed the request).
+    pub rejected: AtomicU64,
+    /// 5xx responses.
+    pub server_error: AtomicU64,
+}
+
+impl EndpointMetrics {
+    /// Record one served response.
+    pub fn record(&self, status: u16, elapsed: Duration) {
+        self.latency.record(elapsed);
+        match status {
+            200..=299 => &self.ok,
+            429 => &self.rejected,
+            400..=499 => &self.client_error,
+            _ => &self.server_error,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The wire front end's metrics registry: fixed per-endpoint slots.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    slots: [EndpointMetrics; 9],
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections shed because the concurrent-connection cap was hit.
+    pub connections_rejected: AtomicU64,
+    /// Requests that died mid-read (timeouts, truncation, oversize).
+    pub read_failures: AtomicU64,
+}
+
+impl NetMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics slot for `endpoint`.
+    pub fn endpoint(&self, endpoint: Endpoint) -> &EndpointMetrics {
+        &self.slots[endpoint.index()]
+    }
+
+    /// Render all per-endpoint metrics as a JSON object keyed by endpoint
+    /// label.
+    pub fn endpoints_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, ep) in ENDPOINTS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let m = self.endpoint(*ep);
+            out.push_str(&format!(
+                "\"{}\":{{\"ok\":{},\"client_error\":{},\"rejected\":{},\"server_error\":{},\"latency\":{}}}",
+                ep.label(),
+                m.ok.load(Ordering::Relaxed),
+                m.client_error.load(Ordering::Relaxed),
+                m.rejected.load(Ordering::Relaxed),
+                m.server_error.load(Ordering::Relaxed),
+                m.latency.snapshot().to_json(),
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_and_cover_u64() {
+        assert_eq!(Histogram::bucket(0), 0);
+        assert_eq!(Histogram::bucket(1), 1);
+        assert_eq!(Histogram::bucket(2), 2);
+        assert_eq!(Histogram::bucket(3), 2);
+        assert_eq!(Histogram::bucket(4), 3);
+        assert_eq!(Histogram::bucket(1023), 10);
+        assert_eq!(Histogram::bucket(1024), 11);
+        assert_eq!(Histogram::bucket(u64::MAX), 0, "wraps into slot 0 of 64");
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeroes() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s, LatencySummary::default());
+        assert_eq!(s.mean_nanos(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded_by_max() {
+        let h = Histogram::new();
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record_nanos(1_000);
+        }
+        for _ in 0..10 {
+            h.record_nanos(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!(s.p50_nanos <= s.p95_nanos && s.p95_nanos <= s.p99_nanos);
+        assert!(s.p99_nanos <= s.max_nanos);
+        assert_eq!(s.max_nanos, 1_000_000);
+        // The p50 estimate sits in the 1 µs bucket (within 2× of truth).
+        assert!(
+            s.p50_nanos >= 1_000 && s.p50_nanos < 2_048,
+            "{}",
+            s.p50_nanos
+        );
+        // The p95 estimate reflects the slow tail.
+        assert!(s.p95_nanos >= 500_000, "{}", s.p95_nanos);
+    }
+
+    #[test]
+    fn single_sample_percentiles_equal_the_sample_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(5));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_nanos, s.p99_nanos);
+        assert_eq!(s.max_nanos, 5_000);
+        assert!(s.p50_nanos <= 5_000);
+    }
+
+    #[test]
+    fn endpoint_metrics_classify_statuses() {
+        let m = EndpointMetrics::default();
+        m.record(200, Duration::from_millis(1));
+        m.record(204, Duration::from_millis(1));
+        m.record(404, Duration::from_millis(1));
+        m.record(429, Duration::from_millis(1));
+        m.record(500, Duration::from_millis(1));
+        assert_eq!(m.ok.load(Ordering::Relaxed), 2);
+        assert_eq!(m.client_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(m.server_error.load(Ordering::Relaxed), 1);
+        assert_eq!(m.latency.snapshot().count, 5);
+    }
+
+    #[test]
+    fn net_metrics_render_every_endpoint() {
+        let metrics = NetMetrics::new();
+        metrics
+            .endpoint(Endpoint::Mine)
+            .record(200, Duration::from_millis(2));
+        let json = metrics.endpoints_json();
+        for ep in ENDPOINTS {
+            assert!(json.contains(&format!("\"{}\":", ep.label())), "{json}");
+        }
+        let parsed = crate::json::parse_json(&json).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("mine")
+                .and_then(|m| m.get("ok"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+}

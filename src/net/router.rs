@@ -1,0 +1,974 @@
+//! Endpoint dispatch: maps the HTTP surface onto the in-process
+//! [`SirumService`] API. Pure request→response logic — no sockets — so the
+//! whole routing layer is unit-testable without a listener.
+
+use crate::json::{self, parse_json_with, JsonLimits, JsonValue};
+use crate::net::http::{Request, Response};
+use crate::net::metrics::{Endpoint, NetMetrics};
+use crate::service::{IngestHandle, JobState, JobStatus, SirumService};
+use parking_lot::Mutex;
+use sirum_core::{Rule, SirumError, Variant, WILDCARD};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving knobs for the router (the server adds socket-level ones).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// How long `POST /mine` waits inline for the job before answering
+    /// `202 Accepted` with a job id (overridable per request via
+    /// `wait_ms`). Default 15 s.
+    pub default_wait: Duration,
+    /// JSON parser limits applied to request bodies.
+    pub json_limits: JsonLimits,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            default_wait: Duration::from_secs(15),
+            json_limits: JsonLimits::default(),
+        }
+    }
+}
+
+/// The wire front end's dispatcher: owns the service handle, the
+/// per-endpoint metrics and the server-held ingest streams.
+pub struct Router {
+    service: SirumService,
+    metrics: Arc<NetMetrics>,
+    streams: Mutex<HashMap<String, IngestHandle>>,
+    started: Instant,
+    config: RouterConfig,
+}
+
+/// Map a service error to its wire status: unknown names are `404`,
+/// shed load is `429`, internal serving trouble is `500`, and every
+/// bad-input shape is `400`.
+fn error_status(e: &SirumError) -> u16 {
+    match e {
+        SirumError::UnknownTable { .. } | SirumError::UnknownDemo { .. } => 404,
+        SirumError::Overloaded { .. } => 429,
+        SirumError::Service { .. } => 500,
+        _ => 400,
+    }
+}
+
+fn service_error(e: &SirumError) -> Response {
+    let status = error_status(e);
+    let response = Response::error(status, &e.to_string());
+    if status == 429 {
+        // Shed-load contract: tell closed-loop clients when to retry.
+        response.with_header("retry-after", "1")
+    } else {
+        response
+    }
+}
+
+// -- typed field extraction --------------------------------------------------
+
+fn field_usize(body: &JsonValue, key: &str) -> Result<Option<usize>, Response> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_usize().map(Some).ok_or_else(|| {
+            Response::error(422, &format!("field {key:?} must be a nonnegative integer"))
+        }),
+    }
+}
+
+fn field_u64(body: &JsonValue, key: &str) -> Result<Option<u64>, Response> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            Response::error(422, &format!("field {key:?} must be a nonnegative integer"))
+        }),
+    }
+}
+
+fn field_f64(body: &JsonValue, key: &str) -> Result<Option<f64>, Response> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| Response::error(422, &format!("field {key:?} must be a number"))),
+    }
+}
+
+fn field_bool(body: &JsonValue, key: &str) -> Result<Option<bool>, Response> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| Response::error(422, &format!("field {key:?} must be a boolean"))),
+    }
+}
+
+fn field_str<'v>(body: &'v JsonValue, key: &str) -> Result<Option<&'v str>, Response> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| Response::error(422, &format!("field {key:?} must be a string"))),
+    }
+}
+
+/// Every field `POST /mine` understands; anything else is a typo worth a
+/// `422` instead of a silently ignored knob.
+const MINE_FIELDS: [&str; 19] = [
+    "table",
+    "k",
+    "sample_size",
+    "variant",
+    "full_cube",
+    "two_sided",
+    "epsilon",
+    "max_scaling_iterations",
+    "seed",
+    "rules_per_iter",
+    "target_kl",
+    "max_rules",
+    "column_groups",
+    "gain_sweep",
+    "columnar",
+    "packed",
+    "prior",
+    "timeout_ms",
+    "wait_ms",
+];
+
+/// Parse `"prior": [[1, null, 3], …]` into rules (`null` = wildcard).
+fn parse_prior(value: &JsonValue) -> Result<Vec<Rule>, Response> {
+    let rows = value
+        .as_array()
+        .ok_or_else(|| Response::error(422, "field \"prior\" must be an array of rules"))?;
+    let mut rules = Vec::with_capacity(rows.len());
+    for row in rows {
+        let cells = row.as_array().ok_or_else(|| {
+            Response::error(422, "each prior rule must be an array of values/nulls")
+        })?;
+        let mut values = Vec::with_capacity(cells.len());
+        for cell in cells {
+            if cell.is_null() {
+                values.push(WILDCARD);
+            } else {
+                let code = cell
+                    .as_u64()
+                    .filter(|c| *c < u64::from(u32::MAX))
+                    .ok_or_else(|| {
+                        Response::error(422, "prior rule values must be null or dictionary codes")
+                    })?;
+                values.push(code as u32);
+            }
+        }
+        rules.push(Rule::from_values(values));
+    }
+    Ok(rules)
+}
+
+impl Router {
+    /// Build a router over a service handle.
+    pub fn new(service: SirumService, metrics: Arc<NetMetrics>, config: RouterConfig) -> Self {
+        Router {
+            service,
+            metrics,
+            streams: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+            config,
+        }
+    }
+
+    /// The shared metrics registry (exported by `GET /metrics`).
+    pub fn metrics(&self) -> &Arc<NetMetrics> {
+        &self.metrics
+    }
+
+    /// The underlying service handle.
+    pub fn service(&self) -> &SirumService {
+        &self.service
+    }
+
+    /// Dispatch one parsed request. Never panics; every outcome is a
+    /// response paired with the endpoint label it is accounted under.
+    pub fn handle(&self, request: &Request) -> (Endpoint, Response) {
+        let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let method = request.method.as_str();
+        match (method, segments.as_slice()) {
+            ("GET", ["health"]) => (Endpoint::Health, self.health()),
+            ("GET", ["tables"]) => (Endpoint::Tables, self.list_tables()),
+            ("POST", ["tables"]) => match request.query_value("name") {
+                Some(name) => (Endpoint::Tables, self.register_table(name, &request.body)),
+                None => (
+                    Endpoint::Tables,
+                    Response::error(422, "POST /tables needs ?name=… (or use /tables/{name})"),
+                ),
+            },
+            ("POST", ["tables", name]) => {
+                (Endpoint::Tables, self.register_table(name, &request.body))
+            }
+            ("DELETE", ["tables", name]) => (Endpoint::Tables, self.unregister_table(name)),
+            ("POST", ["mine"]) => (Endpoint::Mine, self.mine(request)),
+            ("GET", ["jobs"]) => (Endpoint::Jobs, self.list_jobs()),
+            ("GET", ["jobs", id]) => (Endpoint::Jobs, self.job(id, request)),
+            ("DELETE", ["jobs", id]) => (Endpoint::Jobs, self.cancel_job(id)),
+            ("GET", ["explain"]) => (Endpoint::Explain, self.explain(request)),
+            ("POST", ["stream", table]) => (Endpoint::Stream, self.stream(table, &request.body)),
+            ("GET", ["metrics"]) => (Endpoint::Metrics, self.metrics_snapshot()),
+            ("GET", ["stats"]) => (Endpoint::Stats, self.stats()),
+            (
+                _,
+                ["health" | "tables" | "mine" | "jobs" | "explain" | "stream" | "metrics" | "stats", ..],
+            ) => (
+                Endpoint::Other,
+                Response::error(
+                    405,
+                    &format!("{method} is not supported on {}", request.path),
+                ),
+            ),
+            _ => (
+                Endpoint::Other,
+                Response::error(404, &format!("no route for {}", request.path)),
+            ),
+        }
+    }
+
+    fn health(&self) -> Response {
+        Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"uptime_ms\":{}}}",
+                self.started.elapsed().as_millis()
+            ),
+        )
+    }
+
+    fn list_tables(&self) -> Response {
+        let mut out = String::from("{\"tables\":[");
+        for (i, name) in self.service.table_names().iter().enumerate() {
+            let Ok(table) = self.service.table(name) else {
+                continue; // unregistered between listing and lookup
+            };
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{{\"name\":{},\"rows\":{},\"dims\":{},\"fingerprint\":\"{:016x}\"}}",
+                    json::json_string(name),
+                    table.num_rows(),
+                    table.num_dims(),
+                    table.fingerprint(),
+                ),
+            );
+        }
+        out.push_str("]}");
+        Response::json(200, out)
+    }
+
+    fn register_table(&self, name: &str, body: &[u8]) -> Response {
+        if name.is_empty() {
+            return Response::error(422, "table name must be non-empty");
+        }
+        let csv = match std::str::from_utf8(body) {
+            Ok(csv) => csv,
+            Err(_) => return Response::error(400, "CSV body must be UTF-8"),
+        };
+        match self.service.register_csv(name, csv.as_bytes()) {
+            Ok(table) => Response::json(
+                200,
+                format!(
+                    "{{\"table\":{},\"rows\":{},\"dims\":{},\"fingerprint\":\"{:016x}\"}}",
+                    json::json_string(name),
+                    table.num_rows(),
+                    table.num_dims(),
+                    table.fingerprint(),
+                ),
+            ),
+            Err(e) => service_error(&e),
+        }
+    }
+
+    fn unregister_table(&self, name: &str) -> Response {
+        // Drop any server-held ingest stream seeded from the table too.
+        self.streams.lock().remove(name);
+        match self.service.unregister(name) {
+            Some(_) => Response::json(200, format!("{{\"removed\":{}}}", json::json_string(name))),
+            None => Response::error(404, &format!("unknown table {name:?}")),
+        }
+    }
+
+    fn mine(&self, request: &Request) -> Response {
+        let body = match std::str::from_utf8(&request.body) {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => return Response::error(400, "POST /mine needs a JSON body"),
+        };
+        let parsed = match parse_json_with(body, self.config.json_limits) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+        };
+        if let Some(entries) = parsed.entries() {
+            for (key, _) in entries {
+                if !MINE_FIELDS.contains(&key.as_str()) {
+                    return Response::error(422, &format!("unknown field {key:?}"));
+                }
+            }
+        } else {
+            return Response::error(422, "mine request body must be a JSON object");
+        }
+
+        macro_rules! get {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(resp) => return resp,
+                }
+            };
+        }
+        let table = match get!(field_str(&parsed, "table")) {
+            Some(t) => t,
+            None => return Response::error(422, "mine request needs a string \"table\" field"),
+        };
+        let mut req = self.service.mine(table);
+        if let Some(k) = get!(field_usize(&parsed, "k")) {
+            req = req.k(k);
+        }
+        if let Some(s) = get!(field_usize(&parsed, "sample_size")) {
+            req = req.sample_size(s);
+        }
+        if let Some(v) = get!(field_str(&parsed, "variant")) {
+            match v.parse::<Variant>() {
+                Ok(variant) => req = req.variant(variant),
+                Err(e) => return Response::error(422, &format!("invalid variant: {e}")),
+            }
+        }
+        if get!(field_bool(&parsed, "full_cube")).unwrap_or(false) {
+            req = req.full_cube();
+        }
+        if get!(field_bool(&parsed, "two_sided")).unwrap_or(false) {
+            req = req.two_sided();
+        }
+        if let Some(e) = get!(field_f64(&parsed, "epsilon")) {
+            req = req.epsilon(e);
+        }
+        if let Some(n) = get!(field_usize(&parsed, "max_scaling_iterations")) {
+            req = req.max_scaling_iterations(n);
+        }
+        if let Some(seed) = get!(field_u64(&parsed, "seed")) {
+            req = req.seed(seed);
+        }
+        if let Some(l) = get!(field_usize(&parsed, "rules_per_iter")) {
+            req = req.rules_per_iter(l);
+        }
+        if let Some(t) = get!(field_f64(&parsed, "target_kl")) {
+            req = req.target_kl(t);
+        }
+        if let Some(m) = get!(field_usize(&parsed, "max_rules")) {
+            req = req.max_rules(m);
+        }
+        if let Some(g) = get!(field_usize(&parsed, "column_groups")) {
+            req = req.column_groups(g);
+        }
+        if let Some(s) = get!(field_bool(&parsed, "gain_sweep")) {
+            req = req.gain_sweep(s);
+        }
+        if let Some(c) = get!(field_bool(&parsed, "columnar")) {
+            req = req.columnar(c);
+        }
+        if let Some(p) = get!(field_bool(&parsed, "packed")) {
+            req = req.packed(p);
+        }
+        if let Some(prior) = parsed.get("prior") {
+            match parse_prior(prior) {
+                Ok(rules) => req = req.prior(rules),
+                Err(resp) => return resp,
+            }
+        }
+        if let Some(ms) = get!(field_u64(&parsed, "timeout_ms")) {
+            req = req.deadline(Duration::from_millis(ms));
+        }
+        let wait = match get!(field_u64(&parsed, "wait_ms")) {
+            Some(ms) => Duration::from_millis(ms),
+            None => self.config.default_wait,
+        };
+
+        // Non-blocking admission: a full queue sheds with 429 instead of
+        // stalling this connection thread (and the accept loop behind it).
+        let handle = match req.try_submit() {
+            Ok(handle) => handle,
+            Err(e) => return service_error(&e),
+        };
+        let id = handle.id();
+        drop(handle); // the registry keeps the job queryable by id
+        if !wait.is_zero() {
+            if let Some(outcome) = self.service.wait_job(id, wait) {
+                return match outcome {
+                    Ok(_) => self.job_response(id),
+                    Err(e) => service_error(&e),
+                };
+            }
+        }
+        match self.service.job_status(id) {
+            Some(_) => Response::json(202, format!("{{\"job\":{id},\"state\":\"queued\"}}")),
+            None => Response::error(500, "job vanished from the registry"),
+        }
+    }
+
+    fn list_jobs(&self) -> Response {
+        let ids = self.service.job_ids();
+        let rendered: Vec<String> = ids.iter().map(u64::to_string).collect();
+        Response::json(200, format!("{{\"jobs\":[{}]}}", rendered.join(",")))
+    }
+
+    fn parse_job_id(&self, id: &str) -> Result<u64, Response> {
+        id.parse::<u64>()
+            .map_err(|_| Response::error(400, &format!("job id {id:?} must be an integer")))
+    }
+
+    fn job(&self, id: &str, request: &Request) -> Response {
+        let id = match self.parse_job_id(id) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        if let Some(ms) = request.query_value("wait_ms") {
+            match ms.parse::<u64>() {
+                Ok(ms) => {
+                    let _ = self.service.wait_job(id, Duration::from_millis(ms));
+                }
+                Err(_) => {
+                    return Response::error(
+                        400,
+                        "wait_ms must be an integer number of milliseconds",
+                    )
+                }
+            }
+        }
+        self.job_response(id)
+    }
+
+    /// Render a job's status (and, when finished, its full result) by id.
+    fn job_response(&self, id: u64) -> Response {
+        let Some(status) = self.service.job_status(id) else {
+            return Response::error(
+                404,
+                &format!("unknown job {id} (never submitted or evicted)"),
+            );
+        };
+        Response::json(200, self.job_json(&status))
+    }
+
+    fn job_json(&self, status: &JobStatus) -> String {
+        let mut out = format!(
+            "{{\"job\":{},\"table\":{},\"cancel_requested\":{}",
+            status.id,
+            json::json_string(&status.table),
+            status.cancel_requested,
+        );
+        match &status.state {
+            JobState::Queued => out.push_str(",\"state\":\"queued\""),
+            JobState::Consumed => out.push_str(",\"state\":\"consumed\""),
+            JobState::Failed { reason } => {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!(
+                        ",\"state\":\"failed\",\"reason\":{}",
+                        json::json_string(reason)
+                    ),
+                );
+            }
+            JobState::Done {
+                from_cache,
+                cancelled,
+            } => {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!(
+                        ",\"state\":\"done\",\"from_cache\":{from_cache},\"cancelled\":{cancelled}"
+                    ),
+                );
+                // Attach the full result when both the outcome and the
+                // table (for dictionary decoding) are still reachable.
+                if let (Some(Ok(output)), Ok(table)) = (
+                    self.service.job_output(status.id),
+                    self.service.table(&status.table),
+                ) {
+                    out.push_str(",\"result\":");
+                    out.push_str(&json::mining_result_to_json(&output.result, &table));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    fn cancel_job(&self, id: &str) -> Response {
+        let id = match self.parse_job_id(id) {
+            Ok(id) => id,
+            Err(resp) => return resp,
+        };
+        if self.service.cancel_job(id) {
+            Response::json(200, format!("{{\"job\":{id},\"cancel_requested\":true}}"))
+        } else {
+            Response::error(404, &format!("unknown job {id}"))
+        }
+    }
+
+    fn explain(&self, request: &Request) -> Response {
+        let Some(table) = request.query_value("table") else {
+            return Response::error(422, "GET /explain needs ?table=…");
+        };
+        let mut req = self.service.mine(table);
+        for (key, value) in &request.query {
+            macro_rules! parse {
+                ($ty:ty) => {
+                    match value.parse::<$ty>() {
+                        Ok(v) => v,
+                        Err(_) => {
+                            return Response::error(
+                                422,
+                                &format!("query parameter {key}={value:?} is invalid"),
+                            )
+                        }
+                    }
+                };
+            }
+            match key.as_str() {
+                "table" => {}
+                "k" => req = req.k(parse!(usize)),
+                "sample_size" => req = req.sample_size(parse!(usize)),
+                "variant" => req = req.variant(parse!(Variant)),
+                "full_cube" => {
+                    if parse!(bool) {
+                        req = req.full_cube();
+                    }
+                }
+                "two_sided" => {
+                    if parse!(bool) {
+                        req = req.two_sided();
+                    }
+                }
+                "seed" => req = req.seed(parse!(u64)),
+                "rules_per_iter" => req = req.rules_per_iter(parse!(usize)),
+                "column_groups" => req = req.column_groups(parse!(usize)),
+                "gain_sweep" => req = req.gain_sweep(parse!(bool)),
+                "columnar" => req = req.columnar(parse!(bool)),
+                "packed" => req = req.packed(parse!(bool)),
+                "target_kl" => req = req.target_kl(parse!(f64)),
+                "max_rules" => req = req.max_rules(parse!(usize)),
+                "epsilon" => req = req.epsilon(parse!(f64)),
+                other => {
+                    return Response::error(422, &format!("unknown query parameter {other:?}"))
+                }
+            }
+        }
+        let plan = match req.explain() {
+            Ok(plan) => plan,
+            Err(e) => return service_error(&e),
+        };
+        let packed_bits = match plan.packed_bits {
+            Some(bits) => bits.to_string(),
+            None => "null".to_string(),
+        };
+        Response::json(
+            200,
+            format!(
+                "{{\"table\":{},\"rows\":{},\"dims\":{},\"k\":{},\"gain_sweep\":{},\"columnar\":{},\
+                 \"packed_bits\":{},\"estimated_iterations\":{},\"estimated_stages\":{},\
+                 \"estimated_lca_pairs\":{},\"estimated_secs\":{},\"cached\":{},\"rendered\":{}}}",
+                json::json_string(&plan.table),
+                plan.rows,
+                plan.dims,
+                plan.k,
+                plan.gain_sweep,
+                plan.columnar,
+                packed_bits,
+                plan.estimated_iterations,
+                plan.estimated_stages,
+                plan.estimated_lca_pairs,
+                json::json_number(plan.estimated_secs),
+                plan.cached,
+                json::json_string(&plan.to_string()),
+            ),
+        )
+    }
+
+    fn stream(&self, table: &str, body: &[u8]) -> Response {
+        let parsed = match std::str::from_utf8(body)
+            .map_err(|_| ())
+            .and_then(|s| parse_json_with(s, self.config.json_limits).map_err(|_| ()))
+        {
+            Ok(v) => v,
+            Err(()) => return Response::error(400, "POST /stream needs a JSON body"),
+        };
+        let mut rows: Vec<(Vec<u32>, f64)> = Vec::new();
+        if let Some(list) = parsed.get("rows") {
+            let Some(list) = list.as_array() else {
+                return Response::error(422, "field \"rows\" must be an array");
+            };
+            for row in list {
+                let codes = row.get("codes").and_then(|c| c.as_array());
+                let measure = row.get("measure").and_then(|m| m.as_f64());
+                let (Some(codes), Some(measure)) = (codes, measure) else {
+                    return Response::error(
+                        422,
+                        "each row needs {\"codes\": [dictionary codes], \"measure\": number}",
+                    );
+                };
+                let mut decoded = Vec::with_capacity(codes.len());
+                for code in codes {
+                    match code.as_u64().filter(|c| *c < u64::from(u32::MAX)) {
+                        Some(c) => decoded.push(c as u32),
+                        None => return Response::error(422, "codes must be u32 dictionary codes"),
+                    }
+                }
+                rows.push((decoded, measure));
+            }
+        }
+        let mine_more = match parsed.get("mine_more") {
+            None => None,
+            Some(v) => match v.as_usize() {
+                Some(k) => Some(k),
+                None => {
+                    return Response::error(
+                        422,
+                        "field \"mine_more\" must be a nonnegative integer",
+                    )
+                }
+            },
+        };
+
+        let mut streams = self.streams.lock();
+        let handle = match streams.entry(table.to_string()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(slot) => match self.service.stream(table) {
+                Ok(handle) => slot.insert(handle),
+                Err(e) => return service_error(&e),
+            },
+        };
+        let borrowed: Vec<(&[u32], f64)> = rows.iter().map(|(r, m)| (r.as_slice(), *m)).collect();
+        if let Err(e) = handle.ingest(&borrowed) {
+            return service_error(&e);
+        }
+        let added = match mine_more {
+            Some(k) => match handle.mine_more(k) {
+                Ok(added) => added.len(),
+                Err(e) => return service_error(&e),
+            },
+            None => 0,
+        };
+        Response::json(
+            200,
+            format!(
+                "{{\"table\":{},\"rows\":{},\"rules\":{},\"added\":{added},\"kl\":{}}}",
+                json::json_string(table),
+                handle.len(),
+                handle.rules().len(),
+                json::json_number(handle.kl()),
+            ),
+        )
+    }
+
+    fn metrics_snapshot(&self) -> Response {
+        Response::json(
+            200,
+            format!(
+                "{{\"uptime_ms\":{},\"connections\":{},\"connections_rejected\":{},\
+                 \"read_failures\":{},\"endpoints\":{}}}",
+                self.started.elapsed().as_millis(),
+                self.metrics.connections.load(Ordering::Relaxed),
+                self.metrics.connections_rejected.load(Ordering::Relaxed),
+                self.metrics.read_failures.load(Ordering::Relaxed),
+                self.metrics.endpoints_json(),
+            ),
+        )
+    }
+
+    fn stats(&self) -> Response {
+        let stats = self.service.stats();
+        let active: Vec<String> = stats.active_jobs.iter().map(u64::to_string).collect();
+        Response::json(
+            200,
+            format!(
+                "{{\"cache_hits\":{},\"cache_misses\":{},\"jobs_executed\":{},\
+                 \"jobs_cancelled\":{},\"jobs_coalesced\":{},\"jobs_rejected\":{},\
+                 \"queue_depth\":{},\"cache_entries\":{},\"active_jobs\":[{}],\
+                 \"job_latency\":{}}}",
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.jobs_executed,
+                stats.jobs_cancelled,
+                stats.jobs_coalesced,
+                stats.jobs_rejected,
+                stats.queue_depth,
+                stats.cache_entries,
+                active.join(","),
+                stats.job_latency.to_json(),
+            ),
+        )
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("tables", &self.service.table_names())
+            .field("streams", &self.streams.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+    use crate::net::http::Request;
+
+    fn request(method: &str, target: &str, body: &[u8]) -> Request {
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (
+                p.to_string(),
+                q.split('&')
+                    .filter(|kv| !kv.is_empty())
+                    .map(|kv| match kv.split_once('=') {
+                        Some((k, v)) => (k.to_string(), v.to_string()),
+                        None => (kv.to_string(), String::new()),
+                    })
+                    .collect(),
+            ),
+            None => (target.to_string(), Vec::new()),
+        };
+        Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers: Vec::new(),
+            body: body.to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn router() -> Router {
+        let service = SirumService::in_memory().expect("service");
+        service.register_demo("flights").expect("demo");
+        Router::new(
+            service,
+            Arc::new(NetMetrics::new()),
+            RouterConfig::default(),
+        )
+    }
+
+    fn body_json(resp: &Response) -> JsonValue {
+        parse_json(std::str::from_utf8(&resp.body).expect("utf8 body")).expect("json body")
+    }
+
+    #[test]
+    fn health_tables_and_stats_respond() {
+        let r = router();
+        let (ep, resp) = r.handle(&request("GET", "/health", b""));
+        assert_eq!((ep, resp.status), (Endpoint::Health, 200));
+        let (_, resp) = r.handle(&request("GET", "/tables", b""));
+        let tables = body_json(&resp);
+        let names = tables
+            .get("tables")
+            .and_then(|t| t.as_array())
+            .expect("array");
+        assert_eq!(names.len(), 1);
+        assert_eq!(
+            names[0].get("name").and_then(|n| n.as_str()),
+            Some("flights")
+        );
+        let (_, resp) = r.handle(&request("GET", "/stats", b""));
+        assert_eq!(resp.status, 200);
+        assert!(body_json(&resp).get("job_latency").is_some());
+    }
+
+    #[test]
+    fn mine_round_trips_inline_and_matches_in_process() {
+        let r = router();
+        let (ep, resp) = r.handle(&request(
+            "POST",
+            "/mine",
+            br#"{"table":"flights","k":2,"sample_size":14}"#,
+        ));
+        assert_eq!((ep, resp.status), (Endpoint::Mine, 200));
+        let body = body_json(&resp);
+        assert_eq!(body.get("state").and_then(|s| s.as_str()), Some("done"));
+        let rules = body
+            .get("result")
+            .and_then(|r| r.get("rules"))
+            .and_then(|r| r.as_array())
+            .expect("rules");
+        assert_eq!(rules.len(), 3);
+        // Bit-identical to the in-process path: the wire result is the
+        // same JSON the service renders directly.
+        let table = r.service().table("flights").expect("table");
+        let out = r
+            .service()
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .run()
+            .expect("run");
+        let inline = json::mining_result_to_json(&out.result, &table);
+        let wire = body.get("result").expect("result").render();
+        assert_eq!(
+            parse_json(&inline).expect("json"),
+            parse_json(&wire).expect("json")
+        );
+    }
+
+    #[test]
+    fn mine_validates_its_body() {
+        let r = router();
+        for (body, status) in [
+            (&b"not json"[..], 400),
+            (br#"[1,2,3]"#, 422),
+            (br#"{"k":3}"#, 422),
+            (br#"{"table":"flights","kk":3}"#, 422),
+            (br#"{"table":"flights","k":"three"}"#, 422),
+            (br#"{"table":"nope"}"#, 404),
+            (br#"{"table":"flights","variant":"warp-speed"}"#, 422),
+            (br#"{"table":"flights","sample_size":0}"#, 400),
+        ] {
+            let (_, resp) = r.handle(&request("POST", "/mine", body));
+            assert_eq!(
+                resp.status,
+                status,
+                "body {:?} → {}",
+                String::from_utf8_lossy(body),
+                String::from_utf8_lossy(&resp.body)
+            );
+        }
+    }
+
+    #[test]
+    fn async_mine_jobs_are_pollable_and_cancellable() {
+        let r = router();
+        let (_, resp) = r.handle(&request(
+            "POST",
+            "/mine",
+            br#"{"table":"flights","k":1,"sample_size":14,"wait_ms":0}"#,
+        ));
+        assert_eq!(resp.status, 202, "{}", String::from_utf8_lossy(&resp.body));
+        let id = body_json(&resp)
+            .get("job")
+            .and_then(|j| j.as_u64())
+            .expect("job id");
+        // Poll with a wait until done.
+        let (_, resp) = r.handle(&request("GET", &format!("/jobs/{id}?wait_ms=30000"), b""));
+        assert_eq!(resp.status, 200);
+        let body = body_json(&resp);
+        assert_eq!(body.get("state").and_then(|s| s.as_str()), Some("done"));
+        assert!(body.get("result").is_some());
+        // Listed, cancellable (no-op once done), and unknown ids 404.
+        let (_, resp) = r.handle(&request("GET", "/jobs", b""));
+        assert!(body_json(&resp)
+            .get("jobs")
+            .and_then(|j| j.as_array())
+            .is_some());
+        let (_, resp) = r.handle(&request("DELETE", &format!("/jobs/{id}"), b""));
+        assert_eq!(resp.status, 200);
+        let (_, resp) = r.handle(&request("GET", "/jobs/999999", b""));
+        assert_eq!(resp.status, 404);
+        let (_, resp) = r.handle(&request("DELETE", "/jobs/999999", b""));
+        assert_eq!(resp.status, 404);
+        let (_, resp) = r.handle(&request("GET", "/jobs/bogus", b""));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn explain_routes_query_knobs() {
+        let r = router();
+        let (_, resp) = r.handle(&request(
+            "GET",
+            "/explain?table=flights&k=3&sample_size=14&gain_sweep=true",
+            b"",
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let body = body_json(&resp);
+        assert_eq!(body.get("rows").and_then(|v| v.as_u64()), Some(14));
+        assert_eq!(body.get("cached").and_then(|v| v.as_bool()), Some(false));
+        let (_, resp) = r.handle(&request("GET", "/explain?table=flights&k=zap", b""));
+        assert_eq!(resp.status, 422);
+        let (_, resp) = r.handle(&request("GET", "/explain?table=flights&warp=1", b""));
+        assert_eq!(resp.status, 422);
+        let (_, resp) = r.handle(&request("GET", "/explain", b""));
+        assert_eq!(resp.status, 422);
+        let (_, resp) = r.handle(&request("GET", "/explain?table=nope", b""));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn tables_register_and_unregister_over_the_wire() {
+        let r = router();
+        let csv = b"city,color,n\nparis,red,3\nparis,blue,4\nlyon,red,5\n";
+        let (_, resp) = r.handle(&request("POST", "/tables/trips", csv));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let body = body_json(&resp);
+        assert_eq!(body.get("rows").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(body.get("dims").and_then(|v| v.as_u64()), Some(2));
+        // Mining the uploaded table works end to end.
+        let (_, resp) = r.handle(&request(
+            "POST",
+            "/mine",
+            br#"{"table":"trips","k":1,"sample_size":3}"#,
+        ));
+        assert_eq!(resp.status, 200);
+        // Bad uploads are typed errors, not panics.
+        let (_, resp) = r.handle(&request("POST", "/tables/bad", b"\xff\xfe garbage"));
+        assert_eq!(resp.status, 400);
+        let (_, resp) = r.handle(&request("POST", "/tables/bad", b"only,a,header\n"));
+        assert_eq!(resp.status, 400);
+        let (_, resp) = r.handle(&request("POST", "/tables?other=1", csv));
+        assert_eq!(resp.status, 422);
+        // Unregister, then the table is gone.
+        let (_, resp) = r.handle(&request("DELETE", "/tables/trips", b""));
+        assert_eq!(resp.status, 200);
+        let (_, resp) = r.handle(&request("DELETE", "/tables/trips", b""));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn stream_ingests_and_reports_model_state() {
+        let r = router();
+        // Codes straight from the demo table's first row.
+        let table = r.service().table("flights").expect("table");
+        let row: Vec<u32> = table.row(0).to_vec();
+        let body = format!(
+            "{{\"rows\":[{{\"codes\":[{},{},{}],\"measure\":5.0}}],\"mine_more\":1}}",
+            row[0], row[1], row[2]
+        );
+        let (ep, resp) = r.handle(&request("POST", "/stream/flights", body.as_bytes()));
+        assert_eq!((ep, resp.status), (Endpoint::Stream, 200));
+        let parsed = body_json(&resp);
+        assert_eq!(parsed.get("rows").and_then(|v| v.as_u64()), Some(15));
+        // Hostile stream bodies are typed errors.
+        let (_, resp) = r.handle(&request("POST", "/stream/flights", b"{\"rows\":[{}]}"));
+        assert_eq!(resp.status, 422);
+        let (_, resp) = r.handle(&request("POST", "/stream/nope", b"{}"));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_typed() {
+        let r = router();
+        let (ep, resp) = r.handle(&request("GET", "/warp", b""));
+        assert_eq!((ep, resp.status), (Endpoint::Other, 404));
+        let (ep, resp) = r.handle(&request("PATCH", "/tables", b""));
+        assert_eq!((ep, resp.status), (Endpoint::Other, 405));
+        let (_, resp) = r.handle(&request("POST", "/health", b""));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_endpoint_counters() {
+        let r = router();
+        let (ep, resp) = r.handle(&request("GET", "/metrics", b""));
+        assert_eq!((ep, resp.status), (Endpoint::Metrics, 200));
+        let body = body_json(&resp);
+        assert!(body.get("endpoints").and_then(|e| e.get("mine")).is_some());
+    }
+}

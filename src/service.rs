@@ -40,6 +40,7 @@
 //! ownership diagram and the session-vs-service migration table.
 
 use crate::json;
+use crate::net::metrics::{Histogram, LatencySummary};
 use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use sirum_core::miner::IterationObserver;
@@ -58,6 +59,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // Request specification (shared with the session API)
@@ -485,32 +487,61 @@ impl WorkerPool {
         }
     }
 
+    /// Queue a job, blocking while the queue is at capacity (backpressure).
     fn submit(&self, job: Job) -> Result<(), SirumError> {
-        let mut state = self.state.lock();
-        let state = state.get_or_insert_with(|| {
-            let (sender, receiver) = channel::bounded::<Job>(self.queue_capacity);
-            let handles = (0..self.workers)
-                .map(|i| {
-                    let receiver = receiver.clone();
-                    std::thread::Builder::new()
-                        .name(format!("sirum-worker-{i}"))
-                        .spawn(move || {
-                            while let Ok(job) = receiver.recv() {
-                                job();
-                            }
-                        })
-                })
-                .filter_map(Result::ok)
-                .collect();
-            PoolState { sender, handles }
-        });
-        if state.handles.is_empty() {
-            return Err(SirumError::service("worker pool failed to spawn threads"));
+        self.submit_impl(job, false)
+    }
+
+    /// Queue a job without blocking: a full queue returns
+    /// [`SirumError::Overloaded`] immediately (admission control — the wire
+    /// front end maps this to `429 Too Many Requests` and never stalls its
+    /// accept loop on a saturated pool).
+    fn try_submit(&self, job: Job) -> Result<(), SirumError> {
+        self.submit_impl(job, true)
+    }
+
+    fn submit_impl(&self, job: Job, nonblocking: bool) -> Result<(), SirumError> {
+        // Clone the sender out of the state lock before sending so a
+        // blocking `submit` parked on a full queue cannot stall a
+        // concurrent `try_submit` behind the mutex.
+        let sender = {
+            let mut state = self.state.lock();
+            let state = state.get_or_insert_with(|| {
+                let (sender, receiver) = channel::bounded::<Job>(self.queue_capacity);
+                let handles = (0..self.workers)
+                    .map(|i| {
+                        let receiver = receiver.clone();
+                        std::thread::Builder::new()
+                            .name(format!("sirum-worker-{i}"))
+                            .spawn(move || {
+                                while let Ok(job) = receiver.recv() {
+                                    job();
+                                }
+                            })
+                    })
+                    .filter_map(Result::ok)
+                    .collect();
+                PoolState { sender, handles }
+            });
+            if state.handles.is_empty() {
+                return Err(SirumError::service("worker pool failed to spawn threads"));
+            }
+            state.sender.clone()
+        };
+        if nonblocking {
+            sender.try_send(job).map_err(|e| match e {
+                channel::TrySendError::Full(_) => SirumError::Overloaded {
+                    queue_capacity: self.queue_capacity,
+                },
+                channel::TrySendError::Disconnected(_) => {
+                    SirumError::service("worker pool has shut down")
+                }
+            })
+        } else {
+            sender
+                .send(job)
+                .map_err(|_| SirumError::service("worker pool has shut down"))
         }
-        state
-            .sender
-            .send(job)
-            .map_err(|_| SirumError::service("worker pool has shut down"))
     }
 }
 
@@ -540,11 +571,78 @@ struct ServiceCore {
     /// completed by the leader instead of re-executing (no thundering herd
     /// on a cold cache).
     pending: Mutex<HashMap<RequestKey, Vec<Arc<JobShared>>>>,
+    /// Recently submitted jobs by id, for out-of-band status queries and
+    /// cancellation (the HTTP front end's `GET/DELETE /jobs/{id}`).
+    /// Bounded: once full, finished records are evicted oldest-first.
+    jobs: Mutex<JobRegistry>,
+    /// Job ids are 1-based and monotonically increasing.
+    next_job_id: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     jobs_executed: AtomicU64,
     jobs_cancelled: AtomicU64,
     jobs_coalesced: AtomicU64,
+    jobs_rejected: AtomicU64,
+    /// Jobs accepted into the pool queue but not yet started.
+    queue_depth: AtomicU64,
+    /// Wall-clock latency of actual mining executions (cache hits and
+    /// coalesced deliveries are not samples — nothing executed).
+    job_latency: Histogram,
+}
+
+/// One registry entry per submitted job: enough shared state to report
+/// status, peek the outcome repeatedly and request cancellation, without
+/// keeping the handle alive.
+struct JobRecord {
+    table: String,
+    shared: Arc<JobShared>,
+    token: CancellationToken,
+}
+
+impl JobRecord {
+    fn is_pending(&self) -> bool {
+        matches!(*self.shared.lock(), JobSlot::Pending)
+    }
+}
+
+/// Bounded id→record map. Ids are monotonic, so `BTreeMap` iteration order
+/// is submission order and eviction scans oldest-first.
+struct JobRegistry {
+    capacity: usize,
+    entries: BTreeMap<u64, JobRecord>,
+}
+
+impl JobRegistry {
+    fn new(capacity: usize) -> Self {
+        JobRegistry {
+            capacity,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn insert(&mut self, id: u64, record: JobRecord) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            // Prefer evicting a finished record; a registry saturated with
+            // in-flight jobs drops its oldest record outright (the job
+            // itself still runs — it merely stops being queryable by id).
+            let victim = self
+                .entries
+                .iter()
+                .find(|(_, r)| !r.is_pending())
+                .map(|(id, _)| *id)
+                .or_else(|| self.entries.keys().next().copied());
+            match victim {
+                Some(id) => {
+                    self.entries.remove(&id);
+                }
+                None => break,
+            }
+        }
+        self.entries.insert(id, record);
+    }
 }
 
 impl ServiceCore {
@@ -580,7 +678,9 @@ impl ServiceCore {
         if let Some(observer) = observer {
             miner = miner.with_observer(move |event| observer(event));
         }
+        let started = Instant::now();
         let result = miner.try_mine_prepared(prepared, prior)?;
+        self.job_latency.record(started.elapsed());
         self.jobs_executed.fetch_add(1, Ordering::Relaxed);
         if result.cancelled {
             self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
@@ -596,6 +696,25 @@ impl ServiceCore {
             result,
             from_cache: false,
         })
+    }
+
+    /// Record a submitted job in the bounded registry so it stays
+    /// queryable/cancellable by id after its handle is gone.
+    fn register_job(
+        &self,
+        id: u64,
+        table: &str,
+        shared: &Arc<JobShared>,
+        token: &CancellationToken,
+    ) {
+        self.jobs.lock().insert(
+            id,
+            JobRecord {
+                table: table.to_string(),
+                shared: Arc::clone(shared),
+                token: token.clone(),
+            },
+        );
     }
 }
 
@@ -630,6 +749,7 @@ pub struct ServiceBuilder {
     pool_workers: usize,
     queue_capacity: usize,
     cache_capacity: usize,
+    job_registry_capacity: usize,
 }
 
 impl Default for ServiceBuilder {
@@ -639,6 +759,7 @@ impl Default for ServiceBuilder {
             pool_workers: 2,
             queue_capacity: 64,
             cache_capacity: 64,
+            job_registry_capacity: 256,
         }
     }
 }
@@ -703,6 +824,14 @@ impl ServiceBuilder {
         self
     }
 
+    /// Bound on recently submitted jobs kept queryable by id via
+    /// [`SirumService::job_status`] (default 256; 0 disables the registry).
+    /// Once full, finished records are evicted oldest-first.
+    pub fn job_registry_capacity(mut self, capacity: usize) -> Self {
+        self.job_registry_capacity = capacity;
+        self
+    }
+
     /// Validate the engine configuration, stand up the engine and return
     /// the service.
     pub fn build(self) -> Result<SirumService, SirumError> {
@@ -712,6 +841,7 @@ impl ServiceBuilder {
             self.pool_workers,
             self.queue_capacity,
             self.cache_capacity,
+            self.job_registry_capacity,
         ))
     }
 }
@@ -736,6 +866,7 @@ impl SirumService {
             defaults.pool_workers,
             defaults.queue_capacity,
             defaults.cache_capacity,
+            defaults.job_registry_capacity,
         )
     }
 
@@ -744,6 +875,7 @@ impl SirumService {
         pool_workers: usize,
         queue_capacity: usize,
         cache_capacity: usize,
+        job_registry_capacity: usize,
     ) -> Self {
         SirumService {
             inner: Arc::new(ServiceInner {
@@ -751,11 +883,16 @@ impl SirumService {
                     engine,
                     cache: Mutex::new(ResultCache::new(cache_capacity)),
                     pending: Mutex::new(HashMap::new()),
+                    jobs: Mutex::new(JobRegistry::new(job_registry_capacity)),
+                    next_job_id: AtomicU64::new(0),
                     cache_hits: AtomicU64::new(0),
                     cache_misses: AtomicU64::new(0),
                     jobs_executed: AtomicU64::new(0),
                     jobs_cancelled: AtomicU64::new(0),
                     jobs_coalesced: AtomicU64::new(0),
+                    jobs_rejected: AtomicU64::new(0),
+                    queue_depth: AtomicU64::new(0),
+                    job_latency: Histogram::new(),
                 }),
                 catalog: RwLock::new(BTreeMap::new()),
                 pool: WorkerPool::new(pool_workers, queue_capacity),
@@ -888,6 +1025,7 @@ impl SirumService {
             service: self,
             spec: RequestSpec::new(table),
             observer: None,
+            deadline: None,
         }
     }
 
@@ -947,16 +1085,103 @@ impl SirumService {
         })
     }
 
+    // -- jobs ---------------------------------------------------------------
+
+    /// Ids of every job the bounded registry still remembers, in
+    /// submission order (oldest first).
+    pub fn job_ids(&self) -> Vec<u64> {
+        self.inner
+            .core
+            .jobs
+            .lock()
+            .entries
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Point-in-time status of a registered job; `None` when the id is
+    /// unknown (never submitted, or evicted from the bounded registry).
+    pub fn job_status(&self, id: u64) -> Option<JobStatus> {
+        let jobs = self.inner.core.jobs.lock();
+        let record = jobs.entries.get(&id)?;
+        let state = match &*record.shared.lock() {
+            JobSlot::Pending => JobState::Queued,
+            JobSlot::Done(Ok(out)) => JobState::Done {
+                from_cache: out.from_cache,
+                cancelled: out.result.cancelled,
+            },
+            JobSlot::Done(Err(e)) => JobState::Failed {
+                reason: e.to_string(),
+            },
+            JobSlot::Taken => JobState::Consumed,
+        };
+        Some(JobStatus {
+            id,
+            table: record.table.clone(),
+            state,
+            cancel_requested: record.token.is_cancelled(),
+        })
+    }
+
+    /// Non-consuming read of a registered job's outcome: `None` while the
+    /// job is still queued/running (or the id is unknown — disambiguate
+    /// with [`Self::job_status`]); repeatable once finished, unlike
+    /// [`JobHandle::wait`]. A job whose outcome was consumed through its
+    /// handle reports [`SirumError::Service`].
+    pub fn job_output(&self, id: u64) -> Option<Result<JobOutput, SirumError>> {
+        let shared = {
+            let jobs = self.inner.core.jobs.lock();
+            Arc::clone(&jobs.entries.get(&id)?.shared)
+        };
+        shared.peek()
+    }
+
+    /// Like [`Self::job_output`], but block up to `timeout` for the job to
+    /// finish. `None` on timeout or unknown id.
+    pub fn wait_job(&self, id: u64, timeout: Duration) -> Option<Result<JobOutput, SirumError>> {
+        let shared = {
+            let jobs = self.inner.core.jobs.lock();
+            Arc::clone(&jobs.entries.get(&id)?.shared)
+        };
+        shared.peek_within(timeout)
+    }
+
+    /// Request cooperative cancellation of a registered job by id; returns
+    /// whether the id was known. Same semantics as [`JobHandle::cancel`].
+    pub fn cancel_job(&self, id: u64) -> bool {
+        let jobs = self.inner.core.jobs.lock();
+        match jobs.entries.get(&id) {
+            Some(record) => {
+                record.token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Point-in-time serving statistics.
     pub fn stats(&self) -> ServiceStats {
         let core = &self.inner.core;
+        let active_jobs: Vec<u64> = {
+            let jobs = core.jobs.lock();
+            jobs.entries
+                .iter()
+                .filter(|(_, record)| record.is_pending())
+                .map(|(id, _)| *id)
+                .collect()
+        };
         ServiceStats {
             cache_hits: core.cache_hits.load(Ordering::Relaxed),
             cache_misses: core.cache_misses.load(Ordering::Relaxed),
             jobs_executed: core.jobs_executed.load(Ordering::Relaxed),
             jobs_cancelled: core.jobs_cancelled.load(Ordering::Relaxed),
             jobs_coalesced: core.jobs_coalesced.load(Ordering::Relaxed),
+            jobs_rejected: core.jobs_rejected.load(Ordering::Relaxed),
+            queue_depth: core.queue_depth.load(Ordering::Relaxed),
             cache_entries: core.cache.lock().len(),
+            active_jobs,
+            job_latency: core.job_latency.snapshot(),
         }
     }
 }
@@ -972,7 +1197,7 @@ impl std::fmt::Debug for SirumService {
 }
 
 /// Counters describing how the service has been serving requests.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests answered from the result cache without re-execution.
     pub cache_hits: u64,
@@ -985,8 +1210,55 @@ pub struct ServiceStats {
     /// Submitted jobs served by coalescing onto an identical in-flight
     /// execution instead of running themselves.
     pub jobs_coalesced: u64,
+    /// Jobs shed by non-blocking admission ([`ServiceRequest::try_submit`]
+    /// against a full queue → [`SirumError::Overloaded`]).
+    pub jobs_rejected: u64,
+    /// Jobs accepted into the pool queue but not yet started.
+    pub queue_depth: u64,
     /// Results currently held by the cache.
     pub cache_entries: usize,
+    /// Ids of registered jobs still queued or running, oldest first.
+    pub active_jobs: Vec<u64>,
+    /// Latency distribution of actual mining executions (cache hits and
+    /// coalesced deliveries are not samples).
+    pub job_latency: LatencySummary,
+}
+
+/// Point-in-time status of a submitted job, from
+/// [`SirumService::job_status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// The job's id ([`JobHandle::id`]).
+    pub id: u64,
+    /// The table the request targeted.
+    pub table: String,
+    /// Where the job is in its lifecycle.
+    pub state: JobState,
+    /// Whether cooperative cancellation has been requested (by handle,
+    /// [`SirumService::cancel_job`], or an expired deadline).
+    pub cancel_requested: bool,
+}
+
+/// A job's lifecycle state within [`JobStatus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Still queued or running.
+    Queued,
+    /// Finished successfully; the outcome is readable via
+    /// [`SirumService::job_output`].
+    Done {
+        /// The result was served from the cache (or a coalesced leader).
+        from_cache: bool,
+        /// The run ended via cooperative cancellation (partial result).
+        cancelled: bool,
+    },
+    /// Finished with an error.
+    Failed {
+        /// The error, rendered.
+        reason: String,
+    },
+    /// The outcome was taken through the job's own [`JobHandle`].
+    Consumed,
 }
 
 // ---------------------------------------------------------------------------
@@ -1000,6 +1272,10 @@ pub struct ServiceRequest<'s> {
     service: &'s SirumService,
     spec: RequestSpec,
     observer: Option<Box<IterationObserver>>,
+    /// Per-request execution deadline. Deliberately *not* part of
+    /// [`RequestSpec`]: the deadline must never split the cache key (two
+    /// requests differing only in patience execute identically).
+    deadline: Option<Duration>,
 }
 
 impl_request_setters!(ServiceRequest);
@@ -1053,18 +1329,48 @@ impl ServiceRequest<'_> {
     ///   request cannot execute.
     /// * [`SirumError::Service`] — the worker pool is shut down.
     pub fn submit(self) -> Result<JobHandle, SirumError> {
+        self.submit_inner(false)
+    }
+
+    /// Like [`Self::submit`], but with **non-blocking admission**: when the
+    /// job queue is at capacity the request is shed immediately with
+    /// [`SirumError::Overloaded`] instead of blocking the caller — the wire
+    /// front end's path (mapped to `429 Too Many Requests`). Cache hits and
+    /// coalesced followers bypass admission entirely: they consume no queue
+    /// slot, so they succeed even against a saturated pool.
+    pub fn try_submit(self) -> Result<JobHandle, SirumError> {
+        self.submit_inner(true)
+    }
+
+    /// Cancel the job cooperatively once `timeout` of wall-clock time has
+    /// elapsed after submission (the run then completes with a *partial*
+    /// result, [`MiningResult::cancelled`] set, exactly like
+    /// [`JobHandle::cancel`]). Not part of the cache key: a request
+    /// differing only in patience is still the same request.
+    pub fn deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
+        self
+    }
+
+    fn submit_inner(self, nonblocking: bool) -> Result<JobHandle, SirumError> {
         let (entry, config) = self.resolve()?;
         let key = self.cache_key(&entry, &config);
         let core = Arc::clone(&self.service.inner.core);
         let token = CancellationToken::new();
+        if let Some(timeout) = self.deadline {
+            token.cancel_after(timeout);
+        }
         let shared = Arc::new(JobShared::new());
+        let id = core.next_job_id.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(key) = &key {
             if let Some(hit) = core.cache_lookup(key) {
                 shared.set(Ok(JobOutput {
                     result: hit,
                     from_cache: true,
                 }));
+                core.register_job(id, &self.spec.table, &shared, &token);
                 return Ok(JobHandle {
+                    id,
                     shared,
                     token,
                     delivered: false,
@@ -1077,7 +1383,10 @@ impl ServiceRequest<'_> {
             if let Some(waiters) = pending.get_mut(key) {
                 waiters.push(Arc::clone(&shared));
                 core.jobs_coalesced.fetch_add(1, Ordering::Relaxed);
+                drop(pending);
+                core.register_job(id, &self.spec.table, &shared, &token);
                 return Ok(JobHandle {
+                    id,
                     shared,
                     token,
                     delivered: false,
@@ -1092,6 +1401,7 @@ impl ServiceRequest<'_> {
         let leader_key = key.clone();
         let leader_core = Arc::clone(&core);
         let job: Job = Box::new(move || {
+            core.queue_depth.fetch_sub(1, Ordering::Relaxed);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 core.execute(
                     &entry.prepared,
@@ -1132,7 +1442,18 @@ impl ServiceRequest<'_> {
             }
             job_shared.set(outcome);
         });
-        if let Err(e) = self.service.inner.pool.submit(job) {
+        leader_core.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let pool = &self.service.inner.pool;
+        let submitted = if nonblocking {
+            pool.try_submit(job)
+        } else {
+            pool.submit(job)
+        };
+        if let Err(e) = submitted {
+            leader_core.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            if matches!(e, SirumError::Overloaded { .. }) {
+                leader_core.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            }
             // Leadership was claimed but the job never queued: release the
             // key AND fail any follower that already coalesced onto it
             // (dropping their JobShared unset would hang their wait()).
@@ -1146,7 +1467,9 @@ impl ServiceRequest<'_> {
             }
             return Err(e);
         }
+        leader_core.register_job(id, &self.spec.table, &shared, &token);
         Ok(JobHandle {
+            id,
             shared,
             token,
             delivered: false,
@@ -1168,12 +1491,16 @@ impl ServiceRequest<'_> {
                 });
             }
         }
+        let token = CancellationToken::new();
+        if let Some(timeout) = self.deadline {
+            token.cancel_after(timeout);
+        }
         core.execute(
             &entry.prepared,
             config,
             &self.spec.prior,
             self.observer,
-            CancellationToken::new(),
+            token,
             key,
         )
     }
@@ -1260,6 +1587,56 @@ impl JobShared {
         *self.lock() = JobSlot::Done(outcome);
         self.done.notify_all();
     }
+
+    /// Non-consuming read: clone a finished outcome, leaving the slot
+    /// `Done` so later peeks (and the handle's own `wait`) still see it.
+    /// Errors are not clonable, so a failed job peeks as a re-rendered
+    /// [`SirumError::Service`]; `None` while pending.
+    fn peek(&self) -> Option<Result<JobOutput, SirumError>> {
+        match &*self.lock() {
+            JobSlot::Pending => None,
+            JobSlot::Done(Ok(output)) => Some(Ok(output.clone())),
+            JobSlot::Done(Err(e)) => Some(Err(SirumError::service(format!("job failed: {e}")))),
+            JobSlot::Taken => Some(Err(SirumError::service(
+                "job result was already taken through its handle",
+            ))),
+        }
+    }
+
+    /// [`Self::peek`], blocking up to `timeout` for the job to finish;
+    /// `None` on timeout.
+    fn peek_within(&self, timeout: Duration) -> Option<Result<JobOutput, SirumError>> {
+        // `Instant + Duration` can overflow-panic on absurd timeouts; an
+        // unrepresentable deadline just re-checks in hour-long waits.
+        let deadline = Instant::now().checked_add(timeout);
+        let mut slot = self.lock();
+        loop {
+            match &*slot {
+                JobSlot::Pending => {}
+                JobSlot::Done(Ok(output)) => return Some(Ok(output.clone())),
+                JobSlot::Done(Err(e)) => {
+                    return Some(Err(SirumError::service(format!("job failed: {e}"))))
+                }
+                JobSlot::Taken => {
+                    return Some(Err(SirumError::service(
+                        "job result was already taken through its handle",
+                    )))
+                }
+            }
+            let remaining = match deadline {
+                Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+                None => Duration::from_secs(3600),
+            };
+            if remaining.is_zero() {
+                return None;
+            }
+            slot = self
+                .done
+                .wait_timeout(slot, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
 }
 
 /// Handle to a submitted mining job (see [`ServiceRequest::submit`]).
@@ -1285,12 +1662,21 @@ impl JobShared {
 /// the next iteration boundary and the job completes *successfully* with a
 /// partial result whose [`MiningResult::cancelled`] flag is set.
 pub struct JobHandle {
+    id: u64,
     shared: Arc<JobShared>,
     token: CancellationToken,
     delivered: bool,
 }
 
 impl JobHandle {
+    /// The job's service-wide id (1-based, monotonically increasing).
+    /// Usable out-of-band through [`SirumService::job_status`],
+    /// [`SirumService::job_output`] and [`SirumService::cancel_job`] while
+    /// the bounded registry remembers the job.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Request cooperative cancellation. Idempotent; a job that already
     /// finished is unaffected, a queued job stops before its first mining
     /// iteration, a running job stops at the next iteration boundary. The
@@ -1326,6 +1712,44 @@ impl JobHandle {
                 None
             }
             JobSlot::Taken => None,
+        }
+    }
+
+    /// Block up to `timeout` for the job to finish: `None` on timeout (the
+    /// job keeps running and the handle stays usable), the outcome exactly
+    /// once when it finishes within the window (like [`Self::try_poll`],
+    /// a delivered outcome is not delivered again).
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<JobOutput, SirumError>> {
+        let deadline = Instant::now().checked_add(timeout);
+        let mut slot = self.shared.lock();
+        loop {
+            match std::mem::replace(&mut *slot, JobSlot::Taken) {
+                JobSlot::Done(outcome) => {
+                    self.delivered = true;
+                    return Some(outcome);
+                }
+                JobSlot::Taken => {
+                    return Some(Err(SirumError::service(
+                        "job result was already taken by try_poll()",
+                    )))
+                }
+                JobSlot::Pending => {
+                    *slot = JobSlot::Pending;
+                }
+            }
+            let remaining = match deadline {
+                Some(deadline) => deadline.saturating_duration_since(Instant::now()),
+                None => Duration::from_secs(3600),
+            };
+            if remaining.is_zero() {
+                return None;
+            }
+            slot = self
+                .shared
+                .done
+                .wait_timeout(slot, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
         }
     }
 
@@ -1368,6 +1792,7 @@ impl JobHandle {
 impl std::fmt::Debug for JobHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobHandle")
+            .field("id", &self.id)
             .field("finished", &self.is_finished())
             .field("cancel_requested", &self.token.is_cancelled())
             .finish()
@@ -2227,6 +2652,214 @@ mod tests {
         assert!(added.len() <= 2);
         assert!(stream.kl().is_finite());
         assert!(!stream.render_rules().is_empty());
+    }
+
+    /// An observer that parks its job until `release` flips — used to hold
+    /// a pool worker deterministically. Observer requests are uncacheable,
+    /// so they never coalesce with each other.
+    fn parked(
+        release: &Arc<std::sync::atomic::AtomicBool>,
+    ) -> impl Fn(&IterationEvent) -> IterationDecision + Send + Sync + 'static {
+        let release = Arc::clone(release);
+        move |_| {
+            while !release.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            IterationDecision::Continue
+        }
+    }
+
+    #[test]
+    fn try_submit_sheds_load_with_overloaded_while_submit_would_queue() {
+        let service = SirumService::builder()
+            .pool_workers(1)
+            .queue_capacity(1)
+            .build()
+            .unwrap();
+        service.register_demo("flights").unwrap();
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Occupy the single worker, then wait until the job has observably
+        // left the queue (its first act is decrementing `queue_depth`).
+        let running = service
+            .mine("flights")
+            .k(1)
+            .sample_size(14)
+            .on_iteration(parked(&release))
+            .submit()
+            .unwrap();
+        while service.stats().queue_depth > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Fill the single queue slot behind the parked worker.
+        let queued = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .on_iteration(parked(&release))
+            .try_submit()
+            .unwrap();
+        // Queue is full: the next non-blocking admission must shed.
+        match service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .on_iteration(parked(&release))
+            .try_submit()
+        {
+            Err(SirumError::Overloaded { queue_capacity }) => assert_eq!(queue_capacity, 1),
+            other => panic!("expected Overloaded, got {:?}", other.map(|h| h.id())),
+        }
+        let stats = service.stats();
+        assert!(stats.jobs_rejected >= 1);
+        assert_eq!(stats.queue_depth, 1, "one job still queued");
+        assert!(!stats.active_jobs.is_empty());
+        release.store(true, Ordering::SeqCst);
+        running.wait().unwrap();
+        queued.wait().unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_cancels_before_the_first_iteration() {
+        let service = flights_service();
+        let out = service
+            .mine("flights")
+            .k(3)
+            .sample_size(14)
+            .deadline(Duration::ZERO)
+            .submit()
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(out.result.cancelled, "expired deadline → partial result");
+        assert_eq!(out.result.rules.len(), 1, "seed rule only");
+        assert_eq!(service.stats().jobs_cancelled, 1);
+        // A generous deadline does not perturb the run — and, crucially,
+        // does not split the cache key: the identical request without a
+        // deadline seeds the cache for the deadline-carrying one.
+        let full = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        assert!(!full.result.cancelled);
+        let patient = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .deadline(Duration::from_secs(3600))
+            .submit()
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(patient.from_cache, "deadline must not split the cache key");
+        assert!(Arc::ptr_eq(&full.result, &patient.result));
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_delivers_exactly_once() {
+        let service = SirumService::builder().pool_workers(1).build().unwrap();
+        service.register_demo("flights").unwrap();
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handle = service
+            .mine("flights")
+            .k(1)
+            .sample_size(14)
+            .on_iteration(parked(&release))
+            .submit()
+            .unwrap();
+        assert!(
+            handle.wait_timeout(Duration::from_millis(20)).is_none(),
+            "parked job must time out"
+        );
+        release.store(true, Ordering::SeqCst);
+        let out = handle
+            .wait_timeout(Duration::from_secs(30))
+            .expect("released job finishes well within the window")
+            .unwrap();
+        assert_eq!(out.result.rules.len(), 2);
+        // Delivered exactly once, like try_poll.
+        assert!(handle.try_poll().is_none());
+    }
+
+    #[test]
+    fn job_registry_reports_status_output_and_cancellation() {
+        let service = flights_service();
+        let handle = service
+            .mine("flights")
+            .k(2)
+            .sample_size(14)
+            .submit()
+            .unwrap();
+        let id = handle.id();
+        assert!(id >= 1);
+        assert!(service.job_ids().contains(&id));
+        // Out-of-band wait + repeatable peeks.
+        let out = service
+            .wait_job(id, Duration::from_secs(30))
+            .expect("job finishes")
+            .unwrap();
+        assert_eq!(out.result.rules.len(), 3);
+        let again = service.job_output(id).expect("still peekable").unwrap();
+        assert!(Arc::ptr_eq(&out.result, &again.result));
+        let status = service.job_status(id).unwrap();
+        assert_eq!(status.table, "flights");
+        assert_eq!(
+            status.state,
+            JobState::Done {
+                from_cache: false,
+                cancelled: false
+            }
+        );
+        assert!(!status.cancel_requested);
+        // The handle's own consuming wait still works after peeks…
+        let owned = handle.wait().unwrap();
+        assert!(Arc::ptr_eq(&owned.result, &out.result));
+        // …after which the registry reports the slot as consumed.
+        assert_eq!(service.job_status(id).unwrap().state, JobState::Consumed);
+        assert!(matches!(
+            service.job_output(id),
+            Some(Err(SirumError::Service { .. }))
+        ));
+        // Unknown ids are distinguishable.
+        assert!(service.job_status(id + 999).is_none());
+        assert!(!service.cancel_job(id + 999));
+        assert!(
+            service.cancel_job(id),
+            "known id is cancellable (no-op: done)"
+        );
+    }
+
+    #[test]
+    fn job_registry_evicts_finished_records_oldest_first() {
+        let service = SirumService::builder()
+            .job_registry_capacity(2)
+            .build()
+            .unwrap();
+        service.register_demo("flights").unwrap();
+        let mut ids = Vec::new();
+        for k in 1..=3 {
+            let handle = service
+                .mine("flights")
+                .k(k)
+                .sample_size(14)
+                .submit()
+                .unwrap();
+            ids.push(handle.id());
+            handle.wait().unwrap();
+        }
+        let remembered = service.job_ids();
+        assert_eq!(remembered.len(), 2);
+        assert!(!remembered.contains(&ids[0]), "oldest finished evicted");
+        assert!(remembered.contains(&ids[2]));
+    }
+
+    #[test]
+    fn stats_expose_queue_depth_active_jobs_and_latency() {
+        let service = flights_service();
+        let before = service.stats();
+        assert_eq!(before.job_latency.count, 0);
+        assert!(before.active_jobs.is_empty());
+        let _ = service.mine("flights").k(2).sample_size(14).run().unwrap();
+        let after = service.stats();
+        assert_eq!(after.job_latency.count, 1);
+        assert!(after.job_latency.max_nanos > 0);
+        assert_eq!(after.queue_depth, 0);
     }
 
     #[test]

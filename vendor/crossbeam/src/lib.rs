@@ -74,6 +74,24 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is handed back.
+        Full(T),
+        /// Every [`Receiver`] has been dropped; the message is handed back.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// every [`Sender`] has been dropped.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +128,17 @@ pub mod channel {
             self.0
                 .send(value)
                 .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Send `value` without blocking: a channel at capacity returns
+        /// [`TrySendError::Full`] immediately instead of waiting for a
+        /// slot (admission control — the caller decides whether to shed
+        /// the load or retry).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -220,6 +249,24 @@ mod channel_tests {
         assert_eq!(rx.try_recv(), Ok(1));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected_without_blocking() {
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(1).unwrap();
+        match tx.try_send(2) {
+            Err(channel::TrySendError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+        drop(rx);
+        match tx.try_send(4) {
+            Err(channel::TrySendError::Disconnected(v)) => assert_eq!(v, 4),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 
     #[test]
