@@ -125,7 +125,8 @@ pub fn mine_centralized(table: &Table, cfg: &CentralizedConfig) -> CentralizedRe
 
     for _ in 0..cfg.k {
         // Candidate generation: LCA(s, D) and all ancestors, aggregated.
-        let lcas = lca_aggregates(table, &m_prime, backend.mhat(), index.rows());
+        let lcas =
+            lca_aggregates(table, &m_prime, backend.mhat(), index.rows(), None).unwrap_or_default();
         let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
         for (rule, agg) in &lcas {
             for anc in ancestors(rule) {

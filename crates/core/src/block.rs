@@ -37,7 +37,7 @@ impl TupleBlock {
     /// # Panics
     /// Panics if the measure window is not row-aligned with the view.
     pub fn seed(dims: FrameView, m: ColSlice<f64>) -> TupleBlock {
-        // lint:allow-assert — constructor contract: both windows come from the same partitioning
+        // lint:allow(SL001) — constructor contract: both windows come from the same partitioning
         assert_eq!(dims.len(), m.len(), "m′ window must align with the view");
         let n = dims.len();
         TupleBlock {

@@ -2,8 +2,10 @@
 //! reference), sample-based candidate pruning via LCAs (§3.1.1), and the
 //! inverted-index fast pruning of §4.2.
 
+use crate::cancel::CancellationToken;
 use crate::lattice::ancestors;
 use crate::rule::{PackedCode, PackedMasks, Rule, WILDCARD};
+use crate::sweep::CANCEL_POLL_ROWS;
 use sirum_dataflow::hash::FxHashMap;
 use sirum_table::Table;
 
@@ -28,11 +30,23 @@ pub fn merge_agg(a: &mut Agg, b: Agg) {
 /// Used as the ground truth against which sample-based pruning is tested,
 /// and as the candidate strategy for data-cube exploration (§5.6.2, which
 /// does not use pruning).
-pub fn exhaustive_candidates(table: &Table, mhat: &[f64]) -> FxHashMap<Rule, Agg> {
-    // lint:allow-assert — reference helper; callers build the parallel mhat column themselves
+///
+/// Polls `cancel` every [`CANCEL_POLL_ROWS`] rows and returns `None` when
+/// it fires — the scan is `O(2^d · n)` and must not pin a worker past its
+/// job's cancellation.
+pub fn exhaustive_candidates(
+    table: &Table,
+    mhat: &[f64],
+    cancel: Option<&CancellationToken>,
+) -> Option<FxHashMap<Rule, Agg>> {
+    // lint:allow(SL001) — reference helper; callers build the parallel mhat column themselves
     assert_eq!(mhat.len(), table.num_rows());
     let mut out: FxHashMap<Rule, Agg> = FxHashMap::default();
     for (i, row) in table.rows().enumerate() {
+        if i.is_multiple_of(CANCEL_POLL_ROWS) && cancel.is_some_and(CancellationToken::is_cancelled)
+        {
+            return None;
+        }
         let base = Rule::from_tuple(row);
         for anc in ancestors(&base) {
             let agg = out.entry(anc).or_insert((0.0, 0.0, 0));
@@ -41,20 +55,29 @@ pub fn exhaustive_candidates(table: &Table, mhat: &[f64]) -> FxHashMap<Rule, Agg
             agg.2 += 1;
         }
     }
-    out
+    Some(out)
 }
 
 /// The set of LCAs of every (sample tuple, data tuple) pair, with their
 /// pair-level aggregates (the first stage of sample-based pruning).
 /// `measures` must be the transformed measure column.
+///
+/// Polls `cancel` every [`CANCEL_POLL_ROWS`] rows (`None` when it fires),
+/// like [`exhaustive_candidates`] — the `|s| · n` pair scan dominates the
+/// centralized baseline's iteration time.
 pub fn lca_aggregates(
     table: &Table,
     measures: &[f64],
     mhat: &[f64],
     sample: &[Box<[u32]>],
-) -> FxHashMap<Rule, Agg> {
+    cancel: Option<&CancellationToken>,
+) -> Option<FxHashMap<Rule, Agg>> {
     let mut out: FxHashMap<Rule, Agg> = FxHashMap::default();
     for (i, row) in table.rows().enumerate() {
+        if i.is_multiple_of(CANCEL_POLL_ROWS) && cancel.is_some_and(CancellationToken::is_cancelled)
+        {
+            return None;
+        }
         for s in sample {
             let lca = Rule::lca(s, row);
             let agg = out.entry(lca).or_insert((0.0, 0.0, 0));
@@ -63,7 +86,7 @@ pub fn lca_aggregates(
             agg.2 += 1;
         }
     }
-    out
+    Some(out)
 }
 
 /// Inverted index over the sample `s` (§4.2): for each dimension attribute,
@@ -110,15 +133,16 @@ impl SampleIndex {
     /// # Panics
     /// Panics if the sample exceeds [`MAX_SAMPLE`] rows.
     pub fn build(rows: Vec<Box<[u32]>>, d: usize) -> SampleIndex {
-        // lint:allow-assert — unreachable via Miner (typed InvalidConfig on oversized effective samples) and via StreamingMiner (reservoir capped at MAX_SAMPLE)
+        // lint:allow(SL001) — unreachable via Miner (typed InvalidConfig on oversized effective samples) and via StreamingMiner (reservoir capped at MAX_SAMPLE)
         assert!(rows.len() <= MAX_SAMPLE, "sample too large for the index");
         let mut cols: Vec<FxHashMap<u32, Vec<u32>>> =
             (0..d).map(|_| FxHashMap::default()).collect();
         let mut mask_cols: Vec<FxHashMap<u32, SampleMask>> =
             (0..d).map(|_| FxHashMap::default()).collect();
         let mut full_mask = [0u64; 4];
+        // lint:allow(SL002) — bounded scan: the index caps the sample at MAX_SAMPLE (256) rows
         for (i, row) in rows.iter().enumerate() {
-            // lint:allow-assert — sample rows come from the table being mined; arity is fixed at encode time
+            // lint:allow(SL001) — sample rows come from the table being mined; arity is fixed at encode time
             assert_eq!(row.len(), d);
             mask_set(&mut full_mask, i);
             for (col, &v) in row.iter().enumerate() {
@@ -286,7 +310,7 @@ pub fn adjust_for_sample<I: IntoIterator<Item = (Rule, Agg)>>(
     let mut out = Vec::new();
     for (rule, (sum_m, sum_mhat, pairs)) in candidates {
         let c = index.match_count(&rule);
-        // lint:allow-assert — documented invariant: every ancestor of lca(s, t) covers s
+        // lint:allow(SL001) — documented invariant: every ancestor of lca(s, t) covers s
         assert!(c > 0, "candidate {rule:?} matches no sample tuple");
         debug_assert_eq!(pairs % c, 0, "pair multiplicity must be uniform");
         out.push((rule, sum_m / c as f64, sum_mhat / c as f64, pairs / c));
@@ -312,7 +336,8 @@ mod tests {
         // yields 15 candidate rules vs 73 possible rules.
         let t = flights();
         let sample = sample_rows(&t, &[3, 8]);
-        let lcas = lca_aggregates(&t, t.measures(), &[1.0; 14], &sample);
+        let lcas =
+            lca_aggregates(&t, t.measures(), &[1.0; 14], &sample, None).expect("uncancelled");
         let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
         for (rule, agg) in &lcas {
             for anc in all_ancestors(rule) {
@@ -324,7 +349,9 @@ mod tests {
         // of distinct supported cube-lattice elements of Table 1.1 is 74
         // (an off-by-one in the thesis text). Either way the pruning cuts
         // the candidate space by ~5×.
-        let supported = exhaustive_candidates(&t, &[1.0; 14]).len();
+        let supported = exhaustive_candidates(&t, &[1.0; 14], None)
+            .expect("uncancelled")
+            .len();
         assert_eq!(supported, 74);
         // The 9 LCAs listed in the thesis text:
         let named = [
@@ -345,6 +372,48 @@ mod tests {
     }
 
     #[test]
+    fn candidate_scans_poll_cancellation() {
+        // Regression for the SL002 findings this PR fixed: both candidate
+        // scans used to run to completion no matter what, pinning a worker
+        // for the whole O(2^d·n) (or |s|·n) pass after its job was
+        // cancelled.
+        let t = flights();
+        let sample = sample_rows(&t, &[3, 8]);
+        let token = CancellationToken::new();
+        token.cancel();
+        assert!(exhaustive_candidates(&t, &[1.0; 14], Some(&token)).is_none());
+        assert!(lca_aggregates(&t, t.measures(), &[1.0; 14], &sample, Some(&token)).is_none());
+        // An armed-but-unfired token does not perturb the result.
+        let fresh = CancellationToken::new();
+        assert_eq!(
+            exhaustive_candidates(&t, &[1.0; 14], Some(&fresh)),
+            exhaustive_candidates(&t, &[1.0; 14], None)
+        );
+        assert_eq!(
+            lca_aggregates(&t, t.measures(), &[1.0; 14], &sample, Some(&fresh)),
+            lca_aggregates(&t, t.measures(), &[1.0; 14], &sample, None)
+        );
+    }
+
+    #[test]
+    fn candidate_scans_notice_mid_scan_cancellation_within_one_window() {
+        // Deterministic mid-scan latency bound: arm a poll-budget token so
+        // the second poll — one CANCEL_POLL_ROWS window into the scan —
+        // self-cancels, and require both scans to abandon there rather
+        // than finish the remaining rows.
+        use sirum_table::generators::income_like;
+        let t = income_like(CANCEL_POLL_ROWS * 2 + 7, 42);
+        let mhat = vec![1.0; t.num_rows()];
+        let token = CancellationToken::new();
+        token.cancel_after_polls(2);
+        assert!(exhaustive_candidates(&t, &mhat, Some(&token)).is_none());
+        let sample = sample_rows(&t, &[0]);
+        let token = CancellationToken::new();
+        token.cancel_after_polls(2);
+        assert!(lca_aggregates(&t, t.measures(), &mhat, &sample, Some(&token)).is_none());
+    }
+
+    #[test]
     fn sample_adjustment_recovers_exact_sums() {
         // After dividing by sample multiplicity, candidate aggregates equal
         // the exact sums over their support sets.
@@ -352,7 +421,7 @@ mod tests {
         let sample = sample_rows(&t, &[3, 8, 0]);
         let index = SampleIndex::build(sample.clone(), 3);
         let mhat = vec![1.5; 14];
-        let lcas = lca_aggregates(&t, t.measures(), &mhat, &sample);
+        let lcas = lca_aggregates(&t, t.measures(), &mhat, &sample, None).expect("uncancelled");
         let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
         for (rule, agg) in &lcas {
             for anc in all_ancestors(rule) {
@@ -379,10 +448,10 @@ mod tests {
     fn candidates_are_subset_of_exhaustive() {
         let t = flights();
         let mhat = vec![1.0; 14];
-        let exhaustive = exhaustive_candidates(&t, &mhat);
+        let exhaustive = exhaustive_candidates(&t, &mhat, None).expect("uncancelled");
         let sample = sample_rows(&t, &[0, 5]);
         let index = SampleIndex::build(sample.clone(), 3);
-        let lcas = lca_aggregates(&t, t.measures(), &mhat, &sample);
+        let lcas = lca_aggregates(&t, t.measures(), &mhat, &sample, None).expect("uncancelled");
         let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
         for (rule, agg) in &lcas {
             for anc in all_ancestors(rule) {
@@ -400,7 +469,7 @@ mod tests {
     #[test]
     fn exhaustive_includes_every_supported_rule() {
         let t = flights();
-        let cands = exhaustive_candidates(&t, &[1.0; 14]);
+        let cands = exhaustive_candidates(&t, &[1.0; 14], None).expect("uncancelled");
         // (*,*,London) supported by 4 tuples with Σm = 61.
         let london = t.dict(2).code("London").unwrap();
         let rule = Rule::from_values(vec![WILDCARD, WILDCARD, london]);

@@ -147,7 +147,7 @@ impl SirumError {
 /// [`crate::Miner::mine`]) kept for migration.
 #[track_caller]
 pub(crate) fn fail(err: SirumError) -> ! {
-    panic!("{err}") // lint:allow-panic — sole bridge for infallible wrappers
+    panic!("{err}") // lint:allow(SL001) — sole bridge for infallible wrappers
 }
 
 #[cfg(test)]

@@ -53,7 +53,7 @@ pub fn rule_gain_two_sided(sum_m: f64, sum_mhat: f64) -> f64 {
 /// a parallel array over the same tuples as `m`, so a mismatch is driver
 /// corruption that must fail loudly, not score quietly.
 pub fn kl_divergence(m: &[f64], mhat: &[f64]) -> f64 {
-    // lint:allow-assert — parallel-array contract; a length mismatch is a caller logic error, not user data
+    // lint:allow(SL001) — parallel-array contract; a length mismatch is a caller logic error, not user data
     assert_eq!(m.len(), mhat.len());
     let sum_m: f64 = m.iter().sum();
     let sum_mhat: f64 = mhat.iter().sum();
@@ -93,7 +93,7 @@ pub fn kl_from_parts(s1: f64, sum_m: f64, sum_mhat: f64) -> f64 {
 /// the per-tuple Bernoulli divergences.
 pub fn binary_kl(m: &[f64], mhat: &[f64]) -> f64 {
     const EPS: f64 = 1e-9;
-    // lint:allow-assert — parallel-array contract; a length mismatch is a caller logic error, not user data
+    // lint:allow(SL001) — parallel-array contract; a length mismatch is a caller logic error, not user data
     assert_eq!(m.len(), mhat.len());
     let mut total = 0.0;
     for (&mi, &qi) in m.iter().zip(mhat) {

@@ -27,7 +27,7 @@ pub fn ancestors_restricted(rule: &Rule, positions: &[usize]) -> Vec<Rule> {
         .filter(|&i| !rule.is_wildcard(i))
         .collect();
     let w = live.len();
-    // lint:allow-assert — expansion-size cap; the miner and the service's stream() reject >MAX_EXPAND_BITS-dim tables with typed errors
+    // lint:allow(SL001) — expansion-size cap; the miner and the service's stream() reject >MAX_EXPAND_BITS-dim tables with typed errors
     assert!(
         w <= MAX_EXPAND_BITS,
         "refusing to expand 2^{w} ancestors; use column grouping or sampling"

@@ -43,9 +43,9 @@ impl Rct {
     /// Group tuples by bit array (line 6 of Algorithm 3), given parallel
     /// columns of masks, transformed measures and current estimates.
     pub fn build(masks: &[u64], m: &[f64], mhat: &[f64]) -> Rct {
-        // lint:allow-assert — driver-built parallel arrays
+        // lint:allow(SL001) — driver-built parallel arrays
         assert_eq!(masks.len(), m.len());
-        // lint:allow-assert — driver-built parallel arrays
+        // lint:allow(SL001) — driver-built parallel arrays
         assert_eq!(masks.len(), mhat.len());
         let mut map: FxHashMap<u64, RctGroup> = FxHashMap::default();
         for i in 0..masks.len() {
@@ -150,11 +150,11 @@ pub fn iterative_scaling_rct(
     lambdas: &mut [f64],
     cfg: &ScalingConfig,
 ) -> ScalingOutcome {
-    // lint:allow-assert — miner enforces the rule budget before any scaling run
+    // lint:allow(SL001) — miner enforces the rule budget before any scaling run
     assert!(num_rules <= MAX_RULES);
-    // lint:allow-assert — driver-built parallel arrays
+    // lint:allow(SL001) — driver-built parallel arrays
     assert_eq!(m_sums.len(), num_rules);
-    // lint:allow-assert — driver-built parallel arrays
+    // lint:allow(SL001) — driver-built parallel arrays
     assert_eq!(lambdas.len(), num_rules);
     let mut iterations = 0;
     loop {

@@ -19,7 +19,7 @@ impl Rule {
     /// The all-wildcards rule `(*, …, *)` over `d` dimensions — always the
     /// first rule SIRUM selects.
     pub fn all_wildcards(d: usize) -> Rule {
-        // lint:allow-assert — documented constructor contract; zero-dimension rules are meaningless
+        // lint:allow(SL001) — documented constructor contract; zero-dimension rules are meaningless
         assert!(d > 0);
         Rule {
             values: vec![WILDCARD; d].into_boxed_slice(),
@@ -28,7 +28,7 @@ impl Rule {
 
     /// Build a rule from explicit per-dimension codes.
     pub fn from_values(values: Vec<u32>) -> Rule {
-        // lint:allow-assert — documented constructor contract; zero-dimension rules are meaningless
+        // lint:allow(SL001) — documented constructor contract; zero-dimension rules are meaningless
         assert!(!values.is_empty());
         Rule {
             values: values.into_boxed_slice(),

@@ -28,7 +28,7 @@ pub struct SampleDataResult {
 /// Draw a Bernoulli row sample of `table` at `rate` (deterministic in
 /// `seed`) and return the sampled sub-table.
 pub fn sample_table(table: &Table, rate: f64, seed: u64) -> Table {
-    // lint:allow-assert — documented contract; try_mine_on_sample validates the rate with a typed error first
+    // lint:allow(SL001) — documented contract; try_mine_on_sample validates the rate with a typed error first
     assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
     let indices: Vec<usize> = (0..table.num_rows())

@@ -129,9 +129,9 @@ impl StreamingMiner {
     /// Panics on arity mismatch or negative measures.
     pub fn ingest(&mut self, rows: &[(&[u32], f64)]) -> ScalingOutcome {
         for (row, m) in rows {
-            // lint:allow-assert — documented contract; the service IngestHandle validates with typed errors first
+            // lint:allow(SL001) — documented contract; the service IngestHandle validates with typed errors first
             assert_eq!(row.len(), self.d, "arity mismatch");
-            // lint:allow-assert — documented contract; the service IngestHandle validates with typed errors first
+            // lint:allow(SL001) — documented contract; the service IngestHandle validates with typed errors first
             assert!(*m >= 0.0 && m.is_finite(), "measure must be ≥ 0");
             // Bit array against the current rules; estimate from current λ.
             let mut mask = 0u64;
@@ -181,7 +181,7 @@ impl StreamingMiner {
     /// compatible with previous batches — i.e. produced by the same
     /// encoding pipeline).
     pub fn ingest_table(&mut self, table: &Table) -> ScalingOutcome {
-        // lint:allow-assert — documented contract; streams are seeded from the catalog table itself
+        // lint:allow(SL001) — documented contract; streams are seeded from the catalog table itself
         assert_eq!(table.num_dims(), self.d);
         let rows: Vec<(&[u32], f64)> = (0..table.num_rows())
             .map(|i| (table.row(i), table.measure(i)))
@@ -238,7 +238,7 @@ impl StreamingMiner {
     /// reservoir for candidate pruning and warm-starting the scaling.
     /// Returns the newly added rules with their gains at selection time.
     pub fn mine_more(&mut self, k: usize) -> Vec<(Rule, f64)> {
-        // lint:allow-assert — documented contract; the service IngestHandle checks the budget with a typed error first
+        // lint:allow(SL001) — documented contract; the service IngestHandle checks the budget with a typed error first
         assert!(
             self.rules.len() + k <= MAX_RULES,
             "rule budget exceeds bit-array capacity"

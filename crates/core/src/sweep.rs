@@ -527,7 +527,7 @@ fn expand_packed<C: PackedCode>(
         let w = live.len();
         // Unreachable through the miner, which rejects tables with more
         // than MAX_EXPAND_BITS dimensions up front (typed InvalidConfig).
-        // lint:allow-assert — internal expansion-size invariant, not user-reachable
+        // lint:allow(SL001) — internal expansion-size invariant, not user-reachable
         assert!(w <= MAX_EXPAND_BITS, "refusing to expand 2^{w} ancestors");
         // Walk the lattice in binary-reflected Gray order: each step
         // toggles one live field between its value and all-ones, so every
@@ -577,7 +577,7 @@ fn accumulate_ancestors(
     let w = live.len();
     // Unreachable through the miner, which rejects tables with more than
     // MAX_EXPAND_BITS dimensions up front (typed InvalidConfig).
-    // lint:allow-assert — internal expansion-size invariant, not user-reachable
+    // lint:allow(SL001) — internal expansion-size invariant, not user-reachable
     assert!(w <= MAX_EXPAND_BITS, "refusing to expand 2^{w} ancestors");
     buf.clear();
     buf.extend_from_slice(values);
@@ -1223,7 +1223,7 @@ mod tests {
         let data = engine.parallelize(tuples(&t), 4);
         for opts in all_variants(&t) {
             let out = sweep_gains(&data, 3, None, None, &opts);
-            let exhaustive = exhaustive_candidates(&t, &[1.0; 14]);
+            let exhaustive = exhaustive_candidates(&t, &[1.0; 14], None).expect("uncancelled");
             assert_eq!(out.candidates.len(), exhaustive.len());
             assert_eq!(out.distinct_candidates, exhaustive.len() as u64);
             for (rule, sm, smh, cnt) in &out.candidates {

@@ -397,7 +397,7 @@ proptest! {
         let index = SampleIndex::build(sample, d);
         let engine = Engine::new(EngineConfig::in_memory().with_workers(2));
         let data = engine.parallelize(sweep_tuples(&table), 3);
-        let exhaustive = exhaustive_candidates(&table, &mhat);
+        let exhaustive = exhaustive_candidates(&table, &mhat, None).expect("uncancelled");
         for opts in sweep_variants(&table) {
             let out = sweep_gains(&data, d, Some(&index), None, &opts);
             for (rule, sum_m, sum_mhat, count) in &out.candidates {
@@ -520,7 +520,7 @@ proptest! {
             .map(|&i| table.row(i).to_vec().into_boxed_slice())
             .collect();
         let index = SampleIndex::build(sample.clone(), d);
-        let lcas = lca_aggregates(&table, table.measures(), &mhat, &sample);
+        let lcas = lca_aggregates(&table, table.measures(), &mhat, &sample, None).expect("uncancelled");
         let mut cands: FxHashMap<Rule, Agg> = FxHashMap::default();
         for (rule, agg) in &lcas {
             for anc in ancestors(rule) {
@@ -528,7 +528,9 @@ proptest! {
             }
         }
         let adjusted = adjust_for_sample(cands, &index);
-        let exhaustive = exhaustive_candidates(&table.with_measure(table.measures().to_vec()), &mhat);
+        let exhaustive =
+            exhaustive_candidates(&table.with_measure(table.measures().to_vec()), &mhat, None)
+                .expect("uncancelled");
         for (rule, sum_m, sum_mhat, count) in adjusted {
             let (em, emh, ec) = exhaustive[&rule];
             prop_assert!((sum_m - em).abs() < 1e-6, "{:?}: {} vs {}", rule, sum_m, em);
@@ -663,7 +665,7 @@ proptest! {
         // equal C(d, l) × (total mass).
         let n = table.num_rows();
         let mhat = vec![1.0; n];
-        let cands = exhaustive_candidates(&table, &mhat);
+        let cands = exhaustive_candidates(&table, &mhat, None).expect("uncancelled");
         let total: f64 = table.measures().iter().sum();
         let d = table.num_dims();
         let binom = |n: usize, k: usize| -> f64 {

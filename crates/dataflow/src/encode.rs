@@ -292,7 +292,7 @@ pub fn decode_records<T: Encode>(mut buf: &[u8]) -> Vec<T> {
     for _ in 0..n {
         v.push(T::decode(buf));
     }
-    // lint:allow-assert — framing invariant of this process's own encoder; corruption must not decode quietly
+    // lint:allow(SL001) — framing invariant of this process's own encoder; corruption must not decode quietly
     assert!(buf.is_empty(), "trailing bytes after decoding {n} records");
     v
 }

@@ -73,7 +73,7 @@ impl DataflowError {
 /// (e.g. [`crate::Engine::new`] for trusted, default configurations).
 #[track_caller]
 pub(crate) fn fail(err: DataflowError) -> ! {
-    panic!("{err}") // lint:allow-panic — sole bridge for infallible wrappers
+    panic!("{err}") // lint:allow(SL001) — sole bridge for infallible wrappers
 }
 
 #[cfg(test)]

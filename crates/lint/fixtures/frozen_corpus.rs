@@ -1,0 +1,45 @@
+//! Frozen parity corpus for SL001 vs the retired `scripts/lint-panics.sh`
+//! awk gate. DO NOT EDIT: `tests/fixtures.rs` hardcodes the awk output
+//! captured on this exact file before the script was deleted. Lines
+//! matter — the test asserts exact line numbers.
+
+pub fn true_positives(x: Option<u32>) -> u32 {
+    if x.is_none() {
+        panic!("boom"); // line 8: awk hit, SL001 hit
+    }
+    let a = x.unwrap(); // line 10: awk hit, SL001 hit
+    let b = x.expect("present"); // line 11: awk hit, SL001 hit
+    assert!(a == b); // line 12: awk hit, SL001 hit
+    assert_eq!(a, b); // line 13: awk hit, SL001 hit
+    assert_ne!(a, b + 1); // line 14: awk hit, SL001 hit
+    a
+}
+
+pub fn out_of_scope(v: &[u32]) {
+    debug_assert!(!v.is_empty()); // neither tool flags debug_assert
+    // A comment saying panic! or unwrap() is not a finding for either.
+}
+
+pub fn string_literal_false_positive() -> &'static str {
+    // line 25: awk flags this string literal; SL001 must not.
+    "how to panic! safely"
+}
+
+pub fn legacy_blessed(a: u32, b: u32) {
+    // lint:allow-assert — legacy marker: awk blesses the next line
+    assert_eq!(a, b); // line 30: awk misses; SL001 flags (marker is retired)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inside_tests_anything_goes() {
+        let v: Option<u32> = Some(1);
+        v.unwrap(); // neither tool flags test code
+        assert_eq!(super::true_positives(Some(2)), 2);
+    }
+}
+
+pub fn after_test_mod(x: Option<u32>) -> u32 {
+    x.unwrap() // line 44: awk's scan stopped at #[cfg(test)]; SL001 flags
+}

@@ -1,0 +1,21 @@
+//! SL001 positives. tests/fixtures.rs asserts the exact positions below.
+
+pub fn p1() {
+    panic!("line 4, col 5");
+}
+
+pub fn p2(x: Option<u32>) -> u32 {
+    x.unwrap() // line 8, col 7
+}
+
+pub fn p3(x: Option<u32>) -> u32 {
+    x.expect("line 12, col 7")
+}
+
+pub fn p4(a: u32) {
+    assert!(a > 0); // line 16, col 5
+}
+
+pub fn p5() {
+    todo!() // line 20, col 5
+}

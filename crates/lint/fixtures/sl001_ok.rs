@@ -1,0 +1,33 @@
+//! SL001 negatives: everything here is legal in library code.
+
+/// Doc text may say panic!, unwrap(), expect(…) freely.
+pub fn near_misses(x: Option<u32>) -> Option<u32> {
+    let s = "panic! unwrap() expect( assert!"; // strings are opaque
+    let r = r#"panic!("raw")"#; // raw strings too
+    debug_assert!(!s.is_empty()); // internal invariant, out of scope
+    let y = x.unwrap_or(0); // unwrap_or is not unwrap
+    let z = x.unwrap_or_else(|| y); // nor is unwrap_or_else
+    if r.is_empty() {
+        unreachable!("logic error, out of scope");
+    }
+    x.map(|v| v + z)
+}
+
+pub fn blessed(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(SL001) — fixture: reasoned same-line pragma
+}
+
+pub fn blessed_above() {
+    // lint:allow(SL001) — fixture: reasoned line-above pragma
+    panic!("suppressed by the pragma directly above");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        v.expect("fine in tests");
+    }
+}

@@ -1,0 +1,20 @@
+//! SL002 positives: data-scale loops that never poll cancellation.
+//! Linted under a synthetic hot-module path (crates/core/src/sweep.rs).
+
+pub fn scan(rows: &[u32]) -> u64 {
+    let mut total = 0u64;
+    for &r in rows {
+        // line 6, col 5: iterates `rows`, no poll anywhere in the body
+        total += r as u64;
+    }
+    total
+}
+
+pub fn nested(partitions: &[Vec<u32>]) -> usize {
+    let mut n = 0;
+    while n < partitions.len() {
+        // line 15, col 5: `partitions` in the header, body never polls
+        n += 1;
+    }
+    n
+}

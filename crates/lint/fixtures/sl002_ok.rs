@@ -1,0 +1,63 @@
+//! SL002 negatives, linted under a synthetic hot-module path.
+
+pub struct Token;
+impl Token {
+    pub fn is_cancelled(&self) -> bool {
+        false
+    }
+}
+
+pub fn polls_token(rows: &[u32], cancel: &Token) -> u64 {
+    let mut total = 0u64;
+    for &r in rows {
+        if cancel.is_cancelled() {
+            break;
+        }
+        total += r as u64;
+    }
+    total
+}
+
+pub fn polls_work_counter(rows: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for (i, &r) in rows.iter().enumerate() {
+        if i % 4096 == 0 {
+            tick(); // work-unit counter poll
+        }
+        acc += r as u64;
+    }
+    acc
+}
+
+fn tick() {}
+
+pub fn bounded_bookkeeping(widths: &[usize]) -> usize {
+    // Not a data-scale loop: no rows/partitions/folds/blocks in the header.
+    let mut max = 0;
+    for &w in widths {
+        max = max.max(w);
+    }
+    max
+}
+
+pub fn blessed(rows: &[u32]) -> u64 {
+    let mut t = 0u64;
+    // lint:allow(SL002) — fixture: bounded input, reasoned pragma
+    for &r in rows {
+        t += r as u64;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_loops_are_exempt() {
+        let rows = [1u32, 2, 3];
+        let mut s = 0;
+        for &r in rows.iter() {
+            s += r;
+        }
+        assert_eq!(s, 6);
+    }
+}

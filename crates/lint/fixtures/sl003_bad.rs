@@ -1,0 +1,49 @@
+//! SL003 positives, linted under a synthetic path (src/service.rs).
+
+use std::sync::Mutex;
+
+pub struct S {
+    state: Mutex<Option<Inner>>,
+    rx: Receiver,
+}
+
+pub struct Inner {
+    pub handle: Thread,
+}
+pub struct Thread;
+impl Thread {
+    pub fn join(&self) {}
+}
+pub struct Receiver;
+impl Receiver {
+    pub fn recv(&self) {}
+}
+
+impl S {
+    pub fn named_guard_across_recv(&self) {
+        let guard = self.state.lock();
+        self.rx.recv(); // line 25, col 17: guard still live
+        drop(guard);
+    }
+
+    pub fn if_let_scrutinee_temporary(&self) {
+        if let Some(inner) = self.state.lock().take() {
+            // Edition-2021 scoping: the guard temporary lives to the end
+            // of the whole `if let` block.
+            inner.handle.join(); // line 33, col 26
+        }
+    }
+
+    pub fn match_scrutinee_temporary(&self) {
+        match self.state.lock().take() {
+            Some(inner) => inner.handle.join(), // line 39, col 41
+            None => {}
+        }
+    }
+}
+
+/// Shims so the fixture reads like real code (never compiled).
+pub trait LockLike {
+    fn lock(&self) -> Option<Inner>;
+    fn take(&self) -> Option<Inner>;
+}

@@ -1,0 +1,51 @@
+//! SL003 negatives, linted under a synthetic path (src/service.rs).
+
+pub struct S;
+
+impl S {
+    pub fn scoped_guard_then_recv(&self) {
+        let sender = {
+            let state = self.state.lock();
+            state.sender() // guard dies with the block
+        };
+        self.rx.recv(); // fine: no guard live here
+        drop(sender);
+    }
+
+    pub fn explicit_drop_before_wait(&self) {
+        let guard = self.state.lock();
+        let ready = guard.ready();
+        drop(guard);
+        self.cv.wait(ready); // fine: guard dropped above
+    }
+
+    pub fn let_chain_leaves_guard_land(&self) {
+        // `.take()` consumes the guard temporary at the `;` — the join
+        // below runs lock-free (this is the fixed WorkerPool::drop shape).
+        let state = self.state.lock().take();
+        if let Some(state) = state {
+            state.handle.join();
+        }
+    }
+
+    pub fn plain_if_condition_temporary(&self) {
+        // Plain `if` conditions drop their temporaries before the block.
+        if self.state.lock().is_empty() {
+            self.rx.recv();
+        }
+    }
+
+    pub fn spawned_closure_blocks_elsewhere(&self) {
+        let guard = self.state.lock();
+        spawn(move || {
+            other.rx.recv(); // runs on another thread, not under our guard
+        });
+        guard.touch();
+    }
+
+    pub fn blessed(&self) {
+        let guard = self.lock();
+        // lint:allow(SL003) — fixture: condvar wait atomically releases guard
+        self.cv.wait(guard);
+    }
+}

@@ -1,0 +1,19 @@
+//! SL004 positives, linted under a synthetic path (src/net/server.rs).
+
+pub fn accept_loop_blocks(listener: &Listener, pool: &Pool) {
+    loop {
+        let conn = listener.accept();
+        pool.submit(conn); // line 6, col 14: blocking submit in accept loop
+    }
+}
+
+pub fn accept_loop_mines_inline(listener: &Listener, svc: &Svc) {
+    for conn in listener.incoming() {
+        let _ = conn.accept();
+        svc.mine(conn); // line 13, col 13: mining on the accept thread
+    }
+}
+
+pub struct Listener;
+pub struct Pool;
+pub struct Svc;

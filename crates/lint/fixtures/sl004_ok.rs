@@ -1,0 +1,40 @@
+//! SL004 negatives, linted under a synthetic path (src/net/server.rs).
+
+pub fn pure_accept_loop(listener: &Listener, pool: &Pool) {
+    loop {
+        let conn = listener.accept();
+        match pool.try_submit(conn) {
+            Ok(()) => {}
+            Err(_) => reject(conn), // non-blocking admission reject
+        }
+    }
+}
+
+pub fn work_moved_to_connection_thread(listener: &Listener) {
+    loop {
+        let conn = listener.accept();
+        spawn(move || {
+            handle(conn); // blocking work on the connection thread is fine
+        });
+    }
+}
+
+pub fn blessed_backoff(listener: &Listener) {
+    loop {
+        if listener.accept().is_err() {
+            // lint:allow(SL004) — fixture: transient-error backoff, reasoned
+            sleep(MS_10);
+        }
+    }
+}
+
+pub fn not_an_accept_loop(queue: &Queue) {
+    loop {
+        let job = queue.recv(); // no accept() in this loop: rule is silent
+        run(job);
+    }
+}
+
+pub struct Listener;
+pub struct Pool;
+pub struct Queue;

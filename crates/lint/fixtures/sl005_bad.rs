@@ -1,0 +1,17 @@
+//! SL005 positives: any `unsafe` at all.
+
+pub fn deref_raw(p: *const u32) -> u32 {
+    unsafe { *p } // line 4, col 5
+}
+
+pub unsafe fn unsafe_fn() {} // line 7, col 5
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_tests_may_not_use_unsafe() {
+        let x = 1u32;
+        let p = &x as *const u32;
+        let _ = unsafe { *p }; // line 15, col 17: SL005 has no test exemption
+    }
+}

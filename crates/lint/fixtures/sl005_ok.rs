@@ -1,0 +1,8 @@
+//! SL005 negatives: mentioning unsafe without using it.
+
+/// Doc comments may discuss `unsafe` freely.
+pub fn safe_only(v: &[u32]) -> u32 {
+    let s = "unsafe in a string is fine";
+    // unsafe in a comment is fine too
+    v.iter().sum::<u32>() + s.len() as u32
+}

@@ -1,0 +1,388 @@
+//! The driver: file discovery, per-file rule execution, pragma
+//! application, pragma hygiene (SL000), and the report CI archives.
+//!
+//! Suppression contract: a finding on line L is suppressed only by a
+//! pragma whose blessed line is L, whose code list names the finding's
+//! rule, *and* which carries a `— reason`. Reasonless pragmas suppress
+//! nothing — they are themselves diagnosed, as are pragmas citing
+//! unknown codes, pragmas that suppress nothing (stale after a fix), and
+//! the retired `lint:allow-panic`/`lint:allow-assert` marker forms.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::diag::{finding_json, json_escape, Finding};
+use crate::lexer::TokenKind;
+use crate::rules;
+use crate::syntax::SourceFile;
+
+/// Pragma-hygiene pseudo-rule code. Not suppressible.
+pub const HYGIENE: &str = "SL000";
+
+/// Directory names never descended into during discovery.
+const SKIP_DIRS: &[&str] = &["target", "fixtures", "vendor"];
+
+/// Per-rule timing and yield across the whole run.
+#[derive(Debug, Clone)]
+pub struct RuleStat {
+    /// Rule code.
+    pub code: &'static str,
+    /// Wall-clock nanoseconds spent in this rule's `check`.
+    pub nanos: u128,
+    /// Findings emitted (pre-suppression).
+    pub raw_findings: usize,
+}
+
+/// Everything one analyzer run produced.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Findings that survived pragma suppression, plus SL000 hygiene
+    /// findings, sorted by file/line/col.
+    pub findings: Vec<Finding>,
+    /// Files analyzed.
+    pub files: usize,
+    /// Bytes lexed.
+    pub bytes: usize,
+    /// Tokens produced.
+    pub tokens: usize,
+    /// Total wall-clock nanoseconds (lex + rules + suppression).
+    pub nanos: u128,
+    /// Per-rule breakdown.
+    pub rule_stats: Vec<RuleStat>,
+}
+
+impl Report {
+    /// True when no finding survived.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One `file:line:col: CODE message` line per finding plus a summary
+    /// trailer.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render_human());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "sirum-lint: {} finding(s) in {} file(s)\n",
+            self.findings.len(),
+            self.files
+        ));
+        out
+    }
+
+    /// The stable JSON shape CI uploads as an artifact.
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(finding_json).collect();
+        let rules: Vec<String> = self
+            .rule_stats
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"code\":\"{}\",\"micros\":{},\"raw_findings\":{}}}",
+                    json_escape(r.code),
+                    r.nanos / 1_000,
+                    r.raw_findings
+                )
+            })
+            .collect();
+        format!(
+            "{{\"findings\":[{}],\"stats\":{{\"files\":{},\"bytes\":{},\"tokens\":{},\"duration_ms\":{},\"rules\":[{}]}}}}\n",
+            findings.join(","),
+            self.files,
+            self.bytes,
+            self.tokens,
+            self.nanos / 1_000_000,
+            rules.join(",")
+        )
+    }
+
+    /// The `--stats` block (human form).
+    pub fn render_stats(&self) -> String {
+        let mut out = format!(
+            "files: {}\nbytes: {}\ntokens: {}\nduration: {:.1} ms\n",
+            self.files,
+            self.bytes,
+            self.tokens,
+            self.nanos as f64 / 1e6
+        );
+        for r in &self.rule_stats {
+            out.push_str(&format!(
+                "  {}: {:.2} ms, {} raw finding(s)\n",
+                r.code,
+                r.nanos as f64 / 1e6,
+                r.raw_findings
+            ));
+        }
+        out
+    }
+}
+
+/// Discover the workspace's own sources under `root`: `src/` plus every
+/// `crates/*/src/`, skipping `target`/`fixtures`/`vendor`. Returned paths are
+/// workspace-relative with forward slashes, sorted.
+pub fn discover_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut rel_paths = Vec::new();
+    walk(&root.join("src"), root, &mut rel_paths)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+        let mut members: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+            members.push(entry.path());
+        }
+        members.sort();
+        for member in members {
+            walk(&member.join("src"), root, &mut rel_paths)?;
+        }
+    }
+    rel_paths.sort();
+    Ok(rel_paths)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(&path, root, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+/// Analyze `(rel_path, source)` pairs. The pure core — tests feed it
+/// fixtures under synthetic in-scope paths.
+pub fn check_sources(sources: &[(String, String)]) -> Report {
+    let started = Instant::now();
+    let rules = rules::all();
+    let mut report = Report {
+        rule_stats: rules
+            .iter()
+            .map(|r| RuleStat {
+                code: r.code(),
+                nanos: 0,
+                raw_findings: 0,
+            })
+            .collect(),
+        ..Report::default()
+    };
+    for (rel_path, src) in sources {
+        let file = SourceFile::parse(rel_path, src);
+        report.files += 1;
+        report.bytes += file.src.len();
+        report.tokens += file.tokens.len();
+        let mut raw: Vec<Finding> = Vec::new();
+        for (ri, rule) in rules.iter().enumerate() {
+            if !rule.applies(rel_path) {
+                continue;
+            }
+            let before = raw.len();
+            let rule_started = Instant::now();
+            rule.check(&file, &mut raw);
+            report.rule_stats[ri].nanos += rule_started.elapsed().as_nanos();
+            report.rule_stats[ri].raw_findings += raw.len() - before;
+        }
+        apply_pragmas(&file, raw, &mut report.findings);
+        hygiene(&file, &mut report.findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report.nanos = started.elapsed().as_nanos();
+    report
+}
+
+/// Analyze a tree on disk: discover under `root`, read, check.
+pub fn check_tree(root: &Path) -> Result<Report, String> {
+    let rel_paths = discover_files(root)?;
+    check_paths(root, &rel_paths)
+}
+
+/// Analyze an explicit list of workspace-relative paths under `root`.
+pub fn check_paths(root: &Path, rel_paths: &[String]) -> Result<Report, String> {
+    let mut sources = Vec::with_capacity(rel_paths.len());
+    for rel in rel_paths {
+        let abs = root.join(rel);
+        let bytes = fs::read(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+        sources.push((rel.clone(), String::from_utf8_lossy(&bytes).into_owned()));
+    }
+    Ok(check_sources(&sources))
+}
+
+/// Suppress findings blessed by a reasoned pragma; pass the rest through.
+fn apply_pragmas(file: &SourceFile, raw: Vec<Finding>, out: &mut Vec<Finding>) {
+    let mut used = vec![false; file.pragmas.len()];
+    for finding in raw {
+        let suppressed = file.pragmas.iter().enumerate().any(|(pi, p)| {
+            let hit = p.has_reason
+                && p.blessed_line == finding.line
+                && p.codes.iter().any(|c| c == finding.rule);
+            if hit {
+                used[pi] = true;
+            }
+            hit
+        });
+        if !suppressed {
+            out.push(finding);
+        }
+    }
+    // Stale pragmas: reasoned, well-formed, but suppressing nothing.
+    for (pi, p) in file.pragmas.iter().enumerate() {
+        if p.has_reason && !p.codes.is_empty() && !used[pi] {
+            let (line, col) = file.pos(p.offset);
+            out.push(Finding {
+                rule: HYGIENE,
+                file: file.rel_path.clone(),
+                line,
+                col,
+                message: format!(
+                    "unused pragma: no {} finding on line {} to suppress; delete it",
+                    p.codes.join("/"),
+                    p.blessed_line
+                ),
+            });
+        }
+    }
+}
+
+/// Pragma-form diagnostics: missing reasons, unknown codes, legacy
+/// marker forms.
+fn hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
+    for p in &file.pragmas {
+        let (line, col) = file.pos(p.offset);
+        if !p.has_reason {
+            out.push(Finding {
+                rule: HYGIENE,
+                file: file.rel_path.clone(),
+                line,
+                col,
+                message: "pragma has no reason; write `lint:allow(CODE) — <why this is safe>`"
+                    .to_string(),
+            });
+        }
+        if !p.unknown_codes.is_empty() {
+            out.push(Finding {
+                rule: HYGIENE,
+                file: file.rel_path.clone(),
+                line,
+                col,
+                message: format!(
+                    "pragma cites unknown rule code(s) {}; known codes are SL001..SL005",
+                    p.unknown_codes.join(", ")
+                ),
+            });
+        }
+    }
+    for tok in &file.tokens {
+        // Doc comments may legitimately *mention* the legacy markers.
+        if !matches!(tok.kind, TokenKind::LineComment { doc: false }) {
+            continue;
+        }
+        let text = tok.text(&file.src);
+        if text.contains("lint:allow-panic") || text.contains("lint:allow-assert") {
+            let (line, col) = file.pos(tok.start);
+            out.push(Finding {
+                rule: HYGIENE,
+                file: file.rel_path.clone(),
+                line,
+                col,
+                message: "legacy suppression marker; migrate to `lint:allow(SL001) — <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_one(rel_path: &str, src: &str) -> Report {
+        check_sources(&[(rel_path.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn reasoned_pragma_suppresses_and_is_not_stale() {
+        let src = "fn f() { x.unwrap(); // lint:allow(SL001) — invariant: x set in new()\n}\n";
+        let r = check_one("crates/core/src/x.rs", src);
+        assert!(r.is_clean(), "unexpected: {:?}", r.findings);
+    }
+
+    #[test]
+    fn reasonless_pragma_suppresses_nothing_and_is_flagged() {
+        let src = "fn f() { x.unwrap(); // lint:allow(SL001)\n}\n";
+        let r = check_one("crates/core/src/x.rs", src);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"SL001"));
+        assert!(rules.contains(&"SL000"));
+    }
+
+    #[test]
+    fn stale_pragma_is_flagged() {
+        let src = "fn f() { fine(); // lint:allow(SL001) — was fixed, pragma left behind\n}\n";
+        let r = check_one("crates/core/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "SL000");
+        assert!(r.findings[0].message.contains("unused pragma"));
+    }
+
+    #[test]
+    fn legacy_marker_is_flagged() {
+        let src = "fn f() { y(); } // lint:allow-panic — old form\n";
+        let r = check_one("crates/core/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "SL000");
+        assert!(r.findings[0].message.contains("legacy"));
+    }
+
+    #[test]
+    fn out_of_scope_paths_only_get_sl005() {
+        let src = "fn f() { x.unwrap(); let p = unsafe { y() }; }\n";
+        let r = check_one("crates/bench/src/x.rs", src);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["SL005"]);
+    }
+
+    #[test]
+    fn report_json_has_findings_and_stats() {
+        let src = "fn f() { panic!(\"no\"); }\n";
+        let r = check_one("src/lib.rs", src);
+        let json = r.to_json();
+        assert!(json.contains("\"rule\":\"SL001\""));
+        assert!(json.contains("\"files\":1"));
+        assert!(json.contains("\"duration_ms\""));
+    }
+
+    #[test]
+    fn findings_sorted_by_position() {
+        let src = "fn f() { b.unwrap(); }\nfn g() { panic!(\"x\"); }\n";
+        let r = check_one("src/lib.rs", src);
+        assert_eq!(r.findings.len(), 2);
+        assert!(r.findings[0].line < r.findings[1].line);
+    }
+}

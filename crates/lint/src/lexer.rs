@@ -1,0 +1,567 @@
+//! A small, total Rust lexer: every input string is split into a sequence
+//! of tokens whose byte ranges tile the input exactly (`concat(tokens) ==
+//! input`), and lexing never panics — not even on arbitrary bytes run
+//! through [`String::from_utf8_lossy`]. Both properties are proptested.
+//!
+//! The lexer understands exactly as much Rust as the rule engine needs to
+//! be *token-accurate* where the retired grep gate was not: strings (with
+//! escapes), raw strings (`r#"…"#`, any hash depth), byte and raw-byte
+//! strings, char literals vs lifetimes (`'a'` vs `'a`), raw identifiers
+//! (`r#match`), line and nested block comments (doc and plain), numbers,
+//! identifiers and single-character punctuation. It does not interpret
+//! token *values* — rules only ever compare identifier text and adjacency.
+
+/// Classification of one lexed token. Ranges, not values: the token's text
+/// is `&src[token.start..token.end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal and vertical whitespace of any length.
+    Whitespace,
+    /// `// …` to (exclusive) the newline. `doc` marks `///` and `//!`.
+    LineComment {
+        /// True for `///` (but not `////`) and `//!` doc comments.
+        doc: bool,
+    },
+    /// `/* … */`, nesting tracked. Unterminated comments run to EOF.
+    BlockComment {
+        /// True for `/**` (but not `/***` or the empty `/**/`) and `/*!`.
+        doc: bool,
+        /// False when EOF arrived before the final `*/`.
+        terminated: bool,
+    },
+    /// An identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A raw identifier: `r#name`.
+    RawIdent,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    CharLit {
+        /// False when the closing quote never arrived on the same line.
+        terminated: bool,
+    },
+    /// A string or byte-string literal with escape processing.
+    StrLit {
+        /// False when EOF arrived before the closing quote.
+        terminated: bool,
+    },
+    /// A raw (byte) string literal: `r"…"`, `r#"…"#`, `br##"…"##`, …
+    RawStrLit {
+        /// False when EOF arrived before the closing quote+hashes.
+        terminated: bool,
+    },
+    /// A numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+    /// Anything the lexer has no rule for (stray `'`, invalid bytes…).
+    Unknown,
+}
+
+/// One token: a kind plus the half-open byte range it occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the bytes are.
+    pub kind: TokenKind,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Tokenize `src` completely. The returned tokens tile `[0, src.len())`.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < src.len() {
+        let start = pos;
+        let kind = scan_token(src, &mut pos);
+        if pos <= start {
+            // Defensive: guarantee progress on any input so lexing is total.
+            pos = next_boundary(src, start);
+            tokens.push(Token {
+                kind: TokenKind::Unknown,
+                start,
+                end: pos,
+            });
+        } else {
+            tokens.push(Token {
+                kind,
+                start,
+                end: pos,
+            });
+        }
+    }
+    tokens
+}
+
+/// The char starting at byte `pos`, if any.
+fn at(src: &str, pos: usize) -> Option<char> {
+    src.get(pos..).and_then(|s| s.chars().next())
+}
+
+/// The next char boundary strictly after `pos` (clamped to `len`).
+fn next_boundary(src: &str, pos: usize) -> usize {
+    let mut p = pos + 1;
+    while p < src.len() && !src.is_char_boundary(p) {
+        p += 1;
+    }
+    p.min(src.len())
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Advance past consecutive chars satisfying `pred`.
+fn eat_while(src: &str, pos: &mut usize, pred: impl Fn(char) -> bool) {
+    while let Some(c) = at(src, *pos) {
+        if pred(c) {
+            *pos += c.len_utf8();
+        } else {
+            break;
+        }
+    }
+}
+
+fn scan_token(src: &str, pos: &mut usize) -> TokenKind {
+    let Some(first) = at(src, *pos) else {
+        return TokenKind::Unknown;
+    };
+    match first {
+        c if c.is_whitespace() => {
+            eat_while(src, pos, char::is_whitespace);
+            TokenKind::Whitespace
+        }
+        '/' => scan_slash(src, pos),
+        '"' => scan_string(src, pos),
+        '\'' => scan_quote(src, pos),
+        'r' | 'b' => scan_r_or_b(src, pos),
+        c if c.is_ascii_digit() => scan_number(src, pos),
+        c if is_ident_start(c) => {
+            eat_while(src, pos, is_ident_continue);
+            TokenKind::Ident
+        }
+        c if c.is_ascii() && c.is_ascii_punctuation() => {
+            *pos += 1;
+            TokenKind::Punct
+        }
+        c => {
+            *pos += c.len_utf8();
+            TokenKind::Unknown
+        }
+    }
+}
+
+fn scan_slash(src: &str, pos: &mut usize) -> TokenKind {
+    match at(src, *pos + 1) {
+        Some('/') => {
+            let rest = src.get(*pos..).unwrap_or("");
+            let doc =
+                (rest.starts_with("///") && !rest.starts_with("////")) || rest.starts_with("//!");
+            eat_while(src, pos, |c| c != '\n');
+            TokenKind::LineComment { doc }
+        }
+        Some('*') => {
+            let rest = src.get(*pos..).unwrap_or("");
+            let doc =
+                (rest.starts_with("/**") && !rest.starts_with("/***") && !rest.starts_with("/**/"))
+                    || rest.starts_with("/*!");
+            *pos += 2; // the opening `/*`
+            let mut depth = 1u32;
+            let terminated = loop {
+                let Some(c) = at(src, *pos) else {
+                    break false;
+                };
+                if c == '*' && at(src, *pos + 1) == Some('/') {
+                    *pos += 2;
+                    depth -= 1;
+                    if depth == 0 {
+                        break true;
+                    }
+                } else if c == '/' && at(src, *pos + 1) == Some('*') {
+                    *pos += 2;
+                    depth += 1;
+                } else {
+                    *pos += c.len_utf8();
+                }
+            };
+            TokenKind::BlockComment { doc, terminated }
+        }
+        _ => {
+            *pos += 1;
+            TokenKind::Punct
+        }
+    }
+}
+
+/// A normal (or byte) string body, starting at the opening `"`.
+fn scan_string(src: &str, pos: &mut usize) -> TokenKind {
+    *pos += 1; // opening quote
+    let terminated = loop {
+        let Some(c) = at(src, *pos) else {
+            break false;
+        };
+        *pos += c.len_utf8();
+        match c {
+            '\\' => {
+                // Skip the escaped char (any char, including `"` and `\`).
+                if let Some(esc) = at(src, *pos) {
+                    *pos += esc.len_utf8();
+                }
+            }
+            '"' => break true,
+            _ => {}
+        }
+    };
+    TokenKind::StrLit { terminated }
+}
+
+/// `'` starts a lifetime, a char literal, or (rarely) garbage.
+fn scan_quote(src: &str, pos: &mut usize) -> TokenKind {
+    let quote = *pos;
+    *pos += 1;
+    match at(src, *pos) {
+        // `'\…'` is always a char literal.
+        Some('\\') => scan_char_tail(src, pos),
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            // `'x'` char vs `'x…` lifetime: a closing quote right after one
+            // ident char means char literal; otherwise it's a lifetime.
+            let after = quote + 1 + c.len_utf8();
+            if at(src, after) == Some('\'') {
+                *pos = after + 1;
+                TokenKind::CharLit { terminated: true }
+            } else {
+                eat_while(src, pos, is_ident_continue);
+                TokenKind::Lifetime
+            }
+        }
+        // `'('`, `'.'`, `' '` and friends: char literal iff closed.
+        Some(c) if c != '\'' && c != '\n' => {
+            let after = quote + 1 + c.len_utf8();
+            if at(src, after) == Some('\'') {
+                *pos = after + 1;
+                TokenKind::CharLit { terminated: true }
+            } else {
+                // A stray quote (e.g. inside a macro pattern); emit it
+                // alone so the next token restarts cleanly.
+                *pos = quote + 1;
+                TokenKind::Unknown
+            }
+        }
+        _ => {
+            *pos = quote + 1;
+            TokenKind::Unknown
+        }
+    }
+}
+
+/// After `'\`: consume the escape and scan to the closing quote.
+fn scan_char_tail(src: &str, pos: &mut usize) -> TokenKind {
+    *pos += 1; // the backslash
+    if let Some(esc) = at(src, *pos) {
+        *pos += esc.len_utf8();
+    }
+    let terminated = loop {
+        let Some(c) = at(src, *pos) else {
+            break false;
+        };
+        if c == '\n' {
+            break false;
+        }
+        *pos += c.len_utf8();
+        if c == '\'' {
+            break true;
+        }
+    };
+    TokenKind::CharLit { terminated }
+}
+
+/// `r` / `b` / `br` prefixes: raw strings, byte strings, raw idents — or a
+/// plain identifier when none of those match.
+fn scan_r_or_b(src: &str, pos: &mut usize) -> TokenKind {
+    let rest = src.get(*pos..).unwrap_or("");
+    // Longest-prefix dispatch. `b` before `br` would mislex `br"…"`.
+    if let Some(tail) = rest.strip_prefix("br") {
+        if let Some(kind) = try_raw_string(src, pos, 2, tail) {
+            return kind;
+        }
+    }
+    if let Some(tail) = rest.strip_prefix('r') {
+        if let Some(kind) = try_raw_string(src, pos, 1, tail) {
+            return kind;
+        }
+        // Raw identifier: `r#name`.
+        if let Some(t) = tail.strip_prefix('#') {
+            if t.chars().next().is_some_and(is_ident_start) {
+                *pos += 2;
+                eat_while(src, pos, is_ident_continue);
+                return TokenKind::RawIdent;
+            }
+        }
+    }
+    if rest.starts_with("b\"") {
+        *pos += 1;
+        return scan_string(src, pos);
+    }
+    if rest.starts_with("b'") {
+        *pos += 1;
+        return scan_quote(src, pos);
+    }
+    eat_while(src, pos, is_ident_continue);
+    TokenKind::Ident
+}
+
+/// If `tail` (the text after an `r`/`br` prefix of byte length
+/// `prefix_len`) opens a raw string (`#…#"` then `"`), consume it.
+fn try_raw_string(src: &str, pos: &mut usize, prefix_len: usize, tail: &str) -> Option<TokenKind> {
+    let hashes = tail.bytes().take_while(|&b| b == b'#').count();
+    if tail.as_bytes().get(hashes) != Some(&b'"') {
+        return None;
+    }
+    *pos += prefix_len + hashes + 1; // prefix, hashes, opening quote
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    let terminated = loop {
+        let Some(remaining) = src.get(*pos..) else {
+            break false;
+        };
+        if remaining.is_empty() {
+            break false;
+        }
+        if remaining.starts_with(closer.as_str()) {
+            *pos += closer.len();
+            break true;
+        }
+        *pos = next_boundary(src, *pos);
+    };
+    Some(TokenKind::RawStrLit { terminated })
+}
+
+fn scan_number(src: &str, pos: &mut usize) -> TokenKind {
+    let is_num_body = |c: char| c.is_alphanumeric() || c == '_';
+    eat_while(src, pos, is_num_body);
+    // Fraction and signed-exponent continuation, e.g. `1.5`, `1e-3`,
+    // `2.5e+10f64` — but never eat the `..` of a range or a method dot.
+    loop {
+        let prev = src.get(..*pos).and_then(|s| s.chars().next_back());
+        match at(src, *pos) {
+            Some('.') => {
+                let next = at(src, *pos + 1);
+                if next.is_some_and(|c| c.is_ascii_digit()) {
+                    *pos += 1;
+                    eat_while(src, pos, is_num_body);
+                } else {
+                    break;
+                }
+            }
+            Some('+') | Some('-')
+                if matches!(prev, Some('e') | Some('E'))
+                    && at(src, *pos + 1).is_some_and(|c| c.is_ascii_digit()) =>
+            {
+                *pos += 1;
+                eat_while(src, pos, is_num_body);
+            }
+            _ => break,
+        }
+    }
+    TokenKind::NumLit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn reconstruct(src: &str) -> String {
+        lex(src).iter().map(|t| t.text(src)).collect()
+    }
+
+    #[test]
+    fn tiles_and_reconstructs_simple_source() {
+        let src = "fn main() { let x = 1 + 2; }\n";
+        let toks = lex(src);
+        assert_eq!(reconstruct(src), src);
+        let mut expected_start = 0;
+        for t in &toks {
+            assert_eq!(t.start, expected_start, "tokens must tile: {t:?}");
+            assert!(t.end > t.start);
+            expected_start = t.end;
+        }
+        assert_eq!(expected_start, src.len());
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "panic! unwrap() // not a comment";"#;
+        let toks = kinds(src);
+        assert!(toks.iter().any(
+            |(k, text)| matches!(k, TokenKind::StrLit { terminated: true })
+                && text.contains("panic!")
+        ));
+        // No Ident token named panic/unwrap escaped the string.
+        assert!(!toks
+            .iter()
+            .any(|(k, text)| *k == TokenKind::Ident && (*text == "panic" || *text == "unwrap")));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let src = r#""a\"b" x"#;
+        let toks = kinds(src);
+        assert_eq!(
+            toks[0],
+            (TokenKind::StrLit { terminated: true }, r#""a\"b""#)
+        );
+        assert_eq!(
+            toks.last().map(|(k, t)| (*k, *t)),
+            Some((TokenKind::Ident, "x"))
+        );
+    }
+
+    #[test]
+    fn raw_strings_ignore_escapes_and_match_hashes() {
+        let src = r###"r#"a "quote" \"#,"###;
+        let toks = kinds(src);
+        assert_eq!(
+            toks[0],
+            (
+                TokenKind::RawStrLit { terminated: true },
+                r###"r#"a "quote" \"#"###
+            )
+        );
+        let src2 = "br##\"bytes\"##;";
+        assert!(matches!(
+            kinds(src2)[0],
+            (TokenKind::RawStrLit { terminated: true }, _)
+        ));
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s = 'static_thing; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static_thing"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::CharLit { .. }))
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_at_balance() {
+        let src = "/* outer /* inner */ still outer */ ident";
+        let toks = kinds(src);
+        assert_eq!(
+            toks[0],
+            (
+                TokenKind::BlockComment {
+                    doc: false,
+                    terminated: true
+                },
+                "/* outer /* inner */ still outer */"
+            )
+        );
+        assert_eq!(
+            toks.last().map(|(k, t)| (*k, *t)),
+            Some((TokenKind::Ident, "ident"))
+        );
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        assert!(matches!(
+            kinds("/// doc")[0].0,
+            TokenKind::LineComment { doc: true }
+        ));
+        assert!(matches!(
+            kinds("//! inner doc")[0].0,
+            TokenKind::LineComment { doc: true }
+        ));
+        assert!(matches!(
+            kinds("//// not doc")[0].0,
+            TokenKind::LineComment { doc: false }
+        ));
+        assert!(matches!(
+            kinds("/** block doc */")[0].0,
+            TokenKind::BlockComment { doc: true, .. }
+        ));
+        assert!(matches!(
+            kinds("/**/")[0].0,
+            TokenKind::BlockComment { doc: false, .. }
+        ));
+    }
+
+    #[test]
+    fn raw_idents_are_not_raw_strings() {
+        let toks = kinds("r#match r\"raw\" rest");
+        assert_eq!(toks[0], (TokenKind::RawIdent, "r#match"));
+        assert_eq!(
+            toks[2],
+            (TokenKind::RawStrLit { terminated: true }, "r\"raw\"")
+        );
+        assert_eq!(toks[4], (TokenKind::Ident, "rest"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = kinds("0..block.len() 1.5e-3f64 0xFF_u8");
+        assert_eq!(toks[0], (TokenKind::NumLit, "0"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        assert_eq!(toks[2], (TokenKind::Punct, "."));
+        assert_eq!(toks[3], (TokenKind::Ident, "block"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && *t == "1.5e-3f64"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && *t == "0xFF_u8"));
+    }
+
+    #[test]
+    fn unterminated_forms_run_to_eof_without_panicking() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "'\\n",
+            "b\"open",
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.iter().map(|t| t.text(src)).collect::<String>(), src);
+        }
+    }
+
+    #[test]
+    fn stray_quote_advances_one_byte() {
+        let src = "' foo";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Unknown, "'"));
+        assert_eq!(toks[2], (TokenKind::Ident, "foo"));
+    }
+}

@@ -1,0 +1,20 @@
+//! sirum-lint: a hand-rolled, zero-dependency static-analysis pass that
+//! enforces the workspace's own invariants — panic-freedom in library
+//! code (SL001), cancellation polling in data-scale loops (SL002), no
+//! lock guard live across blocking calls (SL003), accept-loop purity
+//! (SL004), and no `unsafe` (SL005). See DESIGN.md "Enforced invariants"
+//! for the rule-by-rule rationale.
+//!
+//! Pipeline: [`lexer`] (total, tiling Rust lexer) → [`syntax`]
+//! (brackets, test spans, fns, loops, pragmas) → [`rules`] (token/
+//! structure passes) → [`driver`] (discovery, suppression, report).
+
+pub mod diag;
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+pub mod syntax;
+
+pub use diag::Finding;
+pub use driver::{check_paths, check_sources, check_tree, discover_files, Report};
+pub use syntax::SourceFile;

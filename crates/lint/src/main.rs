@@ -1,0 +1,117 @@
+//! The `sirum-lint` binary.
+//!
+//! ```text
+//! sirum-lint --check [--format human|json] [--stats] [--root DIR]
+//!            [--budget-ms N] [--list-rules] [FILE..]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or time budget exceeded), 2 usage or
+//! IO error. `FILE..` are workspace-relative paths; without them the
+//! whole tree under `--root` (default `.`) is discovered.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sirum_lint::driver;
+
+struct Options {
+    format_json: bool,
+    stats: bool,
+    list_rules: bool,
+    root: PathBuf,
+    budget_ms: Option<u128>,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        format_json: false,
+        stats: false,
+        list_rules: false,
+        root: PathBuf::from("."),
+        budget_ms: None,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {} // checking is the only mode; accepted for clarity
+            "--stats" => opts.stats = true,
+            "--list-rules" => opts.list_rules = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => opts.format_json = false,
+                Some("json") => opts.format_json = true,
+                other => {
+                    return Err(format!(
+                        "--format expects `human` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--root" => match it.next() {
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => return Err("--root expects a directory".to_string()),
+            },
+            "--budget-ms" => match it.next().map(|v| v.parse::<u128>()) {
+                Some(Ok(ms)) => opts.budget_ms = Some(ms),
+                _ => return Err("--budget-ms expects a number".to_string()),
+            },
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}\n{USAGE}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: sirum-lint --check [--format human|json] [--stats] \
+[--root DIR] [--budget-ms N] [--list-rules] [FILE..]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in sirum_lint::rules::all() {
+            println!("{}  {}", rule.code(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let result = if opts.files.is_empty() {
+        driver::check_tree(&opts.root)
+    } else {
+        driver::check_paths(&opts.root, &opts.files)
+    };
+    let report = match result {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("sirum-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.format_json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if opts.stats {
+        eprint!("{}", report.render_stats());
+    }
+    let elapsed_ms = report.nanos / 1_000_000;
+    if let Some(budget) = opts.budget_ms {
+        if elapsed_ms > budget {
+            eprintln!("sirum-lint: run took {elapsed_ms} ms, over the {budget} ms budget");
+            return ExitCode::from(1);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,89 @@
+//! SL002 — cancellation-poll: data-scale loops in the hot mining modules
+//! must observe cancellation. The exact bug class PR 6 patched: the sweep
+//! originally polled per *emitted pair*, so a stretch of rows emitting
+//! nothing could stall cancellation unboundedly. A loop whose header
+//! iterates a whole row/partition/fold/block collection must contain a
+//! `CancellationToken` poll or a work-unit-counter poll (`tick`) somewhere
+//! in its body — directly or through a nested loop.
+//!
+//! Scope: `core::sweep`, `core::scaling`, `core::rct`, `core::candidates`
+//! — the modules on the per-iteration data path. The heuristic is the
+//! header identifier set {`rows`, `partitions`, `folds`, `blocks`}:
+//! iterating one of those collections is a scan whose length tracks the
+//! data, not a bounded bookkeeping loop.
+
+use super::{finding_at, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::syntax::SourceFile;
+
+/// See module docs.
+pub struct CancellationPoll;
+
+const HOT_MODULES: &[&str] = &[
+    "crates/core/src/sweep.rs",
+    "crates/core/src/scaling.rs",
+    "crates/core/src/rct.rs",
+    "crates/core/src/candidates.rs",
+];
+
+/// Iterating one of these collections marks a data-scale loop.
+const DATA_COLLECTIONS: &[&str] = &["rows", "partitions", "folds", "blocks"];
+
+/// Any identifier containing "cancel", or equal to one of these, counts
+/// as a poll: `tick` is the sweep's work-unit counter, `poll`-named
+/// helpers poll by construction, and `CANCEL_POLL_ROWS` is matched by the
+/// contains-"cancel" test (case-insensitive).
+const POLL_IDENTS: &[&str] = &["tick", "poll"];
+
+fn is_poll_ident(text: &str) -> bool {
+    text.to_ascii_lowercase().contains("cancel") || POLL_IDENTS.contains(&text)
+}
+
+impl Rule for CancellationPoll {
+    fn code(&self) -> &'static str {
+        "SL002"
+    }
+
+    fn describe(&self) -> &'static str {
+        "row/partition/fold-scale loops in core::{sweep,scaling,rct,candidates} must poll cancellation"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        HOT_MODULES.contains(&rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for l in &file.loops {
+            if file.in_test(file.sig_offset(l.keyword)) {
+                continue;
+            }
+            let Some(collection) = (l.header.0..l.header.1).find_map(|h| {
+                let t = file.sig_text(h);
+                if file.sig_kind(h) == Some(TokenKind::Ident) && DATA_COLLECTIONS.contains(&t) {
+                    Some(t.to_string())
+                } else {
+                    None
+                }
+            }) else {
+                continue;
+            };
+            let polls = (l.body.0 + 1..l.body.1).any(|b| {
+                file.sig_kind(b) == Some(TokenKind::Ident) && is_poll_ident(file.sig_text(b))
+            });
+            if !polls {
+                finding_at(
+                    file,
+                    l.keyword,
+                    self.code(),
+                    format!(
+                        "loop over `{collection}` has no cancellation poll in its body; \
+                         poll a CancellationToken (or a CANCEL_POLL_ROWS-style work-unit \
+                         counter) so cancellation latency stays bounded"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! SL004 — accept-loop purity: the listener accept loop in `net::server`
+//! must stay non-blocking between `accept()` calls. Every millisecond the
+//! accept thread spends inside service work is a millisecond the kernel
+//! backlog grows; under load that turns into connect timeouts *before*
+//! admission control ever sees the request. The loop may accept, do
+//! `try_`-prefixed admission calls, hand the socket to a worker, and log
+//! — nothing that can block (service submits, waits, channel receives,
+//! locks, socket IO, mining entry points).
+
+use super::{finding_at, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::syntax::SourceFile;
+
+/// See module docs.
+pub struct AcceptLoopPurity;
+
+/// Calls forbidden inside an accept loop. `try_submit`/`try_*` variants
+/// are different identifiers and stay allowed by construction.
+const FORBIDDEN: &[&str] = &[
+    "submit",
+    "wait",
+    "wait_timeout",
+    "recv",
+    "recv_timeout",
+    "join",
+    "sleep",
+    "lock",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "mine",
+    "mine_more",
+    "execute",
+    "ingest",
+    "handle",
+];
+
+impl Rule for AcceptLoopPurity {
+    fn code(&self) -> &'static str {
+        "SL004"
+    }
+
+    fn describe(&self) -> &'static str {
+        "the net::server accept loop must not call blocking service operations"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        rel_path == "src/net/server.rs"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let spawned = super::spawn_arg_spans(file);
+        for l in &file.loops {
+            if file.in_test(file.sig_offset(l.keyword)) {
+                continue;
+            }
+            let body = l.body.0 + 1..l.body.1;
+            let is_accept_loop = body
+                .clone()
+                .any(|j| file.sig_is_ident(j, "accept") && file.sig_text(j + 1) == "(");
+            if !is_accept_loop {
+                continue;
+            }
+            for j in body {
+                if file.sig_kind(j) == Some(TokenKind::Ident)
+                    && FORBIDDEN.contains(&file.sig_text(j))
+                    && file.sig_text(j + 1) == "("
+                    && !super::in_spans(j, &spawned)
+                {
+                    finding_at(
+                        file,
+                        j,
+                        self.code(),
+                        format!(
+                            "`{}(…)` inside the accept loop can block the accept \
+                             thread; use a `try_`-variant or move the work to a \
+                             connection thread",
+                            file.sig_text(j)
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

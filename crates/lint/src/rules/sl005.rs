@@ -1,0 +1,47 @@
+//! SL005 — unsafe-forbidden: no `unsafe` anywhere in the workspace's own
+//! code. The mining engine gets its performance from layout and algorithm
+//! choices (columnar frames, packed rule codes, zero-copy views), not
+//! from `unsafe`; the vendored shims that genuinely need it live outside
+//! the linted tree. The allowlist below is intentionally empty — adding
+//! an entry is a reviewed decision, not a pragma.
+
+use super::{finding_at, Rule};
+use crate::diag::Finding;
+use crate::syntax::SourceFile;
+
+/// See module docs.
+pub struct UnsafeForbidden;
+
+/// Workspace-relative paths permitted to contain `unsafe`. Empty today;
+/// extend only with review (and say why here).
+const ALLOWLIST: &[&str] = &[];
+
+impl Rule for UnsafeForbidden {
+    fn code(&self) -> &'static str {
+        "SL005"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no `unsafe` outside the (currently empty) allowlist"
+    }
+
+    fn applies(&self, rel_path: &str) -> bool {
+        !ALLOWLIST.contains(&rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for i in 0..file.sig.len() {
+            if file.sig_is_ident(i, "unsafe") {
+                finding_at(
+                    file,
+                    i,
+                    self.code(),
+                    "`unsafe` is forbidden in workspace code; if it is truly \
+                     unavoidable, add the file to the SL005 allowlist with review"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}

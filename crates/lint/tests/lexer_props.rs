@@ -1,0 +1,85 @@
+//! Lexer properties: (1) the token stream exactly tiles the input — so
+//! concatenating token texts reconstructs the source byte-for-byte — on
+//! generated Rust-ish programs, and (2) the lexer is total: arbitrary
+//! bytes (via `from_utf8_lossy`) never panic it, never stall it, and
+//! still tile.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sirum_lint::lexer::lex;
+
+/// Fragments covering every lexer mode, including the nasty ones:
+/// nested/unterminated comments, raw strings with hashes, byte strings,
+/// lifetimes vs char literals, raw identifiers, float exponents.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { x.unwrap(); }",
+    "let s = \"panic! inside\";",
+    "let r = r#\"raw \"quoted\" text\"#;",
+    "let b = b\"bytes\";",
+    "let br = br##\"double hash\"##;",
+    "let c = 'x';",
+    "let esc = '\\n';",
+    "let life: &'static str = \"\";",
+    "for<'a> fn(&'a u32)",
+    "let r#type = 1;",
+    "/* outer /* nested */ still comment */",
+    "// line comment with panic!\n",
+    "/// doc comment\n",
+    "//! inner doc\n",
+    "let f = 1.5e-3f64;",
+    "let n = 0xFF_u8;",
+    "let range = 0..10;",
+    "let float_method = 1.0f64.sqrt();",
+    "match x { Some(_) => {} None => {} }",
+    "let unterminated = \"runs to eof",
+    "/* unterminated block",
+    "let stray = '",
+    "#[cfg(test)] mod t { }",
+    "impl<'a, T: Clone> X<'a, T> { }",
+    "q!{ weird tokens => $x # }",
+];
+
+fn rustish_source() -> impl Strategy<Value = String> {
+    vec((0..FRAGMENTS.len()).prop_map(|i| FRAGMENTS[i]), 0..12).prop_map(|parts| parts.join("\n"))
+}
+
+/// Tokens must be non-empty, contiguous, and cover `src` exactly.
+fn assert_tiles(src: &str) {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    for t in &tokens {
+        assert_eq!(
+            t.start, cursor,
+            "gap or overlap at byte {cursor} in {src:?}"
+        );
+        assert!(t.end > t.start, "empty token at byte {cursor} in {src:?}");
+        cursor = t.end;
+    }
+    assert_eq!(cursor, src.len(), "tokens do not cover the tail of {src:?}");
+    let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+    assert_eq!(rebuilt, src, "reconstruction mismatch");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrips_rustish_source(src in rustish_source()) {
+        assert_tiles(&src);
+    }
+
+    #[test]
+    fn total_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiles(&src);
+    }
+
+    #[test]
+    fn total_on_arbitrary_text_with_quotes(chunks in vec(prop_oneof![
+        Just("\""), Just("'"), Just("r#"), Just("b\""), Just("\\"),
+        Just("/*"), Just("*/"), Just("//"), Just("\n"), Just("x"), Just("0"),
+    ], 0..64)) {
+        let src: String = chunks.concat();
+        assert_tiles(&src);
+    }
+}

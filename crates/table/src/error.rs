@@ -132,7 +132,7 @@ impl From<std::io::Error> for TableError {
 /// available while every fallible path returns [`TableError`].
 #[track_caller]
 pub(crate) fn fail(err: TableError) -> ! {
-    panic!("{err}") // lint:allow-panic — sole bridge for infallible wrappers
+    panic!("{err}") // lint:allow(SL001) — sole bridge for infallible wrappers
 }
 
 #[cfg(test)]

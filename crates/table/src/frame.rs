@@ -46,7 +46,7 @@ impl<T> ColSlice<T> {
     /// # Panics
     /// Panics if the range exceeds the current slice.
     pub fn slice(&self, start: usize, len: usize) -> Self {
-        // lint:allow-assert — documented range contract, mirrors `[T]` slicing
+        // lint:allow(SL001) — documented range contract, mirrors `[T]` slicing
         assert!(start + len <= self.len, "ColSlice range out of bounds");
         ColSlice {
             data: Arc::clone(&self.data),
@@ -169,12 +169,12 @@ impl Frame {
         cards: Vec<u32>,
     ) -> Frame {
         let n = measure.len();
-        // lint:allow-assert — constructor contract; ragged columns are a logic error
+        // lint:allow(SL001) — constructor contract; ragged columns are a logic error
         assert!(
             cols.iter().all(|c| c.len() == n),
             "every dimension column must have one code per row"
         );
-        // lint:allow-assert — constructor contract, same class as the ragged check
+        // lint:allow(SL001) — constructor contract, same class as the ragged check
         assert!(
             cards.len() == cols.len(),
             "one cardinality per dimension column"
@@ -340,7 +340,7 @@ impl FrameView {
     /// # Panics
     /// Panics if the range exceeds the view.
     pub fn slice(&self, start: usize, len: usize) -> FrameView {
-        // lint:allow-assert — documented range contract, mirrors `[T]` slicing
+        // lint:allow(SL001) — documented range contract, mirrors `[T]` slicing
         assert!(start + len <= self.len, "FrameView range out of bounds");
         FrameView {
             frame: self.frame.clone(),

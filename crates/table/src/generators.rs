@@ -27,7 +27,7 @@ pub struct Zipf {
 impl Zipf {
     /// Build a sampler for `cardinality` values with exponent `s`.
     pub fn new(cardinality: usize, s: f64) -> Self {
-        // lint:allow-assert — generator-internal contract; all call sites pass literal cardinalities
+        // lint:allow(SL001) — generator-internal contract; all call sites pass literal cardinalities
         assert!(cardinality > 0);
         let mut cdf = Vec::with_capacity(cardinality);
         let mut total = 0.0;

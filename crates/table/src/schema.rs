@@ -73,7 +73,7 @@ impl Schema {
     /// Schema restricted to the first `d` dimension attributes (used for the
     /// paper's SUSY projections over 10..18 dims).
     pub fn project(&self, d: usize) -> Schema {
-        // lint:allow-assert — documented projection contract; miner validates dimension counts first
+        // lint:allow(SL001) — documented projection contract; miner validates dimension counts first
         assert!(d >= 1 && d <= self.dims.len());
         Schema {
             dims: self.dims[..d].to_vec(),

@@ -106,7 +106,7 @@ impl Table {
     /// Restrict the table to its first `d` dimension attributes (the paper's
     /// SUSY projections, Fig 3.2 / 5.7).
     pub fn project(&self, d: usize) -> Table {
-        // lint:allow-assert — documented projection contract; miner validates dimension counts first
+        // lint:allow(SL001) — documented projection contract; miner validates dimension counts first
         assert!(d >= 1 && d <= self.num_dims());
         let full_d = self.num_dims();
         let mut dims = Vec::with_capacity(self.num_rows() * d);
@@ -141,7 +141,7 @@ impl Table {
     /// Replace the measure column (used by measure transforms). The new
     /// column must have one value per row.
     pub fn with_measure(&self, measure: Vec<f64>) -> Table {
-        // lint:allow-assert — documented with_measure contract; test/bench helper for swapping columns
+        // lint:allow(SL001) — documented with_measure contract; test/bench helper for swapping columns
         assert_eq!(measure.len(), self.num_rows());
         Table {
             schema: self.schema.clone(),

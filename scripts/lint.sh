@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# One-shot hygiene gate: formatting, clippy, and the workspace's own
+# static-analysis pass (sirum-lint). Mirrors what CI runs, so a clean
+# `scripts/lint.sh` locally means the lint jobs will pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== sirum-lint --check"
+cargo run -q -p sirum_lint -- --check "$@"

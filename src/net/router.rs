@@ -38,7 +38,11 @@ impl Default for RouterConfig {
 pub struct Router {
     service: SirumService,
     metrics: Arc<NetMetrics>,
-    streams: Mutex<HashMap<String, IngestHandle>>,
+    // Two-level locking: the outer map lock is only ever held to look up
+    // or insert an entry, never across ingest/mining work; each stream
+    // serializes its own operations behind its own mutex, so a slow
+    // `mine_more` on one table cannot stall `POST /stream` on another.
+    streams: Mutex<HashMap<String, Arc<Mutex<IngestHandle>>>>,
     started: Instant,
     config: RouterConfig,
 }
@@ -640,19 +644,26 @@ impl Router {
             },
         };
 
-        let mut streams = self.streams.lock();
-        let handle = match streams.entry(table.to_string()) {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(slot) => match self.service.stream(table) {
-                Ok(handle) => slot.insert(handle),
-                Err(e) => return service_error(&e),
-            },
+        let stream = {
+            let mut streams = self.streams.lock();
+            match streams.entry(table.to_string()) {
+                std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    match self.service.stream(table) {
+                        Ok(handle) => Arc::clone(slot.insert(Arc::new(Mutex::new(handle)))),
+                        Err(e) => return service_error(&e),
+                    }
+                }
+            }
         };
+        let mut handle = stream.lock();
         let borrowed: Vec<(&[u32], f64)> = rows.iter().map(|(r, m)| (r.as_slice(), *m)).collect();
+        // lint:allow(SL003) — per-stream guard: serializing one stream's own ingest is the contract
         if let Err(e) = handle.ingest(&borrowed) {
             return service_error(&e);
         }
         let added = match mine_more {
+            // lint:allow(SL003) — per-stream guard: mine_more extends this stream's own pool
             Some(k) => match handle.mine_more(k) {
                 Ok(added) => added.len(),
                 Err(e) => return service_error(&e),

@@ -161,6 +161,7 @@ fn accept_loop(
                 }
                 // Transient accept failure (EMFILE, aborted handshake):
                 // back off briefly instead of spinning.
+                // lint:allow(SL004) — bounded 10 ms backoff on accept errors, the one deliberate pause in this loop
                 thread::sleep(Duration::from_millis(10));
                 continue;
             }

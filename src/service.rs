@@ -547,7 +547,12 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        if let Some(state) = self.state.lock().take() {
+        // Take the state out in its own statement: an `if let` scrutinee
+        // would keep the MutexGuard temporary alive across the joins
+        // below (edition-2021 temporary scoping), so a worker that
+        // touched the pool while we wait would deadlock shutdown.
+        let state = self.state.lock().take();
+        if let Some(state) = state {
             drop(state.sender); // disconnect; workers drain the queue and exit
             for handle in state.handles {
                 let _ = handle.join();
@@ -1632,6 +1637,7 @@ impl JobShared {
             }
             slot = self
                 .done
+                // lint:allow(SL003) — Condvar::wait_timeout atomically releases the guard while parked
                 .wait_timeout(slot, remaining)
                 .unwrap_or_else(|e| e.into_inner())
                 .0;
@@ -1747,6 +1753,7 @@ impl JobHandle {
             slot = self
                 .shared
                 .done
+                // lint:allow(SL003) — Condvar::wait_timeout atomically releases the guard while parked
                 .wait_timeout(slot, remaining)
                 .unwrap_or_else(|e| e.into_inner())
                 .0;
@@ -1776,6 +1783,7 @@ impl JobHandle {
                     slot = self
                         .shared
                         .done
+                        // lint:allow(SL003) — Condvar::wait atomically releases the guard while parked
                         .wait(slot)
                         .unwrap_or_else(|e| e.into_inner());
                 }
