@@ -10,7 +10,12 @@ use std::fmt;
 pub const WILDCARD: u32 = u32::MAX;
 
 /// A rule: one dictionary code or [`WILDCARD`] per dimension attribute.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// `Ord` (lexicographic over the value slice, like the derived `Eq`)
+/// exists so rules can key ordered containers and sort shuffle output —
+/// the dataflow layer orders reduce results by key to keep distributed
+/// aggregation independent of hash-iteration order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Rule {
     values: Box<[u32]>,
 }

@@ -26,6 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sirum_dataflow::hash::FxHashMap;
 use sirum_table::Table;
+use std::collections::BTreeMap;
 
 /// Configuration of the streaming maintainer.
 #[derive(Debug, Clone)]
@@ -68,7 +69,9 @@ pub struct StreamingMiner {
     masks: Vec<u64>,
     // RCT sufficient statistics, maintained incrementally. `sum_mlnm`
     // additionally enables exact KL computation from group stats alone.
-    groups: FxHashMap<u64, (RctGroup, f64)>,
+    // BTreeMap, not a hash map: group order feeds Rct::from_partials and
+    // must not depend on mask insertion history (SL007).
+    groups: BTreeMap<u64, (RctGroup, f64)>,
     reservoir: Vec<Box<[u32]>>,
     seen: u64,
     rng: StdRng,
@@ -95,7 +98,7 @@ impl StreamingMiner {
             cols: (0..d).map(|_| Vec::new()).collect(),
             measures: Vec::new(),
             masks: Vec::new(),
-            groups: FxHashMap::default(),
+            groups: BTreeMap::new(),
             reservoir: Vec::new(),
             seen: 0,
             rng,
@@ -303,7 +306,7 @@ impl StreamingMiner {
         self.rules.push(rule);
         self.lambdas.push(1.0);
         self.m_sums.push(sum_m);
-        let mut groups: FxHashMap<u64, (RctGroup, f64)> = FxHashMap::default();
+        let mut groups: BTreeMap<u64, (RctGroup, f64)> = BTreeMap::new();
         let rule = self.rules[w].clone();
         // Columnar coverage test: only the rule's constant columns are read.
         let consts: Vec<(usize, u32)> = rule.constants().collect();
@@ -392,6 +395,33 @@ mod tests {
         // Same model (single rule → λ is the global average).
         assert!((bulk.lambdas()[0] - batched.lambdas()[0]).abs() < 1e-6);
         assert!((bulk.kl() - batched.kl()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_order_does_not_change_the_model() {
+        // Regression (SL007): `groups` was a hash map, so the RCT group
+        // order Rct::from_partials saw depended on mask insertion
+        // history — reordered rows could converge through a different
+        // group ordering and even break mining ties differently. The
+        // group order is now sorted by mask; only the ulp-level noise of
+        // within-group accumulation order may remain.
+        let rows: Vec<(Vec<u32>, f64)> = (0..240)
+            .map(|i| (vec![i % 4, i % 3, i % 5], f64::from(1 + i % 7)))
+            .collect();
+        let forward: Vec<(&[u32], f64)> = rows.iter().map(|(r, m)| (r.as_slice(), *m)).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let mut a = StreamingMiner::new(3, tight());
+        a.ingest(&forward);
+        a.mine_more(2);
+        let mut b = StreamingMiner::new(3, tight());
+        b.ingest(&reversed);
+        b.mine_more(2);
+        assert_eq!(a.rules(), b.rules());
+        for (la, lb) in a.lambdas().iter().zip(b.lambdas()) {
+            assert!((la - lb).abs() < 1e-9, "{la} vs {lb}");
+        }
+        assert!((a.kl() - b.kl()).abs() < 1e-9, "{} vs {}", a.kl(), b.kl());
     }
 
     #[test]

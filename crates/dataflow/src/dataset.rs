@@ -440,7 +440,7 @@ impl<T: Record> Dataset<T> {
 
 impl<K, V> Dataset<(K, V)>
 where
-    K: Record + Eq + Hash,
+    K: Record + Eq + Hash + Ord,
     V: Record,
 {
     /// Hash-shuffle aggregation with map-side combine (the workhorse of the
@@ -484,8 +484,13 @@ where
                     }
                 }
                 let records_out = combined.len() as u64;
+                // Drain the combine map through a key sort so bucket
+                // contents (and thus shuffle layout and disk spill
+                // bytes) never depend on hash-iteration order.
+                let mut drained: Vec<(K, V)> = combined.into_iter().collect();
+                drained.sort_unstable_by(|a, b| a.0.cmp(&b.0));
                 let mut split: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
-                for (k, v) in combined {
+                for (k, v) in drained {
                     let p = (fx_hash_one(&k) % partitions as u64) as usize;
                     split[p].push((k, v));
                 }
@@ -544,7 +549,10 @@ where
                         }
                     }
                 }
-                let out: Vec<(K, V)> = merged.into_iter().collect();
+                // Key-sorted output: reducer partitions have a stable
+                // record order regardless of merge arrival order.
+                let mut out: Vec<(K, V)> = merged.into_iter().collect();
+                out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
                 TaskOutput {
                     records_in,
                     records_out: out.len() as u64,
@@ -646,6 +654,25 @@ mod tests {
             .map(|k| (k, (0..1000).filter(|i| i % 13 == k).count() as u64))
             .collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn reduce_by_key_output_order_is_input_order_independent() {
+        // Regression (SL007): map-side combine and reduce-side merge both
+        // went through hash maps, so the *order* of the collected output
+        // tracked hash-iteration order of the input. Both sides now drain
+        // through a key sort; the exact output sequence (no re-sorting
+        // here) must survive any input permutation.
+        let run = |pairs: Vec<(u32, u64)>| -> Vec<(u32, u64)> {
+            let e = engine();
+            e.parallelize(pairs, 1)
+                .reduce_by_key("count", 3, |a, b| *a += b)
+                .collect()
+        };
+        let forward: Vec<(u32, u64)> = (0..400).map(|i| (i % 17, u64::from(i))).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        assert_eq!(run(forward), run(reversed));
     }
 
     #[test]

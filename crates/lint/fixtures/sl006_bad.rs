@@ -1,0 +1,34 @@
+//! SL006 positives, linted under a synthetic path (src/state.rs): a
+//! seeded ABBA lock-order inversion. `forward` holds `alpha` while
+//! transitively (via `fill`) acquiring `beta`; `backward` holds `beta`
+//! while acquiring `alpha` directly. The cycle is reported once, with
+//! both witness paths, anchored at the outer acquisition of the first
+//! edge.
+
+pub struct Pair {
+    alpha: Mutex<Vec<u32>>,
+    beta: Mutex<Vec<u32>>,
+}
+
+impl Pair {
+    pub fn forward(&self, v: u32) {
+        let held = self.alpha.lock(); // line 15: cycle anchored here
+        self.fill(v);
+        drop(held);
+    }
+
+    fn fill(&self, v: u32) {
+        self.beta.lock().push(v);
+    }
+
+    pub fn backward(&self, v: u32) {
+        let held = self.beta.lock();
+        self.alpha.lock().push(v);
+        drop(held);
+    }
+}
+
+/// Shim so the fixture reads like real code (never compiled).
+pub struct Mutex<T> {
+    value: T,
+}

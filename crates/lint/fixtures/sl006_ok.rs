@@ -1,0 +1,36 @@
+//! SL006 negatives, linted under a synthetic path (src/state.rs):
+//! every multi-lock path acquires in the same order (`alpha` before
+//! `beta`), both directly and through a callee, so the lock-order
+//! graph has edges but no cycle.
+
+pub struct Pair {
+    alpha: Mutex<Vec<u32>>,
+    beta: Mutex<Vec<u32>>,
+}
+
+impl Pair {
+    pub fn forward(&self, v: u32) {
+        let held = self.alpha.lock();
+        self.fill(v);
+        drop(held);
+    }
+
+    fn fill(&self, v: u32) {
+        self.beta.lock().push(v);
+    }
+
+    pub fn also_forward(&self, v: u32) {
+        let held = self.alpha.lock();
+        self.beta.lock().push(v);
+        drop(held);
+    }
+
+    pub fn single(&self, v: u32) {
+        self.beta.lock().push(v);
+    }
+}
+
+/// Shim so the fixture reads like real code (never compiled).
+pub struct Mutex<T> {
+    value: T,
+}

@@ -1,0 +1,19 @@
+//! SL008 positives, linted under a synthetic path (crates/core/src/x.rs):
+//! Result values silently discarded in library code.
+
+pub fn persist(data: &[u8]) -> Result<(), Error> {
+    store(data)
+}
+
+pub fn run(data: &[u8], handle: Handle) {
+    let _ = persist(data); // line 9: workspace oracle says persist returns Result
+    let _ = handle.join(); // line 10: join is std-fallible
+    persist(data).ok(); // line 11, col 19: terminal `.ok()` discard
+}
+
+/// Shims so the fixture reads like real code (never compiled).
+pub struct Error;
+pub struct Handle;
+fn store(data: &[u8]) -> Result<(), Error> {
+    Ok(())
+}

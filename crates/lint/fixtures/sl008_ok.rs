@@ -1,0 +1,43 @@
+//! SL008 negatives, linted under a synthetic path (crates/core/src/x.rs):
+//! Results propagated or handled, infallible discards, fmt-to-buffer
+//! writes, and the reasoned-pragma escape hatch.
+
+use std::fmt::Write;
+
+pub fn persist(data: &[u8]) -> Result<(), Error> {
+    store(data)
+}
+
+pub fn tally(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+pub fn run(data: &[u8]) -> Result<(), Error> {
+    persist(data)?;
+    match persist(data) {
+        Ok(()) => {}
+        Err(e) => return Err(e),
+    }
+    let _ = tally(&[1]); // not a Result: discard is legal
+    // lint:allow(SL008) — fixture: demonstrates the reasoned escape hatch
+    let _ = persist(data);
+    Ok(())
+}
+
+pub fn buffered(out: &mut String) {
+    let _ = write!(out, "x"); // fmt-to-String cannot fail
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discards_are_fine_in_tests() {
+        let _ = super::persist(&[]);
+    }
+}
+
+/// Shims so the fixture reads like real code (never compiled).
+pub struct Error;
+fn store(data: &[u8]) -> Result<(), Error> {
+    Ok(())
+}

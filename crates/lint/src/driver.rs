@@ -1,24 +1,46 @@
-//! The driver: file discovery, per-file rule execution, pragma
-//! application, pragma hygiene (SL000), and the report CI archives.
+//! The driver: file discovery, the two-phase rule pipeline, the
+//! incremental cache, pragma application and hygiene (SL000), and the
+//! report CI archives.
+//!
+//! Phase 1 runs per file: lex → symbol-resolve → per-file rules (SL001–
+//! SL005, SL007), producing a serializable [`FileAnalysis`] — raw
+//! findings, pragmas, and the [`FileSummary`] digest the workspace layer
+//! needs. Phase 2 runs once: summaries → [`Workspace`] (call graph, lock
+//! propagation) → workspace rules (SL006, SL008). Suppression and pragma
+//! hygiene run last, over the *combined* findings, so a pragma blessing a
+//! workspace finding is "used" and a pragma blessing nothing is stale —
+//! whether its file was analyzed fresh or served from cache.
+//!
+//! The cache (`target/sirum-lint-cache.json`) keys each file by an
+//! FNV-1a content hash: unchanged files skip lexing and phase 1 entirely,
+//! while phase 2 always re-runs from summaries (it is cross-file by
+//! nature and cheap by construction). A missing or malformed cache is a
+//! cold run, never an error.
 //!
 //! Suppression contract: a finding on line L is suppressed only by a
 //! pragma whose blessed line is L, whose code list names the finding's
 //! rule, *and* which carries a `— reason`. Reasonless pragmas suppress
 //! nothing — they are themselves diagnosed, as are pragmas citing
-//! unknown codes, pragmas that suppress nothing (stale after a fix), and
-//! the retired `lint:allow-panic`/`lint:allow-assert` marker forms.
+//! unknown codes, stale pragmas, and the retired legacy marker forms.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use crate::callgraph::{FileSummary, Workspace};
 use crate::diag::{finding_json, json_escape, Finding};
+use crate::jsonio::{self, n, obj, s, Value};
 use crate::lexer::TokenKind;
+use crate::resolve::FileSymbols;
 use crate::rules;
-use crate::syntax::SourceFile;
+use crate::syntax::{Pragma, SourceFile};
 
 /// Pragma-hygiene pseudo-rule code. Not suppressible.
 pub const HYGIENE: &str = "SL000";
+
+/// Bump when [`FileAnalysis`] serialization changes shape; old caches
+/// are discarded wholesale.
+const CACHE_VERSION: u64 = 1;
 
 /// Directory names never descended into during discovery.
 const SKIP_DIRS: &[&str] = &["target", "fixtures", "vendor"];
@@ -28,7 +50,8 @@ const SKIP_DIRS: &[&str] = &["target", "fixtures", "vendor"];
 pub struct RuleStat {
     /// Rule code.
     pub code: &'static str,
-    /// Wall-clock nanoseconds spent in this rule's `check`.
+    /// Wall-clock nanoseconds spent in this rule's `check` (zero for
+    /// per-file rules on cache hits — that is the point of the cache).
     pub nanos: u128,
     /// Findings emitted (pre-suppression).
     pub raw_findings: usize,
@@ -42,12 +65,16 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Files analyzed.
     pub files: usize,
-    /// Bytes lexed.
+    /// Bytes lexed (cache hits count their recorded size).
     pub bytes: usize,
     /// Tokens produced.
     pub tokens: usize,
     /// Total wall-clock nanoseconds (lex + rules + suppression).
     pub nanos: u128,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files analyzed fresh.
+    pub cache_misses: usize,
     /// Per-rule breakdown.
     pub rule_stats: Vec<RuleStat>,
 }
@@ -90,24 +117,34 @@ impl Report {
             })
             .collect();
         format!(
-            "{{\"findings\":[{}],\"stats\":{{\"files\":{},\"bytes\":{},\"tokens\":{},\"duration_ms\":{},\"rules\":[{}]}}}}\n",
+            "{{\"findings\":[{}],\"stats\":{{\"files\":{},\"bytes\":{},\"tokens\":{},\"duration_ms\":{},\"cache_hits\":{},\"cache_misses\":{},\"rules\":[{}]}}}}\n",
             findings.join(","),
             self.files,
             self.bytes,
             self.tokens,
             self.nanos / 1_000_000,
+            self.cache_hits,
+            self.cache_misses,
             rules.join(",")
         )
     }
 
     /// The `--stats` block (human form).
     pub fn render_stats(&self) -> String {
+        let looked_up = self.cache_hits + self.cache_misses;
+        let hit_rate = if looked_up > 0 {
+            self.cache_hits as f64 * 100.0 / looked_up as f64
+        } else {
+            0.0
+        };
         let mut out = format!(
-            "files: {}\nbytes: {}\ntokens: {}\nduration: {:.1} ms\n",
+            "files: {}\nbytes: {}\ntokens: {}\nduration: {:.1} ms\ncache: {}/{} hit(s) ({hit_rate:.0}%)\n",
             self.files,
             self.bytes,
             self.tokens,
-            self.nanos as f64 / 1e6
+            self.nanos as f64 / 1e6,
+            self.cache_hits,
+            looked_up,
         );
         for r in &self.rule_stats {
             out.push_str(&format!(
@@ -120,6 +157,431 @@ impl Report {
         out
     }
 }
+
+/// One active reasoned pragma, for the `--pragmas` inventory.
+#[derive(Debug, Clone)]
+pub struct PragmaEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the pragma comment.
+    pub line: u32,
+    /// Rule codes it suppresses.
+    pub codes: Vec<String>,
+    /// The stated reason.
+    pub reason: String,
+}
+
+/// A full run: the report plus the workspace artifacts and the pragma
+/// inventory.
+pub struct Analysis {
+    /// The findings report.
+    pub report: Report,
+    /// Call-graph JSON artifact.
+    pub callgraph_json: String,
+    /// Lock-order-graph JSON artifact (edges, witnesses, cycles).
+    pub lock_graph_json: String,
+    /// Every pragma in the tree, file/line ordered.
+    pub pragmas: Vec<PragmaEntry>,
+    /// Non-fatal cache IO problem, if any (reported, not swallowed).
+    pub cache_note: Option<String>,
+}
+
+/// The cacheable result of phase 1 on one file.
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// FNV-1a 64 content hash, hex.
+    pub hash: String,
+    /// Source size in bytes.
+    pub bytes: usize,
+    /// Token count.
+    pub tokens: usize,
+    /// Raw per-file findings, pre-suppression.
+    pub raw: Vec<Finding>,
+    /// Parsed pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Positions of retired legacy suppression markers.
+    pub legacy_markers: Vec<(u32, u32)>,
+    /// The workspace-layer digest.
+    pub summary: FileSummary,
+}
+
+/// FNV-1a 64 — stable, dependency-free content hashing for the cache.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Phase 1: lex, resolve, run per-file rules. `stats` accumulates rule
+/// timings (indexed like `rules::all()`).
+fn analyze_file(
+    rel_path: &str,
+    src: &str,
+    per_file: &[Box<dyn rules::Rule>],
+    stats: &mut [RuleStat],
+) -> FileAnalysis {
+    let file = SourceFile::parse(rel_path, src);
+    let sym = FileSymbols::analyze(&file);
+    let mut raw: Vec<Finding> = Vec::new();
+    for (ri, rule) in per_file.iter().enumerate() {
+        if !rule.applies(rel_path) {
+            continue;
+        }
+        let rule_started = Instant::now();
+        rule.check(&file, &sym, &mut raw);
+        stats[ri].nanos += rule_started.elapsed().as_nanos();
+    }
+    let legacy_markers = file
+        .tokens
+        .iter()
+        .filter(|tok| matches!(tok.kind, TokenKind::LineComment { doc: false }))
+        .filter(|tok| {
+            let text = tok.text(&file.src);
+            text.contains("lint:allow-panic") || text.contains("lint:allow-assert")
+        })
+        .map(|tok| file.pos(tok.start))
+        .collect();
+    FileAnalysis {
+        rel_path: rel_path.to_string(),
+        hash: format!("{:016x}", fnv1a(src.as_bytes())),
+        bytes: file.src.len(),
+        tokens: file.tokens.len(),
+        summary: FileSummary::build(&file, &sym),
+        pragmas: file.pragmas.clone(),
+        legacy_markers,
+        raw,
+    }
+}
+
+/// Phase 2 plus reporting: workspace rules, suppression, hygiene, sort.
+fn finish(
+    analyses: Vec<FileAnalysis>,
+    mut rule_stats: Vec<RuleStat>,
+    cache_hits: usize,
+    started: Instant,
+) -> Analysis {
+    let mut report = Report {
+        cache_hits,
+        cache_misses: analyses.len() - cache_hits,
+        ..Report::default()
+    };
+    // Workspace phase over all summaries (fresh or cached).
+    let ws = Workspace::build(analyses.iter().map(|a| a.summary.clone()).collect());
+    let mut ws_raw: Vec<Finding> = Vec::new();
+    for rule in rules::workspace_rules() {
+        let before = ws_raw.len();
+        let rule_started = Instant::now();
+        rule.check(&ws, &mut ws_raw);
+        rule_stats.push(RuleStat {
+            code: rule.code(),
+            nanos: rule_started.elapsed().as_nanos(),
+            raw_findings: ws_raw.len() - before,
+        });
+    }
+    // Per-file raw-finding counts (covers cached files too).
+    for a in &analyses {
+        for f in &a.raw {
+            if let Some(stat) = rule_stats.iter_mut().find(|s| s.code == f.rule) {
+                stat.raw_findings += 1;
+            }
+        }
+    }
+    // Suppression + hygiene, per file, over combined findings.
+    let mut pragmas = Vec::new();
+    for a in &analyses {
+        report.files += 1;
+        report.bytes += a.bytes;
+        report.tokens += a.tokens;
+        let mut raw = a.raw.clone();
+        raw.extend(ws_raw.iter().filter(|f| f.file == a.rel_path).cloned());
+        apply_pragmas(a, raw, &mut report.findings);
+        hygiene(a, &mut report.findings);
+        for p in &a.pragmas {
+            if p.has_reason && !p.codes.is_empty() {
+                pragmas.push(PragmaEntry {
+                    file: a.rel_path.clone(),
+                    line: p.line,
+                    codes: p.codes.clone(),
+                    reason: p.reason.clone(),
+                });
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report.rule_stats = rule_stats;
+    report.nanos = started.elapsed().as_nanos();
+    let lock_graph = ws.lock_graph();
+    Analysis {
+        report,
+        callgraph_json: ws.callgraph_json(),
+        lock_graph_json: lock_graph.to_json(),
+        pragmas,
+        cache_note: None,
+    }
+}
+
+fn new_rule_stats(per_file: &[Box<dyn rules::Rule>]) -> Vec<RuleStat> {
+    per_file
+        .iter()
+        .map(|r| RuleStat {
+            code: r.code(),
+            nanos: 0,
+            raw_findings: 0,
+        })
+        .collect()
+}
+
+/// Analyze `(rel_path, source)` pairs, no cache. The pure core — tests
+/// feed it fixtures under synthetic in-scope paths.
+pub fn check_sources(sources: &[(String, String)]) -> Report {
+    analyze_sources(sources).report
+}
+
+/// [`check_sources`], returning the full [`Analysis`].
+pub fn analyze_sources(sources: &[(String, String)]) -> Analysis {
+    let started = Instant::now();
+    let per_file = rules::all();
+    let mut stats = new_rule_stats(&per_file);
+    let analyses = sources
+        .iter()
+        .map(|(rel_path, src)| analyze_file(rel_path, src, &per_file, &mut stats))
+        .collect();
+    finish(analyses, stats, 0, started)
+}
+
+/// Analyze a tree on disk: discover under `root`, read, check. No cache.
+pub fn check_tree(root: &Path) -> Result<Report, String> {
+    let rel_paths = discover_files(root)?;
+    check_paths(root, &rel_paths)
+}
+
+/// Analyze an explicit list of workspace-relative paths. No cache.
+pub fn check_paths(root: &Path, rel_paths: &[String]) -> Result<Report, String> {
+    Ok(analyze_paths(root, rel_paths, false)?.report)
+}
+
+/// The cache file location for a workspace root.
+pub fn cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("sirum-lint-cache.json")
+}
+
+/// Full run over a tree with optional incremental cache.
+pub fn analyze_tree(root: &Path, use_cache: bool) -> Result<Analysis, String> {
+    let rel_paths = discover_files(root)?;
+    analyze_paths(root, &rel_paths, use_cache)
+}
+
+/// Full run over explicit paths with optional incremental cache.
+pub fn analyze_paths(
+    root: &Path,
+    rel_paths: &[String],
+    use_cache: bool,
+) -> Result<Analysis, String> {
+    let started = Instant::now();
+    let per_file = rules::all();
+    let mut stats = new_rule_stats(&per_file);
+    let cache_file = cache_path(root);
+    let cached = if use_cache {
+        load_cache(&cache_file)
+    } else {
+        Vec::new()
+    };
+    let mut hits = 0usize;
+    let mut analyses = Vec::with_capacity(rel_paths.len());
+    for rel in rel_paths {
+        let abs = root.join(rel);
+        let bytes = fs::read(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let hash = format!("{:016x}", fnv1a(src.as_bytes()));
+        if let Some(hit) = cached.iter().find(|c| c.rel_path == *rel && c.hash == hash) {
+            hits += 1;
+            analyses.push(analysis_from_cache(hit));
+        } else {
+            analyses.push(analyze_file(rel, &src, &per_file, &mut stats));
+        }
+    }
+    let cache_note = if use_cache {
+        store_cache(&cache_file, &analyses).err()
+    } else {
+        None
+    };
+    let mut analysis = finish(analyses, stats, hits, started);
+    analysis.cache_note = cache_note;
+    Ok(analysis)
+}
+
+// ---------------------------------------------------------------------
+// Cache serialization.
+
+fn analysis_to_value(a: &FileAnalysis) -> Value {
+    let raw: Vec<Value> = a
+        .raw
+        .iter()
+        .map(|f| {
+            obj(vec![
+                ("rule", s(f.rule)),
+                ("line", n(f.line)),
+                ("col", n(f.col)),
+                ("message", s(&f.message)),
+            ])
+        })
+        .collect();
+    let pragmas: Vec<Value> = a
+        .pragmas
+        .iter()
+        .map(|p| {
+            obj(vec![
+                (
+                    "codes",
+                    Value::Arr(p.codes.iter().map(|c| s(c.as_str())).collect()),
+                ),
+                (
+                    "unknown",
+                    Value::Arr(p.unknown_codes.iter().map(|c| s(c.as_str())).collect()),
+                ),
+                ("has_reason", Value::Bool(p.has_reason)),
+                ("reason", s(&p.reason)),
+                ("line", n(p.line)),
+                ("col", n(p.col)),
+                ("blessed_line", n(p.blessed_line)),
+            ])
+        })
+        .collect();
+    let legacy: Vec<Value> = a
+        .legacy_markers
+        .iter()
+        .map(|&(line, col)| Value::Arr(vec![n(line), n(col)]))
+        .collect();
+    obj(vec![
+        ("rel_path", s(&a.rel_path)),
+        ("hash", s(&a.hash)),
+        ("bytes", n(a.bytes as u64)),
+        ("tokens", n(a.tokens as u64)),
+        ("raw", Value::Arr(raw)),
+        ("pragmas", Value::Arr(pragmas)),
+        ("legacy", Value::Arr(legacy)),
+        ("summary", a.summary.to_value()),
+    ])
+}
+
+fn analysis_from_value(v: &Value) -> Option<FileAnalysis> {
+    let rel_path = v.str_of("rel_path");
+    if rel_path.is_empty() {
+        return None;
+    }
+    let mut raw = Vec::new();
+    for f in v.get("raw").map(Value::items).unwrap_or(&[]) {
+        raw.push(Finding {
+            rule: rules::static_code(&f.str_of("rule"))?,
+            file: rel_path.clone(),
+            line: f.u64_of("line") as u32,
+            col: f.u64_of("col") as u32,
+            message: f.str_of("message"),
+        });
+    }
+    let strings = |v: &Value, key: &str| -> Vec<String> {
+        v.get(key)
+            .map(Value::items)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_str)
+            .map(String::from)
+            .collect()
+    };
+    let pragmas = v
+        .get("pragmas")
+        .map(Value::items)
+        .unwrap_or(&[])
+        .iter()
+        .map(|p| Pragma {
+            codes: strings(p, "codes"),
+            unknown_codes: strings(p, "unknown"),
+            has_reason: p.bool_of("has_reason"),
+            reason: p.str_of("reason"),
+            line: p.u64_of("line") as u32,
+            col: p.u64_of("col") as u32,
+            blessed_line: p.u64_of("blessed_line") as u32,
+        })
+        .collect();
+    let legacy_markers = v
+        .get("legacy")
+        .map(Value::items)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|pair| {
+            let line = pair.items().first()?.as_u64()? as u32;
+            let col = pair.items().get(1)?.as_u64()? as u32;
+            Some((line, col))
+        })
+        .collect();
+    let summary = v.get("summary").map(FileSummary::from_value)?;
+    Some(FileAnalysis {
+        rel_path,
+        hash: v.str_of("hash"),
+        bytes: v.u64_of("bytes") as usize,
+        tokens: v.u64_of("tokens") as usize,
+        raw,
+        pragmas,
+        legacy_markers,
+        summary,
+    })
+}
+
+/// Cached entries are immutable once loaded; a hit is cloned into the
+/// run's analysis list.
+fn analysis_from_cache(c: &FileAnalysis) -> FileAnalysis {
+    FileAnalysis {
+        rel_path: c.rel_path.clone(),
+        hash: c.hash.clone(),
+        bytes: c.bytes,
+        tokens: c.tokens,
+        raw: c.raw.clone(),
+        pragmas: c.pragmas.clone(),
+        legacy_markers: c.legacy_markers.clone(),
+        summary: c.summary.clone(),
+    }
+}
+
+fn load_cache(path: &Path) -> Vec<FileAnalysis> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(doc) = jsonio::parse(&text) else {
+        return Vec::new();
+    };
+    if doc.u64_of("version") != CACHE_VERSION {
+        return Vec::new();
+    }
+    doc.get("files")
+        .map(Value::items)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(analysis_from_value)
+        .collect()
+}
+
+fn store_cache(path: &Path, analyses: &[FileAnalysis]) -> Result<(), String> {
+    let doc = obj(vec![
+        ("version", n(CACHE_VERSION)),
+        (
+            "files",
+            Value::Arr(analyses.iter().map(analysis_to_value).collect()),
+        ),
+    ]);
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    }
+    fs::write(path, doc.to_json()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------
+// Discovery.
 
 /// Discover the workspace's own sources under `root`: `src/` plus every
 /// `crates/*/src/`, skipping `target`/`fixtures`/`vendor`. Returned paths are
@@ -175,70 +637,14 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Analyze `(rel_path, source)` pairs. The pure core — tests feed it
-/// fixtures under synthetic in-scope paths.
-pub fn check_sources(sources: &[(String, String)]) -> Report {
-    let started = Instant::now();
-    let rules = rules::all();
-    let mut report = Report {
-        rule_stats: rules
-            .iter()
-            .map(|r| RuleStat {
-                code: r.code(),
-                nanos: 0,
-                raw_findings: 0,
-            })
-            .collect(),
-        ..Report::default()
-    };
-    for (rel_path, src) in sources {
-        let file = SourceFile::parse(rel_path, src);
-        report.files += 1;
-        report.bytes += file.src.len();
-        report.tokens += file.tokens.len();
-        let mut raw: Vec<Finding> = Vec::new();
-        for (ri, rule) in rules.iter().enumerate() {
-            if !rule.applies(rel_path) {
-                continue;
-            }
-            let before = raw.len();
-            let rule_started = Instant::now();
-            rule.check(&file, &mut raw);
-            report.rule_stats[ri].nanos += rule_started.elapsed().as_nanos();
-            report.rule_stats[ri].raw_findings += raw.len() - before;
-        }
-        apply_pragmas(&file, raw, &mut report.findings);
-        hygiene(&file, &mut report.findings);
-    }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    report.nanos = started.elapsed().as_nanos();
-    report
-}
-
-/// Analyze a tree on disk: discover under `root`, read, check.
-pub fn check_tree(root: &Path) -> Result<Report, String> {
-    let rel_paths = discover_files(root)?;
-    check_paths(root, &rel_paths)
-}
-
-/// Analyze an explicit list of workspace-relative paths under `root`.
-pub fn check_paths(root: &Path, rel_paths: &[String]) -> Result<Report, String> {
-    let mut sources = Vec::with_capacity(rel_paths.len());
-    for rel in rel_paths {
-        let abs = root.join(rel);
-        let bytes = fs::read(&abs).map_err(|e| format!("{}: {e}", abs.display()))?;
-        sources.push((rel.clone(), String::from_utf8_lossy(&bytes).into_owned()));
-    }
-    Ok(check_sources(&sources))
-}
+// ---------------------------------------------------------------------
+// Suppression.
 
 /// Suppress findings blessed by a reasoned pragma; pass the rest through.
-fn apply_pragmas(file: &SourceFile, raw: Vec<Finding>, out: &mut Vec<Finding>) {
-    let mut used = vec![false; file.pragmas.len()];
+fn apply_pragmas(a: &FileAnalysis, raw: Vec<Finding>, out: &mut Vec<Finding>) {
+    let mut used = vec![false; a.pragmas.len()];
     for finding in raw {
-        let suppressed = file.pragmas.iter().enumerate().any(|(pi, p)| {
+        let suppressed = a.pragmas.iter().enumerate().any(|(pi, p)| {
             let hit = p.has_reason
                 && p.blessed_line == finding.line
                 && p.codes.iter().any(|c| c == finding.rule);
@@ -252,14 +658,13 @@ fn apply_pragmas(file: &SourceFile, raw: Vec<Finding>, out: &mut Vec<Finding>) {
         }
     }
     // Stale pragmas: reasoned, well-formed, but suppressing nothing.
-    for (pi, p) in file.pragmas.iter().enumerate() {
+    for (pi, p) in a.pragmas.iter().enumerate() {
         if p.has_reason && !p.codes.is_empty() && !used[pi] {
-            let (line, col) = file.pos(p.offset);
             out.push(Finding {
                 rule: HYGIENE,
-                file: file.rel_path.clone(),
-                line,
-                col,
+                file: a.rel_path.clone(),
+                line: p.line,
+                col: p.col,
                 message: format!(
                     "unused pragma: no {} finding on line {} to suppress; delete it",
                     p.codes.join("/"),
@@ -272,15 +677,14 @@ fn apply_pragmas(file: &SourceFile, raw: Vec<Finding>, out: &mut Vec<Finding>) {
 
 /// Pragma-form diagnostics: missing reasons, unknown codes, legacy
 /// marker forms.
-fn hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
-    for p in &file.pragmas {
-        let (line, col) = file.pos(p.offset);
+fn hygiene(a: &FileAnalysis, out: &mut Vec<Finding>) {
+    for p in &a.pragmas {
         if !p.has_reason {
             out.push(Finding {
                 rule: HYGIENE,
-                file: file.rel_path.clone(),
-                line,
-                col,
+                file: a.rel_path.clone(),
+                line: p.line,
+                col: p.col,
                 message: "pragma has no reason; write `lint:allow(CODE) — <why this is safe>`"
                     .to_string(),
             });
@@ -288,33 +692,25 @@ fn hygiene(file: &SourceFile, out: &mut Vec<Finding>) {
         if !p.unknown_codes.is_empty() {
             out.push(Finding {
                 rule: HYGIENE,
-                file: file.rel_path.clone(),
-                line,
-                col,
+                file: a.rel_path.clone(),
+                line: p.line,
+                col: p.col,
                 message: format!(
-                    "pragma cites unknown rule code(s) {}; known codes are SL001..SL005",
+                    "pragma cites unknown rule code(s) {}; known codes are SL001..SL008",
                     p.unknown_codes.join(", ")
                 ),
             });
         }
     }
-    for tok in &file.tokens {
-        // Doc comments may legitimately *mention* the legacy markers.
-        if !matches!(tok.kind, TokenKind::LineComment { doc: false }) {
-            continue;
-        }
-        let text = tok.text(&file.src);
-        if text.contains("lint:allow-panic") || text.contains("lint:allow-assert") {
-            let (line, col) = file.pos(tok.start);
-            out.push(Finding {
-                rule: HYGIENE,
-                file: file.rel_path.clone(),
-                line,
-                col,
-                message: "legacy suppression marker; migrate to `lint:allow(SL001) — <reason>`"
-                    .to_string(),
-            });
-        }
+    for &(line, col) in &a.legacy_markers {
+        out.push(Finding {
+            rule: HYGIENE,
+            file: a.rel_path.clone(),
+            line,
+            col,
+            message: "legacy suppression marker; migrate to `lint:allow(SL001) — <reason>`"
+                .to_string(),
+        });
     }
 }
 
@@ -376,6 +772,7 @@ mod tests {
         assert!(json.contains("\"rule\":\"SL001\""));
         assert!(json.contains("\"files\":1"));
         assert!(json.contains("\"duration_ms\""));
+        assert!(json.contains("\"cache_hits\":0"));
     }
 
     #[test]
@@ -384,5 +781,50 @@ mod tests {
         let r = check_one("src/lib.rs", src);
         assert_eq!(r.findings.len(), 2);
         assert!(r.findings[0].line < r.findings[1].line);
+    }
+
+    #[test]
+    fn workspace_findings_flow_through_pragmas() {
+        // SL008 is a workspace rule; a reasoned pragma on the discard
+        // line must suppress it and count as used.
+        let src = "fn f() { let _ = h.join(); // lint:allow(SL008) — best-effort teardown\n}\n";
+        let r = check_one("crates/core/src/x.rs", src);
+        assert!(r.is_clean(), "unexpected: {:?}", r.findings);
+        let bare = "fn f() { let _ = h.join(); }\n";
+        let r = check_one("crates/core/src/x.rs", bare);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "SL008");
+    }
+
+    #[test]
+    fn cache_round_trip_reproduces_the_cold_report() {
+        let dir =
+            std::env::temp_dir().join(format!("sirum-lint-cache-test-{}", std::process::id()));
+        let src_dir = dir.join("src");
+        fs::create_dir_all(&src_dir).expect("mkdir");
+        fs::write(
+            src_dir.join("lib.rs"),
+            "pub fn f() { x.unwrap(); }\npub fn g() { let _ = h.join(); }\n",
+        )
+        .expect("write");
+        let cold = analyze_tree(&dir, true).expect("cold run");
+        assert_eq!(cold.report.cache_hits, 0);
+        assert_eq!(cold.report.cache_misses, 1);
+        let warm = analyze_tree(&dir, true).expect("warm run");
+        assert_eq!(warm.report.cache_hits, 1, "note: {:?}", warm.cache_note);
+        assert_eq!(warm.report.cache_misses, 0);
+        let render = |r: &Report| {
+            r.findings
+                .iter()
+                .map(Finding::render_human)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&cold.report), render(&warm.report));
+        // Editing the file invalidates its entry.
+        fs::write(src_dir.join("lib.rs"), "pub fn f() { ok(); }\n").expect("rewrite");
+        let edited = analyze_tree(&dir, true).expect("edited run");
+        assert_eq!(edited.report.cache_hits, 0);
+        assert!(edited.report.is_clean(), "{:?}", edited.report.findings);
+        fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -2,19 +2,34 @@
 //! enforces the workspace's own invariants — panic-freedom in library
 //! code (SL001), cancellation polling in data-scale loops (SL002), no
 //! lock guard live across blocking calls (SL003), accept-loop purity
-//! (SL004), and no `unsafe` (SL005). See DESIGN.md "Enforced invariants"
-//! for the rule-by-rule rationale.
+//! (SL004), no `unsafe` (SL005), no lock-order inversion across the
+//! call graph (SL006), no nondeterministic hash-order leaking into
+//! output (SL007), and no silently discarded `Result` (SL008). See
+//! DESIGN.md "Enforced invariants" for the rule-by-rule rationale.
 //!
 //! Pipeline: [`lexer`] (total, tiling Rust lexer) → [`syntax`]
-//! (brackets, test spans, fns, loops, pragmas) → [`rules`] (token/
-//! structure passes) → [`driver`] (discovery, suppression, report).
+//! (brackets, test spans, fns, loops, pragmas) → [`resolve`] (per-file
+//! symbol table: fns, impls, calls, aliases, hash-typed names) →
+//! per-file [`rules`] → [`callgraph`] (workspace assembly: call
+//! resolution, lock-set propagation, lock-order graph) → workspace
+//! rules → [`driver`] (discovery, incremental cache, suppression,
+//! report). [`locks`] holds the guard-liveness classifier shared by
+//! SL003 and the lock summaries; [`jsonio`] is the dependency-free JSON
+//! reader/writer behind the cache and graph artifacts.
 
+pub mod callgraph;
 pub mod diag;
 pub mod driver;
+pub mod jsonio;
 pub mod lexer;
+pub mod locks;
+pub mod resolve;
 pub mod rules;
 pub mod syntax;
 
 pub use diag::Finding;
-pub use driver::{check_paths, check_sources, check_tree, discover_files, Report};
+pub use driver::{
+    analyze_paths, analyze_sources, analyze_tree, check_paths, check_sources, check_tree,
+    discover_files, Analysis, Report,
+};
 pub use syntax::SourceFile;

@@ -1,0 +1,341 @@
+//! Guard-liveness classification and per-function lock summaries.
+//!
+//! The liveness classifier models edition-2021 temporary scopes — it was
+//! born inside SL003 (lock-across-blocking) and is shared verbatim with
+//! the cross-file lock-order analysis (SL006), which reuses it to decide
+//! *which calls happen while a guard is held*:
+//!
+//! * `let g = x.lock();` — named guard, live to the end of the enclosing
+//!   block (truncated by `drop(g)`).
+//! * `let v = x.lock().take();` — the chain leaves guard-land, so the
+//!   temporary guard dies at the `;`.
+//! * `if let Some(v) = x.lock().take() { … }` — the *temporary guard*
+//!   lives to the end of the whole `if let` (ditto `while let`/`match`
+//!   scrutinees).
+//! * `if x.lock().is_empty() { … }` — plain `if`/`while` conditions drop
+//!   temporaries before the block runs.
+//!
+//! On top of the classifier, [`acquisitions_in`] summarizes a significant-
+//! token range (typically one fn body) into [`LockAcquisition`]s: the lock's
+//! *identity* (the receiver field feeding `.lock()`/`.read()`/`.write()`)
+//! plus the significant-token range the guard stays live. Lock identity is
+//! name-based — `self.inner.core.jobs.lock()` acquires lock `jobs` — which
+//! is exact for this workspace's private-field locking style and keeps the
+//! analysis a token pass (no type inference).
+
+use crate::lexer::TokenKind;
+use crate::syntax::SourceFile;
+
+/// Methods that acquire a guard when called with no arguments.
+pub const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Chain methods that still yield the guard (parking_lot has no
+/// poisoning; std's `lock().unwrap()` / `unwrap_or_else(PoisonError::
+/// into_inner)` idioms preserve the guard too).
+pub const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// How far the guard born at a given acquisition stays live.
+pub enum Liveness {
+    /// Named binding: to the end of the enclosing block.
+    Block,
+    /// `if let`/`while let`/`match` scrutinee temporary: to the end of
+    /// the construct (including `else` chains).
+    Construct,
+    /// Plain statement temporary: to the terminating `;`.
+    Statement,
+    /// Plain `if`/`while` condition temporary: to the body `{`.
+    Condition,
+}
+
+/// One lock acquisition with its guard's live extent.
+#[derive(Debug, Clone)]
+pub struct LockAcquisition {
+    /// Lock identity: the receiver ident directly feeding the lock call
+    /// (`jobs` for `self.inner.core.jobs.lock()`). For a bare
+    /// `self.lock()` helper the caller-provided impl-type name is used.
+    pub lock: String,
+    /// Significant-token index of the `lock`/`read`/`write` ident.
+    pub sig_idx: usize,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// Exclusive significant-token end of the guard's live range.
+    pub live_end: usize,
+}
+
+/// `.lock()` / `.read()` / `.write()` with empty argument parens — socket
+/// `read(buf)`/`write(buf)` take arguments and never match.
+pub fn is_lock_acquisition(file: &SourceFile, i: usize) -> bool {
+    file.sig_kind(i) == Some(TokenKind::Ident)
+        && LOCK_METHODS.contains(&file.sig_text(i))
+        && i > 0
+        && file.sig_text(i - 1) == "."
+        && file.sig_text(i + 1) == "("
+        && file.sig_text(i + 2) == ")"
+}
+
+/// Scan backward from the acquisition to the statement start: the token
+/// after the nearest `;`, `{` (block open) or `}` (prior block close) at
+/// the statement's own nesting level.
+pub fn statement_start(file: &SourceFile, i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match file.sig_text(j) {
+            ")" | "]" => depth += 1,
+            "(" | "[" => depth -= 1,
+            "}" => {
+                if depth == 0 {
+                    return j + 1;
+                }
+                depth += 1;
+            }
+            "{" => {
+                if depth <= 0 {
+                    return j + 1;
+                }
+                depth -= 1;
+            }
+            ";" if depth <= 0 => return j + 1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// Does the method chain after the lock call stay in guard-land? `true`
+/// for `.lock()`, `.lock().unwrap()`, …; `false` once any other method
+/// (`take`, `len`, …) consumes the guard.
+pub fn chain_preserves_guard(file: &SourceFile, i: usize) -> bool {
+    let mut j = i + 3; // token after the `)` of the lock call
+    loop {
+        if file.sig_text(j) != "." {
+            return true;
+        }
+        if GUARD_PRESERVING.contains(&file.sig_text(j + 1)) && file.sig_text(j + 2) == "(" {
+            match file.matching.get(j + 2).copied().flatten() {
+                Some(close) => j = close + 1,
+                None => return false,
+            }
+        } else {
+            return false;
+        }
+    }
+}
+
+/// Classify the guard's liveness from the statement shape.
+pub fn classify(file: &SourceFile, stmt_start: usize, i: usize) -> Liveness {
+    let first = file.sig_text(stmt_start);
+    let second = file.sig_text(stmt_start + 1);
+    match first {
+        "let" => {
+            if chain_preserves_guard(file, i) {
+                Liveness::Block
+            } else {
+                Liveness::Statement
+            }
+        }
+        "if" | "while" if second == "let" => Liveness::Construct,
+        "match" => Liveness::Construct,
+        "if" | "while" => Liveness::Condition,
+        _ => Liveness::Statement,
+    }
+}
+
+/// Exclusive significant-token end of the guard's live range.
+pub fn live_end(file: &SourceFile, i: usize, stmt_start: usize, liveness: &Liveness) -> usize {
+    match liveness {
+        Liveness::Block => enclosing_block_close(file, i),
+        Liveness::Statement => forward_to(file, i, ";"),
+        Liveness::Condition => forward_to(file, i, "{"),
+        Liveness::Construct => construct_end(file, stmt_start, i),
+    }
+}
+
+/// First `j > i` where `text` appears at bracket depth 0, else the close
+/// of the enclosing block.
+pub fn forward_to(file: &SourceFile, i: usize, text: &str) -> usize {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < file.sig.len() {
+        match file.sig_text(j) {
+            t if t == text && depth <= 0 => return j,
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return j; // enclosing block closed first
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The `}` that closes the block the acquisition sits in.
+pub fn enclosing_block_close(file: &SourceFile, i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < file.sig.len() {
+        match file.sig_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// End of an `if let`/`while let`/`match` construct: the close of its
+/// body block, extended over `else`/`else if` chains.
+pub fn construct_end(file: &SourceFile, stmt_start: usize, i: usize) -> usize {
+    let open = forward_to(file, i, "{");
+    let Some(mut close) = file.matching.get(open).copied().flatten() else {
+        return open;
+    };
+    if file.sig_text(stmt_start) == "if" {
+        while file.sig_is_ident(close + 1, "else") {
+            let next_open = forward_to(file, close + 1, "{");
+            match file.matching.get(next_open).copied().flatten() {
+                Some(c) => close = c,
+                None => break,
+            }
+        }
+    }
+    close + 1
+}
+
+/// A named guard freed early by `drop(name)` ends its live range there.
+pub fn truncate_at_drop(
+    file: &SourceFile,
+    stmt_start: usize,
+    i: usize,
+    end: usize,
+    liveness: &Liveness,
+) -> usize {
+    if !matches!(liveness, Liveness::Block) {
+        return end;
+    }
+    // Binding name for the simple `let [mut] name = …` shape only.
+    let mut name_idx = stmt_start + 1;
+    if file.sig_text(name_idx) == "mut" {
+        name_idx += 1;
+    }
+    if file.sig_kind(name_idx) != Some(TokenKind::Ident) {
+        return end;
+    }
+    let name = file.sig_text(name_idx).to_string();
+    for j in i + 3..end {
+        if file.sig_is_ident(j, "drop")
+            && file.sig_text(j + 1) == "("
+            && file.sig_text(j + 2) == name
+            && file.sig_text(j + 3) == ")"
+        {
+            return j;
+        }
+    }
+    end
+}
+
+/// The receiver ident directly feeding a lock call at significant index
+/// `i`: the ident at `i - 2` in `recv . lock ( )`. A bare `self` receiver
+/// resolves to `self_name` (the enclosing impl type), so `self.lock()`
+/// helpers get a stable identity too.
+pub fn receiver_name(file: &SourceFile, i: usize, self_name: &str) -> Option<String> {
+    if i < 2 {
+        return None;
+    }
+    let r = i - 2;
+    if file.sig_kind(r) != Some(TokenKind::Ident) {
+        return None;
+    }
+    let text = file.sig_text(r);
+    if text == "self" && (r < 2 || file.sig_text(r - 1) != ".") {
+        return Some(self_name.to_string());
+    }
+    Some(text.to_string())
+}
+
+/// Summarize every lock acquisition in the significant-token range
+/// `[start, end)` (typically one fn body): lock identity + live extent,
+/// with `drop()` truncation applied. `self_name` names the enclosing impl
+/// type for bare `self.lock()` receivers.
+pub fn acquisitions_in(
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    self_name: &str,
+) -> Vec<LockAcquisition> {
+    let mut out = Vec::new();
+    for i in start..end {
+        if !is_lock_acquisition(file, i) {
+            continue;
+        }
+        let Some(lock) = receiver_name(file, i, self_name) else {
+            continue;
+        };
+        let stmt_start = statement_start(file, i);
+        let liveness = classify(file, stmt_start, i);
+        let live = live_end(file, i, stmt_start, &liveness);
+        let live = truncate_at_drop(file, stmt_start, i, live, &liveness).min(end);
+        let (line, _) = file.pos(file.sig_offset(i));
+        out.push(LockAcquisition {
+            lock,
+            sig_idx: i,
+            line,
+            live_end: live,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquisition_summary_captures_identity_and_extent() {
+        let src =
+            "impl S { fn f(&self) { let g = self.inner.jobs.lock(); step(); drop(g); after(); } }";
+        let f = SourceFile::parse("x.rs", src);
+        let body = f.fns[0].body.unwrap();
+        let acqs = acquisitions_in(&f, body.0, body.1, "S");
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].lock, "jobs");
+        // `drop(g)` truncates the range before `after()`.
+        let after_idx = (body.0..body.1)
+            .find(|&i| f.sig_is_ident(i, "after"))
+            .unwrap();
+        assert!(acqs[0].live_end <= after_idx);
+    }
+
+    #[test]
+    fn bare_self_receiver_uses_impl_type_name() {
+        let src = "impl JobShared { fn peek(&self) { let s = self.lock(); s.get(); } }";
+        let f = SourceFile::parse("x.rs", src);
+        let body = f.fns[0].body.unwrap();
+        let acqs = acquisitions_in(&f, body.0, body.1, "JobShared");
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].lock, "JobShared");
+    }
+
+    #[test]
+    fn statement_temporary_dies_at_semicolon() {
+        let src = "fn f() { let n = q.lock().len(); use_it(n); }";
+        let f = SourceFile::parse("x.rs", src);
+        let acqs = acquisitions_in(&f, 0, f.sig.len(), "");
+        assert_eq!(acqs.len(), 1);
+        let use_idx = (0..f.sig.len())
+            .find(|&i| f.sig_is_ident(i, "use_it"))
+            .unwrap();
+        assert!(acqs[0].live_end < use_idx);
+    }
+}

@@ -2,13 +2,24 @@
 //!
 //! ```text
 //! sirum-lint --check [--format human|json] [--stats] [--root DIR]
-//!            [--budget-ms N] [--list-rules] [FILE..]
+//!            [--budget-ms N] [--no-cache] [--emit-graphs DIR]
+//!            [--list-rules] [--pragmas] [FILE..]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings (or time budget exceeded), 2 usage or
 //! IO error. `FILE..` are workspace-relative paths; without them the
 //! whole tree under `--root` (default `.`) is discovered.
+//!
+//! Runs are incremental by default: per-file analysis for files whose
+//! content hash matches `target/sirum-lint-cache.json` is reused
+//! (`--stats` shows the hit rate); `--no-cache` forces a cold run.
+//! `--pragmas` prints the suppression inventory — every reasoned
+//! `lint:allow` in the tree with its file, line, codes, and stated
+//! reason — instead of checking. `--emit-graphs DIR` additionally writes
+//! `callgraph.json` and `lock-order.json` (the SL006 evidence) for CI to
+//! archive.
 
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,6 +29,9 @@ struct Options {
     format_json: bool,
     stats: bool,
     list_rules: bool,
+    pragmas: bool,
+    no_cache: bool,
+    emit_graphs: Option<PathBuf>,
     root: PathBuf,
     budget_ms: Option<u128>,
     files: Vec<String>,
@@ -28,6 +42,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         format_json: false,
         stats: false,
         list_rules: false,
+        pragmas: false,
+        no_cache: false,
+        emit_graphs: None,
         root: PathBuf::from("."),
         budget_ms: None,
         files: Vec::new(),
@@ -38,6 +55,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--check" => {} // checking is the only mode; accepted for clarity
             "--stats" => opts.stats = true,
             "--list-rules" => opts.list_rules = true,
+            "--pragmas" => opts.pragmas = true,
+            "--no-cache" => opts.no_cache = true,
+            "--emit-graphs" => match it.next() {
+                Some(dir) => opts.emit_graphs = Some(PathBuf::from(dir)),
+                None => return Err("--emit-graphs expects a directory".to_string()),
+            },
             "--format" => match it.next().map(String::as_str) {
                 Some("human") => opts.format_json = false,
                 Some("json") => opts.format_json = true,
@@ -65,7 +88,44 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: sirum-lint --check [--format human|json] [--stats] \
-[--root DIR] [--budget-ms N] [--list-rules] [FILE..]";
+[--root DIR] [--budget-ms N] [--no-cache] [--emit-graphs DIR] [--list-rules] \
+[--pragmas] [FILE..]";
+
+fn render_pragmas_human(entries: &[driver::PragmaEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&format!(
+            "{}:{}: {} — {}\n",
+            e.file,
+            e.line,
+            e.codes.join("/"),
+            e.reason
+        ));
+    }
+    out.push_str(&format!("sirum-lint: {} active pragma(s)\n", entries.len()));
+    out
+}
+
+fn render_pragmas_json(entries: &[driver::PragmaEntry]) -> String {
+    use sirum_lint::jsonio::{n, obj, s, Value};
+    let items: Vec<Value> = entries
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("file", s(&e.file)),
+                ("line", n(e.line)),
+                (
+                    "codes",
+                    Value::Arr(e.codes.iter().map(|c| s(c.as_str())).collect()),
+                ),
+                ("reason", s(&e.reason)),
+            ])
+        })
+        .collect();
+    let mut json = obj(vec![("pragmas", Value::Arr(items))]).to_json();
+    json.push('\n');
+    json
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,20 +140,50 @@ fn main() -> ExitCode {
         for rule in sirum_lint::rules::all() {
             println!("{}  {}", rule.code(), rule.describe());
         }
+        for rule in sirum_lint::rules::workspace_rules() {
+            println!("{}  {}", rule.code(), rule.describe());
+        }
         return ExitCode::SUCCESS;
     }
+    let use_cache = !opts.no_cache;
     let result = if opts.files.is_empty() {
-        driver::check_tree(&opts.root)
+        driver::analyze_tree(&opts.root, use_cache)
     } else {
-        driver::check_paths(&opts.root, &opts.files)
+        driver::analyze_paths(&opts.root, &opts.files, use_cache)
     };
-    let report = match result {
-        Ok(report) => report,
+    let analysis = match result {
+        Ok(analysis) => analysis,
         Err(msg) => {
             eprintln!("sirum-lint: {msg}");
             return ExitCode::from(2);
         }
     };
+    if let Some(note) = &analysis.cache_note {
+        eprintln!("sirum-lint: cache not updated: {note}");
+    }
+    if opts.pragmas {
+        if opts.format_json {
+            print!("{}", render_pragmas_json(&analysis.pragmas));
+        } else {
+            print!("{}", render_pragmas_human(&analysis.pragmas));
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(dir) = &opts.emit_graphs {
+        let write_all = || -> Result<(), String> {
+            fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let cg = dir.join("callgraph.json");
+            fs::write(&cg, &analysis.callgraph_json)
+                .map_err(|e| format!("{}: {e}", cg.display()))?;
+            let lg = dir.join("lock-order.json");
+            fs::write(&lg, &analysis.lock_graph_json).map_err(|e| format!("{}: {e}", lg.display()))
+        };
+        if let Err(msg) = write_all() {
+            eprintln!("sirum-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+    let report = &analysis.report;
     if opts.format_json {
         print!("{}", report.to_json());
     } else {

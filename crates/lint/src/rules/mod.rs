@@ -6,7 +6,9 @@
 //! it in [`all`] and [`known_rule`], add `fixtures/slNNN_{bad,ok}.rs` with
 //! a case in `tests/fixtures.rs`, and document the invariant in DESIGN.md.
 
+use crate::callgraph::Workspace;
 use crate::diag::Finding;
+use crate::resolve::FileSymbols;
 use crate::syntax::SourceFile;
 
 mod sl001;
@@ -14,8 +16,11 @@ mod sl002;
 mod sl003;
 mod sl004;
 mod sl005;
+mod sl006;
+mod sl007;
+mod sl008;
 
-/// One static-analysis rule.
+/// One per-file static-analysis rule.
 pub trait Rule {
     /// Stable code, e.g. `"SL001"`.
     fn code(&self) -> &'static str;
@@ -24,10 +29,21 @@ pub trait Rule {
     /// Whether this rule runs on the file at this workspace-relative path.
     fn applies(&self, rel_path: &str) -> bool;
     /// Scan the file, pushing findings.
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+    fn check(&self, file: &SourceFile, sym: &FileSymbols, out: &mut Vec<Finding>);
 }
 
-/// Every registered rule, in code order.
+/// One workspace rule: runs once over the resolved workspace (built from
+/// per-file summaries, fresh or cached), not per file.
+pub trait WorkspaceRule {
+    /// Stable code, e.g. `"SL006"`.
+    fn code(&self) -> &'static str;
+    /// One-line description shown by `--list-rules`.
+    fn describe(&self) -> &'static str;
+    /// Scan the workspace, pushing findings.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// Every registered per-file rule, in code order.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(sl001::PanicFreedom),
@@ -35,6 +51,15 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(sl003::LockAcrossBlocking),
         Box::new(sl004::AcceptLoopPurity),
         Box::new(sl005::UnsafeForbidden),
+        Box::new(sl007::NondeterministicIteration),
+    ]
+}
+
+/// Every registered workspace rule, in code order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(sl006::LockOrderInversion),
+        Box::new(sl008::SwallowedResult),
     ]
 }
 
@@ -42,7 +67,27 @@ pub fn all() -> Vec<Box<dyn Rule>> {
 /// are themselves diagnosed). `SL000` is the pragma-hygiene pseudo-rule —
 /// it cannot be suppressed, so it is not "known" for pragma purposes.
 pub fn known_rule(code: &str) -> bool {
-    matches!(code, "SL001" | "SL002" | "SL003" | "SL004" | "SL005")
+    matches!(
+        code,
+        "SL001" | "SL002" | "SL003" | "SL004" | "SL005" | "SL006" | "SL007" | "SL008"
+    )
+}
+
+/// The `&'static str` form of a known rule code (cached findings store
+/// codes as strings; findings carry statics).
+pub fn static_code(code: &str) -> Option<&'static str> {
+    match code {
+        "SL000" => Some(crate::driver::HYGIENE),
+        "SL001" => Some("SL001"),
+        "SL002" => Some("SL002"),
+        "SL003" => Some("SL003"),
+        "SL004" => Some("SL004"),
+        "SL005" => Some("SL005"),
+        "SL006" => Some("SL006"),
+        "SL007" => Some("SL007"),
+        "SL008" => Some("SL008"),
+        _ => None,
+    }
 }
 
 /// Library and facade paths whose non-test code must be panic-free

@@ -15,6 +15,7 @@
 use super::{finding_at, Rule};
 use crate::diag::Finding;
 use crate::lexer::TokenKind;
+use crate::resolve::FileSymbols;
 use crate::syntax::SourceFile;
 
 /// See module docs.
@@ -36,7 +37,7 @@ impl Rule for PanicFreedom {
         super::is_library_path(rel_path)
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _sym: &FileSymbols, out: &mut Vec<Finding>) {
         for i in 0..file.sig.len() {
             if file.sig_kind(i) != Some(TokenKind::Ident) {
                 continue;

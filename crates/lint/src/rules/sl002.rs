@@ -15,6 +15,7 @@
 use super::{finding_at, Rule};
 use crate::diag::Finding;
 use crate::lexer::TokenKind;
+use crate::resolve::FileSymbols;
 use crate::syntax::SourceFile;
 
 /// See module docs.
@@ -53,7 +54,7 @@ impl Rule for CancellationPoll {
         HOT_MODULES.contains(&rel_path)
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _sym: &FileSymbols, out: &mut Vec<Finding>) {
         for l in &file.loops {
             if file.in_test(file.sig_offset(l.keyword)) {
                 continue;

@@ -4,20 +4,9 @@
 //! client into a lock-convoy for everyone else — and in the worst case
 //! (the pool waiting on a job that needs the pool's own lock) a deadlock.
 //!
-//! The classifier models edition-2021 temporary scopes, because that is
-//! where the real bugs hide:
-//!
-//! * `let g = x.lock();` — named guard, live to the end of the enclosing
-//!   block (truncated by `drop(g)`).
-//! * `let v = x.lock().take();` — the chain leaves guard-land, so the
-//!   temporary guard dies at the `;`.
-//! * `if let Some(v) = x.lock().take() { … }` — the *temporary guard*
-//!   lives to the end of the whole `if let` (ditto `while let`/`match`
-//!   scrutinees). This is the subtle one: the binding is not a guard,
-//!   but the lock is still held inside the block.
-//! * `if x.lock().is_empty() { … }` — plain `if`/`while` conditions drop
-//!   temporaries before the block runs; only the condition itself is
-//!   checked.
+//! The guard-liveness classifier lives in [`crate::locks`] (it is shared
+//! with SL006's cross-file lock-order analysis); see its module docs for
+//! the edition-2021 temporary-scope model.
 //!
 //! Scope: the service/session layer and the dataflow engine — the files
 //! that mix locks with channels, condvars, sockets and joins.
@@ -25,18 +14,12 @@
 use super::{finding_at, Rule};
 use crate::diag::Finding;
 use crate::lexer::TokenKind;
+use crate::locks;
+use crate::resolve::FileSymbols;
 use crate::syntax::SourceFile;
 
 /// See module docs.
 pub struct LockAcrossBlocking;
-
-/// Methods that acquire a guard when called with no arguments.
-const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
-
-/// Chain methods that still yield the guard (parking_lot has no
-/// poisoning; std's `lock().unwrap()` / `unwrap_or_else(PoisonError::
-/// into_inner)` idioms preserve the guard too).
-const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
 
 /// Calls that can block the thread: condvar/channel waits, accepts,
 /// joins, sleeps, socket IO, and the service layer's own job-pool and
@@ -62,19 +45,6 @@ const BLOCKING: &[&str] = &[
     "mine_more",
 ];
 
-/// How far the guard born at a given acquisition stays live.
-enum Liveness {
-    /// Named binding: to the end of the enclosing block.
-    Block,
-    /// `if let`/`while let`/`match` scrutinee temporary: to the end of
-    /// the construct (including `else` chains).
-    Construct,
-    /// Plain statement temporary: to the terminating `;`.
-    Statement,
-    /// Plain `if`/`while` condition temporary: to the body `{`.
-    Condition,
-}
-
 impl Rule for LockAcrossBlocking {
     fn code(&self) -> &'static str {
         "SL003"
@@ -90,16 +60,16 @@ impl Rule for LockAcrossBlocking {
             || rel_path == "crates/dataflow/src/engine.rs"
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _sym: &FileSymbols, out: &mut Vec<Finding>) {
         let spawned = super::spawn_arg_spans(file);
         for i in 0..file.sig.len() {
-            if !is_lock_acquisition(file, i) || file.in_test(file.sig_offset(i)) {
+            if !locks::is_lock_acquisition(file, i) || file.in_test(file.sig_offset(i)) {
                 continue;
             }
-            let stmt_start = statement_start(file, i);
-            let liveness = classify(file, stmt_start, i);
-            let end = live_end(file, i, stmt_start, &liveness);
-            let end = truncate_at_drop(file, stmt_start, i, end, &liveness);
+            let stmt_start = locks::statement_start(file, i);
+            let liveness = locks::classify(file, stmt_start, i);
+            let end = locks::live_end(file, i, stmt_start, &liveness);
+            let end = locks::truncate_at_drop(file, stmt_start, i, end, &liveness);
             let (guard_line, _) = file.pos(file.sig_offset(i));
             for j in i + 3..end {
                 if file.sig_kind(j) == Some(TokenKind::Ident)
@@ -124,186 +94,4 @@ impl Rule for LockAcrossBlocking {
             }
         }
     }
-}
-
-/// `.lock()` / `.read()` / `.write()` with empty argument parens — socket
-/// `read(buf)`/`write(buf)` take arguments and never match.
-fn is_lock_acquisition(file: &SourceFile, i: usize) -> bool {
-    file.sig_kind(i) == Some(TokenKind::Ident)
-        && LOCK_METHODS.contains(&file.sig_text(i))
-        && i > 0
-        && file.sig_text(i - 1) == "."
-        && file.sig_text(i + 1) == "("
-        && file.sig_text(i + 2) == ")"
-}
-
-/// Scan backward from the acquisition to the statement start: the token
-/// after the nearest `;`, `{` (block open) or `}` (prior block close) at
-/// the statement's own nesting level.
-fn statement_start(file: &SourceFile, i: usize) -> usize {
-    let mut depth = 0i32;
-    let mut j = i;
-    while j > 0 {
-        j -= 1;
-        match file.sig_text(j) {
-            ")" | "]" => depth += 1,
-            "(" | "[" => depth -= 1,
-            "}" => {
-                if depth == 0 {
-                    return j + 1;
-                }
-                depth += 1;
-            }
-            "{" => {
-                if depth <= 0 {
-                    return j + 1;
-                }
-                depth -= 1;
-            }
-            ";" if depth <= 0 => return j + 1,
-            _ => {}
-        }
-    }
-    0
-}
-
-/// Does the method chain after the lock call stay in guard-land? `true`
-/// for `.lock()`, `.lock().unwrap()`, …; `false` once any other method
-/// (`take`, `len`, …) consumes the guard.
-fn chain_preserves_guard(file: &SourceFile, i: usize) -> bool {
-    let mut j = i + 3; // token after the `)` of the lock call
-    loop {
-        if file.sig_text(j) != "." {
-            return true;
-        }
-        if GUARD_PRESERVING.contains(&file.sig_text(j + 1)) && file.sig_text(j + 2) == "(" {
-            match file.matching.get(j + 2).copied().flatten() {
-                Some(close) => j = close + 1,
-                None => return false,
-            }
-        } else {
-            return false;
-        }
-    }
-}
-
-fn classify(file: &SourceFile, stmt_start: usize, i: usize) -> Liveness {
-    let first = file.sig_text(stmt_start);
-    let second = file.sig_text(stmt_start + 1);
-    match first {
-        "let" => {
-            if chain_preserves_guard(file, i) {
-                Liveness::Block
-            } else {
-                Liveness::Statement
-            }
-        }
-        "if" | "while" if second == "let" => Liveness::Construct,
-        "match" => Liveness::Construct,
-        "if" | "while" => Liveness::Condition,
-        _ => Liveness::Statement,
-    }
-}
-
-/// Exclusive significant-token end of the guard's live range.
-fn live_end(file: &SourceFile, i: usize, stmt_start: usize, liveness: &Liveness) -> usize {
-    match liveness {
-        Liveness::Block => enclosing_block_close(file, i),
-        Liveness::Statement => forward_to(file, i, ";"),
-        Liveness::Condition => forward_to(file, i, "{"),
-        Liveness::Construct => construct_end(file, stmt_start, i),
-    }
-}
-
-/// First `j > i` where `text` appears at bracket depth 0, else the close
-/// of the enclosing block.
-fn forward_to(file: &SourceFile, i: usize, text: &str) -> usize {
-    let mut depth = 0i32;
-    let mut j = i + 1;
-    while j < file.sig.len() {
-        match file.sig_text(j) {
-            t if t == text && depth <= 0 => return j,
-            "(" | "[" | "{" => depth += 1,
-            ")" | "]" | "}" => {
-                if depth == 0 {
-                    return j; // enclosing block closed first
-                }
-                depth -= 1;
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    j
-}
-
-/// The `}` that closes the block the acquisition sits in.
-fn enclosing_block_close(file: &SourceFile, i: usize) -> usize {
-    let mut depth = 0i32;
-    let mut j = i + 1;
-    while j < file.sig.len() {
-        match file.sig_text(j) {
-            "(" | "[" | "{" => depth += 1,
-            ")" | "]" | "}" => {
-                if depth == 0 {
-                    return j;
-                }
-                depth -= 1;
-            }
-            _ => {}
-        }
-        j += 1;
-    }
-    j
-}
-
-/// End of an `if let`/`while let`/`match` construct: the close of its
-/// body block, extended over `else`/`else if` chains.
-fn construct_end(file: &SourceFile, stmt_start: usize, i: usize) -> usize {
-    let open = forward_to(file, i, "{");
-    let Some(mut close) = file.matching.get(open).copied().flatten() else {
-        return open;
-    };
-    if file.sig_text(stmt_start) == "if" {
-        while file.sig_is_ident(close + 1, "else") {
-            let next_open = forward_to(file, close + 1, "{");
-            match file.matching.get(next_open).copied().flatten() {
-                Some(c) => close = c,
-                None => break,
-            }
-        }
-    }
-    close + 1
-}
-
-/// A named guard freed early by `drop(name)` ends its live range there.
-fn truncate_at_drop(
-    file: &SourceFile,
-    stmt_start: usize,
-    i: usize,
-    end: usize,
-    liveness: &Liveness,
-) -> usize {
-    if !matches!(liveness, Liveness::Block) {
-        return end;
-    }
-    // Binding name for the simple `let [mut] name = …` shape only.
-    let mut name_idx = stmt_start + 1;
-    if file.sig_text(name_idx) == "mut" {
-        name_idx += 1;
-    }
-    if file.sig_kind(name_idx) != Some(TokenKind::Ident) {
-        return end;
-    }
-    let name = file.sig_text(name_idx).to_string();
-    for j in i + 3..end {
-        if file.sig_is_ident(j, "drop")
-            && file.sig_text(j + 1) == "("
-            && file.sig_text(j + 2) == name
-            && file.sig_text(j + 3) == ")"
-        {
-            return j;
-        }
-    }
-    end
 }

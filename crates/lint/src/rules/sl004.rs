@@ -10,6 +10,7 @@
 use super::{finding_at, Rule};
 use crate::diag::Finding;
 use crate::lexer::TokenKind;
+use crate::resolve::FileSymbols;
 use crate::syntax::SourceFile;
 
 /// See module docs.
@@ -51,7 +52,7 @@ impl Rule for AcceptLoopPurity {
         rel_path == "src/net/server.rs"
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _sym: &FileSymbols, out: &mut Vec<Finding>) {
         let spawned = super::spawn_arg_spans(file);
         for l in &file.loops {
             if file.in_test(file.sig_offset(l.keyword)) {

@@ -7,6 +7,7 @@
 
 use super::{finding_at, Rule};
 use crate::diag::Finding;
+use crate::resolve::FileSymbols;
 use crate::syntax::SourceFile;
 
 /// See module docs.
@@ -29,7 +30,7 @@ impl Rule for UnsafeForbidden {
         !ALLOWLIST.contains(&rel_path)
     }
 
-    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _sym: &FileSymbols, out: &mut Vec<Finding>) {
         for i in 0..file.sig.len() {
             if file.sig_is_ident(i, "unsafe") {
                 finding_at(

@@ -1,0 +1,72 @@
+//! SL006 — lock-order-inversion: no cycle in the workspace lock-order
+//! graph. Two threads taking the same pair of locks in opposite orders is
+//! the classic ABBA deadlock; with parking_lot's non-reentrant locks,
+//! even a *self*-cycle (a fn acquiring a lock its own callee acquires
+//! again) deadlocks a single thread. Single-file rules cannot see either:
+//! the two halves of an inversion typically live in different functions,
+//! often different files.
+//!
+//! The analysis (in [`crate::callgraph`]): per-fn lock summaries from the
+//! shared guard-liveness classifier → held-lock sets propagated through
+//! resolved calls to a fixpoint → ordering edges `A→B` wherever `B` is
+//! acquired (directly or transitively) while `A` is held → elementary
+//! cycles, each reported once with every edge's full witness path
+//! (`f acquires A → calls g → g acquires B` vs the reverse elsewhere).
+//!
+//! A finding anchors at the outer acquisition of the cycle's first edge;
+//! suppress there if the cycle is intentional (and say why).
+
+use super::WorkspaceRule;
+use crate::callgraph::Workspace;
+use crate::diag::Finding;
+
+/// See module docs.
+pub struct LockOrderInversion;
+
+impl WorkspaceRule for LockOrderInversion {
+    fn code(&self) -> &'static str {
+        "SL006"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no cycle in the cross-function lock-order graph (reported with full witness paths)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let graph = ws.lock_graph();
+        for cycle in graph.cycles() {
+            let first = &graph.edges[cycle.edges[0]];
+            let nodes: Vec<String> = cycle
+                .edges
+                .iter()
+                .map(|&ei| Workspace::lock_display(&graph.edges[ei].from))
+                .collect();
+            let witnesses: Vec<String> = cycle
+                .edges
+                .iter()
+                .map(|&ei| graph.edges[ei].witness.clone())
+                .collect();
+            let message = if cycle.edges.len() == 1 && first.from == first.to {
+                format!(
+                    "reentrant lock acquisition of {}: {} — parking_lot locks are \
+                     not reentrant, this deadlocks a single thread",
+                    Workspace::lock_display(&first.from),
+                    first.witness
+                )
+            } else {
+                format!(
+                    "lock-order inversion across {}: [{}]",
+                    nodes.join(" → "),
+                    witnesses.join("] vs [")
+                )
+            };
+            out.push(Finding {
+                rule: self.code(),
+                file: first.file.clone(),
+                line: first.line,
+                col: 1,
+                message,
+            });
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! SL008 — swallowed-result: library code must not silently discard a
+//! `Result`. `let _ = fallible();` and statement-terminal `.ok();` erase
+//! the only evidence an IO write, channel send, or worker join failed —
+//! the exact shape behind PR 8's silent-write-failure fix. Propagate with
+//! `?`, record a metric, or log; a genuinely best-effort discard takes a
+//! reasoned pragma so the suppression inventory (`sirum-lint --pragmas`)
+//! shows *why*.
+//!
+//! This is a workspace rule: whether the discarded call returns `Result`
+//! is answered by the symbol table. A discarded call is flagged when
+//! (a) every workspace fn with that name returns `Result`, or (b) the
+//! name is a known-fallible std call (`join`, `flush`, `write_all`, …).
+//! `write!`/`writeln!` into in-memory buffers and `fmt::Write` calls are
+//! exempt (infallible by construction here), as is test code. Discards
+//! with no call at all (`let _ = unused;`) are silencing a different
+//! lint and stay legal.
+
+use super::{is_library_path, WorkspaceRule};
+use crate::callgraph::Workspace;
+use crate::diag::Finding;
+use crate::resolve::DiscardKind;
+
+/// See module docs.
+pub struct SwallowedResult;
+
+/// Std calls that return `Result` and are commonly discarded: thread
+/// joins, IO writes/flushes, socket option setters, channel sends,
+/// filesystem cleanup.
+const STD_FALLIBLE: &[&str] = &[
+    "join",
+    "flush",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "send",
+    "recv",
+    "set_read_timeout",
+    "set_write_timeout",
+    "set_nodelay",
+    "shutdown",
+    "remove_file",
+    "remove_dir_all",
+    "create_dir_all",
+    "sync_all",
+    "set_len",
+];
+
+impl WorkspaceRule for SwallowedResult {
+    fn code(&self) -> &'static str {
+        "SL008"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no silently discarded Result (`let _ = fallible()` / terminal `.ok()`) in library code"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !is_library_path(&file.rel_path) {
+                continue;
+            }
+            for d in &file.discards {
+                if d.is_test || d.fmt_exempt {
+                    continue;
+                }
+                match d.kind {
+                    DiscardKind::OkDiscard => {
+                        out.push(Finding {
+                            rule: self.code(),
+                            file: file.rel_path.clone(),
+                            line: d.line,
+                            col: d.col,
+                            message: "Result discarded via terminal `.ok()`; propagate \
+                                      with `?`, log the error, or justify with a reasoned \
+                                      pragma"
+                                .to_string(),
+                        });
+                    }
+                    DiscardKind::LetUnderscore => {
+                        let Some(callee) = &d.callee else {
+                            continue;
+                        };
+                        let fallible = if STD_FALLIBLE.contains(&callee.as_str()) {
+                            true
+                        } else {
+                            let targets = ws.fns_named(callee);
+                            !targets.is_empty()
+                                && targets.iter().all(|&id| ws.fn_node(id).returns_result)
+                        };
+                        if fallible {
+                            out.push(Finding {
+                                rule: self.code(),
+                                file: file.rel_path.clone(),
+                                line: d.line,
+                                col: d.col,
+                                message: format!(
+                                    "`let _ =` discards the Result of `{callee}(…)`; \
+                                     propagate with `?`, log the error, or justify with \
+                                     a reasoned pragma"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -21,12 +21,14 @@ pub struct Pragma {
     pub unknown_codes: Vec<String>,
     /// Whether a non-empty `— reason` (or `- reason`) follows the parens.
     pub has_reason: bool,
+    /// The reason text after the dash (empty when `has_reason` is false).
+    pub reason: String,
     /// 1-based line the pragma comment sits on.
     pub line: u32,
+    /// 1-based byte column of the comment token.
+    pub col: u32,
     /// 1-based line whose findings this pragma suppresses.
     pub blessed_line: u32,
-    /// Byte offset of the comment token (for diagnostics).
-    pub offset: usize,
 }
 
 /// A `fn` item: name, parameter-list span and (for non-trait-decl fns)
@@ -284,9 +286,9 @@ impl SourceFile {
                 }
             }
             let tail = after_open[close + 1..].trim_start();
-            let has_reason = (tail.starts_with('—') || tail.starts_with('-'))
-                && tail.trim_start_matches(['—', '-', ' ']).len() >= 3;
-            let (line, _) = self.pos(tok.start);
+            let reason = tail.trim_start_matches(['—', '-', ' ']).trim().to_string();
+            let has_reason = (tail.starts_with('—') || tail.starts_with('-')) && reason.len() >= 3;
+            let (line, col) = self.pos(tok.start);
             // Same-line pragma when code precedes the comment on its line;
             // otherwise the pragma blesses the next line.
             let line_start = *self.line_starts.get(line as usize - 1).unwrap_or(&0);
@@ -299,9 +301,10 @@ impl SourceFile {
                 codes,
                 unknown_codes,
                 has_reason,
+                reason: if has_reason { reason } else { String::new() },
                 line,
+                col,
                 blessed_line,
-                offset: tok.start,
             });
         }
         pragmas

@@ -155,6 +155,114 @@ fn sl005_ok_is_clean() {
 }
 
 #[test]
+fn sl006_bad_reports_the_seeded_inversion_with_both_witness_paths() {
+    let findings = lint("src/state.rs", include_str!("../fixtures/sl006_bad.rs"));
+    assert_eq!(
+        positions(&findings, "SL006"),
+        vec![(15, 1)],
+        "findings: {findings:#?}"
+    );
+    let msg = &findings
+        .iter()
+        .find(|f| f.rule == "SL006")
+        .map(|f| f.message.clone())
+        .unwrap_or_default();
+    for needle in [
+        "lock-order inversion",
+        "alpha",
+        "beta",
+        "forward",
+        "backward",
+    ] {
+        assert!(msg.contains(needle), "witness is missing {needle:?}: {msg}");
+    }
+}
+
+#[test]
+fn sl006_ok_is_clean() {
+    let findings = lint("src/state.rs", include_str!("../fixtures/sl006_ok.rs"));
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+/// The inversion only exists across the call graph: `load`/`flush` in
+/// one file each take their first lock locally, and the second lock is
+/// acquired two hops away through free functions in another file.
+#[test]
+fn sl006_reports_a_cycle_whose_witness_spans_files() {
+    let store = "pub struct Store {\n    alpha: Mutex<Vec<u32>>,\n    beta: Mutex<Vec<u32>>,\n}\n\nimpl Store {\n    pub fn load(&self) {\n        let held = self.alpha.lock();\n        sync_beta(self);\n        drop(held);\n    }\n\n    pub fn push_beta(&self) {\n        self.beta.lock().push(1);\n    }\n\n    pub fn flush(&self) {\n        let held = self.beta.lock();\n        refresh_alpha(self);\n        drop(held);\n    }\n\n    pub fn push_alpha(&self) {\n        self.alpha.lock().push(1);\n    }\n}\n";
+    let helpers = "pub fn sync_beta(store: &Store) {\n    store.push_beta();\n}\n\npub fn refresh_alpha(store: &Store) {\n    store.push_alpha();\n}\n";
+    let findings = check_sources(&[
+        ("src/store.rs".to_string(), store.to_string()),
+        ("src/helpers.rs".to_string(), helpers.to_string()),
+    ])
+    .findings;
+    let sl006: Vec<&Finding> = findings.iter().filter(|f| f.rule == "SL006").collect();
+    assert_eq!(sl006.len(), 1, "findings: {findings:#?}");
+    let msg = &sl006[0].message;
+    for needle in ["lock-order inversion", "alpha", "beta", "load", "flush"] {
+        assert!(msg.contains(needle), "witness is missing {needle:?}: {msg}");
+    }
+}
+
+#[test]
+fn sl007_bad_exact_positions() {
+    let findings = lint(
+        "crates/core/src/x.rs",
+        include_str!("../fixtures/sl007_bad.rs"),
+    );
+    assert_eq!(
+        positions(&findings, "SL007"),
+        vec![(7, 25), (17, 28), (23, 16)],
+        "findings: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 3, "only SL007 expected: {findings:#?}");
+}
+
+#[test]
+fn sl007_ok_is_clean() {
+    let findings = lint(
+        "crates/core/src/x.rs",
+        include_str!("../fixtures/sl007_ok.rs"),
+    );
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
+fn sl007_does_not_run_outside_deterministic_paths() {
+    let findings = lint(
+        "crates/bench/src/x.rs",
+        include_str!("../fixtures/sl007_bad.rs"),
+    );
+    assert!(
+        lines(&findings, "SL007").is_empty(),
+        "findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn sl008_bad_exact_positions() {
+    let findings = lint(
+        "crates/core/src/x.rs",
+        include_str!("../fixtures/sl008_bad.rs"),
+    );
+    assert_eq!(
+        positions(&findings, "SL008"),
+        vec![(9, 5), (10, 5), (11, 19)],
+        "findings: {findings:#?}"
+    );
+    assert_eq!(findings.len(), 3, "only SL008 expected: {findings:#?}");
+}
+
+#[test]
+fn sl008_ok_is_clean() {
+    let findings = lint(
+        "crates/core/src/x.rs",
+        include_str!("../fixtures/sl008_ok.rs"),
+    );
+    assert!(findings.is_empty(), "findings: {findings:#?}");
+}
+
+#[test]
 fn pragma_blesses_only_its_own_line() {
     // The pragma sits two lines above the offending call: no suppression.
     let src = "fn f() {\n    // lint:allow(SL001) — cannot leak downward\n    let a = 1;\n    x.unwrap();\n}\n";

@@ -251,6 +251,9 @@ pub struct NetMetrics {
     pub connections_rejected: AtomicU64,
     /// Requests that died mid-read (timeouts, truncation, oversize).
     pub read_failures: AtomicU64,
+    /// Responses that died mid-write (client hung up, send timeout):
+    /// work the server finished but could not deliver.
+    pub write_failures: AtomicU64,
 }
 
 impl NetMetrics {

@@ -440,6 +440,7 @@ impl Router {
         if let Some(ms) = request.query_value("wait_ms") {
             match ms.parse::<u64>() {
                 Ok(ms) => {
+                    // lint:allow(SL008) — only the wait matters; job_response below re-reads the outcome non-consumingly
                     let _ = self.service.wait_job(id, Duration::from_millis(ms));
                 }
                 Err(_) => {
@@ -687,11 +688,12 @@ impl Router {
             200,
             format!(
                 "{{\"uptime_ms\":{},\"connections\":{},\"connections_rejected\":{},\
-                 \"read_failures\":{},\"endpoints\":{}}}",
+                 \"read_failures\":{},\"write_failures\":{},\"endpoints\":{}}}",
                 self.started.elapsed().as_millis(),
                 self.metrics.connections.load(Ordering::Relaxed),
                 self.metrics.connections_rejected.load(Ordering::Relaxed),
                 self.metrics.read_failures.load(Ordering::Relaxed),
+                self.metrics.write_failures.load(Ordering::Relaxed),
                 self.metrics.endpoints_json(),
             ),
         )

@@ -10,7 +10,7 @@
 
 use crate::net::http::{self, HttpError, HttpLimits, Response};
 use crate::net::router::Router;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -119,7 +119,9 @@ impl Server {
         // The accept thread is parked in `accept()`; a throwaway local
         // connection is the portable way to wake it so it can observe the
         // flag and exit.
+        // lint:allow(SL008) — wake-up probe; if connect fails the listener is already dead and accept() returns anyway
         let _ = TcpStream::connect(self.local_addr);
+        // lint:allow(SL008) — Err means the accept thread panicked; drain still bounds the wait below and Drop must not propagate
         let _ = handle.join();
         let deadline = Instant::now() + self.drain_timeout;
         while self.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
@@ -194,14 +196,34 @@ fn accept_loop(
     }
 }
 
+/// Write one response, counting delivery failures. A client that hangs
+/// up (or times out) mid-reply is work the server finished but could not
+/// deliver; without the counter that loss is invisible in `/metrics`.
+/// Returns whether the full response reached the writer.
+fn send_response<W: Write>(
+    writer: &mut W,
+    metrics: &crate::net::metrics::NetMetrics,
+    response: &Response,
+    keep_alive: bool,
+) -> bool {
+    match http::write_response(writer, response, keep_alive) {
+        Ok(()) => true,
+        Err(_) => {
+            metrics.write_failures.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
 /// Over the connection cap: say so quickly and hang up — never block the
 /// accept loop behind a slow writer.
 fn reject_connection(mut stream: TcpStream, metrics: &crate::net::metrics::NetMetrics) {
     metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    // lint:allow(SL008) — advisory socket tuning; a connection without the timeout still gets the 503
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let response =
         Response::error(503, "server is at its connection cap").with_header("retry-after", "1");
-    let _ = http::write_response(&mut stream, &response, false);
+    send_response(&mut stream, metrics, &response, false);
 }
 
 /// Serve one connection until close: keep-alive loop of
@@ -214,7 +236,9 @@ fn serve_connection(
     config: &ServerConfig,
 ) {
     let metrics = Arc::clone(router.metrics());
+    // lint:allow(SL008) — advisory socket tuning; reads still complete without the timeout, just unbounded
     let _ = stream.set_read_timeout(Some(config.read_timeout));
+    // lint:allow(SL008) — Nagle stays on if this fails; a latency tweak, not a correctness need
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -232,7 +256,7 @@ fn serve_connection(
                     metrics
                         .endpoint(crate::net::metrics::Endpoint::Other)
                         .record(status, Duration::ZERO);
-                    let _ = http::write_response(&mut writer, &response, false);
+                    send_response(&mut writer, &metrics, &response, false);
                 }
                 return;
             }
@@ -245,7 +269,7 @@ fn serve_connection(
         // Draining: finish this response, then close even if the client
         // asked for keep-alive.
         let keep_alive = request.keep_alive && !shutdown.load(Ordering::Acquire);
-        if http::write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+        if !send_response(&mut writer, &metrics, &response, keep_alive) || !keep_alive {
             return;
         }
     }
@@ -301,6 +325,29 @@ mod tests {
         );
         assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
         server.shutdown();
+    }
+
+    #[test]
+    fn failed_response_writes_are_counted() {
+        struct BrokenPipe;
+        impl Write for BrokenPipe {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(std::io::ErrorKind::BrokenPipe))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let metrics = crate::net::metrics::NetMetrics::new();
+        let response = Response::error(503, "nope");
+        let delivered = send_response(&mut BrokenPipe, &metrics, &response, false);
+        assert!(!delivered);
+        assert_eq!(metrics.write_failures.load(Ordering::Relaxed), 1);
+        // A working writer delivers and leaves the counter alone.
+        let mut sink = Vec::new();
+        assert!(send_response(&mut sink, &metrics, &response, false));
+        assert_eq!(metrics.write_failures.load(Ordering::Relaxed), 1);
+        assert!(sink.starts_with(b"HTTP/1.1 503"));
     }
 
     #[test]

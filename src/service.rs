@@ -555,6 +555,7 @@ impl Drop for WorkerPool {
         if let Some(state) = state {
             drop(state.sender); // disconnect; workers drain the queue and exit
             for handle in state.handles {
+                // lint:allow(SL008) — Err here means a worker panicked; its job already reported the failure and Drop must not propagate
                 let _ = handle.join();
             }
         }
