@@ -1,0 +1,67 @@
+//! Row-count scaling axis (ISSUE 10): the paper's TLC_2m…TLC_160m axis,
+//! scaled to 20k → 8M rows, comparing the seed-fit scan (`k = 0`: encode
+//! validation, transform, seed model, KL — one full pass over every
+//! dimension column) on raw `u32` columns vs. compressed bit-packed/RLE
+//! segments decoded morsel-by-morsel. The compressed scan trades ~8× less
+//! column memory traffic for per-value decode work; this curve records
+//! where that trade lands at each size.
+//!
+//! The 2M/8M sizes materialize multi-hundred-MB tables; `bench-quick.sh`
+//! skips them by default (`ROWSCALE_FULL=1` restores them). The skip list
+//! is honored *before* table generation, so skipped sizes cost nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sirum_bench::core::{CandidateStrategy, Miner, PreparedTable, SirumConfig};
+use sirum_bench::dataflow::Engine;
+use sirum_bench::table::Compression;
+use sirum_bench::workloads;
+
+/// Mirror of the vendored harness's `SIRUM_BENCH_SKIP` matching, applied
+/// up front: generating an 8M-row table only to skip both its benchmarks
+/// would dominate the sweep's wall clock.
+fn skipped(id: &str) -> bool {
+    std::env::var("SIRUM_BENCH_SKIP")
+        .unwrap_or_default()
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .any(|s| id.contains(s))
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::in_memory();
+    let mut group = c.benchmark_group("rowscale");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let config = SirumConfig {
+        k: 0,
+        strategy: CandidateStrategy::SampleLca { sample_size: 32 },
+        ..SirumConfig::default()
+    };
+    let miner = Miner::new(engine, config);
+    for rows in [20_000usize, 128_000, 512_000, 2_048_000, 8_192_000] {
+        let variants = [
+            ("raw", Compression::Never),
+            ("compressed", Compression::Always),
+        ];
+        if variants
+            .iter()
+            .all(|(label, _)| skipped(&format!("rowscale/{label}/{rows}")))
+        {
+            continue;
+        }
+        let table = workloads::tlc(rows);
+        for (label, compression) in variants {
+            // Built per variant and dropped right after: the 8M-row raw
+            // frame alone is ~300 MB and must not coexist with the next.
+            let prepared = PreparedTable::try_new_with(&table, compression).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, rows), &rows, |b, _| {
+                b.iter(|| miner.try_mine_prepared(&prepared, &[]).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

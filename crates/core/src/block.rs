@@ -124,9 +124,25 @@ impl Encode for TupleBlock {
         for &card in self.dims.cards() {
             card.encode(out);
         }
+        // Raw columns spill their codes verbatim; compressed columns spill
+        // their overlapping segments as stored (boundary segments clipped),
+        // so a spilled block stays compressed on disk.
         for j in 0..self.num_dims() {
-            for &code in self.dims.col(j) {
-                code.encode(out);
+            match self.dims.frame().column(j) {
+                sirum_table::Column::Raw(_) => {
+                    out.push(0);
+                    for &code in self.dims.col(j) {
+                        code.encode(out);
+                    }
+                }
+                sirum_table::Column::Compressed(c) => {
+                    out.push(1);
+                    let segments = c.slice_segments(self.dims.start(), self.dims.len());
+                    (segments.len() as u64).encode(out);
+                    for seg in &segments {
+                        sirum_dataflow::encode_segment(seg, out);
+                    }
+                }
             }
         }
         for &v in self.m.iter() {
@@ -144,16 +160,38 @@ impl Encode for TupleBlock {
         let d = u64::decode(buf) as usize;
         let n = u64::decode(buf) as usize;
         let cards: Vec<u32> = (0..d).map(|_| u32::decode(buf)).collect();
-        let cols: Vec<Vec<u32>> = (0..d)
-            .map(|_| (0..n).map(|_| u32::decode(buf)).collect())
-            .collect();
+        let mut raw_cols: Vec<Vec<u32>> = Vec::new();
+        let mut compressed_cols: Vec<sirum_table::CompressedCol> = Vec::new();
+        for _ in 0..d {
+            let tag = buf[0];
+            *buf = &buf[1..];
+            if tag == 0 {
+                raw_cols.push((0..n).map(|_| u32::decode(buf)).collect());
+            } else {
+                let segs = u64::decode(buf) as usize;
+                compressed_cols.push(sirum_table::CompressedCol::from_segments(
+                    (0..segs)
+                        .map(|_| sirum_dataflow::decode_segment(buf))
+                        .collect(),
+                ));
+            }
+        }
         let m: Vec<f64> = (0..n).map(|_| f64::decode(buf)).collect();
         let mhat: Vec<f64> = (0..n).map(|_| f64::decode(buf)).collect();
         let mask: Vec<u64> = (0..n).map(|_| u64::decode(buf)).collect();
         // The decoded frame's measure column is m′ (the raw measures never
         // cross a spill boundary — mining reads only m′); the block's `m`
         // window shares that Arc rather than copying the column again.
-        let frame = Frame::from_columns_with_cards(cols, m, cards);
+        let frame = if raw_cols.is_empty() && !compressed_cols.is_empty() {
+            Frame::from_compressed_columns_with_cards(compressed_cols, m, cards)
+        } else {
+            // lint:allow(SL001) — framing invariant of this process's own encoder
+            assert!(
+                compressed_cols.is_empty(),
+                "mixed raw/compressed columns in encoded block"
+            );
+            Frame::from_columns_with_cards(raw_cols, m, cards)
+        };
         let m = frame.measure_slice();
         TupleBlock {
             dims: frame.view(),
@@ -164,7 +202,14 @@ impl Encode for TupleBlock {
     }
 
     fn size_estimate(&self) -> usize {
-        16 + self.num_dims() * 4 + self.len() * (self.num_dims() * 4 + 24)
+        // Compressed dimension columns charge their encoded payload bytes —
+        // the block store's budget sees (and rewards) the compression.
+        16 + self.num_dims() * 4
+            + self
+                .dims
+                .frame()
+                .dim_bytes_in_range(self.dims.start(), self.dims.len())
+            + self.len() * 24
     }
 }
 
@@ -211,7 +256,9 @@ mod tests {
         let b = block().with_mhat(vec![0.5, 1.5, 2.5, 3.5, 4.5]);
         let mut buf = Vec::new();
         b.encode(&mut buf);
-        assert_eq!(buf.len(), b.size_estimate());
+        // The estimate tracks the encoded footprint to within the per-column
+        // format tag bytes.
+        assert_eq!(buf.len(), b.size_estimate() + b.num_dims());
         let mut slice = buf.as_slice();
         let back = TupleBlock::decode(&mut slice);
         assert!(slice.is_empty());
@@ -227,6 +274,38 @@ mod tests {
         assert_eq!(back.mask(), b.mask());
         // Dictionary cardinalities survive the spill round-trip, so the
         // decoded frame reproduces the exact packed-code layout.
+        assert_eq!(back.dims().cards(), b.dims().cards());
+    }
+
+    #[test]
+    fn compressed_blocks_spill_compressed_and_round_trip() {
+        use sirum_table::Compression;
+        let t = generators::income_like(700, 5);
+        let raw = Frame::from_table(&t);
+        let comp = Frame::from_table_with(&t, Compression::Always);
+        let m: ColSlice<f64> = t.measures().to_vec().into();
+        // A mid-frame partition whose range does not align with segments.
+        let view = comp.view().slice(123, 457);
+        let b = TupleBlock::seed(view, m.slice(123, 457)).with_mask(vec![3; 457]);
+        let raw_b =
+            TupleBlock::seed(raw.view().slice(123, 457), m.slice(123, 457)).with_mask(vec![3; 457]);
+        assert!(b.size_estimate() < raw_b.size_estimate());
+        let mut buf = Vec::new();
+        b.encode(&mut buf);
+        let mut slice = buf.as_slice();
+        let back = TupleBlock::decode(&mut slice);
+        assert!(slice.is_empty());
+        assert!(back.dims().frame().is_compressed());
+        assert_eq!(back.len(), 457);
+        let (mut a, mut c) = (Vec::new(), Vec::new());
+        for i in 0..b.len() {
+            b.gather(i, &mut a);
+            back.gather(i, &mut c);
+            assert_eq!(a, c, "row {i}");
+        }
+        assert_eq!(back.m(), b.m());
+        assert_eq!(back.mhat(), b.mhat());
+        assert_eq!(back.mask(), b.mask());
         assert_eq!(back.dims().cards(), b.dims().cards());
     }
 }

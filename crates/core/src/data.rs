@@ -39,17 +39,27 @@ pub(crate) enum MiningData {
     Blocks(Dataset<TupleBlock>),
 }
 
-/// The dimension columns a rule constrains in one block, pre-resolved so
-/// the per-row match test touches only constant columns.
-fn constant_cols<'b>(rule: &Rule, block: &'b TupleBlock) -> Vec<(&'b [u32], u32)> {
-    rule.constants()
-        .map(|(j, v)| (block.dims().col(j), v))
-        .collect()
-}
-
-#[inline]
-fn row_matches(consts: &[(&[u32], u32)], i: usize) -> bool {
-    consts.iter().all(|&(col, v)| col[i] == v)
+/// Visit (in ascending row order) every row of `block` the rule covers,
+/// touching only the rule's constant columns — decoded morsel-by-morsel
+/// into `scratch` when the block's columns are compressed, borrowed
+/// directly when raw (a raw block scans as one whole-range morsel).
+fn for_rule_rows<F: FnMut(usize)>(
+    rule: &Rule,
+    block: &TupleBlock,
+    scratch: &mut sirum_table::ColScratch,
+    mut f: F,
+) {
+    let idxs: Vec<usize> = rule.constants().map(|(j, _)| j).collect();
+    let vals: Vec<u32> = rule.constants().map(|(_, v)| v).collect();
+    let dims = block.dims();
+    for (ms, ml) in dims.morsel_bounds() {
+        let cols = dims.morsel_cols_indexed(&idxs, ms, ml, scratch);
+        for li in 0..ml {
+            if cols.iter().zip(&vals).all(|(c, &v)| c[li] == v) {
+                f(ms + li);
+            }
+        }
+    }
 }
 
 impl MiningData {
@@ -144,16 +154,14 @@ impl MiningData {
                 |_, blocks| {
                     let mut sums = vec![0.0f64; rules.len()];
                     let mut counts = vec![0u64; rules.len()];
+                    let mut scratch = sirum_table::ColScratch::new();
                     for block in blocks {
                         let m = block.m();
                         for (j, rule) in rules.iter().enumerate() {
-                            let consts = constant_cols(rule, block);
-                            for (i, &mi) in m.iter().enumerate() {
-                                if row_matches(&consts, i) {
-                                    sums[j] += mi;
-                                    counts[j] += 1;
-                                }
-                            }
+                            for_rule_rows(rule, block, &mut scratch, |i| {
+                                sums[j] += m[i];
+                                counts[j] += 1;
+                            });
                         }
                     }
                     (sums, counts)
@@ -243,14 +251,10 @@ impl MiningData {
             }
             MiningData::Blocks(data) => MiningData::Blocks(data.map("update-ba", move |block| {
                 let mut mask = block.mask().to_vec();
+                let mut scratch = sirum_table::ColScratch::new();
                 for (i, rule) in &new_rules {
-                    let consts = constant_cols(rule, block);
                     let bit = 1u64 << i;
-                    for (r, m) in mask.iter_mut().enumerate() {
-                        if row_matches(&consts, r) {
-                            *m |= bit;
-                        }
-                    }
+                    for_rule_rows(rule, block, &mut scratch, |r| mask[r] |= bit);
                 }
                 block.with_mask(mask)
             })),
@@ -522,15 +526,18 @@ impl MiningData {
                     let n: usize = blocks.iter().map(TupleBlock::len).sum();
                     let mut out = Vec::with_capacity(n);
                     let mut buf = Vec::new();
+                    let mut scratch = sirum_table::ColScratch::new();
                     for block in blocks {
-                        for i in 0..block.len() {
-                            block.gather(i, &mut buf);
-                            out.push((
-                                buf.clone().into_boxed_slice(),
-                                block.m()[i],
-                                block.mhat()[i],
-                                block.mask()[i],
-                            ));
+                        let (m, mh, mask) = (block.m(), block.mhat(), block.mask());
+                        let dims = block.dims();
+                        for (ms, ml) in dims.morsel_bounds() {
+                            let cols = dims.morsel_cols(ms, ml, &mut scratch);
+                            for li in 0..ml {
+                                let i = ms + li;
+                                buf.clear();
+                                buf.extend(cols.iter().map(|c| c[li]));
+                                out.push((buf.clone().into_boxed_slice(), m[i], mh[i], mask[i]));
+                            }
                         }
                     }
                     out
@@ -602,11 +609,18 @@ fn lca_pairs_blocks(
         let n: usize = blocks.iter().map(TupleBlock::len).sum();
         let mut out = Vec::with_capacity(n * per_row);
         let mut buf = Vec::with_capacity(d);
+        let mut scratch = sirum_table::ColScratch::new();
         for block in blocks {
             let (m, mh) = (block.m(), block.mhat());
-            for i in 0..block.len() {
-                block.gather(i, &mut buf);
-                f(&buf, m[i], mh[i], &mut out);
+            let dims = block.dims();
+            for (ms, ml) in dims.morsel_bounds() {
+                let cols = dims.morsel_cols(ms, ml, &mut scratch);
+                for li in 0..ml {
+                    let i = ms + li;
+                    buf.clear();
+                    buf.extend(cols.iter().map(|c| c[li]));
+                    f(&buf, m[i], mh[i], &mut out);
+                }
             }
         }
         out

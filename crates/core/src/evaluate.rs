@@ -113,13 +113,20 @@ fn evaluate_prepared(
     // bit-identical to the old row-major scan).
     let mut masks = vec![0u64; n];
     let mut m_sums = vec![0.0f64; rules.len()];
+    let view = frame.view();
+    let mut scratch = sirum_table::ColScratch::new();
     for (j, rule) in rules.iter().enumerate() {
         let bit = 1u64 << j;
-        let consts: Vec<(&[u32], u32)> = rule.constants().map(|(c, v)| (frame.col(c), v)).collect();
-        for i in 0..n {
-            if consts.iter().all(|&(col, v)| col[i] == v) {
-                masks[i] |= bit;
-                m_sums[j] += m_prime[i];
+        let idxs: Vec<usize> = rule.constants().map(|(c, _)| c).collect();
+        let vals: Vec<u32> = rule.constants().map(|(_, v)| v).collect();
+        for (ms, ml) in view.morsel_bounds() {
+            let cols = view.morsel_cols_indexed(&idxs, ms, ml, &mut scratch);
+            for li in 0..ml {
+                if cols.iter().zip(&vals).all(|(col, &v)| col[li] == v) {
+                    let i = ms + li;
+                    masks[i] |= bit;
+                    m_sums[j] += m_prime[i];
+                }
             }
         }
     }

@@ -15,7 +15,7 @@
 
 use crate::error::SirumError;
 use crate::transform::MeasureTransform;
-use sirum_table::{ColSlice, Frame, Table};
+use sirum_table::{ColSlice, Compression, Frame, Table};
 use std::sync::Arc;
 
 /// A table validated and encoded for mining: the columnar dimension
@@ -34,18 +34,30 @@ pub struct PreparedTable {
 }
 
 impl PreparedTable {
-    /// Validate and encode `table` for repeated mining.
+    /// Validate and encode `table` for repeated mining, under the default
+    /// [`Compression::Auto`] policy: small tables keep raw columns,
+    /// multi-million-row tables compress so they fit (and mine) inside a
+    /// capped block-store budget.
     ///
     /// # Errors
     /// * [`SirumError::EmptyDataset`] — the table has no rows.
     /// * [`SirumError::InvalidMeasure`] — a measure value is not finite.
     pub fn try_new(table: &Table) -> Result<Self, SirumError> {
+        Self::try_new_with(table, Compression::default())
+    }
+
+    /// [`Self::try_new`] with an explicit columnar [`Compression`] policy
+    /// (benches and bit-identity tests force `Always`/`Never`).
+    ///
+    /// # Errors
+    /// Same as [`Self::try_new`].
+    pub fn try_new_with(table: &Table, compression: Compression) -> Result<Self, SirumError> {
         if table.num_rows() == 0 {
             return Err(SirumError::EmptyDataset);
         }
         let (transform, m_prime) = MeasureTransform::try_fit(table.measures())?;
         Ok(PreparedTable {
-            frame: Frame::from_table(table),
+            frame: Frame::from_table_with(table, compression),
             m_prime: Arc::from(m_prime),
             transform,
         })

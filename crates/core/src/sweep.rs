@@ -454,44 +454,54 @@ fn combine_blocks_packed<C: PackedCode>(
     // the bit-identity note there.
     let aw = masks.all_wild();
     let mut wild: Agg = (0.0, 0.0, 0);
+    let mut dim_scratch = sirum_table::ColScratch::new();
     for block in blocks {
         let (m_col, mhat_col) = (block.m(), block.mhat());
-        let cols: Vec<&[u32]> = (0..d).map(|j| block.dims().col(j)).collect();
-        for i in 0..block.len() {
-            match index {
-                Some(idx) => {
-                    for &code in idx.packed_lcas_into_cols(masks, &cols, i, &mut scratch) {
-                        if acc.tick(cancel) {
-                            return acc;
-                        }
-                        if code == aw {
-                            wild.0 += m_col[i];
-                            wild.1 += mhat_col[i];
-                            wild.2 += 1;
-                        } else {
-                            match strategy {
-                                CombineStrategy::HashProbe => {
-                                    acc.fold_agg(code, (m_col[i], mhat_col[i], 1));
-                                }
-                                CombineStrategy::RadixGroup => {
-                                    buckets.push(code, m_col[i], mhat_col[i]);
+        let dims = block.dims();
+        // Morsel-driven: raw blocks scan as one whole-range morsel (the
+        // direct column borrows of the pre-compression path), compressed
+        // blocks decode segment-aligned morsels into reusable scratch. The
+        // row visit order — and every tick/fold position — is unchanged.
+        for (ms, ml) in dims.morsel_bounds() {
+            let cols = dims.morsel_cols(ms, ml, &mut dim_scratch);
+            for li in 0..ml {
+                let i = ms + li;
+                match index {
+                    Some(idx) => {
+                        for &code in idx.packed_lcas_into_cols(masks, &cols, li, &mut scratch) {
+                            if acc.tick(cancel) {
+                                return acc;
+                            }
+                            if code == aw {
+                                wild.0 += m_col[i];
+                                wild.1 += mhat_col[i];
+                                wild.2 += 1;
+                            } else {
+                                match strategy {
+                                    CombineStrategy::HashProbe => {
+                                        acc.fold_agg(code, (m_col[i], mhat_col[i], 1));
+                                    }
+                                    CombineStrategy::RadixGroup => {
+                                        buckets.push(code, m_col[i], mhat_col[i]);
+                                    }
                                 }
                             }
                         }
                     }
-                }
-                None => {
-                    if acc.tick(cancel) {
-                        return acc;
-                    }
-                    block.gather(i, &mut row_buf);
-                    let code: C = layout.pack(&row_buf);
-                    match strategy {
-                        CombineStrategy::HashProbe => {
-                            acc.fold_agg(code, (m_col[i], mhat_col[i], 1));
+                    None => {
+                        if acc.tick(cancel) {
+                            return acc;
                         }
-                        CombineStrategy::RadixGroup => {
-                            buckets.push(code, m_col[i], mhat_col[i]);
+                        row_buf.clear();
+                        row_buf.extend(cols.iter().map(|c| c[li]));
+                        let code: C = layout.pack(&row_buf);
+                        match strategy {
+                            CombineStrategy::HashProbe => {
+                                acc.fold_agg(code, (m_col[i], mhat_col[i], 1));
+                            }
+                            CombineStrategy::RadixGroup => {
+                                buckets.push(code, m_col[i], mhat_col[i]);
+                            }
                         }
                     }
                 }
@@ -687,29 +697,36 @@ fn combine_partition_blocks(
     }
     let mut scratch = Vec::new();
     let mut row_buf = Vec::with_capacity(d);
+    let mut dim_scratch = sirum_table::ColScratch::new();
     for block in blocks {
         let (m_col, mhat_col) = (block.m(), block.mhat());
-        // The sample-index probe reads attribute values straight from the
-        // columns (`lcas_into_cols`); only the full-cube fold needs a
-        // contiguous row key and pays the gather.
-        let cols: Vec<&[u32]> = (0..d).map(|j| block.dims().col(j)).collect();
-        for i in 0..block.len() {
-            match index {
-                Some(idx) => {
-                    let chunks = idx.lcas_into_cols(&cols, i, &mut scratch);
-                    for chunk in chunks.chunks_exact(d) {
+        let dims = block.dims();
+        // Morsel-driven (see combine_blocks_packed): the sample-index probe
+        // reads attribute values straight from the morsel columns
+        // (`lcas_into_cols`); only the full-cube fold needs a contiguous
+        // row key and pays the per-row assembly.
+        for (ms, ml) in dims.morsel_bounds() {
+            let cols = dims.morsel_cols(ms, ml, &mut dim_scratch);
+            for li in 0..ml {
+                let i = ms + li;
+                match index {
+                    Some(idx) => {
+                        let chunks = idx.lcas_into_cols(&cols, li, &mut scratch);
+                        for chunk in chunks.chunks_exact(d) {
+                            if acc.tick(cancel) {
+                                return acc;
+                            }
+                            fold_lca(&mut acc.map, chunk, m_col[i], mhat_col[i]);
+                        }
+                    }
+                    None => {
                         if acc.tick(cancel) {
                             return acc;
                         }
-                        fold_lca(&mut acc.map, chunk, m_col[i], mhat_col[i]);
+                        row_buf.clear();
+                        row_buf.extend(cols.iter().map(|c| c[li]));
+                        fold_lca(&mut acc.map, &row_buf, m_col[i], mhat_col[i]);
                     }
-                }
-                None => {
-                    if acc.tick(cancel) {
-                        return acc;
-                    }
-                    block.gather(i, &mut row_buf);
-                    fold_lca(&mut acc.map, &row_buf, m_col[i], mhat_col[i]);
                 }
             }
         }

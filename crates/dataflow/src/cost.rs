@@ -161,6 +161,35 @@ pub fn modeled_sweep_stage(records: u64, partitions: usize, nanos_per_record: f6
     }
 }
 
+/// Modeled DRAM streaming bandwidth of one scan thread, in bytes per
+/// nanosecond (≈ 8 GB/s per core on the calibration container) — what a
+/// sequential columnar pass moves when the working set exceeds cache.
+pub const SCAN_BANDWIDTH_BYTES_PER_NANO: f64 = 8.0;
+
+/// Modeled per-value cost of unpacking one compressed dimension code
+/// (bit-packed word extraction or RLE run lookup) into the morsel scratch
+/// buffer during a compressed columnar scan.
+pub const DECODE_NANOS_PER_VALUE: f64 = 0.4;
+
+/// Modeled per-record nanoseconds of one columnar scan pass over `dims`
+/// dimension columns carrying `bytes_per_row` of dimension payload: memory
+/// traffic at streaming [`SCAN_BANDWIDTH_BYTES_PER_NANO`], plus a
+/// per-value decode tax when the columns are `compressed`.
+///
+/// This is the compressed-vs-raw trade `explain()` prices: compression
+/// shrinks the traffic term (a packed column moves `ceil(log2 card)` bits
+/// per value instead of 32) but pays [`DECODE_NANOS_PER_VALUE`] per value
+/// to fill the scratch buffer, so narrow dictionaries win on big tables
+/// while already-cache-resident tables gain nothing.
+pub fn scan_record_nanos(dims: usize, bytes_per_row: f64, compressed: bool) -> f64 {
+    let traffic = bytes_per_row / SCAN_BANDWIDTH_BYTES_PER_NANO;
+    if compressed {
+        traffic + dims as f64 * DECODE_NANOS_PER_VALUE
+    } else {
+        traffic
+    }
+}
+
 /// How a sweep partition aggregates its per-tuple `(code, m, m̂)` emissions
 /// into one `(Σm, Σm̂, pairs)` entry per distinct rule code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -352,6 +381,23 @@ mod tests {
         );
         // Tiny partitions never buffer even when fully distinct.
         assert_eq!(choose_combine(64, 64), CombineStrategy::HashProbe);
+    }
+
+    #[test]
+    fn compressed_scan_pricing_trades_bandwidth_for_decode() {
+        // Raw scans are pure bandwidth: cost scales with row bytes.
+        let raw_narrow = scan_record_nanos(3, 12.0, false);
+        let raw_wide = scan_record_nanos(9, 36.0, false);
+        assert!(raw_wide > raw_narrow);
+        // The same payload compressed pays the per-value decode tax on top.
+        assert!(scan_record_nanos(9, 36.0, true) > raw_wide);
+        // A well-packed wide row (9 dims in < 4 bytes vs 36 raw) still
+        // scans cheaper than its raw representation — the tlc-shaped case.
+        assert!(scan_record_nanos(9, 3.75, true) < raw_wide);
+        // But a narrow cache-friendly table gains next to nothing: the
+        // per-value decode tax roughly cancels the bandwidth saving —
+        // which is why `Compression::Auto` leaves small tables raw.
+        assert!((scan_record_nanos(3, 2.0, true) - raw_narrow).abs() < 0.1);
     }
 
     #[test]

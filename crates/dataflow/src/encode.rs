@@ -235,11 +235,85 @@ impl<T: Encode> Encode for sirum_table::ColSlice<T> {
     }
 }
 
+/// Write one compressed segment: a format tag then its payload.
+pub fn encode_segment(seg: &sirum_table::Segment, out: &mut Vec<u8>) {
+    match seg {
+        sirum_table::Segment::Raw(values) => {
+            out.push(0);
+            (values.len() as u64).encode(out);
+            for &v in values.iter() {
+                v.encode(out);
+            }
+        }
+        sirum_table::Segment::Packed { bits, len, words } => {
+            out.push(1);
+            bits.encode(out);
+            len.encode(out);
+            (words.len() as u64).encode(out);
+            for &w in words.iter() {
+                w.encode(out);
+            }
+        }
+        sirum_table::Segment::Rle { values, ends } => {
+            out.push(2);
+            (values.len() as u64).encode(out);
+            for &v in values.iter() {
+                v.encode(out);
+            }
+            for &e in ends.iter() {
+                e.encode(out);
+            }
+        }
+    }
+}
+
+/// Read back one segment written by [`encode_segment`].
+///
+/// # Panics
+/// Panics on an unknown format tag (on-disk corruption).
+pub fn decode_segment(buf: &mut &[u8]) -> sirum_table::Segment {
+    match take(buf, 1)[0] {
+        0 => {
+            let n = u64::decode(buf) as usize;
+            sirum_table::Segment::Raw((0..n).map(|_| u32::decode(buf)).collect())
+        }
+        1 => {
+            let bits = u32::decode(buf);
+            let len = u32::decode(buf);
+            let n = u64::decode(buf) as usize;
+            sirum_table::Segment::Packed {
+                bits,
+                len,
+                words: (0..n).map(|_| u64::decode(buf)).collect(),
+            }
+        }
+        2 => {
+            let runs = u64::decode(buf) as usize;
+            sirum_table::Segment::Rle {
+                values: (0..runs).map(|_| u32::decode(buf)).collect(),
+                ends: (0..runs).map(|_| u32::decode(buf)).collect(),
+            }
+        }
+        // Spill buffers are written by this same process; an unknown tag is
+        // on-disk corruption and must fail loudly.
+        tag => unreachable!("corrupted segment tag {tag} in encoded buffer"),
+    }
+}
+
+/// Per-column representation tags in the [`sirum_table::FrameView`] wire format.
+const COL_RAW: u8 = 0;
+const COL_COMPRESSED: u8 = 1;
+
 /// A [`sirum_table::FrameView`] encodes as its in-range column values (dimension codes
 /// then measures) and decodes to a view over a fresh single-partition
 /// [`sirum_table::Frame`] — this is what lets columnar partitions spill to
 /// disk in `DiskMr` mode and under block-store memory pressure while
 /// staying range views over shared columns in memory.
+///
+/// Raw columns write their codes verbatim; compressed columns write their
+/// overlapping segments (interior segments byte-for-byte as stored,
+/// boundary segments clipped to the view's range), so spilled partitions
+/// stay compressed on disk and decode back without re-encoding.
 impl Encode for sirum_table::FrameView {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.num_dims() as u64).encode(out);
@@ -251,8 +325,21 @@ impl Encode for sirum_table::FrameView {
             card.encode(out);
         }
         for j in 0..self.num_dims() {
-            for &code in self.col(j) {
-                code.encode(out);
+            match self.frame().column(j) {
+                sirum_table::Column::Raw(_) => {
+                    out.push(COL_RAW);
+                    for &code in self.col(j) {
+                        code.encode(out);
+                    }
+                }
+                sirum_table::Column::Compressed(c) => {
+                    out.push(COL_COMPRESSED);
+                    let segments = c.slice_segments(self.start(), self.len());
+                    (segments.len() as u64).encode(out);
+                    for seg in &segments {
+                        encode_segment(seg, out);
+                    }
+                }
             }
         }
         for &m in self.measures() {
@@ -263,14 +350,41 @@ impl Encode for sirum_table::FrameView {
         let d = u64::decode(buf) as usize;
         let n = u64::decode(buf) as usize;
         let cards: Vec<u32> = (0..d).map(|_| u32::decode(buf)).collect();
-        let cols: Vec<Vec<u32>> = (0..d)
-            .map(|_| (0..n).map(|_| u32::decode(buf)).collect())
-            .collect();
+        let mut raw_cols: Vec<Vec<u32>> = Vec::new();
+        let mut compressed_cols: Vec<sirum_table::CompressedCol> = Vec::new();
+        for _ in 0..d {
+            match take(buf, 1)[0] {
+                COL_RAW => raw_cols.push((0..n).map(|_| u32::decode(buf)).collect()),
+                _ => {
+                    let segs = u64::decode(buf) as usize;
+                    compressed_cols.push(sirum_table::CompressedCol::from_segments(
+                        (0..segs).map(|_| decode_segment(buf)).collect(),
+                    ));
+                }
+            }
+        }
         let measure: Vec<f64> = (0..n).map(|_| f64::decode(buf)).collect();
-        sirum_table::Frame::from_columns_with_cards(cols, measure, cards).view()
+        // Frames are homogeneous (all columns raw or all compressed) — the
+        // builder flushes every column together, so a mixed stream cannot be
+        // produced by this process's encoder.
+        if raw_cols.is_empty() && !compressed_cols.is_empty() {
+            sirum_table::Frame::from_compressed_columns_with_cards(compressed_cols, measure, cards)
+                .view()
+        } else {
+            // lint:allow(SL001) — framing invariant of this process's own encoder
+            assert!(
+                compressed_cols.is_empty(),
+                "mixed raw/compressed columns in encoded frame"
+            );
+            sirum_table::Frame::from_columns_with_cards(raw_cols, measure, cards).view()
+        }
     }
     fn size_estimate(&self) -> usize {
-        16 + self.num_dims() * 4 + self.len() * (self.num_dims() * 4 + 8)
+        // Compressed columns charge their encoded payload bytes, so budget
+        // accounting sees (and rewards) the compression.
+        16 + self.num_dims() * 4
+            + self.frame().dim_bytes_in_range(self.start(), self.len())
+            + self.len() * 8
     }
 }
 
@@ -377,5 +491,36 @@ mod tests {
         let mut buf = encode_records(&[1u32, 2]);
         buf.push(0xFF);
         let _ = decode_records::<u32>(&buf);
+    }
+
+    #[test]
+    fn compressed_frame_views_round_trip_without_reencoding() {
+        use sirum_table::{generators, ColScratch, Compression, Frame, FrameView};
+        let t = generators::income_like(500, 3);
+        let frame = Frame::from_table_with(&t, Compression::Always);
+        let raw = Frame::from_table(&t);
+        // A mid-frame view with unaligned segment boundaries.
+        let view = frame.view().slice(37, 401);
+        let mut out = Vec::new();
+        view.encode(&mut out);
+        let mut slice = out.as_slice();
+        let back = FrameView::decode(&mut slice);
+        assert!(slice.is_empty());
+        assert_eq!(back.len(), 401);
+        assert_eq!(back.cards(), view.cards());
+        assert!(
+            back.frame().is_compressed(),
+            "spill keeps columns compressed"
+        );
+        assert_eq!(back.measures(), view.measures());
+        let mut scratch = ColScratch::new();
+        for (s, n) in back.morsel_bounds() {
+            let cols = back.morsel_cols(s, n, &mut scratch);
+            for (j, col) in cols.iter().enumerate() {
+                assert_eq!(*col, &raw.col(j)[37 + s..37 + s + n], "col {j}");
+            }
+        }
+        // Budget accounting charges encoded bytes: far below the raw footprint.
+        assert!(view.size_estimate() < raw.view().slice(37, 401).size_estimate());
     }
 }

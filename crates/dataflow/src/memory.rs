@@ -45,10 +45,26 @@ pub struct MemSample {
     pub resident_bytes: usize,
 }
 
+/// Memory-pressure counters of a [`BlockStore`]: the instantaneous
+/// resident set plus cumulative spill volume and eviction count. Surfaced
+/// through the service layer (`GET /stats`, `/metrics`) so a loadgen run
+/// can watch a capped budget working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryStats {
+    /// Bytes of block data currently resident in memory.
+    pub resident_bytes: usize,
+    /// Cumulative bytes written to spill/stage files since creation.
+    pub spilled_bytes: u64,
+    /// Cumulative count of budget-pressure evictions since creation.
+    pub evictions: u64,
+}
+
 struct StoreInner {
     blocks: FxHashMap<BlockId, Block>,
     clock: u64,
     resident_bytes: usize,
+    spilled_bytes: u64,
+    evictions: u64,
     trace: Vec<MemSample>,
     /// First spill-I/O failure observed. The store degrades gracefully
     /// (failed evictions keep blocks resident, failed disk writes fall back
@@ -93,6 +109,8 @@ impl BlockStore {
                 blocks: FxHashMap::default(),
                 clock: 0,
                 resident_bytes: 0,
+                spilled_bytes: 0,
+                evictions: 0,
                 trace: Vec::new(),
                 poison,
             })),
@@ -158,10 +176,12 @@ impl BlockStore {
                 return false;
             }
             self.metrics.add_disk_write(bytes.len() as u64);
+            inner.spilled_bytes += bytes.len() as u64;
             block.file = Some(file);
         }
         block.data = None;
         inner.resident_bytes -= block.size;
+        inner.evictions += 1;
         self.sample_locked(inner);
         true
     }
@@ -210,6 +230,7 @@ impl BlockStore {
         match written {
             Ok(()) => {
                 self.metrics.add_disk_write(bytes.len() as u64);
+                inner.spilled_bytes += bytes.len() as u64;
                 inner.blocks.insert(
                     id,
                     Block {
@@ -317,6 +338,17 @@ impl BlockStore {
     /// Bytes of block data currently resident in memory.
     pub fn resident_bytes(&self) -> usize {
         self.inner.lock().resident_bytes
+    }
+
+    /// Memory-pressure counters: the resident set plus cumulative spill
+    /// volume and eviction count.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let inner = self.inner.lock();
+        MemoryStats {
+            resident_bytes: inner.resident_bytes,
+            spilled_bytes: inner.spilled_bytes,
+            evictions: inner.evictions,
+        }
     }
 
     /// The memory-usage-over-time trace accumulated so far.
@@ -488,6 +520,27 @@ mod tests {
         ));
         assert!(!s.is_poisoned(), "take_poison clears the pending error");
         let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn memory_stats_count_spills_and_evictions() {
+        let s = store(Some(10_000));
+        assert_eq!(s.memory_stats(), MemoryStats::default());
+        for i in 0..4 {
+            let _ = s.put(vec![i as u64; 1000]); // ~8KB each under a 10KB budget
+        }
+        let stats = s.memory_stats();
+        assert!(stats.evictions >= 3, "budget pressure evicts");
+        assert!(stats.spilled_bytes >= 3 * 8000);
+        assert_eq!(stats.resident_bytes, s.resident_bytes());
+        // Re-evicting an already-spilled block counts the eviction but
+        // writes no new bytes.
+        let disk_only = s.memory_stats();
+        let id = s.put_disk(&vec![9u64; 1000]);
+        assert!(s.memory_stats().spilled_bytes > disk_only.spilled_bytes);
+        assert_eq!(s.memory_stats().evictions, disk_only.evictions);
+        let _ = s.get::<u64>(id);
+        s.cleanup();
     }
 
     #[test]

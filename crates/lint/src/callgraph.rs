@@ -502,7 +502,7 @@ impl Workspace {
     /// types at this layer), so a name that also exists on std types
     /// would mis-resolve every std use of it to the one workspace
     /// method — `guard.iter()` is slice iteration, not `Dataset::iter`.
-    /// [`STD_METHOD_COLLISIONS`] lists such names; calls through them
+    /// `STD_METHOD_COLLISIONS` lists such names; calls through them
     /// stay unresolved. Under-approximation: the call graph may miss
     /// edges, it must not invent them.
     pub fn resolve_call(&self, call: &CallRecord) -> Option<FnId> {

@@ -58,7 +58,7 @@ pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<(), TableError>
     Ok(())
 }
 
-/// A streaming record splitter over the raw input text, honoring RFC-4180
+/// A streaming record splitter over a buffered reader, honoring RFC-4180
 /// quoting: a field starting with `"` runs to the matching closing quote,
 /// `""` inside quotes is a literal `"`, and commas *and line breaks*
 /// inside quotes do not split — `\r`/`\n` bytes inside a quoted field are
@@ -66,77 +66,115 @@ pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<(), TableError>
 /// embedded CRLF). Outside quotes, `\n`, `\r\n` and a lone `\r` all
 /// terminate a record. A lone `"` inside an unquoted field is taken
 /// literally (lenient, like most real-world readers).
-struct Records<'a> {
-    chars: std::iter::Peekable<std::str::Chars<'a>>,
-    /// 1-based physical line number of the *next* character.
+///
+/// Records are pulled chunk-by-chunk from the reader as they are consumed,
+/// so parsing holds one in-progress record — never the whole input.
+/// Scanning is byte-wise: every delimiter is ASCII and UTF-8 guarantees
+/// ASCII bytes cannot occur inside a multi-byte sequence, so a chunk
+/// boundary may split a multi-byte character without confusing the state
+/// machine; fields are validated as UTF-8 only once complete.
+struct Records<R: BufRead> {
+    input: R,
+    /// One byte of lookahead (for CRLF pairs and doubled quotes) that has
+    /// been pulled from the reader but not yet consumed by the parser.
+    peeked: Option<u8>,
+    /// 1-based physical line number of the *next* byte.
     line: usize,
 }
 
-impl<'a> Records<'a> {
-    fn new(text: &'a str) -> Self {
+impl<R: BufRead> Records<R> {
+    fn new(input: R) -> Self {
         Records {
-            chars: text.chars().peekable(),
+            input,
+            peeked: None,
             line: 1,
         }
+    }
+
+    fn next_byte(&mut self) -> Result<Option<u8>, TableError> {
+        if let Some(b) = self.peeked.take() {
+            return Ok(Some(b));
+        }
+        let buf = self.input.fill_buf()?;
+        let Some(&b) = buf.first() else {
+            return Ok(None);
+        };
+        self.input.consume(1);
+        Ok(Some(b))
+    }
+
+    fn peek_byte(&mut self) -> Result<Option<u8>, TableError> {
+        if self.peeked.is_none() {
+            self.peeked = self.next_byte()?;
+        }
+        Ok(self.peeked)
     }
 
     /// Pull the next logical record as `(fields, first physical line)`,
     /// `None` at end of input.
     fn next_record(&mut self) -> Result<Option<(Vec<String>, usize)>, TableError> {
-        if self.chars.peek().is_none() {
+        if self.peek_byte()?.is_none() {
             return Ok(None);
         }
         let start_line = self.line;
         let mut fields = Vec::new();
-        let mut cur = String::new();
+        let mut cur = Vec::new();
+        let take_field = |cur: &mut Vec<u8>| -> Result<String, TableError> {
+            String::from_utf8(std::mem::take(cur)).map_err(|_| {
+                TableError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "stream did not contain valid UTF-8",
+                ))
+            })
+        };
         let mut in_quotes = false;
         let mut at_field_start = true;
-        while let Some(c) = self.chars.next() {
-            if c == '\n' {
+        while let Some(b) = self.next_byte()? {
+            if b == b'\n' {
                 self.line += 1;
             }
             if in_quotes {
-                if c == '"' {
-                    if self.chars.peek() == Some(&'"') {
-                        self.chars.next();
-                        cur.push('"');
+                if b == b'"' {
+                    if self.peek_byte()? == Some(b'"') {
+                        self.next_byte()?;
+                        cur.push(b'"');
                     } else {
                         in_quotes = false;
                     }
                 } else {
-                    cur.push(c); // commas, \r and \n included, verbatim
+                    cur.push(b); // commas, \r and \n included, verbatim
                 }
                 continue;
             }
-            match c {
-                '"' if at_field_start => in_quotes = true,
-                ',' => {
-                    fields.push(std::mem::take(&mut cur));
+            match b {
+                b'"' if at_field_start => in_quotes = true,
+                b',' => {
+                    fields.push(take_field(&mut cur)?);
                     at_field_start = true;
                     continue;
                 }
-                '\n' => {
-                    fields.push(cur);
+                b'\n' => {
+                    fields.push(take_field(&mut cur)?);
                     return Ok(Some((fields, start_line)));
                 }
-                '\r' => {
+                b'\r' => {
                     // CRLF or a lone CR (classic Mac): either way one
                     // physical line ends here.
-                    if self.chars.peek() == Some(&'\n') {
-                        self.chars.next();
+                    if self.peek_byte()? == Some(b'\n') {
+                        self.next_byte()?;
                     }
                     self.line += 1;
-                    fields.push(cur);
+                    fields.push(take_field(&mut cur)?);
                     return Ok(Some((fields, start_line)));
                 }
-                _ => cur.push(c),
+                _ => cur.push(b),
             }
             at_field_start = false;
         }
         if in_quotes {
             return Err(TableError::UnclosedQuote { line: start_line });
         }
-        fields.push(cur);
+        fields.push(take_field(&mut cur)?);
         Ok(Some((fields, start_line)))
     }
 }
@@ -153,12 +191,13 @@ impl<'a> Records<'a> {
 /// ([`TableError::RaggedLine`]), a non-numeric measure
 /// ([`TableError::BadMeasure`]) or a quote left open at end of input
 /// ([`TableError::UnclosedQuote`]).
-pub fn read_csv<R: BufRead>(mut input: R) -> Result<Table, TableError> {
-    // Buffer the input: quoted fields may span physical lines, and the
-    // CSV is about to be materialized as an in-memory table anyway.
-    let mut text = String::new();
-    input.read_to_string(&mut text)?;
-    let mut records = Records::new(&text);
+pub fn read_csv<R: BufRead>(input: R) -> Result<Table, TableError> {
+    // Stream: records are parsed straight out of the reader's buffer and
+    // dictionary-encoded into the builder one at a time, so peak memory is
+    // the encoded table plus one record — never input-text-sized. (The
+    // frame built at registration streams the same way, one morsel at a
+    // time, through `FrameBuilder`.)
+    let mut records = Records::new(input);
 
     let Some((mut cols, _)) = records.next_record()? else {
         return Err(TableError::EmptyInput);
@@ -332,6 +371,42 @@ mod tests {
             read_csv(&b"a,m\nx,notanumber\n"[..]),
             Err(TableError::BadMeasure { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn streaming_reader_survives_chunk_boundaries() {
+        // A 7-byte BufReader forces refills mid-field, mid-quote, between
+        // the CR and LF of embedded CRLFs, and inside multi-byte UTF-8
+        // characters; the parse must match the single-chunk one exactly.
+        let mut csv = String::from("a,b,m\n");
+        for i in 0..100 {
+            csv.push_str(&format!(
+                "\"row {i}, with commas\",\"naïve — ünïcode\r\nsecond line\",{i}.5\n"
+            ));
+        }
+        let chunked = read_csv(std::io::BufReader::with_capacity(7, csv.as_bytes())).unwrap();
+        assert_eq!(chunked.num_rows(), 100);
+        assert_eq!(chunked.decode(0, chunked.row(41)[0]), "row 41, with commas");
+        assert_eq!(
+            chunked.decode(1, chunked.row(0)[1]),
+            "naïve — ünïcode\r\nsecond line"
+        );
+        assert_eq!(chunked.measure(99), 99.5);
+        let whole = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(chunked.fingerprint(), whole.fingerprint());
+        // Error line numbers are unaffected by chunking: the quoted field
+        // spans two physical lines, so the bad measure sits on line 4.
+        let bad = "a,m\n\"multi\nline\",1\nx,notanumber\n";
+        assert!(matches!(
+            read_csv(std::io::BufReader::with_capacity(3, bad.as_bytes())),
+            Err(TableError::BadMeasure { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_io_error_not_a_panic() {
+        let csv = b"a,m\nx\xff\xfe,1\n";
+        assert!(matches!(read_csv(&csv[..]), Err(TableError::Io(_))));
     }
 
     #[test]

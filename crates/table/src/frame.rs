@@ -6,8 +6,8 @@
 //! mining workload: every greedy iteration re-aggregates all rows, and the
 //! repeated-query setting means the same table is scanned across many
 //! requests. A [`Frame`] transposes the table once into struct-of-arrays
-//! form — one contiguous `u32` column per dimension attribute plus the
-//! `f64` measure column, each behind an `Arc` — so that
+//! form — one `u32` column per dimension attribute plus the `f64` measure
+//! column, each behind an `Arc` — so that
 //!
 //! * every scan walks contiguous, type-homogeneous memory,
 //! * partitions are [`FrameView`] *range views* over the shared columns
@@ -15,9 +15,24 @@
 //! * concurrent jobs mining the same registered table share one set of
 //!   buffers.
 //!
+//! A dimension column comes in two physical representations behind the
+//! same view API: **raw** (one contiguous `Arc<[u32]>`, the layout small
+//! tables keep) or **compressed** (a [`CompressedCol`] sequence of
+//! bit-packed/RLE/raw [`crate::compress::Segment`]s, chosen per segment by
+//! a size heuristic — see [`crate::compress`]). Compressed frames are
+//! scanned **morsel-driven**: [`FrameView::morsel_bounds`] yields
+//! segment-aligned row ranges and [`FrameView::morsel_cols`] decodes one
+//! morsel of every column into a reusable [`ColScratch`], so a scan over a
+//! raw frame degenerates to exactly the old single-range column borrow
+//! (zero overhead) while a compressed frame is decoded 64Ki rows at a
+//! time. [`FrameBuilder`] builds compressed frames incrementally, encoding
+//! each morsel as rows arrive instead of materializing whole `Vec<u32>`
+//! columns first.
+//!
 //! The frame carries the source table's content fingerprint so downstream
 //! caches stay content-addressed without re-hashing.
 
+use crate::compress::{CompressedCol, Segment, MORSEL_ROWS};
 use crate::table::Table;
 use std::sync::{Arc, OnceLock};
 
@@ -84,14 +99,100 @@ impl<T> From<Vec<T>> for ColSlice<T> {
     }
 }
 
-/// The columnar frame: one contiguous dimension-code column per attribute
-/// plus the measure column, all `Arc`-shared. Built once per table (at
-/// registration / preparation time) and scanned by every request.
+/// One dimension column's physical representation.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// One contiguous shared buffer — the layout of small frames, directly
+    /// borrowable as `&[u32]`.
+    Raw(Arc<[u32]>),
+    /// Encoded segments — decoded morsel-by-morsel into scratch buffers.
+    Compressed(Arc<CompressedCol>),
+}
+
+impl Column {
+    #[inline]
+    fn value_at(&self, i: usize) -> u32 {
+        match self {
+            Column::Raw(a) => a[i],
+            Column::Compressed(c) => c.value_at(i),
+        }
+    }
+}
+
+/// When a frame built from a [`Table`] compresses its dimension columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Compression {
+    /// Compress when the raw dimension columns would exceed
+    /// [`COMPRESS_MIN_BYTES`] — small interactive tables keep the
+    /// zero-decode raw layout, multi-million-row tables compress.
+    #[default]
+    Auto,
+    /// Always compress (tests and memory-budget runs).
+    Always,
+    /// Never compress (the raw reference representation).
+    Never,
+}
+
+/// The [`Compression::Auto`] threshold on raw dimension-column bytes
+/// (`4·n·d`): below this the whole frame fits comfortably in cache-adjacent
+/// memory and decode work would buy nothing.
+pub const COMPRESS_MIN_BYTES: usize = 8 << 20;
+
+/// Per-column format summary (what `explain()` reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnFormat {
+    /// One contiguous raw `u32` buffer.
+    Raw,
+    /// Segment-compressed column.
+    Compressed {
+        /// Segments stored verbatim (incompressible).
+        raw_segments: usize,
+        /// Bit-packed segments.
+        packed_segments: usize,
+        /// Run-length-encoded segments.
+        rle_segments: usize,
+        /// Widest packed bit width across segments (0 when none packed).
+        max_bits: u32,
+        /// Total encoded payload bytes.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for ColumnFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ColumnFormat::Raw => write!(f, "raw"),
+            ColumnFormat::Compressed {
+                raw_segments,
+                packed_segments,
+                rle_segments,
+                max_bits,
+                ..
+            } => {
+                if packed_segments > 0 && rle_segments == 0 && raw_segments == 0 {
+                    write!(f, "packed{max_bits}")
+                } else if rle_segments > 0 && packed_segments == 0 && raw_segments == 0 {
+                    write!(f, "rle")
+                } else if raw_segments > 0 && packed_segments == 0 && rle_segments == 0 {
+                    write!(f, "raw-seg")
+                } else if packed_segments > 0 {
+                    write!(f, "mixed(packed{max_bits}:{packed_segments},rle:{rle_segments},raw:{raw_segments})")
+                } else {
+                    write!(f, "mixed(rle:{rle_segments},raw:{raw_segments})")
+                }
+            }
+        }
+    }
+}
+
+/// The columnar frame: one dimension-code column per attribute plus the
+/// measure column, all `Arc`-shared. Built once per table (at registration
+/// / preparation time) and scanned by every request.
 ///
 /// Cloning a `Frame` bumps `d + 1` `Arc`s; no data moves.
 #[derive(Debug, Clone)]
 pub struct Frame {
-    cols: Arc<[Arc<[u32]>]>,
+    cols: Arc<[Column]>,
     measure: Arc<[f64]>,
     rows: usize,
     /// Per-dimension dictionary cardinalities `|dom(Aⱼ)|` — the bit-width
@@ -108,32 +209,52 @@ pub struct Frame {
 }
 
 impl Frame {
-    /// Transpose `table` into columnar form (one pass per column) and stamp
-    /// it with the table's content fingerprint.
+    /// Transpose `table` into raw columnar form (one pass per column) and
+    /// stamp it with the table's content fingerprint. Equivalent to
+    /// [`Frame::from_table_with`] under [`Compression::Never`].
     pub fn from_table(table: &Table) -> Frame {
         let d = table.num_dims();
         let n = table.num_rows();
-        let cols: Vec<Arc<[u32]>> = (0..d)
+        let cols: Vec<Column> = (0..d)
             .map(|j| {
                 let mut col = Vec::with_capacity(n);
                 col.extend(table.rows().map(|row| row[j]));
-                Arc::from(col)
+                Column::Raw(Arc::from(col))
             })
             .collect();
         let fingerprint = OnceLock::new();
         let _ = fingerprint.set(table.fingerprint());
-        let cards: Vec<u32> = table
-            .cardinalities()
-            .into_iter()
-            .map(|c| u32::try_from(c).unwrap_or(u32::MAX))
-            .collect();
         Frame {
             cols: Arc::from(cols),
             measure: Arc::from(table.measures().to_vec()),
             rows: n,
-            cards: Arc::from(cards),
+            cards: Arc::from(table_cards(table)),
             fingerprint,
         }
+    }
+
+    /// Transpose `table` under an explicit [`Compression`] policy. The
+    /// compressed path streams rows through a [`FrameBuilder`], encoding
+    /// one morsel at a time — peak transient memory is one pending morsel
+    /// (`d · MORSEL_ROWS · 4` bytes), not the full raw columns.
+    pub fn from_table_with(table: &Table, compression: Compression) -> Frame {
+        let d = table.num_dims();
+        let n = table.num_rows();
+        let compress = match compression {
+            Compression::Never => false,
+            Compression::Always => true,
+            Compression::Auto => n.saturating_mul(d).saturating_mul(4) >= COMPRESS_MIN_BYTES,
+        };
+        if !compress {
+            return Frame::from_table(table);
+        }
+        let mut builder = FrameBuilder::new(d);
+        for (i, row) in table.rows().enumerate() {
+            builder.push_row(row, table.measure(i));
+        }
+        let frame = builder.finish_with_cards(table_cards(table));
+        let _ = frame.fingerprint.set(table.fingerprint());
+        frame
     }
 
     /// Assemble a frame from raw columns (the spill-decode path). Every
@@ -180,7 +301,46 @@ impl Frame {
             "one cardinality per dimension column"
         );
         Frame {
-            cols: Arc::from(cols.into_iter().map(Arc::from).collect::<Vec<_>>()),
+            cols: Arc::from(
+                cols.into_iter()
+                    .map(|c| Column::Raw(Arc::from(c)))
+                    .collect::<Vec<_>>(),
+            ),
+            measure: Arc::from(measure),
+            rows: n,
+            cards: Arc::from(cards),
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// Assemble a frame from already-encoded compressed columns (the
+    /// compressed spill-decode path — segments round-trip without being
+    /// re-encoded).
+    ///
+    /// # Panics
+    /// Panics on ragged columns or a cardinality count mismatch.
+    pub fn from_compressed_columns_with_cards(
+        cols: Vec<CompressedCol>,
+        measure: Vec<f64>,
+        cards: Vec<u32>,
+    ) -> Frame {
+        let n = measure.len();
+        // lint:allow(SL001) — constructor contract; ragged columns are a logic error
+        assert!(
+            cols.iter().all(|c| c.len() == n),
+            "every dimension column must have one code per row"
+        );
+        // lint:allow(SL001) — constructor contract, same class as the ragged check
+        assert!(
+            cards.len() == cols.len(),
+            "one cardinality per dimension column"
+        );
+        Frame {
+            cols: Arc::from(
+                cols.into_iter()
+                    .map(|c| Column::Compressed(Arc::new(c)))
+                    .collect::<Vec<_>>(),
+            ),
             measure: Arc::from(measure),
             rows: n,
             cards: Arc::from(cards),
@@ -198,9 +358,81 @@ impl Frame {
         self.cols.len()
     }
 
-    /// The full column of dimension attribute `j`.
+    /// The full column of dimension attribute `j` as a contiguous slice.
+    /// Only raw columns have one; compressed-frame scans must go through
+    /// [`FrameView::morsel_cols`] (or [`Self::gather_row`] for point
+    /// probes).
+    ///
+    /// # Panics
+    /// Panics when column `j` is compressed.
     pub fn col(&self, j: usize) -> &[u32] {
+        match &self.cols[j] {
+            Column::Raw(a) => a,
+            Column::Compressed(_) => {
+                // lint:allow(SL001) — misuse of the raw-only accessor is a logic error; scans use morsel_cols
+                panic!("dimension column {j} is compressed; decode via FrameView::morsel_cols")
+            }
+        }
+    }
+
+    /// Column `j`'s physical representation.
+    pub fn column(&self, j: usize) -> &Column {
         &self.cols[j]
+    }
+
+    /// True when any dimension column is stored compressed.
+    pub fn is_compressed(&self) -> bool {
+        self.cols.iter().any(|c| matches!(c, Column::Compressed(_)))
+    }
+
+    /// Per-column format summaries (what `explain()` reports).
+    pub fn column_formats(&self) -> Vec<ColumnFormat> {
+        self.cols
+            .iter()
+            .map(|c| match c {
+                Column::Raw(_) => ColumnFormat::Raw,
+                Column::Compressed(c) => {
+                    let (raw, packed, rle, max_bits) = c.format_counts();
+                    ColumnFormat::Compressed {
+                        raw_segments: raw,
+                        packed_segments: packed,
+                        rle_segments: rle,
+                        max_bits,
+                        bytes: c.encoded_bytes(),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// In-memory bytes of the dimension columns for rows
+    /// `[start, start + n)`: `4·n` per raw column, encoded payload bytes of
+    /// the overlapping segments per compressed column. This is what spill
+    /// budget accounting charges for a range view.
+    pub fn dim_bytes_in_range(&self, start: usize, n: usize) -> usize {
+        self.cols
+            .iter()
+            .map(|c| match c {
+                Column::Raw(_) => 4 * n,
+                Column::Compressed(c) => c.range_encoded_bytes(start, n),
+            })
+            .sum()
+    }
+
+    /// In-memory bytes of all dimension columns.
+    pub fn dim_bytes(&self) -> usize {
+        self.dim_bytes_in_range(0, self.rows)
+    }
+
+    /// Shared morsel boundaries of the frame's columns: segment start
+    /// offsets when compressed (all columns are flushed together, so they
+    /// segment identically), `None` for raw frames (one whole-frame
+    /// morsel).
+    fn segment_offsets(&self) -> Option<&[usize]> {
+        self.cols.iter().find_map(|c| match c {
+            Column::Compressed(c) => Some(c.offsets()),
+            Column::Raw(_) => None,
+        })
     }
 
     /// The full measure column.
@@ -225,15 +457,31 @@ impl Frame {
     }
 
     /// Content fingerprint: carried from the source table, or computed on
-    /// first call (and cached) for column-assembled frames.
+    /// first call (and cached) for column-assembled frames. Covers the
+    /// decoded codes, so raw and compressed frames over the same data
+    /// fingerprint identically.
     pub fn fingerprint(&self) -> u64 {
         *self.fingerprint.get_or_init(|| {
             let mut h = crate::fingerprint::Fnv64::new();
             h.write_u64(self.cols.len() as u64);
             h.write_u64(self.rows as u64);
+            let mut buf = Vec::new();
             for col in self.cols.iter() {
-                for &code in col.iter() {
-                    h.write_u32(code);
+                match col {
+                    Column::Raw(a) => {
+                        for &code in a.iter() {
+                            h.write_u32(code);
+                        }
+                    }
+                    Column::Compressed(c) => {
+                        for seg in c.segments() {
+                            buf.clear();
+                            seg.decode_range_into(0, seg.len(), &mut buf);
+                            for &code in &buf {
+                                h.write_u32(code);
+                            }
+                        }
+                    }
                 }
             }
             for &m in self.measure.iter() {
@@ -279,9 +527,162 @@ impl Frame {
     /// Copy row `i`'s dimension codes into `buf` (cleared first). The
     /// gather boundary: row-shaped probes (LCA computation, rule hashing)
     /// read from here; everything else scans the columns directly.
+    /// Compressed columns decode the single value in place (O(1) for
+    /// packed segments).
     pub fn gather_row(&self, i: usize, buf: &mut Vec<u32>) {
         buf.clear();
-        buf.extend(self.cols.iter().map(|col| col[i]));
+        buf.extend(self.cols.iter().map(|col| col.value_at(i)));
+    }
+}
+
+fn table_cards(table: &Table) -> Vec<u32> {
+    table
+        .cardinalities()
+        .into_iter()
+        .map(|c| u32::try_from(c).unwrap_or(u32::MAX))
+        .collect()
+}
+
+/// Streaming constructor for compressed [`Frame`]s: buffer rows into
+/// per-column pending morsels and encode each morsel as it fills, so
+/// building a multi-million-row frame never materializes whole raw
+/// columns. All columns flush together — the resulting frame's columns
+/// share one segmentation, which is what morsel-driven scans rely on.
+#[derive(Debug)]
+pub struct FrameBuilder {
+    /// Per-column buffer of the current (unencoded) morsel.
+    pending: Vec<Vec<u32>>,
+    /// Per-column encoded segments.
+    segments: Vec<Vec<Segment>>,
+    /// Per-column observed maximum code (the cardinality bound when no
+    /// dictionary is supplied at finish).
+    max_code: Vec<u32>,
+    measure: Vec<f64>,
+    morsel_rows: usize,
+    rows: usize,
+}
+
+impl FrameBuilder {
+    /// A builder for `dims` dimension columns with the default
+    /// [`MORSEL_ROWS`] segment size.
+    pub fn new(dims: usize) -> FrameBuilder {
+        FrameBuilder::with_morsel_rows(dims, MORSEL_ROWS)
+    }
+
+    /// A builder with an explicit morsel size (tests use small morsels to
+    /// exercise multi-segment frames cheaply).
+    pub fn with_morsel_rows(dims: usize, morsel_rows: usize) -> FrameBuilder {
+        let morsel_rows = morsel_rows.max(1);
+        FrameBuilder {
+            pending: (0..dims).map(|_| Vec::with_capacity(morsel_rows)).collect(),
+            segments: (0..dims).map(|_| Vec::new()).collect(),
+            max_code: vec![0; dims],
+            measure: Vec::new(),
+            morsel_rows,
+            rows: 0,
+        }
+    }
+
+    /// Rows pushed so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Append one row of dimension codes plus its measure value.
+    ///
+    /// # Panics
+    /// Panics when `codes` does not have one code per dimension column.
+    pub fn push_row(&mut self, codes: &[u32], m: f64) {
+        // lint:allow(SL001) — constructor contract; a ragged row is a logic error
+        assert_eq!(
+            codes.len(),
+            self.pending.len(),
+            "one code per dimension column"
+        );
+        for (j, &v) in codes.iter().enumerate() {
+            self.pending[j].push(v);
+            if v > self.max_code[j] {
+                self.max_code[j] = v;
+            }
+        }
+        self.measure.push(m);
+        self.rows += 1;
+        if self.rows.is_multiple_of(self.morsel_rows) {
+            self.flush();
+        }
+    }
+
+    /// Encode the pending morsel of every column.
+    fn flush(&mut self) {
+        for (buf, segs) in self.pending.iter_mut().zip(self.segments.iter_mut()) {
+            if !buf.is_empty() {
+                segs.push(Segment::encode(buf));
+                buf.clear();
+            }
+        }
+    }
+
+    /// Finish into a compressed frame, bounding each cardinality by the
+    /// observed maximum code + 1 (saturating — same convention as
+    /// [`Frame::from_columns`]).
+    pub fn finish(mut self) -> Frame {
+        let cards: Vec<u32> = self
+            .max_code
+            .iter()
+            .map(|&m| {
+                if self.rows == 0 {
+                    0
+                } else {
+                    m.saturating_add(1)
+                }
+            })
+            .collect();
+        self.flush();
+        self.into_frame(cards)
+    }
+
+    /// Finish with explicit per-dimension dictionary cardinalities.
+    ///
+    /// # Panics
+    /// Panics on a cardinality count mismatch.
+    pub fn finish_with_cards(mut self, cards: Vec<u32>) -> Frame {
+        // lint:allow(SL001) — constructor contract, mirrors from_columns_with_cards
+        assert!(
+            cards.len() == self.pending.len(),
+            "one cardinality per dimension column"
+        );
+        self.flush();
+        self.into_frame(cards)
+    }
+
+    fn into_frame(self, cards: Vec<u32>) -> Frame {
+        let cols: Vec<Column> = self
+            .segments
+            .into_iter()
+            .map(|segs| Column::Compressed(Arc::new(CompressedCol::from_segments(segs))))
+            .collect();
+        Frame {
+            cols: Arc::from(cols),
+            measure: Arc::from(self.measure),
+            rows: self.rows,
+            cards: Arc::from(cards),
+            fingerprint: OnceLock::new(),
+        }
+    }
+}
+
+/// Reusable per-column decode buffers for morsel-driven scans: one scratch
+/// holds one morsel of every compressed column, reused across morsels and
+/// blocks so the steady-state scan allocates nothing.
+#[derive(Debug, Default)]
+pub struct ColScratch {
+    bufs: Vec<Vec<u32>>,
+}
+
+impl ColScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> ColScratch {
+        ColScratch::default()
     }
 }
 
@@ -320,9 +721,113 @@ impl FrameView {
         self.frame.num_dims()
     }
 
-    /// The in-range slice of dimension column `j`.
+    /// The in-range slice of dimension column `j` (raw columns only — see
+    /// [`Frame::col`]).
+    ///
+    /// # Panics
+    /// Panics when column `j` is compressed.
     pub fn col(&self, j: usize) -> &[u32] {
-        &self.frame.cols[j][self.start..self.start + self.len]
+        &self.frame.col(j)[self.start..self.start + self.len]
+    }
+
+    /// The scan chunks of this view as `(local_start, len)` ranges: one
+    /// whole-view morsel for raw frames (scans degenerate to the direct
+    /// column borrow), the intersection with the frame's segment
+    /// boundaries for compressed frames (each morsel decodes without
+    /// crossing a segment). Empty views yield no morsels. Iterating
+    /// morsels in order visits exactly the view's rows in ascending order
+    /// — the fold order every scan preserves.
+    pub fn morsel_bounds(&self) -> Vec<(usize, usize)> {
+        if self.len == 0 {
+            return Vec::new();
+        }
+        match self.frame.segment_offsets() {
+            None => vec![(0, self.len)],
+            Some(offsets) => {
+                let (s, e) = (self.start, self.start + self.len);
+                let mut out = Vec::new();
+                for w in offsets.windows(2) {
+                    let (a, b) = (w[0].max(s), w[1].min(e));
+                    if a < b {
+                        out.push((a - s, b - a));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Borrow every dimension column for the morsel
+    /// `[local_start, local_start + n)`: raw columns as direct sub-slices
+    /// of the shared buffers (zero copies), compressed columns decoded
+    /// into `scratch`. Row `i` of the returned slices is view-local row
+    /// `local_start + i`.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the view.
+    pub fn morsel_cols<'a>(
+        &'a self,
+        local_start: usize,
+        n: usize,
+        scratch: &'a mut ColScratch,
+    ) -> Vec<&'a [u32]> {
+        // lint:allow(SL001) — documented range contract, mirrors `[T]` slicing
+        assert!(local_start + n <= self.len, "morsel range out of bounds");
+        let d = self.num_dims();
+        let global = self.start + local_start;
+        if scratch.bufs.len() < d {
+            scratch.bufs.resize_with(d, Vec::new);
+        }
+        for (j, col) in self.frame.cols.iter().enumerate() {
+            if let Column::Compressed(c) = col {
+                let buf = &mut scratch.bufs[j];
+                buf.clear();
+                c.decode_range_into(global, n, buf);
+            }
+        }
+        let scratch = &*scratch;
+        (0..d)
+            .map(|j| match &self.frame.cols[j] {
+                Column::Raw(a) => &a[global..global + n],
+                Column::Compressed(_) => scratch.bufs[j].as_slice(),
+            })
+            .collect()
+    }
+
+    /// [`Self::morsel_cols`] for a subset of columns (scans that touch
+    /// only a rule's constant columns decode only those). The returned
+    /// slices parallel `idxs`.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the view.
+    pub fn morsel_cols_indexed<'a>(
+        &'a self,
+        idxs: &[usize],
+        local_start: usize,
+        n: usize,
+        scratch: &'a mut ColScratch,
+    ) -> Vec<&'a [u32]> {
+        // lint:allow(SL001) — documented range contract, mirrors `[T]` slicing
+        assert!(local_start + n <= self.len, "morsel range out of bounds");
+        let global = self.start + local_start;
+        if scratch.bufs.len() < idxs.len() {
+            scratch.bufs.resize_with(idxs.len(), Vec::new);
+        }
+        for (k, &j) in idxs.iter().enumerate() {
+            if let Column::Compressed(c) = &self.frame.cols[j] {
+                let buf = &mut scratch.bufs[k];
+                buf.clear();
+                c.decode_range_into(global, n, buf);
+            }
+        }
+        let scratch = &*scratch;
+        idxs.iter()
+            .enumerate()
+            .map(|(k, &j)| match &self.frame.cols[j] {
+                Column::Raw(a) => &a[global..global + n],
+                Column::Compressed(_) => scratch.bufs[k].as_slice(),
+            })
+            .collect()
     }
 
     /// The in-range slice of the measure column.
@@ -466,5 +971,146 @@ mod tests {
     fn col_slice_range_checked() {
         let s: ColSlice<u32> = vec![1, 2, 3].into();
         let _ = s.slice(2, 2);
+    }
+
+    // --- compressed representation ---------------------------------------
+
+    /// Build the same table raw and compressed (small morsels so even tiny
+    /// tables span several segments).
+    fn both_frames(rows: usize) -> (Frame, Frame) {
+        let t = generators::income_like(rows, 7);
+        let raw = Frame::from_table(&t);
+        let mut b = FrameBuilder::with_morsel_rows(t.num_dims(), 64);
+        for (i, row) in t.rows().enumerate() {
+            b.push_row(row, t.measure(i));
+        }
+        let compressed = b.finish_with_cards(
+            t.cardinalities()
+                .into_iter()
+                .map(|c| u32::try_from(c).unwrap_or(u32::MAX))
+                .collect(),
+        );
+        (raw, compressed)
+    }
+
+    #[test]
+    fn builder_matches_transpose_exactly() {
+        let (raw, comp) = both_frames(300);
+        assert!(comp.is_compressed());
+        assert!(!raw.is_compressed());
+        assert_eq!(comp.num_rows(), raw.num_rows());
+        assert_eq!(comp.cards(), raw.cards());
+        assert_eq!(comp.measures(), raw.measures());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for i in 0..raw.num_rows() {
+            raw.gather_row(i, &mut a);
+            comp.gather_row(i, &mut b);
+            assert_eq!(a, b, "row {i}");
+        }
+        // The lazy fingerprint covers decoded values, so a compressed frame
+        // hashes identically to a raw frame assembled from the same columns.
+        let cols: Vec<Vec<u32>> = (0..raw.num_dims()).map(|j| raw.col(j).to_vec()).collect();
+        let lazy_raw =
+            Frame::from_columns_with_cards(cols, raw.measures().to_vec(), raw.cards().to_vec());
+        assert_eq!(comp.fingerprint(), lazy_raw.fingerprint());
+    }
+
+    #[test]
+    fn compressed_frames_are_smaller() {
+        let (raw, comp) = both_frames(2000);
+        assert!(comp.dim_bytes() < raw.dim_bytes() / 2);
+        assert_eq!(raw.dim_bytes(), 2000 * raw.num_dims() * 4);
+    }
+
+    #[test]
+    fn morsel_scan_visits_rows_in_order() {
+        let (raw, comp) = both_frames(300);
+        for parts in [1, 3, 4, 7] {
+            let raw_views = raw.partition_views(parts);
+            let comp_views = comp.partition_views(parts);
+            for (rv, cv) in raw_views.iter().zip(&comp_views) {
+                // Raw views scan as one morsel.
+                if !rv.is_empty() {
+                    assert_eq!(rv.morsel_bounds(), vec![(0, rv.len())]);
+                }
+                // Compressed morsels tile the view in order.
+                let bounds = cv.morsel_bounds();
+                let mut expect = 0usize;
+                let mut scratch = ColScratch::new();
+                for &(s, n) in &bounds {
+                    assert_eq!(s, expect);
+                    expect += n;
+                    let cols = cv.morsel_cols(s, n, &mut scratch);
+                    for (j, col) in cols.iter().enumerate() {
+                        assert_eq!(*col, &rv.col(j)[s..s + n], "partition morsel col {j}");
+                    }
+                }
+                assert_eq!(expect, cv.len());
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_morsel_cols_select_columns() {
+        let (raw, comp) = both_frames(200);
+        let view = comp.view().slice(33, 150);
+        let rview = raw.view().slice(33, 150);
+        let mut scratch = ColScratch::new();
+        for &(s, n) in &view.morsel_bounds() {
+            let cols = view.morsel_cols_indexed(&[2, 0], s, n, &mut scratch);
+            assert_eq!(cols.len(), 2);
+            assert_eq!(cols[0], &rview.col(2)[s..s + n]);
+            assert_eq!(cols[1], &rview.col(0)[s..s + n]);
+        }
+    }
+
+    #[test]
+    fn from_table_with_honors_the_policy() {
+        let t = generators::income_like(500, 11);
+        let never = Frame::from_table_with(&t, Compression::Never);
+        let auto = Frame::from_table_with(&t, Compression::Auto);
+        let always = Frame::from_table_with(&t, Compression::Always);
+        assert!(!never.is_compressed());
+        // 500 × 9 × 4 B is far below the Auto threshold.
+        assert!(!auto.is_compressed());
+        assert!(always.is_compressed());
+        assert_eq!(always.fingerprint(), t.fingerprint());
+        assert_eq!(always.cards(), never.cards());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for i in 0..t.num_rows() {
+            never.gather_row(i, &mut a);
+            always.gather_row(i, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn compressed_column_formats_are_reported() {
+        let (_, comp) = both_frames(300);
+        let formats = comp.column_formats();
+        assert_eq!(formats.len(), comp.num_dims());
+        assert!(formats
+            .iter()
+            .all(|f| matches!(f, ColumnFormat::Compressed { .. })));
+        // Display is compact and names the dominant format.
+        let rendered: Vec<String> = formats.iter().map(ToString::to_string).collect();
+        assert!(rendered.iter().all(|s| !s.is_empty()));
+        assert_eq!(ColumnFormat::Raw.to_string(), "raw");
+    }
+
+    #[test]
+    #[should_panic(expected = "compressed")]
+    fn raw_col_accessor_rejects_compressed_columns() {
+        let (_, comp) = both_frames(100);
+        let _ = comp.col(0);
+    }
+
+    #[test]
+    fn empty_builder_finishes_cleanly() {
+        let f = FrameBuilder::new(3).finish();
+        assert_eq!(f.num_rows(), 0);
+        assert_eq!(f.num_dims(), 3);
+        assert_eq!(f.cards(), &[0, 0, 0]);
+        assert!(f.view().morsel_bounds().is_empty());
     }
 }

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::must_use_candidate)]
 
+pub mod compress;
 pub mod csv;
 mod dict;
 mod error;
@@ -26,8 +27,12 @@ pub mod generators;
 mod schema;
 mod table;
 
+pub use compress::{CompressedCol, Segment, MORSEL_ROWS};
 pub use dict::Dictionary;
 pub use error::TableError;
-pub use frame::{ColSlice, Frame, FrameView};
+pub use frame::{
+    ColScratch, ColSlice, Column, ColumnFormat, Compression, Frame, FrameBuilder, FrameView,
+    COMPRESS_MIN_BYTES,
+};
 pub use schema::Schema;
 pub use table::{Table, TableBuilder};

@@ -40,6 +40,16 @@ SKIP="${SKIP:-}"
 if [[ -n "${SKIP_LONG:-}" && -z "$SKIP" ]]; then
     SKIP="baseline_profile,mine/staged-sequential"
 fi
+# The top of the row-count axis (2M/8M rows) materializes multi-hundred-MB
+# tables; quick sweeps skip those sizes unless ROWSCALE_FULL=1. The bench
+# checks the skip list before generating, so skipped sizes cost nothing.
+if [[ -z "${ROWSCALE_FULL:-}" ]]; then
+    for size in 2048000 8192000; do
+        for side in raw compressed; do
+            SKIP="${SKIP:+$SKIP,}rowscale/$side/$size"
+        done
+    done
+fi
 
 # Start fresh if the target file already exists (re-runs shouldn't mix).
 # The file is touched up front so a filter matching no benchmark still
@@ -62,9 +72,12 @@ fi
 # Paired comparisons: each snapshot carries, at a glance, the numbers
 # needed to spot a regression of the zero-copy columnar path (ISSUE 5)
 # and of the packed-code / combine-strategy sweep accumulators (ISSUE 6).
+# Tolerates a missing benchmark (empty output): a filtered run — e.g.
+# `bench-quick.sh out.json --bench rowscale` — leaves most pairs absent,
+# and under `set -eo pipefail` a bare failing grep would kill the script.
 median() {
     grep -F "\"bench\": \"$1\"" "$OUT" | head -1 |
-        sed -n 's/.*"median_ns": \([0-9]*\).*/\1/p'
+        sed -n 's/.*"median_ns": \([0-9]*\).*/\1/p' || true
 }
 compare() {
     local label="$1" base_name="$2" base="$3" new_name="$4" new="$5"
@@ -101,3 +114,8 @@ compare "sweep combine strategy (1 worker)" \
 compare "serving cached-mine latency" \
     in-proc "serving/in-process/mine-cached" \
     wire "serving/wire/mine-cached"
+for size in 20000 128000 512000 2048000 8192000; do
+    compare "rowscale seed-fit scan ${size} rows" \
+        raw "rowscale/raw/$size" \
+        compressed "rowscale/compressed/$size"
+done

@@ -683,17 +683,26 @@ impl Router {
         )
     }
 
+    /// Render block-store memory pressure as a JSON object fragment.
+    fn memory_json(memory: &sirum_dataflow::MemoryStats) -> String {
+        format!(
+            "{{\"resident_bytes\":{},\"spilled_bytes\":{},\"evictions\":{}}}",
+            memory.resident_bytes, memory.spilled_bytes, memory.evictions,
+        )
+    }
+
     fn metrics_snapshot(&self) -> Response {
         Response::json(
             200,
             format!(
                 "{{\"uptime_ms\":{},\"connections\":{},\"connections_rejected\":{},\
-                 \"read_failures\":{},\"write_failures\":{},\"endpoints\":{}}}",
+                 \"read_failures\":{},\"write_failures\":{},\"memory\":{},\"endpoints\":{}}}",
                 self.started.elapsed().as_millis(),
                 self.metrics.connections.load(Ordering::Relaxed),
                 self.metrics.connections_rejected.load(Ordering::Relaxed),
                 self.metrics.read_failures.load(Ordering::Relaxed),
                 self.metrics.write_failures.load(Ordering::Relaxed),
+                Self::memory_json(&self.service.stats().memory),
                 self.metrics.endpoints_json(),
             ),
         )
@@ -708,7 +717,7 @@ impl Router {
                 "{{\"cache_hits\":{},\"cache_misses\":{},\"jobs_executed\":{},\
                  \"jobs_cancelled\":{},\"jobs_coalesced\":{},\"jobs_rejected\":{},\
                  \"queue_depth\":{},\"cache_entries\":{},\"active_jobs\":[{}],\
-                 \"job_latency\":{}}}",
+                 \"job_latency\":{},\"memory\":{}}}",
                 stats.cache_hits,
                 stats.cache_misses,
                 stats.jobs_executed,
@@ -719,6 +728,7 @@ impl Router {
                 stats.cache_entries,
                 active.join(","),
                 stats.job_latency.to_json(),
+                Self::memory_json(&stats.memory),
             ),
         )
     }
@@ -795,7 +805,14 @@ mod tests {
         );
         let (_, resp) = r.handle(&request("GET", "/stats", b""));
         assert_eq!(resp.status, 200);
-        assert!(body_json(&resp).get("job_latency").is_some());
+        let stats = body_json(&resp);
+        assert!(stats.get("job_latency").is_some());
+        // Memory pressure is part of the serving surface: resident bytes
+        // plus spill/eviction counters from the engine's block store.
+        let memory = stats.get("memory").expect("memory object");
+        for key in ["resident_bytes", "spilled_bytes", "evictions"] {
+            assert!(memory.get(key).and_then(|v| v.as_u64()).is_some(), "{key}");
+        }
     }
 
     #[test]
@@ -983,5 +1000,9 @@ mod tests {
         assert_eq!((ep, resp.status), (Endpoint::Metrics, 200));
         let body = body_json(&resp);
         assert!(body.get("endpoints").and_then(|e| e.get("mine")).is_some());
+        assert!(body
+            .get("memory")
+            .and_then(|m| m.get("evictions"))
+            .is_some());
     }
 }

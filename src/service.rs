@@ -1188,6 +1188,7 @@ impl SirumService {
             cache_entries: core.cache.lock().len(),
             active_jobs,
             job_latency: core.job_latency.snapshot(),
+            memory: core.engine.store().memory_stats(),
         }
     }
 }
@@ -1228,6 +1229,10 @@ pub struct ServiceStats {
     /// Latency distribution of actual mining executions (cache hits and
     /// coalesced deliveries are not samples).
     pub job_latency: LatencySummary,
+    /// Block-store memory pressure: resident bytes, cumulative spill
+    /// volume and eviction count — how hard the engine's budget is
+    /// working.
+    pub memory: sirum_dataflow::MemoryStats,
 }
 
 /// Point-in-time status of a submitted job, from
@@ -1856,6 +1861,20 @@ pub struct MiningPlan {
     /// row-major boxed tuples; the model charges row-materializing scans
     /// [`sirum_dataflow::cost::ROW_MATERIALIZE_FACTOR`]× per record.
     pub columnar: bool,
+    /// Whether the registered table's dimension columns are stored
+    /// compressed (bit-packed/RLE segments, scanned morsel-by-morsel) —
+    /// the [`sirum_table::Compression`] policy's decision at registration.
+    pub compressed: bool,
+    /// Per-column physical formats (`"raw"`, `"packed4"`, `"rle"`, …),
+    /// one entry per dimension, as chosen by the per-segment size
+    /// heuristic.
+    pub column_formats: Vec<String>,
+    /// Modeled per-record cost of one columnar scan pass over the table's
+    /// dimension columns ([`sirum_dataflow::cost::scan_record_nanos`]):
+    /// memory traffic at streaming bandwidth plus, when compressed, the
+    /// per-value decode tax. This is the compressed-vs-raw trade the plan
+    /// prices into `estimated_secs`.
+    pub scan_nanos_per_record: f64,
     /// Packed-code width the sweep's accumulators will use: `Some(64)` or
     /// `Some(128)` when rules intern as dense integer codes (the table's
     /// dictionary bit-widths fit; [`sirum_core::RuleLayout`]), `None` when
@@ -1923,13 +1942,29 @@ impl MiningPlan {
             (None, None)
         };
 
-        // Per-record scan cost: row-materializing passes (the boxed-tuple
-        // reference path) re-allocate every row on every rewrite, which
-        // the model charges as a constant factor over the columnar scan.
-        let scan_nanos = if config.columnar {
-            EST_NANOS_PER_RECORD
+        // Per-record scan cost: a base processing constant, the memory
+        // traffic + decode term of the table's actual column formats
+        // (compressed columns move fewer bytes but pay a per-value unpack
+        // tax), and the row-materializing factor for the boxed-tuple
+        // reference path, which re-allocates every row on every rewrite.
+        let frame = entry.prepared.frame();
+        let compressed = frame.is_compressed();
+        let column_formats: Vec<String> = frame
+            .column_formats()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let bytes_per_row = if n > 0 {
+            frame.dim_bytes() as f64 / n as f64
         } else {
-            EST_NANOS_PER_RECORD * sirum_dataflow::cost::ROW_MATERIALIZE_FACTOR
+            0.0
+        };
+        let scan_record =
+            sirum_dataflow::cost::scan_record_nanos(frame.num_dims(), bytes_per_row, compressed);
+        let scan_nanos = if config.columnar {
+            EST_NANOS_PER_RECORD + scan_record
+        } else {
+            EST_NANOS_PER_RECORD * sirum_dataflow::cost::ROW_MATERIALIZE_FACTOR + scan_record
         };
 
         // Predicted stage list for one iteration: the LCA join, one
@@ -2000,6 +2035,9 @@ impl MiningPlan {
             rct: config.rct,
             gain_sweep: config.gain_sweep,
             columnar: config.columnar,
+            compressed,
+            column_formats,
+            scan_nanos_per_record: scan_record,
             packed_bits,
             combine,
             estimated_iterations: iterations,
@@ -2049,6 +2087,13 @@ impl std::fmt::Display for MiningPlan {
             } else {
                 "row-major (boxed per-row tuples — reference path)"
             },
+        )?;
+        writeln!(
+            f,
+            "  storage: {} column format(s) [{}], ~{:.1}ns/record scan",
+            if self.compressed { "compressed" } else { "raw" },
+            self.column_formats.join(", "),
+            self.scan_nanos_per_record,
         )?;
         if let Some(combine) = self.combine {
             writeln!(
@@ -2549,6 +2594,12 @@ mod tests {
         assert_eq!(plan.packed_bits, Some(64));
         assert_eq!(plan.combine, Some(CombineStrategy::HashProbe));
         assert!(plan.to_string().contains("packed u64 rule codes"));
+        // 14 rows is far below the Auto compression threshold: the plan
+        // reports raw per-column formats and a traffic-only scan cost.
+        assert!(!plan.compressed);
+        assert_eq!(plan.column_formats, vec!["raw"; 3]);
+        assert!(plan.scan_nanos_per_record > 0.0);
+        assert!(plan.to_string().contains("raw column format(s)"));
         // With packing off the plan reports the Rule-keyed fallback; with
         // the sweep off there is no combine stage to report at all.
         let plan_rulekey = service
